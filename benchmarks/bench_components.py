@@ -1,0 +1,90 @@
+"""Component micro-benchmarks.
+
+Not a paper table/figure — these time the substrates the experiments are
+built from, so performance regressions are visible independently of the
+end-to-end results: rasterisation, litho simulation, feature extraction,
+and the CNN's forward/backward.
+"""
+
+import numpy as np
+
+from repro.core.model import build_dac17_network
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.features.ccs import CCSExtractor
+from repro.features.density import DensityExtractor
+from repro.features.tensor import FeatureTensorExtractor
+from repro.litho.optics import OpticalModel
+from repro.litho.oracle import HotspotOracle
+from repro.nn.loss import SoftmaxCrossEntropy
+
+
+def _sample_clip(seed=0):
+    return ClipGenerator(GeneratorConfig(seed=seed)).draw_clip()
+
+
+def test_rasterize_1nm(benchmark):
+    clip = _sample_clip()
+    image = benchmark(lambda: clip.rasterize(resolution=1))
+    assert image.shape == (1200, 1200)
+
+
+def test_aerial_image(benchmark):
+    clip = _sample_clip()
+    mask = clip.rasterize(resolution=4)
+    model = OpticalModel()
+    model.aerial_image(mask)  # warm the kernel FFT cache
+    intensity = benchmark(lambda: model.aerial_image(mask))
+    assert intensity.shape == mask.shape
+
+
+def test_oracle_label(benchmark):
+    clip = _sample_clip().with_label(None)
+    oracle = HotspotOracle()
+    oracle.label(clip)  # warm caches
+    label = benchmark(lambda: oracle.label(clip))
+    assert label in (0, 1)
+
+
+def test_feature_tensor_extract(benchmark):
+    clip = _sample_clip()
+    extractor = FeatureTensorExtractor()
+    tensor = benchmark(lambda: extractor.extract(clip))
+    assert tensor.shape == (12, 12, 32)
+
+
+def test_density_extract(benchmark):
+    clip = _sample_clip()
+    extractor = DensityExtractor()
+    benchmark(lambda: extractor.extract(clip))
+
+
+def test_ccs_extract(benchmark):
+    clip = _sample_clip()
+    extractor = CCSExtractor()
+    extractor.extract(clip)  # warm the coordinate cache
+    benchmark(lambda: extractor.extract(clip))
+
+
+def test_cnn_training_step(benchmark):
+    network = build_dac17_network()
+    loss = SoftmaxCrossEntropy()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 32, 12, 12))
+    targets = np.tile([1.0, 0.0], (64, 1))
+
+    def step():
+        network.zero_grad()
+        value = loss.forward(network.forward(x, training=True), targets)
+        network.backward(loss.backward())
+        return value
+
+    step()  # warm-up
+    value = benchmark(step)
+    assert np.isfinite(value)
+
+
+def test_cnn_inference_batch(benchmark):
+    network = build_dac17_network()
+    x = np.random.default_rng(1).normal(size=(256, 32, 12, 12))
+    probs = benchmark(lambda: network.predict_proba(x))
+    assert probs.shape == (256, 2)

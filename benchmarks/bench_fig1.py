@@ -1,0 +1,32 @@
+"""Figure 1 — feature tensor generation.
+
+Times the encode path on the paper's exact geometry (1200 x 1200 nm clip,
+n = 12, 100 x 100 px blocks) and regenerates the compression /
+reconstruction trade-off across k, checking the properties the paper
+claims: small tensors, recoverable clips, error shrinking with k.
+"""
+
+from repro.bench import experiment_fig1
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.features.tensor import FeatureTensorExtractor
+
+
+def test_fig1_compression_and_reconstruction(once):
+    results, text = once(experiment_fig1)
+    print("\n" + text)
+    by_k = {r["k"]: r for r in results}
+    # Paper property 1: channel size much smaller than the clip.
+    assert by_k[32]["tensor_shape"] == (12, 12, 32)
+    assert by_k[32]["compression_ratio"] > 300
+    # Paper property 2: an approximation of I is recoverable from F.
+    assert by_k[32]["rms_error"] < 0.2
+    # Keeping more coefficients can only improve reconstruction.
+    errors = [r["rms_error"] for r in results]
+    assert all(b <= a + 1e-9 for a, b in zip(errors[:-1], errors[1:]))
+
+
+def test_fig1_encode_throughput(benchmark):
+    clip = ClipGenerator(GeneratorConfig(seed=1)).draw_clip()
+    extractor = FeatureTensorExtractor()
+    tensor = benchmark(lambda: extractor.extract(clip))
+    assert tensor.shape == (12, 12, 32)

@@ -1,0 +1,35 @@
+"""Figure 4 — biased learning vs decision-boundary shifting.
+
+Runs Algorithm 2 on the industry3 suite (ε = 0, 0.1, 0.2, 0.3), then
+calibrates a boundary shift on the initial model to match each fine-tuned
+model's accuracy, and compares false alarms. The paper's shape: for the
+same hotspot accuracy, biased learning pays fewer false alarms (the paper
+reports ~600 fewer, i.e. ~6000 s of ODST saved).
+"""
+
+from repro.bench import experiment_fig4
+
+
+def test_fig4_bias_vs_shift(once):
+    points, text = once(experiment_fig4)
+    print("\n" + text)
+
+    # Accuracy improves (weakly) along the epsilon trajectory overall.
+    assert points[-1].accuracy >= points[0].accuracy - 0.02
+
+    # The comparison is meaningful for rounds that *improved* accuracy
+    # over the initial model: matching a non-improved round needs no shift
+    # at all (lambda = 0), so those points carry no signal.
+    improved = [
+        p
+        for p in points[1:]
+        if p.shift_false_alarms is not None and p.accuracy > points[0].accuracy
+    ]
+    assert improved, "no epsilon round improved accuracy; nothing to compare"
+    # The headline claim: matching the fine-tuned accuracy by shifting the
+    # initial model's boundary costs more false alarms in aggregate.
+    total_bias = sum(p.bias_false_alarms for p in improved)
+    total_shift = sum(p.shift_false_alarms for p in improved)
+    assert total_shift > total_bias, [
+        (p.epsilon, p.bias_false_alarms, p.shift_false_alarms) for p in improved
+    ]

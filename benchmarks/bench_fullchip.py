@@ -1,0 +1,42 @@
+"""Full-chip scan throughput (extension).
+
+Not a paper table — this measures the deployment scenario the paper's
+introduction motivates: sweeping a block-level layout with the trained
+detector. Reports windows/second for the scan (feature extraction +
+batched CNN inference) and sanity-checks the merged-region output.
+"""
+
+import pytest
+
+from repro.bench.harness import bench_detector_config
+from repro.core.detector import HotspotDetector
+from repro.core.fullchip import FullChipScanner
+from repro.data.dataset import HotspotDataset
+from repro.data.fullchip import FullChipSpec, make_layout
+from repro.data.generator import ClipGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def trained_detector():
+    generator = ClipGenerator(GeneratorConfig(seed=3))
+    train = HotspotDataset(generator.generate(60, 120), name="fullchip/train")
+    detector = HotspotDetector(
+        bench_detector_config(bias_rounds=1, max_iterations=600)
+    )
+    detector.fit(train)
+    return detector
+
+
+def test_fullchip_scan(once, trained_detector):
+    layout = make_layout(FullChipSpec(tiles_x=5, tiles_y=5, seed=11))
+    scanner = FullChipScanner(trained_detector, clip_nm=1200, stride_nm=600)
+
+    result = once(scanner.scan, layout)
+    print(f"\n{result.summary()}")
+    rate = result.window_count / max(result.scan_seconds, 1e-9)
+    print(f"scan rate: {rate:.1f} windows/s")
+
+    assert result.window_count == 81  # 9 x 9 positions
+    assert 0 <= result.flagged_count <= result.window_count
+    # Regions are merged flagged windows: never more regions than windows.
+    assert len(result.regions) <= max(result.flagged_count, 1)

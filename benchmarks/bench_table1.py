@@ -1,0 +1,36 @@
+"""Table 1 — network configuration.
+
+Regenerates the layer/kernel/stride/output table and asserts every output
+shape against the paper's printed values; also times a forward pass
+through the configured network.
+"""
+
+import numpy as np
+
+from repro.bench import experiment_table1
+from repro.core.model import build_dac17_network
+
+PAPER_TABLE1 = {
+    "conv1-1": "12 x 12 x 16",
+    "conv1-2": "12 x 12 x 16",
+    "maxpooling1": "6 x 6 x 16",
+    "conv2-1": "6 x 6 x 32",
+    "conv2-2": "6 x 6 x 32",
+    "maxpooling2": "3 x 3 x 32",
+    "fc1": "250",
+    "fc2": "2",
+}
+
+
+def test_table1_configuration(once):
+    rows, text = once(experiment_table1)
+    print("\n" + text)
+    measured = {layer: output for layer, _, _, output in rows}
+    assert measured == PAPER_TABLE1
+
+
+def test_table1_forward_pass(benchmark):
+    network = build_dac17_network()
+    batch = np.random.default_rng(0).normal(size=(64, 32, 12, 12))
+    out = benchmark(lambda: network.forward(batch))
+    assert out.shape == (64, 2)

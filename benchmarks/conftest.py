@@ -1,0 +1,26 @@
+"""Shared pytest-benchmark configuration.
+
+The experiment benchmarks are end-to-end measurements (data generation is
+cached; training dominates), so every benchmark runs exactly once via
+``benchmark.pedantic``. Scale knobs:
+
+- ``REPRO_BENCH_SCALE`` (default 0.015) — fraction of the paper's clip
+  counts per suite.
+- ``REPRO_BENCH_ITERS`` (default 2500) — MGD iterations per initial round.
+
+Set ``REPRO_BENCH_SCALE=1.0`` to regenerate the full-size suites (hours of
+CPU).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once and return its result."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,82 @@
+"""Biased learning sweep (paper Section 4.3 / Figure 4).
+
+Trains the initial model, fine-tunes it at increasing bias ε, and compares
+each fine-tuned model against decision-boundary shifting calibrated to the
+same hotspot accuracy — demonstrating the paper's claim that biased
+learning buys accuracy with far fewer false alarms.
+
+Run:  python examples/biased_learning_sweep.py
+"""
+
+import numpy as np
+
+from repro.bench.harness import bench_detector_config
+from repro.bench.tables import format_table
+from repro.core import HotspotDetector
+from repro.core.metrics import evaluate_predictions
+from repro.core.shift import calibrate_shift, shifted_predictions
+from repro.data import ClipGenerator, GeneratorConfig, HotspotDataset
+
+
+def main() -> None:
+    print("generating data...")
+    generator = ClipGenerator(GeneratorConfig(seed=13))
+    train = HotspotDataset(generator.generate(150, 300), name="sweep/train")
+    test = HotspotDataset(generator.generate(60, 120), name="sweep/test")
+    print(f"  {train.summary()} | {test.summary()}")
+
+    config = bench_detector_config(bias_rounds=4, max_iterations=1500)
+    detector = HotspotDetector(config)
+    print("running Algorithm 2 (eps = 0.0, 0.1, 0.2, 0.3)...")
+    detector.fit(train)
+
+    x_test = detector._to_network_input(test)
+    y_test = test.labels
+    network = detector.network
+    assert network is not None
+
+    network.set_weights(detector.rounds[0].weights)
+    base_probs = network.predict_proba(x_test)
+
+    rows = []
+    for r in detector.rounds:
+        network.set_weights(r.weights)
+        metrics = evaluate_predictions(y_test, network.predict(x_test))
+        shift = calibrate_shift(base_probs, y_test, metrics.accuracy)
+        if shift is None:
+            shift_fa = "-"
+        else:
+            shifted = shifted_predictions(base_probs, shift)
+            shift_fa = evaluate_predictions(y_test, shifted).false_alarms
+        rows.append(
+            (
+                f"{r.epsilon:.1f}",
+                f"{metrics.accuracy * 100:.1f}%",
+                metrics.false_alarms,
+                shift_fa,
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("eps", "Accuracy", "FA# (biased)", "FA# (shifted to match)"),
+            rows,
+            title="Biased learning vs boundary shifting",
+        )
+    )
+    saved = [
+        r
+        for r in rows
+        if isinstance(r[3], int) and isinstance(r[2], int) and r[3] > r[2]
+    ]
+    if saved:
+        print(
+            "\nbiased learning reached the same accuracy with fewer false "
+            "alarms on "
+            f"{len(saved)} of {len(rows)} points (each false alarm costs "
+            "10 s of lithography simulation in ODST terms)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Compare the three Table-2 detectors on one synthetic suite.
+
+Trains SPIE'15 (density + AdaBoost), ICCAD'16 (CCS + online boosting) and
+the paper's detector (feature tensor + biased CNN) on the same data and
+prints a Table-2-style comparison row for each.
+
+Run:  python examples/compare_detectors.py  [suite]  [scale]
+"""
+
+import sys
+
+from repro.baselines import ICCAD16Detector, SPIE15Detector
+from repro.bench.harness import bench_detector_config, run_detector
+from repro.bench.tables import format_table
+from repro.data import make_benchmark
+
+
+def main() -> None:
+    suite = sys.argv[1] if len(sys.argv) > 1 else "iccad"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.01
+    print(f"building suite {suite!r} at scale {scale} (cached after first run)...")
+    train, test = make_benchmark(suite, scale=scale)
+    print(f"  {train.summary()}")
+    print(f"  {test.summary()}")
+
+    from repro.core import HotspotDetector
+
+    detectors = [
+        SPIE15Detector(),
+        ICCAD16Detector(),
+        HotspotDetector(bench_detector_config(bias_rounds=2, max_iterations=2000)),
+    ]
+    rows = []
+    for detector in detectors:
+        print(f"training {detector.name}...")
+        run = run_detector(detector, train, test, suite_name=suite)
+        m = run.metrics
+        rows.append(
+            (
+                detector.name,
+                round(run.train_seconds, 1),
+                m.false_alarms,
+                round(m.evaluation_seconds, 2),
+                round(m.odst_seconds, 1),
+                f"{m.accuracy * 100:.1f}%",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("Detector", "Train(s)", "FA#", "CPU(s)", "ODST(s)", "Accu"),
+            rows,
+            title=f"Detector comparison on {suite} (scale={scale})",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

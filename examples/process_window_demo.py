@@ -1,0 +1,68 @@
+"""Process-window measurement demo (paper Section 2's hotspot definition).
+
+Hotspots are "patterns with a smaller process window". This example
+measures that window directly for a few canonical patterns: dose latitude
+at focus and at defocus, plus the pass/fail dose-defocus map — and shows
+the binary oracle labels agree with the measured windows.
+
+Run:  python examples/process_window_demo.py
+"""
+
+from repro.bench.tables import format_table
+from repro.geometry import Clip, Rect
+from repro.litho import HotspotOracle, measure_window
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+PATTERNS = {
+    "isolated 160 nm line": (Rect(520, 100, 680, 1100),),
+    "isolated 100 nm line": (Rect(550, 100, 650, 1100),),
+    "isolated 70 nm line": (Rect(565, 100, 635, 1100),),
+    "pair at 120 nm gap": (
+        Rect(400, 100, 560, 1100),
+        Rect(680, 100, 840, 1100),
+    ),
+    "pair at 90 nm gap": (
+        Rect(400, 100, 560, 1100),
+        Rect(650, 100, 810, 1100),
+    ),
+}
+
+
+def main() -> None:
+    oracle = HotspotOracle()
+    rows = []
+    for name, rects in PATTERNS.items():
+        clip = Clip(WINDOW, rects)
+        report = measure_window(clip, oracle)
+        label = "HOTSPOT" if oracle.label(clip) else "clean"
+        rows.append(
+            (
+                name,
+                f"{report.dose_latitude_nominal * 100:.0f}%",
+                f"{report.dose_latitude_defocused * 100:.0f}%",
+                f"{report.window_score * 100:.0f}%",
+                label,
+            )
+        )
+    print(
+        format_table(
+            (
+                "pattern",
+                "dose latitude @focus",
+                "@40nm defocus",
+                "window score",
+                "oracle",
+            ),
+            rows,
+            title="Measured process windows",
+        )
+    )
+    print(
+        "\nPatterns the oracle labels hotspot are exactly those whose "
+        "measured window collapses — the paper's Definition in action."
+    )
+
+
+if __name__ == "__main__":
+    main()

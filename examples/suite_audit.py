@@ -1,0 +1,48 @@
+"""Audit a generated benchmark suite (topology statistics).
+
+Benchmark quality matters as much as model quality: a suite whose test
+split duplicates its training topologies rewards memorisation. This
+example generates a suite, prints its composition (family mix, class
+balance, topology duplication), and measures train/test topology overlap.
+
+Run:  python examples/suite_audit.py
+"""
+
+from repro.data import (
+    ClipGenerator,
+    GeneratorConfig,
+    HotspotDataset,
+    suite_statistics,
+    topology_signature,
+)
+
+
+def main() -> None:
+    print("generating a suite...")
+    generator = ClipGenerator(GeneratorConfig(seed=23))
+    train = HotspotDataset(generator.generate(150, 300), name="audit/train")
+    test = HotspotDataset(generator.generate(50, 100), name="audit/test")
+
+    print("\ntrain split:")
+    print(f"  {suite_statistics(train.clips).summary()}")
+    print("test split:")
+    print(f"  {suite_statistics(test.clips).summary()}")
+
+    train_topologies = {topology_signature(c) for c in train}
+    overlap = sum(
+        1 for c in test if topology_signature(c) in train_topologies
+    )
+    print(
+        f"\ntest clips whose exact topology appears in training: "
+        f"{overlap}/{len(test)} ({100 * overlap / len(test):.1f}%)"
+    )
+    print(
+        "(contest-style suites are cut from real layouts and contain far "
+        "more duplication — our generator's pattern quantisation mimics a "
+        "routing grid, giving partial overlap: enough shared structure to "
+        "learn from, with enough novel clips to measure generalisation.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+#!/bin/sh
+# Regenerate every paper table/figure and record the output.
+# Knobs: REPRO_BENCH_SCALE (default 0.015), REPRO_BENCH_ITERS (default 2500).
+cd "$(dirname "$0")/.."
+pytest benchmarks/ --benchmark-only -s -q 2>&1 | tee bench_output.txt

@@ -1,0 +1,4 @@
+#!/bin/sh
+# Full test suite with recorded output.
+cd "$(dirname "$0")/.."
+pytest tests/ 2>&1 | tee test_output.txt

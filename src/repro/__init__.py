@@ -1,0 +1,34 @@
+"""repro — reproduction of "Layout Hotspot Detection with Feature Tensor
+Generation and Deep Biased Learning" (Yang et al., DAC 2017).
+
+Public API quick map:
+
+- Data: :func:`repro.data.make_benchmark`, :class:`repro.data.HotspotDataset`
+- Features: :class:`repro.features.FeatureTensorExtractor`
+- Detector: :class:`repro.core.HotspotDetector`, :class:`repro.core.DetectorConfig`
+- Metrics: :class:`repro.core.DetectionMetrics`
+- Baselines: :class:`repro.baselines.SPIE15Detector`,
+  :class:`repro.baselines.ICCAD16Detector`
+- Substrates: :mod:`repro.geometry`, :mod:`repro.litho`, :mod:`repro.nn`
+
+See ``examples/quickstart.py`` for a three-minute end-to-end run.
+"""
+
+from repro._version import __version__
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.core.metrics import DetectionMetrics
+from repro.data.benchmarks import make_benchmark
+from repro.data.dataset import HotspotDataset
+from repro.features.tensor import FeatureTensorConfig, FeatureTensorExtractor
+
+__all__ = [
+    "__version__",
+    "HotspotDetector",
+    "DetectorConfig",
+    "DetectionMetrics",
+    "HotspotDataset",
+    "make_benchmark",
+    "FeatureTensorExtractor",
+    "FeatureTensorConfig",
+]

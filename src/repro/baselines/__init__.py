@@ -1,0 +1,27 @@
+"""Comparison detectors from the paper's Table 2.
+
+- :class:`SPIE15Detector` — Matsunawa et al., SPIE 2015: simplified local
+  density features + AdaBoost over decision stumps (both implemented from
+  scratch in :mod:`repro.baselines.stumps` / :mod:`repro.baselines.adaboost`).
+- :class:`ICCAD16Detector` — Zhang et al., ICCAD 2016: concentric-circle
+  sampling features + an online-updatable boosted linear learner
+  (:mod:`repro.baselines.online`).
+
+Both expose the same ``fit`` / ``predict`` / ``evaluate`` surface as
+:class:`repro.core.HotspotDetector` so the Table-2 harness can treat all
+three uniformly.
+"""
+
+from repro.baselines.adaboost import AdaBoostClassifier
+from repro.baselines.iccad16 import ICCAD16Detector
+from repro.baselines.online import OnlineBoostedLearner
+from repro.baselines.spie15 import SPIE15Detector
+from repro.baselines.stumps import DecisionStump
+
+__all__ = [
+    "DecisionStump",
+    "AdaBoostClassifier",
+    "OnlineBoostedLearner",
+    "SPIE15Detector",
+    "ICCAD16Detector",
+]

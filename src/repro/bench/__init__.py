@@ -1,0 +1,40 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each experiment is a plain function returning structured results plus a
+formatted text block that mirrors the paper's presentation; the
+``benchmarks/`` directory wraps them in pytest-benchmark entry points and
+the examples call them directly.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+- :func:`experiment_table1` — network configuration table.
+- :func:`experiment_fig1` — feature tensor compression/reconstruction.
+- :func:`experiment_table2` — three-detector comparison on four suites.
+- :func:`experiment_fig3` — SGD vs MGD convergence.
+- :func:`experiment_fig4` — biased learning vs boundary shifting.
+"""
+
+from repro.bench.experiments import (
+    experiment_fig1,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_table1,
+    experiment_table2,
+)
+from repro.bench.harness import DetectorRun, bench_scale, run_detector
+from repro.bench.report import read_report, write_report
+from repro.bench.tables import format_table
+
+__all__ = [
+    "write_report",
+    "read_report",
+    "experiment_table1",
+    "experiment_fig1",
+    "experiment_table2",
+    "experiment_fig3",
+    "experiment_fig4",
+    "DetectorRun",
+    "run_detector",
+    "bench_scale",
+    "format_table",
+]

@@ -1,0 +1,351 @@
+"""The five experiments of the paper's evaluation.
+
+Every function returns ``(results, text)`` where ``results`` is structured
+data and ``text`` mirrors the paper's table/figure as monospace text. See
+EXPERIMENTS.md for the recorded paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.iccad16 import ICCAD16Detector
+from repro.baselines.spie15 import SPIE15Detector
+from repro.bench.harness import (
+    DetectorRun,
+    bench_detector_config,
+    bench_iterations,
+    bench_scale,
+    run_detector,
+)
+from repro.bench.tables import format_table
+from repro.core.biased import BiasedLearning, biased_targets
+from repro.core.detector import HotspotDetector
+from repro.core.metrics import evaluate_predictions
+from repro.core.model import build_dac17_network
+from repro.core.shift import calibrate_shift, shifted_predictions
+from repro.data.benchmarks import BENCHMARK_NAMES, make_benchmark
+from repro.data.dataset import HotspotDataset
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.features.scaler import ChannelScaler
+from repro.features.tensor import FeatureTensorConfig, FeatureTensorExtractor
+from repro.nn.optim import SGD, ConstantRate, StepDecay
+from repro.nn.trainer import Trainer, TrainerConfig
+
+
+# ----------------------------------------------------------------------
+# Table 1 — network configuration
+# ----------------------------------------------------------------------
+def experiment_table1(input_channels: int = 32) -> Tuple[List[tuple], str]:
+    """Regenerate Table 1: layer, kernel size, stride, output nodes."""
+    network = build_dac17_network(input_channels=input_channels)
+    paper_rows = {
+        "conv1-1": (3, 1, "12 x 12 x 16"),
+        "conv1-2": (3, 1, "12 x 12 x 16"),
+        "maxpooling1": (2, 2, "6 x 6 x 16"),
+        "conv2-1": (3, 1, "6 x 6 x 32"),
+        "conv2-2": (3, 1, "6 x 6 x 32"),
+        "maxpooling2": (2, 2, "3 x 3 x 32"),
+        "fc1": ("-", "-", "250"),
+        "fc2": ("-", "-", "2"),
+    }
+    rows = []
+    for layer, shape in network.layer_shapes():
+        if layer not in paper_rows:
+            continue
+        kernel, stride, expected = paper_rows[layer]
+        if len(shape) == 3:
+            measured = f"{shape[1]} x {shape[2]} x {shape[0]}"
+        else:
+            measured = str(shape[0])
+        assert measured == expected, (layer, measured, expected)
+        rows.append((layer, kernel, stride, measured))
+    text = format_table(
+        ("Layer", "Kernel Size", "Stride", "Output Node #"),
+        rows,
+        title="Table 1: Neural Network Configuration",
+    )
+    return rows, text
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — feature tensor generation
+# ----------------------------------------------------------------------
+def experiment_fig1(
+    k_values: Sequence[int] = (8, 16, 32, 64),
+    clip_seed: int = 3,
+) -> Tuple[List[dict], str]:
+    """Feature tensor compression vs reconstruction quality.
+
+    Reproduces Figure 1's pipeline on a generated 1200 x 1200 nm clip:
+    12 x 12 division, per-block DCT, zig-zag encode at several ``k``,
+    decode, and report compression ratio and RMS reconstruction error.
+    """
+    generator = ClipGenerator(GeneratorConfig(seed=clip_seed))
+    clip = generator.draw_clip()
+    results = []
+    for k in k_values:
+        extractor = FeatureTensorExtractor(
+            FeatureTensorConfig(block_count=12, coefficients=k, pixel_nm=1)
+        )
+        start = time.perf_counter()
+        tensor = extractor.extract(clip)
+        encode_seconds = time.perf_counter() - start
+        results.append(
+            {
+                "k": k,
+                "tensor_shape": tensor.shape,
+                "compression_ratio": extractor.compression_ratio(clip.size),
+                "rms_error": extractor.reconstruction_error(clip),
+                "encode_seconds": encode_seconds,
+            }
+        )
+    rows = [
+        (
+            r["k"],
+            "12 x 12 x %d" % r["k"],
+            r["compression_ratio"],
+            round(r["rms_error"], 4),
+        )
+        for r in results
+    ]
+    text = format_table(
+        ("k", "Tensor", "Compression", "RMS error"),
+        rows,
+        title="Figure 1: feature tensor generation (1200x1200 clip, n=12)",
+    )
+    return results, text
+
+
+# ----------------------------------------------------------------------
+# Table 2 — detector comparison on the four suites
+# ----------------------------------------------------------------------
+def experiment_table2(
+    suites: Sequence[str] = BENCHMARK_NAMES,
+    scale: Optional[float] = None,
+    bias_rounds: int = 3,
+) -> Tuple[List[DetectorRun], str]:
+    """Three detectors x four suites: FA#, CPU, ODST, Accuracy.
+
+    Suite sizes are the paper's counts times ``scale``. Returns one
+    :class:`DetectorRun` per (detector, suite) pair plus the formatted
+    comparison in Table 2's layout (including the per-detector averages).
+    """
+    scale = scale if scale is not None else bench_scale()
+    runs: List[DetectorRun] = []
+    for suite in suites:
+        train, test = make_benchmark(suite, scale=scale)
+        detectors = [
+            SPIE15Detector(),
+            ICCAD16Detector(),
+            HotspotDetector(bench_detector_config(bias_rounds=bias_rounds)),
+        ]
+        for detector in detectors:
+            runs.append(run_detector(detector, train, test, suite_name=suite))
+
+    detector_names = []
+    for run in runs:
+        if run.detector_name not in detector_names:
+            detector_names.append(run.detector_name)
+    rows = []
+    for suite in suites:
+        row: List[object] = [suite]
+        for name in detector_names:
+            run = _find_run(runs, name, suite)
+            row.extend(run.row())
+        rows.append(tuple(row))
+    # Average row, as in the paper.
+    average: List[object] = ["Average"]
+    for name in detector_names:
+        suite_runs = [r for r in runs if r.detector_name == name]
+        fa = np.mean([r.metrics.false_alarms for r in suite_runs])
+        cpu = np.mean([r.metrics.evaluation_seconds for r in suite_runs])
+        odst = np.mean([r.metrics.odst_seconds for r in suite_runs])
+        accuracy = np.mean([r.metrics.accuracy for r in suite_runs])
+        average.extend(
+            (round(float(fa), 1), round(float(cpu), 2), round(float(odst), 1),
+             f"{accuracy * 100:.1f}%")
+        )
+    rows.append(tuple(average))
+
+    headers: List[str] = ["Bench"]
+    for name in detector_names:
+        headers.extend(
+            (f"{name} FA#", f"{name} CPU(s)", f"{name} ODST(s)", f"{name} Accu")
+        )
+    text = format_table(
+        headers, rows, title=f"Table 2: detector comparison (scale={scale})"
+    )
+    return runs, text
+
+
+def _find_run(runs: List[DetectorRun], name: str, suite: str) -> DetectorRun:
+    for run in runs:
+        if run.detector_name == name and run.suite_name == suite:
+            return run
+    raise KeyError((name, suite))
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — SGD vs MGD
+# ----------------------------------------------------------------------
+@dataclass
+class ConvergenceSeries:
+    """One optimizer's validation trace (Figure 3 axes)."""
+
+    label: str
+    elapsed_seconds: List[float]
+    val_accuracy: List[float]
+
+
+def experiment_fig3(
+    suite: str = "industry1",
+    scale: Optional[float] = None,
+    iterations: Optional[int] = None,
+    sgd_iteration_multiplier: int = 40,
+) -> Tuple[List[ConvergenceSeries], str]:
+    """SGD (batch 1, paper lr-class 1e-4) vs MGD (mini-batch, 10x lr).
+
+    The paper's Figure 3 plots validation accuracy against *wall-clock*
+    time. A batch-1 SGD update costs a small fraction of a batch-64 MGD
+    update, so matching the time axis means giving SGD
+    ``sgd_iteration_multiplier`` times as many iterations — matching
+    iteration counts instead would hand SGD a tiny fraction of the
+    compute. The learning rates keep the paper's 10x ratio.
+
+    Default suite is the hotspot-rich ``industry1``: the paper runs this
+    on its (full-size) ICCAD benchmark, but our CPU-scaled ICCAD suite has
+    too few hotspots for any optimizer to move off the majority-class
+    baseline (see EXPERIMENTS.md).
+    """
+    scale = scale if scale is not None else bench_scale()
+    iterations = iterations if iterations is not None else bench_iterations()
+    train, _ = make_benchmark(suite, scale=scale)
+    main, holdout = train.split(0.25, seed=0)
+
+    extractor = FeatureTensorExtractor()
+    scaler = ChannelScaler()
+    x_train = scaler.fit_transform(main.features(extractor)).transpose(0, 3, 1, 2)
+    x_val = scaler.transform(holdout.features(extractor)).transpose(0, 3, 1, 2)
+    x_train = np.ascontiguousarray(x_train, dtype=np.float64)
+    x_val = np.ascontiguousarray(x_val, dtype=np.float64)
+    targets = biased_targets(main.labels, 0.0)
+
+    series: List[ConvergenceSeries] = []
+    runs = (
+        ("SGD", 1, 2e-4, iterations * sgd_iteration_multiplier),
+        ("MGD", 64, 2e-3, iterations),
+    )
+    for label, batch, rate, budget in runs:
+        network = build_dac17_network(seed=0)
+        optimizer = SGD(network.parameters(), StepDecay(rate, 0.5, budget))
+        trainer = Trainer(
+            network,
+            optimizer,
+            TrainerConfig(
+                batch_size=batch,
+                max_iterations=budget,
+                validate_every=max(1, budget // 20),
+                patience=10**9,  # fixed budget: no early stop in this figure
+                min_iterations=budget,
+                seed=0,
+            ),
+        )
+        history = trainer.fit(x_train, targets, x_val, holdout.labels)
+        series.append(
+            ConvergenceSeries(label, history.elapsed_seconds, history.val_accuracy)
+        )
+
+    rows = []
+    for s in series:
+        for t, a in zip(s.elapsed_seconds, s.val_accuracy):
+            rows.append((s.label, round(t, 1), f"{a * 100:.1f}%"))
+    text = format_table(
+        ("Optimizer", "Elapsed (s)", "Val accuracy"),
+        rows,
+        title=f"Figure 3: SGD vs MGD on {suite} (scale={scale})",
+    )
+    return series, text
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — biased learning vs boundary shifting
+# ----------------------------------------------------------------------
+@dataclass
+class Fig4Point:
+    """One accuracy-matched comparison point."""
+
+    epsilon: float
+    accuracy: float
+    bias_false_alarms: int
+    shift: Optional[float]
+    shift_false_alarms: Optional[int]
+
+
+def experiment_fig4(
+    suite: str = "industry3",
+    scale: Optional[float] = None,
+    epsilons: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+) -> Tuple[List[Fig4Point], str]:
+    """Biased learning vs decision-boundary shifting at equal accuracy.
+
+    Train the initial model (ε = 0), fine-tune at each ε; then calibrate a
+    boundary shift on the *initial* model to match each fine-tuned model's
+    test accuracy and compare false alarms (the paper's Figure 4).
+    """
+    scale = scale if scale is not None else bench_scale()
+    train, test = make_benchmark(suite, scale=scale)
+
+    config = bench_detector_config(bias_rounds=len(epsilons))
+    detector = HotspotDetector(config)
+    detector.fit(train)
+
+    x_test = detector._to_network_input(test)
+    y_test = test.labels
+    network = detector.network
+    assert network is not None
+
+    # Initial-model probabilities for shift calibration.
+    network.set_weights(detector.rounds[0].weights)
+    base_probs = network.predict_proba(x_test)
+
+    points: List[Fig4Point] = []
+    for round_result in detector.rounds:
+        network.set_weights(round_result.weights)
+        predictions = network.predict(x_test)
+        metrics = evaluate_predictions(y_test, predictions)
+        shift = calibrate_shift(base_probs, y_test, metrics.accuracy)
+        shift_fa: Optional[int] = None
+        if shift is not None:
+            shifted = shifted_predictions(base_probs, shift)
+            shift_fa = evaluate_predictions(y_test, shifted).false_alarms
+        points.append(
+            Fig4Point(
+                epsilon=round_result.epsilon,
+                accuracy=metrics.accuracy,
+                bias_false_alarms=metrics.false_alarms,
+                shift=shift,
+                shift_false_alarms=shift_fa,
+            )
+        )
+
+    rows = [
+        (
+            p.epsilon,
+            f"{p.accuracy * 100:.1f}%",
+            p.bias_false_alarms,
+            "-" if p.shift is None else round(p.shift, 3),
+            "-" if p.shift_false_alarms is None else p.shift_false_alarms,
+        )
+        for p in points
+    ]
+    text = format_table(
+        ("epsilon", "Accuracy", "Bias FA#", "Shift λ", "Shift FA#"),
+        rows,
+        title=f"Figure 4: biased learning vs boundary shifting on {suite}",
+    )
+    return points, text

@@ -1,0 +1,95 @@
+"""Machine-readable experiment reports.
+
+The experiment functions return structured results; this module serialises
+them to JSON so external tooling (CI dashboards, plotting scripts) can
+consume benchmark runs without scraping the printed tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.bench.harness import DetectorRun
+
+PathLike = Union[str, Path]
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert experiment results into JSON-safe values."""
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    raise ReproError(f"cannot serialise {type(value).__name__} to JSON")
+
+
+def detector_run_record(run: DetectorRun) -> Dict[str, Any]:
+    """Flatten a :class:`DetectorRun` into a JSON-ready record."""
+    m = run.metrics
+    return {
+        "detector": run.detector_name,
+        "suite": run.suite_name,
+        "train_seconds": run.train_seconds,
+        "accuracy": m.accuracy,
+        "false_alarms": m.false_alarms,
+        "false_alarm_rate": m.false_alarm_rate,
+        "odst_seconds": m.odst_seconds,
+        "evaluation_seconds": m.evaluation_seconds,
+        "true_positives": m.true_positives,
+        "false_negatives": m.false_negatives,
+        "true_negatives": m.true_negatives,
+    }
+
+
+def write_report(
+    path: PathLike,
+    experiment: str,
+    results: Any,
+    metadata: Dict[str, Any] | None = None,
+) -> Path:
+    """Write one experiment's results (plus metadata) as a JSON document."""
+    if not experiment:
+        raise ReproError("experiment name must be non-empty")
+    if isinstance(results, list) and results and isinstance(results[0], DetectorRun):
+        payload: Any = [detector_run_record(r) for r in results]
+    else:
+        payload = _jsonable(results)
+    document = {
+        "experiment": experiment,
+        "metadata": _jsonable(metadata or {}),
+        "results": payload,
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def read_report(path: PathLike) -> Dict[str, Any]:
+    """Load a report written by :func:`write_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    for key in ("experiment", "results"):
+        if key not in document:
+            raise ReproError(f"{path}: missing report key {key!r}")
+    return document

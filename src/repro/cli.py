@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+``repro-hotspot`` (or ``python -m repro``) exposes the library's main
+workflows without writing Python:
+
+- ``generate`` — synthesise a labelled benchmark suite to a clip file.
+- ``train`` — train the detector on a clip file and save the model.
+- ``evaluate`` — evaluate a saved model on a clip file (Table-2 metrics).
+- ``experiment`` — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hotspot",
+        description=(
+            "Reproduction of 'Layout Hotspot Detection with Feature Tensor "
+            "Generation and Deep Biased Learning' (DAC 2017)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a labelled suite")
+    gen.add_argument("output", help="output clip file")
+    gen.add_argument("--hotspots", type=int, default=100)
+    gen.add_argument("--non-hotspots", type=int, default=200)
+    gen.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train the detector")
+    train.add_argument("data", help="training clip file")
+    train.add_argument("model", help="output model file (npz)")
+    train.add_argument("--iterations", type=int, default=2500)
+    train.add_argument("--bias-rounds", type=int, default=2)
+    train.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
+    evaluate.add_argument("model", help="model file from 'train'")
+    evaluate.add_argument("data", help="test clip file")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "name",
+        choices=("table1", "fig1", "table2", "fig3", "fig4"),
+    )
+    experiment.add_argument("--scale", type=float, default=None)
+
+    stats = sub.add_parser("stats", help="audit a clip file")
+    stats.add_argument("data", help="clip file to audit")
+    stats.add_argument("--grid", type=int, default=10,
+                       help="topology quantisation grid (nm)")
+
+    scan = sub.add_parser("scan", help="full-chip scan with a saved model")
+    scan.add_argument("model", help="model file from 'train'")
+    scan.add_argument("--tiles", type=int, default=5,
+                      help="synthetic layout size in 1200nm tiles per side")
+    scan.add_argument("--seed", type=int, default=0)
+    scan.add_argument("--threshold", type=float, default=0.5)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "scan":
+        return _cmd_scan(args)
+    return 2  # unreachable: argparse enforces the choices
+
+
+def _cmd_generate(args) -> int:
+    from repro.data.dataset import HotspotDataset
+    from repro.data.generator import ClipGenerator, GeneratorConfig
+
+    start = time.perf_counter()
+    generator = ClipGenerator(GeneratorConfig(seed=args.seed))
+    clips = generator.generate(args.hotspots, args.non_hotspots)
+    dataset = HotspotDataset(clips, name="generated")
+    dataset.save(args.output)
+    print(
+        f"wrote {dataset.summary()} to {args.output} "
+        f"in {time.perf_counter() - start:.1f}s"
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.bench.harness import bench_detector_config
+    from repro.core.detector import HotspotDetector
+    from repro.data.dataset import HotspotDataset
+
+    dataset = HotspotDataset.load(args.data)
+    print(f"training on {dataset.summary()}")
+    config = bench_detector_config(
+        bias_rounds=args.bias_rounds,
+        seed=args.seed,
+        max_iterations=args.iterations,
+    )
+    detector = HotspotDetector(config)
+    start = time.perf_counter()
+    detector.fit(dataset)
+    print(f"trained in {time.perf_counter() - start:.1f}s")
+    for r in detector.rounds:
+        print(
+            f"  eps={r.epsilon:.1f}: val recall {r.val_hotspot_recall:.3f}, "
+            f"FA rate {r.val_false_alarm_rate:.3f}"
+        )
+    detector.save(args.model)
+    print(f"model saved to {args.model}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.bench.harness import bench_detector_config
+    from repro.core.detector import HotspotDetector
+    from repro.data.dataset import HotspotDataset
+
+    dataset = HotspotDataset.load(args.data)
+    detector = HotspotDetector(bench_detector_config()).load(args.model)
+    metrics = detector.evaluate(dataset)
+    print(dataset.summary())
+    print(metrics.row())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.bench import (
+        experiment_fig1,
+        experiment_fig3,
+        experiment_fig4,
+        experiment_table1,
+        experiment_table2,
+    )
+
+    kwargs = {}
+    if args.scale is not None and args.name in ("table2", "fig3", "fig4"):
+        kwargs["scale"] = args.scale
+    runner = {
+        "table1": experiment_table1,
+        "fig1": experiment_fig1,
+        "table2": experiment_table2,
+        "fig3": experiment_fig3,
+        "fig4": experiment_fig4,
+    }[args.name]
+    _, text = runner(**kwargs)
+    print(text)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.data.dataset import HotspotDataset
+    from repro.data.topology import suite_statistics
+
+    dataset = HotspotDataset.load(args.data)
+    stats = suite_statistics(dataset.clips, grid_nm=args.grid)
+    print(stats.summary())
+    return 0
+
+
+def _cmd_scan(args) -> int:
+    from repro.bench.harness import bench_detector_config
+    from repro.core.detector import HotspotDetector
+    from repro.core.fullchip import FullChipScanner
+    from repro.data.fullchip import FullChipSpec, make_layout
+
+    detector = HotspotDetector(bench_detector_config()).load(args.model)
+    layout = make_layout(
+        FullChipSpec(tiles_x=args.tiles, tiles_y=args.tiles, seed=args.seed)
+    )
+    scanner = FullChipScanner(detector, threshold=args.threshold)
+    result = scanner.scan(layout)
+    print(result.summary())
+    for region in result.regions:
+        b = region.bbox
+        print(
+            f"  region ({b.x_lo},{b.y_lo})-({b.x_hi},{b.y_hi}) "
+            f"windows={region.window_count} peak={region.max_probability:.2f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""Biased learning (paper Section 4.3, Algorithm 2).
+
+The ground truth for hotspots stays ``y*_h = [0, 1]`` while the
+non-hotspot target is relaxed to ``yε_n = [1 - ε, ε]``: the classifier is
+allowed to be *less confident* about non-hotspots, which (Theorem 1) can
+only move hotspot scores up — accuracy is non-decreasing — at a much lower
+false-alarm cost than shifting the decision boundary outright.
+
+Algorithm 2 is a loop of MGD runs: train normally (ε = 0), then fine-tune
+``t - 1`` more times stepping ε by δε each round. Every round's model is
+snapshot so callers (Figure 4's benchmark, the detector's validation-based
+stopping) can inspect the whole trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.loss import one_hot
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer
+from repro.nn.trainer import Trainer, TrainerConfig, TrainingHistory
+
+
+def biased_targets(labels: np.ndarray, epsilon: float) -> np.ndarray:
+    """Soft target rows for ``labels`` at bias level ``epsilon``.
+
+    Hotspots (label 1) map to ``[0, 1]``; non-hotspots to ``[1-ε, ε]``.
+    ``epsilon`` must stay in ``[0, 0.5)`` — at 0.5 the non-hotspot target
+    crosses the decision boundary and the classes collapse.
+    """
+    if not 0.0 <= epsilon < 0.5:
+        raise TrainingError(f"epsilon must be in [0, 0.5), got {epsilon}")
+    targets = one_hot(np.asarray(labels), num_classes=2)
+    non_hotspot = np.asarray(labels) == 0
+    targets[non_hotspot, 0] = 1.0 - epsilon
+    targets[non_hotspot, 1] = epsilon
+    return targets
+
+
+@dataclass
+class BiasedRound:
+    """One ε-round of Algorithm 2."""
+
+    epsilon: float
+    history: TrainingHistory
+    weights: List[np.ndarray]
+    val_accuracy: float          # overall classification accuracy
+    val_hotspot_recall: float    # paper's Accuracy (Definition 1)
+    val_false_alarm_rate: float  # FA fraction of validation non-hotspots
+
+
+class BiasedLearning:
+    """Runs Algorithm 2 and records every round.
+
+    Parameters
+    ----------
+    network / optimizer_factory / trainer_config:
+        ``optimizer_factory`` builds a fresh optimizer (with a fresh
+        learning-rate schedule state) per ε-round, since each round is a
+        full MGD invocation in the paper.
+    epsilon_step:
+        δε (paper: 0.1).
+    rounds:
+        ``t``, the number of MGD invocations including the initial ε = 0
+        run (paper: 4, giving ε ∈ {0, 0.1, 0.2, 0.3}).
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        optimizer_factory: Callable[[Sequential], Optimizer],
+        trainer_config: TrainerConfig = TrainerConfig(),
+        epsilon_step: float = 0.1,
+        rounds: int = 4,
+        finetune_config: Optional[TrainerConfig] = None,
+    ):
+        if rounds < 1:
+            raise TrainingError(f"rounds must be >= 1, got {rounds}")
+        if epsilon_step < 0:
+            raise TrainingError(f"epsilon_step must be >= 0, got {epsilon_step}")
+        if epsilon_step * (rounds - 1) >= 0.5:
+            raise TrainingError(
+                f"final epsilon {epsilon_step * (rounds - 1)} reaches 0.5; "
+                "reduce epsilon_step or rounds"
+            )
+        self.network = network
+        self.optimizer_factory = optimizer_factory
+        self.trainer_config = trainer_config
+        # The paper *fine-tunes* at each ε > 0: those rounds start from the
+        # previous round's converged weights and need a fraction of the
+        # initial round's budget.
+        self.finetune_config = finetune_config or trainer_config
+        self.epsilon_step = epsilon_step
+        self.rounds = rounds
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_val: np.ndarray,
+        y_val: np.ndarray,
+    ) -> List[BiasedRound]:
+        """Execute Algorithm 2, returning every round's snapshot."""
+        results: List[BiasedRound] = []
+        epsilon = 0.0
+        for round_index in range(self.rounds):
+            targets = biased_targets(y_train, epsilon)
+            optimizer = self.optimizer_factory(self.network)
+            config = self.trainer_config if round_index == 0 else self.finetune_config
+            trainer = Trainer(self.network, optimizer, config)
+            history = trainer.fit(x_train, targets, x_val, y_val)
+            results.append(
+                self._snapshot(epsilon, history, x_val, y_val)
+            )
+            epsilon += self.epsilon_step
+        return results
+
+    def _snapshot(
+        self,
+        epsilon: float,
+        history: TrainingHistory,
+        x_val: np.ndarray,
+        y_val: np.ndarray,
+    ) -> BiasedRound:
+        predictions = self.network.predict(x_val)
+        y_val = np.asarray(y_val)
+        overall = float((predictions == y_val).mean())
+        hotspots = y_val == 1
+        recall = (
+            float((predictions[hotspots] == 1).mean()) if hotspots.any() else 0.0
+        )
+        normals = y_val == 0
+        fa_rate = (
+            float((predictions[normals] == 1).mean()) if normals.any() else 0.0
+        )
+        return BiasedRound(
+            epsilon=epsilon,
+            history=history,
+            weights=self.network.get_weights(),
+            val_accuracy=overall,
+            val_hotspot_recall=recall,
+            val_false_alarm_rate=fa_rate,
+        )
+
+
+def select_round(
+    rounds: List[BiasedRound],
+    max_false_alarm_increase: float = 0.12,
+) -> BiasedRound:
+    """Validation-based stopping for Algorithm 2.
+
+    The paper applies "a validation procedure ... to decide when to stop
+    biased learning": successive ε-rounds are accepted while they improve
+    validation hotspot recall without blowing up the false-alarm rate.
+    The last accepted round is returned.
+    """
+    if not rounds:
+        raise TrainingError("no biased-learning rounds to select from")
+    best = rounds[0]
+    for candidate in rounds[1:]:
+        recall_gain = candidate.val_hotspot_recall - best.val_hotspot_recall
+        fa_cost = candidate.val_false_alarm_rate - best.val_false_alarm_rate
+        if recall_gain < 0:
+            break
+        if fa_cost > max_false_alarm_increase:
+            break
+        best = candidate
+    return best

@@ -1,0 +1,84 @@
+"""Detector configuration.
+
+All the paper's hyper-parameters in one dataclass, with the scaled-down
+defaults this CPU reproduction trains with. Paper values (Section 5):
+``λ = 1e-4 ... 1e-3``, ``α = 0.5``, ``k_decay = 10,000``, ``ε0 = 0``,
+``δε = 0.1``, ``t = 4``, validation fraction 25 %, dropout 50 %. Iteration
+counts scale with dataset size here because our suites are ~50x smaller
+than the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import TrainingError
+from repro.features.tensor import FeatureTensorConfig
+from repro.nn.trainer import TrainerConfig
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """End-to-end configuration of :class:`~repro.core.detector.HotspotDetector`.
+
+    Attributes
+    ----------
+    feature:
+        Feature-tensor settings (n, k, raster resolution).
+    learning_rate / lr_alpha / lr_decay_every:
+        Algorithm 1's λ, α and k. The paper uses k = 10,000 on datasets of
+        tens of thousands of clips; scale it with your data.
+    epsilon_step / bias_rounds:
+        Algorithm 2's δε and t (including the ε = 0 round).
+    finetune_fraction:
+        Iteration budget of each ε > 0 fine-tuning round relative to the
+        initial round (the paper fine-tunes rather than retrains).
+    max_false_alarm_increase:
+        Validation FA-rate budget for accepting further ε-rounds.
+    validation_fraction:
+        Held-out fraction of the training data (paper: 25 %).
+    balance_training:
+        Upsample the minority class of the (post-split) training slice so
+        MGD batches see both classes at comparable rates. The validation
+        slice keeps its natural imbalance. Essential on ICCAD-like suites
+        whose hotspot fraction is ~7 %.
+    augment_hotspots:
+        Expand training hotspots with their dihedral orbit (flips and 90°
+        rotations preserve litho labels); used by follow-up literature.
+    trainer:
+        Inner MGD loop settings (batch size m, iteration caps, patience).
+    seed:
+        Master seed for weight init and data splits.
+    """
+
+    feature: FeatureTensorConfig = field(default_factory=FeatureTensorConfig)
+    learning_rate: float = 1e-3
+    lr_alpha: float = 0.5
+    lr_decay_every: int = 1500
+    epsilon_step: float = 0.1
+    bias_rounds: int = 4
+    finetune_fraction: float = 0.4
+    max_false_alarm_increase: float = 0.12
+    validation_fraction: float = 0.25
+    balance_training: bool = True
+    augment_hotspots: bool = False
+    trainer: TrainerConfig = field(default_factory=TrainerConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        if not 0.0 < self.lr_alpha <= 1.0:
+            raise TrainingError("lr_alpha must be in (0, 1]")
+        if self.lr_decay_every < 1:
+            raise TrainingError("lr_decay_every must be >= 1")
+        if not 0.0 < self.validation_fraction < 1.0:
+            raise TrainingError("validation_fraction must be in (0, 1)")
+        if self.bias_rounds < 1:
+            raise TrainingError("bias_rounds must be >= 1")
+        if not 0.0 < self.finetune_fraction <= 1.0:
+            raise TrainingError("finetune_fraction must be in (0, 1]")
+        if self.epsilon_step < 0:
+            raise TrainingError("epsilon_step must be >= 0")
+        if self.max_false_alarm_increase < 0:
+            raise TrainingError("max_false_alarm_increase must be >= 0")

@@ -1,0 +1,226 @@
+"""The end-to-end hotspot detector (the paper's framework).
+
+:class:`HotspotDetector` wires the pieces together exactly as Section 5
+describes: feature-tensor extraction, the Table-1 CNN, mini-batch gradient
+descent with learning-rate decay (Algorithm 1), and biased fine-tuning with
+validation-based round selection (Algorithm 2). The public surface mirrors
+familiar scikit-learn style (``fit`` / ``predict`` / ``evaluate``) plus
+model persistence.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.core.biased import BiasedLearning, BiasedRound, select_round
+from repro.core.config import DetectorConfig
+from repro.core.metrics import DetectionMetrics, evaluate_predictions
+from repro.core.model import build_dac17_network
+from repro.data.augment import augment_dihedral
+from repro.data.dataset import HotspotDataset
+from repro.data.sampling import upsample_minority
+from repro.features.scaler import ChannelScaler
+from repro.features.tensor import FeatureTensorExtractor
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, StepDecay
+from repro.nn.trainer import TrainerConfig
+
+PathLike = Union[str, Path]
+
+
+class HotspotDetector:
+    """Feature tensor + CNN + deep biased learning.
+
+    Typical use::
+
+        detector = HotspotDetector()
+        detector.fit(train_dataset)
+        metrics = detector.evaluate(test_dataset)
+        print(metrics.row())
+    """
+
+    name = "Ours (DAC'17)"
+
+    def __init__(self, config: DetectorConfig = DetectorConfig()):
+        self.config = config
+        self.extractor = FeatureTensorExtractor(config.feature)
+        self.scaler = ChannelScaler()
+        self.network: Optional[Sequential] = None
+        self.rounds: List[BiasedRound] = []
+        self.selected_round: Optional[BiasedRound] = None
+
+    # ------------------------------------------------------------------
+    # Feature plumbing
+    # ------------------------------------------------------------------
+    def _to_network_input(
+        self, dataset: HotspotDataset, fit_scaler: bool = False
+    ) -> np.ndarray:
+        """Dataset -> standardised NCHW batch: (n, n, k) becomes (k, n, n).
+
+        Channel statistics come from the training set (``fit_scaler=True``
+        during :meth:`fit`); validation and test data reuse them.
+        """
+        tensors = dataset.features(self.extractor)  # (N, n, n, k)
+        if fit_scaler:
+            self.scaler.fit(tensors)
+        tensors = self.scaler.transform(tensors)
+        # float64 up front: the network's parameters are float64 and mixed
+        # dtype GEMMs would re-copy the batch every iteration.
+        return np.ascontiguousarray(
+            tensors.transpose(0, 3, 1, 2), dtype=np.float64
+        )
+
+    def _build_network(self) -> Sequential:
+        cfg = self.config.feature
+        return build_dac17_network(
+            input_channels=cfg.coefficients,
+            grid=cfg.block_count,
+            seed=self.config.seed,
+        )
+
+    def _optimizer_factory(self, network: Sequential) -> SGD:
+        return SGD(
+            network.parameters(),
+            StepDecay(
+                self.config.learning_rate,
+                self.config.lr_alpha,
+                self.config.lr_decay_every,
+            ),
+        )
+
+    def _finetune_trainer_config(self) -> TrainerConfig:
+        """Shrunken budget for the ε > 0 fine-tuning rounds."""
+        base = self.config.trainer
+        fraction = self.config.finetune_fraction
+        iterations = max(1, int(base.max_iterations * fraction))
+        return TrainerConfig(
+            batch_size=base.batch_size,
+            max_iterations=iterations,
+            validate_every=min(base.validate_every, max(1, iterations // 10)),
+            patience=base.patience,
+            min_iterations=min(base.min_iterations, iterations // 2),
+            seed=base.seed,
+            restore_best=base.restore_best,
+        )
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, train_data: HotspotDataset) -> "HotspotDetector":
+        """Train with Algorithms 1 + 2 on ``train_data``.
+
+        A ``validation_fraction`` stratified slice is held out internally
+        (never trained on) to drive convergence detection and biased-round
+        selection, per Section 4.2.
+        """
+        if train_data.hotspot_count == 0 or train_data.non_hotspot_count == 0:
+            raise TrainingError(
+                f"training data needs both classes, got {train_data.summary()}"
+            )
+        main, holdout = train_data.split(
+            self.config.validation_fraction, seed=self.config.seed
+        )
+        if self.config.augment_hotspots:
+            main = HotspotDataset(
+                augment_dihedral(main.clips), name=main.name
+            )
+        if self.config.balance_training:
+            main = HotspotDataset(
+                upsample_minority(main.clips, seed=self.config.seed),
+                name=main.name,
+            )
+        x_train = self._to_network_input(main, fit_scaler=True)
+        y_train = main.labels
+        x_val = self._to_network_input(holdout)
+        y_val = holdout.labels
+
+        self.network = self._build_network()
+        algorithm = BiasedLearning(
+            self.network,
+            self._optimizer_factory,
+            trainer_config=self.config.trainer,
+            epsilon_step=self.config.epsilon_step,
+            rounds=self.config.bias_rounds,
+            finetune_config=self._finetune_trainer_config(),
+        )
+        self.rounds = algorithm.run(x_train, y_train, x_val, y_val)
+        self.selected_round = select_round(
+            self.rounds, self.config.max_false_alarm_increase
+        )
+        self.network.set_weights(self.selected_round.weights)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def _require_trained(self) -> Sequential:
+        if self.network is None:
+            raise TrainingError("detector is not trained; call fit() first")
+        return self.network
+
+    def predict_proba(self, dataset: HotspotDataset) -> np.ndarray:
+        """``(N, 2)`` softmax probabilities; column 1 is P(hotspot)."""
+        network = self._require_trained()
+        return network.predict_proba(self._to_network_input(dataset))
+
+    def predict(self, dataset: HotspotDataset) -> np.ndarray:
+        """Hard labels (1 = hotspot)."""
+        network = self._require_trained()
+        return network.predict(self._to_network_input(dataset))
+
+    def evaluate(
+        self,
+        dataset: HotspotDataset,
+        simulation_seconds_per_clip: float = 10.0,
+    ) -> DetectionMetrics:
+        """Predict ``dataset`` and compute the Table-2 metrics.
+
+        ``evaluation_seconds`` is the measured wall-clock of feature
+        extraction plus network inference — the paper's "CPU(s)" column.
+        """
+        start = time.perf_counter()
+        predictions = self.predict(dataset)
+        elapsed = time.perf_counter() - start
+        return evaluate_predictions(
+            dataset.labels,
+            predictions,
+            evaluation_seconds=elapsed,
+            simulation_seconds_per_clip=simulation_seconds_per_clip,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Save the trained weights plus the scaler statistics (npz)."""
+        network = self._require_trained()
+        mean, std = self.scaler.state()
+        arrays = {
+            f"param_{i:04d}": value for i, value in enumerate(network.get_weights())
+        }
+        arrays["scaler_mean"] = mean
+        arrays["scaler_std"] = std
+        np.savez_compressed(path, **arrays)
+
+    def load(self, path: PathLike) -> "HotspotDetector":
+        """Load a model saved by :meth:`save` (architecture from config)."""
+        if self.network is None:
+            self.network = self._build_network()
+        with np.load(path) as archive:
+            self.scaler = ChannelScaler.from_state(
+                archive["scaler_mean"], archive["scaler_std"]
+            )
+            param_keys = sorted(k for k in archive.files if k.startswith("param_"))
+            expected = len(self.network.parameters())
+            if len(param_keys) != expected:
+                raise TrainingError(
+                    f"{path}: archive has {len(param_keys)} parameters, "
+                    f"network expects {expected}"
+                )
+            self.network.set_weights([archive[k] for k in param_keys])
+        return self

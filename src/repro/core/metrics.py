@@ -1,0 +1,113 @@
+"""Evaluation metrics (paper Definitions 1-3).
+
+- **Accuracy**: correctly predicted hotspots over all real hotspots — the
+  hotspot *recall*, per the ICCAD-2012 contest definition, not overall
+  classification accuracy.
+- **False alarm**: the *count* of non-hotspot clips flagged as hotspots.
+- **ODST**: lithography-simulation time for every flagged clip (10 s each,
+  true positives and false alarms alike) plus model evaluation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.litho.runtime import SimulationCostModel
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Confusion counts plus the paper's derived quantities."""
+
+    true_positives: int
+    false_negatives: int
+    false_alarms: int
+    true_negatives: int
+    evaluation_seconds: float = 0.0
+    simulation_seconds_per_clip: float = 10.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "true_positives",
+            "false_negatives",
+            "false_alarms",
+            "true_negatives",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ReproError(f"{field_name} must be non-negative")
+        if self.evaluation_seconds < 0:
+            raise ReproError("evaluation_seconds must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def hotspot_count(self) -> int:
+        """Number of real hotspots in the evaluated set."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def non_hotspot_count(self) -> int:
+        return self.false_alarms + self.true_negatives
+
+    @property
+    def accuracy(self) -> float:
+        """Definition 1: detected hotspots / real hotspots (recall)."""
+        if self.hotspot_count == 0:
+            return 0.0
+        return self.true_positives / self.hotspot_count
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms as a fraction of non-hotspot clips."""
+        if self.non_hotspot_count == 0:
+            return 0.0
+        return self.false_alarms / self.non_hotspot_count
+
+    @property
+    def detected_count(self) -> int:
+        """Clips flagged hotspot (true positives + false alarms)."""
+        return self.true_positives + self.false_alarms
+
+    @property
+    def odst_seconds(self) -> float:
+        """Definition 3: simulation time for flagged clips + eval time."""
+        model = SimulationCostModel(self.simulation_seconds_per_clip)
+        return model.odst_seconds(self.detected_count, self.evaluation_seconds)
+
+    # ------------------------------------------------------------------
+    def row(self) -> str:
+        """Table-2-style row fragment: FA# / CPU(s) / ODST(s) / Accu."""
+        return (
+            f"FA#={self.false_alarms:<6d} CPU={self.evaluation_seconds:8.2f}s "
+            f"ODST={self.odst_seconds:10.1f}s Accu={self.accuracy * 100:5.1f}%"
+        )
+
+
+def evaluate_predictions(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    evaluation_seconds: float = 0.0,
+    simulation_seconds_per_clip: float = 10.0,
+) -> DetectionMetrics:
+    """Build :class:`DetectionMetrics` from label vectors (1 = hotspot)."""
+    y_true = np.asarray(y_true).astype(int)
+    y_pred = np.asarray(y_pred).astype(int)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ReproError(
+            f"label vectors must be 1-D and aligned, got {y_true.shape} vs "
+            f"{y_pred.shape}"
+        )
+    for vector, which in ((y_true, "y_true"), (y_pred, "y_pred")):
+        bad = set(np.unique(vector)) - {0, 1}
+        if bad:
+            raise ReproError(f"{which} contains non-binary labels {sorted(bad)}")
+    return DetectionMetrics(
+        true_positives=int(np.sum((y_true == 1) & (y_pred == 1))),
+        false_negatives=int(np.sum((y_true == 1) & (y_pred == 0))),
+        false_alarms=int(np.sum((y_true == 0) & (y_pred == 1))),
+        true_negatives=int(np.sum((y_true == 0) & (y_pred == 0))),
+        evaluation_seconds=evaluation_seconds,
+        simulation_seconds_per_clip=simulation_seconds_per_clip,
+    )

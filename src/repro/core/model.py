@@ -1,0 +1,82 @@
+"""The Table-1 convolutional network.
+
+Two convolution stages — each two 3x3 stride-1 'same' convolutions (ReLU
+after each) closed by 2x2 max-pooling — then FC-250 with 50 % dropout and
+the FC-2 output layer. Feature-map counts are 16 and 32. On the paper's
+12 x 12 x k feature tensor the shapes run exactly as printed in Table 1:
+
+====================  ======  ======  ==================
+Layer                 Kernel  Stride  Output
+====================  ======  ======  ==================
+conv1-1               3       1       12 x 12 x 16
+conv1-2               3       1       12 x 12 x 16
+maxpooling1           2       2       6 x 6 x 16
+conv2-1               3       1       6 x 6 x 32
+conv2-2               3       1       6 x 6 x 32
+maxpooling2           2       2       3 x 3 x 32
+fc1                   —       —       250
+fc2                   —       —       2
+====================  ======  ======  ==================
+
+Class convention: output node 0 is the non-hotspot score ``x_n`` and node 1
+the hotspot score ``x_h``, matching the paper's ground truths
+``y*_n = [1, 0]`` and ``y*_h = [0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+
+def build_dac17_network(
+    input_channels: int = 32,
+    grid: int = 12,
+    conv1_maps: int = 16,
+    conv2_maps: int = 32,
+    fc1_units: int = 250,
+    dropout_rate: float = 0.5,
+    seed: int = 0,
+) -> Sequential:
+    """Construct the paper's CNN for an ``(input_channels, grid, grid)`` input.
+
+    Defaults reproduce Table 1 on the 12 x 12 x 32 feature tensor. ``grid``
+    must be divisible by 4 (two 2x2 poolings).
+    """
+    if grid % 4 != 0:
+        raise NetworkError(f"grid must be divisible by 4, got {grid}")
+    rng = np.random.default_rng(seed)
+    final_spatial = grid // 4
+    flat_features = conv2_maps * final_spatial * final_spatial
+    return Sequential(
+        [
+            Conv2D(input_channels, conv1_maps, 3, rng=rng, name="conv1-1"),
+            ReLU(name="relu1-1"),
+            Conv2D(conv1_maps, conv1_maps, 3, rng=rng, name="conv1-2"),
+            ReLU(name="relu1-2"),
+            MaxPool2D(2, name="maxpooling1"),
+            Conv2D(conv1_maps, conv2_maps, 3, rng=rng, name="conv2-1"),
+            ReLU(name="relu2-1"),
+            Conv2D(conv2_maps, conv2_maps, 3, rng=rng, name="conv2-2"),
+            ReLU(name="relu2-2"),
+            MaxPool2D(2, name="maxpooling2"),
+            Flatten(name="flatten"),
+            Dense(flat_features, fc1_units, rng=rng, name="fc1"),
+            ReLU(name="relu-fc1"),
+            Dropout(dropout_rate, rng=np.random.default_rng(seed + 1), name="dropout"),
+            Dense(fc1_units, 2, rng=rng, init="glorot", name="fc2"),
+        ],
+        input_shape=(input_channels, grid, grid),
+    )

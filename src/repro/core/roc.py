@@ -1,0 +1,98 @@
+"""Operating-curve utilities (extension beyond the paper).
+
+The paper reports single operating points (argmax decisions, optionally
+shifted). Practitioners tuning a hotspot detector want the whole
+accuracy/false-alarm trade-off; these helpers sweep the hotspot-probability
+threshold and summarise the curve. They power the boundary-shift
+calibration analysis and give downstream users an ODST-optimal threshold
+chooser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.core.metrics import DetectionMetrics, evaluate_predictions
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Detector behaviour at one probability threshold."""
+
+    threshold: float
+    metrics: DetectionMetrics
+
+
+def sweep_thresholds(
+    probabilities: np.ndarray,
+    y_true: np.ndarray,
+    thresholds: Sequence[float] = tuple(np.linspace(0.05, 0.95, 19)),
+    simulation_seconds_per_clip: float = 10.0,
+) -> List[OperatingPoint]:
+    """Evaluate the detector at each hotspot-probability threshold.
+
+    ``probabilities`` is the (N, 2) softmax output (column 1 = hotspot).
+    """
+    probabilities = np.asarray(probabilities)
+    if probabilities.ndim != 2 or probabilities.shape[1] != 2:
+        raise ReproError(
+            f"probabilities must be (N, 2), got {probabilities.shape}"
+        )
+    y_true = np.asarray(y_true)
+    points = []
+    for threshold in thresholds:
+        if not 0.0 < threshold < 1.0:
+            raise ReproError(f"threshold must be in (0, 1), got {threshold}")
+        predictions = (probabilities[:, 1] >= threshold).astype(np.int64)
+        points.append(
+            OperatingPoint(
+                threshold=float(threshold),
+                metrics=evaluate_predictions(
+                    y_true,
+                    predictions,
+                    simulation_seconds_per_clip=simulation_seconds_per_clip,
+                ),
+            )
+        )
+    return points
+
+
+def area_under_curve(points: Sequence[OperatingPoint]) -> float:
+    """Trapezoidal area under (false-alarm rate, hotspot recall).
+
+    A threshold sweep traces a ROC-like curve; the endpoints (0,0) and
+    (1,1) are appended so a perfect detector scores 1.0 and a random one
+    ~0.5.
+    """
+    if not points:
+        raise ReproError("need at least one operating point")
+    pairs = sorted(
+        {(p.metrics.false_alarm_rate, p.metrics.accuracy) for p in points}
+        | {(0.0, 0.0), (1.0, 1.0)}
+    )
+    xs = np.array([x for x, _ in pairs])
+    ys = np.array([y for _, y in pairs])
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 1.x/2.x
+    return float(trapezoid(ys, xs))
+
+
+def best_odst_point(points: Sequence[OperatingPoint]) -> OperatingPoint:
+    """The sweep point minimising ODST among those catching every hotspot.
+
+    Falls back to the highest-recall point (ties broken by lower ODST)
+    when no threshold reaches 100 % recall — the relevant question in the
+    paper's flow, where every missed hotspot is a potential chip killer.
+    """
+    if not points:
+        raise ReproError("need at least one operating point")
+    perfect = [p for p in points if p.metrics.accuracy == 1.0]
+    candidates = perfect or sorted(
+        points, key=lambda p: -p.metrics.accuracy
+    )
+    best_recall = candidates[0].metrics.accuracy
+    contenders = [p for p in candidates if p.metrics.accuracy == best_recall]
+    return min(contenders, key=lambda p: p.metrics.odst_seconds)

@@ -1,0 +1,54 @@
+"""Benchmark synthesis and dataset handling.
+
+The ICCAD-2012 contest suite and the paper's three industrial benchmarks are
+not redistributable, so this subpackage synthesises equivalent data:
+
+- :mod:`repro.data.patterns` — parametric Manhattan pattern families
+  (line arrays, jogs, tip-to-tip line ends, vias, combs...) whose parameter
+  ranges straddle the litho oracle's printability boundary.
+- :mod:`repro.data.generator` — draws pattern clips, labels them with the
+  :class:`~repro.litho.oracle.HotspotOracle`, and collects balanced suites.
+- :mod:`repro.data.benchmarks` — the four named suites used by the paper's
+  evaluation (``iccad``, ``industry1..3``), with Table-2-like class ratios.
+- :mod:`repro.data.dataset` — dataset container, splits, batching, and
+  (de)serialisation.
+- :mod:`repro.data.augment` — label-preserving dihedral augmentation.
+- :mod:`repro.data.sampling` — stratified splitting and class rebalancing.
+"""
+
+from repro.data.augment import augment_dihedral
+from repro.data.benchmarks import BENCHMARK_NAMES, BenchmarkSpec, make_benchmark
+from repro.data.dataset import HotspotDataset
+from repro.data.fullchip import FullChipSpec, make_labelled_layout, make_layout
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.data.patterns import PATTERN_FAMILIES, PatternFamily
+from repro.data.sampling import stratified_split, upsample_minority
+from repro.data.topology import (
+    SuiteStatistics,
+    dedupe_clips,
+    duplication_rate,
+    suite_statistics,
+    topology_signature,
+)
+
+__all__ = [
+    "FullChipSpec",
+    "make_layout",
+    "make_labelled_layout",
+    "topology_signature",
+    "dedupe_clips",
+    "duplication_rate",
+    "suite_statistics",
+    "SuiteStatistics",
+    "PatternFamily",
+    "PATTERN_FAMILIES",
+    "ClipGenerator",
+    "GeneratorConfig",
+    "HotspotDataset",
+    "BenchmarkSpec",
+    "BENCHMARK_NAMES",
+    "make_benchmark",
+    "augment_dihedral",
+    "stratified_split",
+    "upsample_minority",
+]

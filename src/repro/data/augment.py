@@ -1,0 +1,61 @@
+"""Label-preserving data augmentation.
+
+Lithographic imaging with a (near) radially symmetric source is invariant
+under the dihedral group of the square: flipping or rotating a clip by a
+multiple of 90 degrees leaves its hotspot label unchanged. Follow-up work to
+the paper uses exactly this 8-fold augmentation to densify hotspot training
+data; we expose it as an optional preprocessing step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.geometry.clip import Clip
+
+
+def dihedral_orbit(clip: Clip) -> List[Clip]:
+    """The 8 dihedral transforms of ``clip`` (identity first).
+
+    Duplicate geometries (for symmetric clips) are removed while preserving
+    order, so the orbit of a fully symmetric clip has length 1.
+    """
+    orbit: List[Clip] = []
+    seen = set()
+    current = clip
+    for _ in range(4):
+        for candidate in (current, current.flipped_horizontal()):
+            key = frozenset(candidate.rects)
+            if key not in seen:
+                seen.add(key)
+                orbit.append(candidate)
+        current = current.rotated90()
+    return orbit
+
+
+def augment_dihedral(
+    clips: Sequence[Clip],
+    hotspots_only: bool = True,
+) -> List[Clip]:
+    """Expand ``clips`` with their dihedral orbits.
+
+    Parameters
+    ----------
+    clips:
+        Labelled clips.
+    hotspots_only:
+        When true (the default, and what follow-up literature does), only
+        hotspot clips are expanded — they are the minority class and the
+        ones worth densifying.
+
+    Returns
+    -------
+    list of Clip
+        Original clips plus the extra transforms (originals stay first).
+    """
+    out: List[Clip] = list(clips)
+    for clip in clips:
+        if hotspots_only and clip.label != 1:
+            continue
+        out.extend(dihedral_orbit(clip)[1:])
+    return out

@@ -1,0 +1,191 @@
+"""The four named evaluation suites (paper Table 2).
+
+The paper evaluates on the merged ICCAD-2012 28 nm benchmark plus three
+proprietary industrial suites. We synthesise four suites with the same
+*relative* characteristics:
+
+- class ratios follow Table 2's train/test HS:NHS counts;
+- ``iccad`` uses an even pattern mix (it merges five heterogeneous cases);
+- ``industry1`` is hotspot-rich (the paper's Industry1 has more hotspots
+  than non-hotspots in training) with mainstream patterns;
+- ``industry2``/``industry3`` are dominated by structure-sensitive families
+  (tip-to-tip gaps, combs, jogs) whose hotspot labels barely correlate with
+  local density — exactly the regime where the paper's density-feature
+  baseline collapses (44 % accuracy) while CNNs keep working.
+
+Counts are the paper's numbers scaled by ``scale`` (no GPU here); the
+defaults keep the full four-suite Table 2 regeneration to a few minutes of
+CPU. Generated suites are cached on disk keyed by their full parameter set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import DatasetError
+from repro.data.dataset import HotspotDataset
+from repro.data.generator import ClipGenerator, GeneratorConfig
+
+#: Suite names in Table 2 order.
+BENCHMARK_NAMES = ("iccad", "industry1", "industry2", "industry3")
+
+#: Default scale applied to the paper's clip counts (CPU budget).
+DEFAULT_SCALE = 0.02
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Definition of one synthetic suite.
+
+    Train/test counts are the paper's Table 2 numbers; they are multiplied
+    by ``scale`` (and floored at 8 per class) when the suite is built.
+    """
+
+    name: str
+    train_hs: int
+    train_nhs: int
+    test_hs: int
+    test_nhs: int
+    family_weights: Dict[str, float]
+    seed: int
+
+    def scaled_counts(self, scale: float) -> Tuple[int, int, int, int]:
+        """(train_hs, train_nhs, test_hs, test_nhs) after scaling."""
+        if scale <= 0:
+            raise DatasetError(f"scale must be positive, got {scale}")
+
+        def scaled(count: int) -> int:
+            # The floor keeps every class learnable at small scales: the
+            # ICCAD suite's 6.6 % hotspot fraction would otherwise leave a
+            # CPU-sized run with a dozen hotspot examples. The floor
+            # compresses that suite's imbalance at tiny scales (noted in
+            # EXPERIMENTS.md); at scale >= 0.05 the paper's ratios apply
+            # unmodified.
+            return max(48, int(round(count * scale)))
+
+        return (
+            scaled(self.train_hs),
+            scaled(self.train_nhs),
+            scaled(self.test_hs),
+            scaled(self.test_nhs),
+        )
+
+
+_EVEN_MIX = {
+    "line_array": 1.0,
+    "jogged_line": 1.0,
+    "tip_to_tip": 1.0,
+    "t_junction": 1.0,
+    "via_array": 1.0,
+    "comb": 1.0,
+    "random_rects": 1.0,
+}
+
+_MAINSTREAM_MIX = {
+    "line_array": 1.5,
+    "jogged_line": 1.0,
+    "tip_to_tip": 0.8,
+    "t_junction": 1.0,
+    "via_array": 1.2,
+    "comb": 0.5,
+    "random_rects": 1.0,
+}
+
+_STRUCTURE_MIX = {
+    "line_array": 0.3,
+    "jogged_line": 1.5,
+    "tip_to_tip": 2.0,
+    "t_junction": 1.0,
+    "via_array": 0.4,
+    "comb": 2.0,
+    "random_rects": 0.8,
+}
+
+#: Paper Table 2 clip counts per suite.
+BENCHMARK_SPECS: Dict[str, BenchmarkSpec] = {
+    "iccad": BenchmarkSpec(
+        "iccad", 1204, 17096, 2524, 13503, _EVEN_MIX, seed=20120
+    ),
+    "industry1": BenchmarkSpec(
+        "industry1", 34281, 15635, 17157, 7801, _MAINSTREAM_MIX, seed=20171
+    ),
+    "industry2": BenchmarkSpec(
+        "industry2", 15197, 48758, 7520, 24457, _STRUCTURE_MIX, seed=20172
+    ),
+    "industry3": BenchmarkSpec(
+        "industry3", 24776, 49315, 12228, 24817, _STRUCTURE_MIX, seed=20173
+    ),
+}
+
+
+def default_cache_dir() -> Path:
+    """Directory for cached suites (override with ``REPRO_DATA_CACHE``)."""
+    env = os.environ.get("REPRO_DATA_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-hotspot"
+
+
+def _cache_key(
+    spec: BenchmarkSpec, scale: float, split: str, hs: int, nhs: int
+) -> str:
+    payload = (
+        f"{spec.name}|{scale}|{split}|{hs}|{nhs}|{spec.seed}|"
+        f"{sorted(spec.family_weights.items())}|v1"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def make_benchmark(
+    name: str,
+    scale: float = DEFAULT_SCALE,
+    cache_dir: Optional[Path] = None,
+    use_cache: bool = True,
+) -> Tuple[HotspotDataset, HotspotDataset]:
+    """Build (or load from cache) the train and test sets of a suite.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`BENCHMARK_NAMES`.
+    scale:
+        Multiplier on the paper's clip counts (default keeps CPU runtime
+        reasonable; 1.0 regenerates the full-size suites).
+    cache_dir / use_cache:
+        Generated suites are stored as text layout files keyed by the full
+        parameter set, so repeated benchmark runs skip generation.
+    """
+    if name not in BENCHMARK_SPECS:
+        raise DatasetError(
+            f"unknown benchmark {name!r}; known: {sorted(BENCHMARK_SPECS)}"
+        )
+    spec = BENCHMARK_SPECS[name]
+    train_hs, train_nhs, test_hs, test_nhs = spec.scaled_counts(scale)
+    directory = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    datasets = []
+    for split, hs, nhs, seed_offset in (
+        ("train", train_hs, train_nhs, 0),
+        ("test", test_hs, test_nhs, 1),
+    ):
+        path = directory / f"{name}_{_cache_key(spec, scale, split, hs, nhs)}.clips"
+        if use_cache and path.exists():
+            datasets.append(HotspotDataset.load(path, name=f"{name}/{split}"))
+            continue
+        generator = ClipGenerator(
+            GeneratorConfig(
+                family_weights=dict(spec.family_weights),
+                seed=spec.seed + seed_offset,
+            )
+        )
+        clips = generator.generate(hs, nhs, name_prefix=f"{name}_{split}_")
+        dataset = HotspotDataset(clips, name=f"{name}/{split}")
+        if use_cache:
+            directory.mkdir(parents=True, exist_ok=True)
+            dataset.save(path)
+        datasets.append(dataset)
+    return datasets[0], datasets[1]

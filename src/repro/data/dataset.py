@@ -1,0 +1,122 @@
+"""Dataset container for labelled clips.
+
+:class:`HotspotDataset` is the interchange type between the benchmark
+generator, the feature extractors and the detectors: an ordered collection
+of labelled clips with convenience views (label vector, class counts),
+feature-matrix extraction, stratified splitting and text serialisation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geometry.clip import Clip
+from repro.geometry.layoutio import read_layout, write_layout
+from repro.data.sampling import class_counts, stratified_split
+
+PathLike = Union[str, Path]
+
+
+class HotspotDataset:
+    """An immutable, ordered set of labelled clips."""
+
+    def __init__(self, clips: Sequence[Clip], name: str = ""):
+        clip_list = list(clips)
+        for i, clip in enumerate(clip_list):
+            if clip.label is None:
+                raise DatasetError(f"clip {i} ({clip.name!r}) is unlabelled")
+        self._clips: Tuple[Clip, ...] = tuple(clip_list)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def clips(self) -> Tuple[Clip, ...]:
+        return self._clips
+
+    def __len__(self) -> int:
+        return len(self._clips)
+
+    def __iter__(self):
+        return iter(self._clips)
+
+    def __getitem__(self, index: int) -> Clip:
+        return self._clips[index]
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Label vector as ``int64`` (0 = non-hotspot, 1 = hotspot)."""
+        return np.array([c.label for c in self._clips], dtype=np.int64)
+
+    @property
+    def hotspot_count(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def non_hotspot_count(self) -> int:
+        return len(self) - self.hotspot_count
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        nhs, hs = class_counts(self._clips)
+        return f"{self.name or 'dataset'}: {len(self)} clips ({hs} HS, {nhs} NHS)"
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    def features(self, extractor) -> np.ndarray:
+        """Stack ``extractor.extract(clip)`` over all clips.
+
+        Works with any object exposing ``extract(clip) -> ndarray``; the
+        per-clip arrays must share a common shape.
+        """
+        if not self._clips:
+            raise DatasetError("cannot extract features from an empty dataset")
+        arrays = [np.asarray(extractor.extract(clip)) for clip in self._clips]
+        shapes = {a.shape for a in arrays}
+        if len(shapes) != 1:
+            raise DatasetError(f"inconsistent feature shapes: {sorted(shapes)}")
+        return np.stack(arrays).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def subset(self, indices: Iterable[int], name: str = "") -> "HotspotDataset":
+        """Dataset restricted to ``indices`` (in the given order)."""
+        return HotspotDataset(
+            [self._clips[i] for i in indices], name=name or self.name
+        )
+
+    def split(
+        self, holdout_fraction: float = 0.25, seed: int = 0
+    ) -> Tuple["HotspotDataset", "HotspotDataset"]:
+        """Stratified (main, holdout) split; see paper Section 4.2."""
+        main, holdout = stratified_split(self._clips, holdout_fraction, seed)
+        return (
+            HotspotDataset(main, name=f"{self.name}/train"),
+            HotspotDataset(holdout, name=f"{self.name}/val"),
+        )
+
+    def merged_with(self, other: "HotspotDataset", name: str = "") -> "HotspotDataset":
+        """Concatenate two datasets (used to merge the ICCAD cases)."""
+        return HotspotDataset(
+            list(self._clips) + list(other.clips),
+            name=name or f"{self.name}+{other.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> None:
+        """Write the dataset in the text layout format."""
+        write_layout(path, self._clips)
+
+    @classmethod
+    def load(cls, path: PathLike, name: str = "") -> "HotspotDataset":
+        """Load a dataset written by :meth:`save`."""
+        return cls(read_layout(path), name=name or Path(path).stem)

@@ -1,0 +1,98 @@
+"""Synthetic full-chip layouts.
+
+Builds a large layout by tiling pattern-family draws onto a grid of
+1200 nm sites (mimicking a routed block), and — when asked — labels each
+site with the lithography oracle so full-chip scan results can be scored
+against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.data.patterns import DEFAULT_CLIP_NM, PATTERN_FAMILIES, get_family
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.litho.oracle import HotspotOracle, OracleConfig
+
+
+@dataclass(frozen=True)
+class FullChipSpec:
+    """Synthetic full-chip parameters.
+
+    Attributes
+    ----------
+    tiles_x / tiles_y:
+        Layout size in 1200 nm pattern sites.
+    fill_probability:
+        Chance each site receives a pattern (empty sites model whitespace).
+    seed:
+        Placement and pattern RNG seed.
+    """
+
+    tiles_x: int = 8
+    tiles_y: int = 8
+    fill_probability: float = 0.85
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tiles_x < 1 or self.tiles_y < 1:
+            raise DatasetError("tile counts must be >= 1")
+        if not 0.0 <= self.fill_probability <= 1.0:
+            raise DatasetError(
+                f"fill_probability must be in [0, 1], got {self.fill_probability}"
+            )
+
+
+def make_layout(
+    spec: FullChipSpec = FullChipSpec(),
+    tile_nm: int = DEFAULT_CLIP_NM,
+) -> Layout:
+    """Build the layout only (no labelling, no simulation)."""
+    layout, _ = make_labelled_layout(spec, tile_nm=tile_nm, label=False)
+    return layout
+
+
+def make_labelled_layout(
+    spec: FullChipSpec = FullChipSpec(),
+    tile_nm: int = DEFAULT_CLIP_NM,
+    label: bool = True,
+    oracle: Optional[HotspotOracle] = None,
+) -> Tuple[Layout, List[Rect]]:
+    """Build a layout and (optionally) its true hotspot sites.
+
+    Returns ``(layout, hotspot_sites)`` where each hotspot site is the
+    window of a tile the oracle labels hotspot — the ground truth a
+    full-chip scan should recover. With ``label=False`` the site list is
+    empty (no simulation runs). A custom ``oracle`` may be supplied (e.g.
+    with a coarser raster for tests).
+    """
+    if label and oracle is None:
+        oracle = HotspotOracle(OracleConfig())
+    if not label:
+        oracle = None
+    rng = np.random.default_rng(spec.seed)
+    region = Rect(0, 0, spec.tiles_x * tile_nm, spec.tiles_y * tile_nm)
+    layout = Layout(region, bin_nm=tile_nm)
+    family_names = sorted(PATTERN_FAMILIES)
+    hotspot_sites: List[Rect] = []
+
+    for ty in range(spec.tiles_y):
+        for tx in range(spec.tiles_x):
+            if rng.random() > spec.fill_probability:
+                continue
+            family = get_family(str(rng.choice(family_names)))
+            clip = family.make_clip(rng, tile_nm)
+            dx, dy = tx * tile_nm, ty * tile_nm
+            placed = [r.translated(dx, dy) for r in clip.rects]
+            for rect in placed:
+                layout.add(rect)
+            if oracle is not None and placed:
+                window = Rect(dx, dy, dx + tile_nm, dy + tile_nm)
+                if oracle.label(layout.clip_at(window)) == 1:
+                    hotspot_sites.append(window)
+    return layout, hotspot_sites

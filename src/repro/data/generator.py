@@ -1,0 +1,134 @@
+"""Labelled clip generation.
+
+:class:`ClipGenerator` draws clips from a weighted mix of pattern families,
+labels each one with the lithography oracle, and collects them until the
+requested class counts are reached. Because families are parameterised
+around the printability boundary, both classes appear at healthy rates and
+generation terminates quickly; a hard attempt cap guards against
+pathological configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geometry.clip import HOTSPOT, NON_HOTSPOT, Clip
+from repro.data.patterns import DEFAULT_CLIP_NM, PATTERN_FAMILIES, get_family
+from repro.litho.oracle import HotspotOracle, OracleConfig
+
+
+def _default_weights() -> Dict[str, float]:
+    return {name: 1.0 for name in PATTERN_FAMILIES}
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Clip-generation settings.
+
+    Attributes
+    ----------
+    clip_nm:
+        Clip side length (1200 nm in the paper's running example).
+    family_weights:
+        Relative sampling weight per pattern family; benchmarks shape their
+        difficulty profile by skewing this mix.
+    seed:
+        RNG seed; generation is fully reproducible from it.
+    oracle:
+        Labelling criteria; see :class:`~repro.litho.oracle.OracleConfig`.
+    max_attempt_factor:
+        Generation aborts after ``max_attempt_factor * requested`` draws to
+        guard against configurations that cannot produce a class.
+    """
+
+    clip_nm: int = DEFAULT_CLIP_NM
+    family_weights: Dict[str, float] = field(default_factory=_default_weights)
+    seed: int = 0
+    oracle: OracleConfig = field(default_factory=OracleConfig)
+    max_attempt_factor: int = 60
+
+    def __post_init__(self) -> None:
+        if self.clip_nm <= 0:
+            raise DatasetError(f"clip_nm must be positive, got {self.clip_nm}")
+        if not self.family_weights:
+            raise DatasetError("family_weights must not be empty")
+        for name, weight in self.family_weights.items():
+            get_family(name)  # raises on unknown family
+            if weight < 0:
+                raise DatasetError(f"negative weight for family {name!r}")
+        if sum(self.family_weights.values()) <= 0:
+            raise DatasetError("family weights sum to zero")
+        if self.max_attempt_factor < 1:
+            raise DatasetError("max_attempt_factor must be >= 1")
+
+
+class ClipGenerator:
+    """Draws labelled clips from a configured pattern mix."""
+
+    def __init__(self, config: GeneratorConfig = GeneratorConfig()):
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._oracle = HotspotOracle(config.oracle)
+        names = sorted(config.family_weights)
+        weights = np.array([config.family_weights[n] for n in names], dtype=float)
+        self._family_names = names
+        self._family_probs = weights / weights.sum()
+
+    def draw_clip(self) -> Clip:
+        """Draw one labelled clip (either class)."""
+        name = self._rng.choice(self._family_names, p=self._family_probs)
+        family = get_family(str(name))
+        clip = family.make_clip(self._rng, self.config.clip_nm)
+        return self._oracle.label_clip(clip)
+
+    def generate(
+        self,
+        hotspot_count: int,
+        non_hotspot_count: int,
+        name_prefix: str = "",
+    ) -> List[Clip]:
+        """Collect exactly the requested per-class counts.
+
+        Clips of an already-full class are discarded (rejection sampling).
+        Raises :class:`DatasetError` when the attempt budget is exhausted,
+        which indicates a family mix that cannot produce a class.
+        """
+        if hotspot_count < 0 or non_hotspot_count < 0:
+            raise DatasetError("requested counts must be non-negative")
+        want = {HOTSPOT: hotspot_count, NON_HOTSPOT: non_hotspot_count}
+        got: Dict[int, int] = {HOTSPOT: 0, NON_HOTSPOT: 0}
+        out: List[Clip] = []
+        budget = self.config.max_attempt_factor * max(
+            1, hotspot_count + non_hotspot_count
+        )
+        attempts = 0
+        while (got[HOTSPOT] < want[HOTSPOT] or got[NON_HOTSPOT] < want[NON_HOTSPOT]):
+            if attempts >= budget:
+                raise DatasetError(
+                    f"generation stalled after {attempts} attempts: "
+                    f"have {got[HOTSPOT]}/{want[HOTSPOT]} HS, "
+                    f"{got[NON_HOTSPOT]}/{want[NON_HOTSPOT]} NHS"
+                )
+            attempts += 1
+            clip = self.draw_clip()
+            label = clip.label
+            assert label is not None
+            if got[label] >= want[label]:
+                continue
+            index = got[HOTSPOT] + got[NON_HOTSPOT]
+            got[label] += 1
+            out.append(
+                Clip(
+                    window=clip.window,
+                    rects=clip.rects,
+                    label=label,
+                    name=f"{name_prefix}{clip.name}_{index}",
+                )
+            )
+        # Interleave deterministically so classes are not grouped.
+        order = self._rng.permutation(len(out))
+        return [out[i] for i in order]

@@ -1,0 +1,391 @@
+"""Parametric Manhattan pattern families.
+
+Each family draws a random layout clip from a parameter distribution chosen
+so that the litho oracle labels a substantial fraction of draws as hotspots:
+widths, spaces and tip gaps are sampled around the printability boundary.
+Families model the classic 2x-node metal-layer motifs:
+
+- ``line_array`` — parallel lines at a common pitch (dense/iso gratings);
+- ``jogged_line`` — a line with a lateral jog (Z/S-bends);
+- ``tip_to_tip`` — facing line ends with a tip gap plus bystander lines;
+- ``t_junction`` — a stem meeting a bar, with neighbours;
+- ``via_array`` — a grid of small square contacts;
+- ``comb`` — interdigitated comb fingers (the bridging stress pattern);
+- ``random_rects`` — irregular rectangles with loose spacing control.
+
+All coordinates are snapped to the manufacturing grid and kept inside the
+clip window. Every generator is a pure function of its RNG, so suites are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geometry.clip import Clip
+from repro.geometry.grid import snap
+from repro.geometry.rect import Rect
+
+#: Clip side length used throughout the paper's running example (nm).
+DEFAULT_CLIP_NM = 1200
+
+#: Manufacturing grid (nm); all emitted coordinates are multiples of this.
+GRID_NM = 2
+
+#: Step for critical dimensions (widths, spaces, gaps). Real benchmark
+#: suites are drawn from routed layouts on a coarse routing pitch and
+#: contain many repeated topologies; quantising CDs reproduces that
+#: (and makes the learning problem match the contest's difficulty).
+CD_STEP_NM = 20
+
+#: Step for feature placement offsets. Matching the feature tensor's
+#: 100 nm block pitch mirrors how routed layouts sit on a routing grid.
+POS_STEP_NM = 100
+
+GeneratorFn = Callable[[np.random.Generator, int], Tuple[Rect, ...]]
+
+
+def _cd(rng: np.random.Generator, lo: int, hi: int) -> int:
+    """Draw a critical dimension from [lo, hi) on the CD grid."""
+    steps = max(1, (hi - lo) // CD_STEP_NM)
+    return int(lo + CD_STEP_NM * rng.integers(0, steps))
+
+
+def _pos(rng: np.random.Generator, lo: int, hi: int) -> int:
+    """Draw a placement coordinate from [lo, hi) on the placement grid."""
+    steps = max(1, (hi - lo) // POS_STEP_NM)
+    return int(lo + POS_STEP_NM * rng.integers(0, steps))
+
+
+@dataclass(frozen=True)
+class PatternFamily:
+    """A named clip-pattern generator."""
+
+    name: str
+    generate: GeneratorFn
+    description: str
+
+    def make_clip(self, rng: np.random.Generator, size_nm: int = DEFAULT_CLIP_NM) -> Clip:
+        """Draw one unlabelled clip of this family."""
+        rects = self.generate(rng, size_nm)
+        return Clip(
+            window=Rect(0, 0, size_nm, size_nm),
+            rects=rects,
+            label=None,
+            name=self.name,
+        )
+
+
+def _snap(value: float) -> int:
+    return snap(value, GRID_NM)
+
+
+def _clamp_rect(x0: float, y0: float, x1: float, y1: float, size: int) -> Rect | None:
+    """Snap and clamp a candidate rectangle into the clip window.
+
+    Returns ``None`` when the clamped rectangle degenerates.
+    """
+    xa = max(0, min(size, _snap(x0)))
+    xb = max(0, min(size, _snap(x1)))
+    ya = max(0, min(size, _snap(y0)))
+    yb = max(0, min(size, _snap(y1)))
+    if xb - xa < GRID_NM or yb - ya < GRID_NM:
+        return None
+    return Rect(xa, ya, xb, yb)
+
+
+def _maybe_transpose(
+    rects: List[Rect], rng: np.random.Generator, size: int
+) -> Tuple[Rect, ...]:
+    """Randomly swap x/y so vertical and horizontal variants both occur."""
+    if rng.random() < 0.5:
+        return tuple(rects)
+    return tuple(Rect(r.y_lo, r.x_lo, r.y_hi, r.x_hi) for r in rects)
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+def line_array(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """Parallel lines with a common pitch; width/pitch straddle the boundary."""
+    width = _cd(rng, 40, 150)
+    space = _cd(rng, 40, 200)
+    pitch = int(width + space)
+    margin = _pos(rng, 50, 175)
+    x = _pos(rng, 25, max(50, pitch))
+    rects: List[Rect] = []
+    while x + width < size - 20:
+        r = _clamp_rect(x, margin, x + width, size - margin, size)
+        if r is not None:
+            rects.append(r)
+        x += pitch
+    return _maybe_transpose(rects, rng, size)
+
+
+def jogged_line(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """A vertical line with a lateral jog, plus optional straight neighbours."""
+    width = _cd(rng, 50, 140)
+    x = _pos(rng, size // 4, 3 * size // 4)
+    jog_y = _pos(rng, size // 3, 2 * size // 3)
+    jog_dx = _pos(rng, -200, 200)
+    overlap = _cd(rng, 0, max(CD_STEP_NM, width))
+    rects: List[Rect] = []
+    lower = _clamp_rect(x, 60, x + width, jog_y + overlap, size)
+    upper = _clamp_rect(x + jog_dx, jog_y, x + jog_dx + width, size - 60, size)
+    link = _clamp_rect(
+        min(x, x + jog_dx), jog_y - width, max(x + width, x + jog_dx + width), jog_y + overlap, size
+    )
+    for r in (lower, link, upper):
+        if r is not None:
+            rects.append(r)
+    # Bystander lines create the optical context.
+    for side in (-1, 1):
+        if rng.random() < 0.6:
+            gap = _cd(rng, 50, 240)
+            nx = x + side * (width + gap)
+            neighbour = _clamp_rect(nx, 80, nx + width, size - 80, size)
+            if neighbour is not None:
+                rects.append(neighbour)
+    return _maybe_transpose(rects, rng, size)
+
+
+def tip_to_tip(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """Two facing line ends with a tip gap; the classic line-end hotspot."""
+    width = _cd(rng, 50, 150)
+    gap = _cd(rng, 40, 260)
+    x = _pos(rng, size // 3, 2 * size // 3)
+    mid = _pos(rng, size // 3, 2 * size // 3)
+    rects: List[Rect] = []
+    bottom = _clamp_rect(x, 60, x + width, mid - gap // 2, size)
+    top = _clamp_rect(x, mid + gap - gap // 2, x + width, size - 60, size)
+    for r in (bottom, top):
+        if r is not None:
+            rects.append(r)
+    # Parallel runners on each side amplify or shield the tips.
+    for side in (-1, 1):
+        if rng.random() < 0.7:
+            space = _cd(rng, 60, 220)
+            nx = x + side * (width + space)
+            runner = _clamp_rect(nx, 60, nx + width, size - 60, size)
+            if runner is not None:
+                rects.append(runner)
+    return _maybe_transpose(rects, rng, size)
+
+
+def t_junction(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """A stem meeting a bar; stems near minimum width tend to pinch."""
+    bar_w = _cd(rng, 60, 160)
+    stem_w = _cd(rng, 44, 140)
+    bar_y = _pos(rng, size // 2, 3 * size // 4)
+    stem_x = _pos(rng, size // 3, 2 * size // 3)
+    rects: List[Rect] = []
+    bar = _clamp_rect(150, bar_y, size - 150, bar_y + bar_w, size)
+    stem = _clamp_rect(stem_x, 100, stem_x + stem_w, bar_y + bar_w // 2, size)
+    for r in (bar, stem):
+        if r is not None:
+            rects.append(r)
+    if rng.random() < 0.5:
+        gap = _cd(rng, 50, 200)
+        other = _clamp_rect(150, bar_y + bar_w + gap, size - 150, bar_y + 2 * bar_w + gap, size)
+        if other is not None:
+            rects.append(other)
+    return _maybe_transpose(rects, rng, size)
+
+
+def via_array(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """A grid of small squares; small+dense vias vanish or merge."""
+    side = _cd(rng, 60, 160)
+    space = _cd(rng, 60, 240)
+    pitch = side + space
+    phase_x = _pos(rng, 50, max(75, pitch))
+    phase_y = _pos(rng, 50, max(75, pitch))
+    rects: List[Rect] = []
+    y = phase_y
+    while y + side < size - 40:
+        x = phase_x
+        while x + side < size - 40:
+            if rng.random() < 0.85:  # occasional missing via varies density
+                r = _clamp_rect(x, y, x + side, y + side, size)
+                if r is not None:
+                    rects.append(r)
+            x += pitch
+        y += pitch
+    return tuple(rects)
+
+
+def comb(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """Interdigitated comb fingers — the canonical bridging stressor."""
+    finger_w = _cd(rng, 50, 130)
+    space = _cd(rng, 50, 190)
+    pitch = finger_w + space
+    spine_w = _cd(rng, 80, 160)
+    rects: List[Rect] = []
+    bottom_spine = _clamp_rect(80, 80, size - 80, 80 + spine_w, size)
+    top_spine = _clamp_rect(80, size - 80 - spine_w, size - 80, size - 80, size)
+    if bottom_spine is not None:
+        rects.append(bottom_spine)
+    if top_spine is not None:
+        rects.append(top_spine)
+    x = _pos(rng, 125, 125 + pitch)
+    from_bottom = True
+    while x + finger_w < size - 120:
+        reach = _pos(rng, size // 2, size - 300)
+        if from_bottom:
+            finger = _clamp_rect(x, 80 + spine_w, x + finger_w, 80 + spine_w + reach, size)
+        else:
+            finger = _clamp_rect(
+                x, size - 80 - spine_w - reach, x + finger_w, size - 80 - spine_w, size
+            )
+        if finger is not None:
+            rects.append(finger)
+        from_bottom = not from_bottom
+        x += pitch
+    return _maybe_transpose(rects, rng, size)
+
+
+def random_rects(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """Irregular rectangles with loosely controlled pairwise spacing."""
+    count = int(rng.integers(2, 9))
+    rects: List[Rect] = []
+    for _ in range(count):
+        w = _cd(rng, 50, 400)
+        h = _cd(rng, 50, 400)
+        x = _pos(rng, 0, max(25, size - w))
+        y = _pos(rng, 0, max(25, size - h))
+        candidate = _clamp_rect(x, y, x + w, y + h, size)
+        if candidate is None:
+            continue
+        # Reject overlaps so drawn components stay distinct; near-abutting
+        # placements are kept on purpose (they are the hotspot candidates).
+        if any(candidate.overlaps(r) for r in rects):
+            continue
+        rects.append(candidate)
+    return tuple(rects)
+
+
+def via_chain(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """A daisy chain: via landings connected by short straps.
+
+    Chains stress both ends of the window — small landings vanish, tight
+    strap-to-landing spacings bridge.
+    """
+    pad = _cd(rng, 80, 180)
+    strap_w = _cd(rng, 50, 120)
+    gap = _cd(rng, 60, 220)
+    pitch = pad + gap
+    y = _pos(rng, size // 4, 3 * size // 4)
+    rects: List[Rect] = []
+    x = _pos(rng, 100, 100 + pitch)
+    previous_center = None
+    while x + pad < size - 100:
+        landing = _clamp_rect(x, y, x + pad, y + pad, size)
+        if landing is not None:
+            rects.append(landing)
+            center = (x + pad // 2, y + pad // 2)
+            if previous_center is not None:
+                strap = _clamp_rect(
+                    previous_center[0],
+                    center[1] - strap_w // 2,
+                    center[0],
+                    center[1] + strap_w // 2,
+                    size,
+                )
+                if strap is not None:
+                    rects.append(strap)
+            previous_center = center
+        x += pitch
+    return _maybe_transpose(rects, rng, size)
+
+
+def cell_array(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """SRAM-like repeated cell: a small motif stepped across the clip.
+
+    The motif (an L of two rectangles) repeats at a fixed pitch; intra-cell
+    spacings near the limit make whole rows fail together, mimicking the
+    repeating-hotspot structure of memory macros.
+    """
+    unit_w = _cd(rng, 60, 140)
+    unit_l = _cd(rng, 200, 400)
+    space = _cd(rng, 60, 200)
+    pitch_x = unit_l + space
+    pitch_y = unit_l + space
+    rects: List[Rect] = []
+    y = _pos(rng, 100, 100 + pitch_y)
+    flip_row = False
+    while y + unit_l < size - 100:
+        x = _pos(rng, 100, 100 + pitch_x)
+        while x + unit_l < size - 100:
+            # L-shaped motif: horizontal bar + vertical bar.
+            horizontal = _clamp_rect(x, y, x + unit_l, y + unit_w, size)
+            if flip_row:
+                vertical = _clamp_rect(
+                    x + unit_l - unit_w, y, x + unit_l, y + unit_l, size
+                )
+            else:
+                vertical = _clamp_rect(x, y, x + unit_w, y + unit_l, size)
+            for r in (horizontal, vertical):
+                if r is not None:
+                    rects.append(r)
+            x += pitch_x
+        flip_row = not flip_row
+        y += pitch_y
+    return tuple(rects)
+
+
+def corner_array(rng: np.random.Generator, size: int) -> Tuple[Rect, ...]:
+    """Facing convex corners: the classic corner-to-corner bridging site."""
+    width = _cd(rng, 80, 200)
+    arm = _cd(rng, 200, 400)
+    gap = _cd(rng, 60, 240)
+    cx = _pos(rng, size // 3, 2 * size // 3)
+    cy = _pos(rng, size // 3, 2 * size // 3)
+    rects: List[Rect] = []
+    # Lower-left L.
+    for r in (
+        _clamp_rect(cx - arm, cy - width, cx, cy, size),
+        _clamp_rect(cx - width, cy - arm, cx, cy, size),
+        # Upper-right L, diagonal gap away.
+        _clamp_rect(cx + gap, cy + gap, cx + gap + arm, cy + gap + width, size),
+        _clamp_rect(cx + gap, cy + gap, cx + gap + width, cy + gap + arm, size),
+    ):
+        if r is not None:
+            rects.append(r)
+    if rng.random() < 0.5:
+        runner_w = _cd(rng, 60, 140)
+        runner_gap = _cd(rng, 60, 200)
+        runner_y = cy + gap + arm + runner_gap
+        runner = _clamp_rect(100, runner_y, size - 100, runner_y + runner_w, size)
+        if runner is not None:
+            rects.append(runner)
+    return _maybe_transpose(rects, rng, size)
+
+
+PATTERN_FAMILIES: Dict[str, PatternFamily] = {
+    family.name: family
+    for family in (
+        PatternFamily("line_array", line_array, "parallel lines at a common pitch"),
+        PatternFamily("jogged_line", jogged_line, "line with a lateral jog"),
+        PatternFamily("tip_to_tip", tip_to_tip, "facing line ends with a tip gap"),
+        PatternFamily("t_junction", t_junction, "stem meeting a bar"),
+        PatternFamily("via_array", via_array, "grid of square contacts"),
+        PatternFamily("comb", comb, "interdigitated comb fingers"),
+        PatternFamily("random_rects", random_rects, "irregular rectangles"),
+        PatternFamily("via_chain", via_chain, "via landings joined by straps"),
+        PatternFamily("cell_array", cell_array, "repeated SRAM-like cell motif"),
+        PatternFamily("corner_array", corner_array, "facing convex corners"),
+    )
+}
+
+
+def get_family(name: str) -> PatternFamily:
+    """Look up a pattern family by name."""
+    try:
+        return PATTERN_FAMILIES[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown pattern family {name!r}; known: {sorted(PATTERN_FAMILIES)}"
+        )

@@ -1,0 +1,73 @@
+"""Stratified splitting and class rebalancing.
+
+The paper separates 25 % of the training data as a validation set that the
+network never trains on (Section 4.2); splits here are stratified so the
+minority hotspot class is represented proportionally on both sides.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geometry.clip import Clip
+
+
+def stratified_split(
+    clips: Sequence[Clip],
+    holdout_fraction: float = 0.25,
+    seed: int = 0,
+) -> Tuple[List[Clip], List[Clip]]:
+    """Split labelled clips into (main, holdout) preserving class balance.
+
+    Each class is shuffled and cut independently, so a 25 % holdout takes
+    25 % of the hotspots and 25 % of the non-hotspots (up to rounding).
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise DatasetError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    if any(c.label is None for c in clips):
+        raise DatasetError("stratified_split requires labelled clips")
+    rng = np.random.default_rng(seed)
+    main: List[Clip] = []
+    holdout: List[Clip] = []
+    for label in (0, 1):
+        members = [c for c in clips if c.label == label]
+        order = rng.permutation(len(members))
+        cut = int(round(len(members) * holdout_fraction))
+        holdout.extend(members[i] for i in order[:cut])
+        main.extend(members[i] for i in order[cut:])
+    rng.shuffle(main)  # type: ignore[arg-type]
+    rng.shuffle(holdout)  # type: ignore[arg-type]
+    return main, holdout
+
+
+def upsample_minority(clips: Sequence[Clip], seed: int = 0) -> List[Clip]:
+    """Duplicate minority-class clips until the classes are balanced.
+
+    Returns a new shuffled list; the original clips all appear at least
+    once. A single-class input is returned unchanged (nothing to balance).
+    """
+    if any(c.label is None for c in clips):
+        raise DatasetError("upsample_minority requires labelled clips")
+    hotspots = [c for c in clips if c.label == 1]
+    normals = [c for c in clips if c.label == 0]
+    if not hotspots or not normals:
+        return list(clips)
+    rng = np.random.default_rng(seed)
+    minority, majority = sorted((hotspots, normals), key=len)
+    extra_count = len(majority) - len(minority)
+    extras = [minority[i] for i in rng.integers(0, len(minority), size=extra_count)]
+    out = list(clips) + extras
+    rng.shuffle(out)  # type: ignore[arg-type]
+    return out
+
+
+def class_counts(clips: Sequence[Clip]) -> Tuple[int, int]:
+    """Return ``(non_hotspot_count, hotspot_count)``."""
+    hs = sum(1 for c in clips if c.label == 1)
+    nhs = sum(1 for c in clips if c.label == 0)
+    return nhs, hs

@@ -1,0 +1,149 @@
+"""Pattern topology signatures and suite analysis.
+
+Benchmark suites cut from real layouts are full of repeated topologies;
+the ICCAD'16 baseline's whole feature-optimisation premise builds on
+clustering them. This module provides:
+
+- :func:`topology_signature` — a canonical, translation-invariant (and
+  optionally dihedral-invariant) hash of a clip's quantised geometry;
+- :func:`dedupe_clips` — drop geometric duplicates from a clip list;
+- :func:`duplication_rate` / :func:`suite_statistics` — dataset audits
+  used to sanity-check generated suites (and to quantify how much
+  redundancy the learners can exploit).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import DatasetError
+from repro.geometry.clip import Clip
+
+
+def _quantized_rects(clip: Clip, grid_nm: int) -> Tuple[Tuple[int, int, int, int], ...]:
+    normalized = clip.normalized()
+
+    def near(value: int) -> int:
+        # Round-to-nearest cell edge: sub-grid jitter collides, while a
+        # full-cell move changes the signature.
+        return (value + grid_nm // 2) // grid_nm
+
+    quantized = []
+    for r in normalized.rects:
+        x_lo, y_lo = near(r.x_lo), near(r.y_lo)
+        x_hi = max(near(r.x_hi), x_lo + 1)  # keep degenerate cells distinct
+        y_hi = max(near(r.y_hi), y_lo + 1)
+        quantized.append((x_lo, y_lo, x_hi, y_hi))
+    return tuple(sorted(quantized))
+
+
+def topology_signature(
+    clip: Clip,
+    grid_nm: int = 10,
+    canonical_orientation: bool = False,
+) -> str:
+    """Stable hash of the clip's quantised geometry.
+
+    Translation-invariant by construction (the clip is normalised to the
+    origin). With ``canonical_orientation`` the minimum signature over the
+    clip's 8 dihedral transforms is returned, so mirrored/rotated copies
+    collide — useful when auditing augmented datasets.
+    """
+    if grid_nm < 1:
+        raise DatasetError(f"grid_nm must be >= 1, got {grid_nm}")
+    candidates: List[Clip] = [clip]
+    if canonical_orientation:
+        from repro.data.augment import dihedral_orbit
+
+        candidates = dihedral_orbit(clip)
+    digests = []
+    for candidate in candidates:
+        payload = repr(
+            (candidate.size // grid_nm, _quantized_rects(candidate, grid_nm))
+        )
+        digests.append(hashlib.sha256(payload.encode()).hexdigest()[:24])
+    return min(digests)
+
+
+def dedupe_clips(
+    clips: Sequence[Clip],
+    grid_nm: int = 10,
+    canonical_orientation: bool = False,
+) -> List[Clip]:
+    """Keep the first clip of each topology signature (order-preserving)."""
+    seen = set()
+    out: List[Clip] = []
+    for clip in clips:
+        signature = topology_signature(clip, grid_nm, canonical_orientation)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        out.append(clip)
+    return out
+
+
+def duplication_rate(
+    clips: Sequence[Clip],
+    grid_nm: int = 10,
+    canonical_orientation: bool = False,
+) -> float:
+    """Fraction of clips that duplicate an earlier topology (0 when all unique)."""
+    if not clips:
+        return 0.0
+    unique = len(dedupe_clips(clips, grid_nm, canonical_orientation))
+    return 1.0 - unique / len(clips)
+
+
+@dataclass(frozen=True)
+class SuiteStatistics:
+    """Audit summary of a clip suite."""
+
+    clip_count: int
+    hotspot_count: int
+    unique_topologies: int
+    duplication_rate: float
+    family_counts: Dict[str, int]
+    mean_rect_count: float
+
+    def summary(self) -> str:
+        families = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.family_counts.items())
+        )
+        return (
+            f"{self.clip_count} clips ({self.hotspot_count} HS), "
+            f"{self.unique_topologies} unique topologies "
+            f"({self.duplication_rate * 100:.1f}% duplicated), "
+            f"avg {self.mean_rect_count:.1f} rects/clip [{families}]"
+        )
+
+
+def suite_statistics(clips: Sequence[Clip], grid_nm: int = 10) -> SuiteStatistics:
+    """Compute a :class:`SuiteStatistics` audit for ``clips``.
+
+    Family attribution uses the generator's clip-name convention
+    (``<prefix><family>_<index>``); unknown names are bucketed as "other".
+    """
+    if not clips:
+        raise DatasetError("cannot audit an empty suite")
+    from repro.data.patterns import PATTERN_FAMILIES
+
+    family_counter: Counter = Counter()
+    for clip in clips:
+        for family in PATTERN_FAMILIES:
+            if family in clip.name:
+                family_counter[family] += 1
+                break
+        else:
+            family_counter["other"] += 1
+    unique = len(dedupe_clips(clips, grid_nm))
+    return SuiteStatistics(
+        clip_count=len(clips),
+        hotspot_count=sum(1 for c in clips if c.label == 1),
+        unique_topologies=unique,
+        duplication_rate=1.0 - unique / len(clips),
+        family_counts=dict(family_counter),
+        mean_rect_count=sum(len(c.rects) for c in clips) / len(clips),
+    )

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of this package with one ``except`` clause while
+still being able to discriminate on the specific failure mode.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction (degenerate rectangle, bad window...)."""
+
+
+class LayoutFormatError(ReproError):
+    """Malformed layout text file or unsupported record."""
+
+
+class FeatureError(ReproError):
+    """Invalid feature-extraction configuration or input."""
+
+
+class NetworkError(ReproError):
+    """Invalid neural-network construction or shape mismatch."""
+
+
+class TrainingError(ReproError):
+    """Training could not proceed (empty dataset, bad labels...)."""
+
+
+class DatasetError(ReproError):
+    """Dataset construction or consistency failure."""
+
+
+class LithoError(ReproError):
+    """Lithography-simulation configuration or input error."""

@@ -1,0 +1,39 @@
+"""Layout feature extraction.
+
+Three extractors, one per detector family in the paper's evaluation:
+
+- :class:`FeatureTensorExtractor` — the paper's contribution (Section 3):
+  block-wise DCT, zig-zag scan, first-``k`` coefficients, stacked into an
+  ``n x n x k`` tensor that keeps spatial structure and is approximately
+  invertible.
+- :class:`DensityExtractor` — the SPIE'15 baseline's flattened local
+  pattern-density vector.
+- :class:`CCSExtractor` — the ICCAD'16 baseline's concentric-circle
+  sampling vector.
+
+Plus the shared numeric plumbing (:mod:`repro.features.dct`,
+:mod:`repro.features.zigzag`) which is tested independently.
+"""
+
+from repro.features.base import FeatureExtractor
+from repro.features.ccs import CCSConfig, CCSExtractor
+from repro.features.dct import dct2, idct2
+from repro.features.density import DensityConfig, DensityExtractor
+from repro.features.scaler import ChannelScaler
+from repro.features.tensor import FeatureTensorConfig, FeatureTensorExtractor
+from repro.features.zigzag import inverse_zigzag_indices, zigzag_indices
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureTensorConfig",
+    "FeatureTensorExtractor",
+    "DensityConfig",
+    "DensityExtractor",
+    "CCSConfig",
+    "CCSExtractor",
+    "ChannelScaler",
+    "dct2",
+    "idct2",
+    "zigzag_indices",
+    "inverse_zigzag_indices",
+]

@@ -1,0 +1,32 @@
+"""Feature-extractor protocol.
+
+Anything with an ``extract(clip) -> ndarray`` method and a couple of
+metadata attributes can feed :meth:`repro.data.dataset.HotspotDataset.features`
+and the detectors. The protocol is runtime-checkable so detectors can
+validate their configuration early.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.geometry.clip import Clip
+
+
+@runtime_checkable
+class FeatureExtractor(Protocol):
+    """Structural interface of all feature extractors."""
+
+    #: Short identifier used in logs and experiment tables.
+    name: str
+
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        """Shape of the array returned by :meth:`extract`."""
+        ...
+
+    def extract(self, clip: Clip) -> np.ndarray:
+        """Compute this extractor's feature for one clip."""
+        ...

@@ -1,0 +1,39 @@
+"""2-D discrete cosine transform helpers.
+
+Thin wrappers around :func:`scipy.fft.dctn` pinned to the type-II transform
+with orthonormal scaling, so that ``idct2(dct2(x)) == x`` exactly (up to
+floating point) and Parseval's identity holds — properties the feature
+tensor's invertibility claim rests on, and which the test suite checks.
+
+The paper's Step 2 writes the unnormalised type-II DCT; the normalisation
+choice only rescales coefficients and does not change which ones are kept.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as sp_fft
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """Orthonormal 2-D type-II DCT over the last two axes."""
+    return sp_fft.dctn(block, type=2, norm="ortho", axes=(-2, -1))
+
+
+def idct2(coefficients: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dct2` (orthonormal 2-D type-III DCT)."""
+    return sp_fft.idctn(coefficients, type=2, norm="ortho", axes=(-2, -1))
+
+
+def dc_coefficient_scale(block_size: int) -> float:
+    """Factor linking a block's mean to its DC coefficient.
+
+    For the orthonormal DCT of a ``B x B`` block, ``C[0, 0] = B * mean``;
+    exposed for tests and for density-style interpretations of the DC term.
+    """
+    return float(block_size)
+
+
+def energy(x: np.ndarray) -> float:
+    """Sum of squares — preserved by the orthonormal DCT (Parseval)."""
+    return float(np.sum(np.square(x)))

@@ -1,0 +1,80 @@
+"""JPEG-style zig-zag scan ordering.
+
+The paper's Step 3 flattens each block's DCT coefficient matrix "in Zig-Zag
+form" (citing the JPEG standard) so that low-frequency coefficients come
+first; keeping the first ``k`` entries then keeps the most informative
+frequencies. We precompute the index permutation per block size and cache
+it — the scan itself is then a fancy-indexing operation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import FeatureError
+
+
+@lru_cache(maxsize=None)
+def zigzag_indices(block_size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Row/column index arrays that read a square block in zig-zag order.
+
+    ``block[rows, cols]`` yields the zig-zag-flattened vector: anti-diagonal
+    by anti-diagonal, alternating direction, exactly as in JPEG.
+    """
+    if block_size < 1:
+        raise FeatureError(f"block_size must be >= 1, got {block_size}")
+    rows = []
+    cols = []
+    for diag in range(2 * block_size - 1):
+        # Cells on anti-diagonal `diag` satisfy r + c == diag.
+        r_lo = max(0, diag - block_size + 1)
+        r_hi = min(diag, block_size - 1)
+        r_range = range(r_lo, r_hi + 1)
+        # Even diagonals are traversed upward (row decreasing), odd downward,
+        # matching the JPEG convention that starts (0,0) -> (0,1) -> (1,0).
+        ordered = reversed(r_range) if diag % 2 == 0 else r_range
+        for r in ordered:
+            rows.append(r)
+            cols.append(diag - r)
+    return np.array(rows, dtype=np.intp), np.array(cols, dtype=np.intp)
+
+
+@lru_cache(maxsize=None)
+def inverse_zigzag_indices(block_size: int) -> np.ndarray:
+    """Permutation mapping zig-zag positions back to flat row-major indices.
+
+    ``flat[inverse] = zigzag_vector`` reconstructs the row-major block.
+    """
+    rows, cols = zigzag_indices(block_size)
+    return rows * block_size + cols
+
+
+def zigzag_flatten(block: np.ndarray) -> np.ndarray:
+    """Read the last two (square) axes of ``block`` in zig-zag order."""
+    size = block.shape[-1]
+    if block.shape[-2] != size:
+        raise FeatureError(f"block must be square, got {block.shape[-2:]}")
+    rows, cols = zigzag_indices(size)
+    return block[..., rows, cols]
+
+
+def zigzag_unflatten(vector: np.ndarray, block_size: int) -> np.ndarray:
+    """Inverse of :func:`zigzag_flatten` for full-length vectors.
+
+    Shorter vectors (truncated scans) are zero-padded to ``block_size**2``
+    before inversion — exactly the reconstruction the paper's feature
+    tensor decode performs.
+    """
+    length = block_size * block_size
+    if vector.shape[-1] > length:
+        raise FeatureError(
+            f"vector length {vector.shape[-1]} exceeds block capacity {length}"
+        )
+    padded = np.zeros(vector.shape[:-1] + (length,), dtype=vector.dtype)
+    padded[..., : vector.shape[-1]] = vector
+    flat = np.zeros_like(padded)
+    flat[..., inverse_zigzag_indices(block_size)] = padded
+    return flat.reshape(vector.shape[:-1] + (block_size, block_size))

@@ -1,0 +1,38 @@
+"""Layout geometry substrate.
+
+Everything in the reproduction ultimately operates on rectilinear (Manhattan)
+layout geometry expressed in integer nanometres: the synthetic benchmark
+generator emits :class:`~repro.geometry.clip.Clip` objects, the lithography
+oracle rasterises them, and the feature extractors consume the raster.
+
+The public surface is re-exported here:
+
+- :class:`Rect` — axis-aligned integer rectangle.
+- :class:`Polygon` — Manhattan polygon with rectangle decomposition.
+- :class:`Clip` — a square layout window with its shapes and optional label.
+- :func:`rasterize_rects` / :func:`rasterize_clip` — binary rasterisation.
+- :func:`snap` / :func:`snap_rect` — grid snapping helpers.
+- :func:`read_layout` / :func:`write_layout` — text layout format I/O.
+"""
+
+from repro.geometry.clip import Clip
+from repro.geometry.grid import snap, snap_rect
+from repro.geometry.layout import Layout, iter_clip_windows
+from repro.geometry.layoutio import read_layout, write_layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import rasterize_clip, rasterize_rects
+from repro.geometry.rect import Rect
+
+__all__ = [
+    "Rect",
+    "Polygon",
+    "Clip",
+    "Layout",
+    "iter_clip_windows",
+    "rasterize_rects",
+    "rasterize_clip",
+    "snap",
+    "snap_rect",
+    "read_layout",
+    "write_layout",
+]

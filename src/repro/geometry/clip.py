@@ -1,0 +1,129 @@
+"""Layout clips.
+
+A *clip* is the unit of classification in the paper: a square window cut out
+of a full-chip layout, together with the pattern shapes falling inside it.
+The ICCAD-2012 contest distributes hotspot/non-hotspot data as such clips;
+our synthetic generator produces the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+from repro.geometry.raster import rasterize_rects
+from repro.geometry.rect import Rect
+
+#: Label value for a hotspot clip.
+HOTSPOT = 1
+#: Label value for a non-hotspot clip.
+NON_HOTSPOT = 0
+
+
+@dataclass(frozen=True)
+class Clip:
+    """A square layout window with its shapes and an optional label.
+
+    Attributes
+    ----------
+    window:
+        The clip extent in absolute nanometre coordinates. Must be square —
+        the paper's feature tensor assumes square clips.
+    rects:
+        The pattern rectangles, already clipped to (or overlapping) the
+        window. Stored in absolute coordinates.
+    label:
+        ``HOTSPOT`` (1), ``NON_HOTSPOT`` (0) or ``None`` when unknown.
+    name:
+        Optional identifier (used by the layout text format).
+    """
+
+    window: Rect
+    rects: Tuple[Rect, ...] = field(default_factory=tuple)
+    label: Optional[int] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.window.width != self.window.height:
+            raise GeometryError(
+                f"clip window must be square, got "
+                f"{self.window.width}x{self.window.height}"
+            )
+        if self.label not in (None, HOTSPOT, NON_HOTSPOT):
+            raise GeometryError(f"invalid label {self.label!r}")
+        object.__setattr__(self, "rects", tuple(self.rects))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Side length of the (square) window in nanometres."""
+        return self.window.width
+
+    @property
+    def is_hotspot(self) -> bool:
+        """True when labelled hotspot; raises if the label is unknown."""
+        if self.label is None:
+            raise GeometryError(f"clip {self.name!r} has no label")
+        return self.label == HOTSPOT
+
+    def rasterize(self, resolution: int = 1) -> np.ndarray:
+        """Binary image of the clip at ``resolution`` nm/px."""
+        return rasterize_rects(self.rects, self.window, resolution)
+
+    def normalized(self) -> "Clip":
+        """Return a copy translated so the window origin is ``(0, 0)``."""
+        dx, dy = -self.window.x_lo, -self.window.y_lo
+        return Clip(
+            window=self.window.translated(dx, dy),
+            rects=tuple(r.translated(dx, dy) for r in self.rects),
+            label=self.label,
+            name=self.name,
+        )
+
+    def with_label(self, label: Optional[int]) -> "Clip":
+        """Return a copy carrying ``label``."""
+        return Clip(window=self.window, rects=self.rects, label=label, name=self.name)
+
+    def density(self) -> float:
+        """Pattern coverage fraction of the window (union-aware via raster)."""
+        image = self.rasterize(resolution=max(1, self.size // 256))
+        return float(image.mean())
+
+    # Dihedral-group transforms used by data augmentation. All of them keep
+    # the window fixed and move the shapes inside it.
+    def flipped_horizontal(self) -> "Clip":
+        """Mirror the shapes across the window's vertical centre line."""
+        axis_doubled = self.window.x_lo + self.window.x_hi
+        rects = tuple(
+            Rect(axis_doubled - r.x_hi, r.y_lo, axis_doubled - r.x_lo, r.y_hi)
+            for r in self.rects
+        )
+        return Clip(self.window, rects, self.label, self.name)
+
+    def flipped_vertical(self) -> "Clip":
+        """Mirror the shapes across the window's horizontal centre line."""
+        axis_doubled = self.window.y_lo + self.window.y_hi
+        rects = tuple(
+            Rect(r.x_lo, axis_doubled - r.y_hi, r.x_hi, axis_doubled - r.y_lo)
+            for r in self.rects
+        )
+        return Clip(self.window, rects, self.label, self.name)
+
+    def rotated90(self) -> "Clip":
+        """Rotate the shapes 90 degrees CCW about the window centre.
+
+        Valid because the window is square, so it maps onto itself.
+        """
+        cx2 = self.window.x_lo + self.window.x_hi  # 2 * cx, stays integral
+        cy2 = self.window.y_lo + self.window.y_hi
+        rects = []
+        for r in self.rects:
+            # (x, y) -> (cx - (y - cy), cy + (x - cx)) doubled to stay integer:
+            # 2x' = cx2 - (2y - cy2), 2y' = cy2 + (2x - cx2)
+            xs = [(cx2 - (2 * y - cy2)) // 2 for y in (r.y_lo, r.y_hi)]
+            ys = [(cy2 + (2 * x - cx2)) // 2 for x in (r.x_lo, r.x_hi)]
+            rects.append(Rect(min(xs), min(ys), max(xs), max(ys)))
+        return Clip(self.window, tuple(rects), self.label, self.name)

@@ -1,0 +1,145 @@
+"""Full-chip layouts and sliding-window clip extraction.
+
+The paper frames hotspot detection as a *large-scale* problem: a detector
+is useful when it can sweep an entire routed layout, not just classify
+pre-cut clips. :class:`Layout` holds a full region's shapes with a simple
+grid spatial index so window queries stay fast, and
+:func:`iter_clip_windows` cuts it into overlapping square clips the way
+physical-verification flows tile a chip.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.exceptions import GeometryError
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect, bounding_box
+
+
+class Layout:
+    """A full-chip (or block-level) layout with a grid spatial index.
+
+    Parameters
+    ----------
+    region:
+        The layout extent. Shapes may touch but not exceed it.
+    rects:
+        Pattern rectangles in absolute nanometre coordinates.
+    bin_nm:
+        Spatial-index bin pitch; queries touch only the bins a window
+        overlaps. The default suits 1200 nm clip windows.
+    """
+
+    def __init__(
+        self,
+        region: Rect,
+        rects: Iterable[Rect] = (),
+        bin_nm: int = 1200,
+    ):
+        if bin_nm <= 0:
+            raise GeometryError(f"bin_nm must be positive, got {bin_nm}")
+        self.region = region
+        self.bin_nm = bin_nm
+        self._rects: List[Rect] = []
+        self._bins: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for rect in rects:
+            self.add(rect)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    @property
+    def rects(self) -> Tuple[Rect, ...]:
+        return tuple(self._rects)
+
+    def add(self, rect: Rect) -> None:
+        """Insert one rectangle (must lie within the region)."""
+        if not self.region.contains_rect(rect):
+            raise GeometryError(
+                f"rect {rect.as_tuple()} exceeds layout region "
+                f"{self.region.as_tuple()}"
+            )
+        index = len(self._rects)
+        self._rects.append(rect)
+        for key in self._bin_keys(rect):
+            self._bins[key].append(index)
+
+    def _bin_keys(self, rect: Rect) -> Iterator[Tuple[int, int]]:
+        bx_lo = (rect.x_lo - self.region.x_lo) // self.bin_nm
+        bx_hi = (rect.x_hi - 1 - self.region.x_lo) // self.bin_nm
+        by_lo = (rect.y_lo - self.region.y_lo) // self.bin_nm
+        by_hi = (rect.y_hi - 1 - self.region.y_lo) // self.bin_nm
+        for bx in range(bx_lo, bx_hi + 1):
+            for by in range(by_lo, by_hi + 1):
+                yield (bx, by)
+
+    # ------------------------------------------------------------------
+    def query(self, window: Rect) -> List[Rect]:
+        """All rectangles overlapping ``window`` (deduplicated, in order)."""
+        seen: Set[int] = set()
+        out: List[Rect] = []
+        for key in self._bin_keys(window):
+            for index in self._bins.get(key, ()):
+                if index in seen:
+                    continue
+                seen.add(index)
+                if self._rects[index].overlaps(window):
+                    out.append(self._rects[index])
+        out.sort()
+        return out
+
+    def clip_at(self, window: Rect, name: str = "") -> Clip:
+        """Cut an (unlabelled) clip at ``window``."""
+        return Clip(
+            window=window,
+            rects=tuple(self.query(window)),
+            label=None,
+            name=name,
+        )
+
+    def density(self) -> float:
+        """Overall pattern coverage (union area / region area)."""
+        from repro.geometry.rect import total_area
+
+        return total_area(self._rects) / self.region.area
+
+    def bbox(self) -> Rect:
+        """Bounding box of the placed shapes (region if empty)."""
+        if not self._rects:
+            return self.region
+        return bounding_box(self._rects)
+
+
+def iter_clip_windows(
+    region: Rect,
+    clip_nm: int = 1200,
+    stride_nm: int = 600,
+) -> Iterator[Rect]:
+    """Tile ``region`` with overlapping square clip windows.
+
+    Windows step by ``stride_nm`` and are clamped so the final row/column
+    still lies inside the region (standard scan-line tiling: every point of
+    the region is covered by at least one window core when
+    ``stride_nm <= clip_nm / 2``).
+    """
+    if clip_nm <= 0 or stride_nm <= 0:
+        raise GeometryError("clip_nm and stride_nm must be positive")
+    if region.width < clip_nm or region.height < clip_nm:
+        raise GeometryError(
+            f"region {region.width}x{region.height} smaller than clip "
+            f"{clip_nm}"
+        )
+
+    def positions(lo: int, hi: int) -> List[int]:
+        out = list(range(lo, hi - clip_nm + 1, stride_nm))
+        last = hi - clip_nm
+        if out[-1] != last:
+            out.append(last)
+        return out
+
+    for y in positions(region.y_lo, region.y_hi):
+        for x in positions(region.x_lo, region.x_hi):
+            yield Rect(x, y, x + clip_nm, y + clip_nm)

@@ -1,0 +1,125 @@
+"""Plain-text layout clip format.
+
+The ICCAD-2012 contest ships clips as GDSII; GDSII parsing is out of scope
+for a reproduction that generates its own data, but persisting clip sets to
+disk is still needed (dataset caching, examples, debugging). We define a
+minimal line-oriented text format:
+
+```
+# comment
+CLIP <name> <x_lo> <y_lo> <x_hi> <y_hi> <label|?>
+RECT <x_lo> <y_lo> <x_hi> <y_hi>
+...
+ENDCLIP
+```
+
+All coordinates are integer nanometres. The label field is ``0``, ``1`` or
+``?`` for unlabelled clips.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import GeometryError, LayoutFormatError
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+PathLike = Union[str, Path]
+
+
+def write_layout(path: PathLike, clips: Iterable[Clip]) -> int:
+    """Write ``clips`` to ``path`` in the text layout format.
+
+    Returns the number of clips written.
+    """
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro layout clip file v1\n")
+        for clip in clips:
+            label = "?" if clip.label is None else str(clip.label)
+            w = clip.window
+            handle.write(
+                f"CLIP {clip.name or f'clip{count}'} "
+                f"{w.x_lo} {w.y_lo} {w.x_hi} {w.y_hi} {label}\n"
+            )
+            for r in clip.rects:
+                handle.write(f"RECT {r.x_lo} {r.y_lo} {r.x_hi} {r.y_hi}\n")
+            handle.write("ENDCLIP\n")
+            count += 1
+    return count
+
+
+def read_layout(path: PathLike) -> List[Clip]:
+    """Read clips from a text layout file written by :func:`write_layout`."""
+    clips: List[Clip] = []
+    current_name: Optional[str] = None
+    current_window: Optional[Rect] = None
+    current_label: Optional[int] = None
+    current_rects: List[Rect] = []
+
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            keyword = fields[0].upper()
+            if keyword == "CLIP":
+                if current_window is not None:
+                    raise LayoutFormatError(f"{path}:{lineno}: nested CLIP")
+                if len(fields) != 7:
+                    raise LayoutFormatError(
+                        f"{path}:{lineno}: CLIP needs 6 fields, got {len(fields) - 1}"
+                    )
+                current_name = fields[1]
+                current_window = _parse_rect(fields[2:6], path, lineno)
+                current_label = _parse_label(fields[6], path, lineno)
+                current_rects = []
+            elif keyword == "RECT":
+                if current_window is None:
+                    raise LayoutFormatError(f"{path}:{lineno}: RECT outside CLIP")
+                if len(fields) != 5:
+                    raise LayoutFormatError(
+                        f"{path}:{lineno}: RECT needs 4 fields, got {len(fields) - 1}"
+                    )
+                current_rects.append(_parse_rect(fields[1:5], path, lineno))
+            elif keyword == "ENDCLIP":
+                if current_window is None:
+                    raise LayoutFormatError(f"{path}:{lineno}: ENDCLIP outside CLIP")
+                clips.append(
+                    Clip(
+                        window=current_window,
+                        rects=tuple(current_rects),
+                        label=current_label,
+                        name=current_name or "",
+                    )
+                )
+                current_window = None
+                current_name = None
+                current_label = None
+                current_rects = []
+            else:
+                raise LayoutFormatError(
+                    f"{path}:{lineno}: unknown record {keyword!r}"
+                )
+    if current_window is not None:
+        raise LayoutFormatError(f"{path}: unterminated CLIP {current_name!r}")
+    return clips
+
+
+def _parse_rect(fields: Sequence[str], path: PathLike, lineno: int) -> Rect:
+    try:
+        x_lo, y_lo, x_hi, y_hi = (int(v) for v in fields)
+        return Rect(x_lo, y_lo, x_hi, y_hi)
+    except (ValueError, GeometryError) as exc:
+        raise LayoutFormatError(f"{path}:{lineno}: bad rectangle {fields}: {exc}")
+
+
+def _parse_label(field: str, path: PathLike, lineno: int) -> Optional[int]:
+    if field == "?":
+        return None
+    if field in ("0", "1"):
+        return int(field)
+    raise LayoutFormatError(f"{path}:{lineno}: bad label {field!r}")

@@ -1,0 +1,125 @@
+"""Manhattan (rectilinear) polygons.
+
+The contest layouts are rectilinear; every polygon can be decomposed into
+axis-aligned rectangles. We store polygons as vertex loops and provide a
+horizontal-slab decomposition into :class:`~repro.geometry.rect.Rect` so the
+rest of the library (rasteriser, litho oracle, features) only ever deals with
+rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import GeometryError
+from repro.geometry.rect import Rect
+
+Point = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple Manhattan polygon given as an ordered vertex loop.
+
+    Consecutive vertices must differ in exactly one coordinate (all edges are
+    axis-parallel) and the loop is implicitly closed from the last vertex back
+    to the first.
+    """
+
+    vertices: Tuple[Point, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        verts = tuple((int(x), int(y)) for x, y in self.vertices)
+        object.__setattr__(self, "vertices", verts)
+        if len(verts) < 4:
+            raise GeometryError(
+                f"Manhattan polygon needs at least 4 vertices, got {len(verts)}"
+            )
+        n = len(verts)
+        for i in range(n):
+            (x0, y0), (x1, y1) = verts[i], verts[(i + 1) % n]
+            if (x0 == x1) == (y0 == y1):
+                raise GeometryError(
+                    f"edge {i} from {verts[i]} to {verts[(i + 1) % n]} is not "
+                    "axis-parallel (or is zero-length)"
+                )
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        """Build the 4-vertex polygon of a rectangle (counter-clockwise)."""
+        return cls(
+            (
+                (rect.x_lo, rect.y_lo),
+                (rect.x_hi, rect.y_lo),
+                (rect.x_hi, rect.y_hi),
+                (rect.x_lo, rect.y_hi),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def signed_area2(self) -> int:
+        """Twice the signed area (shoelace formula); positive when CCW."""
+        total = 0
+        n = len(self.vertices)
+        for i in range(n):
+            x0, y0 = self.vertices[i]
+            x1, y1 = self.vertices[(i + 1) % n]
+            total += x0 * y1 - x1 * y0
+        return total
+
+    @property
+    def area(self) -> float:
+        """Unsigned enclosed area."""
+        return abs(self.signed_area2()) / 2.0
+
+    def bbox(self) -> Rect:
+        """Axis-aligned bounding box."""
+        xs = [x for x, _ in self.vertices]
+        ys = [y for _, y in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    # ------------------------------------------------------------------
+    def to_rects(self) -> List[Rect]:
+        """Decompose into non-overlapping rectangles by horizontal slabs.
+
+        For each horizontal slab bounded by consecutive distinct vertex
+        y-coordinates, the polygon's interior intersects the slab in a set of
+        vertical strips found by a parity scan over crossing vertical edges.
+        The union of the returned rectangles equals the polygon interior and
+        the rectangles are pairwise disjoint.
+        """
+        ys = sorted({y for _, y in self.vertices})
+        rects: List[Rect] = []
+        edges = self._vertical_edges()
+        for y0, y1 in zip(ys[:-1], ys[1:]):
+            mid = (y0 + y1) / 2.0
+            crossings = sorted(x for x, e_lo, e_hi in edges if e_lo < mid < e_hi)
+            if len(crossings) % 2 != 0:
+                raise GeometryError("self-intersecting or malformed polygon")
+            for x_lo, x_hi in zip(crossings[0::2], crossings[1::2]):
+                rects.append(Rect(x_lo, y0, x_hi, y1))
+        return rects
+
+    def _vertical_edges(self) -> List[Tuple[int, int, int]]:
+        """All vertical edges as ``(x, y_lo, y_hi)`` triples."""
+        out: List[Tuple[int, int, int]] = []
+        n = len(self.vertices)
+        for i in range(n):
+            (x0, y0), (x1, y1) = self.vertices[i], self.vertices[(i + 1) % n]
+            if x0 == x1:
+                out.append((x0, min(y0, y1), max(y0, y1)))
+        return out
+
+    def translated(self, dx: int, dy: int) -> "Polygon":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Polygon(tuple((x + dx, y + dy) for x, y in self.vertices))
+
+
+def rects_to_polygon_area(rects: Sequence[Rect]) -> float:
+    """Convenience: union area of a rectangle decomposition.
+
+    For decompositions produced by :meth:`Polygon.to_rects` the rectangles
+    are disjoint, so a plain sum is exact.
+    """
+    return float(sum(r.area for r in rects))

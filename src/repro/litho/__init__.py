@@ -1,0 +1,58 @@
+"""Lithography-simulation substrate.
+
+The paper defines hotspots physically: clips whose printed image has a small
+process window under 193 nm lithography. The ICCAD-2012 labels were produced
+by an industrial simulator we do not have, so this subpackage implements the
+closest open equivalent:
+
+- :mod:`repro.litho.optics` — partially-coherent aerial image formation
+  approximated by a small stack of Gaussian kernels (a SOCS-style
+  decomposition truncated to its dominant, radially-symmetric terms).
+- :mod:`repro.litho.resist` — constant-threshold resist model.
+- :mod:`repro.litho.process` — dose/defocus process corners.
+- :mod:`repro.litho.epe` — printed-contour measurements (CD, necking,
+  bridging, edge displacement).
+- :mod:`repro.litho.oracle` — the ground-truth labeller used by the
+  synthetic benchmark generator.
+- :mod:`repro.litho.runtime` — the simulation cost model behind ODST.
+
+The oracle gives labels that depend on a clip's own shapes *and* its
+neighbourhood through optical proximity, which is exactly the structure the
+paper's learners must capture.
+"""
+
+from repro.litho.epe import ContourStats, measure_contour
+from repro.litho.opc import OPCRules, correct_clip, correction_report
+from repro.litho.optics import OpticalModel, OpticsConfig
+from repro.litho.oracle import HotspotOracle, OracleConfig, OracleReport
+from repro.litho.process import ProcessCorner, ProcessWindow, nominal_corner
+from repro.litho.resist import ResistModel
+from repro.litho.runtime import SimulationCostModel
+from repro.litho.window_analysis import (
+    ProcessWindowReport,
+    dose_latitude,
+    measure_window,
+    window_map,
+)
+
+__all__ = [
+    "ProcessWindowReport",
+    "dose_latitude",
+    "window_map",
+    "measure_window",
+    "OPCRules",
+    "correct_clip",
+    "correction_report",
+    "OpticsConfig",
+    "OpticalModel",
+    "ResistModel",
+    "ProcessCorner",
+    "ProcessWindow",
+    "nominal_corner",
+    "ContourStats",
+    "measure_contour",
+    "HotspotOracle",
+    "OracleConfig",
+    "OracleReport",
+    "SimulationCostModel",
+]

@@ -1,0 +1,243 @@
+"""Printed-contour measurements.
+
+Given a binary printed image, the oracle needs to know whether the pattern
+printed *correctly*. The two first-order lithographic failure modes are:
+
+- **necking / pinching**: a feature's printed width drops below the minimum
+  critical dimension (potential open circuit), and
+- **bridging**: the printed space between two features drops below the
+  minimum spacing (potential short circuit).
+
+Both are measured here as minimum *bounded* run lengths along rows and
+columns of the raster: a run is bounded when it does not touch the image
+border, so features clipped by the analysis window are not mistaken for
+necks. An area-fidelity measure catches features that vanish entirely
+(a neck of width zero produces no run at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from repro.exceptions import LithoError
+
+
+def _min_bounded_run_rows(binary: np.ndarray, value: int) -> Optional[int]:
+    """Minimum bounded run of ``value`` pixels along rows; None if no run."""
+    arr = binary == value
+    if not arr.any():
+        return None
+    n_rows, n_cols = arr.shape
+    pad = np.zeros((n_rows, 1), dtype=bool)
+    padded = np.hstack([pad, arr, pad]).astype(np.int8)
+    delta = np.diff(padded, axis=1)
+    starts = np.argwhere(delta == 1)
+    ends = np.argwhere(delta == -1)
+    # argwhere is row-major and run starts/ends alternate, so the i-th start
+    # pairs with the i-th end within each row.
+    lengths = ends[:, 1] - starts[:, 1]
+    bounded = (starts[:, 1] > 0) & (ends[:, 1] < n_cols)
+    if not bounded.any():
+        return None
+    return int(lengths[bounded].min())
+
+
+def min_feature_width(binary: np.ndarray) -> Optional[int]:
+    """Minimum bounded printed linewidth in pixels, over rows and columns.
+
+    Returns ``None`` when the image contains no bounded feature run (empty
+    image, or only runs touching the border).
+    """
+    candidates = [
+        _min_bounded_run_rows(binary, 1),
+        _min_bounded_run_rows(binary.T, 1),
+    ]
+    present = [c for c in candidates if c is not None]
+    return min(present) if present else None
+
+
+def min_feature_spacing(binary: np.ndarray) -> Optional[int]:
+    """Minimum bounded printed space in pixels, over rows and columns."""
+    candidates = [
+        _min_bounded_run_rows(binary, 0),
+        _min_bounded_run_rows(binary.T, 0),
+    ]
+    present = [c for c in candidates if c is not None]
+    return min(present) if present else None
+
+
+#: 4-connectivity structuring element shared by all labelling calls.
+_CROSS = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=np.int8)
+
+
+def disk(radius_px: int) -> np.ndarray:
+    """Boolean disk structuring element of the given pixel radius."""
+    if radius_px < 0:
+        raise LithoError(f"radius must be non-negative, got {radius_px}")
+    if radius_px == 0:
+        return np.ones((1, 1), dtype=bool)
+    span = np.arange(-radius_px, radius_px + 1)
+    yy, xx = np.meshgrid(span, span, indexing="ij")
+    return (yy * yy + xx * xx) <= radius_px * radius_px
+
+
+def has_neck(binary: np.ndarray, width_px: int, min_component_px: int = 4) -> bool:
+    """Morphological necking test.
+
+    A component *necks* when eroding it by a disk of radius
+    ``width_px // 2`` splits it into two or more significant parts: the
+    feature is locally thinner than ``width_px`` at an interior waist.
+    Rounded line-ends merely shorten under erosion and do not trigger.
+    """
+    if width_px < 1:
+        raise LithoError(f"width_px must be >= 1, got {width_px}")
+    mask = binary.astype(bool)
+    labelled, count = ndimage.label(mask, structure=_CROSS)
+    if count == 0:
+        return False
+    eroded = ndimage.binary_erosion(mask, structure=disk(max(1, width_px // 2)))
+    for comp in range(1, count + 1):
+        comp_mask = labelled == comp
+        if int(comp_mask.sum()) < min_component_px:
+            continue
+        sub_labelled, sub_count = ndimage.label(eroded & comp_mask, structure=_CROSS)
+        if sub_count < 2:
+            continue
+        sizes = ndimage.sum_labels(
+            np.ones_like(sub_labelled), sub_labelled, index=range(1, sub_count + 1)
+        )
+        if int(np.count_nonzero(np.asarray(sizes) >= min_component_px)) >= 2:
+            return True
+    return False
+
+
+def has_bridge(binary: np.ndarray, space_px: int, min_component_px: int = 4) -> bool:
+    """Morphological bridging-risk test.
+
+    Two printed components closer than ``space_px`` merge when each is
+    dilated by ``space_px // 2``; that near-touching geometry shorts under
+    process variation.
+    """
+    if space_px < 1:
+        raise LithoError(f"space_px must be >= 1, got {space_px}")
+    mask = binary.astype(bool)
+    labelled, count = ndimage.label(mask, structure=_CROSS)
+    if count < 2:
+        return False
+    significant = [
+        comp
+        for comp in range(1, count + 1)
+        if int((labelled == comp).sum()) >= min_component_px
+    ]
+    if len(significant) < 2:
+        return False
+    dilated = ndimage.binary_dilation(mask, structure=disk(max(1, space_px // 2)))
+    merged_labels, _ = ndimage.label(dilated, structure=_CROSS)
+    owners = {comp: merged_labels[labelled == comp].flat[0] for comp in significant}
+    return len(set(owners.values())) < len(significant)
+
+
+def count_components(binary: np.ndarray, min_area_px: int = 1) -> int:
+    """Count 4-connected components with at least ``min_area_px`` pixels.
+
+    Small speckle components (below ``min_area_px``) are ignored so that
+    single-pixel printing noise does not register as a topology change.
+    """
+    if min_area_px < 1:
+        raise LithoError(f"min_area_px must be >= 1, got {min_area_px}")
+    labelled, count = ndimage.label(binary, structure=_CROSS)
+    if count == 0 or min_area_px == 1:
+        return int(count)
+    sizes = ndimage.sum_labels(
+        np.ones_like(binary, dtype=np.int32), labelled, index=range(1, count + 1)
+    )
+    return int(np.count_nonzero(np.asarray(sizes) >= min_area_px))
+
+
+@dataclass(frozen=True)
+class ContourStats:
+    """Summary measurements of one printed image against its target.
+
+    Attributes
+    ----------
+    min_width_px / min_space_px:
+        Minimum bounded run measurements, ``None`` when not measurable.
+    printed_area_px / target_area_px:
+        Lit pixel counts in the analysed region.
+    area_ratio:
+        ``printed / target`` area; 0 when the target region is empty.
+    mismatch_fraction:
+        Fraction of analysed pixels where printed differs from target.
+    target_components / printed_components:
+        4-connected component counts in the analysed region. Fewer printed
+        than drawn components means bridging; more means pinching/splits.
+    """
+
+    min_width_px: Optional[int]
+    min_space_px: Optional[int]
+    printed_area_px: int
+    target_area_px: int
+    area_ratio: float
+    mismatch_fraction: float
+    target_components: int
+    printed_components: int
+    neck: bool
+    bridge: bool
+
+
+def core_region(image: np.ndarray, margin_fraction: float = 0.25) -> np.ndarray:
+    """Central crop of ``image`` leaving ``margin_fraction`` on each side.
+
+    Hotspot labels belong to the clip *core*: the surrounding context
+    influences printing optically but defects in the margin belong to
+    neighbouring clips.
+    """
+    if not 0.0 <= margin_fraction < 0.5:
+        raise LithoError(
+            f"margin_fraction must be in [0, 0.5), got {margin_fraction}"
+        )
+    h, w = image.shape
+    mh, mw = int(h * margin_fraction), int(w * margin_fraction)
+    return image[mh : h - mh, mw : w - mw]
+
+
+def measure_contour(
+    printed: np.ndarray,
+    target: np.ndarray,
+    margin_fraction: float = 0.25,
+    min_component_px: int = 4,
+    min_width_px: int = 8,
+    min_space_px: int = 8,
+) -> ContourStats:
+    """Measure a printed image against its drawn target in the clip core.
+
+    ``min_width_px`` / ``min_space_px`` parameterise the morphological
+    neck/bridge detectors; the raw run-length minima are reported as well
+    for diagnostics.
+    """
+    if printed.shape != target.shape:
+        raise LithoError(
+            f"printed {printed.shape} and target {target.shape} shapes differ"
+        )
+    core_printed = core_region(printed, margin_fraction).astype(np.int8)
+    core_target = core_region(target, margin_fraction).astype(np.int8)
+    printed_area = int(core_printed.sum())
+    target_area = int(core_target.sum())
+    ratio = printed_area / target_area if target_area > 0 else 0.0
+    mismatch = float(np.mean(core_printed != core_target)) if core_printed.size else 0.0
+    return ContourStats(
+        min_width_px=min_feature_width(core_printed),
+        min_space_px=min_feature_spacing(core_printed),
+        printed_area_px=printed_area,
+        target_area_px=target_area,
+        area_ratio=ratio,
+        mismatch_fraction=mismatch,
+        target_components=count_components(core_target, min_component_px),
+        printed_components=count_components(core_printed, min_component_px),
+        neck=has_neck(core_printed, min_width_px, min_component_px),
+        bridge=has_bridge(core_printed, min_space_px, min_component_px),
+    )

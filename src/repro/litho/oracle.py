@@ -1,0 +1,209 @@
+"""Ground-truth hotspot labelling.
+
+:class:`HotspotOracle` plays the role of the industrial lithography
+simulator that produced the ICCAD-2012 labels: it simulates a clip through
+every process corner and declares it a hotspot when any corner violates the
+printability criteria (necking, bridging, or gross pattern loss/gain in the
+clip core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import LithoError
+from repro.geometry.clip import HOTSPOT, NON_HOTSPOT, Clip
+from repro.litho.epe import ContourStats, measure_contour
+from repro.litho.optics import OpticalModel, OpticsConfig
+from repro.litho.process import ProcessWindow
+from repro.litho.resist import ResistModel
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """Printability criteria and simulation setup.
+
+    Attributes
+    ----------
+    optics / resist / window:
+        The physical models; see the respective modules.
+    min_width_nm:
+        Printed lines narrower than this (anywhere in the core, at any
+        corner) are necking defects.
+    min_space_nm:
+        Printed spaces narrower than this are bridging defects.
+    min_area_ratio / max_area_ratio:
+        Printed/drawn area bounds in the core; outside means gross
+        under/over-printing.
+    margin_fraction:
+        Border fraction excluded from defect analysis (optical halo).
+    """
+
+    optics: OpticsConfig = field(default_factory=OpticsConfig)
+    resist: ResistModel = field(default_factory=ResistModel)
+    window: ProcessWindow = field(default_factory=ProcessWindow)
+    min_width_nm: float = 34.0
+    min_space_nm: float = 34.0
+    min_area_ratio: float = 0.55
+    max_area_ratio: float = 1.80
+    margin_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_width_nm <= 0 or self.min_space_nm <= 0:
+            raise LithoError("minimum width/space must be positive")
+        if not 0 < self.min_area_ratio < 1 <= self.max_area_ratio:
+            raise LithoError(
+                "need 0 < min_area_ratio < 1 <= max_area_ratio, got "
+                f"{self.min_area_ratio}, {self.max_area_ratio}"
+            )
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Diagnosis for one clip.
+
+    Attributes
+    ----------
+    label:
+        ``HOTSPOT`` or ``NON_HOTSPOT``.
+    failing_corner:
+        Name of the first process corner that violated the criteria, or
+        ``None`` for non-hotspots.
+    reason:
+        Human-readable defect description (``""`` for non-hotspots).
+    stats:
+        Per-corner contour measurements, in corner order (truncated at the
+        first failure since labelling short-circuits).
+    """
+
+    label: int
+    failing_corner: Optional[str]
+    reason: str
+    stats: Tuple[ContourStats, ...]
+
+    @property
+    def is_hotspot(self) -> bool:
+        return self.label == HOTSPOT
+
+
+def violation_reason(stats: ContourStats, config: "OracleConfig") -> str:
+    """Describe the first printability violation in ``stats``, or ``""``.
+
+    Shared by the oracle's labelling loop and the process-window analyser.
+    """
+    if stats.target_area_px > 0 and stats.area_ratio < config.min_area_ratio:
+        return (
+            f"pattern loss: printed/drawn area {stats.area_ratio:.2f} < "
+            f"{config.min_area_ratio}"
+        )
+    if stats.target_area_px > 0 and stats.area_ratio > config.max_area_ratio:
+        return (
+            f"pattern gain: printed/drawn area {stats.area_ratio:.2f} > "
+            f"{config.max_area_ratio}"
+        )
+    if stats.neck:
+        return "necking: printed feature thinner than minimum width at a waist"
+    if stats.bridge:
+        return "bridging: printed features closer than minimum space"
+    if stats.printed_components < stats.target_components:
+        return (
+            f"bridging: {stats.target_components} drawn components merged "
+            f"into {stats.printed_components}"
+        )
+    if stats.printed_components > stats.target_components:
+        return (
+            f"pinching: {stats.target_components} drawn components split "
+            f"into {stats.printed_components}"
+        )
+    return ""
+
+
+class HotspotOracle:
+    """Labels clips by process-window simulation.
+
+    The oracle is deterministic: the same clip always receives the same
+    label. It is intentionally *not* exposed to the learners — they only see
+    the resulting labels, exactly as in the paper's setting.
+    """
+
+    def __init__(self, config: OracleConfig = OracleConfig()):
+        self.config = config
+        self._optical = OpticalModel(config.optics)
+        self.simulation_count = 0
+
+    # ------------------------------------------------------------------
+    def diagnose(self, clip: Clip) -> OracleReport:
+        """Simulate every corner and return the full diagnosis."""
+        cfg = self.config
+        pixel = cfg.optics.pixel_nm
+        target = clip.rasterize(resolution=pixel)
+        min_width_px = max(1, int(round(cfg.min_width_nm / pixel)))
+        min_space_px = max(1, int(round(cfg.min_space_nm / pixel)))
+
+        collected: List[ContourStats] = []
+        for corner in cfg.window.corners():
+            intensity = self._optical.aerial_image(target, corner.defocus_nm)
+            printed = cfg.resist.printed(intensity, corner.dose)
+            self.simulation_count += 1
+            stats = measure_contour(
+                printed,
+                target,
+                margin_fraction=cfg.margin_fraction,
+                min_width_px=min_width_px,
+                min_space_px=min_space_px,
+            )
+            collected.append(stats)
+            reason = self._violation(stats)
+            if reason:
+                return OracleReport(
+                    label=HOTSPOT,
+                    failing_corner=corner.name,
+                    reason=reason,
+                    stats=tuple(collected),
+                )
+        return OracleReport(
+            label=NON_HOTSPOT,
+            failing_corner=None,
+            reason="",
+            stats=tuple(collected),
+        )
+
+    def label(self, clip: Clip) -> int:
+        """Just the label for ``clip``."""
+        return self.diagnose(clip).label
+
+    def label_clip(self, clip: Clip) -> Clip:
+        """Return a copy of ``clip`` carrying its oracle label."""
+        return clip.with_label(self.label(clip))
+
+    def label_clips(self, clips: Sequence[Clip]) -> List[Clip]:
+        """Label a batch of clips."""
+        return [self.label_clip(clip) for clip in clips]
+
+    # ------------------------------------------------------------------
+    def check_corner(self, target: "np.ndarray", corner) -> str:
+        """Simulate one corner against a pre-rasterised target.
+
+        Returns the violation description, or ``""`` when the pattern
+        prints correctly at that corner.
+        """
+        cfg = self.config
+        pixel = cfg.optics.pixel_nm
+        intensity = self._optical.aerial_image(target, corner.defocus_nm)
+        printed = cfg.resist.printed(intensity, corner.dose)
+        self.simulation_count += 1
+        stats = measure_contour(
+            printed,
+            target,
+            margin_fraction=cfg.margin_fraction,
+            min_width_px=max(1, int(round(cfg.min_width_nm / pixel))),
+            min_space_px=max(1, int(round(cfg.min_space_nm / pixel))),
+        )
+        return violation_reason(stats, cfg)
+
+    def _violation(self, stats: ContourStats) -> str:
+        """Describe the first criteria violation in ``stats``, or ``""``."""
+        return violation_reason(stats, self.config)

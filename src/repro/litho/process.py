@@ -1,0 +1,71 @@
+"""Process-window corners.
+
+A hotspot is a pattern with a *small process window*: it fails to print
+correctly under modest dose/defocus excursions. We model the window as a
+small set of (dose, defocus) corners around the nominal condition; the
+oracle requires a clip to print correctly at every corner to be labelled
+non-hotspot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.exceptions import LithoError
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One (dose, defocus) process condition."""
+
+    dose: float = 1.0
+    defocus_nm: float = 0.0
+    name: str = "nominal"
+
+    def __post_init__(self) -> None:
+        if self.dose <= 0:
+            raise LithoError(f"dose must be positive, got {self.dose}")
+        if self.defocus_nm < 0:
+            raise LithoError(f"defocus must be non-negative, got {self.defocus_nm}")
+
+
+def nominal_corner() -> ProcessCorner:
+    """The nominal process condition (dose 1.0, no defocus)."""
+    return ProcessCorner()
+
+
+@dataclass(frozen=True)
+class ProcessWindow:
+    """The set of process corners a pattern must survive.
+
+    The default models a +/-5 % dose latitude with 40 nm of defocus, a
+    typical spec for a 28 nm metal layer.
+    """
+
+    dose_latitude: float = 0.05
+    defocus_nm: float = 40.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dose_latitude < 1.0:
+            raise LithoError(
+                f"dose_latitude must be in [0, 1), got {self.dose_latitude}"
+            )
+        if self.defocus_nm < 0:
+            raise LithoError(f"defocus must be non-negative, got {self.defocus_nm}")
+
+    def corners(self) -> Tuple[ProcessCorner, ...]:
+        """Nominal plus the four worst-case corners.
+
+        Over/under-dose are evaluated at full defocus — the standard
+        worst-case pairing — plus the nominal point itself.
+        """
+        lo = 1.0 - self.dose_latitude
+        hi = 1.0 + self.dose_latitude
+        return (
+            ProcessCorner(1.0, 0.0, "nominal"),
+            ProcessCorner(lo, 0.0, "underdose"),
+            ProcessCorner(hi, 0.0, "overdose"),
+            ProcessCorner(lo, self.defocus_nm, "underdose+defocus"),
+            ProcessCorner(hi, self.defocus_nm, "overdose+defocus"),
+        )

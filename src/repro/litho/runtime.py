@@ -1,0 +1,50 @@
+"""Simulation cost model.
+
+The paper's ODST metric charges 10 s of lithography-simulation time for
+every clip a detector flags as a hotspot (true positives and false alarms
+alike), citing the industrial simulator of the ICCAD-2013 mask-optimisation
+contest. We keep that constant as the default and let benchmarks override
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import LithoError
+
+#: Seconds of lithography simulation charged per detected hotspot (paper §5).
+DEFAULT_SECONDS_PER_CLIP = 10.0
+
+
+@dataclass(frozen=True)
+class SimulationCostModel:
+    """Cost of verifying detector output with full lithography simulation."""
+
+    seconds_per_clip: float = DEFAULT_SECONDS_PER_CLIP
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_clip < 0:
+            raise LithoError(
+                f"seconds_per_clip must be non-negative, got {self.seconds_per_clip}"
+            )
+
+    def simulation_seconds(self, detected_hotspot_count: int) -> float:
+        """Total simulation time for ``detected_hotspot_count`` flagged clips."""
+        if detected_hotspot_count < 0:
+            raise LithoError(
+                f"detected count must be non-negative, got {detected_hotspot_count}"
+            )
+        return self.seconds_per_clip * detected_hotspot_count
+
+    def odst_seconds(
+        self,
+        detected_hotspot_count: int,
+        evaluation_seconds: float,
+    ) -> float:
+        """Overall detection-and-simulation time (paper Definition 3)."""
+        if evaluation_seconds < 0:
+            raise LithoError(
+                f"evaluation time must be non-negative, got {evaluation_seconds}"
+            )
+        return self.simulation_seconds(detected_hotspot_count) + evaluation_seconds

@@ -1,0 +1,138 @@
+"""2-D convolution layer.
+
+Implements the paper's Equation (4): each output map is the sum over input
+channels of 2-D convolutions with a learned kernel, plus a bias. 'same'
+padding keeps 12 x 12 feature maps at 12 x 12 through the 3 x 3 convolution
+stages of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.init import he_normal, zeros_init
+from repro.nn.layer import Layer, Parameter
+
+
+class Conv2D(Layer):
+    """Convolution over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels / out_channels:
+        Channel counts; ``out_channels`` is the number of learned kernels.
+    kernel_size:
+        Square kernel side (3 in Table 1).
+    stride:
+        Spatial stride (1 in Table 1).
+    padding:
+        ``"same"`` (stride-1 shape-preserving, Table 1's convention),
+        ``"valid"`` (no padding), or an explicit non-negative integer.
+    rng:
+        Weight-init RNG; defaults to a fixed seed for reproducibility.
+    """
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: str | int = "same",
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ):
+        super().__init__(name)
+        if in_channels < 1 or out_channels < 1:
+            raise NetworkError("channel counts must be >= 1")
+        if kernel_size < 1 or stride < 1:
+            raise NetworkError("kernel_size and stride must be >= 1")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = self._resolve_padding(padding)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_normal(rng, (out_channels, in_channels, kernel_size, kernel_size), fan_in),
+            name=f"{self.name}.weight",
+        )
+        self.bias = Parameter(zeros_init((out_channels,)), name=f"{self.name}.bias")
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int], Tuple[int, ...]]] = None
+
+    def _resolve_padding(self, padding: str | int) -> int:
+        if isinstance(padding, int):
+            if padding < 0:
+                raise NetworkError(f"padding must be >= 0, got {padding}")
+            return padding
+        if padding == "same":
+            if self.stride != 1:
+                raise NetworkError("'same' padding requires stride 1")
+            if self.kernel_size % 2 == 0:
+                raise NetworkError("'same' padding requires an odd kernel")
+            return (self.kernel_size - 1) // 2
+        if padding == "valid":
+            return 0
+        raise NetworkError(f"unknown padding {padding!r}")
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise NetworkError(
+                f"{self.name}: expected (N, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.stride, self.pad)
+        w_rows = self.weight.value.reshape(self.out_channels, -1)
+        # One BLAS GEMM over the whole batch: (F, K) @ (K, N*P).
+        n = x.shape[0]
+        patch_count = out_h * out_w
+        cols_flat = cols.transpose(1, 0, 2).reshape(w_rows.shape[1], n * patch_count)
+        out = (w_rows @ cols_flat).reshape(self.out_channels, n, patch_count)
+        out = out.transpose(1, 0, 2) + self.bias.value[None, :, None]
+        self._cache = (cols_flat, (out_h, out_w), x.shape)
+        return np.ascontiguousarray(
+            out.reshape(n, self.out_channels, out_h, out_w)
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        cols_flat, (out_h, out_w), x_shape = self._require_cached(self._cache)
+        n = x_shape[0]
+        patch_count = out_h * out_w
+        grad_flat = (
+            grad.reshape(n, self.out_channels, patch_count)
+            .transpose(1, 0, 2)
+            .reshape(self.out_channels, n * patch_count)
+        )
+        w_rows = self.weight.value.reshape(self.out_channels, -1)
+        # dW: correlate upstream gradient with the cached input patches.
+        dw = grad_flat @ cols_flat.T
+        self.weight.grad += dw.reshape(self.weight.value.shape)
+        self.bias.grad += grad_flat.sum(axis=1)
+        dcols_flat = w_rows.T @ grad_flat
+        dcols = np.ascontiguousarray(
+            dcols_flat.reshape(-1, n, patch_count).transpose(1, 0, 2)
+        )
+        return col2im(dcols, x_shape, self.kernel_size, self.stride, self.pad)
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 3 or input_shape[0] != self.in_channels:
+            raise NetworkError(
+                f"{self.name}: expected ({self.in_channels}, H, W), got {input_shape}"
+            )
+        _, h, w = input_shape
+        return (
+            self.out_channels,
+            conv_output_size(h, self.kernel_size, self.stride, self.pad),
+            conv_output_size(w, self.kernel_size, self.stride, self.pad),
+        )

@@ -1,0 +1,95 @@
+"""Finite-difference gradient checking.
+
+Used by the test suite to validate every layer's analytic backward pass,
+and available to users extending the framework with new layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+from repro.nn.layer import Layer
+
+
+def numeric_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = f(x)
+        flat[i] = original - eps
+        minus = f(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_layer_input_gradient(
+    layer: Layer,
+    x: np.ndarray,
+    seed: int = 0,
+    eps: float = 1e-5,
+) -> Tuple[float, float]:
+    """Compare analytic vs numeric input gradients of ``layer``.
+
+    Uses the scalar probe ``L = sum(forward(x) * R)`` for a fixed random
+    ``R``, whose analytic gradient is ``backward(R)``. Returns
+    ``(max_abs_error, max_rel_error)``.
+    """
+    rng = np.random.default_rng(seed)
+    out = layer.forward(x.copy(), training=False)
+    probe = rng.normal(size=out.shape)
+
+    analytic = layer.backward(probe.copy())
+
+    def scalar(inp: np.ndarray) -> float:
+        return float((layer.forward(inp, training=False) * probe).sum())
+
+    numeric = numeric_gradient(scalar, x.astype(np.float64).copy(), eps)
+    return _errors(analytic, numeric)
+
+
+def check_layer_param_gradients(
+    layer: Layer,
+    x: np.ndarray,
+    seed: int = 0,
+    eps: float = 1e-5,
+) -> Tuple[float, float]:
+    """Compare analytic vs numeric parameter gradients of ``layer``."""
+    params = layer.parameters()
+    if not params:
+        raise NetworkError(f"{layer.name} has no parameters to check")
+    rng = np.random.default_rng(seed)
+    out = layer.forward(x.copy(), training=False)
+    probe = rng.normal(size=out.shape)
+    for p in params:
+        p.zero_grad()
+    layer.forward(x.copy(), training=False)
+    layer.backward(probe.copy())
+    worst_abs = 0.0
+    worst_rel = 0.0
+    for p in params:
+        analytic = p.grad.copy()
+
+        def scalar(_: np.ndarray) -> float:
+            return float((layer.forward(x.copy(), training=False) * probe).sum())
+
+        numeric = numeric_gradient(scalar, p.value, eps)
+        abs_err, rel_err = _errors(analytic, numeric)
+        worst_abs = max(worst_abs, abs_err)
+        worst_rel = max(worst_rel, rel_err)
+    return worst_abs, worst_rel
+
+
+def _errors(analytic: np.ndarray, numeric: np.ndarray) -> Tuple[float, float]:
+    abs_err = float(np.max(np.abs(analytic - numeric)))
+    scale = float(np.max(np.abs(numeric)) + 1e-8)
+    return abs_err, abs_err / scale

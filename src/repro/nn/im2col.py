@@ -1,0 +1,80 @@
+"""im2col / col2im for NCHW convolution.
+
+Convolution is implemented as one big matrix multiply over patch columns —
+the standard CPU strategy. ``im2col`` gathers every kernel-sized patch of
+the (padded) input into a column; ``col2im`` scatters columns back,
+accumulating overlaps, which is exactly the adjoint operation needed by the
+backward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out < 1:
+        raise NetworkError(
+            f"convolution output collapsed: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rearrange ``x`` (N, C, H, W) into patch columns.
+
+    Returns ``(cols, (out_h, out_w))`` where ``cols`` has shape
+    ``(N, C * kernel * kernel, out_h * out_w)``.
+    """
+    if x.ndim != 4:
+        raise NetworkError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    padded = np.pad(
+        x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = padded[:, :, ky:y_end:stride, kx:x_end:stride]
+    return cols.reshape(n, c * kernel * kernel, out_h * out_w), (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to NCHW."""
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    expected = (n, c * kernel * kernel, out_h * out_w)
+    if cols.shape != expected:
+        raise NetworkError(
+            f"col2im shape mismatch: got {cols.shape}, expected {expected}"
+        )
+    cols6 = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols6[:, :, ky, kx]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad : pad + h, pad : pad + w]

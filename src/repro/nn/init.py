@@ -1,0 +1,47 @@
+"""Weight initialisers.
+
+He initialisation is the appropriate choice for the paper's all-ReLU
+network; Glorot is provided for the linear output layer and for
+experimentation. All initialisers take an explicit RNG so that network
+construction is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+
+
+def _check_shape(shape: Tuple[int, ...]) -> None:
+    if not shape or any(int(s) < 1 for s in shape):
+        raise NetworkError(f"invalid parameter shape {shape}")
+
+
+def he_normal(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """He et al. normal init: std = sqrt(2 / fan_in). For ReLU layers."""
+    _check_shape(shape)
+    if fan_in < 1:
+        raise NetworkError(f"fan_in must be >= 1, got {fan_in}")
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def glorot_uniform(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot/Xavier uniform init over [-limit, limit]."""
+    _check_shape(shape)
+    if fan_in < 1 or fan_out < 1:
+        raise NetworkError(f"fans must be >= 1, got {fan_in}/{fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero init (biases)."""
+    _check_shape(shape)
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,72 @@
+"""Layer base class and trainable parameters.
+
+Every layer implements ``forward`` and ``backward``; layers with weights
+expose them as :class:`Parameter` objects so optimizers can update them
+uniformly. Backward passes receive the upstream gradient and must (a)
+return the gradient with respect to their input and (b) accumulate the
+gradients of their own parameters into ``Parameter.grad``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+
+
+class Parameter:
+    """A trainable tensor with its gradient buffer."""
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers."""
+
+    #: Short class-level identifier used in summaries.
+    kind = "layer"
+
+    def __init__(self, name: str = ""):
+        self.name = name or self.kind
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output; must cache what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Propagate ``grad`` (dL/doutput) to dL/dinput."""
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters (empty for stateless layers)."""
+        return []
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-sample output shape given a per-sample input shape."""
+        raise NotImplementedError
+
+    def _require_cached(self, cache, what: str = "input"):
+        if cache is None:
+            raise NetworkError(
+                f"{self.name}: backward called before forward ({what} not cached)"
+            )
+        return cache

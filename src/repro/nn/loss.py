@@ -1,0 +1,76 @@
+"""Softmax cross-entropy with soft targets.
+
+Equations (6)-(8) of the paper: network scores are squashed by softmax and
+compared against a *probability* ground truth. Crucially the targets need
+not be one-hot — biased learning sets the non-hotspot target to
+``[1 - ε, ε]`` — so the loss and its gradient are implemented for arbitrary
+distributions. The gradient of mean cross-entropy w.r.t. the logits is the
+classic ``(softmax(x) - y*) / N`` for any target summing to one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    if logits.ndim != 2:
+        raise NetworkError(f"softmax expects (N, classes), got {logits.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int = 2) -> np.ndarray:
+    """Integer labels to one-hot rows (the unbiased ground truth)."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise NetworkError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise NetworkError(
+            f"labels out of range [0, {num_classes}): "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+class SoftmaxCrossEntropy:
+    """Mean softmax cross-entropy over a batch, soft targets allowed.
+
+    ``lim x->0 x log x = 0`` (paper Equation (8)) is honoured by clipping
+    probabilities away from zero only inside the log.
+    """
+
+    def __init__(self, eps: float = 1e-12):
+        self.eps = eps
+        self._cache: Optional[tuple] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        """Mean cross-entropy of ``softmax(logits)`` against ``targets``."""
+        if logits.shape != targets.shape:
+            raise NetworkError(
+                f"logits {logits.shape} and targets {targets.shape} differ"
+            )
+        row_sums = targets.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-6):
+            raise NetworkError("each target row must sum to 1")
+        if targets.min() < 0:
+            raise NetworkError("targets must be non-negative")
+        probs = softmax(logits)
+        self._cache = (probs, targets)
+        losses = -(targets * np.log(np.clip(probs, self.eps, 1.0))).sum(axis=1)
+        return float(losses.mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss w.r.t. the logits."""
+        if self._cache is None:
+            raise NetworkError("loss backward called before forward")
+        probs, targets = self._cache
+        return (probs - targets) / probs.shape[0]

@@ -1,0 +1,125 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+from repro.nn.layer import Layer, Parameter
+from repro.nn.loss import softmax
+
+
+class Sequential:
+    """A plain stack of layers with shared forward/backward plumbing.
+
+    The container also knows the per-sample input shape, which lets it
+    validate the layer stack at construction time and print a Table-1-style
+    configuration summary.
+    """
+
+    def __init__(self, layers: Sequence[Layer], input_shape: Tuple[int, ...]):
+        if not layers:
+            raise NetworkError("a network needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.input_shape = tuple(int(s) for s in input_shape)
+        # Validate shape propagation eagerly: catches mis-sized stacks at
+        # construction rather than mid-training.
+        shape = self.input_shape
+        self._shapes: List[Tuple[int, ...]] = [shape]
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+            self._shapes.append(shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def output_shape(self) -> Tuple[int, ...]:
+        return self._shapes[-1]
+
+    def layer_shapes(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """``(layer name, per-sample output shape)`` for every layer."""
+        return [
+            (layer.name, shape)
+            for layer, shape in zip(self.layers, self._shapes[1:])
+        ]
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise NetworkError(
+                f"input per-sample shape {tuple(x.shape[1:])} does not match "
+                f"network input {self.input_shape}"
+            )
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        out = grad
+        for layer in reversed(self.layers):
+            out = layer.backward(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities, evaluated in inference mode and batches."""
+        chunks = []
+        for start in range(0, x.shape[0], batch_size):
+            logits = self.forward(x[start : start + batch_size], training=False)
+            chunks.append(softmax(logits))
+        return np.concatenate(chunks, axis=0)
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Hard class predictions (argmax of the probabilities)."""
+        return self.predict_proba(x, batch_size).argmax(axis=1)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Table-1-style configuration listing."""
+        lines = [f"{'Layer':<14}{'Output Shape':<18}{'Params':>10}"]
+        lines.append("-" * 42)
+        for layer, shape in zip(self.layers, self._shapes[1:]):
+            count = sum(p.size for p in layer.parameters())
+            shape_text = " x ".join(str(s) for s in shape)
+            lines.append(f"{layer.name:<14}{shape_text:<18}{count:>10}")
+        lines.append("-" * 42)
+        lines.append(f"{'total':<32}{self.parameter_count():>10}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def get_weights(self) -> List[np.ndarray]:
+        """Copies of all parameter values, in layer order."""
+        return [p.value.copy() for p in self.parameters()]
+
+    def set_weights(self, weights: Iterable[np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`get_weights`."""
+        weight_list = list(weights)
+        params = self.parameters()
+        if len(weight_list) != len(params):
+            raise NetworkError(
+                f"weight count mismatch: got {len(weight_list)}, "
+                f"network has {len(params)}"
+            )
+        for param, value in zip(params, weight_list):
+            if param.value.shape != value.shape:
+                raise NetworkError(
+                    f"shape mismatch for {param.name}: "
+                    f"{value.shape} vs {param.value.shape}"
+                )
+            param.value = value.astype(np.float64).copy()
+            param.zero_grad()

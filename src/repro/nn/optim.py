@@ -1,0 +1,157 @@
+"""Optimizers and learning-rate schedules.
+
+Algorithm 1 of the paper is mini-batch gradient descent whose learning rate
+decays by a factor ``alpha`` every ``k`` parameter updates. That decomposes
+cleanly into a plain :class:`SGD` update rule plus a :class:`StepDecay`
+schedule; the :class:`~repro.nn.trainer.Trainer` owns the batch sampling.
+:class:`Adam` is included for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+from repro.nn.layer import Parameter
+
+
+class LearningRateSchedule:
+    """Maps an update counter to a learning rate."""
+
+    def rate(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantRate(LearningRateSchedule):
+    """Fixed learning rate (what plain SGD in Figure 3 uses)."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise NetworkError(f"learning rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def rate(self, step: int) -> float:
+        return self.learning_rate
+
+
+class StepDecay(LearningRateSchedule):
+    """``lr = lr0 * alpha ** (step // decay_every)`` (paper Algorithm 1).
+
+    Paper Section 5 uses ``lr0 = 1e-3`` (MGD), ``alpha = 0.5`` and
+    ``k = 10,000``; ``decay_every`` should scale with dataset size.
+    """
+
+    def __init__(self, initial_rate: float, alpha: float = 0.5, decay_every: int = 10_000):
+        if initial_rate <= 0:
+            raise NetworkError(f"initial rate must be positive, got {initial_rate}")
+        if not 0.0 < alpha <= 1.0:
+            raise NetworkError(f"alpha must be in (0, 1], got {alpha}")
+        if decay_every < 1:
+            raise NetworkError(f"decay_every must be >= 1, got {decay_every}")
+        self.initial_rate = initial_rate
+        self.alpha = alpha
+        self.decay_every = decay_every
+
+    def rate(self, step: int) -> float:
+        if step < 0:
+            raise NetworkError(f"step must be >= 0, got {step}")
+        return self.initial_rate * self.alpha ** (step // self.decay_every)
+
+
+class Optimizer:
+    """Base optimizer: owns the parameters and the update counter."""
+
+    def __init__(self, parameters: Sequence[Parameter], schedule: LearningRateSchedule):
+        if not parameters:
+            raise NetworkError("optimizer needs at least one parameter")
+        self.parameters = list(parameters)
+        self.schedule = schedule
+        self.step_count = 0
+
+    @property
+    def current_rate(self) -> float:
+        return self.schedule.rate(self.step_count)
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients, then advance."""
+        self._apply(self.current_rate)
+        self.step_count += 1
+
+    def _apply(self, rate: float) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Gradient descent, optionally with classical momentum.
+
+    With the :class:`~repro.nn.trainer.Trainer` sampling single instances
+    this is the paper's SGD; with mini-batches and :class:`StepDecay` it is
+    the paper's MGD (Algorithm 1).
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        schedule: LearningRateSchedule,
+        momentum: float = 0.0,
+    ):
+        super().__init__(parameters, schedule)
+        if not 0.0 <= momentum < 1.0:
+            raise NetworkError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _apply(self, rate: float) -> None:
+        for p in self.parameters:
+            if self.momentum > 0.0:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.value)
+                v = self.momentum * v - rate * p.grad
+                self._velocity[id(p)] = v
+                p.value += v
+            else:
+                p.value -= rate * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — extension beyond the paper, for ablations."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        schedule: LearningRateSchedule,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(parameters, schedule)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise NetworkError(f"betas must be in [0, 1), got {beta1}/{beta2}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _apply(self, rate: float) -> None:
+        t = self.step_count + 1
+        for p in self.parameters:
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.value)
+                v = np.zeros_like(p.value)
+            m = self.beta1 * m + (1 - self.beta1) * p.grad
+            v = self.beta2 * v + (1 - self.beta2) * np.square(p.grad)
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / (1 - self.beta1**t)
+            v_hat = v / (1 - self.beta2**t)
+            p.value -= rate * m_hat / (np.sqrt(v_hat) + self.eps)

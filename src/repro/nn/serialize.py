@@ -1,0 +1,42 @@
+"""Network parameter (de)serialisation.
+
+Weights are stored as an ``.npz`` archive with positional keys; the
+architecture itself is code, so loading validates shapes against the
+receiving network (mismatches fail loudly instead of silently truncating).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import NetworkError
+from repro.nn.network import Sequential
+
+PathLike = Union[str, Path]
+
+_KEY = "param_{:04d}"
+
+
+def save_network_params(network: Sequential, path: PathLike) -> None:
+    """Save all parameter values of ``network`` to ``path`` (npz)."""
+    arrays = {
+        _KEY.format(i): value for i, value in enumerate(network.get_weights())
+    }
+    np.savez_compressed(path, **arrays)
+
+
+def load_network_params(network: Sequential, path: PathLike) -> None:
+    """Load parameters saved by :func:`save_network_params` into ``network``."""
+    with np.load(path) as archive:
+        count = len(archive.files)
+        expected = len(network.parameters())
+        if count != expected:
+            raise NetworkError(
+                f"{path}: archive has {count} parameters, network expects "
+                f"{expected}"
+            )
+        weights = [archive[_KEY.format(i)] for i in range(count)]
+    network.set_weights(weights)

@@ -1,0 +1,203 @@
+"""Mini-batch training loop (paper Algorithm 1).
+
+The trainer samples ``m`` random instances per iteration, back-propagates
+their mean gradient, and lets the optimizer's schedule decay the learning
+rate. Convergence is decided exactly as in Section 4.2: a validation set
+(the paper holds out 25 % of training data) is evaluated every few
+iterations and training stops when its accuracy stops improving; the best
+validation-set weights are restored.
+
+Targets are *soft* probability rows, so the same loop serves both normal
+training (one-hot targets) and biased fine-tuning (``[1-ε, ε]`` rows).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Training-loop settings.
+
+    Attributes
+    ----------
+    batch_size:
+        ``m`` of Algorithm 1. ``1`` degenerates to the paper's SGD.
+    max_iterations:
+        Hard iteration cap (stop condition of last resort).
+    validate_every:
+        Validation cadence, in iterations.
+    patience:
+        Consecutive validations without improvement before stopping.
+    min_iterations:
+        Do not stop before this many iterations (lets the LR decay act).
+    seed:
+        Batch-sampling RNG seed.
+    restore_best:
+        Restore the weights of the best validation accuracy seen.
+    """
+
+    batch_size: int = 32
+    max_iterations: int = 4000
+    validate_every: int = 50
+    patience: int = 8
+    min_iterations: int = 200
+    seed: int = 0
+    restore_best: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise TrainingError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.max_iterations < 1:
+            raise TrainingError("max_iterations must be >= 1")
+        if self.validate_every < 1:
+            raise TrainingError("validate_every must be >= 1")
+        if self.patience < 1:
+            raise TrainingError("patience must be >= 1")
+        if self.min_iterations < 0:
+            raise TrainingError("min_iterations must be >= 0")
+
+
+@dataclass
+class TrainingHistory:
+    """Validation trace of one training run (drives Figure 3)."""
+
+    iterations: List[int] = field(default_factory=list)
+    elapsed_seconds: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+    best_val_accuracy: float = 0.0
+    stopped_iteration: int = 0
+
+    def record(
+        self,
+        iteration: int,
+        elapsed: float,
+        accuracy: float,
+        loss: float,
+        rate: float,
+    ) -> None:
+        self.iterations.append(iteration)
+        self.elapsed_seconds.append(elapsed)
+        self.val_accuracy.append(accuracy)
+        self.train_loss.append(loss)
+        self.learning_rate.append(rate)
+
+
+class Trainer:
+    """Runs Algorithm 1 on a network/optimizer pair."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        optimizer: Optimizer,
+        config: TrainerConfig = TrainerConfig(),
+    ):
+        self.network = network
+        self.optimizer = optimizer
+        self.config = config
+        self.loss = SoftmaxCrossEntropy()
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x_train: np.ndarray,
+        targets_train: np.ndarray,
+        x_val: np.ndarray,
+        y_val: np.ndarray,
+    ) -> TrainingHistory:
+        """Train until the validation accuracy converges.
+
+        Parameters
+        ----------
+        x_train:
+            Training inputs, first axis is the sample axis.
+        targets_train:
+            Soft target rows (each summing to 1), aligned with ``x_train``.
+        x_val / y_val:
+            Validation inputs and *hard* integer labels.
+        """
+        self._check_inputs(x_train, targets_train, x_val, y_val)
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        history = TrainingHistory()
+        best_accuracy = -1.0
+        best_weights = None
+        stale_validations = 0
+        start = time.perf_counter()
+        n = x_train.shape[0]
+
+        iteration = 0
+        while iteration < cfg.max_iterations:
+            iteration += 1
+            batch_idx = rng.integers(0, n, size=min(cfg.batch_size, n))
+            xb = x_train[batch_idx]
+            tb = targets_train[batch_idx]
+
+            self.network.zero_grad()
+            logits = self.network.forward(xb, training=True)
+            loss_value = self.loss.forward(logits, tb)
+            self.network.backward(self.loss.backward())
+            self.optimizer.step()
+
+            if iteration % cfg.validate_every == 0 or iteration == cfg.max_iterations:
+                accuracy = self.evaluate(x_val, y_val)
+                history.record(
+                    iteration,
+                    time.perf_counter() - start,
+                    accuracy,
+                    loss_value,
+                    self.optimizer.current_rate,
+                )
+                if accuracy > best_accuracy:
+                    best_accuracy = accuracy
+                    best_weights = self.network.get_weights()
+                    stale_validations = 0
+                else:
+                    stale_validations += 1
+                if (
+                    stale_validations >= cfg.patience
+                    and iteration >= cfg.min_iterations
+                ):
+                    break
+
+        if cfg.restore_best and best_weights is not None:
+            self.network.set_weights(best_weights)
+        history.best_val_accuracy = max(best_accuracy, 0.0)
+        history.stopped_iteration = iteration
+        return history
+
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Plain classification accuracy on hard labels."""
+        predictions = self.network.predict(x)
+        return float((predictions == np.asarray(y)).mean())
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_inputs(x_train, targets_train, x_val, y_val) -> None:
+        if x_train.shape[0] == 0:
+            raise TrainingError("empty training set")
+        if x_train.shape[0] != targets_train.shape[0]:
+            raise TrainingError(
+                f"{x_train.shape[0]} inputs vs {targets_train.shape[0]} targets"
+            )
+        if targets_train.ndim != 2:
+            raise TrainingError("targets must be (N, classes) probability rows")
+        if x_val.shape[0] == 0:
+            raise TrainingError("empty validation set")
+        if x_val.shape[0] != np.asarray(y_val).shape[0]:
+            raise TrainingError(
+                f"{x_val.shape[0]} val inputs vs {np.asarray(y_val).shape[0]} labels"
+            )

@@ -1,0 +1,85 @@
+"""Tests for the AdaBoost classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.baselines.adaboost import AdaBoostClassifier
+
+
+def box_problem(n=200, seed=0):
+    """Centered-box labels: a single stump cannot solve it, boosting can.
+
+    (Discrete AdaBoost over axis-aligned stumps provably cannot learn XOR
+    — every stump has ~50 % weighted error — so the classic nonlinear test
+    problem here is an axis-aligned box instead.)
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((np.abs(x[:, 0]) < 0.6) & (np.abs(x[:, 1]) < 0.6)).astype(int)
+    return x, y
+
+
+class TestFit:
+    def test_construction_validation(self):
+        with pytest.raises(TrainingError):
+            AdaBoostClassifier(n_estimators=0)
+        with pytest.raises(TrainingError):
+            AdaBoostClassifier(learning_rate=0.0)
+
+    def test_input_validation(self):
+        clf = AdaBoostClassifier()
+        with pytest.raises(TrainingError):
+            clf.fit(np.zeros((3,)), np.array([0, 1, 0]))
+        with pytest.raises(TrainingError):
+            clf.fit(np.zeros((3, 2)), np.array([0, 2, 0]))
+        with pytest.raises(TrainingError):
+            clf.fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_solves_box(self):
+        x, y = box_problem()
+        clf = AdaBoostClassifier(n_estimators=60).fit(x, y)
+        assert (clf.predict(x) == y).mean() > 0.9
+
+    def test_single_stump_cannot_solve_box(self):
+        x, y = box_problem()
+        clf = AdaBoostClassifier(n_estimators=1).fit(x, y)
+        assert (clf.predict(x) == y).mean() < 0.75
+
+    def test_ensemble_grows_with_rounds(self):
+        x, y = box_problem()
+        small = AdaBoostClassifier(n_estimators=5).fit(x, y)
+        large = AdaBoostClassifier(n_estimators=40).fit(x, y)
+        assert len(large.stumps) > len(small.stumps)
+
+    def test_single_class_degenerate(self):
+        x = np.random.default_rng(0).normal(size=(10, 2))
+        y = np.ones(10, dtype=int)
+        clf = AdaBoostClassifier(n_estimators=10).fit(x, y)
+        assert set(clf.predict(x)) <= {0, 1}
+
+
+class TestPredict:
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            AdaBoostClassifier().predict(np.zeros((1, 2)))
+
+    def test_proba_rows_sum_to_one(self):
+        x, y = box_problem(100)
+        clf = AdaBoostClassifier(n_estimators=20).fit(x, y)
+        probs = clf.predict_proba(x)
+        assert probs.shape == (100, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_proba_consistent_with_predictions(self):
+        x, y = box_problem(100)
+        clf = AdaBoostClassifier(n_estimators=20).fit(x, y)
+        assert np.array_equal(
+            clf.predict(x), (clf.predict_proba(x)[:, 1] > 0.5).astype(int)
+        )
+
+    def test_decision_function_sign(self):
+        x, y = box_problem(100)
+        clf = AdaBoostClassifier(n_estimators=20).fit(x, y)
+        scores = clf.decision_function(x)
+        assert np.array_equal(clf.predict(x), (scores > 0).astype(int))

@@ -1,0 +1,70 @@
+"""Integration tests for the two baseline detectors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.baselines import ICCAD16Detector, SPIE15Detector
+from repro.data.dataset import HotspotDataset
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.litho.oracle import OracleConfig
+from repro.litho.optics import OpticsConfig
+
+
+@pytest.fixture(scope="module")
+def data():
+    generator = ClipGenerator(
+        GeneratorConfig(
+            seed=21, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8))
+        )
+    )
+    train = HotspotDataset(generator.generate(40, 60), name="bl/train")
+    test = HotspotDataset(generator.generate(20, 30), name="bl/test")
+    return train, test
+
+
+@pytest.mark.parametrize("detector_cls", [SPIE15Detector, ICCAD16Detector])
+class TestCommonSurface:
+    def test_fit_predict_evaluate(self, detector_cls, data):
+        train, test = data
+        detector = detector_cls().fit(train)
+        predictions = detector.predict(test)
+        assert predictions.shape == (len(test),)
+        assert set(np.unique(predictions)) <= {0, 1}
+        metrics = detector.evaluate(test)
+        assert 0.0 <= metrics.accuracy <= 1.0
+        assert metrics.hotspot_count == test.hotspot_count
+
+    def test_unfitted_raises(self, detector_cls, data):
+        _, test = data
+        with pytest.raises(TrainingError):
+            detector_cls().predict(test)
+
+    def test_empty_training_raises(self, detector_cls):
+        with pytest.raises(TrainingError):
+            detector_cls().fit(HotspotDataset([]))
+
+    def test_proba_consistency(self, detector_cls, data):
+        train, test = data
+        detector = detector_cls().fit(train)
+        probs = detector.predict_proba(test)
+        assert probs.shape == (len(test), 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_better_than_chance_on_train(self, detector_cls, data):
+        train, _ = data
+        detector = detector_cls().fit(train)
+        predictions = detector.predict(train)
+        assert (predictions == train.labels).mean() > 0.6
+
+
+class TestICCAD16Online:
+    def test_update_requires_fit(self, data):
+        train, _ = data
+        with pytest.raises(TrainingError):
+            ICCAD16Detector().update(train)
+
+    def test_update_runs(self, data):
+        train, test = data
+        detector = ICCAD16Detector().fit(train)
+        detector.update(test)  # absorbs new labelled clips without refit

@@ -1,0 +1,92 @@
+"""Tests for the online boosted learner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.baselines.online import OnlineBoostedLearner
+
+
+def blobs(n=200, seed=0, shift=2.0):
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    x = np.vstack(
+        [
+            rng.normal(-shift / 2, 1.0, size=(half, 3)),
+            rng.normal(shift / 2, 1.0, size=(half, 3)),
+        ]
+    )
+    y = np.concatenate([np.zeros(half), np.ones(half)])
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_members": 0},
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TrainingError):
+            OnlineBoostedLearner(**kwargs)
+
+
+class TestFit:
+    def test_learns_blobs(self):
+        x, y = blobs()
+        learner = OnlineBoostedLearner(epochs=20, seed=0).fit(x, y)
+        assert (learner.predict(x) == y).mean() > 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            OnlineBoostedLearner().predict(np.zeros((1, 3)))
+
+    def test_misaligned_raises(self):
+        with pytest.raises(TrainingError):
+            OnlineBoostedLearner().fit(np.zeros((4, 3)), np.zeros(5))
+
+    def test_dim_change_raises(self):
+        x, y = blobs(40)
+        learner = OnlineBoostedLearner(epochs=2).fit(x, y)
+        with pytest.raises(TrainingError):
+            learner.partial_fit(np.zeros((4, 7)), np.zeros(4))
+
+    def test_deterministic(self):
+        x, y = blobs()
+        a = OnlineBoostedLearner(epochs=5, seed=3).fit(x, y).predict(x)
+        b = OnlineBoostedLearner(epochs=5, seed=3).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+    def test_proba_shape_and_range(self):
+        x, y = blobs(60)
+        learner = OnlineBoostedLearner(epochs=5).fit(x, y)
+        probs = learner.predict_proba(x)
+        assert probs.shape == (60, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert probs.min() >= 0.0
+
+
+class TestOnlineUpdate:
+    def test_partial_fit_improves_on_shifted_data(self):
+        # Train on one cluster arrangement, then stream data from a
+        # shifted distribution: online updates must adapt the model.
+        x, y = blobs(seed=0)
+        learner = OnlineBoostedLearner(epochs=10, seed=0).fit(x, y)
+        x_new, y_new = blobs(seed=1, shift=-2.0)  # flipped geometry
+        before = (learner.predict(x_new) == y_new).mean()
+        for _ in range(30):
+            learner.partial_fit(x_new, y_new)
+        after = (learner.predict(x_new) == y_new).mean()
+        assert after > before
+
+    def test_partial_fit_from_scratch(self):
+        x, y = blobs(100)
+        learner = OnlineBoostedLearner(seed=0)
+        for _ in range(50):
+            learner.partial_fit(x, y)
+        assert (learner.predict(x) == y).mean() > 0.9

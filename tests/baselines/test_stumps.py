@@ -1,0 +1,77 @@
+"""Tests for decision stumps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrainingError
+from repro.baselines.stumps import DecisionStump
+
+
+class TestFit:
+    def test_separable_single_feature(self):
+        x = np.array([[0.1], [0.2], [0.8], [0.9]])
+        y = np.array([-1, -1, 1, 1])
+        stump = DecisionStump().fit(x, y)
+        assert np.array_equal(stump.predict(x), y)
+        assert 0.2 < stump.threshold < 0.8
+
+    def test_inverted_polarity(self):
+        x = np.array([[0.1], [0.2], [0.8], [0.9]])
+        y = np.array([1, 1, -1, -1])
+        stump = DecisionStump().fit(x, y)
+        assert np.array_equal(stump.predict(x), y)
+        assert stump.polarity == -1
+
+    def test_picks_informative_feature(self):
+        rng = np.random.default_rng(0)
+        noise = rng.normal(size=(40, 1))
+        signal = np.concatenate([np.zeros(20), np.ones(20)])[:, None]
+        x = np.hstack([noise, signal])
+        y = np.concatenate([-np.ones(20), np.ones(20)]).astype(int)
+        stump = DecisionStump().fit(x, y)
+        assert stump.feature == 1
+
+    def test_weighted_fit_prioritises_heavy_samples(self):
+        # Without weights the best split favours the majority grouping;
+        # concentrating weight on two contrarian points flips it.
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([1, 1, -1, 1])
+        heavy_on_third = np.array([0.05, 0.05, 0.85, 0.05])
+        stump = DecisionStump().fit(x, y, heavy_on_third)
+        assert stump.predict(np.array([[2.0]]))[0] == -1
+
+    def test_weighted_error(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([-1, 1])
+        stump = DecisionStump().fit(x, y)
+        assert stump.weighted_error(x, y, np.array([0.5, 0.5])) == 0.0
+
+    def test_input_validation(self):
+        with pytest.raises(TrainingError):
+            DecisionStump().fit(np.zeros(3), np.array([1, -1, 1]))
+        with pytest.raises(TrainingError):
+            DecisionStump().fit(np.zeros((3, 1)), np.array([0, 1, 0]))
+        with pytest.raises(TrainingError):
+            DecisionStump().fit(
+                np.zeros((3, 1)), np.array([1, -1, 1]), np.zeros(2)
+            )
+        with pytest.raises(TrainingError):
+            DecisionStump().fit(
+                np.zeros((3, 1)), np.array([1, -1, 1]), np.zeros(3)
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_never_worse_than_majority(self, seed):
+        # A fitted stump's weighted error is at most min(P(+), P(-)):
+        # the constant-majority stump is always available.
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(20, 3))
+        y = rng.choice([-1, 1], size=20)
+        w = np.full(20, 1 / 20)
+        stump = DecisionStump().fit(x, y, w)
+        error = stump.weighted_error(x, y, w)
+        majority = min((y == 1).mean(), (y == -1).mean())
+        assert error <= majority + 1e-9

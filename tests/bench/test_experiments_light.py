@@ -1,0 +1,55 @@
+"""Unit tests for the cheap experiment functions.
+
+Table 2 / Figures 3-4 train networks for minutes and are exercised by the
+benchmark suite; Table 1 and Figure 1 are fast enough to test directly.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    _find_run,
+    experiment_fig1,
+    experiment_table1,
+)
+from repro.bench.harness import DetectorRun
+from repro.core.metrics import DetectionMetrics
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows, text = experiment_table1()
+        assert len(rows) == 8
+        assert rows[0] == ("conv1-1", 3, 1, "12 x 12 x 16")
+        assert rows[-1] == ("fc2", "-", "-", "2")
+        assert "Table 1" in text
+
+    def test_custom_channels_keep_shapes(self):
+        rows, _ = experiment_table1(input_channels=16)
+        # Output shapes are independent of the input channel count.
+        assert rows[0][3] == "12 x 12 x 16"
+
+
+class TestFig1:
+    def test_structure(self):
+        results, text = experiment_fig1(k_values=(4, 16), clip_seed=1)
+        assert [r["k"] for r in results] == [4, 16]
+        assert results[0]["tensor_shape"] == (12, 12, 4)
+        assert results[0]["compression_ratio"] == pytest.approx(2500.0)
+        assert "Figure 1" in text
+
+    def test_error_decreases_with_k(self):
+        results, _ = experiment_fig1(k_values=(4, 16, 64), clip_seed=2)
+        errors = [r["rms_error"] for r in results]
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_encode_time_recorded(self):
+        results, _ = experiment_fig1(k_values=(8,), clip_seed=3)
+        assert results[0]["encode_seconds"] > 0
+
+
+class TestFindRun:
+    def test_lookup(self):
+        run = DetectorRun("a", "s", 1.0, DetectionMetrics(1, 0, 0, 1))
+        assert _find_run([run], "a", "s") is run
+        with pytest.raises(KeyError):
+            _find_run([run], "a", "other")

@@ -1,0 +1,88 @@
+"""Tests for the benchmark harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    DetectorRun,
+    bench_detector_config,
+    bench_iterations,
+    bench_scale,
+    run_detector,
+)
+from repro.core.metrics import DetectionMetrics
+from repro.data.dataset import HotspotDataset
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 240, 240)
+
+
+class StubDetector:
+    """Predicts hotspot iff the clip has more than one rectangle."""
+
+    name = "stub"
+
+    def fit(self, train):
+        self.fitted = True
+        return self
+
+    def predict(self, dataset):
+        return np.array([1 if len(c.rects) > 1 else 0 for c in dataset])
+
+    def evaluate(self, dataset, simulation_seconds_per_clip=10.0):
+        from repro.core.metrics import evaluate_predictions
+
+        return evaluate_predictions(
+            dataset.labels, self.predict(dataset), evaluation_seconds=0.5
+        )
+
+
+def dataset():
+    clips = [
+        Clip(WINDOW, (Rect(0, 0, 10, 10), Rect(20, 20, 30, 30)), 1, "a"),
+        Clip(WINDOW, (Rect(0, 0, 10, 10),), 0, "b"),
+        Clip(WINDOW, (Rect(0, 0, 10, 10), Rect(40, 40, 50, 50)), 0, "c"),
+    ]
+    return HotspotDataset(clips, name="stub-suite")
+
+
+class TestRunDetector:
+    def test_run(self):
+        run = run_detector(StubDetector(), dataset(), dataset(), "suite-x")
+        assert isinstance(run, DetectorRun)
+        assert run.detector_name == "stub"
+        assert run.suite_name == "suite-x"
+        assert run.train_seconds >= 0
+        assert run.metrics.true_positives == 1
+        assert run.metrics.false_alarms == 1
+
+    def test_row_shape(self):
+        run = run_detector(StubDetector(), dataset(), dataset())
+        fa, cpu, odst, accu = run.row()
+        assert fa == 1
+        assert accu == "100.0%"
+
+    def test_suite_name_defaults_to_train_name(self):
+        run = run_detector(StubDetector(), dataset(), dataset())
+        assert run.suite_name == "stub-suite"
+
+
+class TestEnvKnobs:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_ITERS", raising=False)
+        assert bench_scale() == pytest.approx(0.015)
+        assert bench_iterations() == 2500
+
+    def test_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_BENCH_ITERS", "100")
+        assert bench_scale() == pytest.approx(0.5)
+        assert bench_iterations() == 100
+
+    def test_detector_config_scales_with_iterations(self):
+        config = bench_detector_config(bias_rounds=3, max_iterations=1000)
+        assert config.trainer.max_iterations == 1000
+        assert config.bias_rounds == 3
+        assert config.lr_decay_every == 400

@@ -1,0 +1,36 @@
+"""Tests for table formatting."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.bench.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (30, 4.0)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in lines[2]
+
+    def test_title(self):
+        text = format_table(("x",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(("col",), [(1,), (1000,)])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ReproError):
+            format_table((), [])
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ReproError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(("a",), [])
+        assert "a" in text

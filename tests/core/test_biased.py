@@ -1,0 +1,163 @@
+"""Tests for biased learning (Algorithm 2) and round selection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.core.biased import (
+    BiasedLearning,
+    BiasedRound,
+    biased_targets,
+    select_round,
+)
+from repro.nn import Dense, ReLU, SGD, Sequential, StepDecay, TrainerConfig
+from repro.nn.trainer import TrainingHistory
+
+
+class TestBiasedTargets:
+    def test_epsilon_zero_is_one_hot(self):
+        targets = biased_targets(np.array([0, 1, 0]), 0.0)
+        assert targets.tolist() == [[1, 0], [0, 1], [1, 0]]
+
+    def test_nonzero_epsilon_moves_non_hotspots_only(self):
+        targets = biased_targets(np.array([0, 1]), 0.2)
+        assert targets[0].tolist() == pytest.approx([0.8, 0.2])
+        assert targets[1].tolist() == [0.0, 1.0]
+
+    def test_rows_sum_to_one(self):
+        targets = biased_targets(np.array([0, 0, 1, 1, 0]), 0.35)
+        assert np.allclose(targets.sum(axis=1), 1.0)
+
+    def test_epsilon_range_enforced(self):
+        with pytest.raises(TrainingError):
+            biased_targets(np.array([0]), 0.5)
+        with pytest.raises(TrainingError):
+            biased_targets(np.array([0]), -0.01)
+
+
+def _round(eps, recall, fa):
+    return BiasedRound(
+        epsilon=eps,
+        history=TrainingHistory(),
+        weights=[],
+        val_accuracy=0.0,
+        val_hotspot_recall=recall,
+        val_false_alarm_rate=fa,
+    )
+
+
+class TestSelectRound:
+    def test_empty_raises(self):
+        with pytest.raises(TrainingError):
+            select_round([])
+
+    def test_single_round(self):
+        rounds = [_round(0.0, 0.8, 0.1)]
+        assert select_round(rounds) is rounds[0]
+
+    def test_accepts_improving_rounds(self):
+        rounds = [
+            _round(0.0, 0.70, 0.05),
+            _round(0.1, 0.80, 0.08),
+            _round(0.2, 0.85, 0.12),
+        ]
+        assert select_round(rounds, max_false_alarm_increase=0.2).epsilon == 0.2
+
+    def test_stops_on_recall_drop(self):
+        rounds = [
+            _round(0.0, 0.80, 0.05),
+            _round(0.1, 0.75, 0.06),
+            _round(0.2, 0.95, 0.07),
+        ]
+        # Recall dropped at eps=0.1: stop there, keep eps=0.0.
+        assert select_round(rounds).epsilon == 0.0
+
+    def test_stops_on_false_alarm_blowup(self):
+        rounds = [
+            _round(0.0, 0.70, 0.05),
+            _round(0.1, 0.90, 0.50),
+        ]
+        assert select_round(rounds, max_false_alarm_increase=0.1).epsilon == 0.0
+
+    def test_fa_budget_relative_to_accepted(self):
+        rounds = [
+            _round(0.0, 0.70, 0.05),
+            _round(0.1, 0.80, 0.10),
+            _round(0.2, 0.90, 0.24),  # +0.14 over last accepted: too much
+        ]
+        assert select_round(rounds, max_false_alarm_increase=0.12).epsilon == 0.1
+
+
+def separable_problem(n=240, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, :2].sum(axis=1) > 0.3).astype(int)  # imbalanced-ish
+    return x, y
+
+
+def small_network(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(4, 12, rng=rng), ReLU(), Dense(12, 2, rng=rng, init="glorot")],
+        input_shape=(4,),
+    )
+
+
+class TestBiasedLearning:
+    def make_algorithm(self, net, rounds=3, step=0.1):
+        return BiasedLearning(
+            net,
+            lambda n: SGD(n.parameters(), StepDecay(0.05, 0.5, 400)),
+            TrainerConfig(
+                batch_size=32, max_iterations=400, validate_every=50,
+                patience=4, min_iterations=100, seed=0,
+            ),
+            epsilon_step=step,
+            rounds=rounds,
+        )
+
+    def test_validation(self):
+        net = small_network()
+        with pytest.raises(TrainingError):
+            self.make_algorithm(net, rounds=0)
+        with pytest.raises(TrainingError):
+            self.make_algorithm(net, rounds=6, step=0.1)  # 0.5 reached
+        with pytest.raises(TrainingError):
+            BiasedLearning(net, lambda n: None, epsilon_step=-0.1)
+
+    def test_runs_all_rounds_with_stepped_epsilon(self):
+        x, y = separable_problem()
+        xt, yt, xv, yv = x[:180], y[:180], x[180:], y[180:]
+        net = small_network()
+        rounds = self.make_algorithm(net, rounds=3).run(xt, yt, xv, yv)
+        assert [r.epsilon for r in rounds] == pytest.approx([0.0, 0.1, 0.2])
+        assert all(len(r.weights) == 4 for r in rounds)  # 2 dense layers
+
+    def test_theorem1_recall_non_decreasing(self):
+        # Theorem 1: fine-tuning with the biased target cannot reduce
+        # hotspot accuracy (here: validation recall, within tolerance for
+        # stochastic training).
+        x, y = separable_problem(seed=2)
+        xt, yt, xv, yv = x[:180], y[:180], x[180:], y[180:]
+        net = small_network(seed=1)
+        rounds = self.make_algorithm(net, rounds=4).run(xt, yt, xv, yv)
+        recalls = [r.val_hotspot_recall for r in rounds]
+        assert recalls[-1] >= recalls[0] - 0.05
+
+    def test_bias_raises_hotspot_probability(self):
+        # The mechanism behind Theorem 1: after biased fine-tuning, the
+        # average predicted hotspot probability moves up.
+        x, y = separable_problem(seed=3)
+        xt, yt, xv, yv = x[:180], y[:180], x[180:], y[180:]
+        net = small_network(seed=2)
+        algorithm = self.make_algorithm(net, rounds=4)
+        rounds = algorithm.run(xt, yt, xv, yv)
+        from repro.nn.loss import softmax
+
+        def mean_hotspot_prob(weights):
+            net.set_weights(weights)
+            return float(net.predict_proba(xv)[:, 1].mean())
+
+        first = mean_hotspot_prob(rounds[0].weights)
+        last = mean_hotspot_prob(rounds[-1].weights)
+        assert last > first

@@ -1,0 +1,82 @@
+"""Property-based tests for biased-learning invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.biased import biased_targets
+from repro.core.metrics import evaluate_predictions
+from repro.nn.loss import SoftmaxCrossEntropy, softmax
+
+
+class TestBiasedTargetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=30),
+        st.floats(0.0, 0.49),
+    )
+    def test_rows_are_distributions(self, labels, epsilon):
+        targets = biased_targets(np.array(labels), epsilon)
+        assert np.allclose(targets.sum(axis=1), 1.0)
+        assert targets.min() >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1), min_size=1, max_size=30),
+        st.floats(0.0, 0.49),
+    )
+    def test_hotspot_rows_untouched(self, labels, epsilon):
+        labels = np.array(labels)
+        targets = biased_targets(labels, epsilon)
+        hotspots = labels == 1
+        assert np.all(targets[hotspots, 1] == 1.0)
+        assert np.all(targets[hotspots, 0] == 0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.0, 0.48), st.floats(0.001, 0.01))
+    def test_larger_epsilon_larger_nonhotspot_loss_gradient_toward_hotspot(
+        self, epsilon, step
+    ):
+        # For a fixed non-hotspot logit pair, increasing epsilon moves the
+        # loss gradient's hotspot component downward (less push away from
+        # hotspot), which is the Theorem-1 mechanism.
+        logits = np.array([[1.5, -0.5]])
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, biased_targets(np.array([0]), epsilon))
+        grad_small = loss.backward()[0, 1]
+        loss.forward(logits, biased_targets(np.array([0]), epsilon + step))
+        grad_large = loss.backward()[0, 1]
+        assert grad_large < grad_small
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 0.49))
+    def test_optimal_prediction_stays_non_hotspot(self, epsilon):
+        # The target [1-eps, eps] still classifies as non-hotspot under the
+        # argmax rule for every valid eps — bias never flips clean labels
+        # by itself.
+        target = biased_targets(np.array([0]), epsilon)[0]
+        assert target[0] > 0.5
+
+
+class TestMetricsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 120), st.integers(0, 10_000))
+    def test_odst_decomposition(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=n)
+        y_pred = rng.integers(0, 2, size=n)
+        m = evaluate_predictions(y_true, y_pred, evaluation_seconds=3.5)
+        assert m.odst_seconds == pytest.approx(
+            10.0 * (m.true_positives + m.false_alarms) + 3.5
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 120), st.integers(0, 10_000))
+    def test_flagging_everything_maximises_accuracy_and_fa(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=n)
+        all_flagged = evaluate_predictions(y_true, np.ones(n, dtype=int))
+        if y_true.sum() > 0:
+            assert all_flagged.accuracy == 1.0
+        assert all_flagged.false_alarms == int((y_true == 0).sum())

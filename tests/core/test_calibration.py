@@ -1,0 +1,89 @@
+"""Tests for Platt scaling and ECE."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.core.calibration import (
+    PlattScaler,
+    expected_calibration_error,
+)
+
+
+def overconfident_sample(n=800, seed=0):
+    """Scores whose sigmoid is too confident relative to the labels."""
+    rng = np.random.default_rng(seed)
+    # True hotspot probability is sigmoid(z); model reports sigmoid(4 z).
+    z = rng.normal(0.0, 1.2, size=n)
+    labels = (rng.random(n) < 1 / (1 + np.exp(-z))).astype(int)
+    scores = 4.0 * z
+    return scores, labels
+
+
+class TestPlattScaler:
+    def test_unfitted_raises(self):
+        with pytest.raises(TrainingError):
+            PlattScaler().transform(np.zeros(3))
+
+    def test_fit_validation(self):
+        scaler = PlattScaler()
+        with pytest.raises(TrainingError):
+            scaler.fit(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(TrainingError):
+            scaler.fit(np.zeros(3), np.array([0, 1, 2]))
+        with pytest.raises(TrainingError):
+            scaler.fit(np.zeros(3), np.array([1, 1, 1]))
+
+    def test_learns_shrinking_slope(self):
+        scores, labels = overconfident_sample()
+        scaler = PlattScaler().fit(scores, labels)
+        # Model was 4x over-confident: the fitted slope must shrink it.
+        assert 0.0 < scaler.a < 0.7
+
+    def test_reduces_calibration_error(self):
+        scores, labels = overconfident_sample()
+        raw = 1 / (1 + np.exp(-scores))
+        scaler = PlattScaler().fit(scores, labels)
+        calibrated = scaler.transform(scores)
+        assert expected_calibration_error(
+            calibrated, labels
+        ) < expected_calibration_error(raw, labels)
+
+    def test_transform_monotone(self):
+        scores, labels = overconfident_sample()
+        scaler = PlattScaler().fit(scores, labels)
+        ordered = scaler.transform(np.array([-3.0, -1.0, 0.0, 1.0, 3.0]))
+        assert all(b >= a for a, b in zip(ordered[:-1], ordered[1:]))
+
+    def test_transform_proba_shape(self):
+        scores, labels = overconfident_sample(200)
+        scaler = PlattScaler().fit(scores, labels)
+        raw = 1 / (1 + np.exp(-scores))
+        proba = np.stack([1 - raw, raw], axis=1)
+        out = scaler.transform_proba(proba)
+        assert out.shape == proba.shape
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_transform_proba_validation(self):
+        scaler = PlattScaler().fit(*overconfident_sample(100))
+        with pytest.raises(TrainingError):
+            scaler.transform_proba(np.zeros((4, 3)))
+
+
+class TestECE:
+    def test_perfectly_calibrated_low(self):
+        rng = np.random.default_rng(1)
+        p = rng.random(5000)
+        labels = (rng.random(5000) < p).astype(int)
+        assert expected_calibration_error(p, labels) < 0.05
+
+    def test_overconfident_high(self):
+        labels = np.array([1, 0] * 100)
+        p = np.where(labels == 1, 0.99, 0.01) * 0 + 0.99  # always confident 1
+        assert expected_calibration_error(p, labels) > 0.3
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            expected_calibration_error(np.zeros((2, 2)), np.zeros(2))
+        with pytest.raises(TrainingError):
+            expected_calibration_error(np.zeros(3), np.zeros(3), bins=0)

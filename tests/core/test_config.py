@@ -1,0 +1,57 @@
+"""Validation tests for the detector configuration."""
+
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.core.config import DetectorConfig
+from repro.features.tensor import FeatureTensorConfig
+from repro.nn.trainer import TrainerConfig
+
+
+class TestDetectorConfig:
+    def test_defaults_match_paper(self):
+        config = DetectorConfig()
+        assert config.lr_alpha == 0.5          # α
+        assert config.epsilon_step == 0.1      # δε
+        assert config.bias_rounds == 4         # t
+        assert config.validation_fraction == 0.25
+        assert config.feature.block_count == 12
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate": 0.0},
+            {"learning_rate": -1e-3},
+            {"lr_alpha": 0.0},
+            {"lr_alpha": 1.5},
+            {"lr_decay_every": 0},
+            {"validation_fraction": 0.0},
+            {"validation_fraction": 1.0},
+            {"bias_rounds": 0},
+            {"epsilon_step": -0.1},
+            {"max_false_alarm_increase": -0.1},
+            {"finetune_fraction": 0.0},
+            {"finetune_fraction": 1.5},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(TrainingError):
+            DetectorConfig(**kwargs)
+
+    def test_frozen(self):
+        config = DetectorConfig()
+        with pytest.raises(Exception):
+            config.learning_rate = 1.0  # type: ignore[misc]
+
+    def test_composes_sub_configs(self):
+        config = DetectorConfig(
+            feature=FeatureTensorConfig(block_count=12, coefficients=8, pixel_nm=4),
+            trainer=TrainerConfig(batch_size=8),
+        )
+        assert config.feature.coefficients == 8
+        assert config.trainer.batch_size == 8
+
+    def test_balance_and_augment_flags(self):
+        config = DetectorConfig(balance_training=False, augment_hotspots=True)
+        assert not config.balance_training
+        assert config.augment_hotspots

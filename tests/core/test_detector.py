@@ -1,0 +1,150 @@
+"""Integration tests for the end-to-end detector.
+
+Budgets are deliberately tiny (small clips via coarse litho raster, few
+iterations) — these tests verify plumbing and contracts, not model
+quality; the benchmarks cover quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.data.dataset import HotspotDataset
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.features.tensor import FeatureTensorConfig
+from repro.litho.oracle import OracleConfig
+from repro.litho.optics import OpticsConfig
+from repro.nn.trainer import TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_data():
+    generator = ClipGenerator(
+        GeneratorConfig(
+            seed=5, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8))
+        )
+    )
+    train = HotspotDataset(generator.generate(24, 40), name="tiny/train")
+    test = HotspotDataset(generator.generate(10, 16), name="tiny/test")
+    return train, test
+
+
+def tiny_config(bias_rounds=1, seed=0):
+    return DetectorConfig(
+        feature=FeatureTensorConfig(block_count=12, coefficients=16, pixel_nm=4),
+        learning_rate=2e-3,
+        lr_decay_every=150,
+        bias_rounds=bias_rounds,
+        trainer=TrainerConfig(
+            batch_size=16,
+            max_iterations=150,
+            validate_every=50,
+            patience=3,
+            min_iterations=50,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_data):
+    train, _ = tiny_data
+    detector = HotspotDetector(tiny_config(bias_rounds=2))
+    detector.fit(train)
+    return detector
+
+
+class TestFit:
+    def test_rounds_recorded(self, trained):
+        assert len(trained.rounds) == 2
+        assert [r.epsilon for r in trained.rounds] == pytest.approx([0.0, 0.1])
+        assert trained.selected_round in trained.rounds
+
+    def test_single_class_rejected(self):
+        from repro.geometry.clip import Clip
+        from repro.geometry.rect import Rect
+
+        clips = [
+            Clip(Rect(0, 0, 1200, 1200), (), 0, f"c{i}") for i in range(10)
+        ]
+        detector = HotspotDetector(tiny_config())
+        with pytest.raises(TrainingError):
+            detector.fit(HotspotDataset(clips))
+
+    def test_scaler_fitted_during_fit(self, trained):
+        assert trained.scaler.fitted
+
+
+class TestPredict:
+    def test_untrained_raises(self, tiny_data):
+        _, test = tiny_data
+        with pytest.raises(TrainingError):
+            HotspotDetector(tiny_config()).predict(test)
+
+    def test_predict_shapes(self, trained, tiny_data):
+        _, test = tiny_data
+        labels = trained.predict(test)
+        probs = trained.predict_proba(test)
+        assert labels.shape == (len(test),)
+        assert probs.shape == (len(test), 2)
+        assert set(np.unique(labels)) <= {0, 1}
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_predictions_match_proba(self, trained, tiny_data):
+        _, test = tiny_data
+        labels = trained.predict(test)
+        probs = trained.predict_proba(test)
+        assert np.array_equal(labels, probs.argmax(axis=1))
+
+    def test_better_than_coin_flip_on_train(self, trained, tiny_data):
+        train, _ = tiny_data
+        predictions = trained.predict(train)
+        assert (predictions == train.labels).mean() > 0.6
+
+
+class TestEvaluate:
+    def test_metrics_fields(self, trained, tiny_data):
+        _, test = tiny_data
+        metrics = trained.evaluate(test)
+        total = (
+            metrics.true_positives
+            + metrics.false_negatives
+            + metrics.false_alarms
+            + metrics.true_negatives
+        )
+        assert total == len(test)
+        assert metrics.evaluation_seconds > 0
+        assert metrics.odst_seconds >= metrics.evaluation_seconds
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained, tiny_data, tmp_path):
+        _, test = tiny_data
+        path = tmp_path / "model.npz"
+        trained.save(path)
+        clone = HotspotDetector(tiny_config(bias_rounds=2)).load(path)
+        assert np.array_equal(clone.predict(test), trained.predict(test))
+
+    def test_untrained_save_raises(self, tmp_path):
+        with pytest.raises(TrainingError):
+            HotspotDetector(tiny_config()).save(tmp_path / "m.npz")
+
+    def test_load_wrong_architecture_raises(self, trained, tmp_path):
+        from repro.exceptions import ReproError
+
+        path = tmp_path / "model.npz"
+        trained.save(path)
+        other = HotspotDetector(
+            DetectorConfig(
+                feature=FeatureTensorConfig(
+                    block_count=12, coefficients=8, pixel_nm=4
+                ),
+                trainer=tiny_config().trainer,
+            )
+        )
+        # Parameter-count or shape mismatch, depending on architecture.
+        with pytest.raises(ReproError):
+            other.load(path)

@@ -1,0 +1,130 @@
+"""Tests for full-chip scanning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.core.fullchip import (
+    FullChipScanner,
+    HotspotRegion,
+    ScanResult,
+    merge_windows,
+)
+from repro.data.fullchip import FullChipSpec, make_labelled_layout, make_layout
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+
+
+class ProbeDetector:
+    """Flags windows whose clip density exceeds a cutoff."""
+
+    def __init__(self, cutoff=0.15):
+        self.cutoff = cutoff
+
+    def predict_proba(self, dataset):
+        densities = np.array([clip.density() for clip in dataset])
+        p1 = np.clip(densities / (2 * self.cutoff), 0.0, 1.0)
+        return np.stack([1 - p1, p1], axis=1)
+
+
+class TestMergeWindows:
+    def test_disjoint_windows_stay_separate(self):
+        windows = [Rect(0, 0, 10, 10), Rect(100, 100, 110, 110)]
+        regions = merge_windows(windows, [0.9, 0.7])
+        assert len(regions) == 2
+        assert regions[0].max_probability == 0.9  # sorted by probability
+
+    def test_overlapping_windows_merge(self):
+        windows = [Rect(0, 0, 12, 12), Rect(6, 0, 18, 12), Rect(12, 0, 24, 12)]
+        regions = merge_windows(windows, [0.6, 0.8, 0.7])
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.bbox == Rect(0, 0, 24, 12)
+        assert region.window_count == 3
+        assert region.max_probability == 0.8
+
+    def test_touching_windows_merge(self):
+        windows = [Rect(0, 0, 10, 10), Rect(10, 0, 20, 10)]
+        assert len(merge_windows(windows, [0.5, 0.5])) == 1
+
+    def test_empty(self):
+        assert merge_windows([], []) == []
+
+    def test_mismatch_raises(self):
+        with pytest.raises(TrainingError):
+            merge_windows([Rect(0, 0, 1, 1)], [])
+
+
+class TestFullChipSpec:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            FullChipSpec(tiles_x=0)
+        with pytest.raises(Exception):
+            FullChipSpec(fill_probability=1.5)
+
+    def test_make_layout_deterministic(self):
+        spec = FullChipSpec(tiles_x=3, tiles_y=3, seed=4)
+        a = make_layout(spec)
+        b = make_layout(spec)
+        assert a.rects == b.rects
+        assert len(a) > 0
+
+    def test_fill_probability_zero_empty(self):
+        layout = make_layout(FullChipSpec(tiles_x=2, tiles_y=2, fill_probability=0.0))
+        assert len(layout) == 0
+
+    def test_region_size(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=2))
+        assert layout.region == Rect(0, 0, 3600, 2400)
+
+
+class TestScanner:
+    def make_scanner(self, **kwargs):
+        return FullChipScanner(ProbeDetector(), **kwargs)
+
+    def test_requires_predict_proba(self):
+        with pytest.raises(TrainingError):
+            FullChipScanner(object())
+
+    def test_threshold_validation(self):
+        with pytest.raises(TrainingError):
+            self.make_scanner(threshold=0.0)
+
+    def test_scan_structure(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=1))
+        result = self.make_scanner().scan(layout)
+        assert isinstance(result, ScanResult)
+        assert result.window_count == 25  # 5x5 with stride 600 on 3600nm
+        assert result.probabilities.shape == (25,)
+        assert result.flagged_count == len(result.flagged)
+        assert all(isinstance(r, HotspotRegion) for r in result.regions)
+        assert "windows scanned" in result.summary()
+
+    def test_flagged_respects_threshold(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=1))
+        loose = self.make_scanner(threshold=0.2).scan(layout)
+        strict = self.make_scanner(threshold=0.9).scan(layout)
+        assert strict.flagged_count <= loose.flagged_count
+
+    def test_empty_layout_scan(self):
+        layout = Layout(Rect(0, 0, 2400, 2400))
+        result = self.make_scanner().scan(layout)
+        assert result.flagged_count == 0
+        assert result.regions == ()
+
+    def test_recall_against_oracle(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=1))
+        scanner = self.make_scanner(threshold=0.01)
+        result = scanner.scan(layout)
+        # With an ultra-permissive threshold every filled site is flagged,
+        # so any site overlapping the layout's shapes is recovered.
+        sites = [Rect(0, 0, 1200, 1200)]
+        recall = scanner.recall_against_oracle(result, sites)
+        assert 0.0 <= recall <= 1.0
+
+    def test_recall_requires_sites(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=1))
+        scanner = self.make_scanner()
+        result = scanner.scan(layout)
+        with pytest.raises(TrainingError):
+            scanner.recall_against_oracle(result, [])

@@ -1,0 +1,95 @@
+"""Tests for the paper's metrics (Definitions 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.core.metrics import DetectionMetrics, evaluate_predictions
+
+
+class TestDetectionMetrics:
+    def test_accuracy_is_hotspot_recall(self):
+        m = DetectionMetrics(
+            true_positives=8, false_negatives=2, false_alarms=100, true_negatives=0
+        )
+        # Overall classification would be awful; Definition-1 accuracy is
+        # recall over real hotspots only.
+        assert m.accuracy == pytest.approx(0.8)
+
+    def test_no_hotspots_zero_accuracy(self):
+        m = DetectionMetrics(0, 0, 3, 7)
+        assert m.accuracy == 0.0
+
+    def test_false_alarm_rate(self):
+        m = DetectionMetrics(1, 1, 25, 75)
+        assert m.false_alarm_rate == pytest.approx(0.25)
+
+    def test_odst_matches_definition(self):
+        m = DetectionMetrics(
+            true_positives=30,
+            false_negatives=0,
+            false_alarms=20,
+            true_negatives=0,
+            evaluation_seconds=12.5,
+            simulation_seconds_per_clip=10.0,
+        )
+        # 50 flagged clips * 10 s + 12.5 s evaluation.
+        assert m.odst_seconds == pytest.approx(512.5)
+
+    def test_counts_validation(self):
+        with pytest.raises(ReproError):
+            DetectionMetrics(-1, 0, 0, 0)
+        with pytest.raises(ReproError):
+            DetectionMetrics(0, 0, 0, 0, evaluation_seconds=-1.0)
+
+    def test_row_format(self):
+        m = DetectionMetrics(9, 1, 5, 85, evaluation_seconds=1.0)
+        row = m.row()
+        assert "FA#=5" in row
+        assert "90.0%" in row
+
+
+class TestEvaluatePredictions:
+    def test_confusion_counts(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0])
+        y_pred = np.array([1, 0, 1, 1, 0, 0])
+        m = evaluate_predictions(y_true, y_pred)
+        assert m.true_positives == 2
+        assert m.false_negatives == 1
+        assert m.false_alarms == 1
+        assert m.true_negatives == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            evaluate_predictions(np.zeros(3), np.zeros(4))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ReproError):
+            evaluate_predictions(np.array([0, 2]), np.array([0, 1]))
+        with pytest.raises(ReproError):
+            evaluate_predictions(np.array([0, 1]), np.array([0, -1]))
+
+    @given(st.integers(1, 200), st.integers(0, 1000))
+    def test_counts_partition_dataset(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=n)
+        y_pred = rng.integers(0, 2, size=n)
+        m = evaluate_predictions(y_true, y_pred)
+        assert (
+            m.true_positives
+            + m.false_negatives
+            + m.false_alarms
+            + m.true_negatives
+            == n
+        )
+        assert m.hotspot_count == int(y_true.sum())
+
+    @given(st.integers(0, 1000))
+    def test_perfect_predictions(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=50)
+        m = evaluate_predictions(y, y)
+        assert m.false_alarms == 0
+        assert m.accuracy == (1.0 if y.sum() else 0.0)

@@ -1,0 +1,74 @@
+"""Tests for the Table-1 network builder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.core.model import build_dac17_network
+
+
+class TestTable1:
+    def test_layer_shapes_match_table1(self):
+        net = build_dac17_network(input_channels=32, grid=12)
+        shapes = dict(net.layer_shapes())
+        assert shapes["conv1-1"] == (16, 12, 12)
+        assert shapes["conv1-2"] == (16, 12, 12)
+        assert shapes["maxpooling1"] == (16, 6, 6)
+        assert shapes["conv2-1"] == (32, 6, 6)
+        assert shapes["conv2-2"] == (32, 6, 6)
+        assert shapes["maxpooling2"] == (32, 3, 3)
+        assert shapes["fc1"] == (250,)
+        assert shapes["fc2"] == (2,)
+
+    def test_conv_kernels_are_3x3_stride_1(self):
+        net = build_dac17_network()
+        convs = [l for l in net.layers if l.kind == "conv"]
+        assert len(convs) == 4
+        assert all(c.kernel_size == 3 and c.stride == 1 for c in convs)
+
+    def test_pools_are_2x2(self):
+        net = build_dac17_network()
+        pools = [l for l in net.layers if l.kind == "maxpool"]
+        assert len(pools) == 2
+        assert all(p.pool_size == 2 for p in pools)
+
+    def test_dropout_on_fc1(self):
+        net = build_dac17_network(dropout_rate=0.5)
+        names = [l.name for l in net.layers]
+        assert names.index("dropout") == names.index("fc1") + 2  # after ReLU
+
+    def test_output_is_two_scores(self):
+        net = build_dac17_network()
+        out = net.forward(np.zeros((3, 32, 12, 12)))
+        assert out.shape == (3, 2)
+
+    def test_custom_k(self):
+        net = build_dac17_network(input_channels=16)
+        assert net.input_shape == (16, 12, 12)
+        net.forward(np.zeros((1, 16, 12, 12)))
+
+    def test_grid_must_be_divisible_by_four(self):
+        with pytest.raises(NetworkError):
+            build_dac17_network(grid=10)
+
+    def test_seed_reproducibility(self):
+        x = np.random.default_rng(0).normal(size=(2, 32, 12, 12))
+        a = build_dac17_network(seed=5).forward(x)
+        b = build_dac17_network(seed=5).forward(x)
+        assert np.array_equal(a, b)
+        c = build_dac17_network(seed=6).forward(x)
+        assert not np.allclose(a, c)
+
+    def test_parameter_count_magnitude(self):
+        # conv1-1: 32*16*9+16, conv1-2: 16*16*9+16, conv2-1: 16*32*9+32,
+        # conv2-2: 32*32*9+32, fc1: 288*250+250, fc2: 250*2+2.
+        net = build_dac17_network()
+        expected = (
+            (32 * 16 * 9 + 16)
+            + (16 * 16 * 9 + 16)
+            + (16 * 32 * 9 + 32)
+            + (32 * 32 * 9 + 32)
+            + (288 * 250 + 250)
+            + (250 * 2 + 2)
+        )
+        assert net.parameter_count() == expected

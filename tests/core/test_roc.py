@@ -1,0 +1,85 @@
+"""Tests for the operating-curve utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.core.roc import (
+    OperatingPoint,
+    area_under_curve,
+    best_odst_point,
+    sweep_thresholds,
+)
+
+
+def proba(hotspot_probs):
+    p = np.asarray(hotspot_probs, dtype=float)
+    return np.stack([1 - p, p], axis=1)
+
+
+SEPARABLE_P = proba([0.9, 0.8, 0.85, 0.2, 0.1, 0.15])
+SEPARABLE_Y = np.array([1, 1, 1, 0, 0, 0])
+
+
+class TestSweep:
+    def test_point_count(self):
+        points = sweep_thresholds(SEPARABLE_P, SEPARABLE_Y, (0.3, 0.5, 0.7))
+        assert len(points) == 3
+        assert [p.threshold for p in points] == [0.3, 0.5, 0.7]
+
+    def test_recall_monotone_decreasing_in_threshold(self):
+        points = sweep_thresholds(
+            proba(np.linspace(0.05, 0.95, 40)),
+            np.random.default_rng(0).integers(0, 2, 40),
+        )
+        recalls = [p.metrics.accuracy for p in points]
+        assert all(b <= a + 1e-12 for a, b in zip(recalls[:-1], recalls[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            sweep_thresholds(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ReproError):
+            sweep_thresholds(SEPARABLE_P, SEPARABLE_Y, (0.0,))
+        with pytest.raises(ReproError):
+            sweep_thresholds(SEPARABLE_P, SEPARABLE_Y, (1.0,))
+
+
+class TestAUC:
+    def test_perfect_detector(self):
+        points = sweep_thresholds(SEPARABLE_P, SEPARABLE_Y)
+        assert area_under_curve(points) == pytest.approx(1.0)
+
+    def test_inverted_detector_low_auc(self):
+        points = sweep_thresholds(SEPARABLE_P, 1 - SEPARABLE_Y)
+        assert area_under_curve(points) < 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            area_under_curve([])
+
+
+class TestBestODST:
+    def test_prefers_full_recall(self):
+        points = sweep_thresholds(SEPARABLE_P, SEPARABLE_Y, (0.3, 0.5, 0.95))
+        best = best_odst_point(points)
+        assert best.metrics.accuracy == 1.0
+
+    def test_minimises_odst_among_full_recall(self):
+        # Threshold 0.3 and 0.5 both reach full recall; 0.5 has fewer
+        # flagged clips on a noisy non-hotspot, hence lower ODST.
+        probs = proba([0.9, 0.8, 0.4])
+        y = np.array([1, 1, 0])
+        points = sweep_thresholds(probs, y, (0.3, 0.5))
+        best = best_odst_point(points)
+        assert best.threshold == 0.5
+
+    def test_fallback_to_max_recall(self):
+        probs = proba([0.9, 0.05, 0.04])  # one hotspot undetectable
+        y = np.array([1, 1, 0])
+        points = sweep_thresholds(probs, y, (0.5, 0.7))
+        best = best_odst_point(points)
+        assert best.metrics.accuracy == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            best_odst_point([])

@@ -1,0 +1,82 @@
+"""Tests for decision-boundary shifting (Equation (11))."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.core.shift import calibrate_shift, shifted_predictions
+
+
+def proba(hotspot_probs):
+    p = np.asarray(hotspot_probs, dtype=float)
+    return np.stack([1 - p, p], axis=1)
+
+
+class TestShiftedPredictions:
+    def test_zero_shift_is_argmax(self):
+        probs = proba([0.2, 0.6, 0.49, 0.51])
+        assert shifted_predictions(probs, 0.0).tolist() == [0, 1, 0, 1]
+
+    def test_shift_flags_more(self):
+        probs = proba([0.2, 0.35, 0.45, 0.6])
+        assert shifted_predictions(probs, 0.2).tolist() == [0, 1, 1, 1]
+
+    def test_monotone_in_shift(self):
+        probs = proba(np.linspace(0.01, 0.99, 50))
+        counts = [
+            shifted_predictions(probs, s).sum() for s in (0.0, 0.1, 0.2, 0.3, 0.4)
+        ]
+        assert all(b >= a for a, b in zip(counts[:-1], counts[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            shifted_predictions(np.zeros((3, 3)), 0.1)
+        with pytest.raises(ReproError):
+            shifted_predictions(proba([0.5]), 0.5)
+        with pytest.raises(ReproError):
+            shifted_predictions(proba([0.5]), -0.1)
+
+
+class TestCalibrateShift:
+    def test_already_at_target_returns_zero(self):
+        probs = proba([0.9, 0.8, 0.1])
+        y = np.array([1, 1, 0])
+        assert calibrate_shift(probs, y, 1.0) == pytest.approx(0.0)
+
+    def test_finds_minimal_shift(self):
+        # Hotspot at p=0.4 needs a shift > 0.1 to be flagged.
+        probs = proba([0.9, 0.4, 0.1])
+        y = np.array([1, 1, 0])
+        shift = calibrate_shift(probs, y, 1.0)
+        assert shift is not None
+        assert 0.1 < shift < 0.12
+        assert shifted_predictions(probs, shift)[1] == 1
+
+    def test_unreachable_target_returns_none(self):
+        probs = proba([0.9, 0.0])  # second hotspot has zero probability
+        y = np.array([1, 1])
+        assert calibrate_shift(probs, y, 1.0) is None
+
+    def test_no_hotspots_raises(self):
+        with pytest.raises(ReproError):
+            calibrate_shift(proba([0.4]), np.array([0]), 0.9)
+
+    def test_target_validation(self):
+        with pytest.raises(ReproError):
+            calibrate_shift(proba([0.4]), np.array([1]), 1.5)
+
+    def test_shift_costs_false_alarms(self):
+        # The paper's Figure 4 premise: raising recall by shifting flags
+        # non-hotspots whose probability sits between the thresholds.
+        rng = np.random.default_rng(0)
+        hotspot_p = np.clip(rng.normal(0.6, 0.2, 200), 0.01, 0.99)
+        normal_p = np.clip(rng.normal(0.3, 0.2, 800), 0.01, 0.99)
+        probs = proba(np.concatenate([hotspot_p, normal_p]))
+        y = np.concatenate([np.ones(200, int), np.zeros(800, int)])
+        base = shifted_predictions(probs, 0.0)
+        shift = calibrate_shift(probs, y, 0.95)
+        assert shift is not None
+        shifted = shifted_predictions(probs, shift)
+        base_fa = int(shifted_predictions(probs, 0.0)[y == 0].sum())
+        shifted_fa = int(shifted[y == 0].sum())
+        assert shifted_fa > base_fa

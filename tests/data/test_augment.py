@@ -1,0 +1,73 @@
+"""Tests for dihedral augmentation."""
+
+import numpy as np
+
+from repro.data.augment import augment_dihedral, dihedral_orbit
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 400, 400)
+
+
+def asymmetric_clip(label=1):
+    return Clip(
+        WINDOW,
+        (Rect(20, 40, 120, 300), Rect(200, 100, 260, 140)),
+        label,
+        "a",
+    )
+
+
+def symmetric_clip(label=1):
+    # Centered square: invariant under the whole dihedral group.
+    return Clip(WINDOW, (Rect(150, 150, 250, 250),), label, "s")
+
+
+class TestOrbit:
+    def test_asymmetric_orbit_size_eight(self):
+        assert len(dihedral_orbit(asymmetric_clip())) == 8
+
+    def test_symmetric_orbit_collapses(self):
+        assert len(dihedral_orbit(symmetric_clip())) == 1
+
+    def test_identity_first(self):
+        clip = asymmetric_clip()
+        assert dihedral_orbit(clip)[0].rects == clip.rects
+
+    def test_orbit_preserves_labels_and_window(self):
+        for member in dihedral_orbit(asymmetric_clip(label=1)):
+            assert member.label == 1
+            assert member.window == WINDOW
+
+    def test_orbit_members_unique(self):
+        orbit = dihedral_orbit(asymmetric_clip())
+        keys = {frozenset(m.rects) for m in orbit}
+        assert len(keys) == len(orbit)
+
+    def test_orbit_preserves_area(self):
+        clip = asymmetric_clip()
+        base_area = sum(r.area for r in clip.rects)
+        for member in dihedral_orbit(clip):
+            assert sum(r.area for r in member.rects) == base_area
+
+
+class TestAugment:
+    def test_hotspots_only_default(self):
+        clips = [asymmetric_clip(label=1), asymmetric_clip(label=0)]
+        out = augment_dihedral(clips)
+        # 2 originals + 7 extra transforms of the hotspot.
+        assert len(out) == 9
+        assert sum(1 for c in out if c.label == 1) == 8
+
+    def test_augment_all(self):
+        clips = [asymmetric_clip(label=1), asymmetric_clip(label=0)]
+        out = augment_dihedral(clips, hotspots_only=False)
+        assert len(out) == 16
+
+    def test_originals_first(self):
+        clips = [asymmetric_clip(label=1)]
+        out = augment_dihedral(clips)
+        assert out[0] is clips[0]
+
+    def test_empty_input(self):
+        assert augment_dihedral([]) == []

@@ -1,0 +1,83 @@
+"""Tests for the named benchmark suites.
+
+Generation runs the litho oracle, so these tests use a microscopic scale
+(counts floor at 16 per class) and a temporary cache directory.
+"""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.data.benchmarks import (
+    BENCHMARK_NAMES,
+    BENCHMARK_SPECS,
+    BenchmarkSpec,
+    make_benchmark,
+)
+
+TINY = 1e-6  # floors every count at the 16-clip minimum
+
+
+class TestSpecs:
+    def test_all_suites_defined(self):
+        assert set(BENCHMARK_NAMES) == set(BENCHMARK_SPECS)
+
+    def test_paper_counts(self):
+        spec = BENCHMARK_SPECS["iccad"]
+        assert (spec.train_hs, spec.train_nhs) == (1204, 17096)
+        assert (spec.test_hs, spec.test_nhs) == (2524, 13503)
+        industry3 = BENCHMARK_SPECS["industry3"]
+        assert (industry3.train_hs, industry3.train_nhs) == (24776, 49315)
+
+    def test_scaled_counts_floor(self):
+        counts = BENCHMARK_SPECS["iccad"].scaled_counts(TINY)
+        assert counts == (48, 48, 48, 48)
+
+    def test_scaled_counts_proportional(self):
+        train_hs, train_nhs, _, _ = BENCHMARK_SPECS["industry2"].scaled_counts(0.01)
+        assert train_hs == round(15197 * 0.01)
+        assert train_nhs == round(48758 * 0.01)
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError):
+            BENCHMARK_SPECS["iccad"].scaled_counts(0.0)
+
+    def test_distinct_seeds_across_suites(self):
+        seeds = [spec.seed for spec in BENCHMARK_SPECS.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_industry_mixes_differ_from_iccad(self):
+        assert (
+            BENCHMARK_SPECS["industry2"].family_weights
+            != BENCHMARK_SPECS["iccad"].family_weights
+        )
+
+
+class TestMakeBenchmark:
+    def test_unknown_suite(self, tmp_path):
+        with pytest.raises(DatasetError):
+            make_benchmark("nonsense", cache_dir=tmp_path)
+
+    def test_generate_and_cache(self, tmp_path):
+        train, test = make_benchmark("iccad", scale=TINY, cache_dir=tmp_path)
+        assert train.hotspot_count == 48
+        assert train.non_hotspot_count == 48
+        assert test.hotspot_count == 48
+        cached_files = list(tmp_path.glob("iccad_*.clips"))
+        assert len(cached_files) == 2  # train + test
+
+        # Second call loads from cache and returns identical data.
+        train2, test2 = make_benchmark("iccad", scale=TINY, cache_dir=tmp_path)
+        assert train2.clips == train.clips
+        assert test2.clips == test.clips
+
+    def test_no_cache_mode(self, tmp_path):
+        make_benchmark("iccad", scale=TINY, cache_dir=tmp_path, use_cache=False)
+        assert not list(tmp_path.glob("*.clips"))
+
+    def test_train_test_disjoint_seeds(self, tmp_path):
+        train, test = make_benchmark("iccad", scale=TINY, cache_dir=tmp_path)
+        train_geometries = {c.rects for c in train}
+        overlap = sum(1 for c in test if c.rects in train_geometries)
+        # Different generation seeds: geometric collisions are accidental
+        # duplicates of simple patterns at most, never wholesale overlap.
+        assert overlap < len(test) / 2

@@ -1,0 +1,104 @@
+"""Tests for the dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.data.dataset import HotspotDataset
+from repro.features.density import DensityConfig, DensityExtractor
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 240, 240)
+
+
+def make_clips(hs=4, nhs=8):
+    clips = []
+    for i in range(hs):
+        clips.append(
+            Clip(WINDOW, (Rect(10 * i + 10, 10, 10 * i + 30, 230),), 1, f"h{i}")
+        )
+    for i in range(nhs):
+        clips.append(
+            Clip(WINDOW, (Rect(5 * i + 10, 10, 5 * i + 100, 230),), 0, f"n{i}")
+        )
+    return clips
+
+
+class TestConstruction:
+    def test_basic(self):
+        ds = HotspotDataset(make_clips(), name="x")
+        assert len(ds) == 12
+        assert ds.hotspot_count == 4
+        assert ds.non_hotspot_count == 8
+
+    def test_unlabelled_rejected(self):
+        with pytest.raises(DatasetError):
+            HotspotDataset([Clip(WINDOW)])
+
+    def test_labels_vector(self):
+        ds = HotspotDataset(make_clips(2, 1))
+        assert ds.labels.tolist() == [1, 1, 0]
+
+    def test_iteration_and_indexing(self):
+        ds = HotspotDataset(make_clips(1, 1))
+        assert ds[0].name == "h0"
+        assert [c.name for c in ds] == ["h0", "n0"]
+
+    def test_summary(self):
+        text = HotspotDataset(make_clips(3, 5), name="suite").summary()
+        assert "suite" in text
+        assert "3 HS" in text
+        assert "5 NHS" in text
+
+
+class TestFeatures:
+    def test_feature_stacking(self):
+        ds = HotspotDataset(make_clips(2, 2))
+        extractor = DensityExtractor(DensityConfig(grid=6, pixel_nm=4))
+        features = ds.features(extractor)
+        assert features.shape == (4, 36)
+        assert features.dtype == np.float32
+
+    def test_empty_dataset_features_raise(self):
+        ds = HotspotDataset([])
+        with pytest.raises(DatasetError):
+            ds.features(DensityExtractor())
+
+
+class TestComposition:
+    def test_subset(self):
+        ds = HotspotDataset(make_clips(2, 2))
+        sub = ds.subset([3, 0])
+        assert [c.name for c in sub] == ["n1", "h0"]
+
+    def test_split_stratified(self):
+        ds = HotspotDataset(make_clips(8, 16))
+        main, holdout = ds.split(0.25, seed=1)
+        assert len(main) + len(holdout) == 24
+        assert holdout.hotspot_count == 2
+        assert holdout.non_hotspot_count == 4
+
+    def test_split_disjoint(self):
+        ds = HotspotDataset(make_clips(8, 16))
+        main, holdout = ds.split(0.25, seed=2)
+        names_main = {c.name for c in main}
+        names_holdout = {c.name for c in holdout}
+        assert not names_main & names_holdout
+
+    def test_merged_with(self):
+        a = HotspotDataset(make_clips(1, 1), name="a")
+        b = HotspotDataset(make_clips(2, 0), name="b")
+        merged = a.merged_with(b)
+        assert len(merged) == 4
+        assert merged.hotspot_count == 3
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = HotspotDataset(make_clips(3, 3), name="x")
+        path = tmp_path / "ds.clips"
+        ds.save(path)
+        loaded = HotspotDataset.load(path, name="x")
+        assert loaded.clips == ds.clips
+        assert loaded.labels.tolist() == ds.labels.tolist()

@@ -1,0 +1,62 @@
+"""Tests for synthetic full-chip layout construction."""
+
+import pytest
+
+from repro.data.fullchip import FullChipSpec, make_labelled_layout, make_layout
+from repro.geometry.rect import Rect
+from repro.litho.oracle import HotspotOracle, OracleConfig
+from repro.litho.optics import OpticsConfig
+
+
+def coarse_oracle():
+    return HotspotOracle(OracleConfig(optics=OpticsConfig(pixel_nm=8)))
+
+
+class TestMakeLayout:
+    def test_tiles_contain_their_shapes(self):
+        spec = FullChipSpec(tiles_x=4, tiles_y=3, seed=2)
+        layout = make_layout(spec)
+        for rect in layout.rects:
+            assert layout.region.contains_rect(rect)
+
+    def test_higher_fill_more_shapes(self):
+        sparse = make_layout(FullChipSpec(tiles_x=4, tiles_y=4, seed=3,
+                                          fill_probability=0.3))
+        dense = make_layout(FullChipSpec(tiles_x=4, tiles_y=4, seed=3,
+                                         fill_probability=1.0))
+        assert len(dense) > len(sparse)
+
+    def test_custom_tile_size(self):
+        layout = make_layout(FullChipSpec(tiles_x=2, tiles_y=2), tile_nm=800)
+        assert layout.region == Rect(0, 0, 1600, 1600)
+
+
+class TestMakeLabelledLayout:
+    def test_sites_are_tile_windows(self):
+        spec = FullChipSpec(tiles_x=3, tiles_y=3, seed=5)
+        layout, sites = make_labelled_layout(spec, oracle=coarse_oracle())
+        for site in sites:
+            assert site.width == site.height == 1200
+            assert site.x_lo % 1200 == 0
+            assert site.y_lo % 1200 == 0
+            assert layout.region.contains_rect(site)
+
+    def test_label_false_skips_simulation(self):
+        spec = FullChipSpec(tiles_x=3, tiles_y=3, seed=5)
+        layout, sites = make_labelled_layout(spec, label=False)
+        assert sites == []
+        assert len(layout) > 0
+
+    def test_sites_verified_by_oracle(self):
+        spec = FullChipSpec(tiles_x=3, tiles_y=3, seed=6)
+        oracle = coarse_oracle()
+        layout, sites = make_labelled_layout(spec, oracle=oracle)
+        for site in sites:
+            assert oracle.label(layout.clip_at(site)) == 1
+
+    def test_deterministic(self):
+        spec = FullChipSpec(tiles_x=3, tiles_y=2, seed=9)
+        a_layout, a_sites = make_labelled_layout(spec, oracle=coarse_oracle())
+        b_layout, b_sites = make_labelled_layout(spec, oracle=coarse_oracle())
+        assert a_layout.rects == b_layout.rects
+        assert a_sites == b_sites

@@ -1,0 +1,113 @@
+"""Tests for the labelled clip generator.
+
+These use a shrunken litho raster (coarser pixels) and tiny counts to keep
+single-core runtime sane; the behaviour under test (rejection sampling,
+determinism, validation) is size-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.litho.oracle import OracleConfig
+from repro.litho.optics import OpticsConfig
+
+
+def fast_config(seed=0, **kwargs):
+    """Generator config with an 8 nm/px oracle raster (4x fewer pixels)."""
+    return GeneratorConfig(
+        seed=seed,
+        oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8)),
+        **kwargs,
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        GeneratorConfig()
+
+    def test_bad_clip_size(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig(clip_nm=0)
+
+    def test_unknown_family(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig(family_weights={"bogus": 1.0})
+
+    def test_negative_weight(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig(family_weights={"comb": -1.0})
+
+    def test_zero_weights(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig(family_weights={"comb": 0.0})
+
+    def test_empty_weights(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig(family_weights={})
+
+    def test_bad_attempt_factor(self):
+        with pytest.raises(DatasetError):
+            GeneratorConfig(max_attempt_factor=0)
+
+
+class TestGeneration:
+    def test_exact_counts(self):
+        generator = ClipGenerator(fast_config(seed=3))
+        clips = generator.generate(5, 9)
+        labels = [c.label for c in clips]
+        assert labels.count(1) == 5
+        assert labels.count(0) == 9
+
+    def test_negative_counts_raise(self):
+        generator = ClipGenerator(fast_config())
+        with pytest.raises(DatasetError):
+            generator.generate(-1, 2)
+
+    def test_zero_counts(self):
+        generator = ClipGenerator(fast_config())
+        assert generator.generate(0, 0) == []
+
+    def test_deterministic_from_seed(self):
+        a = ClipGenerator(fast_config(seed=11)).generate(3, 3)
+        b = ClipGenerator(fast_config(seed=11)).generate(3, 3)
+        assert [c.rects for c in a] == [c.rects for c in b]
+        assert [c.label for c in a] == [c.label for c in b]
+
+    def test_different_seeds_differ(self):
+        a = ClipGenerator(fast_config(seed=1)).generate(3, 3)
+        b = ClipGenerator(fast_config(seed=2)).generate(3, 3)
+        assert [c.rects for c in a] != [c.rects for c in b]
+
+    def test_names_prefixed_and_unique(self):
+        clips = ClipGenerator(fast_config(seed=4)).generate(
+            3, 3, name_prefix="suite_"
+        )
+        names = [c.name for c in clips]
+        assert all(n.startswith("suite_") for n in names)
+        assert len(set(names)) == len(names)
+
+    def test_classes_interleaved(self):
+        clips = ClipGenerator(fast_config(seed=5)).generate(8, 8)
+        labels = [c.label for c in clips]
+        # Shuffled output: neither class occupies a contiguous block.
+        assert labels != sorted(labels)
+        assert labels != sorted(labels, reverse=True)
+
+    def test_stall_detection(self):
+        # A family mix that (practically) never makes hotspots, with a tiny
+        # attempt budget, must raise rather than loop forever.
+        config = GeneratorConfig(
+            seed=0,
+            family_weights={"random_rects": 1.0},
+            max_attempt_factor=1,
+            oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8)),
+        )
+        generator = ClipGenerator(config)
+        with pytest.raises(DatasetError):
+            generator.generate(500, 0)
+
+    def test_draw_clip_labelled(self):
+        clip = ClipGenerator(fast_config(seed=6)).draw_clip()
+        assert clip.label in (0, 1)

@@ -1,0 +1,94 @@
+"""Tests for the parametric pattern families."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.data.patterns import (
+    CD_STEP_NM,
+    DEFAULT_CLIP_NM,
+    GRID_NM,
+    PATTERN_FAMILIES,
+    get_family,
+)
+from repro.geometry.grid import is_on_grid
+
+
+class TestRegistry:
+    def test_expected_families_present(self):
+        expected = {
+            "line_array",
+            "jogged_line",
+            "tip_to_tip",
+            "t_junction",
+            "via_array",
+            "comb",
+            "random_rects",
+            "via_chain",
+            "cell_array",
+            "corner_array",
+        }
+        assert set(PATTERN_FAMILIES) == expected
+
+    def test_get_family(self):
+        assert get_family("comb").name == "comb"
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(DatasetError):
+            get_family("nonsense")
+
+    def test_descriptions_nonempty(self):
+        assert all(f.description for f in PATTERN_FAMILIES.values())
+
+
+@pytest.mark.parametrize("family_name", sorted(PATTERN_FAMILIES))
+class TestEveryFamily:
+    def test_clip_is_valid(self, family_name):
+        rng = np.random.default_rng(11)
+        family = PATTERN_FAMILIES[family_name]
+        for _ in range(5):
+            clip = family.make_clip(rng)
+            assert clip.size == DEFAULT_CLIP_NM
+            assert clip.label is None
+            assert clip.name == family_name
+            for rect in clip.rects:
+                assert clip.window.contains_rect(rect)
+                assert is_on_grid(rect, GRID_NM)
+
+    def test_usually_nonempty(self, family_name):
+        rng = np.random.default_rng(5)
+        family = PATTERN_FAMILIES[family_name]
+        nonempty = sum(bool(family.make_clip(rng).rects) for _ in range(10))
+        assert nonempty >= 8
+
+    def test_deterministic_from_seed(self, family_name):
+        family = PATTERN_FAMILIES[family_name]
+        a = family.make_clip(np.random.default_rng(42))
+        b = family.make_clip(np.random.default_rng(42))
+        assert a.rects == b.rects
+
+    def test_varies_across_draws(self, family_name):
+        rng = np.random.default_rng(1)
+        family = PATTERN_FAMILIES[family_name]
+        layouts = {family.make_clip(rng).rects for _ in range(10)}
+        assert len(layouts) > 1
+
+    def test_custom_clip_size(self, family_name):
+        rng = np.random.default_rng(3)
+        family = PATTERN_FAMILIES[family_name]
+        clip = family.make_clip(rng, size_nm=800)
+        assert clip.size == 800
+        for rect in clip.rects:
+            assert clip.window.contains_rect(rect)
+
+
+class TestRandomRects:
+    def test_components_disjoint(self):
+        rng = np.random.default_rng(0)
+        family = PATTERN_FAMILIES["random_rects"]
+        for _ in range(10):
+            clip = family.make_clip(rng)
+            rects = clip.rects
+            for i in range(len(rects)):
+                for j in range(i + 1, len(rects)):
+                    assert not rects[i].overlaps(rects[j])

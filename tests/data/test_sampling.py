@@ -1,0 +1,82 @@
+"""Tests for stratified splitting and rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.data.sampling import class_counts, stratified_split, upsample_minority
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 100, 100)
+
+
+def labelled_clips(hs, nhs):
+    out = []
+    for i in range(hs):
+        out.append(Clip(WINDOW, (), 1, f"h{i}"))
+    for i in range(nhs):
+        out.append(Clip(WINDOW, (), 0, f"n{i}"))
+    return out
+
+
+class TestStratifiedSplit:
+    def test_proportions(self):
+        main, holdout = stratified_split(labelled_clips(40, 80), 0.25, seed=0)
+        assert class_counts(holdout) == (20, 10)
+        assert class_counts(main) == (60, 30)
+
+    def test_partition(self):
+        clips = labelled_clips(10, 10)
+        main, holdout = stratified_split(clips, 0.3, seed=1)
+        assert sorted(c.name for c in main + holdout) == sorted(
+            c.name for c in clips
+        )
+
+    def test_seed_determinism(self):
+        clips = labelled_clips(10, 10)
+        a = stratified_split(clips, 0.25, seed=5)
+        b = stratified_split(clips, 0.25, seed=5)
+        assert [c.name for c in a[0]] == [c.name for c in b[0]]
+
+    def test_different_seeds_differ(self):
+        clips = labelled_clips(20, 20)
+        a = stratified_split(clips, 0.25, seed=1)
+        b = stratified_split(clips, 0.25, seed=2)
+        assert {c.name for c in a[1]} != {c.name for c in b[1]}
+
+    def test_bad_fraction(self):
+        with pytest.raises(DatasetError):
+            stratified_split(labelled_clips(2, 2), 0.0)
+        with pytest.raises(DatasetError):
+            stratified_split(labelled_clips(2, 2), 1.0)
+
+    def test_unlabelled_rejected(self):
+        with pytest.raises(DatasetError):
+            stratified_split([Clip(WINDOW)], 0.25)
+
+
+class TestUpsample:
+    def test_balances_classes(self):
+        out = upsample_minority(labelled_clips(3, 12), seed=0)
+        nhs, hs = class_counts(out)
+        assert hs == nhs == 12
+
+    def test_originals_all_present(self):
+        clips = labelled_clips(3, 9)
+        out = upsample_minority(clips, seed=1)
+        names = [c.name for c in out]
+        for clip in clips:
+            assert clip.name in names
+
+    def test_single_class_unchanged(self):
+        clips = labelled_clips(5, 0)
+        assert upsample_minority(clips) == clips
+
+    def test_already_balanced_unchanged_size(self):
+        out = upsample_minority(labelled_clips(4, 4), seed=0)
+        assert len(out) == 8
+
+    def test_unlabelled_rejected(self):
+        with pytest.raises(DatasetError):
+            upsample_minority([Clip(WINDOW)])

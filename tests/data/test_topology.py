@@ -1,0 +1,94 @@
+"""Tests for topology signatures and suite audits."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.data.topology import (
+    dedupe_clips,
+    duplication_rate,
+    suite_statistics,
+    topology_signature,
+)
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+
+def clip(*rects, label=0, name="line_array_0"):
+    return Clip(WINDOW, tuple(rects), label, name)
+
+
+BASE = clip(Rect(100, 100, 200, 1100), Rect(400, 100, 500, 1100))
+
+
+class TestSignature:
+    def test_deterministic(self):
+        assert topology_signature(BASE) == topology_signature(BASE)
+
+    def test_translation_invariant(self):
+        moved = Clip(
+            Rect(500, 500, 1700, 1700),
+            tuple(r.translated(500, 500) for r in BASE.rects),
+            0,
+            "x",
+        )
+        assert topology_signature(moved) == topology_signature(BASE)
+
+    def test_different_geometry_differs(self):
+        other = clip(Rect(100, 100, 220, 1100))
+        assert topology_signature(other) != topology_signature(BASE)
+
+    def test_sub_grid_jitter_collides(self):
+        jittered = clip(
+            Rect(102, 100, 202, 1100), Rect(400, 104, 500, 1104)
+        )
+        assert topology_signature(jittered, grid_nm=20) == topology_signature(
+            BASE, grid_nm=20
+        )
+
+    def test_canonical_orientation_merges_mirrors(self):
+        mirrored = BASE.flipped_horizontal()
+        assert topology_signature(mirrored) != topology_signature(BASE)
+        assert topology_signature(
+            mirrored, canonical_orientation=True
+        ) == topology_signature(BASE, canonical_orientation=True)
+
+    def test_bad_grid(self):
+        with pytest.raises(DatasetError):
+            topology_signature(BASE, grid_nm=0)
+
+
+class TestDedupe:
+    def test_removes_duplicates_keeps_order(self):
+        copy = clip(*BASE.rects, name="copy")
+        other = clip(Rect(0, 0, 600, 600), name="other")
+        out = dedupe_clips([BASE, copy, other])
+        assert [c.name for c in out] == ["line_array_0", "other"]
+
+    def test_duplication_rate(self):
+        copy = clip(*BASE.rects, name="copy")
+        assert duplication_rate([BASE, copy]) == pytest.approx(0.5)
+        assert duplication_rate([BASE]) == 0.0
+        assert duplication_rate([]) == 0.0
+
+
+class TestSuiteStatistics:
+    def test_summary_fields(self):
+        clips = [
+            clip(Rect(0, 0, 100, 100), label=1, name="iccad_comb_1"),
+            clip(Rect(0, 0, 100, 100), label=0, name="iccad_comb_2"),
+            clip(Rect(0, 0, 300, 100), label=0, name="mystery"),
+        ]
+        stats = suite_statistics(clips)
+        assert stats.clip_count == 3
+        assert stats.hotspot_count == 1
+        assert stats.unique_topologies == 2
+        assert stats.duplication_rate == pytest.approx(1 / 3)
+        assert stats.family_counts["comb"] == 2
+        assert stats.family_counts["other"] == 1
+        assert "unique topologies" in stats.summary()
+
+    def test_empty_raises(self):
+        with pytest.raises(DatasetError):
+            suite_statistics([])

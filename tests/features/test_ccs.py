@@ -1,0 +1,85 @@
+"""Tests for the concentric-circle-sampling baseline feature."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.ccs import CCSConfig, CCSExtractor
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 240, 240)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = CCSConfig()
+        assert cfg.circle_count == 16
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"circle_count": 0},
+            {"samples_per_circle": 3},
+            {"pixel_nm": 0},
+            {"inner_fraction": 0.9, "outer_fraction": 0.5},
+            {"inner_fraction": -0.1},
+            {"outer_fraction": 1.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(FeatureError):
+            CCSConfig(**kwargs)
+
+
+class TestExtract:
+    def setup_method(self):
+        self.extractor = CCSExtractor(
+            CCSConfig(circle_count=8, samples_per_circle=16, pixel_nm=4)
+        )
+
+    def test_output_shape(self):
+        assert self.extractor.output_shape == (128,)
+        clip = Clip(WINDOW, (Rect(0, 0, 120, 240),))
+        assert self.extractor.extract(clip).shape == (128,)
+
+    def test_binary_values(self):
+        clip = Clip(WINDOW, (Rect(30, 30, 210, 100),))
+        feature = self.extractor.extract(clip)
+        assert set(np.unique(feature)) <= {0.0, 1.0}
+
+    def test_empty_and_full(self):
+        assert np.all(self.extractor.extract(Clip(WINDOW)) == 0.0)
+        assert np.all(self.extractor.extract(Clip(WINDOW, (WINDOW,))) == 1.0)
+
+    def test_centre_square_hits_inner_circles_only(self):
+        clip = Clip(WINDOW, (Rect(100, 100, 140, 140),))
+        feature = self.extractor.extract(clip).reshape(8, 16)
+        assert feature[0].sum() > 0  # innermost circle inside the square
+        assert feature[-1].sum() == 0  # outermost circle far outside
+
+    def test_ring_hits_outer_circles_only(self):
+        ring = (
+            Rect(4, 4, 236, 24),
+            Rect(4, 216, 236, 236),
+            Rect(4, 4, 24, 236),
+            Rect(216, 4, 236, 236),
+        )
+        feature = self.extractor.extract(Clip(WINDOW, ring)).reshape(8, 16)
+        assert feature[-1].sum() > 0
+        assert feature[0].sum() == 0
+
+    def test_coordinate_cache_reused(self):
+        clip = Clip(WINDOW, (Rect(0, 0, 120, 240),))
+        self.extractor.extract(clip)
+        cached = self.extractor._coordinates(60)
+        self.extractor.extract(clip)
+        assert self.extractor._coordinates(60) is cached
+
+    def test_radial_organisation(self):
+        # A vertical line through the centre is seen by every circle at
+        # roughly two angular positions (where the circle crosses it).
+        clip = Clip(WINDOW, (Rect(110, 0, 130, 240),))
+        feature = self.extractor.extract(clip).reshape(8, 16)
+        for circle in range(1, 8):
+            assert 1 <= feature[circle].sum() <= 6

@@ -1,0 +1,76 @@
+"""Tests for the DCT helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.features.dct import dc_coefficient_scale, dct2, energy, idct2
+
+
+def random_block(seed=0, size=8):
+    return np.random.default_rng(seed).random((size, size))
+
+
+class TestRoundTrip:
+    def test_exact_inverse(self):
+        block = random_block()
+        assert np.allclose(idct2(dct2(block)), block)
+
+    def test_batched_axes(self):
+        blocks = np.random.default_rng(1).random((3, 4, 8, 8))
+        assert np.allclose(idct2(dct2(blocks)), blocks)
+        # per-block equality with the unbatched transform
+        assert np.allclose(dct2(blocks)[1, 2], dct2(blocks[1, 2]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(
+            np.float64,
+            (6, 6),
+            elements=st.floats(-10, 10, allow_nan=False, width=64),
+        )
+    )
+    def test_roundtrip_property(self, block):
+        assert np.allclose(idct2(dct2(block)), block, atol=1e-9)
+
+
+class TestSpectralProperties:
+    def test_constant_block_is_pure_dc(self):
+        block = np.full((10, 10), 0.7)
+        coefficients = dct2(block)
+        assert coefficients[0, 0] == pytest.approx(0.7 * 10)
+        off_dc = coefficients.copy()
+        off_dc[0, 0] = 0.0
+        assert np.abs(off_dc).max() < 1e-12
+
+    def test_dc_scale_matches_mean(self):
+        block = random_block(2, 16)
+        coefficients = dct2(block)
+        assert coefficients[0, 0] == pytest.approx(
+            block.mean() * dc_coefficient_scale(16)
+        )
+
+    def test_parseval(self):
+        block = random_block(3, 12)
+        assert energy(dct2(block)) == pytest.approx(energy(block))
+
+    def test_linearity(self):
+        a, b = random_block(4), random_block(5)
+        assert np.allclose(dct2(a + 2 * b), dct2(a) + 2 * dct2(b))
+
+    def test_binary_layout_block_energy_compaction(self):
+        # A typical layout block (few rectangles) concentrates energy in
+        # low frequencies: the first 32 zig-zag coefficients carry most of
+        # the total energy. This is the property the feature tensor uses.
+        from repro.features.zigzag import zigzag_flatten
+
+        block = np.zeros((100, 100))
+        block[20:80, 30:50] = 1.0
+        block[20:80, 60:75] = 1.0
+        scan = zigzag_flatten(dct2(block))
+        total = float(np.sum(scan**2))
+        head = float(np.sum(scan[:32] ** 2))
+        # 32 of 10,000 coefficients (0.3 %) keep ~3/4 of the energy.
+        assert head / total > 0.7

@@ -1,0 +1,74 @@
+"""Tests for the density baseline feature."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.density import DensityConfig, DensityExtractor
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 240, 240)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = DensityConfig()
+        assert cfg.grid == 12
+
+    def test_validation(self):
+        with pytest.raises(FeatureError):
+            DensityConfig(grid=0)
+        with pytest.raises(FeatureError):
+            DensityConfig(pixel_nm=0)
+
+
+class TestExtract:
+    def setup_method(self):
+        self.extractor = DensityExtractor(DensityConfig(grid=6, pixel_nm=4))
+
+    def test_output_shape(self):
+        assert self.extractor.output_shape == (36,)
+        clip = Clip(WINDOW, (Rect(0, 0, 120, 240),))
+        assert self.extractor.extract(clip).shape == (36,)
+
+    def test_values_are_coverages(self):
+        clip = Clip(WINDOW, (Rect(0, 0, 120, 240),))  # left half full
+        feature = self.extractor.extract(clip).reshape(6, 6)
+        assert np.allclose(feature[:, :3], 1.0)
+        assert np.allclose(feature[:, 3:], 0.0)
+
+    def test_empty_clip(self):
+        assert np.all(self.extractor.extract(Clip(WINDOW)) == 0.0)
+
+    def test_full_clip(self):
+        clip = Clip(WINDOW, (WINDOW,))
+        assert np.allclose(self.extractor.extract(clip), 1.0)
+
+    def test_range(self):
+        clip = Clip(WINDOW, (Rect(10, 10, 111, 113), Rect(130, 40, 201, 202)))
+        feature = self.extractor.extract(clip)
+        assert feature.min() >= 0.0
+        assert feature.max() <= 1.0
+
+    def test_mean_matches_total_density(self):
+        clip = Clip(WINDOW, (Rect(0, 0, 240, 60),))
+        feature = self.extractor.extract(clip)
+        assert feature.mean() == pytest.approx(0.25)
+
+    def test_indivisible_grid_raises(self):
+        extractor = DensityExtractor(DensityConfig(grid=7, pixel_nm=4))
+        with pytest.raises(FeatureError):
+            extractor.extract(Clip(WINDOW))
+
+    def test_flattening_loses_orientation(self):
+        # The defining flaw the paper criticises: a transposed layout
+        # produces a permuted (not equal) vector, but summary statistics
+        # coincide — the 1-D view cannot tell arrangement apart when a
+        # classifier uses order statistics.
+        clip_v = Clip(WINDOW, (Rect(0, 0, 40, 240),))
+        clip_h = Clip(WINDOW, (Rect(0, 0, 240, 40),))
+        f_v = self.extractor.extract(clip_v)
+        f_h = self.extractor.extract(clip_h)
+        assert not np.array_equal(f_v, f_h)
+        assert sorted(f_v.tolist()) == sorted(f_h.tolist())

@@ -1,0 +1,84 @@
+"""Tests for the channel scaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FeatureError
+from repro.features.scaler import ChannelScaler
+
+
+def sample(seed=0, shape=(20, 4, 4, 8)):
+    rng = np.random.default_rng(seed)
+    # Give channels wildly different scales, like real DCT channels.
+    scales = 10.0 ** np.arange(shape[-1])
+    return rng.normal(size=shape) * scales
+
+
+class TestFitTransform:
+    def test_standardises_channels(self):
+        x = sample()
+        out = ChannelScaler().fit_transform(x)
+        flat = out.reshape(-1, x.shape[-1])
+        assert np.allclose(flat.mean(axis=0), 0.0, atol=1e-4)
+        assert np.allclose(flat.std(axis=0), 1.0, atol=1e-4)
+
+    def test_transform_uses_train_stats(self):
+        train, test = sample(0), sample(1)
+        scaler = ChannelScaler().fit(train)
+        out_a = scaler.transform(test)
+        out_b = scaler.transform(test)
+        assert np.array_equal(out_a, out_b)
+        # Test-set stats are near but not exactly standardised.
+        assert not np.allclose(
+            out_a.reshape(-1, 8).mean(axis=0), 0.0, atol=1e-9
+        )
+
+    def test_constant_channel_passthrough(self):
+        x = np.zeros((10, 3))
+        x[:, 0] = 5.0
+        out = ChannelScaler().fit_transform(x)
+        assert np.allclose(out[:, 0], 0.0)  # centred, not divided by ~0
+        assert np.isfinite(out).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(FeatureError):
+            ChannelScaler().transform(np.zeros((2, 3)))
+
+    def test_channel_mismatch_raises(self):
+        scaler = ChannelScaler().fit(np.zeros((4, 5)) + np.arange(5))
+        with pytest.raises(FeatureError):
+            scaler.transform(np.zeros((4, 6)))
+
+    def test_scalar_input_rejected(self):
+        with pytest.raises(FeatureError):
+            ChannelScaler().fit(np.zeros(3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 100))
+    def test_transform_is_affine_invertible(self, seed):
+        x = sample(seed, shape=(8, 6))
+        scaler = ChannelScaler().fit(x)
+        out = scaler.transform(x)
+        recovered = out * scaler.std + scaler.mean
+        assert np.allclose(recovered, x, rtol=1e-4, atol=1e-4)
+
+
+class TestState:
+    def test_roundtrip(self):
+        x = sample()
+        scaler = ChannelScaler().fit(x)
+        mean, std = scaler.state()
+        clone = ChannelScaler.from_state(mean, std)
+        assert np.allclose(clone.transform(x), scaler.transform(x))
+
+    def test_state_before_fit_raises(self):
+        with pytest.raises(FeatureError):
+            ChannelScaler().state()
+
+    def test_bad_state_shapes(self):
+        with pytest.raises(FeatureError):
+            ChannelScaler.from_state(np.zeros(3), np.zeros(4))
+        with pytest.raises(FeatureError):
+            ChannelScaler.from_state(np.zeros((2, 2)), np.zeros((2, 2)))

@@ -1,0 +1,148 @@
+"""Tests for feature tensor generation (paper Section 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FeatureError
+from repro.features.tensor import FeatureTensorConfig, FeatureTensorExtractor
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 240, 240)
+
+
+def make_clip():
+    return Clip(
+        WINDOW,
+        (Rect(20, 20, 60, 220), Rect(100, 40, 140, 200), Rect(180, 20, 220, 120)),
+    )
+
+
+def small_extractor(k=16):
+    # 240 nm clip at 4 nm/px -> 60 px; 12 blocks of 5 px.
+    return FeatureTensorExtractor(
+        FeatureTensorConfig(block_count=12, coefficients=k, pixel_nm=4)
+    )
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = FeatureTensorConfig()
+        assert cfg.block_count == 12
+        assert cfg.pixel_nm == 1
+        assert cfg.block_size_px(1200) == 100
+
+    def test_validation(self):
+        with pytest.raises(FeatureError):
+            FeatureTensorConfig(block_count=0)
+        with pytest.raises(FeatureError):
+            FeatureTensorConfig(coefficients=0)
+        with pytest.raises(FeatureError):
+            FeatureTensorConfig(pixel_nm=0)
+
+    def test_indivisible_raster_raises(self):
+        cfg = FeatureTensorConfig(block_count=7, pixel_nm=1)
+        with pytest.raises(FeatureError):
+            cfg.block_size_px(1200)
+
+    def test_k_exceeding_block_raises(self):
+        cfg = FeatureTensorConfig(block_count=12, coefficients=26, pixel_nm=4)
+        with pytest.raises(FeatureError):
+            cfg.block_size_px(240)  # blocks are 5x5 = 25 < 26
+
+
+class TestEncode:
+    def test_output_shape(self):
+        ext = small_extractor()
+        assert ext.output_shape == (12, 12, 16)
+        assert ext.extract(make_clip()).shape == (12, 12, 16)
+        assert ext.extract(make_clip()).dtype == np.float32
+
+    def test_dc_channel_tracks_block_density(self):
+        ext = small_extractor()
+        tensor = ext.extract(make_clip())
+        image = make_clip().rasterize(resolution=4)
+        blocks = image.reshape(12, 5, 12, 5).transpose(0, 2, 1, 3)
+        means = blocks.mean(axis=(2, 3))
+        # Orthonormal DC = B * mean with B = 5.
+        assert np.allclose(tensor[..., 0], means * 5, atol=1e-5)
+
+    def test_empty_clip_zero_tensor(self):
+        ext = small_extractor()
+        tensor = ext.extract(Clip(WINDOW))
+        assert np.abs(tensor).max() == 0.0
+
+    def test_spatial_structure_preserved(self):
+        # Pattern only in the left half -> right-half DC entries are zero.
+        clip = Clip(WINDOW, (Rect(0, 0, 120, 240),))
+        tensor = small_extractor().extract(clip)
+        assert np.abs(tensor[:, :6, 0]).min() > 0
+        assert np.abs(tensor[:, 6:, 0]).max() == 0.0
+
+    def test_encode_image_requires_square(self):
+        with pytest.raises(FeatureError):
+            small_extractor().encode_image(np.zeros((60, 50)))
+
+    def test_encode_image_requires_divisible(self):
+        with pytest.raises(FeatureError):
+            small_extractor().encode_image(np.zeros((61, 61)))
+
+
+class TestDecode:
+    def test_exact_roundtrip_with_full_k(self):
+        ext = FeatureTensorExtractor(
+            FeatureTensorConfig(block_count=12, coefficients=25, pixel_nm=4)
+        )
+        clip = make_clip()
+        image = clip.rasterize(resolution=4)
+        recovered = ext.decode(ext.extract(clip), clip.size)
+        assert np.allclose(recovered, image, atol=1e-5)
+
+    def test_truncated_roundtrip_small_error(self):
+        ext = small_extractor(k=16)
+        clip = make_clip()
+        assert ext.reconstruction_error(clip) < 0.25
+
+    def test_error_monotone_in_k(self):
+        clip = make_clip()
+        errors = [
+            small_extractor(k).reconstruction_error(clip) for k in (4, 9, 16, 25)
+        ]
+        assert all(b <= a + 1e-9 for a, b in zip(errors[:-1], errors[1:]))
+        assert errors[-1] == pytest.approx(0.0, abs=1e-6)
+
+    def test_decode_validates_grid(self):
+        ext = small_extractor()
+        with pytest.raises(FeatureError):
+            ext.decode(np.zeros((10, 10, 16)), 240)
+
+    def test_compression_ratio(self):
+        assert small_extractor(k=5).compression_ratio(240) == pytest.approx(5.0)
+        paper = FeatureTensorExtractor()
+        assert paper.compression_ratio(1200) == pytest.approx(10000 / 32)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 25))
+    def test_roundtrip_error_bounded_by_parseval(self, k):
+        # RMS reconstruction error^2 = dropped-coefficient energy / N^2,
+        # which is at most total energy / N^2 <= max|I|^2 = 1.
+        ext = small_extractor(k)
+        clip = make_clip()
+        assert 0.0 <= ext.reconstruction_error(clip) <= 1.0
+
+
+class TestScalerIntegration:
+    def test_channel_scaler_roundtrip(self):
+        from repro.features.scaler import ChannelScaler
+
+        ext = small_extractor()
+        tensors = np.stack([ext.extract(make_clip()) for _ in range(3)])
+        tensors[1] *= 2.0  # make variance non-zero
+        scaler = ChannelScaler().fit(tensors)
+        out = scaler.transform(tensors)
+        assert out.shape == tensors.shape
+        flat = out.reshape(-1, out.shape[-1])
+        live = flat.std(axis=0) > 1e-6
+        assert np.allclose(flat.mean(axis=0)[live], 0.0, atol=1e-5)

@@ -1,0 +1,102 @@
+"""Tests for the zig-zag scan."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import FeatureError
+from repro.features.zigzag import (
+    inverse_zigzag_indices,
+    zigzag_flatten,
+    zigzag_indices,
+    zigzag_unflatten,
+)
+
+
+class TestIndices:
+    def test_jpeg_3x3_order(self):
+        rows, cols = zigzag_indices(3)
+        order = list(zip(rows.tolist(), cols.tolist()))
+        assert order == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (1, 2),
+            (2, 1),
+            (2, 2),
+        ]
+
+    def test_starts_at_dc(self):
+        for size in (1, 2, 4, 7, 16):
+            rows, cols = zigzag_indices(size)
+            assert rows[0] == 0 and cols[0] == 0
+
+    def test_is_permutation(self):
+        for size in (1, 2, 5, 8):
+            rows, cols = zigzag_indices(size)
+            flat = rows * size + cols
+            assert sorted(flat.tolist()) == list(range(size * size))
+
+    def test_monotone_frequency(self):
+        # The anti-diagonal index (total frequency r+c) never decreases.
+        rows, cols = zigzag_indices(8)
+        diagonals = rows + cols
+        assert all(b >= a for a, b in zip(diagonals[:-1], diagonals[1:]))
+
+    def test_bad_size(self):
+        with pytest.raises(FeatureError):
+            zigzag_indices(0)
+
+
+class TestFlattenUnflatten:
+    def test_roundtrip_full(self):
+        block = np.arange(16, dtype=float).reshape(4, 4)
+        assert np.array_equal(zigzag_unflatten(zigzag_flatten(block), 4), block)
+
+    def test_truncated_zero_fills(self):
+        block = np.random.default_rng(0).random((4, 4))
+        truncated = zigzag_flatten(block)[:5]
+        restored = zigzag_unflatten(truncated, 4)
+        rows, cols = zigzag_indices(4)
+        # First 5 zig-zag positions survive; others are zero.
+        for i in range(16):
+            value = restored[rows[i], cols[i]]
+            if i < 5:
+                assert value == pytest.approx(block[rows[i], cols[i]])
+            else:
+                assert value == 0.0
+
+    def test_batched(self):
+        blocks = np.random.default_rng(1).random((2, 3, 6, 6))
+        flat = zigzag_flatten(blocks)
+        assert flat.shape == (2, 3, 36)
+        assert np.array_equal(zigzag_unflatten(flat, 6), blocks)
+
+    def test_non_square_raises(self):
+        with pytest.raises(FeatureError):
+            zigzag_flatten(np.zeros((3, 4)))
+
+    def test_too_long_vector_raises(self):
+        with pytest.raises(FeatureError):
+            zigzag_unflatten(np.zeros(17), 4)
+
+    def test_inverse_indices_consistency(self):
+        size = 5
+        rows, cols = zigzag_indices(size)
+        inverse = inverse_zigzag_indices(size)
+        block = np.random.default_rng(2).random((size, size))
+        vector = block[rows, cols]
+        flat = np.zeros(size * size)
+        flat[inverse] = vector
+        assert np.array_equal(flat.reshape(size, size), block)
+
+    @given(st.integers(1, 10))
+    def test_roundtrip_property(self, size):
+        block = np.random.default_rng(size).random((size, size))
+        assert np.allclose(
+            zigzag_unflatten(zigzag_flatten(block), size), block
+        )

@@ -1,0 +1,129 @@
+"""Tests for layout clips and their dihedral transforms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.clip import HOTSPOT, NON_HOTSPOT, Clip
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+
+def make_clip(label=None):
+    return Clip(
+        window=WINDOW,
+        rects=(Rect(100, 100, 300, 1100), Rect(500, 200, 700, 900)),
+        label=label,
+        name="t",
+    )
+
+
+class TestConstruction:
+    def test_square_required(self):
+        with pytest.raises(GeometryError):
+            Clip(window=Rect(0, 0, 100, 200))
+
+    def test_label_validation(self):
+        with pytest.raises(GeometryError):
+            Clip(window=WINDOW, label=7)
+
+    def test_size(self):
+        assert make_clip().size == 1200
+
+    def test_is_hotspot(self):
+        assert make_clip(HOTSPOT).is_hotspot
+        assert not make_clip(NON_HOTSPOT).is_hotspot
+        with pytest.raises(GeometryError):
+            make_clip(None).is_hotspot
+
+    def test_with_label(self):
+        clip = make_clip().with_label(HOTSPOT)
+        assert clip.label == HOTSPOT
+        assert clip.rects == make_clip().rects
+
+
+class TestNormalize:
+    def test_normalized_origin(self):
+        clip = Clip(
+            window=Rect(500, 700, 1700, 1900),
+            rects=(Rect(600, 800, 700, 900),),
+        )
+        norm = clip.normalized()
+        assert norm.window == Rect(0, 0, 1200, 1200)
+        assert norm.rects[0] == Rect(100, 100, 200, 200)
+
+    def test_normalized_raster_invariant(self):
+        clip = Clip(
+            window=Rect(500, 700, 1700, 1900),
+            rects=(Rect(600, 800, 760, 1800),),
+        )
+        a = clip.rasterize(resolution=4)
+        b = clip.normalized().rasterize(resolution=4)
+        assert np.array_equal(a, b)
+
+
+class TestTransforms:
+    def test_flip_h_involution(self):
+        clip = make_clip()
+        assert clip.flipped_horizontal().flipped_horizontal().rects == clip.rects
+
+    def test_flip_v_involution(self):
+        clip = make_clip()
+        assert clip.flipped_vertical().flipped_vertical().rects == clip.rects
+
+    def test_rotate_four_times_identity(self):
+        clip = make_clip()
+        out = clip
+        for _ in range(4):
+            out = out.rotated90()
+        assert set(out.rects) == set(clip.rects)
+
+    def test_transforms_stay_in_window(self):
+        clip = make_clip()
+        for t in (
+            clip.flipped_horizontal(),
+            clip.flipped_vertical(),
+            clip.rotated90(),
+        ):
+            for r in t.rects:
+                assert clip.window.contains_rect(r)
+
+    def test_flip_matches_raster_flip(self):
+        clip = make_clip()
+        image = clip.rasterize(resolution=4)
+        flipped = clip.flipped_horizontal().rasterize(resolution=4)
+        assert np.array_equal(flipped, image[:, ::-1])
+
+    def test_vertical_flip_matches_raster_flip(self):
+        clip = make_clip()
+        image = clip.rasterize(resolution=4)
+        flipped = clip.flipped_vertical().rasterize(resolution=4)
+        assert np.array_equal(flipped, image[::-1, :])
+
+    def test_transforms_preserve_label(self):
+        clip = make_clip(HOTSPOT)
+        assert clip.rotated90().label == HOTSPOT
+        assert clip.flipped_horizontal().label == HOTSPOT
+
+    @given(st.integers(0, 3))
+    def test_density_invariant_under_rotation(self, turns):
+        clip = make_clip()
+        rotated = clip
+        for _ in range(turns):
+            rotated = rotated.rotated90()
+        assert rotated.density() == pytest.approx(clip.density())
+
+
+class TestDensity:
+    def test_density_range(self):
+        assert 0.0 < make_clip().density() < 1.0
+
+    def test_empty_density(self):
+        assert Clip(window=WINDOW).density() == 0.0
+
+    def test_full_density(self):
+        clip = Clip(window=WINDOW, rects=(WINDOW,))
+        assert clip.density() == 1.0

@@ -1,0 +1,68 @@
+"""Tests for manufacturing-grid snapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.grid import is_on_grid, snap, snap_down, snap_rect, snap_up
+from repro.geometry.rect import Rect
+
+
+class TestSnap:
+    @pytest.mark.parametrize(
+        "value,grid,expected",
+        [(7, 5, 5), (8, 5, 10), (7.5, 5, 10), (-7, 5, -5), (-7.5, 5, -10), (0, 5, 0)],
+    )
+    def test_values(self, value, grid, expected):
+        assert snap(value, grid) == expected
+
+    def test_bad_grid(self):
+        with pytest.raises(GeometryError):
+            snap(1.0, 0)
+        with pytest.raises(GeometryError):
+            snap_down(1.0, -5)
+        with pytest.raises(GeometryError):
+            snap_up(1.0, 0)
+
+    def test_snap_down_up(self):
+        assert snap_down(9.9, 5) == 5
+        assert snap_up(9.9, 5) == 10
+        assert snap_down(10, 5) == 10
+        assert snap_up(10, 5) == 10
+
+    @given(st.floats(-1e6, 1e6, allow_nan=False), st.integers(1, 100))
+    def test_snap_is_multiple(self, value, grid):
+        assert snap(value, grid) % grid == 0
+        assert snap_down(value, grid) % grid == 0
+        assert snap_up(value, grid) % grid == 0
+
+    @given(st.floats(-1e6, 1e6, allow_nan=False), st.integers(1, 100))
+    def test_snap_ordering(self, value, grid):
+        assert snap_down(value, grid) <= value <= snap_up(value, grid)
+        assert snap_down(value, grid) <= snap(value, grid) <= snap_up(value, grid)
+
+
+class TestSnapRect:
+    def test_covers_original(self):
+        r = Rect(3, 7, 11, 13)
+        snapped = snap_rect(r, 5)
+        assert snapped.contains_rect(r)
+        assert is_on_grid(snapped, 5)
+
+    def test_already_on_grid_is_identity(self):
+        r = Rect(5, 10, 20, 25)
+        assert snap_rect(r, 5) == r
+
+    @given(
+        st.integers(-1000, 1000),
+        st.integers(-1000, 1000),
+        st.integers(1, 200),
+        st.integers(1, 200),
+        st.integers(1, 32),
+    )
+    def test_snapped_always_on_grid_and_covering(self, x, y, w, h, grid):
+        r = Rect(x, y, x + w, y + h)
+        snapped = snap_rect(r, grid)
+        assert is_on_grid(snapped, grid)
+        assert snapped.contains_rect(r)

@@ -1,0 +1,111 @@
+"""Tests for full-chip layouts and window tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.layout import Layout, iter_clip_windows
+from repro.geometry.rect import Rect
+
+REGION = Rect(0, 0, 4800, 4800)
+
+
+def sample_layout():
+    layout = Layout(REGION, bin_nm=1200)
+    layout.add(Rect(100, 100, 300, 1100))      # tile (0,0)
+    layout.add(Rect(1300, 1300, 2300, 1500))   # tile (1,1)
+    layout.add(Rect(1100, 500, 1400, 700))     # straddles tiles (0,0)-(1,0)
+    return layout
+
+
+class TestLayout:
+    def test_construction(self):
+        layout = sample_layout()
+        assert len(layout) == 3
+
+    def test_out_of_region_rejected(self):
+        layout = Layout(REGION)
+        with pytest.raises(GeometryError):
+            layout.add(Rect(4000, 4000, 5000, 5000))
+
+    def test_bad_bin(self):
+        with pytest.raises(GeometryError):
+            Layout(REGION, bin_nm=0)
+
+    def test_query_finds_overlapping(self):
+        layout = sample_layout()
+        hits = layout.query(Rect(0, 0, 1200, 1200))
+        assert Rect(100, 100, 300, 1100) in hits
+        assert Rect(1100, 500, 1400, 700) in hits  # straddler
+        assert Rect(1300, 1300, 2300, 1500) not in hits
+
+    def test_query_empty_area(self):
+        layout = sample_layout()
+        assert layout.query(Rect(3600, 3600, 4800, 4800)) == []
+
+    def test_query_deduplicates_straddlers(self):
+        layout = sample_layout()
+        hits = layout.query(Rect(0, 0, 2400, 2400))
+        assert len(hits) == len(set(hits)) == 3
+
+    def test_clip_at(self):
+        layout = sample_layout()
+        clip = layout.clip_at(Rect(0, 0, 1200, 1200), name="w0")
+        assert clip.name == "w0"
+        assert clip.label is None
+        assert len(clip.rects) == 2
+
+    def test_density(self):
+        layout = Layout(Rect(0, 0, 100, 100))
+        layout.add(Rect(0, 0, 50, 100))
+        assert layout.density() == pytest.approx(0.5)
+
+    def test_bbox(self):
+        layout = sample_layout()
+        assert layout.bbox() == Rect(100, 100, 2300, 1500)
+        assert Layout(REGION).bbox() == REGION
+
+    @given(st.integers(0, 3600), st.integers(0, 3600))
+    @settings(max_examples=25, deadline=None)
+    def test_query_matches_bruteforce(self, x, y):
+        layout = sample_layout()
+        window = Rect(x, y, x + 1200, y + 1200)
+        expected = sorted(r for r in layout.rects if r.overlaps(window))
+        assert layout.query(window) == expected
+
+
+class TestIterClipWindows:
+    def test_counts(self):
+        windows = list(iter_clip_windows(REGION, clip_nm=1200, stride_nm=600))
+        # positions: 0,600,...,3600 -> 7 per axis
+        assert len(windows) == 49
+
+    def test_all_inside_region(self):
+        for window in iter_clip_windows(REGION, 1200, 600):
+            assert REGION.contains_rect(window)
+
+    def test_full_coverage(self):
+        covered = np.zeros((48, 48), dtype=bool)  # 100nm resolution
+        for w in iter_clip_windows(REGION, 1200, 600):
+            covered[
+                w.y_lo // 100 : w.y_hi // 100, w.x_lo // 100 : w.x_hi // 100
+            ] = True
+        assert covered.all()
+
+    def test_non_divisible_region_clamps_last(self):
+        region = Rect(0, 0, 2000, 2000)
+        windows = list(iter_clip_windows(region, 1200, 600))
+        xs = sorted({w.x_lo for w in windows})
+        assert xs == [0, 600, 800]  # final window clamped to 800..2000
+
+    def test_too_small_region_raises(self):
+        with pytest.raises(GeometryError):
+            list(iter_clip_windows(Rect(0, 0, 1000, 1000), 1200, 600))
+
+    def test_bad_params(self):
+        with pytest.raises(GeometryError):
+            list(iter_clip_windows(REGION, 0, 600))
+        with pytest.raises(GeometryError):
+            list(iter_clip_windows(REGION, 1200, 0))

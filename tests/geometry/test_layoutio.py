@@ -1,0 +1,69 @@
+"""Tests for the text layout clip format."""
+
+import pytest
+
+from repro.exceptions import LayoutFormatError
+from repro.geometry.clip import HOTSPOT, Clip
+from repro.geometry.layoutio import read_layout, write_layout
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+
+def sample_clips():
+    return [
+        Clip(WINDOW, (Rect(0, 0, 100, 100), Rect(200, 200, 400, 900)), HOTSPOT, "a"),
+        Clip(WINDOW, (Rect(10, 10, 20, 20),), 0, "b"),
+        Clip(WINDOW, (), None, "empty"),
+    ]
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "clips.txt"
+        count = write_layout(path, sample_clips())
+        assert count == 3
+        loaded = read_layout(path)
+        assert loaded == sample_clips()
+
+    def test_unnamed_clip_gets_default_name(self, tmp_path):
+        path = tmp_path / "clips.txt"
+        write_layout(path, [Clip(WINDOW)])
+        loaded = read_layout(path)
+        assert loaded[0].name == "clip0"
+
+    def test_empty_file_roundtrip(self, tmp_path):
+        path = tmp_path / "clips.txt"
+        assert write_layout(path, []) == 0
+        assert read_layout(path) == []
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "clips.txt"
+        path.write_text(
+            "# header\n\nCLIP c 0 0 10 10 1\n# inner comment\nRECT 1 1 2 2\n\nENDCLIP\n"
+        )
+        loaded = read_layout(path)
+        assert len(loaded) == 1
+        assert loaded[0].label == HOTSPOT
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "CLIP a 0 0 10 10 1\nCLIP b 0 0 10 10 0\n",  # nested
+            "RECT 0 0 1 1\n",  # rect outside clip
+            "ENDCLIP\n",  # endclip outside clip
+            "CLIP a 0 0 10 10 1\n",  # unterminated
+            "CLIP a 0 0 10 10 2\nENDCLIP\n",  # bad label
+            "CLIP a 0 0 10 10\nENDCLIP\n",  # missing label field
+            "CLIP a 0 0 10 10 1\nRECT 5 5 5 9\nENDCLIP\n",  # degenerate rect
+            "CLIP a 0 0 10 10 1\nRECT x 5 6 9\nENDCLIP\n",  # non-integer
+            "FROB 1 2 3\n",  # unknown record
+        ],
+    )
+    def test_malformed_raises(self, tmp_path, text):
+        path = tmp_path / "bad.txt"
+        path.write_text(text)
+        with pytest.raises(LayoutFormatError):
+            read_layout(path)

@@ -1,0 +1,95 @@
+"""Tests for Manhattan polygons and their rectangle decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.polygon import Polygon, rects_to_polygon_area
+from repro.geometry.rect import Rect, total_area
+
+
+def l_shape():
+    """Unit-friendly L: a 10x10 square missing its top-right 6x6 corner."""
+    return Polygon(
+        ((0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10))
+    )
+
+
+class TestConstruction:
+    def test_from_rect(self):
+        poly = Polygon.from_rect(Rect(0, 0, 4, 6))
+        assert poly.area == 24
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon(((0, 0), (1, 0), (1, 1)))
+
+    def test_diagonal_edge_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon(((0, 0), (5, 5), (5, 0), (0, 5)))
+
+    def test_zero_length_edge_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon(((0, 0), (0, 0), (5, 0), (5, 5), (0, 5)))
+
+
+class TestMeasures:
+    def test_rect_area(self):
+        assert Polygon.from_rect(Rect(0, 0, 10, 10)).area == 100
+
+    def test_l_shape_area(self):
+        # 10x10 minus 6x6 notch
+        assert l_shape().area == 64
+
+    def test_ccw_positive_signed_area(self):
+        assert Polygon.from_rect(Rect(0, 0, 2, 2)).signed_area2() > 0
+
+    def test_bbox(self):
+        assert l_shape().bbox() == Rect(0, 0, 10, 10)
+
+
+class TestDecomposition:
+    def test_rect_decomposes_to_itself(self):
+        rects = Polygon.from_rect(Rect(1, 2, 5, 9)).to_rects()
+        assert total_area(rects) == 28
+        assert sum(r.area for r in rects) == 28
+
+    def test_l_shape_decomposition_area(self):
+        rects = l_shape().to_rects()
+        assert rects_to_polygon_area(rects) == 64
+        assert total_area(rects) == 64  # disjoint pieces
+
+    def test_decomposition_within_bbox(self):
+        poly = l_shape()
+        bbox = poly.bbox()
+        for r in poly.to_rects():
+            assert bbox.contains_rect(r)
+
+    def test_u_shape(self):
+        # U shape: outer 12x10 with a 4x6 slot from the top middle.
+        poly = Polygon(
+            ((0, 0), (12, 0), (12, 10), (8, 10), (8, 4), (4, 4), (4, 10), (0, 10))
+        )
+        rects = poly.to_rects()
+        assert total_area(rects) == 12 * 10 - 4 * 6
+
+    def test_translated_decomposition_matches(self):
+        poly = l_shape()
+        moved = poly.translated(7, -3)
+        assert moved.area == poly.area
+        assert total_area(moved.to_rects()) == total_area(poly.to_rects())
+
+
+class TestProperties:
+    @given(
+        st.integers(-100, 100),
+        st.integers(-100, 100),
+        st.integers(1, 50),
+        st.integers(1, 50),
+    )
+    def test_rect_roundtrip_area(self, x, y, w, h):
+        rect = Rect(x, y, x + w, y + h)
+        poly = Polygon.from_rect(rect)
+        assert poly.area == rect.area
+        assert total_area(poly.to_rects()) == rect.area

@@ -1,0 +1,112 @@
+"""Tests for binary rasterisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.raster import (
+    downsample_binary,
+    pattern_density,
+    rasterize_rects,
+)
+from repro.geometry.rect import Rect
+
+WINDOW = Rect(0, 0, 100, 100)
+
+
+class TestRasterizeRects:
+    def test_empty_is_zero(self):
+        image = rasterize_rects([], WINDOW)
+        assert image.shape == (100, 100)
+        assert image.sum() == 0
+        assert image.dtype == np.float32
+
+    def test_full_window(self):
+        image = rasterize_rects([WINDOW], WINDOW)
+        assert image.min() == 1.0
+
+    def test_single_rect_area(self):
+        image = rasterize_rects([Rect(10, 20, 30, 50)], WINDOW)
+        assert image.sum() == 20 * 30
+
+    def test_row_col_orientation(self):
+        # rect at low y -> low row indices (y grows with rows).
+        image = rasterize_rects([Rect(0, 0, 100, 10)], WINDOW)
+        assert image[:10, :].all()
+        assert image[10:, :].sum() == 0
+        # rect at low x -> low column indices.
+        image = rasterize_rects([Rect(0, 0, 10, 100)], WINDOW)
+        assert image[:, :10].all()
+        assert image[:, 10:].sum() == 0
+
+    def test_outside_rect_ignored(self):
+        image = rasterize_rects([Rect(200, 200, 300, 300)], WINDOW)
+        assert image.sum() == 0
+
+    def test_partially_outside_clipped(self):
+        image = rasterize_rects([Rect(-50, -50, 10, 10)], WINDOW)
+        assert image.sum() == 100
+
+    def test_overlapping_rects_stay_binary(self):
+        image = rasterize_rects([Rect(0, 0, 50, 50), Rect(25, 25, 75, 75)], WINDOW)
+        assert set(np.unique(image)) <= {0.0, 1.0}
+
+    def test_resolution_scales_shape(self):
+        image = rasterize_rects([Rect(0, 0, 40, 40)], WINDOW, resolution=4)
+        assert image.shape == (25, 25)
+        assert image.sum() == 100
+
+    def test_thin_shape_survives_coarse_resolution(self):
+        # A 2nm-wide line at 4nm/px must still rasterise to >= 1px wide.
+        image = rasterize_rects([Rect(10, 0, 12, 100)], WINDOW, resolution=4)
+        assert image.sum() > 0
+
+    def test_indivisible_resolution_raises(self):
+        with pytest.raises(GeometryError):
+            rasterize_rects([], WINDOW, resolution=3)
+
+    def test_bad_resolution_raises(self):
+        with pytest.raises(GeometryError):
+            rasterize_rects([], WINDOW, resolution=0)
+
+    @given(
+        st.integers(0, 90),
+        st.integers(0, 90),
+        st.integers(1, 10),
+        st.integers(1, 10),
+    )
+    def test_area_exact_at_unit_resolution(self, x, y, w, h):
+        rect = Rect(x, y, x + w, y + h)
+        image = rasterize_rects([rect], WINDOW, resolution=1)
+        assert image.sum() == rect.area
+
+
+class TestDensityHelpers:
+    def test_pattern_density(self):
+        image = rasterize_rects([Rect(0, 0, 50, 100)], WINDOW)
+        assert pattern_density(image) == pytest.approx(0.5)
+
+    def test_pattern_density_empty_image(self):
+        assert pattern_density(np.zeros((0, 0))) == 0.0
+
+    def test_downsample_binary_means(self):
+        image = np.zeros((4, 4), dtype=np.float32)
+        image[:2, :2] = 1.0
+        down = downsample_binary(image, 2)
+        assert down.shape == (2, 2)
+        assert down[0, 0] == 1.0
+        assert down[0, 1] == 0.0
+
+    def test_downsample_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        image = (rng.random((32, 32)) > 0.5).astype(np.float32)
+        down = downsample_binary(image, 4)
+        assert down.mean() == pytest.approx(image.mean())
+
+    def test_downsample_bad_factor(self):
+        with pytest.raises(GeometryError):
+            downsample_binary(np.zeros((4, 4)), 3)
+        with pytest.raises(GeometryError):
+            downsample_binary(np.zeros((4, 4)), 0)

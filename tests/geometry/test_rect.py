@@ -1,0 +1,171 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geometry.rect import Rect, bounding_box, total_area
+
+COORD = st.integers(min_value=-10_000, max_value=10_000)
+
+
+@st.composite
+def rects(draw):
+    x_lo = draw(COORD)
+    y_lo = draw(COORD)
+    w = draw(st.integers(min_value=1, max_value=500))
+    h = draw(st.integers(min_value=1, max_value=500))
+    return Rect(x_lo, y_lo, x_lo + w, y_lo + h)
+
+
+class TestConstruction:
+    def test_valid(self):
+        r = Rect(0, 0, 10, 20)
+        assert r.width == 10
+        assert r.height == 20
+        assert r.area == 200
+
+    @pytest.mark.parametrize(
+        "corners",
+        [(0, 0, 0, 10), (0, 0, 10, 0), (5, 5, 4, 10), (5, 5, 10, 4), (0, 0, 0, 0)],
+    )
+    def test_degenerate_rejected(self, corners):
+        with pytest.raises(GeometryError):
+            Rect(*corners)
+
+    def test_frozen(self):
+        r = Rect(0, 0, 1, 1)
+        with pytest.raises(Exception):
+            r.x_lo = 5  # type: ignore[misc]
+
+    def test_hashable_and_equal(self):
+        assert Rect(0, 0, 1, 1) == Rect(0, 0, 1, 1)
+        assert len({Rect(0, 0, 1, 1), Rect(0, 0, 1, 1)}) == 1
+
+    def test_center(self):
+        assert Rect(0, 0, 10, 20).center == (5.0, 10.0)
+        assert Rect(0, 0, 5, 5).center == (2.5, 2.5)
+
+    def test_as_tuple(self):
+        assert Rect(1, 2, 3, 4).as_tuple() == (1, 2, 3, 4)
+
+
+class TestPredicates:
+    def test_contains_point_half_open(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(0, 0)
+        assert r.contains_point(9.9, 9.9)
+        assert not r.contains_point(10, 5)
+        assert not r.contains_point(5, 10)
+        assert not r.contains_point(-1, 5)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 100, 100)
+        assert outer.contains_rect(Rect(10, 10, 90, 90))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(10, 10, 101, 90))
+
+    def test_overlaps_positive_area_only(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.overlaps(Rect(5, 5, 15, 15))
+        assert not a.overlaps(Rect(10, 0, 20, 10))  # abutting edge
+        assert not a.overlaps(Rect(20, 20, 30, 30))
+
+    def test_touches_includes_abutment(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.touches(Rect(10, 0, 20, 10))
+        assert a.touches(Rect(10, 10, 20, 20))  # corner
+        assert not a.touches(Rect(11, 0, 20, 10))
+
+
+class TestOps:
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersection(Rect(5, 5, 15, 15)) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(20, 20, 30, 30)) is None
+        assert a.intersection(Rect(10, 0, 20, 10)) is None
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 6, 6)) == Rect(0, 0, 6, 6)
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(3, -2) == Rect(3, -2, 4, -1)
+
+    def test_inflated(self):
+        assert Rect(5, 5, 10, 10).inflated(2) == Rect(3, 3, 12, 12)
+        assert Rect(5, 5, 10, 10).inflated(-1) == Rect(6, 6, 9, 9)
+
+    def test_inflate_to_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 4, 4).inflated(-2)
+
+    def test_mirror_x_roundtrip(self):
+        r = Rect(2, 3, 7, 9)
+        assert r.mirrored_x(5).mirrored_x(5) == r
+
+    def test_mirror_y_roundtrip(self):
+        r = Rect(2, 3, 7, 9)
+        assert r.mirrored_y(4).mirrored_y(4) == r
+
+    def test_rotate90_four_times_identity(self):
+        r = Rect(2, 3, 7, 9)
+        out = r
+        for _ in range(4):
+            out = out.rotated90(10, 10)
+        assert out == r
+
+    def test_rotate90_preserves_area(self):
+        r = Rect(2, 3, 7, 9)
+        assert r.rotated90().area == r.area
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)]
+        assert bounding_box(rects) == Rect(0, -2, 6, 3)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(GeometryError):
+            bounding_box([])
+
+    def test_total_area_disjoint(self):
+        assert total_area([Rect(0, 0, 2, 2), Rect(10, 10, 12, 12)]) == 8
+
+    def test_total_area_overlap_counted_once(self):
+        assert total_area([Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)]) == 28
+
+    def test_total_area_nested(self):
+        assert total_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100
+
+    def test_total_area_empty(self):
+        assert total_area([]) == 0
+
+
+class TestProperties:
+    @given(rects(), rects())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+
+    @given(rects(), st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_translation_preserves_area(self, r, dx, dy):
+        assert r.translated(dx, dy).area == r.area
+
+    @given(st.lists(rects(), min_size=1, max_size=8))
+    def test_union_area_bounds(self, rect_list):
+        union = total_area(rect_list)
+        assert union <= sum(r.area for r in rect_list)
+        assert union >= max(r.area for r in rect_list)
+        assert union <= bounding_box(rect_list).area
+
+    @given(st.lists(rects(), min_size=1, max_size=6), st.integers(-500, 500))
+    def test_union_area_translation_invariant(self, rect_list, d):
+        moved = [r.translated(d, -d) for r in rect_list]
+        assert total_area(moved) == total_area(rect_list)

@@ -1,0 +1,220 @@
+"""Tests for printed-contour measurement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LithoError
+from repro.litho.epe import (
+    ContourStats,
+    core_region,
+    count_components,
+    disk,
+    has_bridge,
+    has_neck,
+    measure_contour,
+    min_feature_spacing,
+    min_feature_width,
+)
+
+
+def blank(h=40, w=40):
+    return np.zeros((h, w), dtype=np.int8)
+
+
+class TestRunLengths:
+    def test_empty_image(self):
+        assert min_feature_width(blank()) is None
+
+    def test_full_image_unbounded(self):
+        # Runs touching the border are not counted.
+        assert min_feature_width(np.ones((10, 10), dtype=np.int8)) is None
+
+    def test_vertical_line_width(self):
+        img = blank()
+        img[5:35, 10:14] = 1
+        assert min_feature_width(img) == 4
+
+    def test_horizontal_line_width(self):
+        img = blank()
+        img[10:13, 5:35] = 1
+        assert min_feature_width(img) == 3
+
+    def test_spacing_between_lines(self):
+        img = blank()
+        img[5:35, 10:14] = 1
+        img[5:35, 20:24] = 1
+        assert min_feature_spacing(img) == 6
+
+    def test_no_bounded_space(self):
+        img = blank()
+        img[5:35, 10:14] = 1
+        # Only space runs bounded by pattern on both sides count; a single
+        # line has none horizontally, and vertically the line column gives
+        # no 0-run between 1s either.
+        assert min_feature_spacing(img) is None
+
+    def test_min_of_both_axes(self):
+        img = blank()
+        img[5:35, 10:16] = 1  # width 6 horizontally
+        img[20:22, 20:36] = 1  # width 2 vertically (non-overlapping x-range)
+        assert min_feature_width(img) == 2
+
+
+class TestComponents:
+    def test_empty(self):
+        assert count_components(blank()) == 0
+
+    def test_two_blobs(self):
+        img = blank()
+        img[2:10, 2:10] = 1
+        img[20:30, 20:30] = 1
+        assert count_components(img) == 2
+
+    def test_diagonal_not_connected(self):
+        img = blank(4, 4)
+        img[0, 0] = 1
+        img[1, 1] = 1
+        assert count_components(img) == 2
+
+    def test_min_area_filters_speckles(self):
+        img = blank()
+        img[2:12, 2:12] = 1
+        img[20, 20] = 1  # single-pixel speckle
+        assert count_components(img, min_area_px=4) == 1
+        assert count_components(img, min_area_px=1) == 2
+
+    def test_bad_min_area(self):
+        with pytest.raises(LithoError):
+            count_components(blank(), min_area_px=0)
+
+
+class TestDisk:
+    def test_radius_zero(self):
+        assert disk(0).shape == (1, 1)
+
+    def test_radius_two(self):
+        d = disk(2)
+        assert d.shape == (5, 5)
+        assert d[2, 2]
+        assert d[2, 0] and d[0, 2]
+        assert not d[0, 0]
+
+    def test_negative_raises(self):
+        with pytest.raises(LithoError):
+            disk(-1)
+
+
+class TestNeckDetection:
+    def test_uniform_line_no_neck(self):
+        img = blank(60, 60)
+        img[10:50, 20:30] = 1
+        assert not has_neck(img, width_px=6)
+
+    def test_dumbbell_has_neck(self):
+        # Two fat pads joined by a 2px-wide waist.
+        img = blank(60, 60)
+        img[10:25, 10:50] = 1
+        img[35:50, 10:50] = 1
+        img[25:35, 29:31] = 1
+        assert has_neck(img, width_px=6)
+
+    def test_rounded_line_end_no_neck(self):
+        # A tapered end (staircase) shortens under erosion but must not
+        # register as a neck.
+        img = blank(60, 60)
+        img[10:40, 20:30] = 1
+        img[40:42, 22:28] = 1
+        img[42:44, 24:26] = 1
+        assert not has_neck(img, width_px=6)
+
+    def test_empty_no_neck(self):
+        assert not has_neck(blank(), width_px=4)
+
+    def test_bad_width(self):
+        with pytest.raises(LithoError):
+            has_neck(blank(), width_px=0)
+
+
+class TestBridgeDetection:
+    def test_far_apart_no_bridge(self):
+        img = blank(60, 60)
+        img[10:50, 10:20] = 1
+        img[10:50, 40:50] = 1
+        assert not has_bridge(img, space_px=6)
+
+    def test_close_lines_bridge(self):
+        img = blank(60, 60)
+        img[10:50, 10:20] = 1
+        img[10:50, 23:33] = 1  # 3px gap < 6
+        assert has_bridge(img, space_px=6)
+
+    def test_single_component_no_bridge(self):
+        img = blank(60, 60)
+        img[10:50, 10:20] = 1
+        assert not has_bridge(img, space_px=6)
+
+    def test_speckle_neighbour_ignored(self):
+        img = blank(60, 60)
+        img[10:50, 10:20] = 1
+        img[30, 22] = 1  # sub-threshold speckle nearby
+        assert not has_bridge(img, space_px=6, min_component_px=4)
+
+    def test_bad_space(self):
+        with pytest.raises(LithoError):
+            has_bridge(blank(), space_px=0)
+
+
+class TestCoreRegion:
+    def test_quarter_margin(self):
+        img = np.arange(16).reshape(4, 4)
+        core = core_region(img, 0.25)
+        assert core.shape == (2, 2)
+        assert core[0, 0] == 5
+
+    def test_zero_margin_identity(self):
+        img = np.ones((8, 8))
+        assert core_region(img, 0.0).shape == (8, 8)
+
+    def test_bad_margin(self):
+        with pytest.raises(LithoError):
+            core_region(np.ones((4, 4)), 0.5)
+        with pytest.raises(LithoError):
+            core_region(np.ones((4, 4)), -0.1)
+
+
+class TestMeasureContour:
+    def test_perfect_print(self):
+        target = blank(80, 80)
+        target[20:60, 30:40] = 1
+        stats = measure_contour(target.astype(np.float32), target, 0.1)
+        assert isinstance(stats, ContourStats)
+        assert stats.area_ratio == pytest.approx(1.0)
+        assert stats.mismatch_fraction == 0.0
+        assert stats.target_components == stats.printed_components == 1
+        assert not stats.neck
+        assert not stats.bridge
+
+    def test_vanished_pattern(self):
+        target = blank(80, 80)
+        target[20:60, 30:40] = 1
+        printed = blank(80, 80)
+        stats = measure_contour(printed.astype(np.float32), target, 0.1)
+        assert stats.area_ratio == 0.0
+        assert stats.printed_components == 0
+
+    def test_empty_target_ratio_zero(self):
+        stats = measure_contour(blank(40, 40).astype(np.float32), blank(40, 40))
+        assert stats.area_ratio == 0.0
+        assert stats.target_area_px == 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(LithoError):
+            measure_contour(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_margin_excludes_border_defects(self):
+        target = blank(80, 80)
+        target[20:60, 30:40] = 1
+        printed = target.copy()
+        printed[0:2, 0:2] = 1  # garbage at the border
+        stats = measure_contour(printed.astype(np.float32), target, 0.25)
+        assert stats.mismatch_fraction == 0.0

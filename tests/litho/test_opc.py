@@ -1,0 +1,109 @@
+"""Tests for rule-based OPC."""
+
+import pytest
+
+from repro.exceptions import LithoError
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+from repro.litho.opc import OPCRules, correct_clip, correction_report
+from repro.litho.oracle import HotspotOracle, OracleConfig
+from repro.litho.optics import OpticsConfig
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return HotspotOracle(OracleConfig(optics=OpticsConfig(pixel_nm=8)))
+
+
+class TestRules:
+    def test_defaults_valid(self):
+        OPCRules()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bias_below_nm": 0},
+            {"bias_nm": -1},
+            {"hammer_length_nm": 0},
+            {"min_space_nm": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(LithoError):
+            OPCRules(**kwargs)
+
+
+class TestCorrectClip:
+    def test_thin_line_gets_biased(self):
+        clip = Clip(WINDOW, (Rect(500, 100, 560, 1100),))  # 60nm line
+        corrected = correct_clip(clip)
+        widths = [min(r.width, r.height) for r in corrected.rects]
+        assert max(widths) > 60
+
+    def test_wide_line_unbiased(self):
+        clip = Clip(WINDOW, (Rect(400, 100, 560, 1100),))  # 160nm line
+        corrected = correct_clip(clip, OPCRules(min_end_length_nm=5000))
+        assert corrected.rects == clip.rects
+
+    def test_bias_respects_spacing(self):
+        # Two thin lines 54nm apart: full 10nm/side bias would close the
+        # space below the 50nm rule, so the bias must be clamped.
+        clip = Clip(
+            WINDOW,
+            (Rect(500, 100, 560, 1100), Rect(614, 100, 674, 1100)),
+        )
+        corrected = correct_clip(clip, OPCRules(min_end_length_nm=5000))
+        a, b = sorted(corrected.rects)[:2]
+        assert b.x_lo - a.x_hi >= 50
+
+    def test_geometry_stays_in_window(self):
+        clip = Clip(WINDOW, (Rect(0, 100, 60, 1100),))  # thin line at edge
+        corrected = correct_clip(clip)
+        for rect in corrected.rects:
+            assert WINDOW.contains_rect(rect)
+
+    def test_hammerheads_added_to_line_ends(self):
+        clip = Clip(WINDOW, (Rect(500, 300, 600, 900),))  # both ends interior
+        corrected = correct_clip(clip, OPCRules(bias_below_nm=1))
+        assert len(corrected.rects) > len(clip.rects)
+
+    def test_window_spanning_line_gets_no_hammerheads(self):
+        clip = Clip(WINDOW, (Rect(500, 0, 600, 1200),))  # runs edge to edge
+        corrected = correct_clip(clip, OPCRules(bias_below_nm=1))
+        assert len(corrected.rects) == 1
+
+    def test_label_and_window_preserved(self):
+        clip = Clip(WINDOW, (Rect(500, 100, 560, 1100),), 1, "x")
+        corrected = correct_clip(clip)
+        assert corrected.window == clip.window
+        assert corrected.label == 1
+        assert corrected.name == "x"
+
+    def test_input_not_mutated(self):
+        clip = Clip(WINDOW, (Rect(500, 100, 560, 1100),))
+        before = clip.rects
+        correct_clip(clip)
+        assert clip.rects == before
+
+
+class TestCorrectionEffect:
+    def test_opc_rescues_marginal_line(self, oracle):
+        # A 64nm isolated line is a pattern-loss hotspot; biasing it to
+        # ~84nm rescues it (cf. the oracle's 80nm print threshold).
+        clip = Clip(WINDOW, (Rect(500, 100, 564, 1100),))
+        assert oracle.label(clip) == 1
+        corrected = correct_clip(clip)
+        assert oracle.label(corrected) == 0
+
+    def test_correction_report_counts(self, oracle):
+        marginal = Clip(WINDOW, (Rect(500, 100, 564, 1100),))
+        healthy = Clip(WINDOW, (Rect(440, 100, 600, 1100),))
+        before, after = correction_report([marginal, healthy], oracle)
+        assert before == 1
+        assert after <= before
+
+    def test_opc_does_not_break_healthy_patterns(self, oracle):
+        healthy = Clip(WINDOW, (Rect(440, 100, 600, 1100),))
+        assert oracle.label(correct_clip(healthy)) == 0

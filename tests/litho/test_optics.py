@@ -1,0 +1,127 @@
+"""Tests for aerial-image formation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import LithoError
+from repro.litho.optics import OpticalModel, OpticsConfig, gaussian_kernel
+
+
+class TestGaussianKernel:
+    def test_unit_sum(self):
+        assert gaussian_kernel(3.0).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        k = gaussian_kernel(2.5)
+        assert np.allclose(k, k[::-1, :])
+        assert np.allclose(k, k[:, ::-1])
+        assert np.allclose(k, k.T)
+
+    def test_peak_at_centre(self):
+        k = gaussian_kernel(2.0)
+        assert k.max() == k[k.shape[0] // 2, k.shape[1] // 2]
+
+    def test_bad_sigma(self):
+        with pytest.raises(LithoError):
+            gaussian_kernel(0.0)
+        with pytest.raises(LithoError):
+            gaussian_kernel(-1.0)
+
+    @given(st.floats(0.5, 10.0))
+    def test_always_normalised(self, sigma):
+        assert gaussian_kernel(sigma).sum() == pytest.approx(1.0)
+
+
+class TestOpticsConfig:
+    def test_defaults_valid(self):
+        cfg = OpticsConfig()
+        assert cfg.optical_radius_nm == pytest.approx(0.61 * 193.0 / 1.35)
+
+    def test_mismatched_kernels_raise(self):
+        with pytest.raises(LithoError):
+            OpticsConfig(kernel_weights=(1.0,), kernel_scales=(1.0, 2.0))
+
+    def test_empty_kernels_raise(self):
+        with pytest.raises(LithoError):
+            OpticsConfig(kernel_weights=(), kernel_scales=())
+
+    def test_bad_physical_params(self):
+        with pytest.raises(LithoError):
+            OpticsConfig(wavelength_nm=0)
+        with pytest.raises(LithoError):
+            OpticsConfig(numerical_aperture=-1)
+        with pytest.raises(LithoError):
+            OpticsConfig(pixel_nm=0)
+
+
+class TestOpticalModel:
+    def setup_method(self):
+        self.model = OpticalModel()
+
+    def test_empty_mask_dark(self):
+        intensity = self.model.aerial_image(np.zeros((64, 64)))
+        assert intensity.max() == pytest.approx(0.0)
+
+    def test_clear_field_bright(self):
+        intensity = self.model.aerial_image(np.ones((128, 128)))
+        centre = intensity[40:88, 40:88]
+        # Weight sum is 1 - 0.18 + 0.05 = 0.87 for a uniform field.
+        assert centre.mean() == pytest.approx(0.87, abs=0.02)
+
+    def test_intensity_nonnegative(self):
+        rng = np.random.default_rng(1)
+        mask = (rng.random((80, 80)) > 0.5).astype(float)
+        assert self.model.aerial_image(mask).min() >= 0.0
+
+    def test_shape_preserved(self):
+        intensity = self.model.aerial_image(np.ones((30, 50)))
+        assert intensity.shape == (30, 50)
+
+    def test_defocus_blurs(self):
+        # A narrow line's peak intensity drops with defocus.
+        mask = np.zeros((128, 128))
+        mask[:, 60:68] = 1.0
+        nominal = self.model.aerial_image(mask, defocus_nm=0.0)
+        defocused = self.model.aerial_image(mask, defocus_nm=60.0)
+        assert defocused.max() < nominal.max()
+
+    def test_kernel_cache_reused(self):
+        mask = np.ones((32, 32))
+        self.model.aerial_image(mask, 0.0)
+        cached = self.model._kernels(0.0)
+        assert self.model._kernels(0.0) is cached
+
+    def test_linearity_in_mask(self):
+        # The model is a linear operator on the mask (before clipping),
+        # so doubling a dim mask doubles the interior intensity.
+        mask = np.zeros((96, 96))
+        mask[40:56, 40:56] = 0.4
+        low = self.model.aerial_image(mask)
+        high = self.model.aerial_image(2 * mask)
+        ratio = high[44:52, 44:52] / low[44:52, 44:52]
+        assert np.allclose(ratio, 2.0, atol=1e-6)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(LithoError):
+            self.model.aerial_image(np.zeros((4, 4, 4)))
+
+    def test_proximity_effect(self):
+        # A line surrounded by neighbours images differently than isolated:
+        # that neighbourhood dependence is what makes hotspots contextual.
+        iso = np.zeros((150, 150))
+        iso[:, 71:79] = 1.0
+        dense = iso.copy()
+        dense[:, 55:63] = 1.0
+        dense[:, 87:95] = 1.0
+        iso_i = self.model.aerial_image(iso)[75, 71:79].mean()
+        dense_i = self.model.aerial_image(dense)[75, 71:79].mean()
+        assert abs(iso_i - dense_i) > 0.01
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(0.0, 80.0))
+    def test_defocus_never_negative(self, defocus):
+        mask = np.zeros((40, 40))
+        mask[10:30, 10:30] = 1.0
+        assert self.model.aerial_image(mask, defocus).min() >= 0.0

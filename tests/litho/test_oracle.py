@@ -1,0 +1,136 @@
+"""Tests for the hotspot-labelling oracle."""
+
+import pytest
+
+from repro.exceptions import LithoError
+from repro.geometry.clip import HOTSPOT, NON_HOTSPOT, Clip
+from repro.geometry.rect import Rect
+from repro.litho.oracle import HotspotOracle, OracleConfig
+from repro.litho.runtime import SimulationCostModel
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return HotspotOracle()
+
+
+def clip(*rects):
+    return Clip(WINDOW, tuple(rects))
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = OracleConfig()
+        assert cfg.min_width_nm > 0
+        assert 0 < cfg.min_area_ratio < 1 <= cfg.max_area_ratio
+
+    def test_validation(self):
+        with pytest.raises(LithoError):
+            OracleConfig(min_width_nm=0)
+        with pytest.raises(LithoError):
+            OracleConfig(min_area_ratio=1.2)
+        with pytest.raises(LithoError):
+            OracleConfig(max_area_ratio=0.9)
+
+
+class TestLabelling:
+    def test_comfortable_pattern_is_clean(self, oracle):
+        report = oracle.diagnose(clip(Rect(500, 100, 620, 1100)))
+        assert report.label == NON_HOTSPOT
+        assert report.failing_corner is None
+        assert report.reason == ""
+        assert not report.is_hotspot
+        # All 5 corners evaluated for a clean clip.
+        assert len(report.stats) == 5
+
+    def test_vanishing_line_is_hotspot(self, oracle):
+        report = oracle.diagnose(clip(Rect(500, 100, 540, 1100)))
+        assert report.label == HOTSPOT
+        assert report.is_hotspot
+        assert "loss" in report.reason
+
+    def test_tight_gap_bridges(self, oracle):
+        report = oracle.diagnose(
+            clip(Rect(400, 100, 560, 1100), Rect(590, 100, 750, 1100))
+        )
+        assert report.label == HOTSPOT
+        assert "bridg" in report.reason
+
+    def test_wide_gap_clean(self, oracle):
+        report = oracle.diagnose(
+            clip(Rect(400, 100, 560, 1100), Rect(680, 100, 840, 1100))
+        )
+        assert report.label == NON_HOTSPOT
+
+    def test_marginal_pattern_fails_off_nominal(self, oracle):
+        # 80nm gap prints at nominal but bridges at the worst corner:
+        # the process window is what makes it a hotspot.
+        report = oracle.diagnose(
+            clip(Rect(400, 100, 560, 1100), Rect(640, 100, 800, 1100))
+        )
+        assert report.label == HOTSPOT
+        assert report.failing_corner != "nominal"
+
+    def test_empty_clip_clean(self, oracle):
+        report = oracle.diagnose(clip())
+        assert report.label == NON_HOTSPOT
+
+    def test_determinism(self, oracle):
+        c = clip(Rect(400, 100, 560, 1100), Rect(640, 100, 800, 1100))
+        assert oracle.label(c) == oracle.label(c)
+
+    def test_label_clip_attaches_label(self, oracle):
+        labelled = oracle.label_clip(clip(Rect(500, 100, 620, 1100)))
+        assert labelled.label == NON_HOTSPOT
+        assert labelled.rects == (Rect(500, 100, 620, 1100),)
+
+    def test_label_clips_batch(self, oracle):
+        clips = [clip(Rect(500, 100, 620, 1100)), clip(Rect(500, 100, 540, 1100))]
+        labelled = oracle.label_clips(clips)
+        assert [c.label for c in labelled] == [NON_HOTSPOT, HOTSPOT]
+
+    def test_simulation_count_increments(self):
+        fresh = HotspotOracle()
+        assert fresh.simulation_count == 0
+        fresh.label(clip(Rect(500, 100, 620, 1100)))
+        assert fresh.simulation_count == 5  # all corners on a clean clip
+
+    def test_hotspot_short_circuits(self):
+        fresh = HotspotOracle()
+        fresh.label(clip(Rect(500, 100, 540, 1100)))  # fails at nominal
+        assert fresh.simulation_count == 1
+
+    def test_context_dependence(self, oracle):
+        # The same central line is clean in isolation but part of a hotspot
+        # when dense neighbours are added: labels depend on context.
+        iso = clip(Rect(560, 100, 640, 1100))
+        dense = clip(
+            Rect(560, 100, 640, 1100),
+            Rect(440, 100, 520, 1100),
+            Rect(680, 100, 760, 1100),
+            Rect(320, 100, 400, 1100),
+            Rect(800, 100, 880, 1100),
+        )
+        assert oracle.label(iso) == NON_HOTSPOT
+        assert oracle.label(dense) == HOTSPOT
+
+
+class TestCostModel:
+    def test_defaults(self):
+        model = SimulationCostModel()
+        assert model.simulation_seconds(3) == pytest.approx(30.0)
+
+    def test_odst(self):
+        model = SimulationCostModel(seconds_per_clip=10.0)
+        assert model.odst_seconds(100, 25.0) == pytest.approx(1025.0)
+
+    def test_validation(self):
+        with pytest.raises(LithoError):
+            SimulationCostModel(seconds_per_clip=-1.0)
+        model = SimulationCostModel()
+        with pytest.raises(LithoError):
+            model.simulation_seconds(-1)
+        with pytest.raises(LithoError):
+            model.odst_seconds(1, -0.5)

@@ -1,0 +1,62 @@
+"""Tests for the merged point-spread function and its FFT path."""
+
+import numpy as np
+import pytest
+from scipy.signal import fftconvolve
+
+from repro.litho.optics import OpticalModel, OpticsConfig
+
+
+class TestPointSpread:
+    def setup_method(self):
+        self.model = OpticalModel()
+
+    def test_sum_equals_weight_sum(self):
+        cfg = self.model.config
+        psf = self.model.point_spread(0.0)
+        assert psf.sum() == pytest.approx(sum(cfg.kernel_weights), rel=1e-6)
+
+    def test_radially_symmetric(self):
+        psf = self.model.point_spread(0.0)
+        assert np.allclose(psf, psf[::-1, :])
+        assert np.allclose(psf, psf[:, ::-1])
+        assert np.allclose(psf, psf.T)
+
+    def test_negative_side_lobe_exists(self):
+        # The proximity ring: the merged PSF dips negative off-centre.
+        psf = self.model.point_spread(0.0)
+        assert psf.min() < 0.0
+        centre = psf.shape[0] // 2
+        assert psf[centre, centre] > 0.0
+
+    def test_defocus_widens(self):
+        focused = self.model.point_spread(0.0)
+        defocused = self.model.point_spread(60.0)
+        # Same total weight over a wider support -> lower peak.
+        assert defocused.max() < focused.max()
+
+    def test_matches_explicit_stack_convolution(self):
+        # The merged single-kernel FFT path must equal summing the three
+        # per-kernel convolutions (linearity check against scipy).
+        rng = np.random.default_rng(0)
+        mask = (rng.random((96, 96)) > 0.6).astype(float)
+        merged = self.model.aerial_image(mask)
+        explicit = np.zeros_like(mask)
+        for weight, kernel in self.model._kernels(0.0):
+            explicit += weight * fftconvolve(mask, kernel, mode="same")
+        np.clip(explicit, 0.0, None, out=explicit)
+        assert np.allclose(merged, explicit, atol=1e-9)
+
+    def test_fft_cache_hit(self):
+        mask = np.ones((64, 64))
+        self.model.aerial_image(mask)
+        key = (0.0, (64, 64))
+        cached = self.model._fft_cache[key]
+        self.model.aerial_image(mask)
+        assert self.model._fft_cache[key] is cached
+
+    def test_different_shapes_cached_separately(self):
+        self.model.aerial_image(np.ones((32, 32)))
+        self.model.aerial_image(np.ones((48, 48)))
+        shapes = {key[1] for key in self.model._fft_cache}
+        assert (32, 32) in shapes and (48, 48) in shapes

@@ -1,0 +1,52 @@
+"""Tests for process-window corners."""
+
+import pytest
+
+from repro.exceptions import LithoError
+from repro.litho.process import ProcessCorner, ProcessWindow, nominal_corner
+
+
+class TestProcessCorner:
+    def test_nominal(self):
+        corner = nominal_corner()
+        assert corner.dose == 1.0
+        assert corner.defocus_nm == 0.0
+
+    def test_validation(self):
+        with pytest.raises(LithoError):
+            ProcessCorner(dose=0.0)
+        with pytest.raises(LithoError):
+            ProcessCorner(defocus_nm=-5.0)
+
+
+class TestProcessWindow:
+    def test_default_corners(self):
+        corners = ProcessWindow().corners()
+        assert len(corners) == 5
+        names = [c.name for c in corners]
+        assert names[0] == "nominal"
+        assert len(set(names)) == 5
+
+    def test_corner_doses_bracket_nominal(self):
+        window = ProcessWindow(dose_latitude=0.08)
+        doses = {c.dose for c in window.corners()}
+        assert min(doses) == pytest.approx(0.92)
+        assert max(doses) == pytest.approx(1.08)
+
+    def test_defocus_present_at_worst_corners(self):
+        window = ProcessWindow(defocus_nm=50.0)
+        defocused = [c for c in window.corners() if c.defocus_nm > 0]
+        assert len(defocused) == 2
+        assert all(c.defocus_nm == 50.0 for c in defocused)
+
+    def test_zero_latitude_window(self):
+        corners = ProcessWindow(dose_latitude=0.0, defocus_nm=0.0).corners()
+        assert all(c.dose == 1.0 and c.defocus_nm == 0.0 for c in corners)
+
+    def test_validation(self):
+        with pytest.raises(LithoError):
+            ProcessWindow(dose_latitude=1.0)
+        with pytest.raises(LithoError):
+            ProcessWindow(dose_latitude=-0.1)
+        with pytest.raises(LithoError):
+            ProcessWindow(defocus_nm=-1.0)

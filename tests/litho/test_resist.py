@@ -1,0 +1,72 @@
+"""Tests for the constant-threshold resist model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import LithoError
+from repro.litho.resist import ResistModel
+
+
+class TestResistModel:
+    def test_threshold_validation(self):
+        with pytest.raises(LithoError):
+            ResistModel(threshold=0.0)
+        with pytest.raises(LithoError):
+            ResistModel(threshold=1.0)
+        with pytest.raises(LithoError):
+            ResistModel(threshold=-0.3)
+
+    def test_printed_binary(self):
+        resist = ResistModel(threshold=0.5)
+        intensity = np.array([[0.2, 0.5], [0.7, 0.49]])
+        printed = resist.printed(intensity)
+        assert printed.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+        assert printed.dtype == np.float32
+
+    def test_overdose_grows_pattern(self):
+        resist = ResistModel(threshold=0.5)
+        intensity = np.linspace(0, 1, 100).reshape(10, 10)
+        assert resist.printed(intensity, dose=1.2).sum() >= resist.printed(
+            intensity, dose=1.0
+        ).sum()
+
+    def test_underdose_shrinks_pattern(self):
+        resist = ResistModel(threshold=0.5)
+        intensity = np.linspace(0, 1, 100).reshape(10, 10)
+        assert resist.printed(intensity, dose=0.8).sum() <= resist.printed(
+            intensity, dose=1.0
+        ).sum()
+
+    def test_bad_dose(self):
+        resist = ResistModel()
+        with pytest.raises(LithoError):
+            resist.printed(np.ones((2, 2)), dose=0.0)
+        with pytest.raises(LithoError):
+            resist.contour_level(dose=-1.0)
+
+    def test_contour_level(self):
+        resist = ResistModel(threshold=0.4)
+        assert resist.contour_level(1.0) == pytest.approx(0.4)
+        assert resist.contour_level(2.0) == pytest.approx(0.2)
+
+    @given(st.floats(0.1, 0.9), st.floats(0.5, 2.0))
+    def test_dose_threshold_equivalence(self, threshold, dose):
+        # Scaling intensity by dose equals scaling the threshold by 1/dose.
+        resist = ResistModel(threshold=threshold)
+        rng = np.random.default_rng(7)
+        intensity = rng.random((16, 16))
+        via_dose = resist.printed(intensity, dose=dose)
+        via_level = (intensity >= resist.contour_level(dose)).astype(np.float32)
+        assert np.array_equal(via_dose, via_level)
+
+    @given(st.floats(0.5, 1.0), st.floats(1.0, 1.5))
+    def test_dose_monotonicity(self, lo, hi):
+        resist = ResistModel()
+        rng = np.random.default_rng(3)
+        intensity = rng.random((16, 16))
+        low = resist.printed(intensity, dose=lo)
+        high = resist.printed(intensity, dose=hi)
+        # Every pixel printed at low dose also prints at high dose.
+        assert np.all(high >= low)

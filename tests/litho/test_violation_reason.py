@@ -1,0 +1,74 @@
+"""Unit tests for the violation classifier shared by oracle and window
+analysis."""
+
+import pytest
+
+from repro.litho.epe import ContourStats
+from repro.litho.oracle import OracleConfig, violation_reason
+
+
+def stats(**overrides):
+    base = dict(
+        min_width_px=20,
+        min_space_px=20,
+        printed_area_px=1000,
+        target_area_px=1000,
+        area_ratio=1.0,
+        mismatch_fraction=0.01,
+        target_components=2,
+        printed_components=2,
+        neck=False,
+        bridge=False,
+    )
+    base.update(overrides)
+    return ContourStats(**base)
+
+
+CONFIG = OracleConfig()
+
+
+class TestViolationReason:
+    def test_clean(self):
+        assert violation_reason(stats(), CONFIG) == ""
+
+    def test_pattern_loss(self):
+        reason = violation_reason(stats(area_ratio=0.3), CONFIG)
+        assert "loss" in reason
+
+    def test_pattern_gain(self):
+        reason = violation_reason(stats(area_ratio=2.5), CONFIG)
+        assert "gain" in reason
+
+    def test_neck(self):
+        reason = violation_reason(stats(neck=True), CONFIG)
+        assert "necking" in reason
+
+    def test_bridge_flag(self):
+        reason = violation_reason(stats(bridge=True), CONFIG)
+        assert "bridging" in reason
+
+    def test_component_merge(self):
+        reason = violation_reason(stats(printed_components=1), CONFIG)
+        assert "merged" in reason
+
+    def test_component_split(self):
+        reason = violation_reason(stats(printed_components=3), CONFIG)
+        assert "split" in reason
+
+    def test_empty_target_skips_area_checks(self):
+        # An empty target (no drawn pattern in the core) cannot trip the
+        # area-ratio rules; components agree at zero.
+        clean = stats(
+            target_area_px=0,
+            printed_area_px=0,
+            area_ratio=0.0,
+            target_components=0,
+            printed_components=0,
+        )
+        assert violation_reason(clean, CONFIG) == ""
+
+    def test_priority_loss_before_neck(self):
+        # Area loss is reported even when necking is also present (the
+        # area check is the coarser, earlier test).
+        reason = violation_reason(stats(area_ratio=0.3, neck=True), CONFIG)
+        assert "loss" in reason

@@ -1,0 +1,97 @@
+"""Tests for process-window measurement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LithoError
+from repro.geometry.clip import Clip
+from repro.geometry.rect import Rect
+from repro.litho.oracle import HotspotOracle, OracleConfig
+from repro.litho.optics import OpticsConfig
+from repro.litho.window_analysis import (
+    dose_latitude,
+    measure_window,
+    window_map,
+)
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    # Coarser raster keeps these simulation-heavy tests quick.
+    return HotspotOracle(OracleConfig(optics=OpticsConfig(pixel_nm=8)))
+
+
+def robust_clip():
+    return Clip(WINDOW, (Rect(480, 100, 640, 1100),))  # fat isolated line
+
+
+def marginal_clip():
+    # 80nm gap pair: prints at nominal, fails off-nominal.
+    return Clip(WINDOW, (Rect(400, 100, 560, 1100), Rect(640, 100, 800, 1100)))
+
+
+def hopeless_clip():
+    return Clip(WINDOW, (Rect(500, 100, 540, 1100),))  # vanishing thin line
+
+
+class TestDoseLatitude:
+    def test_robust_has_wide_latitude(self, oracle):
+        assert dose_latitude(robust_clip(), oracle) > 0.1
+
+    def test_hopeless_is_zero(self, oracle):
+        assert dose_latitude(hopeless_clip(), oracle) == 0.0
+
+    def test_marginal_between(self, oracle):
+        latitude = dose_latitude(marginal_clip(), oracle)
+        assert 0.0 <= latitude < dose_latitude(robust_clip(), oracle)
+
+    def test_defocus_shrinks_latitude(self, oracle):
+        clip = marginal_clip()
+        at_focus = dose_latitude(clip, oracle, defocus_nm=0.0)
+        defocused = dose_latitude(clip, oracle, defocus_nm=40.0)
+        assert defocused <= at_focus
+
+    def test_validation(self, oracle):
+        with pytest.raises(LithoError):
+            dose_latitude(robust_clip(), oracle, max_latitude=0.0)
+        with pytest.raises(LithoError):
+            dose_latitude(robust_clip(), oracle, tolerance=0.5, max_latitude=0.3)
+
+    def test_latitude_capped(self, oracle):
+        empty = Clip(WINDOW)
+        assert dose_latitude(empty, oracle, max_latitude=0.2) == 0.2
+
+
+class TestWindowMap:
+    def test_shape_and_nominal(self, oracle):
+        grid = window_map(robust_clip(), oracle)
+        assert grid.shape == (5, 3)
+        assert grid[2, 0]  # nominal dose, zero defocus passes
+
+    def test_hopeless_fails_at_and_below_nominal(self, oracle):
+        grid = window_map(hopeless_clip(), oracle)
+        # The thin line only ever prints at heavy overdose (if at all):
+        # every dose <= nominal fails at every defocus.
+        assert not grid[:3].any()
+
+    def test_empty_axes_raise(self, oracle):
+        with pytest.raises(LithoError):
+            window_map(robust_clip(), oracle, doses=())
+
+
+class TestMeasureWindow:
+    def test_report_consistency(self, oracle):
+        report = measure_window(robust_clip(), oracle)
+        assert 0.0 <= report.window_score <= 1.0
+        assert report.dose_latitude_defocused <= report.dose_latitude_nominal + 1e-9
+        assert report.pass_grid.shape == (len(report.doses), len(report.defocuses))
+
+    def test_hotspot_label_explained_by_window(self, oracle):
+        # The paper's Definition: hotspots are the small-window patterns.
+        robust_score = measure_window(robust_clip(), oracle).window_score
+        hopeless_score = measure_window(hopeless_clip(), oracle).window_score
+        assert oracle.label(robust_clip()) == 0
+        assert oracle.label(hopeless_clip()) == 1
+        assert hopeless_score < robust_score

@@ -1,0 +1,112 @@
+"""End-to-end gradient checks through the whole Table-1-style stack.
+
+Layer-level gradcheck (test_layers.py) validates each piece; these tests
+validate the *composition*: loss -> network.backward chains every layer's
+backward correctly, including through pooling winners and padding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    one_hot,
+)
+
+
+def small_stack(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv2D(2, 3, 3, rng=rng, name="c1"),
+            ReLU(),
+            Conv2D(3, 3, 3, rng=rng, name="c2"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(3 * 4 * 4, 8, rng=rng, name="f1"),
+            ReLU(),
+            Dense(8, 2, rng=rng, init="glorot", name="f2"),
+        ],
+        input_shape=(2, 8, 8),
+    )
+
+
+class TestEndToEndGradients:
+    def test_loss_gradient_wrt_input_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        net = small_stack()
+        loss = SoftmaxCrossEntropy()
+        x = rng.normal(size=(2, 2, 8, 8))
+        targets = one_hot(np.array([0, 1]))
+
+        net.zero_grad()
+        loss.forward(net.forward(x, training=False), targets)
+        analytic = net.backward(loss.backward())
+
+        eps = 1e-6
+        flat = x.reshape(-1)
+        check_positions = rng.choice(flat.size, size=24, replace=False)
+        for pos in check_positions:
+            original = flat[pos]
+            flat[pos] = original + eps
+            plus = loss.forward(net.forward(x, training=False), targets)
+            flat[pos] = original - eps
+            minus = loss.forward(net.forward(x, training=False), targets)
+            flat[pos] = original
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic.reshape(-1)[pos] == pytest.approx(
+                numeric, abs=1e-6
+            )
+
+    def test_loss_gradient_wrt_params_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        net = small_stack(seed=3)
+        loss = SoftmaxCrossEntropy()
+        x = rng.normal(size=(2, 2, 8, 8))
+        targets = one_hot(np.array([1, 0]))
+
+        net.zero_grad()
+        loss.forward(net.forward(x, training=False), targets)
+        net.backward(loss.backward())
+
+        eps = 1e-6
+        for param in net.parameters():
+            flat = param.value.reshape(-1)
+            grad_flat = param.grad.reshape(-1)
+            positions = rng.choice(flat.size, size=min(6, flat.size), replace=False)
+            for pos in positions:
+                original = flat[pos]
+                flat[pos] = original + eps
+                plus = loss.forward(net.forward(x, training=False), targets)
+                flat[pos] = original - eps
+                minus = loss.forward(net.forward(x, training=False), targets)
+                flat[pos] = original
+                numeric = (plus - minus) / (2 * eps)
+                assert grad_flat[pos] == pytest.approx(numeric, abs=1e-6), (
+                    param.name,
+                    pos,
+                )
+
+    def test_one_sgd_step_reduces_batch_loss(self):
+        from repro.nn import SGD, ConstantRate
+
+        rng = np.random.default_rng(4)
+        net = small_stack(seed=5)
+        loss = SoftmaxCrossEntropy()
+        optimizer = SGD(net.parameters(), ConstantRate(0.05))
+        x = rng.normal(size=(8, 2, 8, 8))
+        targets = one_hot(rng.integers(0, 2, size=8))
+
+        net.zero_grad()
+        before = loss.forward(net.forward(x, training=False), targets)
+        net.backward(loss.backward())
+        optimizer.step()
+        after = loss.forward(net.forward(x, training=False), targets)
+        assert after < before

@@ -1,0 +1,74 @@
+"""Tests for the finite-difference gradient checker itself.
+
+The checker underwrites every layer's backward-pass test, so its own
+correctness matters: verify it against functions with known gradients and
+that it flags a deliberately broken layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.nn.gradcheck import (
+    check_layer_input_gradient,
+    check_layer_param_gradients,
+    numeric_gradient,
+)
+from repro.nn.layer import Layer
+from repro.nn import ReLU
+
+
+class TestNumericGradient:
+    def test_quadratic(self):
+        # f(x) = sum(x^2) -> grad = 2x.
+        x = np.array([1.0, -2.0, 3.0])
+        grad = numeric_gradient(lambda v: float(np.sum(v**2)), x.copy())
+        assert np.allclose(grad, 2 * x, atol=1e-6)
+
+    def test_linear(self):
+        w = np.array([3.0, -1.0, 0.5])
+        x = np.zeros(3)
+        grad = numeric_gradient(lambda v: float(v @ w), x)
+        assert np.allclose(grad, w, atol=1e-6)
+
+    def test_matrix_input(self):
+        x = np.arange(6, dtype=float).reshape(2, 3)
+        grad = numeric_gradient(lambda v: float(v.sum() ** 2), x.copy())
+        assert np.allclose(grad, 2 * x.sum(), atol=1e-4)
+
+    def test_does_not_perturb_input(self):
+        x = np.array([1.0, 2.0])
+        numeric_gradient(lambda v: float(v.sum()), x)
+        assert np.array_equal(x, [1.0, 2.0])
+
+
+class _BrokenLayer(Layer):
+    """Forward is identity; backward lies by doubling the gradient."""
+
+    kind = "broken"
+
+    def forward(self, x, training=False):
+        return x.copy()
+
+    def backward(self, grad):
+        return 2.0 * grad
+
+    def output_shape(self, input_shape):
+        return input_shape
+
+
+class TestLayerCheckers:
+    def test_detects_broken_backward(self):
+        layer = _BrokenLayer()
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        abs_err, rel_err = check_layer_input_gradient(layer, x)
+        assert rel_err > 0.5  # the lie is 2x: huge relative error
+
+    def test_accepts_correct_layer(self):
+        relu = ReLU()
+        x = np.random.default_rng(1).normal(size=(3, 4)) + 0.1
+        assert check_layer_input_gradient(relu, x)[1] < 1e-5
+
+    def test_param_check_requires_parameters(self):
+        with pytest.raises(NetworkError):
+            check_layer_param_gradients(ReLU(), np.ones((2, 2)))

@@ -1,0 +1,86 @@
+"""Tests for im2col / col2im."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NetworkError
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+class TestOutputSize:
+    def test_same_padding_formula(self):
+        assert conv_output_size(12, 3, 1, 1) == 12
+
+    def test_valid(self):
+        assert conv_output_size(8, 3, 1, 0) == 6
+
+    def test_stride(self):
+        assert conv_output_size(8, 2, 2, 0) == 4
+
+    def test_collapse_raises(self):
+        with pytest.raises(NetworkError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+        cols, (oh, ow) = im2col(x, kernel=3, stride=1, pad=1)
+        assert (oh, ow) == (5, 5)
+        assert cols.shape == (2, 27, 25)
+
+    def test_patch_content(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols, _ = im2col(x, kernel=2, stride=1, pad=0)
+        # First patch (top-left 2x2) in row-major kernel order.
+        assert cols[0, :, 0].tolist() == [0.0, 1.0, 4.0, 5.0]
+        # Last patch (bottom-right 2x2).
+        assert cols[0, :, -1].tolist() == [10.0, 11.0, 14.0, 15.0]
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(NetworkError):
+            im2col(np.zeros((3, 5, 5)), 3, 1, 1)
+
+
+class TestCol2Im:
+    def test_adjoint_property(self):
+        # <im2col(x), C> == <x, col2im(C)> for all x, C: col2im is the
+        # exact adjoint, which is what backward-pass correctness needs.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols, _ = im2col(x, 3, 1, 1)
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs)
+
+    def test_overlap_accumulation(self):
+        # All-ones columns scatter back the patch-coverage count.
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((1, 4, 4))  # kernel 2, stride 1, pad 0 -> 2x2 output
+        image = col2im(cols, x_shape, 2, 1, 0)
+        assert image[0, 0].tolist() == [
+            [1.0, 2.0, 1.0],
+            [2.0, 4.0, 2.0],
+            [1.0, 2.0, 1.0],
+        ]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(NetworkError):
+            col2im(np.zeros((1, 4, 5)), (1, 1, 3, 3), 2, 1, 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 3), st.integers(0, 2), st.integers(1, 2))
+    def test_adjoint_property_random_configs(self, kernel, pad, stride):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 6, 6))
+        try:
+            cols, _ = im2col(x, kernel, stride, pad)
+        except NetworkError:
+            return  # degenerate configuration
+        c = rng.normal(size=cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, kernel, stride, pad)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,51 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.nn.init import glorot_uniform, he_normal, zeros_init
+
+
+class TestHeNormal:
+    def test_variance(self):
+        rng = np.random.default_rng(0)
+        w = he_normal(rng, (200, 200), fan_in=200)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 200), rel=0.1)
+        assert abs(w.mean()) < 0.01
+
+    def test_deterministic_rng(self):
+        a = he_normal(np.random.default_rng(1), (4, 4), 4)
+        b = he_normal(np.random.default_rng(1), (4, 4), 4)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(NetworkError):
+            he_normal(rng, (), 1)
+        with pytest.raises(NetworkError):
+            he_normal(rng, (0, 3), 1)
+        with pytest.raises(NetworkError):
+            he_normal(rng, (3, 3), 0)
+
+
+class TestGlorotUniform:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform(rng, (100, 50), 100, 50)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(NetworkError):
+            glorot_uniform(rng, (3, 3), 0, 3)
+
+
+class TestZeros:
+    def test_zeros(self):
+        assert np.all(zeros_init((5,)) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            zeros_init((0,))

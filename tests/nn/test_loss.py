@@ -1,0 +1,134 @@
+"""Tests for softmax cross-entropy with soft targets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NetworkError
+from repro.nn.loss import SoftmaxCrossEntropy, one_hot, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(softmax(logits).sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.random.default_rng(1).normal(size=(4, 2))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1000.0, -1000.0]])
+        probs = softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(NetworkError):
+            softmax(np.zeros(3))
+
+    def test_matches_paper_equation_six(self):
+        # y(0) = exp(xh)/(exp(xh)+exp(xn)) with our column order [n, h]
+        # means column 1 holds the hotspot probability.
+        logits = np.array([[0.3, 1.2]])
+        probs = softmax(logits)
+        expected_h = np.exp(1.2) / (np.exp(0.3) + np.exp(1.2))
+        assert probs[0, 1] == pytest.approx(expected_h)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 1, 1]))
+        assert out.tolist() == [[1, 0], [0, 1], [0, 1]]
+
+    def test_out_of_range(self):
+        with pytest.raises(NetworkError):
+            one_hot(np.array([0, 2]))
+        with pytest.raises(NetworkError):
+            one_hot(np.array([-1]))
+
+    def test_requires_1d(self):
+        with pytest.raises(NetworkError):
+            one_hot(np.zeros((2, 2), dtype=int))
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert loss.forward(logits, targets) < 1e-6
+
+    def test_uniform_prediction_log2(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((3, 2))
+        targets = one_hot(np.array([0, 1, 0]))
+        assert loss.forward(logits, targets) == pytest.approx(np.log(2))
+
+    def test_soft_target_minimum_at_target(self):
+        # Loss is minimised when softmax equals the soft target exactly.
+        loss = SoftmaxCrossEntropy()
+        target = np.array([[0.9, 0.1]])
+        logit_at_target = np.log(target)
+        base = loss.forward(logit_at_target, target)
+        for delta in (0.3, -0.3):
+            perturbed = logit_at_target + np.array([[delta, 0.0]])
+            assert loss.forward(perturbed, target) > base
+
+    def test_gradient_formula(self):
+        loss = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 2))
+        targets = np.abs(rng.normal(size=(6, 2)))
+        targets /= targets.sum(axis=1, keepdims=True)
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        assert np.allclose(grad, (softmax(logits) - targets) / 6)
+
+    def test_gradient_matches_finite_difference(self):
+        loss = SoftmaxCrossEntropy()
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 2))
+        targets = one_hot(np.array([0, 1, 0]))
+        loss.forward(logits, targets)
+        analytic = loss.backward()
+        eps = 1e-6
+        for i in range(3):
+            for j in range(2):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numeric = (
+                    loss.forward(plus, targets) - loss.forward(minus, targets)
+                ) / (2 * eps)
+                assert analytic[i, j] == pytest.approx(numeric, abs=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(NetworkError):
+            loss.forward(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_invalid_targets_raise(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(NetworkError):
+            loss.forward(np.zeros((1, 2)), np.array([[0.7, 0.7]]))
+        with pytest.raises(NetworkError):
+            loss.forward(np.zeros((1, 2)), np.array([[1.5, -0.5]]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(NetworkError):
+            SoftmaxCrossEntropy().backward()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 0.49))
+    def test_biased_target_loss_finite(self, epsilon):
+        # The paper's yε_n = [1-ε, ε] target keeps the loss finite and
+        # differentiable for all ε in [0, 0.5).
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[2.0, -1.0]])
+        targets = np.array([[1.0 - epsilon, epsilon]])
+        value = loss.forward(logits, targets)
+        assert np.isfinite(value)
+        assert np.isfinite(loss.backward()).all()

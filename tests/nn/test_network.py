@@ -1,0 +1,148 @@
+"""Tests for the Sequential container and parameter serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    load_network_params,
+    save_network_params,
+)
+
+
+def tiny_network(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv2D(2, 4, 3, rng=rng, name="c1"),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 4 * 4, 2, rng=rng, name="out"),
+        ],
+        input_shape=(2, 8, 8),
+    )
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(NetworkError):
+            Sequential([], input_shape=(1,))
+
+    def test_shape_propagation(self):
+        net = tiny_network()
+        assert net.output_shape == (2,)
+        names_shapes = dict(net.layer_shapes())
+        assert names_shapes["c1"] == (4, 8, 8)
+        assert names_shapes["maxpool"] == (4, 4, 4)
+
+    def test_bad_stack_raises_at_construction(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(NetworkError):
+            Sequential(
+                [Conv2D(2, 4, 3, rng=rng), Dense(10, 2, rng=rng)],
+                input_shape=(2, 8, 8),
+            )
+
+    def test_parameter_count(self):
+        net = tiny_network()
+        conv_params = 4 * 2 * 9 + 4
+        dense_params = 64 * 2 + 2
+        assert net.parameter_count() == conv_params + dense_params
+
+
+class TestForwardBackward:
+    def test_forward_shape(self):
+        net = tiny_network()
+        out = net.forward(np.random.default_rng(1).normal(size=(5, 2, 8, 8)))
+        assert out.shape == (5, 2)
+
+    def test_input_shape_validated(self):
+        net = tiny_network()
+        with pytest.raises(NetworkError):
+            net.forward(np.zeros((5, 2, 9, 9)))
+
+    def test_backward_accumulates_all_grads(self):
+        net = tiny_network()
+        x = np.random.default_rng(2).normal(size=(3, 2, 8, 8))
+        net.zero_grad()
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out))
+        assert all(np.abs(p.grad).sum() > 0 for p in net.parameters())
+
+    def test_zero_grad(self):
+        net = tiny_network()
+        x = np.random.default_rng(3).normal(size=(2, 2, 8, 8))
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out))
+        net.zero_grad()
+        assert all(np.abs(p.grad).sum() == 0 for p in net.parameters())
+
+    def test_predict_proba_rows_sum_to_one(self):
+        net = tiny_network()
+        probs = net.predict_proba(np.random.default_rng(4).normal(size=(7, 2, 8, 8)))
+        assert probs.shape == (7, 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_batching_consistent(self):
+        net = tiny_network()
+        x = np.random.default_rng(5).normal(size=(10, 2, 8, 8))
+        assert np.array_equal(
+            net.predict(x, batch_size=3), net.predict(x, batch_size=100)
+        )
+
+
+class TestWeights:
+    def test_get_set_roundtrip(self):
+        net_a = tiny_network(seed=0)
+        net_b = tiny_network(seed=99)
+        x = np.random.default_rng(6).normal(size=(4, 2, 8, 8))
+        assert not np.allclose(net_a.forward(x), net_b.forward(x))
+        net_b.set_weights(net_a.get_weights())
+        assert np.allclose(net_a.forward(x), net_b.forward(x))
+
+    def test_get_weights_are_copies(self):
+        net = tiny_network()
+        weights = net.get_weights()
+        weights[0][:] = 0.0
+        assert np.abs(net.parameters()[0].value).sum() > 0
+
+    def test_set_weights_count_mismatch(self):
+        net = tiny_network()
+        with pytest.raises(NetworkError):
+            net.set_weights(net.get_weights()[:-1])
+
+    def test_set_weights_shape_mismatch(self):
+        net = tiny_network()
+        weights = net.get_weights()
+        weights[0] = np.zeros((1, 1))
+        with pytest.raises(NetworkError):
+            net.set_weights(weights)
+
+    def test_save_load_file(self, tmp_path):
+        net_a = tiny_network(seed=0)
+        net_b = tiny_network(seed=99)
+        path = tmp_path / "weights.npz"
+        save_network_params(net_a, path)
+        load_network_params(net_b, path)
+        x = np.random.default_rng(7).normal(size=(3, 2, 8, 8))
+        assert np.allclose(net_a.forward(x), net_b.forward(x))
+
+    def test_load_wrong_architecture(self, tmp_path):
+        rng = np.random.default_rng(0)
+        small = Sequential([Dense(4, 2, rng=rng)], input_shape=(4,))
+        path = tmp_path / "w.npz"
+        save_network_params(small, path)
+        with pytest.raises(NetworkError):
+            load_network_params(tiny_network(), path)
+
+    def test_summary_lists_layers(self):
+        text = tiny_network().summary()
+        assert "c1" in text
+        assert "total" in text

@@ -1,0 +1,127 @@
+"""Tests for optimizers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NetworkError
+from repro.nn.layer import Parameter
+from repro.nn.optim import SGD, Adam, ConstantRate, StepDecay
+
+
+def make_param(value=None):
+    return Parameter(np.array(value if value is not None else [1.0, 2.0]))
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantRate(0.1)
+        assert schedule.rate(0) == schedule.rate(10_000) == 0.1
+
+    def test_constant_validation(self):
+        with pytest.raises(NetworkError):
+            ConstantRate(0.0)
+
+    def test_step_decay_paper_values(self):
+        # λ=1e-3, α=0.5, k=10000: rate halves every 10k updates.
+        schedule = StepDecay(1e-3, 0.5, 10_000)
+        assert schedule.rate(0) == pytest.approx(1e-3)
+        assert schedule.rate(9_999) == pytest.approx(1e-3)
+        assert schedule.rate(10_000) == pytest.approx(5e-4)
+        assert schedule.rate(25_000) == pytest.approx(2.5e-4)
+
+    def test_step_decay_validation(self):
+        with pytest.raises(NetworkError):
+            StepDecay(0.0)
+        with pytest.raises(NetworkError):
+            StepDecay(1e-3, alpha=0.0)
+        with pytest.raises(NetworkError):
+            StepDecay(1e-3, alpha=1.5)
+        with pytest.raises(NetworkError):
+            StepDecay(1e-3, decay_every=0)
+        with pytest.raises(NetworkError):
+            StepDecay(1e-3).rate(-1)
+
+
+class TestSGD:
+    def test_plain_update(self):
+        p = make_param([1.0, 2.0])
+        p.grad[:] = [0.5, -0.5]
+        opt = SGD([p], ConstantRate(0.1))
+        opt.step()
+        assert np.allclose(p.value, [0.95, 2.05])
+        assert opt.step_count == 1
+
+    def test_schedule_applied(self):
+        p = make_param([0.0])
+        opt = SGD([p], StepDecay(1.0, 0.5, 2))
+        for expected_rate in (1.0, 1.0, 0.5, 0.5, 0.25):
+            assert opt.current_rate == pytest.approx(expected_rate)
+            p.grad[:] = [1.0]
+            opt.step()
+
+    def test_momentum_accelerates(self):
+        # Constant gradient: momentum accumulates larger steps.
+        plain = make_param([0.0])
+        heavy = make_param([0.0])
+        opt_plain = SGD([plain], ConstantRate(0.1))
+        opt_heavy = SGD([heavy], ConstantRate(0.1), momentum=0.9)
+        for _ in range(10):
+            plain.grad[:] = [1.0]
+            heavy.grad[:] = [1.0]
+            opt_plain.step()
+            opt_heavy.step()
+            plain.zero_grad()
+            heavy.zero_grad()
+        assert heavy.value[0] < plain.value[0] < 0
+
+    def test_momentum_validation(self):
+        with pytest.raises(NetworkError):
+            SGD([make_param()], ConstantRate(0.1), momentum=1.0)
+
+    def test_empty_params(self):
+        with pytest.raises(NetworkError):
+            SGD([], ConstantRate(0.1))
+
+    def test_zero_grad(self):
+        p = make_param()
+        p.grad[:] = [3.0, 3.0]
+        opt = SGD([p], ConstantRate(0.1))
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_quadratic_convergence(self):
+        # Minimise f(w) = ||w - target||^2 by gradient descent.
+        p = make_param([5.0, -3.0])
+        target = np.array([1.0, 2.0])
+        opt = SGD([p], ConstantRate(0.1))
+        for _ in range(200):
+            p.grad[:] = 2 * (p.value - target)
+            opt.step()
+            p.zero_grad()
+        assert np.allclose(p.value, target, atol=1e-4)
+
+
+class TestAdam:
+    def test_quadratic_convergence(self):
+        p = make_param([5.0, -3.0])
+        target = np.array([1.0, 2.0])
+        opt = Adam([p], ConstantRate(0.05))
+        for _ in range(500):
+            p.grad[:] = 2 * (p.value - target)
+            opt.step()
+            p.zero_grad()
+        assert np.allclose(p.value, target, atol=1e-3)
+
+    def test_first_step_magnitude(self):
+        # Adam's bias correction makes the first step ~= learning rate.
+        p = make_param([0.0])
+        opt = Adam([p], ConstantRate(0.1))
+        p.grad[:] = [7.0]
+        opt.step()
+        assert abs(p.value[0] + 0.1) < 1e-6
+
+    def test_beta_validation(self):
+        with pytest.raises(NetworkError):
+            Adam([make_param()], ConstantRate(0.1), beta1=1.0)
+        with pytest.raises(NetworkError):
+            Adam([make_param()], ConstantRate(0.1), beta2=-0.1)

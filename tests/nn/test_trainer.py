@@ -1,0 +1,167 @@
+"""Tests for the MGD training loop (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.nn import (
+    Dense,
+    ReLU,
+    SGD,
+    Sequential,
+    StepDecay,
+    Trainer,
+    TrainerConfig,
+    one_hot,
+)
+
+
+def make_problem(n=300, seed=0):
+    """Linearly separable 2-D blobs."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    x += 0.05 * rng.normal(size=x.shape)
+    cut = int(0.75 * n)
+    return x[:cut], y[:cut], x[cut:], y[cut:]
+
+
+def make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(2, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng, init="glorot")],
+        input_shape=(2,),
+    )
+
+
+def make_trainer(net, config=None):
+    opt = SGD(net.parameters(), StepDecay(0.1, 0.5, 500))
+    return Trainer(net, opt, config or TrainerConfig(
+        batch_size=16, max_iterations=800, validate_every=50, patience=5,
+        min_iterations=100, seed=0,
+    ))
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"max_iterations": 0},
+            {"validate_every": 0},
+            {"patience": 0},
+            {"min_iterations": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TrainingError):
+            TrainerConfig(**kwargs)
+
+
+class TestFit:
+    def test_learns_separable_problem(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        trainer = make_trainer(net)
+        history = trainer.fit(xt, one_hot(yt), xv, yv)
+        assert history.best_val_accuracy > 0.9
+
+    def test_history_recorded(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        trainer = make_trainer(net)
+        history = trainer.fit(xt, one_hot(yt), xv, yv)
+        assert len(history.iterations) == len(history.val_accuracy)
+        assert len(history.iterations) == len(history.elapsed_seconds)
+        assert history.stopped_iteration >= 100
+        assert all(
+            b > a for a, b in zip(history.iterations[:-1], history.iterations[1:])
+        )
+        assert all(
+            b >= a
+            for a, b in zip(history.elapsed_seconds[:-1], history.elapsed_seconds[1:])
+        )
+
+    def test_early_stopping_respects_patience(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        config = TrainerConfig(
+            batch_size=16,
+            max_iterations=100_000,
+            validate_every=20,
+            patience=3,
+            min_iterations=0,
+            seed=0,
+        )
+        trainer = make_trainer(net, config)
+        history = trainer.fit(xt, one_hot(yt), xv, yv)
+        assert history.stopped_iteration < 100_000
+
+    def test_restore_best_weights(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        trainer = make_trainer(net)
+        history = trainer.fit(xt, one_hot(yt), xv, yv)
+        # Restored model must reproduce the recorded best accuracy.
+        assert trainer.evaluate(xv, yv) == pytest.approx(
+            history.best_val_accuracy
+        )
+
+    def test_learning_rate_decays_in_history(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        opt = SGD(net.parameters(), StepDecay(0.1, 0.5, 100))
+        config = TrainerConfig(
+            batch_size=16, max_iterations=400, validate_every=100,
+            patience=10, min_iterations=400, seed=0,
+        )
+        history = Trainer(net, opt, config).fit(xt, one_hot(yt), xv, yv)
+        assert history.learning_rate[0] > history.learning_rate[-1]
+
+    def test_deterministic_given_seed(self):
+        xt, yt, xv, yv = make_problem()
+        results = []
+        for _ in range(2):
+            net = make_net(seed=3)
+            trainer = make_trainer(net)
+            history = trainer.fit(xt, one_hot(yt), xv, yv)
+            results.append(history.best_val_accuracy)
+        assert results[0] == results[1]
+
+    def test_soft_targets_accepted(self):
+        xt, yt, xv, yv = make_problem()
+        targets = one_hot(yt)
+        targets[yt == 0] = [0.9, 0.1]  # biased non-hotspot rows
+        net = make_net()
+        history = make_trainer(net).fit(xt, targets, xv, yv)
+        assert history.best_val_accuracy > 0.8
+
+
+class TestValidation:
+    def test_empty_training_raises(self):
+        net = make_net()
+        with pytest.raises(TrainingError):
+            make_trainer(net).fit(
+                np.zeros((0, 2)), np.zeros((0, 2)), np.zeros((2, 2)), np.zeros(2)
+            )
+
+    def test_misaligned_targets_raise(self):
+        net = make_net()
+        with pytest.raises(TrainingError):
+            make_trainer(net).fit(
+                np.zeros((5, 2)), np.zeros((4, 2)), np.zeros((2, 2)), np.zeros(2)
+            )
+
+    def test_hard_label_targets_rejected(self):
+        net = make_net()
+        with pytest.raises(TrainingError):
+            make_trainer(net).fit(
+                np.zeros((5, 2)), np.zeros(5), np.zeros((2, 2)), np.zeros(2)
+            )
+
+    def test_empty_validation_raises(self):
+        net = make_net()
+        with pytest.raises(TrainingError):
+            make_trainer(net).fit(
+                np.zeros((5, 2)), np.zeros((5, 2)), np.zeros((0, 2)), np.zeros(0)
+            )

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro._version import __version__
+from repro.cli import build_parser, main
+from repro.data.dataset import HotspotDataset
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestGenerate:
+    def test_generate_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "clips.txt"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--hotspots",
+                "3",
+                "--non-hotspots",
+                "5",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        dataset = HotspotDataset.load(out)
+        assert dataset.hotspot_count == 3
+        assert dataset.non_hotspot_count == 5
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestExperimentTable1:
+    def test_table1_prints(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1-1" in out
+        assert "fc2" in out
+
+
+class TestTrainEvaluate:
+    def test_train_evaluate_stats_scan(self, tmp_path, capsys):
+        data = tmp_path / "clips.txt"
+        model = tmp_path / "model.npz"
+        assert main(["generate", str(data), "--hotspots", "16",
+                     "--non-hotspots", "24", "--seed", "3"]) == 0
+        assert main(["train", str(data), str(model),
+                     "--iterations", "120", "--bias-rounds", "1"]) == 0
+        assert model.exists()
+        assert main(["evaluate", str(model), str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "Accu" in out
+
+        assert main(["stats", str(data)]) == 0
+        out = capsys.readouterr().out
+        assert "unique topologies" in out
+
+        assert main(["scan", str(model), "--tiles", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "windows scanned" in out

@@ -1,0 +1,49 @@
+"""Smoke tests for the example scripts.
+
+Full example runs train models for minutes; here we verify every example
+imports cleanly (no syntax errors, no missing symbols) and that the cheap
+helpers inside them behave. The examples' end-to-end behaviour is covered
+by the benchmark suite, which exercises the same experiment functions.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart.py" in EXAMPLES
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_imports_cleanly(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main"), f"{name} has no main()"
+        assert module.__doc__, f"{name} has no module docstring"
+
+    def test_ascii_image_helper(self):
+        demo = load_example("feature_tensor_demo.py")
+        image = np.zeros((100, 100))
+        image[:50] = 1.0
+        art = demo.ascii_image(image, width=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        # Bottom half lit -> rendered last rows dark... rows are reversed,
+        # so the lit half appears in the lower lines of the art.
+        assert lines[-1] != lines[0]

@@ -1,0 +1,73 @@
+"""Package-level contracts: public API surface and exception hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    DatasetError,
+    FeatureError,
+    GeometryError,
+    LayoutFormatError,
+    LithoError,
+    NetworkError,
+    ReproError,
+    TrainingError,
+)
+
+SUBPACKAGES = (
+    "repro.geometry",
+    "repro.litho",
+    "repro.data",
+    "repro.features",
+    "repro.nn",
+    "repro.core",
+    "repro.baselines",
+    "repro.bench",
+)
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    def test_top_level_api(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_extractors_satisfy_protocol(self):
+        from repro.features import (
+            CCSExtractor,
+            DensityExtractor,
+            FeatureExtractor,
+            FeatureTensorExtractor,
+        )
+
+        for cls in (FeatureTensorExtractor, DensityExtractor, CCSExtractor):
+            assert isinstance(cls(), FeatureExtractor)
+
+
+class TestExceptions:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GeometryError,
+            LayoutFormatError,
+            FeatureError,
+            NetworkError,
+            TrainingError,
+            DatasetError,
+            LithoError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
