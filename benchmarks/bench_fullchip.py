@@ -2,18 +2,33 @@
 
 Not a paper table — this measures the deployment scenario the paper's
 introduction motivates: sweeping a block-level layout with the trained
-detector. Reports windows/second for the scan (feature extraction +
-batched CNN inference) and sanity-checks the merged-region output.
+detector. Two entry points:
+
+- ``bench_fullchip_scan`` — the original 5x5 smoke scan (windows/second of
+  the default pipeline, region-merge sanity checks).
+- ``bench_fullchip_shared_vs_per_clip`` — the scan-throughput smoke
+  benchmark on the 8x8 layout: per-clip (legacy) pipeline vs the
+  shared-raster pipeline, serial and parallel. Asserts the fast path flags
+  identical windows/regions and is at least 2x faster single-worker, and
+  records windows/sec to the ``BENCH_fullchip.json`` artifact so future
+  PRs can track the perf trajectory (see ``scripts/bench_fullchip.sh``).
 """
+
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.bench.harness import bench_detector_config
+from repro.bench.report import write_report
 from repro.core.detector import HotspotDetector
 from repro.core.fullchip import FullChipScanner
 from repro.data.dataset import HotspotDataset
 from repro.data.fullchip import FullChipSpec, make_layout
 from repro.data.generator import ClipGenerator, GeneratorConfig
+
+#: Where the scan-throughput record lands (repo root, next to bench_output).
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fullchip.json"
 
 
 @pytest.fixture(scope="module")
@@ -40,3 +55,70 @@ def test_fullchip_scan(once, trained_detector):
     assert 0 <= result.flagged_count <= result.window_count
     # Regions are merged flagged windows: never more regions than windows.
     assert len(result.regions) <= max(result.flagged_count, 1)
+
+
+def test_fullchip_shared_vs_per_clip(once, trained_detector):
+    """Scan-throughput smoke benchmark; writes BENCH_fullchip.json."""
+    layout = make_layout(FullChipSpec(tiles_x=8, tiles_y=8, seed=11))
+    workers = min(4, os.cpu_count() or 1)
+
+    legacy = FullChipScanner(
+        trained_detector, pipeline="per_clip"
+    ).scan(layout)
+    shared = once(
+        FullChipScanner(trained_detector, pipeline="shared").scan, layout
+    )
+    parallel = FullChipScanner(
+        trained_detector, pipeline="shared", workers=workers
+    ).scan(layout)
+
+    # The fast path is a pure optimisation: identical detections.
+    assert shared.flagged == legacy.flagged
+    assert shared.regions == legacy.regions
+    assert parallel.flagged == legacy.flagged
+    assert parallel.regions == legacy.regions
+
+    def rate(result):
+        return result.window_count / max(result.scan_seconds, 1e-9)
+
+    speedup_shared = legacy.scan_seconds / max(shared.scan_seconds, 1e-9)
+    speedup_parallel = legacy.scan_seconds / max(parallel.scan_seconds, 1e-9)
+    print(
+        f"\nper-clip {rate(legacy):.1f} w/s | shared {rate(shared):.1f} w/s "
+        f"({speedup_shared:.1f}x) | shared x{workers} workers "
+        f"{rate(parallel):.1f} w/s ({speedup_parallel:.1f}x)"
+    )
+
+    write_report(
+        ARTIFACT_PATH,
+        "fullchip_scan_throughput",
+        {
+            "window_count": legacy.window_count,
+            "flagged_count": legacy.flagged_count,
+            "region_count": len(legacy.regions),
+            "per_clip": {
+                "scan_seconds": legacy.scan_seconds,
+                "windows_per_second": rate(legacy),
+            },
+            "shared": {
+                "scan_seconds": shared.scan_seconds,
+                "windows_per_second": rate(shared),
+                "speedup_vs_per_clip": speedup_shared,
+            },
+            "shared_parallel": {
+                "workers": workers,
+                "scan_seconds": parallel.scan_seconds,
+                "windows_per_second": rate(parallel),
+                "speedup_vs_per_clip": speedup_parallel,
+            },
+        },
+        metadata={
+            "spec": "FullChipSpec(tiles_x=8, tiles_y=8, seed=11)",
+            "clip_nm": 1200,
+            "stride_nm": 600,
+        },
+    )
+    print(f"wrote {ARTIFACT_PATH}")
+
+    # DCT/raster reuse alone must buy at least 2x at the default stride.
+    assert speedup_shared >= 2.0

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Full-chip scan throughput smoke benchmark.
+# Runs the shared-raster vs per-clip scan comparison and refreshes the
+# BENCH_fullchip.json artifact at the repo root, so the perf trajectory of
+# the scan pipeline stays tracked across PRs.
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    pytest benchmarks/bench_fullchip.py --benchmark-only -s -q "$@" \
+    > bench_fullchip_output.txt 2>&1
+rc=$?
+cat bench_fullchip_output.txt
+exit $rc

@@ -14,7 +14,13 @@
 from repro.core.biased import BiasedLearning, BiasedRound, biased_targets
 from repro.core.config import DetectorConfig
 from repro.core.detector import HotspotDetector
-from repro.core.fullchip import FullChipScanner, HotspotRegion, ScanResult
+from repro.core.fullchip import (
+    FullChipScanner,
+    HotspotRegion,
+    ScanResult,
+    merge_windows,
+    merge_windows_pairwise,
+)
 from repro.core.metrics import DetectionMetrics, evaluate_predictions
 from repro.core.model import build_dac17_network
 from repro.core.roc import (
@@ -33,6 +39,8 @@ __all__ = [
     "FullChipScanner",
     "HotspotRegion",
     "ScanResult",
+    "merge_windows",
+    "merge_windows_pairwise",
     "build_dac17_network",
     "HotspotDetector",
     "DetectorConfig",

@@ -168,6 +168,28 @@ class HotspotDetector:
         network = self._require_trained()
         return network.predict_proba(self._to_network_input(dataset))
 
+    def predict_proba_tensors(self, tensors: np.ndarray) -> np.ndarray:
+        """Probabilities straight from raw ``(N, n, n, k)`` feature tensors.
+
+        The tensor-level inference path used by the full-chip scanner:
+        tensors assembled elsewhere (e.g. sliced from a shared scan grid)
+        skip clip/dataset construction entirely. Standardisation uses the
+        fitted training statistics, exactly as :meth:`predict_proba`.
+        """
+        network = self._require_trained()
+        tensors = np.asarray(tensors)
+        expected = self.extractor.output_shape
+        if tensors.ndim != 4 or tensors.shape[1:] != expected:
+            raise TrainingError(
+                f"expected (N, {', '.join(map(str, expected))}) feature "
+                f"tensors, got {tensors.shape}"
+            )
+        scaled = self.scaler.transform(tensors.astype(np.float32))
+        batch = np.ascontiguousarray(
+            scaled.transpose(0, 3, 1, 2), dtype=np.float64
+        )
+        return network.predict_proba(batch)
+
     def predict(self, dataset: HotspotDataset) -> np.ndarray:
         """Hard labels (1 = hotspot)."""
         network = self._require_trained()

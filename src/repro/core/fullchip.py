@@ -6,24 +6,32 @@ into overlapping clips, batches them through a trained detector, and merges
 overlapping detections into hotspot *regions* (the connected union of all
 flagged windows), which is what a designer or OPC engineer acts on.
 
-This realises the paper's scalability pitch: the feature tensor keeps
-per-clip cost low, so scan throughput is dominated by a single batched CNN
-inference over thousands of windows.
+This realises the paper's scalability pitch: with a tensor-capable detector
+the scan encodes the layout once against a shared block-DCT grid
+(:class:`~repro.features.sliding.SlidingFeatureExtractor`) — each layout
+pixel is rasterised and transformed exactly once regardless of window
+overlap — and streams the assembled tensors straight through the CNN.
+Detectors that only expose the dataset interface (the baselines) scan via
+the per-clip path instead.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import TrainingError
+from repro.exceptions import FeatureError, TrainingError
 from repro.data.dataset import HotspotDataset
-from repro.geometry.clip import Clip
+from repro.features.sliding import SlidingFeatureExtractor
+from repro.features.tensor import FeatureTensorExtractor
 from repro.geometry.layout import Layout, iter_clip_windows
 from repro.geometry.rect import Rect
+
+#: Feature-pipeline selection values accepted by :class:`FullChipScanner`.
+SCAN_PIPELINES = ("auto", "shared", "per_clip")
 
 
 @dataclass(frozen=True)
@@ -37,10 +45,16 @@ class HotspotRegion:
 
 @dataclass(frozen=True)
 class ScanResult:
-    """Outcome of one full-chip scan."""
+    """Outcome of one full-chip scan.
+
+    ``flagged_indices`` are the positions (into ``windows`` /
+    ``probabilities``) of the flagged windows, in scan order; ``flagged``
+    and :attr:`flagged_probabilities` are aligned views over them.
+    """
 
     windows: Tuple[Rect, ...]
     probabilities: np.ndarray  # hotspot probability per window
+    flagged_indices: Tuple[int, ...]
     flagged: Tuple[Rect, ...]
     regions: Tuple[HotspotRegion, ...]
     scan_seconds: float
@@ -52,6 +66,11 @@ class ScanResult:
     @property
     def flagged_count(self) -> int:
         return len(self.flagged)
+
+    @property
+    def flagged_probabilities(self) -> np.ndarray:
+        """Probabilities of the flagged windows, aligned with ``flagged``."""
+        return self.probabilities[np.array(self.flagged_indices, dtype=np.intp)]
 
     def summary(self) -> str:
         return (
@@ -68,12 +87,23 @@ class FullChipScanner:
     ----------
     detector:
         A trained object exposing ``predict_proba(HotspotDataset)`` —
-        :class:`repro.core.HotspotDetector` or either baseline.
+        :class:`repro.core.HotspotDetector` or either baseline. Detectors
+        that additionally expose ``predict_proba_tensors`` and a
+        feature-tensor ``extractor`` unlock the shared-raster fast path.
     clip_nm / stride_nm:
         Window size and scan stride. A stride of half the clip size (the
         default) gives every layout point a window in whose core it lies.
     threshold:
         Hotspot-probability threshold for flagging a window.
+    pipeline:
+        ``"auto"`` (default) uses the shared-raster pipeline whenever the
+        detector supports it, ``"shared"`` requires it (raising otherwise),
+        ``"per_clip"`` forces the legacy per-window extraction path.
+    workers:
+        Worker processes for shared rasterisation/DCT (1 = serial).
+    tile_blocks:
+        Tile size (in blocks) for the shared raster; see
+        :class:`~repro.features.sliding.SlidingFeatureExtractor`.
     """
 
     def __init__(
@@ -82,6 +112,9 @@ class FullChipScanner:
         clip_nm: int = 1200,
         stride_nm: int = 600,
         threshold: float = 0.5,
+        pipeline: str = "auto",
+        workers: int = 1,
+        tile_blocks: int = 16,
     ):
         if not hasattr(detector, "predict_proba"):
             raise TrainingError(
@@ -89,10 +122,19 @@ class FullChipScanner:
             )
         if not 0.0 < threshold < 1.0:
             raise TrainingError(f"threshold must be in (0, 1), got {threshold}")
+        if pipeline not in SCAN_PIPELINES:
+            raise TrainingError(
+                f"pipeline must be one of {SCAN_PIPELINES}, got {pipeline!r}"
+            )
+        if workers < 1:
+            raise TrainingError(f"workers must be >= 1, got {workers}")
         self.detector = detector
         self.clip_nm = clip_nm
         self.stride_nm = stride_nm
         self.threshold = threshold
+        self.pipeline = pipeline
+        self.workers = workers
+        self.tile_blocks = tile_blocks
 
     # ------------------------------------------------------------------
     def scan(self, layout: Layout, batch_size: int = 512) -> ScanResult:
@@ -101,33 +143,85 @@ class FullChipScanner:
         windows = tuple(
             iter_clip_windows(layout.region, self.clip_nm, self.stride_nm)
         )
-        probabilities = np.empty(len(windows), dtype=np.float64)
-        for lo in range(0, len(windows), batch_size):
-            batch_windows = windows[lo : lo + batch_size]
-            clips = [
-                # Labels are unknown during scanning; the dataset container
-                # requires one, so mark all as non-hotspot placeholders.
-                layout.clip_at(w, name=f"scan_{lo + i}").with_label(0)
-                for i, w in enumerate(batch_windows)
-            ]
-            batch = HotspotDataset(clips, name="scan")
-            probabilities[lo : lo + len(clips)] = self.detector.predict_proba(
-                batch
-            )[:, 1]
-        flagged = tuple(
-            w for w, p in zip(windows, probabilities) if p >= self.threshold
+        if self._use_shared_pipeline():
+            probabilities = self._scan_shared(layout, windows, batch_size)
+        else:
+            probabilities = self._scan_per_clip(layout, windows, batch_size)
+        flagged_indices = tuple(
+            int(i) for i in np.flatnonzero(probabilities >= self.threshold)
         )
+        flagged = tuple(windows[i] for i in flagged_indices)
         regions = merge_windows(
-            flagged,
-            [p for p in probabilities if p >= self.threshold],
+            flagged, [probabilities[i] for i in flagged_indices]
         )
         return ScanResult(
             windows=windows,
             probabilities=probabilities,
+            flagged_indices=flagged_indices,
             flagged=flagged,
             regions=tuple(regions),
             scan_seconds=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------
+    def _detector_supports_tensors(self) -> bool:
+        return hasattr(self.detector, "predict_proba_tensors") and isinstance(
+            getattr(self.detector, "extractor", None), FeatureTensorExtractor
+        )
+
+    def _use_shared_pipeline(self) -> bool:
+        if self.pipeline == "per_clip":
+            return False
+        supported = self._detector_supports_tensors()
+        if self.pipeline == "shared" and not supported:
+            raise TrainingError(
+                "pipeline='shared' needs a detector with "
+                "predict_proba_tensors and a feature-tensor extractor"
+            )
+        return supported
+
+    def _scan_shared(
+        self, layout: Layout, windows: Tuple[Rect, ...], batch_size: int
+    ) -> np.ndarray:
+        """Shared-raster scan: global DCT grid + streamed tensor batches."""
+        try:
+            sliding = SlidingFeatureExtractor(
+                self.detector.extractor.config,
+                clip_nm=self.clip_nm,
+                tile_blocks=self.tile_blocks,
+                workers=self.workers,
+            )
+        except FeatureError:
+            if self.pipeline == "shared":
+                raise
+            # auto mode: clip size incompatible with the feature config —
+            # the per-clip path will surface any real misconfiguration.
+            return self._scan_per_clip(layout, windows, batch_size)
+        probabilities = np.empty(len(windows), dtype=np.float64)
+        for indices, tensors in sliding.iter_batches(
+            layout, windows, batch_size
+        ):
+            probabilities[indices] = self.detector.predict_proba_tensors(
+                tensors
+            )[:, 1]
+        return probabilities
+
+    def _scan_per_clip(
+        self, layout: Layout, windows: Tuple[Rect, ...], batch_size: int
+    ) -> np.ndarray:
+        """Legacy path: cut, rasterise and encode every window separately."""
+        probabilities = np.empty(len(windows), dtype=np.float64)
+        for lo in range(0, len(windows), batch_size):
+            batch_windows = windows[lo : lo + batch_size]
+            clips = [
+                layout.clip_at(w, name=f"scan_{lo + i}")
+                for i, w in enumerate(batch_windows)
+            ]
+            batch = HotspotDataset(clips, name="scan", allow_unlabelled=True)
+            probabilities[lo : lo + len(clips)] = self.detector.predict_proba(
+                batch
+            )[:, 1]
+        return probabilities
 
     # ------------------------------------------------------------------
     def recall_against_oracle(
@@ -144,21 +238,12 @@ class FullChipScanner:
         return hits / len(true_hotspot_sites)
 
 
-def merge_windows(
+def _union_find_regions(
     windows: Sequence[Rect],
     probabilities: Sequence[float],
+    parent: List[int],
 ) -> List[HotspotRegion]:
-    """Merge touching/overlapping flagged windows into regions.
-
-    Union-find over the window adjacency graph; each cluster reports its
-    bounding box, member count and peak probability.
-    """
-    if len(windows) != len(probabilities):
-        raise TrainingError(
-            f"{len(windows)} windows vs {len(probabilities)} probabilities"
-        )
-    count = len(windows)
-    parent = list(range(count))
+    """Collapse a populated union-find forest into sorted regions."""
 
     def find(i: int) -> int:
         while parent[i] != i:
@@ -166,18 +251,8 @@ def merge_windows(
             i = parent[i]
         return i
 
-    def union(i: int, j: int) -> None:
-        ri, rj = find(i), find(j)
-        if ri != rj:
-            parent[rj] = ri
-
-    for i in range(count):
-        for j in range(i + 1, count):
-            if windows[i].touches(windows[j]):
-                union(i, j)
-
-    clusters: dict = {}
-    for i in range(count):
+    clusters: Dict[int, List[int]] = {}
+    for i in range(len(windows)):
         clusters.setdefault(find(i), []).append(i)
     regions = []
     for members in clusters.values():
@@ -193,3 +268,87 @@ def merge_windows(
         )
     regions.sort(key=lambda r: -r.max_probability)
     return regions
+
+
+def merge_windows(
+    windows: Sequence[Rect],
+    probabilities: Sequence[float],
+) -> List[HotspotRegion]:
+    """Merge touching/overlapping flagged windows into regions.
+
+    Union-find over the window adjacency graph; each cluster reports its
+    bounding box, member count and peak probability. Candidate pairs come
+    from a grid-bucket spatial hash (cell pitch = the largest window side),
+    so only windows in neighbouring cells are compared — two windows
+    further than a cell apart cannot touch — and merging stays near-linear
+    in the flagged count instead of the all-pairs quadratic sweep
+    (preserved as :func:`merge_windows_pairwise` for reference/testing).
+    """
+    if len(windows) != len(probabilities):
+        raise TrainingError(
+            f"{len(windows)} windows vs {len(probabilities)} probabilities"
+        )
+    count = len(windows)
+    if count == 0:
+        return []
+    parent = list(range(count))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[rj] = ri
+
+    cell = max(max(w.width, w.height) for w in windows)
+    buckets: Dict[Tuple[int, int], List[int]] = {}
+    keys: List[Tuple[int, int]] = []
+    for i, w in enumerate(windows):
+        key = (w.x_lo // cell, w.y_lo // cell)
+        keys.append(key)
+        buckets.setdefault(key, []).append(i)
+    for i, w in enumerate(windows):
+        kx, ky = keys[i]
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for j in buckets.get((kx + dx, ky + dy), ()):
+                    if j > i and w.touches(windows[j]):
+                        union(i, j)
+    return _union_find_regions(windows, probabilities, parent)
+
+
+def merge_windows_pairwise(
+    windows: Sequence[Rect],
+    probabilities: Sequence[float],
+) -> List[HotspotRegion]:
+    """Reference O(n²) all-pairs merge — semantics of :func:`merge_windows`.
+
+    Kept as the oracle for the spatial-hash equivalence property test and
+    for the scan benchmark's before/after comparison.
+    """
+    if len(windows) != len(probabilities):
+        raise TrainingError(
+            f"{len(windows)} windows vs {len(probabilities)} probabilities"
+        )
+    count = len(windows)
+    if count == 0:
+        return []
+    parent = list(range(count))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i in range(count):
+        for j in range(i + 1, count):
+            if windows[i].touches(windows[j]):
+                ri, rj = find(i), find(j)
+                if ri != rj:
+                    parent[rj] = ri
+    return _union_find_regions(windows, probabilities, parent)

@@ -22,15 +22,30 @@ PathLike = Union[str, Path]
 
 
 class HotspotDataset:
-    """An immutable, ordered set of labelled clips."""
+    """An immutable, ordered set of clips.
 
-    def __init__(self, clips: Sequence[Clip], name: str = ""):
+    Clips are labelled by default; inference-only flows (e.g. full-chip
+    scanning, where labels are what the detector is asked to produce) may
+    pass ``allow_unlabelled=True`` to carry unlabelled clips. Label views
+    (:attr:`labels` and the class counts) then raise if any clip is
+    actually unlabelled; everything label-free (iteration, feature
+    extraction, subsetting) works as usual.
+    """
+
+    def __init__(
+        self,
+        clips: Sequence[Clip],
+        name: str = "",
+        allow_unlabelled: bool = False,
+    ):
         clip_list = list(clips)
-        for i, clip in enumerate(clip_list):
-            if clip.label is None:
-                raise DatasetError(f"clip {i} ({clip.name!r}) is unlabelled")
+        if not allow_unlabelled:
+            for i, clip in enumerate(clip_list):
+                if clip.label is None:
+                    raise DatasetError(f"clip {i} ({clip.name!r}) is unlabelled")
         self._clips: Tuple[Clip, ...] = tuple(clip_list)
         self.name = name
+        self.allow_unlabelled = allow_unlabelled
 
     # ------------------------------------------------------------------
     # Views
@@ -51,6 +66,12 @@ class HotspotDataset:
     @property
     def labels(self) -> np.ndarray:
         """Label vector as ``int64`` (0 = non-hotspot, 1 = hotspot)."""
+        for i, clip in enumerate(self._clips):
+            if clip.label is None:
+                raise DatasetError(
+                    f"clip {i} ({clip.name!r}) is unlabelled; "
+                    "label views need fully labelled data"
+                )
         return np.array([c.label for c in self._clips], dtype=np.int64)
 
     @property
@@ -89,7 +110,9 @@ class HotspotDataset:
     def subset(self, indices: Iterable[int], name: str = "") -> "HotspotDataset":
         """Dataset restricted to ``indices`` (in the given order)."""
         return HotspotDataset(
-            [self._clips[i] for i in indices], name=name or self.name
+            [self._clips[i] for i in indices],
+            name=name or self.name,
+            allow_unlabelled=self.allow_unlabelled,
         )
 
     def split(
@@ -107,6 +130,7 @@ class HotspotDataset:
         return HotspotDataset(
             list(self._clips) + list(other.clips),
             name=name or f"{self.name}+{other.name}",
+            allow_unlabelled=self.allow_unlabelled or other.allow_unlabelled,
         )
 
     # ------------------------------------------------------------------

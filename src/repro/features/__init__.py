@@ -10,6 +10,9 @@ Three extractors, one per detector family in the paper's evaluation:
   pattern-density vector.
 - :class:`CCSExtractor` — the ICCAD'16 baseline's concentric-circle
   sampling vector.
+- :class:`SlidingFeatureExtractor` — the full-chip scan fast path: one
+  shared raster + global block-DCT grid, window tensors assembled by
+  slicing (:mod:`repro.features.sliding`).
 
 Plus the shared numeric plumbing (:mod:`repro.features.dct`,
 :mod:`repro.features.zigzag`) which is tested independently.
@@ -20,13 +23,20 @@ from repro.features.ccs import CCSConfig, CCSExtractor
 from repro.features.dct import dct2, idct2
 from repro.features.density import DensityConfig, DensityExtractor
 from repro.features.scaler import ChannelScaler
-from repro.features.tensor import FeatureTensorConfig, FeatureTensorExtractor
+from repro.features.sliding import SlidingFeatureExtractor
+from repro.features.tensor import (
+    FeatureTensorConfig,
+    FeatureTensorExtractor,
+    encode_block_grid,
+)
 from repro.features.zigzag import inverse_zigzag_indices, zigzag_indices
 
 __all__ = [
     "FeatureExtractor",
     "FeatureTensorConfig",
     "FeatureTensorExtractor",
+    "SlidingFeatureExtractor",
+    "encode_block_grid",
     "DensityConfig",
     "DensityExtractor",
     "CCSConfig",

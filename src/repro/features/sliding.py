@@ -1,0 +1,228 @@
+"""Shared-raster sliding-window feature extraction.
+
+A full-chip scan evaluates thousands of overlapping clip windows. Encoding
+each window independently (rasterize, block-DCT, zig-zag, truncate) redoes
+the same work many times over: at the default half-clip stride every layout
+pixel is rasterised and transformed up to four times. This module removes
+the redundancy by exploiting the feature tensor's block structure.
+
+The key observation: the paper's Section-3 tensor is computed on a fixed
+``B``-pixel block grid inside each clip. Whenever a window's offset from
+the layout origin is a multiple of the block pitch (``B * pixel_nm``
+nanometres — true for any stride that is a multiple of the block pitch,
+12 strides per clip at the paper's geometry), all of its blocks land on
+one *global* block grid. So the scan pipeline becomes:
+
+1. rasterize the layout once, in tiles (bounding peak memory);
+2. block-DCT + zig-zag + truncate each tile's blocks once, giving a global
+   coefficient grid of shape ``(rows, cols, k)``;
+3. assemble every window's ``(n, n, k)`` tensor by pure slicing.
+
+Each layout pixel is rasterised and transformed exactly once, regardless
+of stride. Tiles are independent, so step 1–2 parallelise across a
+``multiprocessing`` pool (``workers`` parameter). Windows that do not sit
+on the block grid (non-aligned strides, odd clamped edge windows) fall
+back to the per-clip :class:`~repro.features.tensor.FeatureTensorExtractor`
+path — output equivalence is guaranteed either way and covered by tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import FeatureError
+from repro.features.tensor import (
+    FeatureTensorConfig,
+    FeatureTensorExtractor,
+    encode_block_grid,
+)
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_rects
+from repro.geometry.rect import Rect
+
+#: One tile task: (rects, tile window, nm/px, block pixels, coefficients).
+_TileTask = Tuple[Tuple[Rect, ...], Rect, int, int, int]
+
+
+def _encode_tile(task: _TileTask) -> np.ndarray:
+    """Rasterise one tile and reduce its blocks to truncated DCT vectors.
+
+    Module-level so it pickles for the worker pool; pure function of its
+    arguments so fork/spawn start methods behave identically.
+    """
+    rects, window, resolution, block, k = task
+    image = rasterize_rects(rects, window, resolution)
+    return encode_block_grid(image, block, k)
+
+
+class SlidingFeatureExtractor:
+    """Encodes all scan windows of a layout against one global DCT grid.
+
+    Parameters
+    ----------
+    config:
+        Feature-tensor hyper-parameters; must match the detector's.
+    clip_nm:
+        Scan window size; fixes the block pitch via
+        ``config.block_size_px(clip_nm)``.
+    tile_blocks:
+        Tile side length in blocks for the shared rasterisation. The
+        default (16 blocks = 1600 px at the paper's geometry) keeps each
+        tile raster around 10 MB while leaving enough tiles to parallelise.
+    workers:
+        Process count for tile rasterisation + DCT. 1 (default) runs
+        serially in-process; higher values use a ``multiprocessing`` pool
+        and fall back to serial execution if a pool cannot be created.
+    """
+
+    name = "sliding_feature_tensor"
+
+    def __init__(
+        self,
+        config: FeatureTensorConfig = FeatureTensorConfig(),
+        clip_nm: int = 1200,
+        tile_blocks: int = 16,
+        workers: int = 1,
+    ):
+        if tile_blocks < 1:
+            raise FeatureError(f"tile_blocks must be >= 1, got {tile_blocks}")
+        if workers < 1:
+            raise FeatureError(f"workers must be >= 1, got {workers}")
+        self.config = config
+        self.clip_nm = clip_nm
+        self.tile_blocks = tile_blocks
+        self.workers = workers
+        # Validates clip/pixel/block divisibility and k capacity eagerly.
+        self.block_px = config.block_size_px(clip_nm)
+        self.block_nm = self.block_px * config.pixel_nm
+        self._per_clip = FeatureTensorExtractor(config)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        """``(n, n, k)`` — identical to the per-clip extractor."""
+        return self._per_clip.output_shape
+
+    # ------------------------------------------------------------------
+    # Global coefficient grid
+    # ------------------------------------------------------------------
+    def grid_shape(self, region: Rect) -> Tuple[int, int, int]:
+        """Block rows/cols covering ``region`` (padded up to whole blocks)."""
+        rows = -(-region.height // self.block_nm)
+        cols = -(-region.width // self.block_nm)
+        return rows, cols, self.config.coefficients
+
+    def coefficient_grid(self, layout: Layout) -> np.ndarray:
+        """Truncated block-DCT coefficients of the whole layout region.
+
+        Returns ``(rows, cols, k)`` float32 where entry ``[r, c]`` is the
+        zig-zag-truncated DCT of the block whose lower-left corner sits at
+        ``block_nm * (c, r)`` from the region origin. The region is padded
+        up to whole blocks on the high side; padding blocks (and blocks of
+        empty tiles) are all-zero, matching what encoding an empty raster
+        would produce.
+        """
+        rows, cols, k = self.grid_shape(layout.region)
+        grid = np.zeros((rows, cols, k), dtype=np.float32)
+        placements: List[Tuple[int, int]] = []
+        tasks: List[_TileTask] = []
+        region = layout.region
+        for b_row in range(0, rows, self.tile_blocks):
+            for b_col in range(0, cols, self.tile_blocks):
+                hi_row = min(b_row + self.tile_blocks, rows)
+                hi_col = min(b_col + self.tile_blocks, cols)
+                window = Rect(
+                    region.x_lo + b_col * self.block_nm,
+                    region.y_lo + b_row * self.block_nm,
+                    region.x_lo + hi_col * self.block_nm,
+                    region.y_lo + hi_row * self.block_nm,
+                )
+                rects = tuple(layout.query(window))
+                if not rects:
+                    continue  # empty tile: grid already zero
+                placements.append((b_row, b_col))
+                tasks.append(
+                    (rects, window, self.config.pixel_nm, self.block_px, k)
+                )
+        for (b_row, b_col), coeffs in zip(placements, self._run_tiles(tasks)):
+            t_rows, t_cols = coeffs.shape[:2]
+            grid[b_row : b_row + t_rows, b_col : b_col + t_cols] = coeffs
+        return grid
+
+    def _run_tiles(self, tasks: Sequence[_TileTask]) -> List[np.ndarray]:
+        """Encode tiles, across a worker pool when asked (and possible)."""
+        if self.workers > 1 and len(tasks) > 1:
+            try:
+                with multiprocessing.get_context().Pool(
+                    processes=min(self.workers, len(tasks))
+                ) as pool:
+                    return pool.map(_encode_tile, tasks)
+            except (ImportError, OSError, ValueError):
+                pass  # restricted environments: degrade to serial
+        return [_encode_tile(task) for task in tasks]
+
+    # ------------------------------------------------------------------
+    # Window assembly
+    # ------------------------------------------------------------------
+    def is_aligned(self, window: Rect, region: Rect) -> bool:
+        """True when ``window``'s tensor can be sliced from the grid."""
+        if window.width != self.clip_nm or window.height != self.clip_nm:
+            return False
+        dx = window.x_lo - region.x_lo
+        dy = window.y_lo - region.y_lo
+        return (
+            dx >= 0
+            and dy >= 0
+            and dx % self.block_nm == 0
+            and dy % self.block_nm == 0
+            and window.x_hi <= region.x_hi
+            and window.y_hi <= region.y_hi
+        )
+
+    def iter_batches(
+        self,
+        layout: Layout,
+        windows: Sequence[Rect],
+        batch_size: int = 512,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream ``(indices, tensors)`` batches over ``windows``.
+
+        ``indices`` is the ``int64`` positions of the batch within
+        ``windows`` (always a contiguous ascending run) and ``tensors`` the
+        matching ``(len(indices), n, n, k)`` float32 stack. Aligned windows
+        are sliced from the shared coefficient grid (computed once, on
+        first need); the rest go through per-clip extraction.
+        """
+        if batch_size < 1:
+            raise FeatureError(f"batch_size must be >= 1, got {batch_size}")
+        region = layout.region
+        aligned = [self.is_aligned(w, region) for w in windows]
+        grid: Optional[np.ndarray] = (
+            self.coefficient_grid(layout) if any(aligned) else None
+        )
+        n = self.config.block_count
+        k = self.config.coefficients
+        for lo in range(0, len(windows), batch_size):
+            chunk = windows[lo : lo + batch_size]
+            tensors = np.empty((len(chunk), n, n, k), dtype=np.float32)
+            for i, window in enumerate(chunk):
+                if aligned[lo + i]:
+                    row = (window.y_lo - region.y_lo) // self.block_nm
+                    col = (window.x_lo - region.x_lo) // self.block_nm
+                    tensors[i] = grid[row : row + n, col : col + n]
+                else:
+                    tensors[i] = self._per_clip.extract(layout.clip_at(window))
+            yield np.arange(lo, lo + len(chunk), dtype=np.int64), tensors
+
+    def extract_windows(
+        self, layout: Layout, windows: Sequence[Rect]
+    ) -> np.ndarray:
+        """All window tensors at once: ``(len(windows), n, n, k)`` float32."""
+        n = self.config.block_count
+        k = self.config.coefficients
+        out = np.empty((len(windows), n, n, k), dtype=np.float32)
+        for indices, tensors in self.iter_batches(layout, windows):
+            out[indices] = tensors
+        return out

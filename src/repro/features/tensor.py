@@ -81,6 +81,34 @@ class FeatureTensorConfig:
         return block
 
 
+def encode_block_grid(image: np.ndarray, block: int, k: int) -> np.ndarray:
+    """DCT + zig-zag + truncate every ``block x block`` tile of ``image``.
+
+    The shared kernel behind both per-clip encoding and the full-chip
+    sliding extractor: the image (square or rectangular, each dimension a
+    multiple of ``block``) is cut on the fixed block grid and each block is
+    reduced to its first ``k`` zig-zag DCT coefficients. Returns an array
+    of shape ``(rows, cols, k)`` with ``rows = H // block``.
+    """
+    if block < 1:
+        raise FeatureError(f"block size must be >= 1, got {block}")
+    h, w = image.shape
+    if h % block or w % block:
+        raise FeatureError(
+            f"image {h}x{w} not divisible into {block}-pixel blocks"
+        )
+    if k > block * block:
+        raise FeatureError(
+            f"k={k} exceeds block capacity {block * block} (B={block})"
+        )
+    rows, cols = h // block, w // block
+    # (rows, B, cols, B) -> (rows, cols, B, B): block grid of per-block images.
+    blocks = image.reshape(rows, block, cols, block).transpose(0, 2, 1, 3)
+    coefficients = dct2(blocks.astype(np.float64))
+    scanned = zigzag_flatten(coefficients)
+    return scanned[..., :k].astype(np.float32)
+
+
 class FeatureTensorExtractor:
     """Encodes clips to feature tensors and decodes them back to images."""
 
@@ -110,16 +138,7 @@ class FeatureTensorExtractor:
             raise FeatureError(f"image must be square, got {image.shape}")
         if h % n:
             raise FeatureError(f"image side {h} not divisible into {n} blocks")
-        block = h // n
-        if k > block * block:
-            raise FeatureError(
-                f"k={k} exceeds block capacity {block * block} (B={block})"
-            )
-        # (n, B, n, B) -> (n, n, B, B): block grid with per-block images.
-        blocks = image.reshape(n, block, n, block).transpose(0, 2, 1, 3)
-        coefficients = dct2(blocks.astype(np.float64))
-        scanned = zigzag_flatten(coefficients)
-        return scanned[..., :k].astype(np.float32)
+        return encode_block_grid(image, h // n, k)
 
     def decode(self, tensor: np.ndarray, clip_size_nm: int) -> np.ndarray:
         """Reconstruct the (approximate) clip image from a feature tensor.

@@ -17,10 +17,14 @@ The public surface is re-exported here:
 
 from repro.geometry.clip import Clip
 from repro.geometry.grid import snap, snap_rect
-from repro.geometry.layout import Layout, iter_clip_windows
+from repro.geometry.layout import Layout, clip_window_positions, iter_clip_windows
 from repro.geometry.layoutio import read_layout, write_layout
 from repro.geometry.polygon import Polygon
-from repro.geometry.raster import rasterize_clip, rasterize_rects
+from repro.geometry.raster import (
+    rasterize_clip,
+    rasterize_layout_window,
+    rasterize_rects,
+)
 from repro.geometry.rect import Rect
 
 __all__ = [
@@ -29,8 +33,10 @@ __all__ = [
     "Clip",
     "Layout",
     "iter_clip_windows",
+    "clip_window_positions",
     "rasterize_rects",
     "rasterize_clip",
+    "rasterize_layout_window",
     "snap",
     "snap_rect",
     "read_layout",

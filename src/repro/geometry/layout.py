@@ -113,17 +113,18 @@ class Layout:
         return bounding_box(self._rects)
 
 
-def iter_clip_windows(
+def clip_window_positions(
     region: Rect,
     clip_nm: int = 1200,
     stride_nm: int = 600,
-) -> Iterator[Rect]:
-    """Tile ``region`` with overlapping square clip windows.
+) -> Tuple[List[int], List[int]]:
+    """Scan-grid origins ``(xs, ys)`` for :func:`iter_clip_windows`.
 
-    Windows step by ``stride_nm`` and are clamped so the final row/column
-    still lies inside the region (standard scan-line tiling: every point of
-    the region is covered by at least one window core when
-    ``stride_nm <= clip_nm / 2``).
+    Positions step by ``stride_nm`` from the region's low corner; the final
+    row/column is clamped to ``hi - clip_nm`` so the last window still lies
+    inside the region. Exposed separately so consumers that reason about
+    the scan grid as a whole (the shared-raster extractor's alignment
+    check, region bookkeeping) share the exact tiling arithmetic.
     """
     if clip_nm <= 0 or stride_nm <= 0:
         raise GeometryError("clip_nm and stride_nm must be positive")
@@ -140,6 +141,25 @@ def iter_clip_windows(
             out.append(last)
         return out
 
-    for y in positions(region.y_lo, region.y_hi):
-        for x in positions(region.x_lo, region.x_hi):
+    return (
+        positions(region.x_lo, region.x_hi),
+        positions(region.y_lo, region.y_hi),
+    )
+
+
+def iter_clip_windows(
+    region: Rect,
+    clip_nm: int = 1200,
+    stride_nm: int = 600,
+) -> Iterator[Rect]:
+    """Tile ``region`` with overlapping square clip windows.
+
+    Windows step by ``stride_nm`` and are clamped so the final row/column
+    still lies inside the region (standard scan-line tiling: every point of
+    the region is covered by at least one window core when
+    ``stride_nm <= clip_nm / 2``).
+    """
+    xs, ys = clip_window_positions(region, clip_nm, stride_nm)
+    for y in ys:
+        for x in xs:
             yield Rect(x, y, x + clip_nm, y + clip_nm)

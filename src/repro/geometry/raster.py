@@ -73,6 +73,19 @@ def rasterize_clip(clip, resolution: int = 1) -> np.ndarray:
     return rasterize_rects(clip.rects, clip.window, resolution)
 
 
+def rasterize_layout_window(layout, window: Rect, resolution: int = 1) -> np.ndarray:
+    """Rasterise the part of a spatially indexed layout under ``window``.
+
+    Queries the layout's grid index for the overlapping shapes and renders
+    them on the pixel grid anchored at ``window``'s low corner. Because
+    rasterisation is a per-pixel decision, rendering a region in tiles
+    whose origins lie on the same pixel grid and stitching the tiles is
+    identical to rendering the region in one call — the property the
+    shared-raster scan pipeline (and its tests) rely on.
+    """
+    return rasterize_rects(layout.query(window), window, resolution)
+
+
 def pattern_density(image: np.ndarray) -> float:
     """Fraction of lit pixels in a binary image (0.0 when empty)."""
     if image.size == 0:

@@ -31,6 +31,7 @@ class ReLU(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         mask = self._require_cached(self._cache, "mask")
+        self._cache = None
         return grad * mask
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
@@ -56,6 +57,7 @@ class LeakyReLU(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         mask = self._require_cached(self._cache, "mask")
+        self._cache = None
         return np.where(mask, grad, self.alpha * grad)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

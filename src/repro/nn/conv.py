@@ -104,6 +104,9 @@ class Conv2D(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         cols_flat, (out_h, out_w), x_shape = self._require_cached(self._cache)
+        # The im2col column matrix is by far the largest buffer in the
+        # network; release it as soon as the gradients are formed.
+        self._cache = None
         n = x_shape[0]
         patch_count = out_h * out_w
         grad_flat = (

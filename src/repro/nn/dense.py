@@ -56,6 +56,7 @@ class Dense(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x = self._require_cached(self._cache)
+        self._cache = None
         self.weight.grad += x.T @ grad
         self.bias.grad += grad.sum(axis=0)
         return grad @ self.weight.value.T

@@ -47,6 +47,7 @@ class Dropout(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         mask = self._require_cached(self._cache, "mask")
+        self._cache = None
         return grad * mask
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

@@ -27,6 +27,7 @@ class Flatten(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         shape = self._require_cached(self._cache, "shape")
+        self._cache = None
         return grad.reshape(shape)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:

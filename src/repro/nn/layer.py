@@ -60,6 +60,16 @@ class Layer:
         """Trainable parameters (empty for stateless layers)."""
         return []
 
+    def free_cache(self) -> None:
+        """Drop forward-pass buffers kept for backward.
+
+        Layers cache whatever backward needs (im2col column matrices are
+        the big one); inference paths and completed backward passes call
+        this so large batches don't pin those buffers between steps.
+        """
+        if hasattr(self, "_cache"):
+            self._cache = None
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         """Per-sample output shape given a per-sample input shape."""
         raise NotImplementedError

@@ -75,13 +75,24 @@ class Sequential:
             out = layer.backward(out)
         return out
 
+    def free_caches(self) -> None:
+        """Release every layer's forward-pass buffers (see Layer.free_cache)."""
+        for layer in self.layers:
+            layer.free_cache()
+
     # ------------------------------------------------------------------
     def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Class probabilities, evaluated in inference mode and batches."""
+        """Class probabilities, evaluated in inference mode and batches.
+
+        Inference never runs backward, so the forward caches are freed
+        before returning — a full-chip scan pushes thousands of windows
+        through here and must not retain the last batch's im2col buffers.
+        """
         chunks = []
         for start in range(0, x.shape[0], batch_size):
             logits = self.forward(x[start : start + batch_size], training=False)
             chunks.append(softmax(logits))
+        self.free_caches()
         return np.concatenate(chunks, axis=0)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:

@@ -77,6 +77,7 @@ class BatchNorm2D(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x_hat, std, training, x_shape = self._require_cached(self._cache)
+        self._cache = None
         axes = (0, 2, 3)
         self.gamma.grad += (grad * x_hat).sum(axis=axes)
         self.beta.grad += grad.sum(axis=axes)

@@ -50,6 +50,7 @@ class MaxPool2D(Layer):
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         winners, x_shape = self._require_cached(self._cache)
+        self._cache = None
         n, c, h, w = (int(v) for v in x_shape)
         p = self.pool_size
         spread = winners * grad[:, :, :, None, :, None]

@@ -104,6 +104,23 @@ class TestPredict:
         predictions = trained.predict(train)
         assert (predictions == train.labels).mean() > 0.6
 
+    def test_predict_proba_tensors_matches_dataset_path(self, trained, tiny_data):
+        _, test = tiny_data
+        tensors = test.features(trained.extractor)
+        from_tensors = trained.predict_proba_tensors(tensors)
+        from_dataset = trained.predict_proba(test)
+        np.testing.assert_allclose(from_tensors, from_dataset, atol=1e-12)
+
+    def test_predict_proba_tensors_validates_shape(self, trained):
+        with pytest.raises(TrainingError):
+            trained.predict_proba_tensors(np.zeros((2, 3, 3, 5)))
+
+    def test_predict_proba_tensors_untrained_raises(self):
+        with pytest.raises(TrainingError):
+            HotspotDetector(tiny_config()).predict_proba_tensors(
+                np.zeros((1, 12, 12, 16))
+            )
+
 
 class TestEvaluate:
     def test_metrics_fields(self, trained, tiny_data):

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import TrainingError
 from repro.core.fullchip import (
@@ -9,8 +11,10 @@ from repro.core.fullchip import (
     HotspotRegion,
     ScanResult,
     merge_windows,
+    merge_windows_pairwise,
 )
 from repro.data.fullchip import FullChipSpec, make_labelled_layout, make_layout
+from repro.features.tensor import FeatureTensorConfig, FeatureTensorExtractor
 from repro.geometry.layout import Layout
 from repro.geometry.rect import Rect
 
@@ -25,6 +29,30 @@ class ProbeDetector:
         densities = np.array([clip.density() for clip in dataset])
         p1 = np.clip(densities / (2 * self.cutoff), 0.0, 1.0)
         return np.stack([1 - p1, p1], axis=1)
+
+
+class TensorProbeDetector:
+    """Deterministic detector exposing the tensor-level fast path.
+
+    Scores from the mean absolute feature magnitude, so both pipelines are
+    comparable without training a CNN.
+    """
+
+    def __init__(self, config=FeatureTensorConfig(block_count=6,
+                                                  coefficients=10,
+                                                  pixel_nm=10)):
+        self.extractor = FeatureTensorExtractor(config)
+
+    def predict_proba_tensors(self, tensors):
+        magnitude = np.abs(np.asarray(tensors, dtype=np.float64))
+        score = np.tanh(magnitude.mean(axis=(1, 2, 3)))
+        return np.stack([1 - score, score], axis=1)
+
+    def predict_proba(self, dataset):
+        tensors = np.stack(
+            [self.extractor.extract(clip) for clip in dataset]
+        )
+        return self.predict_proba_tensors(tensors)
 
 
 class TestMergeWindows:
@@ -53,6 +81,29 @@ class TestMergeWindows:
     def test_mismatch_raises(self):
         with pytest.raises(TrainingError):
             merge_windows([Rect(0, 0, 1, 1)], [])
+        with pytest.raises(TrainingError):
+            merge_windows_pairwise([Rect(0, 0, 1, 1)], [])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=-40, max_value=40),
+                st.integers(min_value=-40, max_value=40),
+                st.integers(min_value=1, max_value=25),
+                st.integers(min_value=1, max_value=25),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_spatial_hash_equals_pairwise(self, raw):
+        """The grid-bucket merge is a pure optimisation of the O(n²) sweep."""
+        windows = [Rect(x, y, x + w, y + h) for x, y, w, h, _ in raw]
+        probabilities = [p for *_, p in raw]
+        assert merge_windows(windows, probabilities) == merge_windows_pairwise(
+            windows, probabilities
+        )
 
 
 class TestFullChipSpec:
@@ -128,3 +179,90 @@ class TestScanner:
         result = scanner.scan(layout)
         with pytest.raises(TrainingError):
             scanner.recall_against_oracle(result, [])
+
+    def test_flagged_indices_align_views(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=1))
+        result = self.make_scanner(threshold=0.4).scan(layout)
+        assert len(result.flagged_indices) == result.flagged_count
+        for index, window in zip(result.flagged_indices, result.flagged):
+            assert result.windows[index] == window
+            assert result.probabilities[index] >= 0.4
+        np.testing.assert_array_equal(
+            result.flagged_probabilities,
+            result.probabilities[list(result.flagged_indices)],
+        )
+
+    def test_pipeline_validation(self):
+        with pytest.raises(TrainingError):
+            self.make_scanner(pipeline="fastest")
+        with pytest.raises(TrainingError):
+            self.make_scanner(workers=0)
+
+    def test_shared_pipeline_requires_tensor_detector(self):
+        layout = make_layout(FullChipSpec(tiles_x=2, tiles_y=2, seed=1))
+        scanner = FullChipScanner(ProbeDetector(), pipeline="shared")
+        with pytest.raises(TrainingError):
+            scanner.scan(layout)
+
+
+class TestSharedPipeline:
+    """Shared-raster scan vs the per-clip path, window for window."""
+
+    def scan_both(self, layout, **kwargs):
+        detector = TensorProbeDetector()
+        shared = FullChipScanner(
+            detector, pipeline="shared", **kwargs
+        ).scan(layout)
+        legacy = FullChipScanner(detector, pipeline="per_clip").scan(layout)
+        return shared, legacy
+
+    def test_identical_probabilities_and_regions(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=2))
+        shared, legacy = self.scan_both(layout)
+        np.testing.assert_allclose(
+            shared.probabilities, legacy.probabilities, atol=1e-9
+        )
+        assert shared.flagged_indices == legacy.flagged_indices
+        assert shared.flagged == legacy.flagged
+        assert shared.regions == legacy.regions
+
+    def test_parallel_workers_identical(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=2))
+        shared, legacy = self.scan_both(layout, workers=2, tile_blocks=4)
+        np.testing.assert_allclose(
+            shared.probabilities, legacy.probabilities, atol=1e-9
+        )
+        assert shared.flagged == legacy.flagged
+
+    def test_non_aligned_stride_still_matches(self):
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=2))
+        detector = TensorProbeDetector()
+        # 500 nm is not a multiple of the 200 nm block pitch: the shared
+        # pipeline must fall back per window yet agree with the legacy path.
+        shared = FullChipScanner(
+            detector, stride_nm=500, pipeline="shared"
+        ).scan(layout)
+        legacy = FullChipScanner(
+            detector, stride_nm=500, pipeline="per_clip"
+        ).scan(layout)
+        np.testing.assert_allclose(
+            shared.probabilities, legacy.probabilities, atol=1e-9
+        )
+        assert shared.flagged == legacy.flagged
+
+    def test_auto_uses_shared_for_tensor_detectors(self):
+        layout = make_layout(FullChipSpec(tiles_x=2, tiles_y=2, seed=3))
+        detector = TensorProbeDetector()
+        auto = FullChipScanner(detector, pipeline="auto").scan(layout)
+        shared = FullChipScanner(detector, pipeline="shared").scan(layout)
+        np.testing.assert_array_equal(auto.probabilities, shared.probabilities)
+
+    def test_auto_uses_per_clip_for_dataset_detectors(self):
+        # A detector without the tensor interface scans via the per-clip
+        # path under "auto" — same behaviour as before the fast path.
+        layout = make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=1))
+        auto = FullChipScanner(ProbeDetector(), pipeline="auto").scan(layout)
+        legacy = FullChipScanner(
+            ProbeDetector(), pipeline="per_clip"
+        ).scan(layout)
+        np.testing.assert_array_equal(auto.probabilities, legacy.probabilities)

@@ -36,6 +36,32 @@ class TestConstruction:
         with pytest.raises(DatasetError):
             HotspotDataset([Clip(WINDOW)])
 
+    def test_unlabelled_allowed_when_opted_in(self):
+        clips = [Clip(WINDOW), Clip(WINDOW, (Rect(10, 10, 30, 230),))]
+        ds = HotspotDataset(clips, name="scan", allow_unlabelled=True)
+        assert len(ds) == 2
+        assert list(ds) == clips
+
+    def test_unlabelled_label_views_raise(self):
+        ds = HotspotDataset([Clip(WINDOW)], allow_unlabelled=True)
+        with pytest.raises(DatasetError):
+            ds.labels
+        with pytest.raises(DatasetError):
+            ds.hotspot_count
+
+    def test_unlabelled_features_work(self):
+        ds = HotspotDataset(
+            [Clip(WINDOW, (Rect(10, 10, 30, 230),))], allow_unlabelled=True
+        )
+        extractor = DensityExtractor(DensityConfig(grid=4, pixel_nm=10))
+        assert ds.features(extractor).shape[0] == 1
+
+    def test_unlabelled_subset_propagates(self):
+        ds = HotspotDataset(
+            [Clip(WINDOW), Clip(WINDOW)], allow_unlabelled=True
+        )
+        assert len(ds.subset([1])) == 1
+
     def test_labels_vector(self):
         ds = HotspotDataset(make_clips(2, 1))
         assert ds.labels.tolist() == [1, 1, 0]

@@ -97,6 +97,32 @@ class TestForwardBackward:
             net.predict(x, batch_size=3), net.predict(x, batch_size=100)
         )
 
+    def test_backward_frees_layer_caches(self):
+        net = tiny_network()
+        x = np.random.default_rng(7).normal(size=(3, 2, 8, 8))
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out))
+        assert all(
+            getattr(layer, "_cache", None) is None for layer in net.layers
+        )
+
+    def test_predict_proba_frees_layer_caches(self):
+        net = tiny_network()
+        net.predict_proba(np.random.default_rng(8).normal(size=(6, 2, 8, 8)))
+        assert all(
+            getattr(layer, "_cache", None) is None for layer in net.layers
+        )
+
+    def test_free_caches_allows_fresh_training_step(self):
+        # Freeing between inference batches must not poison a later
+        # forward/backward pair.
+        net = tiny_network()
+        x = np.random.default_rng(9).normal(size=(2, 2, 8, 8))
+        net.predict_proba(x)
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out))
+        assert all(np.abs(p.grad).sum() > 0 for p in net.parameters())
+
 
 class TestWeights:
     def test_get_set_roundtrip(self):
