@@ -20,15 +20,59 @@ from pathlib import Path
 import pytest
 
 from repro.bench.harness import bench_detector_config
-from repro.bench.report import write_report
+from repro.bench.report import read_report, write_report
 from repro.core.detector import HotspotDetector
 from repro.core.fullchip import FullChipScanner
 from repro.data.dataset import HotspotDataset
 from repro.data.fullchip import FullChipSpec, make_layout
 from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.obs import JsonlSink, get_bus, load_run_log, summarize_spans
 
 #: Where the scan-throughput record lands (repo root, next to bench_output).
 ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fullchip.json"
+
+#: JSONL event log of the shared-pipeline scan, for `repro obs report`.
+RUN_LOG_PATH = ARTIFACT_PATH.with_name("BENCH_fullchip_run.jsonl")
+
+#: Required result keys -> per-pipeline keys; the schema check below fails
+#: the benchmark loudly if the written artifact drifts from this shape.
+_PIPELINE_KEYS = ("scan_seconds", "windows_per_second")
+_RESULT_SCHEMA = {
+    "window_count": int,
+    "flagged_count": int,
+    "region_count": int,
+    "per_clip": dict,
+    "shared": dict,
+    "shared_parallel": dict,
+}
+
+
+def validate_fullchip_report(path: Path) -> dict:
+    """Re-read the BENCH_fullchip.json artifact and check its schema.
+
+    Returns the parsed document; raises AssertionError on any missing
+    key, wrong type, or non-positive timing so a malformed artifact fails
+    the benchmark instead of silently poisoning the perf trajectory.
+    """
+    document = read_report(path)
+    assert document["experiment"] == "fullchip_scan_throughput", document
+    results = document["results"]
+    for key, kind in _RESULT_SCHEMA.items():
+        assert key in results, f"{path}: results missing {key!r}"
+        assert isinstance(results[key], kind), (
+            f"{path}: results[{key!r}] should be {kind.__name__}, "
+            f"got {type(results[key]).__name__}"
+        )
+    for pipeline in ("per_clip", "shared", "shared_parallel"):
+        entry = results[pipeline]
+        for key in _PIPELINE_KEYS:
+            assert key in entry, f"{path}: {pipeline} missing {key!r}"
+            value = entry[key]
+            assert isinstance(value, (int, float)) and value > 0, (
+                f"{path}: {pipeline}[{key!r}] must be a positive number, "
+                f"got {value!r}"
+            )
+    return document
 
 
 @pytest.fixture(scope="module")
@@ -65,9 +109,13 @@ def test_fullchip_shared_vs_per_clip(once, trained_detector):
     legacy = FullChipScanner(
         trained_detector, pipeline="per_clip"
     ).scan(layout)
-    shared = once(
-        FullChipScanner(trained_detector, pipeline="shared").scan, layout
-    )
+    # The shared-pipeline scan also records a JSONL event log next to the
+    # JSON artifact, so stage timings are inspectable offline via
+    # `repro-hotspot obs report BENCH_fullchip_run.jsonl`.
+    with get_bus().attached(JsonlSink(RUN_LOG_PATH)):
+        shared = once(
+            FullChipScanner(trained_detector, pipeline="shared").scan, layout
+        )
     parallel = FullChipScanner(
         trained_detector, pipeline="shared", workers=workers
     ).scan(layout)
@@ -119,6 +167,15 @@ def test_fullchip_shared_vs_per_clip(once, trained_detector):
         },
     )
     print(f"wrote {ARTIFACT_PATH}")
+
+    # Fail loudly if either artifact came out malformed.
+    validate_fullchip_report(ARTIFACT_PATH)
+    events = load_run_log(RUN_LOG_PATH)
+    stages = summarize_spans(events)
+    for stage in ("scan", "scan/scan.grid", "scan/scan.merge"):
+        assert stage in stages, f"{RUN_LOG_PATH}: missing stage {stage!r}"
+    assert any(e.name == "scan.complete" for e in events), RUN_LOG_PATH
+    print(f"wrote {RUN_LOG_PATH} ({len(events)} events)")
 
     # DCT/raster reuse alone must buy at least 2x at the default stride.
     assert speedup_shared >= 2.0

@@ -7,16 +7,29 @@ workflows without writing Python:
 - ``train`` — train the detector on a clip file and save the model.
 - ``evaluate`` — evaluate a saved model on a clip file (Table-2 metrics).
 - ``experiment`` — regenerate one of the paper's tables/figures.
+- ``stats`` — audit a clip file.
+- ``scan`` — full-chip scan with a saved model.
+- ``obs report`` — summarise a JSONL run log (stage timings, metrics).
+
+Every command routes its output through the observability layer
+(:mod:`repro.obs`): a console sink renders human-readable lines
+(``--verbose`` adds debug events such as spans and per-validation
+traces, ``--quiet`` keeps warnings only), and ``--log-json PATH`` (or
+``REPRO_LOG_JSON``) additionally records every event — all levels — to a
+machine-readable JSONL run log that ``obs report`` can replay.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 from repro._version import __version__
+from repro.obs.events import EventBus, emit, set_bus
+from repro.obs.sinks import LOG_JSON_ENV, ConsoleSink, JsonlSink
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,6 +41,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write a JSONL run log of every emitted event to PATH "
+            f"(default: ${LOG_JSON_ENV} if set)"
+        ),
+    )
+    volume = parser.add_mutually_exclusive_group()
+    volume.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print debug events (spans, validation traces)",
+    )
+    volume.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print warnings only",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="synthesise a labelled suite")
@@ -67,11 +98,40 @@ def build_parser() -> argparse.ArgumentParser:
                       help="synthetic layout size in 1200nm tiles per side")
     scan.add_argument("--seed", type=int, default=0)
     scan.add_argument("--threshold", type=float, default=0.5)
+    scan.add_argument("--workers", type=int, default=1,
+                      help="worker processes for the shared-raster stage")
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    report = obs_sub.add_parser(
+        "report", help="summarise a JSONL run log (stage timings, metrics)"
+    )
+    report.add_argument("log", help="JSONL run log from --log-json")
     return parser
+
+
+def _say(text: str) -> None:
+    """Route one human-oriented line through the event bus."""
+    emit("cli.message", text=str(text))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    verbosity = 2 if args.verbose else 0 if args.quiet else 1
+    bus = EventBus()
+    bus.attach(ConsoleSink(verbosity=verbosity))
+    log_json = args.log_json or os.environ.get(LOG_JSON_ENV, "").strip()
+    if log_json:
+        bus.attach(JsonlSink(log_json))
+    previous = set_bus(bus)
+    try:
+        return _dispatch(args)
+    finally:
+        set_bus(previous)
+        bus.close()
+
+
+def _dispatch(args) -> int:
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "train":
@@ -84,6 +144,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return 2  # unreachable: argparse enforces the choices
 
 
@@ -96,7 +158,7 @@ def _cmd_generate(args) -> int:
     clips = generator.generate(args.hotspots, args.non_hotspots)
     dataset = HotspotDataset(clips, name="generated")
     dataset.save(args.output)
-    print(
+    _say(
         f"wrote {dataset.summary()} to {args.output} "
         f"in {time.perf_counter() - start:.1f}s"
     )
@@ -109,7 +171,7 @@ def _cmd_train(args) -> int:
     from repro.data.dataset import HotspotDataset
 
     dataset = HotspotDataset.load(args.data)
-    print(f"training on {dataset.summary()}")
+    _say(f"training on {dataset.summary()}")
     config = bench_detector_config(
         bias_rounds=args.bias_rounds,
         seed=args.seed,
@@ -117,15 +179,11 @@ def _cmd_train(args) -> int:
     )
     detector = HotspotDetector(config)
     start = time.perf_counter()
+    # Round-by-round progress arrives live as [biased.round] event lines.
     detector.fit(dataset)
-    print(f"trained in {time.perf_counter() - start:.1f}s")
-    for r in detector.rounds:
-        print(
-            f"  eps={r.epsilon:.1f}: val recall {r.val_hotspot_recall:.3f}, "
-            f"FA rate {r.val_false_alarm_rate:.3f}"
-        )
+    _say(f"trained in {time.perf_counter() - start:.1f}s")
     detector.save(args.model)
-    print(f"model saved to {args.model}")
+    _say(f"model saved to {args.model}")
     return 0
 
 
@@ -137,8 +195,8 @@ def _cmd_evaluate(args) -> int:
     dataset = HotspotDataset.load(args.data)
     detector = HotspotDetector(bench_detector_config()).load(args.model)
     metrics = detector.evaluate(dataset)
-    print(dataset.summary())
-    print(metrics.row())
+    _say(dataset.summary())
+    _say(metrics.row())
     return 0
 
 
@@ -162,7 +220,7 @@ def _cmd_experiment(args) -> int:
         "fig4": experiment_fig4,
     }[args.name]
     _, text = runner(**kwargs)
-    print(text)
+    _say(text)
     return 0
 
 
@@ -172,7 +230,7 @@ def _cmd_stats(args) -> int:
 
     dataset = HotspotDataset.load(args.data)
     stats = suite_statistics(dataset.clips, grid_nm=args.grid)
-    print(stats.summary())
+    _say(stats.summary())
     return 0
 
 
@@ -186,16 +244,27 @@ def _cmd_scan(args) -> int:
     layout = make_layout(
         FullChipSpec(tiles_x=args.tiles, tiles_y=args.tiles, seed=args.seed)
     )
-    scanner = FullChipScanner(detector, threshold=args.threshold)
+    scanner = FullChipScanner(
+        detector, threshold=args.threshold, workers=args.workers
+    )
     result = scanner.scan(layout)
-    print(result.summary())
+    _say(result.summary())
     for region in result.regions:
         b = region.bbox
-        print(
+        _say(
             f"  region ({b.x_lo},{b.y_lo})-({b.x_hi},{b.y_hi}) "
             f"windows={region.window_count} peak={region.max_probability:.2f}"
         )
     return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.report import report_from_file
+
+    if args.obs_command == "report":
+        _say(report_from_file(args.log))
+        return 0
+    return 2  # unreachable: argparse enforces the choices
 
 
 if __name__ == "__main__":  # pragma: no cover

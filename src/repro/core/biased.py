@@ -24,6 +24,7 @@ from repro.nn.loss import one_hot
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
 from repro.nn.trainer import Trainer, TrainerConfig, TrainingHistory
+from repro.obs import emit, span
 
 
 def biased_targets(labels: np.ndarray, epsilon: float) -> np.ndarray:
@@ -114,9 +115,18 @@ class BiasedLearning:
             optimizer = self.optimizer_factory(self.network)
             config = self.trainer_config if round_index == 0 else self.finetune_config
             trainer = Trainer(self.network, optimizer, config)
-            history = trainer.fit(x_train, targets, x_val, y_val)
-            results.append(
-                self._snapshot(epsilon, history, x_val, y_val)
+            with span("biased.round", round=round_index, epsilon=epsilon):
+                history = trainer.fit(x_train, targets, x_val, y_val)
+                result = self._snapshot(epsilon, history, x_val, y_val)
+            results.append(result)
+            emit(
+                "biased.round",
+                round=round_index,
+                epsilon=epsilon,
+                val_accuracy=result.val_accuracy,
+                val_hotspot_recall=result.val_hotspot_recall,
+                val_false_alarm_rate=result.val_false_alarm_rate,
+                stopped_iteration=history.stopped_iteration,
             )
             epsilon += self.epsilon_step
         return results

@@ -29,6 +29,7 @@ from repro.features.sliding import SlidingFeatureExtractor
 from repro.features.tensor import FeatureTensorExtractor
 from repro.geometry.layout import Layout, iter_clip_windows
 from repro.geometry.rect import Rect
+from repro.obs import emit, get_registry, span
 
 #: Feature-pipeline selection values accepted by :class:`FullChipScanner`.
 SCAN_PIPELINES = ("auto", "shared", "per_clip")
@@ -138,23 +139,43 @@ class FullChipScanner:
 
     # ------------------------------------------------------------------
     def scan(self, layout: Layout, batch_size: int = 512) -> ScanResult:
-        """Scan ``layout`` and return flagged windows + merged regions."""
+        """Scan ``layout`` and return flagged windows + merged regions.
+
+        Telemetry: the scan runs inside a ``scan`` span with nested
+        ``scan.grid`` (shared raster + block-DCT), per-batch
+        ``scan.inference`` / ``scan.extract`` and ``scan.merge`` spans;
+        worker subprocesses ship raster/DCT histograms back through the
+        registry. Afterwards the windows-per-second gauge is updated and
+        ``scan.complete`` (info) plus a full ``metrics.snapshot`` (debug)
+        are emitted, so a ``--log-json`` run log reconstructs the whole
+        stage breakdown offline via ``repro-hotspot obs report``.
+        """
         start = time.perf_counter()
         windows = tuple(
             iter_clip_windows(layout.region, self.clip_nm, self.stride_nm)
         )
-        if self._use_shared_pipeline():
-            probabilities = self._scan_shared(layout, windows, batch_size)
-        else:
-            probabilities = self._scan_per_clip(layout, windows, batch_size)
-        flagged_indices = tuple(
-            int(i) for i in np.flatnonzero(probabilities >= self.threshold)
-        )
-        flagged = tuple(windows[i] for i in flagged_indices)
-        regions = merge_windows(
-            flagged, [probabilities[i] for i in flagged_indices]
-        )
-        return ScanResult(
+        with span(
+            "scan",
+            pipeline=self.pipeline,
+            windows=len(windows),
+            workers=self.workers,
+        ):
+            if self._use_shared_pipeline():
+                probabilities = self._scan_shared(layout, windows, batch_size)
+            else:
+                probabilities = self._scan_per_clip(
+                    layout, windows, batch_size
+                )
+            flagged_indices = tuple(
+                int(i)
+                for i in np.flatnonzero(probabilities >= self.threshold)
+            )
+            flagged = tuple(windows[i] for i in flagged_indices)
+            with span("scan.merge", flagged=len(flagged)):
+                regions = merge_windows(
+                    flagged, [probabilities[i] for i in flagged_indices]
+                )
+        result = ScanResult(
             windows=windows,
             probabilities=probabilities,
             flagged_indices=flagged_indices,
@@ -162,6 +183,22 @@ class FullChipScanner:
             regions=tuple(regions),
             scan_seconds=time.perf_counter() - start,
         )
+        registry = get_registry()
+        registry.counter("scan.windows").inc(result.window_count)
+        registry.counter("scan.flagged").inc(result.flagged_count)
+        rate = result.window_count / max(result.scan_seconds, 1e-9)
+        registry.gauge("scan.windows_per_second").set(rate)
+        emit(
+            "scan.complete",
+            windows=result.window_count,
+            flagged=result.flagged_count,
+            regions=len(result.regions),
+            seconds=result.scan_seconds,
+            windows_per_second=rate,
+            pipeline=self.pipeline,
+        )
+        emit("metrics.snapshot", level="debug", **registry.snapshot())
+        return result
 
     # ------------------------------------------------------------------
     def _detector_supports_tensors(self) -> bool:
@@ -201,9 +238,10 @@ class FullChipScanner:
         for indices, tensors in sliding.iter_batches(
             layout, windows, batch_size
         ):
-            probabilities[indices] = self.detector.predict_proba_tensors(
-                tensors
-            )[:, 1]
+            with span("scan.inference", batch=len(indices)):
+                probabilities[indices] = self.detector.predict_proba_tensors(
+                    tensors
+                )[:, 1]
         return probabilities
 
     def _scan_per_clip(
@@ -213,14 +251,18 @@ class FullChipScanner:
         probabilities = np.empty(len(windows), dtype=np.float64)
         for lo in range(0, len(windows), batch_size):
             batch_windows = windows[lo : lo + batch_size]
-            clips = [
-                layout.clip_at(w, name=f"scan_{lo + i}")
-                for i, w in enumerate(batch_windows)
-            ]
-            batch = HotspotDataset(clips, name="scan", allow_unlabelled=True)
-            probabilities[lo : lo + len(clips)] = self.detector.predict_proba(
-                batch
-            )[:, 1]
+            with span("scan.extract", batch=len(batch_windows)):
+                clips = [
+                    layout.clip_at(w, name=f"scan_{lo + i}")
+                    for i, w in enumerate(batch_windows)
+                ]
+                batch = HotspotDataset(
+                    clips, name="scan", allow_unlabelled=True
+                )
+            with span("scan.inference", batch=len(clips)):
+                probabilities[lo : lo + len(clips)] = (
+                    self.detector.predict_proba(batch)[:, 1]
+                )
         return probabilities
 
     # ------------------------------------------------------------------

@@ -36,3 +36,7 @@ class DatasetError(ReproError):
 
 class LithoError(ReproError):
     """Lithography-simulation configuration or input error."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid telemetry configuration, sink failure, or malformed run log."""

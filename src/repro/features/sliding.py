@@ -29,7 +29,8 @@ path — output equivalence is guaranteed either way and covered by tests.
 from __future__ import annotations
 
 import multiprocessing
-from typing import Iterator, List, Optional, Sequence, Tuple
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,20 +43,34 @@ from repro.features.tensor import (
 from repro.geometry.layout import Layout
 from repro.geometry.raster import rasterize_rects
 from repro.geometry.rect import Rect
+from repro.obs import MetricsRegistry, get_registry, span
 
 #: One tile task: (rects, tile window, nm/px, block pixels, coefficients).
 _TileTask = Tuple[Tuple[Rect, ...], Rect, int, int, int]
 
 
-def _encode_tile(task: _TileTask) -> np.ndarray:
+def _encode_tile(task: _TileTask) -> Tuple[np.ndarray, Dict[str, Any]]:
     """Rasterise one tile and reduce its blocks to truncated DCT vectors.
 
     Module-level so it pickles for the worker pool; pure function of its
-    arguments so fork/spawn start methods behave identically.
+    arguments so fork/spawn start methods behave identically. Alongside
+    the coefficients it returns a private metrics-registry snapshot with
+    the tile's rasterisation and DCT wall-clock — workers cannot reach the
+    parent's registry, so stage timings travel back with the result and
+    the parent merges them (:meth:`MetricsRegistry.merge_snapshot`).
     """
     rects, window, resolution, block, k = task
+    registry = MetricsRegistry()
+    started = time.perf_counter()
     image = rasterize_rects(rects, window, resolution)
-    return encode_block_grid(image, block, k)
+    rastered = time.perf_counter()
+    coefficients = encode_block_grid(image, block, k)
+    registry.histogram("scan.raster.seconds").observe(rastered - started)
+    registry.histogram("scan.dct.seconds").observe(
+        time.perf_counter() - rastered
+    )
+    registry.counter("scan.tiles").inc()
+    return coefficients, registry.snapshot()
 
 
 class SlidingFeatureExtractor:
@@ -146,12 +161,22 @@ class SlidingFeatureExtractor:
                 tasks.append(
                     (rects, window, self.config.pixel_nm, self.block_px, k)
                 )
-        for (b_row, b_col), coeffs in zip(placements, self._run_tiles(tasks)):
-            t_rows, t_cols = coeffs.shape[:2]
-            grid[b_row : b_row + t_rows, b_col : b_col + t_cols] = coeffs
+        with span(
+            "scan.grid", tiles=len(tasks), workers=self.workers
+        ) as record:
+            registry = get_registry()
+            for (b_row, b_col), (coeffs, tile_metrics) in zip(
+                placements, self._run_tiles(tasks)
+            ):
+                t_rows, t_cols = coeffs.shape[:2]
+                grid[b_row : b_row + t_rows, b_col : b_col + t_cols] = coeffs
+                registry.merge_snapshot(tile_metrics)
+            record.attrs["grid_shape"] = (rows, cols, k)
         return grid
 
-    def _run_tiles(self, tasks: Sequence[_TileTask]) -> List[np.ndarray]:
+    def _run_tiles(
+        self, tasks: Sequence[_TileTask]
+    ) -> List[Tuple[np.ndarray, Dict[str, Any]]]:
         """Encode tiles, across a worker pool when asked (and possible)."""
         if self.workers > 1 and len(tasks) > 1:
             try:
@@ -199,6 +224,9 @@ class SlidingFeatureExtractor:
             raise FeatureError(f"batch_size must be >= 1, got {batch_size}")
         region = layout.region
         aligned = [self.is_aligned(w, region) for w in windows]
+        fallback_count = len(aligned) - sum(aligned)
+        if fallback_count:
+            get_registry().counter("scan.windows_fallback").inc(fallback_count)
         grid: Optional[np.ndarray] = (
             self.coefficient_grid(layout) if any(aligned) else None
         )

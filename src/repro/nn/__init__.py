@@ -32,7 +32,12 @@ from repro.nn.norm import BatchNorm2D
 from repro.nn.optim import SGD, Adam, ConstantRate, StepDecay
 from repro.nn.pool import MaxPool2D
 from repro.nn.serialize import load_network_params, save_network_params
-from repro.nn.trainer import Trainer, TrainerConfig, TrainingHistory
+from repro.nn.trainer import (
+    Trainer,
+    TrainerConfig,
+    TrainingHistory,
+    ValidationUpdate,
+)
 
 __all__ = [
     "Layer",
@@ -55,6 +60,7 @@ __all__ = [
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",
+    "ValidationUpdate",
     "he_normal",
     "glorot_uniform",
     "zeros_init",

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +32,33 @@ class Sequential:
         for layer in self.layers:
             shape = layer.output_shape(shape)
             self._shapes.append(shape)
+        # Opt-in per-layer profiling (see enable_profiling). None keeps the
+        # forward/backward hot loops on their uninstrumented fast path.
+        self._profile_registry = None
+
+    # ------------------------------------------------------------------
+    def enable_profiling(self, registry=None) -> None:
+        """Record per-layer forward/backward wall-clock into a registry.
+
+        ``registry`` defaults to the process-wide
+        :func:`repro.obs.get_registry`. Timings land in histograms named
+        ``nn.forward.<index>_<layer>.seconds`` (and ``nn.backward....``),
+        one observation per layer per pass. Profiling is strictly opt-in:
+        until this is called, forward/backward take the plain loop.
+        """
+        if registry is None:
+            from repro.obs.metrics import get_registry
+
+            registry = get_registry()
+        self._profile_registry = registry
+
+    def disable_profiling(self) -> None:
+        """Return forward/backward to the uninstrumented fast path."""
+        self._profile_registry = None
+
+    def _layer_metric(self, direction: str, index: int) -> str:
+        layer = self.layers[index]
+        return f"nn.{direction}.{index:02d}_{layer.name}.seconds"
 
     # ------------------------------------------------------------------
     @property
@@ -65,14 +93,32 @@ class Sequential:
                 f"network input {self.input_shape}"
             )
         out = x
-        for layer in self.layers:
+        if self._profile_registry is None:
+            for layer in self.layers:
+                out = layer.forward(out, training=training)
+            return out
+        registry = self._profile_registry
+        for index, layer in enumerate(self.layers):
+            started = time.perf_counter()
             out = layer.forward(out, training=training)
+            registry.histogram(self._layer_metric("forward", index)).observe(
+                time.perf_counter() - started
+            )
         return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         out = grad
-        for layer in reversed(self.layers):
-            out = layer.backward(out)
+        if self._profile_registry is None:
+            for layer in reversed(self.layers):
+                out = layer.backward(out)
+            return out
+        registry = self._profile_registry
+        for index in range(len(self.layers) - 1, -1, -1):
+            started = time.perf_counter()
+            out = self.layers[index].backward(out)
+            registry.histogram(self._layer_metric("backward", index)).observe(
+                time.perf_counter() - started
+            )
         return out
 
     def free_caches(self) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,6 +23,7 @@ from repro.exceptions import TrainingError
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
+from repro.obs import emit
 
 
 @dataclass(frozen=True)
@@ -68,17 +69,40 @@ class TrainerConfig:
             raise TrainingError("min_iterations must be >= 0")
 
 
+@dataclass(frozen=True)
+class ValidationUpdate:
+    """One validation checkpoint, as passed to ``fit`` callbacks."""
+
+    iteration: int
+    elapsed_seconds: float
+    accuracy: float
+    loss: float
+    learning_rate: float
+    best_accuracy: float
+    improved: bool
+
+
+#: Callback signature for :meth:`Trainer.fit`.
+ValidationCallback = Callable[[ValidationUpdate], None]
+
+
 @dataclass
 class TrainingHistory:
-    """Validation trace of one training run (drives Figure 3)."""
+    """Validation trace of one training run (drives Figure 3).
+
+    ``best_val_accuracy`` is the *true* best validation accuracy observed;
+    when ``validated`` is ``False`` no validation ever ran and the field
+    keeps its ``-1.0`` sentinel rather than masquerading as a 0 % score.
+    """
 
     iterations: List[int] = field(default_factory=list)
     elapsed_seconds: List[float] = field(default_factory=list)
     val_accuracy: List[float] = field(default_factory=list)
     train_loss: List[float] = field(default_factory=list)
     learning_rate: List[float] = field(default_factory=list)
-    best_val_accuracy: float = 0.0
+    best_val_accuracy: float = -1.0
     stopped_iteration: int = 0
+    validated: bool = False
 
     def record(
         self,
@@ -116,6 +140,7 @@ class Trainer:
         targets_train: np.ndarray,
         x_val: np.ndarray,
         y_val: np.ndarray,
+        callbacks: Optional[Sequence[ValidationCallback]] = None,
     ) -> TrainingHistory:
         """Train until the validation accuracy converges.
 
@@ -127,6 +152,12 @@ class Trainer:
             Soft target rows (each summing to 1), aligned with ``x_train``.
         x_val / y_val:
             Validation inputs and *hard* integer labels.
+        callbacks:
+            Called in the given order after every validation checkpoint
+            with a :class:`ValidationUpdate`. Exceptions propagate and
+            abort training — callbacks are trusted observer code. Each
+            checkpoint also emits a ``train.validate`` event on the
+            default bus (debug level).
         """
         self._check_inputs(x_train, targets_train, x_val, y_val)
         cfg = self.config
@@ -153,19 +184,37 @@ class Trainer:
 
             if iteration % cfg.validate_every == 0 or iteration == cfg.max_iterations:
                 accuracy = self.evaluate(x_val, y_val)
-                history.record(
-                    iteration,
-                    time.perf_counter() - start,
-                    accuracy,
-                    loss_value,
-                    self.optimizer.current_rate,
-                )
-                if accuracy > best_accuracy:
+                elapsed = time.perf_counter() - start
+                rate = self.optimizer.current_rate
+                history.record(iteration, elapsed, accuracy, loss_value, rate)
+                improved = accuracy > best_accuracy
+                if improved:
                     best_accuracy = accuracy
                     best_weights = self.network.get_weights()
                     stale_validations = 0
                 else:
                     stale_validations += 1
+                update = ValidationUpdate(
+                    iteration=iteration,
+                    elapsed_seconds=elapsed,
+                    accuracy=accuracy,
+                    loss=loss_value,
+                    learning_rate=rate,
+                    best_accuracy=best_accuracy,
+                    improved=improved,
+                )
+                emit(
+                    "train.validate",
+                    level="debug",
+                    iteration=iteration,
+                    accuracy=accuracy,
+                    loss=loss_value,
+                    learning_rate=rate,
+                    elapsed_seconds=elapsed,
+                    improved=improved,
+                )
+                for callback in callbacks or ():
+                    callback(update)
                 if (
                     stale_validations >= cfg.patience
                     and iteration >= cfg.min_iterations
@@ -174,8 +223,16 @@ class Trainer:
 
         if cfg.restore_best and best_weights is not None:
             self.network.set_weights(best_weights)
-        history.best_val_accuracy = max(best_accuracy, 0.0)
+        history.best_val_accuracy = best_accuracy
+        history.validated = bool(history.val_accuracy)
         history.stopped_iteration = iteration
+        emit(
+            "train.complete",
+            level="debug",
+            stopped_iteration=iteration,
+            best_val_accuracy=best_accuracy,
+            validations=len(history.val_accuracy),
+        )
         return history
 
     # ------------------------------------------------------------------

@@ -1,0 +1,61 @@
+"""Unified observability layer: events, metrics, tracing, reports.
+
+The three long-running phases of the paper's workflow — MGD training with
+validation-based stopping (Algorithm 1), biased fine-tuning rounds
+(Algorithm 2) and full-chip sliding scans — emit structured telemetry
+through this package instead of ad-hoc prints:
+
+- :mod:`repro.obs.events` — a process-local event bus. Library code calls
+  ``emit(name, **attrs)``; attached sinks decide what to do with it.
+- :mod:`repro.obs.sinks` — the sink implementations: human-readable
+  console, machine-readable JSONL (``--log-json`` / ``REPRO_LOG_JSON``),
+  in-memory capture for tests.
+- :mod:`repro.obs.metrics` — a zero-dependency metrics registry
+  (counters, gauges, histograms with p50/p95/max) whose snapshots merge
+  across process boundaries (scan worker pools report back this way).
+- :mod:`repro.obs.tracing` — ``span(name, **attrs)`` context manager
+  building nested wall-clock/RSS timing trees and feeding the registry.
+- :mod:`repro.obs.report` — loads a JSONL run log and reconstructs the
+  per-stage timing/metrics summary (``repro-hotspot obs report``).
+
+Everything is stdlib-only and costs one attribute check when no sink is
+attached, so library hot paths stay uninstrumented-fast by default.
+"""
+
+from repro.obs.events import Event, EventBus, emit, get_bus, set_bus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.sinks import ConsoleSink, JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.tracing import SpanRecord, current_span, span
+from repro.obs.report import format_report, load_run_log, summarize_spans
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "emit",
+    "get_bus",
+    "set_bus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Sink",
+    "ConsoleSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "SpanRecord",
+    "span",
+    "current_span",
+    "format_report",
+    "load_run_log",
+    "summarize_spans",
+]

@@ -1,0 +1,135 @@
+"""Structured event bus.
+
+An :class:`Event` is a named bag of attributes with a wall-clock timestamp
+and a severity level. Producers call :meth:`EventBus.emit` (or the
+module-level :func:`emit`, which targets the process-default bus); every
+attached sink receives the event synchronously, in attachment order.
+
+The bus is deliberately tiny: no buffering, no threads, no filtering —
+sinks filter. When no sink is attached, ``emit`` returns before even
+constructing the :class:`Event`, so instrumented library code costs one
+truthiness check in the common (unobserved) case.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+import time
+
+from repro.exceptions import ObservabilityError
+
+#: Severity levels, in ascending order of importance.
+LEVELS = ("debug", "info", "warning")
+
+
+def level_rank(level: str) -> int:
+    """Numeric rank of a severity level (raises on unknown levels)."""
+    try:
+        return LEVELS.index(level)
+    except ValueError:
+        raise ObservabilityError(
+            f"unknown event level {level!r}; expected one of {LEVELS}"
+        )
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence.
+
+    Attributes
+    ----------
+    name:
+        Dotted event name (``train.validate``, ``scan.complete``, ...).
+    time_s:
+        Wall-clock timestamp, seconds since the epoch.
+    level:
+        One of :data:`LEVELS`.
+    attrs:
+        Arbitrary key/value payload. JSONL sinks coerce values to
+        JSON-safe forms; keep payloads scalar-ish.
+    """
+
+    name: str
+    time_s: float
+    level: str = "info"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventBus:
+    """Synchronous fan-out of events to attached sinks."""
+
+    def __init__(self) -> None:
+        self._sinks: List[Any] = []
+
+    @property
+    def sinks(self) -> List[Any]:
+        return list(self._sinks)
+
+    def attach(self, sink) -> Any:
+        """Attach ``sink`` (must expose ``handle(event)``); returns it."""
+        if not hasattr(sink, "handle"):
+            raise ObservabilityError(
+                f"sink {type(sink).__name__} has no handle(event) method"
+            )
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink) -> None:
+        """Detach a previously attached sink (no-op if absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    @contextmanager
+    def attached(self, sink) -> Iterator[Any]:
+        """Attach ``sink`` for the duration of a ``with`` block."""
+        self.attach(sink)
+        try:
+            yield sink
+        finally:
+            self.detach(sink)
+
+    def emit(
+        self, name: str, level: str = "info", **attrs: Any
+    ) -> Optional[Event]:
+        """Deliver an event to every sink; returns it (None if unobserved)."""
+        if not self._sinks:
+            return None
+        level_rank(level)  # validate eagerly, even for sink-less levels
+        event = Event(name=name, time_s=time.time(), level=level, attrs=attrs)
+        for sink in self._sinks:
+            sink.handle(event)
+        return event
+
+    def close(self) -> None:
+        """Close (and detach) every sink."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+        self._sinks.clear()
+
+
+#: Process-default bus used by the library's instrumentation points.
+_default_bus = EventBus()
+
+
+def get_bus() -> EventBus:
+    """The process-default event bus."""
+    return _default_bus
+
+
+def set_bus(bus: EventBus) -> EventBus:
+    """Replace the process-default bus; returns the previous one."""
+    global _default_bus
+    previous = _default_bus
+    _default_bus = bus
+    return previous
+
+
+def emit(name: str, level: str = "info", **attrs: Any) -> Optional[Event]:
+    """Emit on the process-default bus (the library-code entry point)."""
+    return _default_bus.emit(name, level=level, **attrs)

@@ -1,0 +1,227 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Zero-dependency implementations intended for hot paths:
+
+- :class:`Counter` — monotonically increasing integer.
+- :class:`Gauge` — last-written float (throughput, sizes).
+- :class:`Histogram` — streaming distribution with exact count/sum/min/max
+  and approximate percentiles over a bounded, stride-decimated sample
+  buffer (deterministic — no RNG — so runs stay reproducible).
+
+A :class:`MetricsRegistry` name-spaces instruments and serialises to a
+plain-dict :meth:`~MetricsRegistry.snapshot`, which another registry can
+:meth:`~MetricsRegistry.merge_snapshot`. That is how the full-chip scan's
+worker subprocesses report back: each worker fills a private registry,
+returns its snapshot over the pool, and the parent merges.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, List, Mapping
+
+from repro.exceptions import ObservabilityError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.updated = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updated = True
+
+
+class Histogram:
+    """Streaming value distribution with bounded memory.
+
+    ``count``/``total``/``min``/``max`` are exact over every observation.
+    Percentiles come from a sample buffer capped at ``max_samples``: when
+    full, the buffer is thinned to every second sample and the sampling
+    stride doubles, so long runs keep an evenly spread subset without
+    randomness.
+    """
+
+    def __init__(self, max_samples: int = 4096):
+        if max_samples < 2:
+            raise ObservabilityError(
+                f"max_samples must be >= 2, got {max_samples}"
+            )
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._stride = 1
+        self._pending = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(value)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (q in [0, 100]); 0.0 if empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        # Nearest-rank on the retained sample set.
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Exact aggregates + approximate percentiles, JSON-ready."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": 0.0 if empty else self.min,
+            "max": 0.0 if empty else self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Mergeable serialisation (summary + retained samples)."""
+        state = self.summary()
+        state["samples"] = list(self._samples)
+        return state
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Exact fields combine exactly; the sample buffers concatenate and
+        re-decimate, so merged percentiles stay approximations.
+        """
+        count = int(state["count"])
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(state["total"])
+        self.min = min(self.min, float(state["min"]))
+        self.max = max(self.max, float(state["max"]))
+        self._samples.extend(float(v) for v in state.get("samples", ()))
+        while len(self._samples) >= self.max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(max_samples))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict serialisation of every instrument.
+
+        The returned structure is JSON-safe and accepted verbatim by
+        :meth:`merge_snapshot` in another process.
+        """
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {
+                    k: g.value for k, g in self._gauges.items() if g.updated
+                },
+                "histograms": {
+                    k: h.state() for k, h in self._histograms.items()
+                },
+            }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this.
+
+        Counters add, gauges last-write-win, histograms merge their state.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, state in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_state(state)
+
+    def reset(self) -> None:
+        """Drop every instrument (tests, fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: Process-default registry used by the library's instrumentation points.
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-default metrics registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-default registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

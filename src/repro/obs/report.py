@@ -1,0 +1,233 @@
+"""Run-log reports: reconstruct stage timings from a JSONL event log.
+
+``repro-hotspot obs report RUN.jsonl`` loads the records a
+:class:`~repro.obs.sinks.JsonlSink` wrote, validates them against the
+event schema, and prints:
+
+- an event census (counts per event name, wall-clock extent);
+- a per-stage timing table aggregated over ``span`` events, keyed by the
+  span *path* so nesting is visible (``scan/scan.grid``);
+- the counters/gauges/histograms of the run's last ``metrics.snapshot``
+  event — which is where windows-per-second and the worker-aggregated
+  raster/DCT timings live for a full-chip scan.
+
+Malformed logs raise :class:`~repro.exceptions.ObservabilityError` with
+the offending line number rather than silently skipping records.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ObservabilityError
+from repro.obs.events import Event, LEVELS
+
+PathLike = Union[str, Path]
+
+#: Keys every JSONL record must carry (the JsonlSink write schema).
+RECORD_KEYS = ("name", "time_s", "level", "attrs")
+
+
+def validate_record(record: Any, context: str = "record") -> Dict[str, Any]:
+    """Check one decoded JSONL record against the event schema."""
+    if not isinstance(record, dict):
+        raise ObservabilityError(f"{context}: expected an object, got "
+                                 f"{type(record).__name__}")
+    for key in RECORD_KEYS:
+        if key not in record:
+            raise ObservabilityError(f"{context}: missing key {key!r}")
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise ObservabilityError(f"{context}: 'name' must be a non-empty string")
+    if not isinstance(record["time_s"], (int, float)):
+        raise ObservabilityError(f"{context}: 'time_s' must be a number")
+    if record["level"] not in LEVELS:
+        raise ObservabilityError(
+            f"{context}: 'level' must be one of {LEVELS}, "
+            f"got {record['level']!r}"
+        )
+    if not isinstance(record["attrs"], dict):
+        raise ObservabilityError(f"{context}: 'attrs' must be an object")
+    return record
+
+
+def load_run_log(path: PathLike) -> List[Event]:
+    """Parse and validate a JSONL run log into :class:`Event` objects."""
+    path = Path(path)
+    events: List[Event] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: invalid JSON ({error})"
+                )
+            record = validate_record(record, context=f"{path}:{lineno}")
+            events.append(
+                Event(
+                    name=record["name"],
+                    time_s=float(record["time_s"]),
+                    level=record["level"],
+                    attrs=record["attrs"],
+                )
+            )
+    return events
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def summarize_spans(events: Sequence[Event]) -> Dict[str, Dict[str, float]]:
+    """Aggregate ``span`` events by path: count/total/mean/max seconds."""
+    stages: Dict[str, Dict[str, float]] = {}
+    for event in events:
+        if event.name != "span":
+            continue
+        path = str(event.attrs.get("path", event.attrs.get("span", "?")))
+        seconds = float(event.attrs.get("seconds", 0.0))
+        stage = stages.setdefault(
+            path,
+            {"count": 0, "total_s": 0.0, "max_s": 0.0, "errors": 0},
+        )
+        stage["count"] += 1
+        stage["total_s"] += seconds
+        stage["max_s"] = max(stage["max_s"], seconds)
+        if event.attrs.get("status") not in (None, "ok"):
+            stage["errors"] += 1
+    for stage in stages.values():
+        stage["mean_s"] = stage["total_s"] / stage["count"]
+    return stages
+
+
+def last_metrics_snapshot(
+    events: Sequence[Event],
+) -> Optional[Mapping[str, Any]]:
+    """The attrs of the final ``metrics.snapshot`` event, if any."""
+    for event in reversed(events):
+        if event.name == "metrics.snapshot":
+            return event.attrs
+    return None
+
+
+# ----------------------------------------------------------------------
+# Formatting
+# ----------------------------------------------------------------------
+def _rows_to_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        if rows
+        else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_report(events: Sequence[Event], title: str = "run log") -> str:
+    """Render the full human-readable report for ``events``."""
+    lines: List[str] = []
+    if not events:
+        return f"{title}: empty run log"
+    wall = events[-1].time_s - events[0].time_s
+    lines.append(
+        f"{title}: {len(events)} events over {wall:.2f}s wall-clock"
+    )
+
+    census: Dict[str, int] = {}
+    for event in events:
+        census[event.name] = census.get(event.name, 0) + 1
+    lines.append("")
+    lines.append("Events:")
+    lines.append(
+        _rows_to_table(
+            ("name", "count"),
+            [(name, census[name]) for name in sorted(census)],
+        )
+    )
+
+    stages = summarize_spans(events)
+    if stages:
+        lines.append("")
+        lines.append("Stage timings (spans):")
+        rows = [
+            (
+                path,
+                stage["count"],
+                f"{stage['total_s']:.3f}",
+                f"{stage['mean_s']:.4f}",
+                f"{stage['max_s']:.4f}",
+                stage["errors"],
+            )
+            for path, stage in sorted(
+                stages.items(), key=lambda item: -item[1]["total_s"]
+            )
+        ]
+        lines.append(
+            _rows_to_table(
+                ("stage", "count", "total_s", "mean_s", "max_s", "errors"),
+                rows,
+            )
+        )
+
+    snapshot = last_metrics_snapshot(events)
+    if snapshot:
+        counters = snapshot.get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append("Counters:")
+            lines.append(
+                _rows_to_table(
+                    ("name", "value"),
+                    [(k, counters[k]) for k in sorted(counters)],
+                )
+            )
+        gauges = snapshot.get("gauges", {})
+        if gauges:
+            lines.append("")
+            lines.append("Gauges:")
+            lines.append(
+                _rows_to_table(
+                    ("name", "value"),
+                    [(k, f"{float(gauges[k]):.4g}") for k in sorted(gauges)],
+                )
+            )
+        histograms = snapshot.get("histograms", {})
+        if histograms:
+            lines.append("")
+            lines.append("Histograms:")
+            rows = []
+            for name in sorted(histograms):
+                h = histograms[name]
+                rows.append(
+                    (
+                        name,
+                        int(h.get("count", 0)),
+                        f"{float(h.get('total', 0.0)):.3f}",
+                        f"{float(h.get('p50', 0.0)):.4f}",
+                        f"{float(h.get('p95', 0.0)):.4f}",
+                        f"{float(h.get('max', 0.0)):.4f}",
+                    )
+                )
+            lines.append(
+                _rows_to_table(
+                    ("name", "count", "total", "p50", "p95", "max"), rows
+                )
+            )
+    return "\n".join(lines)
+
+
+def report_from_file(path: PathLike) -> str:
+    """Load ``path`` and render its report (the CLI entry point)."""
+    return format_report(load_run_log(path), title=str(path))

@@ -1,0 +1,164 @@
+"""Event sinks: console, JSONL, memory, null.
+
+Sinks receive every event a bus emits and decide what to keep. The
+console sink renders human-oriented lines filtered by verbosity; the
+JSONL sink writes one machine-readable JSON object per event (the format
+:mod:`repro.obs.report` consumes); the memory sink captures events for
+tests; the null sink drops everything (useful to force the bus onto its
+"observed" path in benchmarks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.exceptions import ObservabilityError
+from repro.obs.events import Event, level_rank
+
+PathLike = Union[str, Path]
+
+#: Environment variable holding a default JSONL run-log path.
+LOG_JSON_ENV = "REPRO_LOG_JSON"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion — never raises, falls back to ``str``."""
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(v) for v in value]
+    # numpy arrays and scalars both expose tolist(); other array-likes may
+    # only have item(). Fall through to str() when neither works.
+    for method in ("tolist", "item"):
+        converter = getattr(value, method, None)
+        if converter is not None:
+            try:
+                return _jsonable(converter())
+            except Exception:
+                continue
+    return str(value)
+
+
+class Sink:
+    """Sink interface; subclasses override :meth:`handle`."""
+
+    def handle(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; the bus calls this from ``close()``."""
+
+
+class NullSink(Sink):
+    """Discards every event."""
+
+    def handle(self, event: Event) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Keeps every event in a list (test helper)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(event)
+
+    def names(self) -> List[str]:
+        return [event.name for event in self.events]
+
+
+class ConsoleSink(Sink):
+    """Human-readable line-per-event rendering.
+
+    Parameters
+    ----------
+    stream:
+        Output stream; ``None`` (default) resolves ``sys.stdout`` at each
+        event so pytest's capture and stream redirection keep working.
+    verbosity:
+        0 shows warnings only (``--quiet``), 1 adds info (default), 2
+        adds debug — spans, per-validation traces (``--verbose``).
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, verbosity: int = 1):
+        if verbosity not in (0, 1, 2):
+            raise ObservabilityError(
+                f"verbosity must be 0, 1 or 2, got {verbosity}"
+            )
+        self._stream = stream
+        self.verbosity = verbosity
+
+    @property
+    def min_rank(self) -> int:
+        return {0: level_rank("warning"), 1: level_rank("info"), 2: 0}[
+            self.verbosity
+        ]
+
+    def handle(self, event: Event) -> None:
+        if level_rank(event.level) < self.min_rank:
+            return
+        stream = self._stream if self._stream is not None else sys.stdout
+        stream.write(self.format(event) + "\n")
+
+    @staticmethod
+    def format(event: Event) -> str:
+        """``cli.message`` events print their text verbatim; the rest as
+        ``[name] key=value ...`` lines."""
+        if event.name == "cli.message" and "text" in event.attrs:
+            return str(event.attrs["text"])
+        parts = [f"[{event.name}]"]
+        for key, value in event.attrs.items():
+            if isinstance(value, float):
+                parts.append(f"{key}={value:.4g}")
+            elif isinstance(value, (dict, list, tuple)):
+                parts.append(f"{key}={json.dumps(_jsonable(value))}")
+            else:
+                parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+
+class JsonlSink(Sink):
+    """Machine-readable run log: one JSON object per line, all levels.
+
+    Each record is ``{"name", "time_s", "level", "attrs"}``. Lines are
+    flushed as written so a crashed run still leaves a parsable prefix.
+    """
+
+    def __init__(self, target: Union[PathLike, TextIO]):
+        if hasattr(target, "write"):
+            self._handle: TextIO = target  # caller-owned stream
+            self._owns_handle = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(target)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._owns_handle = True
+
+    def handle(self, event: Event) -> None:
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "time_s": event.time_s,
+            "level": event.level,
+            "attrs": _jsonable(event.attrs),
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owns_handle and not self._handle.closed:
+            self._handle.close()
+
+
+def sink_from_env() -> Optional[JsonlSink]:
+    """A :class:`JsonlSink` at ``$REPRO_LOG_JSON``, if the variable is set."""
+    path = os.environ.get(LOG_JSON_ENV, "").strip()
+    return JsonlSink(path) if path else None

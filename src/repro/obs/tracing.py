@@ -1,0 +1,134 @@
+"""Nested wall-clock/RSS span tracing.
+
+``with span("scan.grid", tiles=12):`` times a stage, tracks its resident-
+set-size delta, nests under whatever span is already open on this thread,
+and on exit (a) records the duration into the default metrics registry's
+``span.<name>.seconds`` histogram and (b) emits a ``span`` event on the
+default bus carrying the full path (``scan/scan.grid``), duration, depth
+and status. Exceptions propagate unchanged but still produce the closing
+event with ``status="error"`` — a crashed scan's log shows where it died.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+
+
+def rss_kb() -> int:
+    """Current resident set size in kB (0 where unavailable)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kB, macOS bytes.
+        return int(usage // 1024) if usage > 1 << 32 else int(usage)
+    except Exception:
+        return 0
+
+
+@dataclass
+class SpanRecord:
+    """One timed stage; ``children`` holds directly nested spans."""
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    path: str = ""
+    depth: int = 0
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    rss_delta_kb: int = 0
+    status: str = "ok"
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def tree(self, indent: int = 0) -> str:
+        """Indented multi-line rendering of this span and its children."""
+        line = f"{'  ' * indent}{self.name}: {self.duration_s:.3f}s"
+        if self.status != "ok":
+            line += f" [{self.status}]"
+        return "\n".join(
+            [line] + [child.tree(indent + 1) for child in self.children]
+        )
+
+
+_state = threading.local()
+
+
+def _stack() -> List[SpanRecord]:
+    stack = getattr(_state, "stack", None)
+    if stack is None:
+        stack = _state.stack = []
+    return stack
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(
+    name: str,
+    bus: Optional[_events.EventBus] = None,
+    registry: Optional[_metrics.MetricsRegistry] = None,
+    **attrs: Any,
+) -> Iterator[SpanRecord]:
+    """Time a stage; yields the mutable :class:`SpanRecord`.
+
+    ``bus``/``registry`` default to the process-wide instances. Extra
+    keyword attributes ride on both the record and the closing event, and
+    the yielded record's ``attrs`` can be extended inside the block.
+    """
+    stack = _stack()
+    parent = stack[-1] if stack else None
+    record = SpanRecord(
+        name=name,
+        attrs=dict(attrs),
+        path=f"{parent.path}/{name}" if parent else name,
+        depth=len(stack),
+        start_s=time.time(),
+    )
+    if parent is not None:
+        parent.children.append(record)
+    stack.append(record)
+    rss_before = rss_kb()
+    started = time.perf_counter()
+    try:
+        yield record
+    except BaseException:
+        record.status = "error"
+        raise
+    finally:
+        record.duration_s = time.perf_counter() - started
+        record.rss_delta_kb = rss_kb() - rss_before
+        stack.pop()
+        target_registry = registry if registry is not None else _metrics.get_registry()
+        target_registry.histogram(f"span.{name}.seconds").observe(
+            record.duration_s
+        )
+        target_bus = bus if bus is not None else _events.get_bus()
+        target_bus.emit(
+            "span",
+            level="debug",
+            span=record.name,
+            path=record.path,
+            depth=record.depth,
+            seconds=record.duration_s,
+            rss_delta_kb=record.rss_delta_kb,
+            status=record.status,
+            **record.attrs,
+        )

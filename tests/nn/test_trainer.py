@@ -137,6 +137,91 @@ class TestFit:
         assert history.best_val_accuracy > 0.8
 
 
+class TestCallbacks:
+    def test_invoked_in_order_per_validation(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        trainer = make_trainer(net)
+        calls = []
+        history = trainer.fit(
+            xt,
+            one_hot(yt),
+            xv,
+            yv,
+            callbacks=[
+                lambda u: calls.append(("first", u.iteration)),
+                lambda u: calls.append(("second", u.iteration)),
+            ],
+        )
+        # Both callbacks fire once per validation checkpoint, in order.
+        assert len(calls) == 2 * len(history.val_accuracy)
+        for pair_start in range(0, len(calls), 2):
+            first, second = calls[pair_start], calls[pair_start + 1]
+            assert first[0] == "first" and second[0] == "second"
+            assert first[1] == second[1]
+
+    def test_update_payload_matches_history(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        trainer = make_trainer(net)
+        updates = []
+        history = trainer.fit(
+            xt, one_hot(yt), xv, yv, callbacks=[updates.append]
+        )
+        assert [u.iteration for u in updates] == history.iterations
+        assert [u.accuracy for u in updates] == history.val_accuracy
+        assert updates[0].improved  # first validation always improves on -1
+        assert max(u.best_accuracy for u in updates) == (
+            history.best_val_accuracy
+        )
+
+    def test_callback_exception_aborts_training(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+
+        def explode(update):
+            raise RuntimeError("observer crashed")
+
+        with pytest.raises(RuntimeError):
+            make_trainer(net).fit(
+                xt, one_hot(yt), xv, yv, callbacks=[explode]
+            )
+
+    def test_validate_events_emitted(self):
+        from repro.obs import EventBus, MemorySink, set_bus
+
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        previous = set_bus(bus)
+        try:
+            history = make_trainer(net).fit(xt, one_hot(yt), xv, yv)
+        finally:
+            set_bus(previous)
+        validates = [e for e in sink.events if e.name == "train.validate"]
+        assert len(validates) == len(history.val_accuracy)
+        assert [e.attrs["iteration"] for e in validates] == history.iterations
+        assert sink.events[-1].name == "train.complete"
+
+
+class TestValidatedFlag:
+    def test_true_best_value_kept(self):
+        xt, yt, xv, yv = make_problem()
+        net = make_net()
+        trainer = make_trainer(net)
+        history = trainer.fit(xt, one_hot(yt), xv, yv)
+        assert history.validated
+        assert history.best_val_accuracy == max(history.val_accuracy)
+
+    def test_fresh_history_is_unvalidated_sentinel(self):
+        from repro.nn import TrainingHistory
+
+        history = TrainingHistory()
+        assert not history.validated
+        assert history.best_val_accuracy == -1.0
+
+
 class TestValidation:
     def test_empty_training_raises(self):
         net = make_net()

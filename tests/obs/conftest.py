@@ -1,0 +1,38 @@
+"""Shared fixtures: swap in fresh process-default bus/registry per test.
+
+The library's instrumentation points write to process-wide singletons;
+tests replace them so runs stay hermetic and order-independent.
+"""
+
+import pytest
+
+from repro.obs import (
+    EventBus,
+    MemorySink,
+    MetricsRegistry,
+    set_bus,
+    set_registry,
+)
+
+
+@pytest.fixture
+def fresh_bus():
+    bus = EventBus()
+    previous = set_bus(bus)
+    yield bus
+    set_bus(previous)
+    bus.close()
+
+
+@pytest.fixture
+def fresh_registry():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+@pytest.fixture
+def captured_events(fresh_bus):
+    """A MemorySink attached to the fresh default bus."""
+    return fresh_bus.attach(MemorySink())

@@ -1,0 +1,121 @@
+"""Tests for the structured event bus."""
+
+import sys
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import ConsoleSink, EventBus, MemorySink, emit
+from repro.obs.events import Event, level_rank
+
+
+class TestEventBus:
+    def test_emit_without_sinks_returns_none(self):
+        assert EventBus().emit("x", value=1) is None
+
+    def test_emit_fans_out_in_attachment_order(self):
+        bus = EventBus()
+        first, second = MemorySink(), MemorySink()
+        bus.attach(first)
+        bus.attach(second)
+        event = bus.emit("train.validate", iteration=3)
+        assert isinstance(event, Event)
+        assert first.events == [event]
+        assert second.events == [event]
+        assert event.attrs == {"iteration": 3}
+        assert event.level == "info"
+
+    def test_detach_stops_delivery(self):
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        bus.detach(sink)
+        bus.emit("x")
+        assert sink.events == []
+        bus.detach(sink)  # double-detach is a no-op
+
+    def test_attached_context_manager(self):
+        bus = EventBus()
+        keeper = bus.attach(MemorySink())
+        with bus.attached(MemorySink()) as temporary:
+            bus.emit("inside")
+        bus.emit("outside")
+        assert temporary.names() == ["inside"]
+        assert keeper.names() == ["inside", "outside"]
+
+    def test_rejects_sink_without_handle(self):
+        with pytest.raises(ObservabilityError):
+            EventBus().attach(object())
+
+    def test_rejects_unknown_level(self):
+        bus = EventBus()
+        bus.attach(MemorySink())
+        with pytest.raises(ObservabilityError):
+            bus.emit("x", level="loud")
+
+    def test_close_closes_and_detaches(self):
+        bus = EventBus()
+        sink = bus.attach(MemorySink())
+        bus.close()
+        bus.emit("after")
+        assert sink.events == []
+
+    def test_default_bus_emit(self, captured_events):
+        emit("cli.message", text="hello")
+        assert captured_events.names() == ["cli.message"]
+
+
+class TestLevels:
+    def test_ranks_are_ordered(self):
+        assert level_rank("debug") < level_rank("info") < level_rank("warning")
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ObservabilityError):
+            level_rank("fatal")
+
+
+class TestConsoleSink:
+    def make_event(self, name="x", level="info", **attrs):
+        return Event(name=name, time_s=0.0, level=level, attrs=attrs)
+
+    def test_verbosity_filters(self, capsys):
+        sink = ConsoleSink(verbosity=1)
+        sink.handle(self.make_event(level="debug"))
+        assert capsys.readouterr().out == ""
+        sink.handle(self.make_event(level="info"))
+        assert capsys.readouterr().out != ""
+
+    def test_quiet_passes_warnings_only(self, capsys):
+        sink = ConsoleSink(verbosity=0)
+        sink.handle(self.make_event(level="info"))
+        sink.handle(self.make_event(name="bad", level="warning"))
+        out = capsys.readouterr().out
+        assert "bad" in out and out.count("\n") == 1
+
+    def test_cli_message_prints_text_verbatim(self, capsys):
+        ConsoleSink().handle(
+            self.make_event(name="cli.message", text="25 windows scanned")
+        )
+        assert capsys.readouterr().out == "25 windows scanned\n"
+
+    def test_structured_format(self):
+        line = ConsoleSink.format(
+            self.make_event(name="biased.round", epsilon=0.1, round=1)
+        )
+        assert line.startswith("[biased.round]")
+        assert "epsilon=0.1" in line and "round=1" in line
+
+    def test_explicit_stream(self):
+        class FakeStream:
+            def __init__(self):
+                self.lines = []
+
+            def write(self, text):
+                self.lines.append(text)
+
+        stream = FakeStream()
+        ConsoleSink(stream=stream).handle(self.make_event())
+        assert stream.lines
+
+    def test_rejects_bad_verbosity(self):
+        with pytest.raises(ObservabilityError):
+            ConsoleSink(verbosity=3)

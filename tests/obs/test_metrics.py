@@ -1,0 +1,149 @@
+"""Tests for counters, gauges, histograms and snapshot merging."""
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge()
+        assert not gauge.updated
+        gauge.set(3.0)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+        assert gauge.updated
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        histogram = Histogram()
+        for value in (4.0, 1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 10.0
+        assert histogram.mean == 2.5
+        assert histogram.min == 1.0
+        assert histogram.max == 4.0
+
+    def test_percentiles_small_sample(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.p50 == 50.0
+        assert histogram.p95 == 95.0
+        assert histogram.percentile(100.0) == 100.0
+        assert histogram.percentile(0.0) == 1.0
+
+    def test_empty_percentiles_are_zero(self):
+        histogram = Histogram()
+        assert histogram.p50 == 0.0
+        assert histogram.summary()["min"] == 0.0
+
+    def test_rejects_bad_percentile(self):
+        with pytest.raises(ObservabilityError):
+            Histogram().percentile(101.0)
+
+    def test_decimation_bounds_memory_keeps_exact_aggregates(self):
+        histogram = Histogram(max_samples=64)
+        n = 10_000
+        for value in range(n):
+            histogram.observe(float(value))
+        assert histogram.count == n
+        assert histogram.total == float(sum(range(n)))
+        assert histogram.max == float(n - 1)
+        assert len(histogram._samples) < 64
+        # Percentiles stay approximately right after decimation.
+        assert abs(histogram.p50 - n / 2) / n < 0.1
+
+    def test_merge_state_combines_exactly(self):
+        left, right = Histogram(), Histogram()
+        for value in (1.0, 2.0):
+            left.observe(value)
+        for value in (10.0, 20.0, 30.0):
+            right.observe(value)
+        left.merge_state(right.state())
+        assert left.count == 5
+        assert left.total == 63.0
+        assert left.min == 1.0
+        assert left.max == 30.0
+
+    def test_merge_empty_state_is_noop(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        histogram.merge_state(Histogram().state())
+        assert histogram.count == 1
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("scan.windows").inc(3)
+        registry.gauge("scan.windows_per_second").set(12.5)
+        registry.histogram("scan.raster.seconds").observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"scan.windows": 3}
+        assert snapshot["gauges"] == {"scan.windows_per_second": 12.5}
+        histogram = snapshot["histograms"]["scan.raster.seconds"]
+        assert histogram["count"] == 1
+        assert histogram["samples"] == [0.5]
+
+    def test_unset_gauges_left_out_of_snapshot(self):
+        registry = MetricsRegistry()
+        registry.gauge("idle")
+        assert registry.snapshot()["gauges"] == {}
+
+    def test_merge_snapshot_worker_to_parent(self):
+        worker = MetricsRegistry()
+        worker.counter("scan.tiles").inc(4)
+        worker.histogram("scan.dct.seconds").observe(0.2)
+        worker.gauge("scan.windows_per_second").set(9.0)
+
+        parent = MetricsRegistry()
+        parent.counter("scan.tiles").inc(1)
+        parent.histogram("scan.dct.seconds").observe(0.1)
+        parent.merge_snapshot(worker.snapshot())
+
+        assert parent.counter("scan.tiles").value == 5
+        merged = parent.histogram("scan.dct.seconds")
+        assert merged.count == 2
+        assert merged.total == pytest.approx(0.3)
+        assert parent.gauge("scan.windows_per_second").value == 9.0
+
+    def test_merge_into_empty_registry(self):
+        source = MetricsRegistry()
+        source.counter("x").inc(2)
+        source.histogram("y").observe(1.0)
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.snapshot()["counters"] == {"x": 2}
+        assert target.histogram("y").count == 1
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

@@ -1,0 +1,63 @@
+"""Tests for the opt-in per-layer Sequential profiling hook."""
+
+import numpy as np
+
+from repro.nn import Dense, ReLU, Sequential, SoftmaxCrossEntropy
+from repro.obs import MetricsRegistry
+
+
+def make_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)],
+        input_shape=(4,),
+    )
+
+
+class TestProfilingHook:
+    def test_disabled_by_default(self, fresh_registry):
+        net = make_net()
+        net.predict_proba(np.zeros((6, 4)))
+        assert fresh_registry.snapshot()["histograms"] == {}
+
+    def test_forward_records_one_histogram_per_layer(self, fresh_registry):
+        net = make_net()
+        net.enable_profiling()
+        net.predict_proba(np.zeros((6, 4)), batch_size=3)  # two batches
+        histograms = fresh_registry.snapshot()["histograms"]
+        forward = sorted(k for k in histograms if k.startswith("nn.forward."))
+        assert len(forward) == 3  # dense, relu, dense
+        assert forward[0].startswith("nn.forward.00_")
+        assert all(histograms[k]["count"] == 2 for k in forward)
+
+    def test_backward_records_per_layer(self, fresh_registry):
+        net = make_net()
+        net.enable_profiling()
+        loss = SoftmaxCrossEntropy()
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        targets = np.tile([1.0, 0.0], (5, 1))
+        loss.forward(net.forward(x, training=True), targets)
+        net.backward(loss.backward())
+        histograms = fresh_registry.snapshot()["histograms"]
+        backward = [k for k in histograms if k.startswith("nn.backward.")]
+        assert len(backward) == 3
+
+    def test_explicit_registry_and_disable(self, fresh_registry):
+        net = make_net()
+        private = MetricsRegistry()
+        net.enable_profiling(private)
+        net.predict_proba(np.zeros((2, 4)))
+        assert private.snapshot()["histograms"]
+        assert fresh_registry.snapshot()["histograms"] == {}
+        net.disable_profiling()
+        before = len(private.snapshot()["histograms"])
+        net.predict_proba(np.zeros((2, 4)))
+        assert len(private.snapshot()["histograms"]) == before
+
+    def test_profiled_output_matches_unprofiled(self, fresh_registry):
+        x = np.random.default_rng(1).normal(size=(8, 4))
+        plain, profiled = make_net(seed=2), make_net(seed=2)
+        profiled.enable_profiling()
+        np.testing.assert_array_equal(
+            plain.predict_proba(x), profiled.predict_proba(x)
+        )

@@ -1,0 +1,29 @@
+"""The checked-in sample run log must stay loadable and reportable.
+
+CI's smoke step runs ``repro-hotspot obs report`` against this same file;
+this test keeps the sample honest if the JSONL schema ever evolves. The
+log was recorded from a real ``repro-hotspot --log-json run.jsonl scan``
+of a 3x3-tile synthetic layout.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs import load_run_log, summarize_spans
+
+SAMPLE = Path(__file__).with_name("sample_run.jsonl")
+
+
+def test_sample_log_loads_and_has_scan_stages():
+    events = load_run_log(SAMPLE)
+    assert events
+    stages = summarize_spans(events)
+    for stage in ("scan", "scan/scan.grid", "scan/scan.merge"):
+        assert stage in stages
+
+
+def test_sample_log_reports_via_cli(capsys):
+    assert main(["obs", "report", str(SAMPLE)]) == 0
+    out = capsys.readouterr().out
+    assert "Stage timings" in out
+    assert "scan.windows_per_second" in out

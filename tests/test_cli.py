@@ -45,6 +45,43 @@ class TestGenerate:
         assert "wrote" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_quiet_suppresses_output(self, tmp_path, capsys):
+        out = tmp_path / "clips.txt"
+        assert main(["--quiet", "generate", str(out), "--hotspots", "2",
+                     "--non-hotspots", "3"]) == 0
+        assert capsys.readouterr().out == ""
+        assert out.exists()
+
+    def test_quiet_and_verbose_conflict(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--quiet", "--verbose", "stats", "x"])
+
+    def test_log_json_records_run(self, tmp_path, capsys):
+        from repro.obs import load_run_log
+
+        out = tmp_path / "clips.txt"
+        log = tmp_path / "run.jsonl"
+        assert main(["--log-json", str(log), "generate", str(out),
+                     "--hotspots", "2", "--non-hotspots", "3"]) == 0
+        events = load_run_log(log)
+        assert [e.name for e in events] == ["cli.message"]
+        assert "wrote" in events[0].attrs["text"]
+        # Console output still present alongside the JSONL log.
+        assert "wrote" in capsys.readouterr().out
+
+    def test_log_json_env_variable(self, tmp_path, capsys, monkeypatch):
+        from repro.obs import load_run_log
+        from repro.obs.sinks import LOG_JSON_ENV
+
+        out = tmp_path / "clips.txt"
+        log = tmp_path / "env_run.jsonl"
+        monkeypatch.setenv(LOG_JSON_ENV, str(log))
+        assert main(["generate", str(out), "--hotspots", "2",
+                     "--non-hotspots", "3"]) == 0
+        assert load_run_log(log)
+
+
 class TestExperimentTable1:
     def test_table1_prints(self, capsys):
         assert main(["experiment", "table1"]) == 0
