@@ -73,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--iterations", type=int, default=2500)
     train.add_argument("--bias-rounds", type=int, default=2)
     train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="snapshot training state into DIR (crash-safe, rolling)",
+    )
+    train.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="iterations between snapshots (default: validation cadence)",
+    )
+    train.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest snapshot in --checkpoint-dir",
+    )
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
     evaluate.add_argument("model", help="model file from 'train'")
@@ -100,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--threshold", type=float, default=0.5)
     scan.add_argument("--workers", type=int, default=1,
                       help="worker processes for the shared-raster stage")
+    scan.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="record completed batches to PATH (JSONL, fsync-ed)",
+    )
+    scan.add_argument(
+        "--resume", action="store_true",
+        help="skip windows already recorded in --journal",
+    )
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -177,10 +197,18 @@ def _cmd_train(args) -> int:
         seed=args.seed,
         max_iterations=args.iterations,
     )
+    if args.resume and not args.checkpoint_dir:
+        _say("--resume needs --checkpoint-dir")
+        return 2
     detector = HotspotDetector(config)
     start = time.perf_counter()
     # Round-by-round progress arrives live as [biased.round] event lines.
-    detector.fit(dataset)
+    detector.fit(
+        dataset,
+        checkpoints=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
     _say(f"trained in {time.perf_counter() - start:.1f}s")
     detector.save(args.model)
     _say(f"model saved to {args.model}")
@@ -244,10 +272,13 @@ def _cmd_scan(args) -> int:
     layout = make_layout(
         FullChipSpec(tiles_x=args.tiles, tiles_y=args.tiles, seed=args.seed)
     )
+    if args.resume and not args.journal:
+        _say("--resume needs --journal")
+        return 2
     scanner = FullChipScanner(
         detector, threshold=args.threshold, workers=args.workers
     )
-    result = scanner.scan(layout)
+    result = scanner.scan(layout, journal=args.journal, resume=args.resume)
     _say(result.summary())
     for region in result.regions:
         b = region.bbox

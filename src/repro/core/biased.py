@@ -15,16 +15,27 @@ stopping) can inspect the whole trajectory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.exceptions import TrainingError
+from repro.exceptions import ConfigError, TrainingError
 from repro.nn.loss import one_hot
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
-from repro.nn.trainer import Trainer, TrainerConfig, TrainingHistory
+from repro.nn.trainer import (
+    ResumeSource,
+    Trainer,
+    TrainerConfig,
+    TrainingHistory,
+    history_from_state,
+    history_to_state,
+    resolve_resume_state,
+)
 from repro.obs import emit, span
+
+if TYPE_CHECKING:
+    from repro.nn.serialize import CheckpointManager
 
 
 def biased_targets(labels: np.ndarray, epsilon: float) -> np.ndarray:
@@ -55,6 +66,50 @@ class BiasedRound:
     val_false_alarm_rate: float  # FA fraction of validation non-hotspots
 
 
+def _round_to_state(result: BiasedRound) -> Dict[str, Any]:
+    """Checkpointable state tree of one completed ε-round."""
+    return {
+        "epsilon": result.epsilon,
+        "history": history_to_state(result.history),
+        "weights": list(result.weights),
+        "val_accuracy": result.val_accuracy,
+        "val_hotspot_recall": result.val_hotspot_recall,
+        "val_false_alarm_rate": result.val_false_alarm_rate,
+    }
+
+
+def _round_from_state(state: Dict[str, Any]) -> BiasedRound:
+    return BiasedRound(
+        epsilon=float(state["epsilon"]),
+        history=history_from_state(state["history"]),
+        weights=[np.asarray(w) for w in state["weights"]],
+        val_accuracy=float(state["val_accuracy"]),
+        val_hotspot_recall=float(state["val_hotspot_recall"]),
+        val_false_alarm_rate=float(state["val_false_alarm_rate"]),
+    )
+
+
+def _round_wrapper(
+    round_index: int, epsilon: float, completed: List[Dict[str, Any]]
+) -> Callable[[Dict[str, Any]], Dict[str, Any]]:
+    """Wrap a trainer snapshot with its ε-round context.
+
+    ``completed`` is shared with the run loop by reference: at any save
+    inside round ``round_index`` it holds exactly the earlier rounds.
+    """
+
+    def wrap(trainer_state: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "kind": "biased",
+            "round_index": round_index,
+            "epsilon": epsilon,
+            "completed": completed,
+            "trainer": trainer_state,
+        }
+
+    return wrap
+
+
 class BiasedLearning:
     """Runs Algorithm 2 and records every round.
 
@@ -81,14 +136,9 @@ class BiasedLearning:
         finetune_config: Optional[TrainerConfig] = None,
     ):
         if rounds < 1:
-            raise TrainingError(f"rounds must be >= 1, got {rounds}")
+            raise ConfigError(f"rounds must be >= 1, got {rounds}")
         if epsilon_step < 0:
-            raise TrainingError(f"epsilon_step must be >= 0, got {epsilon_step}")
-        if epsilon_step * (rounds - 1) >= 0.5:
-            raise TrainingError(
-                f"final epsilon {epsilon_step * (rounds - 1)} reaches 0.5; "
-                "reduce epsilon_step or rounds"
-            )
+            raise ConfigError(f"epsilon_step must be >= 0, got {epsilon_step}")
         self.network = network
         self.optimizer_factory = optimizer_factory
         self.trainer_config = trainer_config
@@ -98,6 +148,35 @@ class BiasedLearning:
         self.finetune_config = finetune_config or trainer_config
         self.epsilon_step = epsilon_step
         self.rounds = rounds
+        self._validate_schedule()
+
+    def _validate_schedule(self) -> None:
+        """Algorithm 2 precondition: every ε this run will train at must
+        stay strictly below 0.5, or the relaxed non-hotspot target crosses
+        the decision boundary and label semantics flip."""
+        final_epsilon = self.epsilon_step * (self.rounds - 1)
+        if final_epsilon >= 0.5:
+            raise ConfigError(
+                f"biased-learning schedule reaches epsilon "
+                f"{final_epsilon:g} >= 0.5 after {self.rounds} rounds of "
+                f"delta-epsilon {self.epsilon_step:g}; past 0.5 the "
+                "non-hotspot target crosses the decision boundary "
+                "(Algorithm 2 precondition) — reduce epsilon_step or rounds"
+            )
+
+    # ------------------------------------------------------------------
+    def _round_budget(self, round_index: int) -> int:
+        config = self.trainer_config if round_index == 0 else self.finetune_config
+        return config.max_iterations
+
+    def _step_offset(self, round_index: int) -> int:
+        """Checkpoint-step base for ``round_index``.
+
+        Each round reserves its iteration budget plus two slots (final
+        trainer snapshot, round-boundary snapshot) so step numbers stay
+        strictly monotonic across rounds sharing one manager.
+        """
+        return sum(self._round_budget(r) + 2 for r in range(round_index))
 
     # ------------------------------------------------------------------
     def run(
@@ -106,19 +185,72 @@ class BiasedLearning:
         y_train: np.ndarray,
         x_val: np.ndarray,
         y_val: np.ndarray,
+        checkpoints: Optional["CheckpointManager"] = None,
+        checkpoint_every: Optional[int] = None,
+        resume_from: Optional[ResumeSource] = None,
     ) -> List[BiasedRound]:
-        """Execute Algorithm 2, returning every round's snapshot."""
+        """Execute Algorithm 2, returning every round's snapshot.
+
+        With a ``checkpoints`` manager every inner MGD run snapshots its
+        loop state (wrapped with the ε-round context) and each completed
+        round adds a round-boundary snapshot, so ``resume_from`` restarts
+        mid-epsilon-round or between rounds with results identical to an
+        uninterrupted run.
+        """
+        self._validate_schedule()
         results: List[BiasedRound] = []
+        completed_states: List[Dict[str, Any]] = []
+        start_round = 0
         epsilon = 0.0
-        for round_index in range(self.rounds):
+        trainer_resume: Optional[Dict[str, Any]] = None
+        state = resolve_resume_state(resume_from, "biased")
+        if state is not None:
+            completed_states = list(state["completed"])
+            results = [_round_from_state(s) for s in completed_states]
+            start_round = int(state["round_index"])
+            epsilon = float(state["epsilon"])
+            trainer_resume = state.get("trainer")
+            if trainer_resume is None and results:
+                # Round boundary: the next round fine-tunes from the last
+                # completed round's converged weights, with the network's
+                # auxiliary state (dropout RNGs, running stats) as it was
+                # when the boundary snapshot was taken.
+                self.network.set_weights(results[-1].weights)
+                self.network.load_extra_state(state["network_extra"])
+            emit(
+                "biased.resume",
+                round=start_round,
+                epsilon=epsilon,
+                completed_rounds=len(results),
+                mid_round=trainer_resume is not None,
+            )
+        step_offset = self._step_offset(start_round)
+        for round_index in range(start_round, self.rounds):
             targets = biased_targets(y_train, epsilon)
             optimizer = self.optimizer_factory(self.network)
             config = self.trainer_config if round_index == 0 else self.finetune_config
             trainer = Trainer(self.network, optimizer, config)
+            wrapper = None
+            if checkpoints is not None:
+                wrapper = _round_wrapper(
+                    round_index, epsilon, completed_states
+                )
             with span("biased.round", round=round_index, epsilon=epsilon):
-                history = trainer.fit(x_train, targets, x_val, y_val)
+                history = trainer.fit(
+                    x_train,
+                    targets,
+                    x_val,
+                    y_val,
+                    checkpoints=checkpoints,
+                    checkpoint_every=checkpoint_every,
+                    resume_from=trainer_resume,
+                    checkpoint_wrapper=wrapper,
+                    checkpoint_step_offset=step_offset,
+                )
                 result = self._snapshot(epsilon, history, x_val, y_val)
+            trainer_resume = None
             results.append(result)
+            completed_states.append(_round_to_state(result))
             emit(
                 "biased.round",
                 round=round_index,
@@ -129,6 +261,19 @@ class BiasedLearning:
                 stopped_iteration=history.stopped_iteration,
             )
             epsilon += self.epsilon_step
+            step_offset = self._step_offset(round_index + 1)
+            if checkpoints is not None:
+                checkpoints.save(
+                    {
+                        "kind": "biased",
+                        "round_index": round_index + 1,
+                        "epsilon": epsilon,
+                        "completed": completed_states,
+                        "trainer": None,
+                        "network_extra": self.network.extra_state(),
+                    },
+                    step_offset - 1,
+                )
         return results
 
     def _snapshot(

@@ -111,13 +111,39 @@ class HotspotDetector:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, train_data: HotspotDataset) -> "HotspotDetector":
+    def fit(
+        self,
+        train_data: HotspotDataset,
+        checkpoints: Optional[Union["CheckpointManager", PathLike]] = None,
+        checkpoint_every: Optional[int] = None,
+        resume: bool = False,
+    ) -> "HotspotDetector":
         """Train with Algorithms 1 + 2 on ``train_data``.
 
         A ``validation_fraction`` stratified slice is held out internally
         (never trained on) to drive convergence detection and biased-round
         selection, per Section 4.2.
+
+        ``checkpoints`` (a :class:`~repro.nn.serialize.CheckpointManager`
+        or a directory path) turns on crash-safe snapshots of the whole
+        Algorithm 1 + 2 state every ``checkpoint_every`` iterations;
+        ``resume=True`` restarts from the newest verifiable snapshot in
+        that manager — identical data and config required — and
+        reproduces the uninterrupted run's weights and history. Data
+        preparation (split, augmentation, upsampling, scaler fit) is
+        seed-deterministic, so re-running it on resume reconstructs the
+        same inputs the interrupted run trained on.
         """
+        from repro.nn.serialize import CheckpointManager
+
+        if checkpoints is not None and not isinstance(
+            checkpoints, CheckpointManager
+        ):
+            checkpoints = CheckpointManager(checkpoints)
+        if resume and checkpoints is None:
+            raise TrainingError(
+                "resume=True needs a checkpoints manager or directory"
+            )
         if train_data.hotspot_count == 0 or train_data.non_hotspot_count == 0:
             raise TrainingError(
                 f"training data needs both classes, got {train_data.summary()}"
@@ -148,7 +174,15 @@ class HotspotDetector:
             rounds=self.config.bias_rounds,
             finetune_config=self._finetune_trainer_config(),
         )
-        self.rounds = algorithm.run(x_train, y_train, x_val, y_val)
+        self.rounds = algorithm.run(
+            x_train,
+            y_train,
+            x_val,
+            y_val,
+            checkpoints=checkpoints,
+            checkpoint_every=checkpoint_every,
+            resume_from=checkpoints if resume else None,
+        )
         self.selected_round = select_round(
             self.rounds, self.config.max_false_alarm_increase
         )

@@ -17,19 +17,34 @@ the per-clip path instead.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.exceptions import FeatureError, TrainingError
+from repro.exceptions import FeatureError, ScanJournalError, TrainingError
 from repro.data.dataset import HotspotDataset
 from repro.features.sliding import SlidingFeatureExtractor
 from repro.features.tensor import FeatureTensorExtractor
 from repro.geometry.layout import Layout, iter_clip_windows
 from repro.geometry.rect import Rect
 from repro.obs import emit, get_registry, span
+from repro.testing.faults import maybe_fail
+
+PathLike = Union[str, Path]
 
 #: Feature-pipeline selection values accepted by :class:`FullChipScanner`.
 SCAN_PIPELINES = ("auto", "shared", "per_clip")
@@ -79,6 +94,101 @@ class ScanResult:
             f"{self.scan_seconds:.1f}s: {self.flagged_count} flagged, "
             f"{len(self.regions)} hotspot regions"
         )
+
+
+class ScanJournal:
+    """Append-only JSONL record of a scan's completed batches.
+
+    Line 1 is a header binding the journal to one scan configuration
+    (window geometry, threshold, pipeline, layout fingerprint); every
+    further line records one inference batch's window indices and
+    probabilities. Each write is flushed and fsync-ed, so after a crash
+    the journal holds every batch that finished. JSON floats round-trip
+    ``float64`` exactly (shortest-repr encoding), which is what makes a
+    resumed scan's probabilities bitwise-equal to a clean run's.
+
+    A torn trailing line (the crash interrupted the write itself) is
+    detected on load and truncated away before appending resumes; a
+    header that does not match the resuming scan raises
+    :class:`~repro.exceptions.ScanJournalError` instead of silently
+    mixing two different scans' results.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def start(self, header: Dict[str, Any]) -> None:
+        """Begin a fresh journal (truncates any previous file)."""
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._append({"kind": "scan-header", **header})
+
+    def resume(self, header: Dict[str, Any]) -> Dict[int, float]:
+        """Validate the header, drop any torn tail, return completed work.
+
+        Returns ``{window index: probability}`` for every journaled batch
+        and reopens the file for appending at the end of the valid prefix.
+        """
+        done: Dict[int, float] = {}
+        valid_bytes = 0
+        saw_header = False
+        with open(self.path, "rb") as handle:
+            for raw in handle:
+                if not raw.endswith(b"\n"):
+                    break  # torn final line: crash mid-write
+                try:
+                    entry = json.loads(raw.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    break  # garbled tail: keep the valid prefix only
+                if not saw_header:
+                    if (
+                        not isinstance(entry, dict)
+                        or entry.get("kind") != "scan-header"
+                    ):
+                        raise ScanJournalError(
+                            f"{self.path}: not a scan journal"
+                        )
+                    stored = {k: v for k, v in entry.items() if k != "kind"}
+                    if stored != header:
+                        raise ScanJournalError(
+                            f"{self.path}: journal header {stored} does not "
+                            f"match this scan {header}"
+                        )
+                    saw_header = True
+                elif entry.get("kind") == "batch":
+                    for index, probability in zip(entry["indices"], entry["p"]):
+                        done[int(index)] = float(probability)
+                valid_bytes += len(raw)
+        if not saw_header:
+            raise ScanJournalError(f"{self.path}: missing journal header")
+        self._handle = open(self.path, "r+", encoding="utf-8")
+        self._handle.truncate(valid_bytes)
+        self._handle.seek(valid_bytes)
+        return done
+
+    # ------------------------------------------------------------------
+    def record(self, indices: Sequence[int], probabilities: np.ndarray) -> None:
+        """Durably append one completed batch."""
+        self._append(
+            {
+                "kind": "batch",
+                "indices": [int(i) for i in indices],
+                "p": [float(p) for p in probabilities],
+            }
+        )
+
+    def _append(self, entry: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(entry) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 class FullChipScanner:
@@ -138,8 +248,34 @@ class FullChipScanner:
         self.tile_blocks = tile_blocks
 
     # ------------------------------------------------------------------
-    def scan(self, layout: Layout, batch_size: int = 512) -> ScanResult:
+    def _journal_header(self, layout: Layout, window_count: int) -> Dict[str, Any]:
+        """Fingerprint binding a journal to this scan's configuration."""
+        return {
+            "version": ScanJournal.VERSION,
+            "windows": window_count,
+            "clip_nm": self.clip_nm,
+            "stride_nm": self.stride_nm,
+            "threshold": self.threshold,
+            "pipeline": self.pipeline,
+            "region": list(layout.region.as_tuple()),
+            "rect_count": len(layout),
+        }
+
+    def scan(
+        self,
+        layout: Layout,
+        batch_size: int = 512,
+        journal: Optional[PathLike] = None,
+        resume: bool = False,
+    ) -> ScanResult:
         """Scan ``layout`` and return flagged windows + merged regions.
+
+        ``journal`` names a :class:`ScanJournal` file to write completed
+        batches to (each fsync-ed as it lands); with ``resume=True`` an
+        existing journal's windows are loaded instead of recomputed, so an
+        interrupted scan continues from where it crashed and — the
+        detector being deterministic per window — produces the same
+        :class:`ScanResult` a clean run would.
 
         Telemetry: the scan runs inside a ``scan`` span with nested
         ``scan.grid`` (shared raster + block-DCT), per-batch
@@ -150,31 +286,62 @@ class FullChipScanner:
         are emitted, so a ``--log-json`` run log reconstructs the whole
         stage breakdown offline via ``repro-hotspot obs report``.
         """
+        if resume and journal is None:
+            raise TrainingError("resume=True needs a journal path")
         start = time.perf_counter()
         windows = tuple(
             iter_clip_windows(layout.region, self.clip_nm, self.stride_nm)
         )
-        with span(
-            "scan",
-            pipeline=self.pipeline,
-            windows=len(windows),
-            workers=self.workers,
-        ):
-            if self._use_shared_pipeline():
-                probabilities = self._scan_shared(layout, windows, batch_size)
+        scan_journal: Optional[ScanJournal] = None
+        done: Dict[int, float] = {}
+        if journal is not None:
+            scan_journal = ScanJournal(journal)
+            header = self._journal_header(layout, len(windows))
+            if resume and scan_journal.path.exists():
+                done = scan_journal.resume(header)
+                emit(
+                    "scan.journal.resume",
+                    completed=len(done),
+                    windows=len(windows),
+                    path=str(scan_journal.path),
+                )
+                get_registry().counter("scan.windows_resumed").inc(len(done))
             else:
-                probabilities = self._scan_per_clip(
-                    layout, windows, batch_size
+                scan_journal.start(header)
+        try:
+            with span(
+                "scan",
+                pipeline=self.pipeline,
+                windows=len(windows),
+                workers=self.workers,
+            ):
+                probabilities = np.empty(len(windows), dtype=np.float64)
+                for index, probability in done.items():
+                    probabilities[index] = probability
+                pending = [i for i in range(len(windows)) if i not in done]
+                pending_windows = tuple(windows[i] for i in pending)
+                batch_number = 0
+                for local_indices, batch_probs in self._probability_batches(
+                    layout, pending_windows, batch_size
+                ):
+                    global_indices = [pending[j] for j in local_indices]
+                    probabilities[global_indices] = batch_probs
+                    if scan_journal is not None:
+                        scan_journal.record(global_indices, batch_probs)
+                    maybe_fail("scan.batch", batch_number)
+                    batch_number += 1
+                flagged_indices = tuple(
+                    int(i)
+                    for i in np.flatnonzero(probabilities >= self.threshold)
                 )
-            flagged_indices = tuple(
-                int(i)
-                for i in np.flatnonzero(probabilities >= self.threshold)
-            )
-            flagged = tuple(windows[i] for i in flagged_indices)
-            with span("scan.merge", flagged=len(flagged)):
-                regions = merge_windows(
-                    flagged, [probabilities[i] for i in flagged_indices]
-                )
+                flagged = tuple(windows[i] for i in flagged_indices)
+                with span("scan.merge", flagged=len(flagged)):
+                    regions = merge_windows(
+                        flagged, [probabilities[i] for i in flagged_indices]
+                    )
+        finally:
+            if scan_journal is not None:
+                scan_journal.close()
         result = ScanResult(
             windows=windows,
             probabilities=probabilities,
@@ -217,38 +384,52 @@ class FullChipScanner:
             )
         return supported
 
-    def _scan_shared(
+    def _probability_batches(
         self, layout: Layout, windows: Tuple[Rect, ...], batch_size: int
-    ) -> np.ndarray:
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream ``(indices into windows, probabilities)`` batches."""
+        if self._use_shared_pipeline():
+            try:
+                sliding = SlidingFeatureExtractor(
+                    self.detector.extractor.config,
+                    clip_nm=self.clip_nm,
+                    tile_blocks=self.tile_blocks,
+                    workers=self.workers,
+                )
+            except FeatureError:
+                if self.pipeline == "shared":
+                    raise
+                # auto mode: clip size incompatible with the feature
+                # config — the per-clip path will surface any real
+                # misconfiguration.
+                sliding = None
+            if sliding is not None:
+                yield from self._shared_batches(
+                    sliding, layout, windows, batch_size
+                )
+                return
+        yield from self._per_clip_batches(layout, windows, batch_size)
+
+    def _shared_batches(
+        self,
+        sliding: SlidingFeatureExtractor,
+        layout: Layout,
+        windows: Tuple[Rect, ...],
+        batch_size: int,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Shared-raster scan: global DCT grid + streamed tensor batches."""
-        try:
-            sliding = SlidingFeatureExtractor(
-                self.detector.extractor.config,
-                clip_nm=self.clip_nm,
-                tile_blocks=self.tile_blocks,
-                workers=self.workers,
-            )
-        except FeatureError:
-            if self.pipeline == "shared":
-                raise
-            # auto mode: clip size incompatible with the feature config —
-            # the per-clip path will surface any real misconfiguration.
-            return self._scan_per_clip(layout, windows, batch_size)
-        probabilities = np.empty(len(windows), dtype=np.float64)
         for indices, tensors in sliding.iter_batches(
             layout, windows, batch_size
         ):
             with span("scan.inference", batch=len(indices)):
-                probabilities[indices] = self.detector.predict_proba_tensors(
+                yield indices, self.detector.predict_proba_tensors(
                     tensors
                 )[:, 1]
-        return probabilities
 
-    def _scan_per_clip(
+    def _per_clip_batches(
         self, layout: Layout, windows: Tuple[Rect, ...], batch_size: int
-    ) -> np.ndarray:
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Legacy path: cut, rasterise and encode every window separately."""
-        probabilities = np.empty(len(windows), dtype=np.float64)
         for lo in range(0, len(windows), batch_size):
             batch_windows = windows[lo : lo + batch_size]
             with span("scan.extract", batch=len(batch_windows)):
@@ -260,10 +441,10 @@ class FullChipScanner:
                     clips, name="scan", allow_unlabelled=True
                 )
             with span("scan.inference", batch=len(clips)):
-                probabilities[lo : lo + len(clips)] = (
-                    self.detector.predict_proba(batch)[:, 1]
+                yield (
+                    np.arange(lo, lo + len(clips), dtype=np.int64),
+                    self.detector.predict_proba(batch)[:, 1],
                 )
-        return probabilities
 
     # ------------------------------------------------------------------
     def recall_against_oracle(

@@ -30,6 +30,32 @@ class TrainingError(ReproError):
     """Training could not proceed (empty dataset, bad labels...)."""
 
 
+class ConfigError(TrainingError):
+    """Invalid run configuration caught before any work starts.
+
+    Subclasses :class:`TrainingError` so existing ``except TrainingError``
+    call sites keep working while new code can discriminate configuration
+    mistakes (e.g. an Algorithm-2 epsilon schedule that crosses 0.5) from
+    runtime training failures.
+    """
+
+
+class CheckpointError(ReproError):
+    """Checkpoint could not be written, read, or applied."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Checkpoint file is damaged (torn write, bad magic, checksum)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """Checkpoint was written by an incompatible schema version."""
+
+
+class ScanJournalError(ReproError):
+    """Scan journal is unusable (header mismatch with the resumed scan)."""
+
+
 class DatasetError(ReproError):
     """Dataset construction or consistency failure."""
 

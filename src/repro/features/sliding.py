@@ -28,8 +28,9 @@ path — output equivalence is guaranteed either way and covered by tests.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,10 +44,11 @@ from repro.features.tensor import (
 from repro.geometry.layout import Layout
 from repro.geometry.raster import rasterize_rects
 from repro.geometry.rect import Rect
-from repro.obs import MetricsRegistry, get_registry, span
+from repro.obs import MetricsRegistry, emit, get_registry, span
+from repro.testing.faults import maybe_fail
 
-#: One tile task: (rects, tile window, nm/px, block pixels, coefficients).
-_TileTask = Tuple[Tuple[Rect, ...], Rect, int, int, int]
+#: One tile task: (index, rects, window, nm/px, block pixels, coefficients).
+_TileTask = Tuple[int, Tuple[Rect, ...], Rect, int, int, int]
 
 
 def _encode_tile(task: _TileTask) -> Tuple[np.ndarray, Dict[str, Any]]:
@@ -59,7 +61,8 @@ def _encode_tile(task: _TileTask) -> Tuple[np.ndarray, Dict[str, Any]]:
     parent's registry, so stage timings travel back with the result and
     the parent merges them (:meth:`MetricsRegistry.merge_snapshot`).
     """
-    rects, window, resolution, block, k = task
+    index, rects, window, resolution, block, k = task
+    maybe_fail("scan.tile", index)
     registry = MetricsRegistry()
     started = time.perf_counter()
     image = rasterize_rects(rects, window, resolution)
@@ -89,11 +92,26 @@ class SlidingFeatureExtractor:
         tile raster around 10 MB while leaving enough tiles to parallelise.
     workers:
         Process count for tile rasterisation + DCT. 1 (default) runs
-        serially in-process; higher values use a ``multiprocessing`` pool
-        and fall back to serial execution if a pool cannot be created.
+        serially in-process; higher values use a process pool and fall
+        back to serial execution if a pool cannot be created.
+    max_retries:
+        Retries per failing tile (transient failures: flaky NFS reads,
+        OOM-killed workers). A tile still failing after its retry budget
+        raises :class:`~repro.exceptions.FeatureError`.
+    retry_backoff:
+        Base pause in seconds before a retry; doubles per attempt and is
+        capped at one second, so a retry storm cannot stall a scan.
+
+    Worker failures are contained, not fatal: a worker process that dies
+    (SIGKILL, segfault) breaks the pool, which is respawned once; if the
+    replacement breaks too, the remaining tiles degrade to in-process
+    serial execution (``scan.worker_dead`` / ``scan.degraded`` events).
     """
 
     name = "sliding_feature_tensor"
+
+    #: Pool respawns after a dead worker before degrading to serial.
+    max_pool_respawns = 1
 
     def __init__(
         self,
@@ -101,15 +119,25 @@ class SlidingFeatureExtractor:
         clip_nm: int = 1200,
         tile_blocks: int = 16,
         workers: int = 1,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ):
         if tile_blocks < 1:
             raise FeatureError(f"tile_blocks must be >= 1, got {tile_blocks}")
         if workers < 1:
             raise FeatureError(f"workers must be >= 1, got {workers}")
+        if max_retries < 0:
+            raise FeatureError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff < 0:
+            raise FeatureError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
         self.config = config
         self.clip_nm = clip_nm
         self.tile_blocks = tile_blocks
         self.workers = workers
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
         # Validates clip/pixel/block divisibility and k capacity eagerly.
         self.block_px = config.block_size_px(clip_nm)
         self.block_nm = self.block_px * config.pixel_nm
@@ -159,7 +187,14 @@ class SlidingFeatureExtractor:
                     continue  # empty tile: grid already zero
                 placements.append((b_row, b_col))
                 tasks.append(
-                    (rects, window, self.config.pixel_nm, self.block_px, k)
+                    (
+                        len(tasks),
+                        rects,
+                        window,
+                        self.config.pixel_nm,
+                        self.block_px,
+                        k,
+                    )
                 )
         with span(
             "scan.grid", tiles=len(tasks), workers=self.workers
@@ -177,16 +212,114 @@ class SlidingFeatureExtractor:
     def _run_tiles(
         self, tasks: Sequence[_TileTask]
     ) -> List[Tuple[np.ndarray, Dict[str, Any]]]:
-        """Encode tiles, across a worker pool when asked (and possible)."""
+        """Encode tiles, across a worker pool when asked (and possible).
+
+        Pool execution survives three failure classes: a tile raising
+        (retried with bounded backoff, then fatal), a worker process dying
+        (pool respawned once, then degraded to serial), and a pool that
+        cannot be created at all (serial from the start).
+        """
+        results: Dict[int, Tuple[np.ndarray, Dict[str, Any]]] = {}
         if self.workers > 1 and len(tasks) > 1:
+            self._run_tiles_pool(tasks, results)
+        for i in range(len(tasks)):
+            if i not in results:
+                results[i] = self._encode_tile_with_retry(tasks[i])
+        return [results[i] for i in range(len(tasks))]
+
+    def _run_tiles_pool(
+        self,
+        tasks: Sequence[_TileTask],
+        results: Dict[int, Tuple[np.ndarray, Dict[str, Any]]],
+    ) -> None:
+        """Fill ``results`` from a worker pool, as far as pools allow.
+
+        Returns with ``results`` possibly incomplete — the caller finishes
+        the remainder in-process (the degraded mode a dead-worker loop
+        ends in, and the fallback when no pool can be created).
+        """
+        attempts: Dict[int, int] = {}
+        pool_failures = 0
+        while len(results) < len(tasks):
+            pending = [i for i in range(len(tasks)) if i not in results]
             try:
-                with multiprocessing.get_context().Pool(
-                    processes=min(self.workers, len(tasks))
-                ) as pool:
-                    return pool.map(_encode_tile, tasks)
+                executor = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending))
+                )
             except (ImportError, OSError, ValueError):
-                pass  # restricted environments: degrade to serial
-        return [_encode_tile(task) for task in tasks]
+                return  # restricted environments: no pool at all
+            broken = False
+            try:
+                futures = {
+                    i: executor.submit(_encode_tile, tasks[i])
+                    for i in pending
+                }
+                for i, future in futures.items():
+                    try:
+                        results[i] = future.result()
+                    except (BrokenProcessPool, OSError) as exc:
+                        # A worker died mid-task; sibling futures fail
+                        # the same way. Collect what finished, respawn.
+                        if not broken:
+                            broken = True
+                            emit(
+                                "scan.worker_dead",
+                                level="warning",
+                                error=str(exc),
+                                completed=len(results),
+                                tiles=len(tasks),
+                            )
+                            get_registry().counter("scan.worker_deaths").inc()
+                    except Exception as exc:
+                        self._record_retry(attempts, i, tasks[i], exc)
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            if broken:
+                pool_failures += 1
+                if pool_failures > self.max_pool_respawns:
+                    emit(
+                        "scan.degraded",
+                        level="warning",
+                        remaining=len(tasks) - len(results),
+                        tiles=len(tasks),
+                    )
+                    return  # caller completes serially in-process
+
+    def _record_retry(
+        self,
+        attempts: Dict[int, int],
+        index: int,
+        task: _TileTask,
+        exc: Exception,
+    ) -> None:
+        """Account one failed tile attempt; raise when the budget is gone."""
+        attempts[index] = attempts.get(index, 0) + 1
+        emit(
+            "scan.retry",
+            level="warning",
+            tile=index,
+            attempt=attempts[index],
+            max_retries=self.max_retries,
+            error=str(exc),
+        )
+        get_registry().counter("scan.tile_retries").inc()
+        if attempts[index] > self.max_retries:
+            raise FeatureError(
+                f"tile {index} failed {attempts[index]} times "
+                f"(last: {exc})"
+            ) from exc
+        time.sleep(min(self.retry_backoff * 2 ** (attempts[index] - 1), 1.0))
+
+    def _encode_tile_with_retry(
+        self, task: _TileTask
+    ) -> Tuple[np.ndarray, Dict[str, Any]]:
+        """Serial tile encode under the same retry budget as the pool."""
+        attempts: Dict[int, int] = {}
+        while True:
+            try:
+                return _encode_tile(task)
+            except Exception as exc:
+                self._record_retry(attempts, task[0], task, exc)
 
     # ------------------------------------------------------------------
     # Window assembly

@@ -52,3 +52,11 @@ class Dropout(Layer):
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return input_shape
+
+    def extra_state(self) -> dict:
+        # The mask RNG advances every training forward; bitwise-identical
+        # resume requires restoring its exact position.
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]

@@ -9,7 +9,7 @@ gradients of their own parameters into ``Parameter.grad``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
@@ -73,6 +73,22 @@ class Layer:
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         """Per-sample output shape given a per-sample input shape."""
         raise NotImplementedError
+
+    def extra_state(self) -> Dict[str, Any]:
+        """Non-parameter state a resumed run must restore.
+
+        Parameters travel through ``get_weights``/``set_weights``; layers
+        with other evolving state — dropout RNGs, batch-norm running
+        statistics — override this pair so checkpoints capture it too.
+        """
+        return {}
+
+    def load_extra_state(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot from :meth:`extra_state`."""
+        if state:
+            raise NetworkError(
+                f"{self.name}: unexpected extra state {sorted(state)}"
+            )
 
     def _require_cached(self, cache, what: str = "input"):
         if cache is None:

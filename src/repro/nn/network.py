@@ -159,6 +159,22 @@ class Sequential:
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
+    def extra_state(self) -> List[dict]:
+        """Per-layer non-parameter state, in layer order (checkpointing)."""
+        return [layer.extra_state() for layer in self.layers]
+
+    def load_extra_state(self, states: Sequence[dict]) -> None:
+        """Restore a snapshot from :meth:`extra_state`."""
+        states = list(states)
+        if len(states) != len(self.layers):
+            raise NetworkError(
+                f"extra-state count mismatch: got {len(states)}, "
+                f"network has {len(self.layers)} layers"
+            )
+        for layer, state in zip(self.layers, states):
+            layer.load_extra_state(state or {})
+
+    # ------------------------------------------------------------------
     def get_weights(self) -> List[np.ndarray]:
         """Copies of all parameter values, in layer order."""
         return [p.value.copy() for p in self.parameters()]

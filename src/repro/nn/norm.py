@@ -97,6 +97,23 @@ class BatchNorm2D(Layer):
     def parameters(self) -> List[Parameter]:
         return [self.gamma, self.beta]
 
+    def extra_state(self) -> dict:
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        mean = np.asarray(state["running_mean"], dtype=np.float64)
+        var = np.asarray(state["running_var"], dtype=np.float64)
+        if mean.shape != (self.channels,) or var.shape != (self.channels,):
+            raise NetworkError(
+                f"{self.name}: running-stat shapes {mean.shape}/{var.shape} "
+                f"do not match {self.channels} channels"
+            )
+        self.running_mean = mean.copy()
+        self.running_var = var.copy()
+
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         if len(input_shape) != 3 or input_shape[0] != self.channels:
             raise NetworkError(

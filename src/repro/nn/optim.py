@@ -9,11 +9,11 @@ schedule; the :class:`~repro.nn.trainer.Trainer` owns the batch sampling.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Any, Dict, Sequence
 
 import numpy as np
 
-from repro.exceptions import NetworkError
+from repro.exceptions import CheckpointError, NetworkError
 from repro.nn.layer import Parameter
 
 
@@ -86,6 +86,71 @@ class Optimizer:
         for p in self.parameters:
             p.zero_grad()
 
+    # ------------------------------------------------------------------
+    # Checkpointing. Slot buffers (momentum velocity, Adam moments) are
+    # keyed by *parameter position* — id() values do not survive a process
+    # restart — so a state dict restored into a freshly built optimizer
+    # over an identically shaped network continues bitwise.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialisable snapshot: update counter plus per-slot buffers."""
+        return {
+            "type": type(self).__name__,
+            "step_count": int(self.step_count),
+            "slots": self._slot_state(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a snapshot from :meth:`state_dict` (shape-checked)."""
+        if state.get("type") != type(self).__name__:
+            raise CheckpointError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"this optimizer is {type(self).__name__}"
+            )
+        self.step_count = int(state["step_count"])
+        self._load_slot_state(state.get("slots") or {})
+
+    def _slot_state(self) -> Dict[str, Any]:
+        return {}
+
+    def _load_slot_state(self, slots: Dict[str, Any]) -> None:
+        if slots:
+            raise CheckpointError(
+                f"{type(self).__name__} has no slot buffers, state has "
+                f"{sorted(slots)}"
+            )
+
+    def _pack_slot(self, buffers: Dict[int, np.ndarray]) -> Dict[str, np.ndarray]:
+        """id-keyed buffer dict -> position-keyed copies."""
+        by_id = {id(p): i for i, p in enumerate(self.parameters)}
+        return {
+            str(by_id[key]): value.copy()
+            for key, value in buffers.items()
+            if key in by_id
+        }
+
+    def _unpack_slot(
+        self, slot: Dict[str, np.ndarray], slot_name: str
+    ) -> Dict[int, np.ndarray]:
+        """Position-keyed state -> id-keyed buffers, validating shapes."""
+        buffers: Dict[int, np.ndarray] = {}
+        for key, value in slot.items():
+            index = int(key)
+            if not 0 <= index < len(self.parameters):
+                raise CheckpointError(
+                    f"{slot_name} buffer for parameter {index}, optimizer "
+                    f"has {len(self.parameters)}"
+                )
+            param = self.parameters[index]
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise CheckpointError(
+                    f"{slot_name} buffer {index} has shape {value.shape}, "
+                    f"parameter is {param.value.shape}"
+                )
+            buffers[id(param)] = value.copy()
+        return buffers
+
 
 class SGD(Optimizer):
     """Gradient descent, optionally with classical momentum.
@@ -118,6 +183,12 @@ class SGD(Optimizer):
                 p.value += v
             else:
                 p.value -= rate * p.grad
+
+    def _slot_state(self) -> Dict[str, Any]:
+        return {"velocity": self._pack_slot(self._velocity)}
+
+    def _load_slot_state(self, slots: Dict[str, Any]) -> None:
+        self._velocity = self._unpack_slot(slots.get("velocity") or {}, "velocity")
 
 
 class Adam(Optimizer):
@@ -155,3 +226,10 @@ class Adam(Optimizer):
             m_hat = m / (1 - self.beta1**t)
             v_hat = v / (1 - self.beta2**t)
             p.value -= rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _slot_state(self) -> Dict[str, Any]:
+        return {"m": self._pack_slot(self._m), "v": self._pack_slot(self._v)}
+
+    def _load_slot_state(self, slots: Dict[str, Any]) -> None:
+        self._m = self._unpack_slot(slots.get("m") or {}, "m")
+        self._v = self._unpack_slot(slots.get("v") or {}, "v")

@@ -1,23 +1,59 @@
-"""Network parameter (de)serialisation.
+"""Network parameter (de)serialisation and fault-tolerant checkpointing.
 
-Weights are stored as an ``.npz`` archive with positional keys; the
-architecture itself is code, so loading validates shapes against the
-receiving network (mismatches fail loudly instead of silently truncating).
+Two layers live here:
+
+- The original lightweight weight archive
+  (:func:`save_network_params` / :func:`load_network_params`) — an
+  ``.npz`` with positional keys, used for finished models.
+- :class:`CheckpointManager`, the crash-safe snapshot store behind
+  resumable training. Checkpoints are *state trees*: nested dicts/lists
+  of arrays and JSON scalars (model weights, optimizer slots, RNG state,
+  training history, loop counters). Each checkpoint file is an ``.npz``
+  holding the tree's arrays plus a JSON manifest stamped with a magic
+  string, a schema version, and a CRC-32 over manifest and array bytes.
+
+Durability discipline: a checkpoint is written to a temporary file in the
+same directory, flushed and ``fsync``-ed, then atomically renamed into
+place (the directory is fsync-ed too, best effort). A crash at any moment
+therefore leaves either the previous checkpoint set or the new one —
+never a half-written file under a valid name. Loading verifies magic,
+schema version and checksum and raises the typed
+:class:`~repro.exceptions.CheckpointError` family; ``load_latest`` walks
+backwards through retained snapshots past any that fail verification.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+import zlib
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import NetworkError
+from repro.exceptions import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+    NetworkError,
+)
 from repro.nn.network import Sequential
+from repro.obs import emit, get_registry
+from repro.testing.faults import maybe_fail
 
 PathLike = Union[str, Path]
 
 _KEY = "param_{:04d}"
+
+#: Identifies a repro checkpoint manifest (anything else is corrupt).
+CHECKPOINT_MAGIC = "repro-checkpoint"
+#: Bump on any incompatible change to the checkpoint layout.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_ARRAY_KEY = "arr_{:05d}"
+_ARRAY_MARK = "__ndarray__"
 
 
 def save_network_params(network: Sequential, path: PathLike) -> None:
@@ -40,3 +76,262 @@ def load_network_params(network: Sequential, path: PathLike) -> None:
             )
         weights = [archive[_KEY.format(i)] for i in range(count)]
     network.set_weights(weights)
+
+
+# ----------------------------------------------------------------------
+# State-tree encoding
+# ----------------------------------------------------------------------
+def _encode_tree(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Replace every ndarray in ``node`` with a reference into ``arrays``.
+
+    Scalars normalise to plain JSON types (numpy scalars included); dict
+    keys must be strings. Tuples come back as lists — checkpoint authors
+    should not rely on tuple identity.
+    """
+    if isinstance(node, np.ndarray):
+        key = _ARRAY_KEY.format(len(arrays))
+        arrays[key] = node
+        return {_ARRAY_MARK: key}
+    if isinstance(node, dict):
+        encoded = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise CheckpointError(
+                    f"checkpoint dict keys must be str, got {key!r}"
+                )
+            if key == _ARRAY_MARK:
+                raise CheckpointError(
+                    f"checkpoint dict key {_ARRAY_MARK!r} is reserved"
+                )
+            encoded[key] = _encode_tree(value, arrays)
+        return encoded
+    if isinstance(node, (list, tuple)):
+        return [_encode_tree(item, arrays) for item in node]
+    if isinstance(node, (np.integer,)):
+        return int(node)
+    if isinstance(node, (np.floating,)):
+        return float(node)
+    if isinstance(node, (np.bool_,)):
+        return bool(node)
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    raise CheckpointError(
+        f"cannot checkpoint value of type {type(node).__name__}"
+    )
+
+
+def _decode_tree(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_MARK}:
+            key = node[_ARRAY_MARK]
+            if key not in arrays:
+                raise CheckpointCorruptError(
+                    f"manifest references missing array {key!r}"
+                )
+            return arrays[key]
+        return {key: _decode_tree(value, arrays) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_decode_tree(item, arrays) for item in node]
+    return node
+
+
+def _checksum(manifest_json: bytes, arrays: Dict[str, np.ndarray]) -> int:
+    crc = zlib.crc32(manifest_json)
+    for key in sorted(arrays):
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def write_checkpoint(path: PathLike, state: Dict[str, Any]) -> None:
+    """Atomically write ``state`` (a state tree) to ``path``."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    encoded = _encode_tree(state, arrays)
+    manifest = {
+        "magic": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_SCHEMA_VERSION,
+        "state": encoded,
+    }
+    manifest_json = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    payload = dict(arrays)
+    payload["manifest"] = np.frombuffer(manifest_json, dtype=np.uint8)
+    payload["checksum"] = np.array(
+        [_checksum(manifest_json, arrays)], dtype=np.uint64
+    )
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        maybe_fail("checkpoint.commit", 0)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Persist a rename: fsync the containing directory (best effort)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def read_checkpoint(path: PathLike) -> Dict[str, Any]:
+    """Load and verify a checkpoint written by :func:`write_checkpoint`.
+
+    Raises :class:`CheckpointCorruptError` for unreadable archives, bad
+    magic or checksum mismatches, :class:`CheckpointVersionError` for a
+    schema the running code does not speak, and plain
+    :class:`CheckpointError` for a missing file.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            files = set(archive.files)
+            if "manifest" not in files or "checksum" not in files:
+                raise CheckpointCorruptError(
+                    f"{path}: not a repro checkpoint (missing manifest)"
+                )
+            manifest_json = bytes(archive["manifest"])
+            stored_crc = int(archive["checksum"][0])
+            arrays = {
+                key: archive[key]
+                for key in files
+                if key not in ("manifest", "checksum")
+            }
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zipfile/zlib/OSError: torn or garbled file
+        raise CheckpointCorruptError(f"{path}: unreadable archive: {exc}") from exc
+    try:
+        manifest = json.loads(manifest_json.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(f"{path}: garbled manifest") from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointCorruptError(f"{path}: bad checkpoint magic")
+    version = manifest.get("version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointVersionError(
+            f"{path}: schema version {version}, this build reads "
+            f"{CHECKPOINT_SCHEMA_VERSION}"
+        )
+    if _checksum(manifest_json, arrays) != stored_crc:
+        raise CheckpointCorruptError(f"{path}: checksum mismatch")
+    return _decode_tree(manifest.get("state"), arrays)
+
+
+# ----------------------------------------------------------------------
+# Manager
+# ----------------------------------------------------------------------
+class CheckpointManager:
+    """Rolling, crash-safe checkpoint store over one directory.
+
+    ``save(state, step)`` atomically writes ``<prefix>-<step>.ckpt.npz``
+    and prunes the oldest files beyond ``keep``. ``load_latest`` returns
+    the newest snapshot that passes verification, emitting a
+    ``checkpoint.corrupt`` warning (and falling back to the next-older
+    file) for any that do not — so a crash *during* a save, or torn bytes
+    from a dying disk, degrade to losing at most one checkpoint interval.
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 3, prefix: str = "ckpt"):
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep}")
+        if not prefix or "/" in prefix:
+            raise CheckpointError(f"bad checkpoint prefix {prefix!r}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self.prefix = prefix
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{step:010d}.ckpt.npz"
+
+    def steps(self) -> List[int]:
+        """Retained checkpoint steps, ascending."""
+        found = []
+        suffix = ".ckpt.npz"
+        for entry in self.directory.glob(f"{self.prefix}-*{suffix}"):
+            stem = entry.name[len(self.prefix) + 1 : -len(suffix)]
+            if stem.isdigit():
+                found.append(int(stem))
+        return sorted(found)
+
+    def latest_step(self) -> Optional[int]:
+        steps = self.steps()
+        return steps[-1] if steps else None
+
+    # ------------------------------------------------------------------
+    def save(self, state: Dict[str, Any], step: int) -> Path:
+        """Write one snapshot for ``step`` and prune old ones."""
+        if step < 0:
+            raise CheckpointError(f"step must be >= 0, got {step}")
+        path = self.path_for(step)
+        write_checkpoint(path, state)
+        get_registry().counter("checkpoint.saves").inc()
+        emit(
+            "checkpoint.save",
+            level="debug",
+            step=step,
+            path=str(path),
+            bytes=path.stat().st_size,
+        )
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        steps = self.steps()
+        for stale in steps[: max(0, len(steps) - self.keep)]:
+            try:
+                self.path_for(stale).unlink()
+            except OSError:  # pragma: no cover - already gone / perms
+                pass
+
+    # ------------------------------------------------------------------
+    def load_step(self, step: int) -> Dict[str, Any]:
+        return read_checkpoint(self.path_for(step))
+
+    def load_latest(self) -> Optional[Tuple[int, Dict[str, Any]]]:
+        """Newest verifiable ``(step, state)``; ``None`` when none exist.
+
+        Unreadable snapshots are skipped with a ``checkpoint.corrupt``
+        warning; corruption of *every* retained snapshot raises the last
+        error rather than silently restarting from scratch.
+        """
+        steps = self.steps()
+        last_error: Optional[CheckpointError] = None
+        for step in reversed(steps):
+            try:
+                return step, self.load_step(step)
+            except CheckpointError as exc:
+                last_error = exc
+                emit(
+                    "checkpoint.corrupt",
+                    level="warning",
+                    step=step,
+                    path=str(self.path_for(step)),
+                    error=str(exc),
+                )
+                get_registry().counter("checkpoint.corrupt").inc()
+        if last_error is not None:
+            raise last_error
+        return None

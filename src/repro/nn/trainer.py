@@ -14,16 +14,18 @@ training (one-hot targets) and biased fine-tuning (``[1-ε, ε]`` rows).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.exceptions import TrainingError
+from repro.exceptions import CheckpointError, TrainingError
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
 from repro.obs import emit
+from repro.testing.faults import maybe_fail
 
 
 @dataclass(frozen=True)
@@ -119,6 +121,74 @@ class TrainingHistory:
         self.learning_rate.append(rate)
 
 
+def history_to_state(history: TrainingHistory) -> Dict[str, Any]:
+    """Checkpointable state tree of a :class:`TrainingHistory`."""
+    return {
+        "iterations": list(history.iterations),
+        "elapsed_seconds": list(history.elapsed_seconds),
+        "val_accuracy": list(history.val_accuracy),
+        "train_loss": list(history.train_loss),
+        "learning_rate": list(history.learning_rate),
+        "best_val_accuracy": history.best_val_accuracy,
+        "stopped_iteration": history.stopped_iteration,
+        "validated": history.validated,
+    }
+
+
+def history_from_state(state: Dict[str, Any]) -> TrainingHistory:
+    """Inverse of :func:`history_to_state`."""
+    return TrainingHistory(
+        iterations=[int(i) for i in state["iterations"]],
+        elapsed_seconds=[float(v) for v in state["elapsed_seconds"]],
+        val_accuracy=[float(v) for v in state["val_accuracy"]],
+        train_loss=[float(v) for v in state["train_loss"]],
+        learning_rate=[float(v) for v in state["learning_rate"]],
+        best_val_accuracy=float(state["best_val_accuracy"]),
+        stopped_iteration=int(state["stopped_iteration"]),
+        validated=bool(state["validated"]),
+    )
+
+
+#: What callers may pass as ``resume_from``: a state dict, a checkpoint
+#: file path, or a manager (whose latest verifiable snapshot is used).
+ResumeSource = Union[Dict[str, Any], str, Path, "CheckpointManager"]
+
+
+def resolve_resume_state(
+    resume_from: Optional[ResumeSource], kind: str
+) -> Optional[Dict[str, Any]]:
+    """Normalise a ``resume_from`` argument to a state dict (or ``None``).
+
+    A manager with no retained checkpoints resolves to ``None`` — callers
+    treat that as a fresh start, which makes ``resume_from=manager``
+    idempotent for first runs and restarts alike.
+    """
+    from repro.nn.serialize import CheckpointManager, read_checkpoint
+
+    if resume_from is None:
+        return None
+    if isinstance(resume_from, CheckpointManager):
+        loaded = resume_from.load_latest()
+        if loaded is None:
+            return None
+        state = loaded[1]
+    elif isinstance(resume_from, (str, Path)):
+        state = read_checkpoint(resume_from)
+    elif isinstance(resume_from, dict):
+        state = resume_from
+    else:
+        raise CheckpointError(
+            f"resume_from must be a state dict, path, or CheckpointManager; "
+            f"got {type(resume_from).__name__}"
+        )
+    if state.get("kind") != kind:
+        raise CheckpointError(
+            f"checkpoint kind {state.get('kind')!r} cannot resume a "
+            f"{kind!r} run"
+        )
+    return state
+
+
 class Trainer:
     """Runs Algorithm 1 on a network/optimizer pair."""
 
@@ -141,6 +211,13 @@ class Trainer:
         x_val: np.ndarray,
         y_val: np.ndarray,
         callbacks: Optional[Sequence[ValidationCallback]] = None,
+        checkpoints: Optional["CheckpointManager"] = None,
+        checkpoint_every: Optional[int] = None,
+        resume_from: Optional[ResumeSource] = None,
+        checkpoint_wrapper: Optional[
+            Callable[[Dict[str, Any]], Dict[str, Any]]
+        ] = None,
+        checkpoint_step_offset: int = 0,
     ) -> TrainingHistory:
         """Train until the validation accuracy converges.
 
@@ -158,20 +235,97 @@ class Trainer:
             abort training — callbacks are trusted observer code. Each
             checkpoint also emits a ``train.validate`` event on the
             default bus (debug level).
+        checkpoints / checkpoint_every:
+            When a :class:`~repro.nn.serialize.CheckpointManager` is
+            given, the full loop state — weights, optimizer slots, batch
+            RNG, history, stopping counters — is snapshot every
+            ``checkpoint_every`` iterations (default: ``validate_every``)
+            and once more at the end of training.
+        resume_from:
+            A state dict, checkpoint path, or manager (latest snapshot).
+            The loop restarts exactly where the snapshot was taken and
+            produces bitwise-identical weights and history to the
+            uninterrupted run (wall-clock ``elapsed_seconds`` excepted).
+            Snapshots taken under a different :class:`TrainerConfig` or
+            data shape are rejected with a
+            :class:`~repro.exceptions.CheckpointError`.
+        checkpoint_wrapper / checkpoint_step_offset:
+            Composition hooks for outer loops (Algorithm 2): the wrapper
+            maps this trainer's state tree to the payload actually saved,
+            and the offset keeps checkpoint step numbers monotonic across
+            successive ``fit`` calls sharing one manager.
         """
         self._check_inputs(x_train, targets_train, x_val, y_val)
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         history = TrainingHistory()
         best_accuracy = -1.0
-        best_weights = None
+        best_weights: Optional[List[np.ndarray]] = None
         stale_validations = 0
-        start = time.perf_counter()
+        iteration = 0
+        stopped = False
+        elapsed_offset = 0.0
         n = x_train.shape[0]
 
-        iteration = 0
-        while iteration < cfg.max_iterations:
+        state = resolve_resume_state(resume_from, "trainer")
+        if state is not None:
+            self._check_resume_state(state, x_train, x_val)
+            iteration = int(state["iteration"])
+            stopped = bool(state["stopped"])
+            rng.bit_generator.state = state["rng"]
+            self.network.set_weights(state["weights"])
+            self.network.load_extra_state(state["network_extra"])
+            self.optimizer.load_state_dict(state["optimizer"])
+            best_accuracy = float(state["best_accuracy"])
+            best_weights = (
+                [np.asarray(w) for w in state["best_weights"]]
+                if state["best_weights"] is not None
+                else None
+            )
+            stale_validations = int(state["stale_validations"])
+            elapsed_offset = float(state["elapsed"])
+            history = history_from_state(state["history"])
+            emit("train.resume", iteration=iteration, stopped=stopped)
+        start = time.perf_counter() - elapsed_offset
+        save_every = checkpoint_every or cfg.validate_every
+        if save_every < 1:
+            raise TrainingError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        last_saved: Optional[int] = iteration if state is not None else None
+
+        def snapshot() -> Dict[str, Any]:
+            return {
+                "kind": "trainer",
+                "iteration": iteration,
+                "stopped": stopped,
+                "rng": rng.bit_generator.state,
+                "weights": self.network.get_weights(),
+                "network_extra": self.network.extra_state(),
+                "optimizer": self.optimizer.state_dict(),
+                "best_accuracy": best_accuracy,
+                "best_weights": best_weights,
+                "stale_validations": stale_validations,
+                "elapsed": time.perf_counter() - start,
+                "history": history_to_state(history),
+                "config": asdict(cfg),
+                "data": {
+                    "train_shape": list(x_train.shape),
+                    "val_shape": list(x_val.shape),
+                },
+            }
+
+        def save_checkpoint() -> None:
+            nonlocal last_saved
+            payload = snapshot()
+            if checkpoint_wrapper is not None:
+                payload = checkpoint_wrapper(payload)
+            checkpoints.save(payload, checkpoint_step_offset + iteration)
+            last_saved = iteration
+
+        while iteration < cfg.max_iterations and not stopped:
             iteration += 1
+            maybe_fail("trainer.iteration", iteration)
             batch_idx = rng.integers(0, n, size=min(cfg.batch_size, n))
             xb = x_train[batch_idx]
             tb = targets_train[batch_idx]
@@ -219,8 +373,14 @@ class Trainer:
                     stale_validations >= cfg.patience
                     and iteration >= cfg.min_iterations
                 ):
-                    break
+                    stopped = True
+            if checkpoints is not None and (
+                iteration % save_every == 0 or stopped
+            ):
+                save_checkpoint()
 
+        if checkpoints is not None and last_saved != iteration:
+            save_checkpoint()
         if cfg.restore_best and best_weights is not None:
             self.network.set_weights(best_weights)
         history.best_val_accuracy = best_accuracy
@@ -234,6 +394,28 @@ class Trainer:
             validations=len(history.val_accuracy),
         )
         return history
+
+    # ------------------------------------------------------------------
+    def _check_resume_state(
+        self, state: Dict[str, Any], x_train: np.ndarray, x_val: np.ndarray
+    ) -> None:
+        """Reject snapshots from a different run configuration or data."""
+        saved_config = state.get("config")
+        if saved_config != asdict(self.config):
+            raise CheckpointError(
+                "checkpoint was taken under a different TrainerConfig; "
+                f"saved {saved_config}, current {asdict(self.config)}"
+            )
+        saved_data = state.get("data") or {}
+        shapes = {
+            "train_shape": list(x_train.shape),
+            "val_shape": list(x_val.shape),
+        }
+        if saved_data != shapes:
+            raise CheckpointError(
+                f"checkpoint data shapes {saved_data} do not match the "
+                f"resumed run's {shapes}"
+            )
 
     # ------------------------------------------------------------------
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:

@@ -1,0 +1,114 @@
+"""Deterministic fault injection.
+
+Library code marks the places where production failures happen — one
+training iteration, one scan tile, the commit point of a checkpoint write
+— with ``maybe_fail(point, index)``. The call is a no-op in normal
+operation; tests arm it two ways:
+
+- **In-process hooks** (:func:`install_fault`): a callable registered for
+  a fault point runs with the call's index and may raise. Hooks live in
+  this process only — right for exercising retry loops and exception
+  paths deterministically.
+- **Environment spec** (``REPRO_FAULTS``): a string like
+  ``trainer.iteration:12=kill;scan.tile:3=raise`` that survives into
+  subprocesses (fork and spawn alike), so a test can SIGKILL a training
+  run at an exact iteration or crash one pool worker on an exact tile.
+
+Actions: ``raise`` throws :class:`InjectedFault`; ``kill`` sends SIGKILL
+to the current process; ``kill-worker`` does the same but only outside
+the main process (so a scanner that degrades from a broken worker pool to
+in-process execution survives the same spec).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+#: Environment variable holding the fault spec for subprocess injection.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_ACTIONS = ("raise", "kill", "kill-worker")
+
+#: In-process hooks: fault point -> callable(index).
+_hooks: Dict[str, Callable[[int], None]] = {}
+
+#: Parsed-spec cache keyed by the raw env string.
+_spec_cache: Tuple[Optional[str], Dict[Tuple[str, int], str]] = (None, {})
+
+
+class InjectedFault(ReproError):
+    """Raised by an armed fault point (the ``raise`` action / test hooks)."""
+
+
+def install_fault(point: str, hook: Callable[[int], None]) -> None:
+    """Register an in-process ``hook`` for ``point`` (overwrites any prior)."""
+    _hooks[point] = hook
+
+
+def clear_faults() -> None:
+    """Remove every in-process hook (tests call this in teardown)."""
+    _hooks.clear()
+
+
+def fail_on_calls(*indices: int) -> Callable[[int], None]:
+    """Hook raising :class:`InjectedFault` when the index is in ``indices``."""
+    targets = set(indices)
+
+    def hook(index: int) -> None:
+        if index in targets:
+            raise InjectedFault(f"injected fault on call {index}")
+
+    return hook
+
+
+def parse_spec(spec: str) -> Dict[Tuple[str, int], str]:
+    """Parse ``point:index=action;...`` into a lookup table."""
+    table: Dict[Tuple[str, int], str] = {}
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        location, _, action = entry.partition("=")
+        point, _, index = location.partition(":")
+        if not point or not index or action not in _ACTIONS:
+            raise ReproError(
+                f"bad {FAULTS_ENV} entry {entry!r}; expected "
+                f"point:index=({'|'.join(_ACTIONS)})"
+            )
+        table[(point, int(index))] = action
+    return table
+
+
+def _env_action(point: str, index: int) -> Optional[str]:
+    global _spec_cache
+    spec = os.environ.get(FAULTS_ENV)
+    if not spec:
+        return None
+    cached_spec, table = _spec_cache
+    if cached_spec != spec:
+        table = parse_spec(spec)
+        _spec_cache = (spec, table)
+    return table.get((point, index))
+
+
+def _in_main_process() -> bool:
+    return multiprocessing.current_process().name == "MainProcess"
+
+
+def maybe_fail(point: str, index: int) -> None:
+    """Trigger any fault armed for ``(point, index)``; no-op otherwise."""
+    hook = _hooks.get(point)
+    if hook is not None:
+        hook(index)
+    action = _env_action(point, index)
+    if action is None:
+        return
+    if action == "raise":
+        raise InjectedFault(f"injected fault at {point}[{index}]")
+    if action == "kill" or (action == "kill-worker" and not _in_main_process()):
+        os.kill(os.getpid(), signal.SIGKILL)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import TrainingError
+from repro.exceptions import ConfigError, TrainingError
 from repro.core.biased import (
     BiasedLearning,
     BiasedRound,
@@ -124,6 +124,26 @@ class TestBiasedLearning:
             self.make_algorithm(net, rounds=6, step=0.1)  # 0.5 reached
         with pytest.raises(TrainingError):
             BiasedLearning(net, lambda n: None, epsilon_step=-0.1)
+
+    def test_schedule_precondition_is_config_error(self):
+        # The whole ε schedule is validated up front — round t trains at
+        # ε = (t-1)·δε, which must stay strictly below 0.5 — and the
+        # violation is the typed ConfigError (a TrainingError subclass,
+        # so existing handlers keep working).
+        net = small_network()
+        with pytest.raises(ConfigError, match="0.5"):
+            self.make_algorithm(net, rounds=6, step=0.1)
+        with pytest.raises(ConfigError):
+            self.make_algorithm(net, rounds=2, step=0.5)
+        assert issubclass(ConfigError, TrainingError)
+
+    def test_schedule_boundary_accepted(self):
+        # 5 rounds of 0.1 peak at ε = 0.4 < 0.5: legal.
+        net = small_network()
+        algorithm = self.make_algorithm(net, rounds=5, step=0.1)
+        assert algorithm.rounds == 5
+        # rounds=1 never steps ε, so any step size is fine.
+        self.make_algorithm(net, rounds=1, step=0.9)
 
     def test_runs_all_rounds_with_stepped_epsilon(self):
         x, y = separable_problem()

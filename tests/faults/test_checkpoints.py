@@ -1,0 +1,215 @@
+"""Checkpoint durability: atomic writes, corruption detection, retention.
+
+Every corruption here is byte-exact (via :class:`TornWriteFS`), so the
+assertions pin the *typed* error each failure mode must produce and the
+manager's fallback behaviour when the newest snapshot is unreadable.
+"""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+)
+from repro.nn.serialize import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointManager,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.testing import (
+    InjectedFault,
+    TornWriteFS,
+    fail_on_calls,
+    install_fault,
+)
+
+
+def sample_state(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "kind": "trainer",
+        "iteration": 42,
+        "weights": [rng.normal(size=(3, 4)), rng.normal(size=4)],
+        "optimizer": {
+            "type": "SGD",
+            "step_count": 42,
+            "slots": {"velocity": {"0": rng.normal(size=(3, 4))}},
+        },
+        "flags": {"stopped": False, "note": None, "ratio": 0.25},
+    }
+
+
+def craft_checkpoint(path, magic=CHECKPOINT_MAGIC, version=CHECKPOINT_SCHEMA_VERSION):
+    """Byte-compatible checkpoint with a chosen magic/version stamp."""
+    manifest = {"magic": magic, "version": version, "state": {"x": 1}}
+    manifest_json = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    np.savez_compressed(
+        path,
+        manifest=np.frombuffer(manifest_json, dtype=np.uint8),
+        checksum=np.array([zlib.crc32(manifest_json) & 0xFFFFFFFF], dtype=np.uint64),
+    )
+
+
+def states_equal(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.array_equal(np.asarray(a), np.asarray(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(states_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(map(states_equal, a, b))
+    return a == b
+
+
+class TestRoundTrip:
+    def test_nested_tree_round_trips(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        state = sample_state()
+        write_checkpoint(path, state)
+        loaded = read_checkpoint(path)
+        # Tuples come back as lists; sample_state only uses lists.
+        assert states_equal(loaded, state)
+        assert loaded["weights"][0].dtype == np.float64
+        assert loaded["flags"]["note"] is None
+
+    def test_unserialisable_value_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            write_checkpoint(tmp_path / "a.ckpt.npz", {"bad": object()})
+        with pytest.raises(CheckpointError):
+            write_checkpoint(tmp_path / "b.ckpt.npz", {1: "non-str key"})
+
+    def test_failed_write_leaves_no_file(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        with pytest.raises(CheckpointError):
+            write_checkpoint(path, {"bad": object()})
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCorruptionDetection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint(tmp_path / "nope.ckpt.npz")
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        write_checkpoint(path, sample_state())
+        TornWriteFS.truncate(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+
+    def test_smashed_header(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        write_checkpoint(path, sample_state())
+        TornWriteFS.corrupt_head(path, nbytes=16)
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+
+    def test_flipped_payload_byte(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        write_checkpoint(path, sample_state())
+        TornWriteFS.flip_byte(path, offset=path.stat().st_size // 2)
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+
+    def test_npz_without_manifest(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        np.savez_compressed(path, data=np.arange(4))
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        craft_checkpoint(path, magic="someone-elses-format")
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+
+    def test_future_schema_version(self, tmp_path):
+        path = tmp_path / "a.ckpt.npz"
+        craft_checkpoint(path, version=CHECKPOINT_SCHEMA_VERSION + 1)
+        with pytest.raises(CheckpointVersionError):
+            read_checkpoint(path)
+
+    def test_checksum_mismatch(self, tmp_path):
+        # Valid container, valid manifest, wrong CRC stamp.
+        path = tmp_path / "a.ckpt.npz"
+        manifest = {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_SCHEMA_VERSION,
+            "state": {"x": 1},
+        }
+        manifest_json = json.dumps(manifest, sort_keys=True).encode("utf-8")
+        np.savez_compressed(
+            path,
+            manifest=np.frombuffer(manifest_json, dtype=np.uint8),
+            checksum=np.array([12345], dtype=np.uint64),
+        )
+        with pytest.raises(CheckpointCorruptError):
+            read_checkpoint(path)
+
+
+class TestManager:
+    def test_rolling_retention(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in (10, 20, 30):
+            manager.save({"kind": "t", "step": step}, step)
+        assert manager.steps() == [20, 30]
+        assert manager.latest_step() == 30
+        assert not manager.path_for(10).exists()
+
+    def test_load_latest_empty(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_falls_back_past_corrupt_snapshot(
+        self, tmp_path, fresh_registry, captured_events
+    ):
+        manager = CheckpointManager(tmp_path, keep=3)
+        manager.save({"kind": "t", "step": 1}, 1)
+        manager.save({"kind": "t", "step": 2}, 2)
+        TornWriteFS.truncate(manager.path_for(2), keep_fraction=0.3)
+        step, state = manager.load_latest()
+        assert step == 1 and state["step"] == 1
+        assert fresh_registry.counter("checkpoint.corrupt").value == 1
+        assert any(e.name == "checkpoint.corrupt" for e in captured_events.events)
+
+    def test_all_snapshots_corrupt_raises(self, tmp_path, fresh_registry):
+        manager = CheckpointManager(tmp_path, keep=2)
+        manager.save({"kind": "t", "step": 1}, 1)
+        manager.save({"kind": "t", "step": 2}, 2)
+        for step in (1, 2):
+            TornWriteFS.corrupt_head(manager.path_for(step))
+        with pytest.raises(CheckpointCorruptError):
+            manager.load_latest()
+
+    def test_crash_at_commit_keeps_previous(self, tmp_path, fresh_registry):
+        # The fault fires after fsync but before the atomic rename: the
+        # new snapshot never appears and the temp file is cleaned up.
+        manager = CheckpointManager(tmp_path, keep=3)
+        manager.save({"kind": "t", "step": 1}, 1)
+        install_fault("checkpoint.commit", fail_on_calls(0))
+        with pytest.raises(InjectedFault):
+            manager.save({"kind": "t", "step": 2}, 2)
+        assert manager.steps() == [1]
+        assert not list(tmp_path.glob("*.tmp"))
+        assert manager.load_latest()[1]["step"] == 1
+
+    def test_steps_ignores_foreign_files(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save({"kind": "t"}, 5)
+        (tmp_path / ".ckpt-0000000009.ckpt.npz.deadbeef.tmp").write_bytes(b"x")
+        (tmp_path / "ckpt-notanumber.ckpt.npz").write_bytes(b"x")
+        (tmp_path / "other-0000000001.ckpt.npz").write_bytes(b"x")
+        assert manager.steps() == [5]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, prefix="a/b")
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path).save({}, step=-1)

@@ -1,0 +1,376 @@
+"""Crash/resume equivalence for Algorithm 1 and Algorithm 2 training.
+
+The acceptance bar: a run killed mid-flight (exception or SIGKILL) and
+resumed from its newest checkpoint must reproduce the uninterrupted run's
+weights and history *bitwise* (wall-clock timing excluded).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.biased import BiasedLearning, biased_targets
+from repro.exceptions import CheckpointError
+from repro.nn import Dense, ReLU, SGD, Sequential, StepDecay
+from repro.nn.serialize import CheckpointManager
+from repro.nn.trainer import Trainer, TrainerConfig
+from repro.testing import (
+    CrashingWorker,
+    FlakyLayer,
+    InjectedFault,
+    clear_faults,
+    fail_on_calls,
+    histories_equal,
+    install_fault,
+    weights_equal,
+)
+
+CONFIG = TrainerConfig(
+    batch_size=16,
+    max_iterations=120,
+    validate_every=10,
+    patience=4,
+    min_iterations=40,
+    seed=0,
+)
+
+
+def make_problem(n=160, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, :2].sum(axis=1) > 0.3).astype(int)
+    split = int(n * 0.75)
+    return x[:split], y[:split], x[split:], y[split:]
+
+
+def make_network(seed=0, flaky_on=()):
+    rng = np.random.default_rng(seed)
+    first = Dense(4, 10, rng=rng)
+    layers = [
+        FlakyLayer(first, fail_on=flaky_on) if flaky_on else first,
+        ReLU(),
+        Dense(10, 2, rng=rng, init="glorot"),
+    ]
+    return Sequential(layers, input_shape=(4,))
+
+
+def make_trainer(network):
+    optimizer = SGD(network.parameters(), StepDecay(0.05, 0.5, 200))
+    return Trainer(network, optimizer, CONFIG)
+
+
+def clean_run():
+    xt, yt, xv, yv = make_problem()
+    network = make_network()
+    history = make_trainer(network).fit(xt, biased_targets(yt, 0.0), xv, yv)
+    return history, network.get_weights()
+
+
+def _train_with_checkpoints(directory):
+    """Subprocess target: the same training run, snapshotting as it goes."""
+    xt, yt, xv, yv = make_problem()
+    network = make_network()
+    make_trainer(network).fit(
+        xt,
+        biased_targets(yt, 0.0),
+        xv,
+        yv,
+        checkpoints=CheckpointManager(directory),
+        checkpoint_every=10,
+    )
+
+
+class TestTrainerResume:
+    def resume(self, tmp_path):
+        xt, yt, xv, yv = make_problem()
+        network = make_network()
+        history = make_trainer(network).fit(
+            xt,
+            biased_targets(yt, 0.0),
+            xv,
+            yv,
+            checkpoints=CheckpointManager(tmp_path),
+            checkpoint_every=10,
+            resume_from=CheckpointManager(tmp_path),
+        )
+        return history, network.get_weights()
+
+    def test_sigkill_at_checkpoint_boundary_resume_is_bitwise(self, tmp_path):
+        # SIGKILL right after the iteration-60 snapshot lands: no
+        # try/except can intercept it, so only the on-disk state survives.
+        worker = CrashingWorker(
+            _train_with_checkpoints,
+            args=(str(tmp_path),),
+            faults="trainer.iteration:61=kill",
+        )
+        worker.run()
+        assert worker.was_killed
+        manager = CheckpointManager(tmp_path)
+        assert manager.latest_step() == 60
+        resumed_history, resumed_weights = self.resume(tmp_path)
+        clean_history, clean_weights = clean_run()
+        assert histories_equal(clean_history, resumed_history)
+        assert weights_equal(clean_weights, resumed_weights)
+
+    def test_sigkill_between_checkpoints_resume_is_bitwise(self, tmp_path):
+        worker = CrashingWorker(
+            _train_with_checkpoints,
+            args=(str(tmp_path),),
+            faults="trainer.iteration:57=kill",
+        )
+        worker.run()
+        assert worker.was_killed
+        assert CheckpointManager(tmp_path).latest_step() == 50
+        resumed_history, resumed_weights = self.resume(tmp_path)
+        clean_history, clean_weights = clean_run()
+        assert histories_equal(clean_history, resumed_history)
+        assert weights_equal(clean_weights, resumed_weights)
+
+    def test_inprocess_crash_resume_is_bitwise(self, tmp_path):
+        install_fault("trainer.iteration", fail_on_calls(57))
+        xt, yt, xv, yv = make_problem()
+        network = make_network()
+        with pytest.raises(InjectedFault):
+            make_trainer(network).fit(
+                xt,
+                biased_targets(yt, 0.0),
+                xv,
+                yv,
+                checkpoints=CheckpointManager(tmp_path),
+                checkpoint_every=10,
+            )
+        clear_faults()
+        resumed_history, resumed_weights = self.resume(tmp_path)
+        clean_history, clean_weights = clean_run()
+        assert histories_equal(clean_history, resumed_history)
+        assert weights_equal(clean_weights, resumed_weights)
+
+    def test_flaky_layer_crash_resume_is_bitwise(self, tmp_path):
+        # The failure comes from *inside* the network mid-forward; the
+        # pre-delegation raise leaves the wrapped layer untouched, so the
+        # last snapshot is still consistent.
+        xt, yt, xv, yv = make_problem()
+        network = make_network(flaky_on=(50,))
+        with pytest.raises(InjectedFault):
+            make_trainer(network).fit(
+                xt,
+                biased_targets(yt, 0.0),
+                xv,
+                yv,
+                checkpoints=CheckpointManager(tmp_path),
+                checkpoint_every=10,
+            )
+        resumed_history, resumed_weights = self.resume(tmp_path)
+        clean_history, clean_weights = clean_run()
+        assert histories_equal(clean_history, resumed_history)
+        assert weights_equal(clean_weights, resumed_weights)
+
+    def test_resume_of_completed_run_is_identical(self, tmp_path):
+        xt, yt, xv, yv = make_problem()
+        network = make_network()
+        first = make_trainer(network).fit(
+            xt,
+            biased_targets(yt, 0.0),
+            xv,
+            yv,
+            checkpoints=CheckpointManager(tmp_path),
+        )
+        first_weights = network.get_weights()
+        resumed_history, resumed_weights = self.resume(tmp_path)
+        assert histories_equal(first, resumed_history)
+        assert weights_equal(first_weights, resumed_weights)
+
+    def test_resume_rejects_different_config(self, tmp_path):
+        xt, yt, xv, yv = make_problem()
+        network = make_network()
+        make_trainer(network).fit(
+            xt, biased_targets(yt, 0.0), xv, yv,
+            checkpoints=CheckpointManager(tmp_path),
+        )
+        other = Trainer(
+            network,
+            SGD(network.parameters(), StepDecay(0.05, 0.5, 200)),
+            TrainerConfig(
+                batch_size=32, max_iterations=120, validate_every=10,
+                patience=4, min_iterations=40, seed=0,
+            ),
+        )
+        with pytest.raises(CheckpointError):
+            other.fit(
+                xt, biased_targets(yt, 0.0), xv, yv,
+                resume_from=CheckpointManager(tmp_path),
+            )
+
+    def test_resume_rejects_different_data_shape(self, tmp_path):
+        xt, yt, xv, yv = make_problem()
+        network = make_network()
+        make_trainer(network).fit(
+            xt, biased_targets(yt, 0.0), xv, yv,
+            checkpoints=CheckpointManager(tmp_path),
+        )
+        with pytest.raises(CheckpointError):
+            make_trainer(make_network()).fit(
+                xt[:-4], biased_targets(yt[:-4], 0.0), xv, yv,
+                resume_from=CheckpointManager(tmp_path),
+            )
+
+    def test_resume_from_empty_manager_is_fresh_start(self, tmp_path):
+        xt, yt, xv, yv = make_problem()
+        network = make_network()
+        history = make_trainer(network).fit(
+            xt, biased_targets(yt, 0.0), xv, yv,
+            resume_from=CheckpointManager(tmp_path),
+        )
+        clean_history, clean_weights = clean_run()
+        assert histories_equal(clean_history, history)
+        assert weights_equal(clean_weights, network.get_weights())
+
+
+BIASED_CONFIG = TrainerConfig(
+    batch_size=16,
+    max_iterations=40,
+    validate_every=10,
+    patience=8,
+    min_iterations=0,
+    seed=0,
+)
+
+
+def make_algorithm(network):
+    return BiasedLearning(
+        network,
+        lambda n: SGD(n.parameters(), StepDecay(0.05, 0.5, 200)),
+        BIASED_CONFIG,
+        epsilon_step=0.1,
+        rounds=3,
+    )
+
+
+def rounds_equal(a, b):
+    return (
+        len(a) == len(b)
+        and all(x.epsilon == y.epsilon for x, y in zip(a, b))
+        and all(histories_equal(x.history, y.history) for x, y in zip(a, b))
+        and all(weights_equal(x.weights, y.weights) for x, y in zip(a, b))
+        and all(x.val_accuracy == y.val_accuracy for x, y in zip(a, b))
+    )
+
+
+class TestBiasedResume:
+    def run_clean(self):
+        xt, yt, xv, yv = make_problem(seed=3)
+        return make_algorithm(make_network(seed=1)).run(xt, yt, xv, yv)
+
+    def crash_at_total_iteration(self, tmp_path, total):
+        """Arm a hook counting trainer iterations across all ε-rounds."""
+        calls = {"n": 0}
+
+        def hook(index):
+            calls["n"] += 1
+            if calls["n"] == total:
+                raise InjectedFault(f"crash at overall iteration {total}")
+
+        install_fault("trainer.iteration", hook)
+        xt, yt, xv, yv = make_problem(seed=3)
+        with pytest.raises(InjectedFault):
+            make_algorithm(make_network(seed=1)).run(
+                xt, yt, xv, yv,
+                checkpoints=CheckpointManager(tmp_path, keep=2),
+                checkpoint_every=10,
+            )
+        clear_faults()
+
+    def resume(self, tmp_path):
+        xt, yt, xv, yv = make_problem(seed=3)
+        return make_algorithm(make_network(seed=1)).run(
+            xt, yt, xv, yv,
+            checkpoints=CheckpointManager(tmp_path, keep=2),
+            checkpoint_every=10,
+            resume_from=CheckpointManager(tmp_path, keep=2),
+        )
+
+    def test_mid_round_crash_resume_is_bitwise(self, tmp_path):
+        # Overall iteration 55 = iteration 15 of the ε=0.1 round.
+        self.crash_at_total_iteration(tmp_path, 55)
+        assert rounds_equal(self.run_clean(), self.resume(tmp_path))
+
+    def test_round_boundary_crash_resume_is_bitwise(self, tmp_path):
+        # Overall iteration 41 = iteration 1 of round 1: the newest
+        # retained snapshot is the round-0 boundary checkpoint.
+        self.crash_at_total_iteration(tmp_path, 41)
+        assert rounds_equal(self.run_clean(), self.resume(tmp_path))
+
+
+@pytest.fixture(scope="module")
+def litho_data():
+    from repro.data.dataset import HotspotDataset
+    from repro.data.generator import ClipGenerator, GeneratorConfig
+    from repro.litho.oracle import OracleConfig
+    from repro.litho.optics import OpticsConfig
+
+    generator = ClipGenerator(
+        GeneratorConfig(
+            seed=5, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8))
+        )
+    )
+    return HotspotDataset(generator.generate(20, 32), name="faults/train")
+
+
+def detector_config():
+    from repro.core.config import DetectorConfig
+    from repro.features.tensor import FeatureTensorConfig
+
+    return DetectorConfig(
+        feature=FeatureTensorConfig(block_count=12, coefficients=16, pixel_nm=4),
+        learning_rate=2e-3,
+        lr_decay_every=100,
+        bias_rounds=2,
+        trainer=TrainerConfig(
+            batch_size=16,
+            max_iterations=100,
+            validate_every=25,
+            patience=3,
+            min_iterations=25,
+            seed=0,
+        ),
+        seed=0,
+    )
+
+
+class TestDetectorResume:
+    def test_end_to_end_crash_resume_is_bitwise(self, tmp_path, litho_data):
+        # The full paper pipeline — data prep is seed-deterministic, so a
+        # fresh detector resuming from disk sees identical inputs and
+        # lands on identical weights.
+        from repro.core.detector import HotspotDetector
+
+        clean = HotspotDetector(detector_config()).fit(litho_data)
+
+        calls = {"n": 0}
+
+        def hook(index):
+            calls["n"] += 1
+            if calls["n"] == 60:
+                raise InjectedFault("mid-fit crash")
+
+        install_fault("trainer.iteration", hook)
+        with pytest.raises(InjectedFault):
+            HotspotDetector(detector_config()).fit(
+                litho_data, checkpoints=tmp_path, checkpoint_every=10
+            )
+        clear_faults()
+
+        resumed = HotspotDetector(detector_config()).fit(
+            litho_data, checkpoints=tmp_path, checkpoint_every=10, resume=True
+        )
+        assert weights_equal(
+            clean.network.get_weights(), resumed.network.get_weights()
+        )
+        assert rounds_equal(clean.rounds, resumed.rounds)
+        assert clean.selected_round.epsilon == resumed.selected_round.epsilon
+
+    def test_resume_without_checkpoints_rejected(self, litho_data):
+        from repro.core.detector import HotspotDetector
+        from repro.exceptions import TrainingError
+
+        with pytest.raises(TrainingError):
+            HotspotDetector(detector_config()).fit(litho_data, resume=True)

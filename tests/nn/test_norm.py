@@ -108,3 +108,35 @@ class TestBackward:
         out = net.forward(x, training=True)
         net.backward(np.ones_like(out))
         assert all(np.abs(p.grad).sum() > 0 for p in net.parameters())
+
+
+class TestExtraState:
+    def test_running_stats_round_trip(self):
+        rng = np.random.default_rng(0)
+        layer = BatchNorm2D(3)
+        for _ in range(4):
+            layer.forward(rng.normal(size=(5, 3, 4, 4)), training=True)
+        state = layer.extra_state()
+        fresh = BatchNorm2D(3)
+        fresh.load_extra_state(state)
+        assert np.array_equal(fresh.running_mean, layer.running_mean)
+        assert np.array_equal(fresh.running_var, layer.running_var)
+        x = rng.normal(size=(2, 3, 4, 4))
+        assert np.array_equal(
+            fresh.forward(x, training=False), layer.forward(x, training=False)
+        )
+
+    def test_load_rejects_wrong_channel_count(self):
+        from repro.exceptions import NetworkError
+
+        state = BatchNorm2D(3).extra_state()
+        with pytest.raises(NetworkError):
+            BatchNorm2D(4).load_extra_state(state)
+
+    def test_stateless_layer_rejects_foreign_state(self):
+        from repro.exceptions import NetworkError
+        from repro.nn import ReLU
+
+        assert ReLU().extra_state() == {}
+        with pytest.raises(NetworkError):
+            ReLU().load_extra_state({"rng": 1})

@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.exceptions import NetworkError
+from repro.exceptions import CheckpointError, NetworkError
 from repro.nn.layer import Parameter
 from repro.nn.optim import SGD, Adam, ConstantRate, StepDecay
 
@@ -125,3 +127,106 @@ class TestAdam:
             Adam([make_param()], ConstantRate(0.1), beta1=1.0)
         with pytest.raises(NetworkError):
             Adam([make_param()], ConstantRate(0.1), beta2=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint state round-trips
+# ----------------------------------------------------------------------
+OPTIMIZER_KINDS = ("sgd", "mgd", "adam")
+
+
+def make_optimizer(kind, params):
+    """The three trainable update rules: plain SGD, the paper's MGD
+    (mini-batch + momentum + step decay), and Adam."""
+    if kind == "sgd":
+        return SGD(params, ConstantRate(0.1))
+    if kind == "mgd":
+        return SGD(params, StepDecay(0.1, 0.5, 2), momentum=0.9)
+    return Adam(params, ConstantRate(0.05))
+
+
+@st.composite
+def step_vectors(draw):
+    """Initial values plus two gradient vectors, all the same length."""
+    n = draw(st.integers(2, 5))
+    f = st.floats(-5, 5, allow_nan=False, width=64)
+    vec = st.lists(f, min_size=n, max_size=n)
+    return draw(vec), draw(vec), draw(vec)
+
+
+class TestStateRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(data=step_vectors(), kind=st.sampled_from(OPTIMIZER_KINDS))
+    def test_save_load_one_step_equals_uninterrupted_two_step(self, data, kind):
+        # The resumability invariant: (step, snapshot, rebuild, load,
+        # step) lands bitwise where (step, step) does — slot buffers,
+        # schedule position, everything.
+        values, g1, g2 = data
+        p_straight = Parameter(np.array(values))
+        opt_straight = make_optimizer(kind, [p_straight])
+        p_straight.grad[:] = g1
+        opt_straight.step()
+        p_straight.grad[:] = g2
+        opt_straight.step()
+
+        p_before = Parameter(np.array(values))
+        opt_before = make_optimizer(kind, [p_before])
+        p_before.grad[:] = g1
+        opt_before.step()
+        state = opt_before.state_dict()
+
+        p_after = Parameter(p_before.value.copy())
+        opt_after = make_optimizer(kind, [p_after])
+        opt_after.load_state_dict(state)
+        p_after.grad[:] = g2
+        opt_after.step()
+
+        assert opt_after.step_count == opt_straight.step_count == 2
+        assert np.array_equal(p_straight.value, p_after.value)
+
+    @pytest.mark.parametrize("kind", OPTIMIZER_KINDS)
+    def test_state_survives_checkpoint_file(self, kind, tmp_path):
+        from repro.nn.serialize import CheckpointManager
+
+        p = Parameter(np.array([1.0, -2.0, 0.5]))
+        opt = make_optimizer(kind, [p])
+        p.grad[:] = [0.3, 0.7, -1.1]
+        opt.step()
+        CheckpointManager(tmp_path).save({"optimizer": opt.state_dict()}, 1)
+        state = CheckpointManager(tmp_path).load_latest()[1]["optimizer"]
+
+        p_resumed = Parameter(p.value.copy())
+        opt_resumed = make_optimizer(kind, [p_resumed])
+        opt_resumed.load_state_dict(state)
+        for target in (p, p_resumed):
+            target.grad[:] = [-0.2, 0.4, 0.9]
+        opt.step()
+        opt_resumed.step()
+        assert np.array_equal(p.value, p_resumed.value)
+
+    def test_load_rejects_wrong_optimizer_type(self):
+        sgd_state = SGD([make_param()], ConstantRate(0.1)).state_dict()
+        with pytest.raises(CheckpointError):
+            Adam([make_param()], ConstantRate(0.1)).load_state_dict(sgd_state)
+
+    def test_load_rejects_bad_slot_shape(self):
+        p = make_param([1.0, 2.0])
+        opt = SGD([p], ConstantRate(0.1), momentum=0.9)
+        p.grad[:] = [0.1, 0.2]
+        opt.step()
+        state = opt.state_dict()
+        state["slots"]["velocity"]["0"] = np.zeros(3)
+        fresh = SGD([make_param([1.0, 2.0])], ConstantRate(0.1), momentum=0.9)
+        with pytest.raises(CheckpointError):
+            fresh.load_state_dict(state)
+
+    def test_load_rejects_out_of_range_slot(self):
+        p = make_param([1.0, 2.0])
+        opt = SGD([p], ConstantRate(0.1), momentum=0.9)
+        p.grad[:] = [0.1, 0.2]
+        opt.step()
+        state = opt.state_dict()
+        state["slots"]["velocity"]["7"] = np.zeros(2)
+        fresh = SGD([make_param([1.0, 2.0])], ConstantRate(0.1), momentum=0.9)
+        with pytest.raises(CheckpointError):
+            fresh.load_state_dict(state)
