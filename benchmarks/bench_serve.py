@@ -1,0 +1,196 @@
+"""Serving throughput / latency vs. the dynamic-batching window (extension).
+
+Not a paper table — this measures the online-deployment scenario the
+serving subsystem exists for: concurrent callers scoring single clips
+against the engine, swept over the batching knobs. For each
+``max_batch`` in {1, 8, 32} and each batch window (``max_wait_ms``) the
+run records throughput (requests/second), p95 request latency, and the
+realised mean batch size to the ``BENCH_serve.json`` artifact, so future
+PRs can track the serving perf trajectory alongside the scan benchmark.
+
+``max_batch=1`` is the no-batching control: its mean batch size is
+exactly 1.0 by construction, and the wide-batch configurations must
+amortise work into visibly larger batches under the same load.
+"""
+
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import read_report, write_report
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.data.dataset import HotspotDataset
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.features.tensor import FeatureTensorConfig
+from repro.litho.oracle import OracleConfig
+from repro.litho.optics import OpticsConfig
+from repro.nn.trainer import TrainerConfig
+from repro.obs import MetricsRegistry, set_registry
+from repro.serve import EngineConfig, InferenceEngine
+
+#: Where the serving perf record lands (repo root, next to BENCH_fullchip).
+ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+BATCH_SIZES = (1, 8, 32)
+WAIT_WINDOWS_MS = (0.0, 2.0, 10.0)
+CLIENT_THREADS = 8
+REQUESTS_PER_THREAD = 25
+
+_CONFIG_KEYS = (
+    "max_batch",
+    "max_wait_ms",
+    "requests",
+    "seconds",
+    "requests_per_second",
+    "p95_latency_s",
+    "mean_batch_size",
+)
+
+
+def validate_serve_report(path: Path) -> dict:
+    """Re-read BENCH_serve.json and fail loudly on schema drift."""
+    document = read_report(path)
+    assert document["experiment"] == "serve_throughput_latency", document
+    configs = document["results"]["configs"]
+    assert len(configs) == len(BATCH_SIZES) * len(WAIT_WINDOWS_MS)
+    for entry in configs:
+        for key in _CONFIG_KEYS:
+            assert key in entry, f"{path}: config entry missing {key!r}"
+        assert entry["requests"] == CLIENT_THREADS * REQUESTS_PER_THREAD
+        assert entry["requests_per_second"] > 0
+        assert entry["p95_latency_s"] > 0
+        assert entry["mean_batch_size"] >= 1.0
+    return document
+
+
+@pytest.fixture(scope="module")
+def trained_detector():
+    generator = ClipGenerator(
+        GeneratorConfig(seed=5, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8)))
+    )
+    train = HotspotDataset(generator.generate(24, 40), name="serve-bench/train")
+    config = DetectorConfig(
+        feature=FeatureTensorConfig(block_count=12, coefficients=16, pixel_nm=4),
+        learning_rate=2e-3,
+        lr_decay_every=150,
+        bias_rounds=1,
+        trainer=TrainerConfig(
+            batch_size=16,
+            max_iterations=120,
+            validate_every=40,
+            patience=3,
+            min_iterations=40,
+            seed=0,
+        ),
+        seed=0,
+    )
+    return HotspotDetector(config).fit(train)
+
+
+@pytest.fixture(scope="module")
+def feature_batch(trained_detector):
+    generator = ClipGenerator(
+        GeneratorConfig(seed=9, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8)))
+    )
+    clips = HotspotDataset(generator.generate(8, 8), name="serve-bench/load")
+    return clips.features(trained_detector.extractor)
+
+
+def drive_engine(detector, feature_batch, max_batch, max_wait_ms):
+    """Hammer one engine configuration; returns the measured record."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        engine = InferenceEngine(
+            detector,
+            EngineConfig(
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                max_queue=4096,
+                workers=2,
+            ),
+        )
+        n = feature_batch.shape[0]
+        barrier = threading.Barrier(CLIENT_THREADS + 1)
+        errors = []
+
+        def client(slot):
+            try:
+                barrier.wait()
+                for j in range(REQUESTS_PER_THREAD):
+                    engine.predict(feature_batch[(slot + j) % n], timeout=60)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(slot,))
+            for slot in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        engine.close()
+        assert not errors, errors
+
+        requests = CLIENT_THREADS * REQUESTS_PER_THREAD
+        stats = engine.stats()
+        return {
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "requests": requests,
+            "seconds": elapsed,
+            "requests_per_second": requests / max(elapsed, 1e-9),
+            "p95_latency_s": registry.histogram("serve.request.seconds").p95,
+            "mean_batch_size": stats["mean_batch_size"],
+        }
+    finally:
+        set_registry(previous)
+
+
+def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch):
+    """Batching sweep; writes BENCH_serve.json."""
+
+    def sweep():
+        return [
+            drive_engine(trained_detector, feature_batch, max_batch, wait_ms)
+            for max_batch in BATCH_SIZES
+            for wait_ms in WAIT_WINDOWS_MS
+        ]
+
+    configs = once(sweep)
+
+    for entry in configs:
+        print(
+            f"max_batch={entry['max_batch']:>2} "
+            f"wait={entry['max_wait_ms']:>4}ms  "
+            f"{entry['requests_per_second']:8.1f} req/s  "
+            f"p95 {entry['p95_latency_s'] * 1000:7.2f} ms  "
+            f"mean batch {entry['mean_batch_size']:.2f}"
+        )
+
+    by_key = {(e["max_batch"], e["max_wait_ms"]): e for e in configs}
+    # The no-batching control cannot batch, by construction.
+    for wait_ms in WAIT_WINDOWS_MS:
+        assert by_key[(1, wait_ms)]["mean_batch_size"] == 1.0
+    # Under 8 concurrent clients a 32-sample window must actually batch.
+    assert by_key[(32, WAIT_WINDOWS_MS[-1])]["mean_batch_size"] > 1.0
+
+    write_report(
+        ARTIFACT_PATH,
+        "serve_throughput_latency",
+        {"configs": configs},
+        metadata={
+            "client_threads": CLIENT_THREADS,
+            "requests_per_thread": REQUESTS_PER_THREAD,
+            "engine_workers": 2,
+        },
+    )
+    validate_serve_report(ARTIFACT_PATH)
+    print(f"wrote {ARTIFACT_PATH}")

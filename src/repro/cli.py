@@ -9,6 +9,7 @@ workflows without writing Python:
 - ``experiment`` — regenerate one of the paper's tables/figures.
 - ``stats`` — audit a clip file.
 - ``scan`` — full-chip scan with a saved model.
+- ``serve`` — run the HTTP inference service from a model registry.
 - ``obs report`` — summarise a JSONL run log (stage timings, metrics).
 
 Every command routes its output through the observability layer
@@ -85,6 +86,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="continue from the newest snapshot in --checkpoint-dir",
     )
+    train.add_argument(
+        "--publish-dir", metavar="DIR", default=None,
+        help="also publish the trained model into a serving registry DIR",
+    )
+    train.add_argument(
+        "--publish-version", metavar="NAME", default=None,
+        help="registry version name for --publish-dir (default: v<timestamp>)",
+    )
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
     evaluate.add_argument("model", help="model file from 'train'")
@@ -120,6 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip windows already recorded in --journal",
     )
+
+    serve = sub.add_parser("serve", help="run the HTTP inference service")
+    serve.add_argument(
+        "--checkpoint-dir", metavar="DIR", required=True,
+        help="model registry directory (serving checkpoints from "
+             "'train --publish-dir' or ModelRegistry.publish)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 picks a free port)")
+    serve.add_argument("--model-name", default="default",
+                       help="logical model name in the API paths")
+    serve.add_argument("--model-version", default=None, metavar="NAME",
+                       help="initial version to serve (default: newest valid)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="sample cap per dynamic micro-batch")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="batching window after the first queued request")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="pending-request cap before 503 backpressure")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="inference worker threads")
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -164,6 +195,8 @@ def _dispatch(args) -> int:
         return _cmd_stats(args)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "obs":
         return _cmd_obs(args)
     return 2  # unreachable: argparse enforces the choices
@@ -212,6 +245,13 @@ def _cmd_train(args) -> int:
     _say(f"trained in {time.perf_counter() - start:.1f}s")
     detector.save(args.model)
     _say(f"model saved to {args.model}")
+    if args.publish_dir:
+        from repro.serve import ModelRegistry
+
+        version = args.publish_version or f"v{int(time.time())}"
+        registry = ModelRegistry(args.publish_dir)
+        path = registry.publish(detector, version)
+        _say(f"published serving checkpoint {version} to {path}")
     return 0
 
 
@@ -286,6 +326,37 @@ def _cmd_scan(args) -> int:
             f"  region ({b.x_lo},{b.y_lo})-({b.x_hi},{b.y_hi}) "
             f"windows={region.window_count} peak={region.max_probability:.2f}"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import EngineConfig, InferenceEngine, ModelRegistry, make_server
+
+    registry = ModelRegistry(args.checkpoint_dir, name=args.model_name)
+    loaded = registry.activate(args.model_version)
+    _say(
+        f"serving model {registry.name!r} version {loaded.version} "
+        f"from {args.checkpoint_dir}"
+    )
+    engine = InferenceEngine(
+        registry,
+        EngineConfig(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            workers=args.workers,
+        ),
+    )
+    server = make_server(engine, registry, host=args.host, port=args.port)
+    _say(f"listening on http://{args.host}:{server.port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _say("shutting down (draining queued requests)")
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close(drain=True)
     return 0
 
 

@@ -10,9 +10,10 @@ than the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping
 
-from repro.exceptions import TrainingError
+from repro.exceptions import ConfigError, TrainingError
 from repro.features.tensor import FeatureTensorConfig
 from repro.nn.trainer import TrainerConfig
 
@@ -82,3 +83,27 @@ class DetectorConfig:
             raise TrainingError("epsilon_step must be >= 0")
         if self.max_false_alarm_increase < 0:
             raise TrainingError("max_false_alarm_increase must be >= 0")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested dict (checkpoint / registry manifests)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DetectorConfig":
+        """Rebuild a config serialised by :meth:`to_dict`.
+
+        Unknown keys (a checkpoint written by a newer build) raise
+        :class:`~repro.exceptions.ConfigError` rather than being silently
+        dropped — a served model must run under exactly the configuration
+        it was trained with.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"detector config must be a mapping, got {type(data).__name__}")
+        fields = dict(data)
+        try:
+            feature = FeatureTensorConfig(**fields.pop("feature", {}))
+            trainer = TrainerConfig(**fields.pop("trainer", {}))
+            return cls(feature=feature, trainer=trainer, **fields)
+        except TypeError as exc:
+            raise ConfigError(f"bad detector config: {exc}") from exc

@@ -16,7 +16,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.exceptions import TrainingError
+from repro.exceptions import CheckpointCorruptError, TrainingError
 from repro.core.biased import BiasedLearning, BiasedRound, select_round
 from repro.core.config import DetectorConfig
 from repro.core.metrics import DetectionMetrics, evaluate_predictions
@@ -31,6 +31,9 @@ from repro.nn.optim import SGD, StepDecay
 from repro.nn.trainer import TrainerConfig
 
 PathLike = Union[str, Path]
+
+#: ``kind`` tag of a serving checkpoint written by ``save_checkpoint``.
+DETECTOR_CHECKPOINT_KIND = "hotspot-detector"
 
 
 class HotspotDetector:
@@ -262,6 +265,68 @@ class HotspotDetector:
         arrays["scaler_mean"] = mean
         arrays["scaler_std"] = std
         np.savez_compressed(path, **arrays)
+
+    # ------------------------------------------------------------------
+    # Serving checkpoints (self-describing: config travels with weights)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Self-contained state tree of the trained model.
+
+        Unlike :meth:`save` archives (weights + scaler only, architecture
+        implied by the caller's config), the state tree carries the full
+        :class:`DetectorConfig`, so :meth:`from_state` rebuilds an
+        identical detector with no out-of-band knowledge — the property
+        the serving model registry relies on.
+        """
+        network = self._require_trained()
+        mean, std = self.scaler.state()
+        return {
+            "kind": DETECTOR_CHECKPOINT_KIND,
+            "config": self.config.to_dict(),
+            "weights": network.get_weights(),
+            "scaler": {"mean": mean, "std": std},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "HotspotDetector":
+        """Rebuild a detector from a :meth:`to_state` tree."""
+        from repro.core.config import DetectorConfig
+
+        if not isinstance(state, dict) or state.get("kind") != DETECTOR_CHECKPOINT_KIND:
+            raise CheckpointCorruptError(
+                f"not a {DETECTOR_CHECKPOINT_KIND} checkpoint "
+                f"(kind={state.get('kind') if isinstance(state, dict) else state!r})"
+            )
+        try:
+            config_dict = state["config"]
+            weights = state["weights"]
+            scaler_state = state["scaler"]
+            # Dtype preserved: the scaler must transform exactly as the
+            # training-time instance did (bitwise serving equivalence).
+            mean = np.asarray(scaler_state["mean"])
+            std = np.asarray(scaler_state["std"])
+        except (KeyError, TypeError) as exc:
+            raise CheckpointCorruptError(
+                f"detector checkpoint missing field: {exc}"
+            ) from exc
+        detector = cls(DetectorConfig.from_dict(config_dict))
+        detector.network = detector._build_network()
+        detector.network.set_weights(weights)
+        detector.scaler = ChannelScaler.from_state(mean, std)
+        return detector
+
+    def save_checkpoint(self, path: PathLike) -> None:
+        """Atomically write a verified serving checkpoint (see PR-3 format)."""
+        from repro.nn.serialize import write_checkpoint
+
+        write_checkpoint(path, self.to_state())
+
+    @classmethod
+    def load_checkpoint(cls, path: PathLike) -> "HotspotDetector":
+        """Load and fully verify a :meth:`save_checkpoint` file."""
+        from repro.nn.serialize import read_checkpoint
+
+        return cls.from_state(read_checkpoint(path))
 
     def load(self, path: PathLike) -> "HotspotDetector":
         """Load a model saved by :meth:`save` (architecture from config)."""

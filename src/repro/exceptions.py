@@ -66,3 +66,19 @@ class LithoError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid telemetry configuration, sink failure, or malformed run log."""
+
+
+class ServeError(ReproError):
+    """Inference-service failure (engine, registry, or HTTP layer)."""
+
+
+class QueueFullError(ServeError):
+    """Engine request queue at capacity — backpressure, retry later (503)."""
+
+
+class EngineClosedError(ServeError):
+    """Request submitted to an engine that is draining or shut down."""
+
+
+class ModelNotFoundError(ServeError):
+    """Registry has no model under the requested name/version."""

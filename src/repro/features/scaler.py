@@ -71,12 +71,20 @@ class ChannelScaler:
 
     @classmethod
     def from_state(cls, mean: np.ndarray, std: np.ndarray) -> "ChannelScaler":
-        """Rebuild a scaler from persisted statistics."""
+        """Rebuild a scaler from persisted statistics.
+
+        The stored dtype is preserved (``fit`` on float32 features yields
+        float32 statistics): upcasting here would change the rounding of
+        ``transform`` and break the bitwise save/load round trip the
+        serving registry's equivalence guarantees depend on.
+        """
+        mean = np.asarray(mean)
+        std = np.asarray(std)
         if mean.shape != std.shape or mean.ndim != 1:
             raise FeatureError(
                 f"bad scaler state shapes {mean.shape} / {std.shape}"
             )
         scaler = cls()
-        scaler.mean = mean.astype(np.float64)
-        scaler.std = std.astype(np.float64)
+        scaler.mean = mean.copy()
+        scaler.std = std.copy()
         return scaler

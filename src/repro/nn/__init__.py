@@ -19,7 +19,7 @@ subset from first principles:
 Array convention is NCHW throughout (batch, channels, height, width).
 """
 
-from repro.nn.activations import ReLU
+from repro.nn.activations import LeakyReLU, ReLU
 from repro.nn.conv import Conv2D
 from repro.nn.dense import Dense
 from repro.nn.dropout import Dropout
@@ -46,6 +46,7 @@ __all__ = [
     "MaxPool2D",
     "Dense",
     "ReLU",
+    "LeakyReLU",
     "Dropout",
     "Flatten",
     "BatchNorm2D",

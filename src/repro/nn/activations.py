@@ -29,6 +29,9 @@ class ReLU(Layer):
         self._cache = mask
         return np.where(mask, x, 0.0)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, x, 0.0)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         mask = self._require_cached(self._cache, "mask")
         self._cache = None
@@ -54,6 +57,9 @@ class LeakyReLU(Layer):
         mask = x > 0
         self._cache = mask
         return np.where(mask, x, self.alpha * x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0, x, self.alpha * x)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         mask = self._require_cached(self._cache, "mask")

@@ -83,7 +83,8 @@ class Conv2D(Layer):
         raise NetworkError(f"unknown padding {padding!r}")
 
     # ------------------------------------------------------------------
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def _forward_core(self, x: np.ndarray):
+        """Shared compute for forward/infer: (output, cols_flat, (oh, ow))."""
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise NetworkError(
                 f"{self.name}: expected (N, {self.in_channels}, H, W), "
@@ -97,10 +98,17 @@ class Conv2D(Layer):
         cols_flat = cols.transpose(1, 0, 2).reshape(w_rows.shape[1], n * patch_count)
         out = (w_rows @ cols_flat).reshape(self.out_channels, n, patch_count)
         out = out.transpose(1, 0, 2) + self.bias.value[None, :, None]
-        self._cache = (cols_flat, (out_h, out_w), x.shape)
-        return np.ascontiguousarray(
-            out.reshape(n, self.out_channels, out_h, out_w)
-        )
+        out = np.ascontiguousarray(out.reshape(n, self.out_channels, out_h, out_w))
+        return out, cols_flat, (out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out, cols_flat, out_hw = self._forward_core(x)
+        self._cache = (cols_flat, out_hw, x.shape)
+        return out
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out, _, _ = self._forward_core(x)
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         cols_flat, (out_h, out_w), x_shape = self._require_cached(self._cache)

@@ -54,6 +54,13 @@ class Dense(Layer):
         self._cache = x
         return x @ self.weight.value + self.bias.value
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise NetworkError(
+                f"{self.name}: expected (N, {self.in_features}), got {x.shape}"
+            )
+        return x @ self.weight.value + self.bias.value
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x = self._require_cached(self._cache)
         self._cache = None

@@ -52,6 +52,21 @@ class Layer:
         """Compute the layer output; must cache what backward needs."""
         raise NotImplementedError
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward that writes no shared layer state.
+
+        Concurrent callers (the serving engine's worker threads) score
+        one network simultaneously; ``forward`` cannot be used for that
+        because it stashes per-call buffers on ``self._cache``. ``infer``
+        must produce output bitwise identical to
+        ``forward(x, training=False)`` while touching only locals.
+
+        Every built-in layer overrides this with a pure implementation;
+        the base fallback delegates to ``forward`` (correct, but *not*
+        reentrant — custom layers that cache must override).
+        """
+        return self.forward(x, training=False)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         """Propagate ``grad`` (dL/doutput) to dL/dinput."""
         raise NotImplementedError

@@ -127,18 +127,51 @@ class Sequential:
             layer.free_cache()
 
     # ------------------------------------------------------------------
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Reentrant inference forward: no layer state is written.
+
+        Output is bitwise identical to ``forward(x, training=False)``,
+        but every layer routes through its pure :meth:`Layer.infer`, so
+        any number of threads can score the same network concurrently
+        (the serving engine relies on this). Per-layer profiling, when
+        enabled, still records timings — the metrics instruments are
+        thread-safe.
+        """
+        if tuple(x.shape[1:]) != self.input_shape:
+            raise NetworkError(
+                f"input per-sample shape {tuple(x.shape[1:])} does not match "
+                f"network input {self.input_shape}"
+            )
+        out = x
+        if self._profile_registry is None:
+            for layer in self.layers:
+                out = layer.infer(out)
+            return out
+        registry = self._profile_registry
+        for index, layer in enumerate(self.layers):
+            started = time.perf_counter()
+            out = layer.infer(out)
+            registry.histogram(self._layer_metric("forward", index)).observe(
+                time.perf_counter() - started
+            )
+        return out
+
+    # ------------------------------------------------------------------
     def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Class probabilities, evaluated in inference mode and batches.
 
-        Inference never runs backward, so the forward caches are freed
-        before returning — a full-chip scan pushes thousands of windows
-        through here and must not retain the last batch's im2col buffers.
+        Runs the reentrant :meth:`infer` path, so concurrent calls are
+        safe and no forward caches are retained between batches (a
+        full-chip scan pushes thousands of windows through here). An
+        empty batch legitimately occurs when the serving engine flushes
+        a drained queue; it short-circuits to an empty ``(0, classes)``
+        result.
         """
+        if x.shape[0] == 0:
+            return np.zeros((0,) + self.output_shape, dtype=np.float64)
         chunks = []
         for start in range(0, x.shape[0], batch_size):
-            logits = self.forward(x[start : start + batch_size], training=False)
-            chunks.append(softmax(logits))
-        self.free_caches()
+            chunks.append(softmax(self.infer(x[start : start + batch_size])))
         return np.concatenate(chunks, axis=0)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:

@@ -75,6 +75,20 @@ class BatchNorm2D(Layer):
         self._cache = (x_hat, std, training, x.shape)
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise NetworkError(
+                f"{self.name}: expected (N, {self.channels}, H, W), got {x.shape}"
+            )
+        # Running statistics only — neither they nor the cache are written,
+        # so concurrent inference is safe.
+        std = np.sqrt(self.running_var + self.eps)
+        x_hat = (x - self.running_mean[None, :, None, None]) / std[None, :, None, None]
+        return (
+            self.gamma.value[None, :, None, None] * x_hat
+            + self.beta.value[None, :, None, None]
+        )
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         x_hat, std, training, x_shape = self._require_cached(self._cache)
         self._cache = None

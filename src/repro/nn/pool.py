@@ -28,7 +28,7 @@ class MaxPool2D(Layer):
         self.pool_size = pool_size
         self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def _tile(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4:
             raise NetworkError(f"{self.name}: expected NCHW, got {x.shape}")
         n, c, h, w = x.shape
@@ -37,7 +37,10 @@ class MaxPool2D(Layer):
             raise NetworkError(
                 f"{self.name}: spatial size {h}x{w} not divisible by pool {p}"
             )
-        tiles = x.reshape(n, c, h // p, p, w // p, p)
+        return x.reshape(n, c, h // p, p, w // p, p)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        tiles = self._tile(x)
         out = tiles.max(axis=(3, 5))
         # Winner mask for the backward scatter. Ties split the gradient
         # between the tied positions, which keeps backward an exact adjoint
@@ -47,6 +50,11 @@ class MaxPool2D(Layer):
         winners /= winners.sum(axis=(3, 5), keepdims=True)
         self._cache = (winners, np.array(x.shape))
         return out
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Pure reduction: the winner mask exists only for backward, so
+        # inference skips it entirely (and stays reentrant).
+        return self._tile(x).max(axis=(3, 5))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         winners, x_shape = self._require_cached(self._cache)

@@ -27,7 +27,9 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -236,6 +238,106 @@ def read_checkpoint(path: PathLike) -> Dict[str, Any]:
     if _checksum(manifest_json, arrays) != stored_crc:
         raise CheckpointCorruptError(f"{path}: checksum mismatch")
     return _decode_tree(manifest.get("state"), arrays)
+
+
+# ----------------------------------------------------------------------
+# Cheap metadata peek
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ArraySummary:
+    """Shape/dtype stand-in for an array a peek did not materialise."""
+
+    shape: Tuple[int, ...]
+    dtype: str
+
+    @property
+    def size(self) -> int:
+        count = 1
+        for s in self.shape:
+            count *= int(s)
+        return count
+
+
+def _peek_npy_header(member) -> ArraySummary:
+    """Read only the ``.npy`` header of an open zip member."""
+    from numpy.lib import format as npy_format
+
+    version = npy_format.read_magic(member)
+    if version == (1, 0):
+        shape, _, dtype = npy_format.read_array_header_1_0(member)
+    elif version == (2, 0):
+        shape, _, dtype = npy_format.read_array_header_2_0(member)
+    else:  # pragma: no cover - numpy writes 1.0/2.0 only
+        raise CheckpointCorruptError(f"unsupported npy format {version}")
+    return ArraySummary(tuple(int(s) for s in shape), str(dtype))
+
+
+def _summarise_tree(node: Any, summaries: Dict[str, ArraySummary]) -> Any:
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_MARK}:
+            key = node[_ARRAY_MARK]
+            if key not in summaries:
+                raise CheckpointCorruptError(
+                    f"manifest references missing array {key!r}"
+                )
+            return summaries[key]
+        return {
+            key: _summarise_tree(value, summaries) for key, value in node.items()
+        }
+    if isinstance(node, list):
+        return [_summarise_tree(item, summaries) for item in node]
+    return node
+
+
+def peek_checkpoint(path: PathLike) -> Dict[str, Any]:
+    """Read a checkpoint's metadata without materialising its weights.
+
+    Returns the same state tree as :func:`read_checkpoint`, except every
+    array is replaced by an :class:`ArraySummary` (shape + dtype, parsed
+    from the ``.npy`` member headers — the compressed weight payloads are
+    never inflated). Magic and schema version are verified; the CRC is
+    *not* (it covers the array bytes), so a peek is advisory: callers
+    that act on a checkpoint (e.g. the serving registry's hot swap) must
+    still run the fully-verified :func:`read_checkpoint`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        with zipfile.ZipFile(path) as archive:
+            names = set(archive.namelist())
+            if "manifest.npy" not in names:
+                raise CheckpointCorruptError(
+                    f"{path}: not a repro checkpoint (missing manifest)"
+                )
+            with archive.open("manifest.npy") as member:
+                manifest_json = bytes(np.lib.format.read_array(member))
+            summaries: Dict[str, ArraySummary] = {}
+            for name in names:
+                if not name.endswith(".npy"):
+                    continue
+                key = name[: -len(".npy")]
+                if key in ("manifest", "checksum"):
+                    continue
+                with archive.open(name) as member:
+                    summaries[key] = _peek_npy_header(member)
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zipfile/OSError: torn or garbled file
+        raise CheckpointCorruptError(f"{path}: unreadable archive: {exc}") from exc
+    try:
+        manifest = json.loads(manifest_json.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(f"{path}: garbled manifest") from exc
+    if not isinstance(manifest, dict) or manifest.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointCorruptError(f"{path}: bad checkpoint magic")
+    version = manifest.get("version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointVersionError(
+            f"{path}: schema version {version}, this build reads "
+            f"{CHECKPOINT_SCHEMA_VERSION}"
+        )
+    return _summarise_tree(manifest.get("state"), summaries)
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,12 @@ Zero-dependency implementations intended for hot paths:
   and approximate percentiles over a bounded, stride-decimated sample
   buffer (deterministic — no RNG — so runs stay reproducible).
 
+Every instrument is thread-safe: updates take a per-instrument lock, so
+concurrent writers (the serving engine's worker pool, HTTP handler
+threads) lose no counts and snapshots are internally consistent. The
+exact fields (count/total/min/max, counter values) are exact under any
+interleaving; only the histogram percentiles remain approximations.
+
 A :class:`MetricsRegistry` name-spaces instruments and serialises to a
 plain-dict :meth:`~MetricsRegistry.snapshot`, which another registry can
 :meth:`~MetricsRegistry.merge_snapshot`. That is how the full-chip scan's
@@ -25,27 +31,31 @@ from repro.exceptions import ObservabilityError
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ObservabilityError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A last-value-wins measurement."""
+    """A last-value-wins measurement (thread-safe)."""
 
     def __init__(self) -> None:
         self.value = 0.0
         self.updated = False
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
-        self.updated = True
+        with self._lock:
+            self.value = float(value)
+            self.updated = True
 
 
 class Histogram:
@@ -71,22 +81,24 @@ class Histogram:
         self._samples: List[float] = []
         self._stride = 1
         self._pending = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self._pending += 1
-        if self._pending >= self._stride:
-            self._pending = 0
-            self._samples.append(value)
-            if len(self._samples) >= self.max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._pending += 1
+            if self._pending >= self._stride:
+                self._pending = 0
+                self._samples.append(value)
+                if len(self._samples) >= self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
@@ -96,12 +108,13 @@ class Histogram:
         """Approximate ``q``-th percentile (q in [0, 100]); 0.0 if empty."""
         if not 0.0 <= q <= 100.0:
             raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        # Nearest-rank on the retained sample set.
-        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
-        return ordered[rank]
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            ordered = sorted(self._samples)
+            # Nearest-rank on the retained sample set.
+            rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+            return ordered[rank]
 
     @property
     def p50(self) -> float:
@@ -128,7 +141,8 @@ class Histogram:
     def state(self) -> Dict[str, Any]:
         """Mergeable serialisation (summary + retained samples)."""
         state = self.summary()
-        state["samples"] = list(self._samples)
+        with self._lock:
+            state["samples"] = list(self._samples)
         return state
 
     def merge_state(self, state: Mapping[str, Any]) -> None:
@@ -140,14 +154,15 @@ class Histogram:
         count = int(state["count"])
         if count == 0:
             return
-        self.count += count
-        self.total += float(state["total"])
-        self.min = min(self.min, float(state["min"]))
-        self.max = max(self.max, float(state["max"]))
-        self._samples.extend(float(v) for v in state.get("samples", ()))
-        while len(self._samples) >= self.max_samples:
-            self._samples = self._samples[::2]
-            self._stride *= 2
+        with self._lock:
+            self.count += count
+            self.total += float(state["total"])
+            self.min = min(self.min, float(state["min"]))
+            self.max = max(self.max, float(state["max"]))
+            self._samples.extend(float(v) for v in state.get("samples", ()))
+            while len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
 
 
 class MetricsRegistry:

@@ -1,0 +1,90 @@
+"""Minimal urllib client for the serving HTTP API.
+
+Used by the tests, the CI smoke drive, and the serving benchmark — and
+small enough to paste into any tool that needs to score clips against a
+running ``repro serve`` instance without extra dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ServeError
+
+
+class ServeClientError(ServeError):
+    """Non-2xx response from the serving API."""
+
+    def __init__(self, status: int, payload: dict):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("detail", "") if isinstance(payload, dict) else payload
+        error = payload.get("error", "error") if isinstance(payload, dict) else "error"
+        super().__init__(f"HTTP {status}: {error}: {detail}")
+
+
+class ServeClient:
+    """Blocking JSON client over ``urllib`` (no external dependencies)."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                payload = {"error": "HTTPError", "detail": str(exc)}
+            raise ServeClientError(exc.code, payload) from exc
+
+    # ------------------------------------------------------------------
+    def predict_tensors(self, tensors) -> np.ndarray:
+        """Score feature tensors; returns the ``(N, 2)`` probability rows."""
+        tensors = np.asarray(tensors, dtype=np.float32)
+        if tensors.ndim == 3:
+            tensors = tensors[None]
+        payload = self._request(
+            "POST", "/v1/predict", {"tensors": tensors.tolist()}
+        )
+        return np.asarray(payload["probabilities"], dtype=np.float64)
+
+    def predict_images(self, images: Sequence) -> np.ndarray:
+        """Score raw square clip images (server runs feature extraction)."""
+        payload = self._request(
+            "POST",
+            "/v1/predict",
+            {"images": [np.asarray(image).tolist() for image in images]},
+        )
+        return np.asarray(payload["probabilities"], dtype=np.float64)
+
+    def reload(self, version: Optional[str] = None, model: str = "default") -> dict:
+        """Hot-swap the served model (default: newest valid version)."""
+        body = {"version": version} if version is not None else {}
+        return self._request("POST", f"/v1/models/{model}/reload", body)
+
+    def rollback(self, model: str = "default") -> dict:
+        """Swap back to the previously served version."""
+        return self._request("POST", f"/v1/models/{model}/rollback", {})
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")

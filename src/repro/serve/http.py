@@ -1,0 +1,265 @@
+"""Stdlib-only JSON HTTP front end for the inference engine.
+
+Endpoints (all JSON in/out):
+
+- ``POST /v1/predict`` — body ``{"tensors": [[...]]}`` (one or more
+  ``(n, n, k)`` feature tensors) **or** ``{"images": [[...]]}`` (square
+  rasterised clip images; the engine runs the active model's
+  ``FeatureTensorExtractor``). Responds
+  ``{"probabilities": [[p_non, p_hot], ...], "model": ..., "version": ...}``.
+- ``POST /v1/models/<name>/reload`` — body optional
+  ``{"version": "..."}`` (default: newest valid in the registry).
+  Atomic hot swap; a corrupt candidate gets a typed error back and the
+  old model keeps serving.
+- ``POST /v1/models/<name>/rollback`` — swap back to the previously
+  active version.
+- ``GET /healthz`` — liveness + active model.
+- ``GET /metrics`` — full ``repro.obs`` registry snapshot plus derived
+  serving stats (mean dynamic batch size, rejects, errors).
+
+Error mapping: malformed input 400, unknown model/version 404,
+checkpoint corruption/schema mismatch 409 (old model still serving),
+backpressure 503 with ``Retry-After``, scoring timeout 504.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which is exactly the concurrency the engine's micro-batcher
+feeds on: simultaneous handler threads block on their futures while the
+worker scores them as one batch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    CheckpointError,
+    EngineClosedError,
+    FeatureError,
+    ModelNotFoundError,
+    QueueFullError,
+    ReproError,
+    ServeError,
+)
+from repro.obs import emit, get_registry
+from repro.obs.tracing import span
+from repro.serve.engine import InferenceEngine
+from repro.serve.registry import ModelRegistry
+
+#: Largest accepted request body (64 MiB of JSON tensors).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class HotspotHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the engine/registry for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        engine: InferenceEngine,
+        registry: Optional[ModelRegistry] = None,
+        request_timeout_s: float = 30.0,
+    ):
+        super().__init__(address, ServeHandler)
+        self.engine = engine
+        self.registry = registry
+        self.request_timeout_s = request_timeout_s
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server: HotspotHTTPServer  # narrowed for readability
+
+    # Keep-alive so load generators and the client can reuse sockets.
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        emit("serve.http", level="debug", line=format % args)
+
+    def _send_json(self, status: int, payload: dict, retry_after: bool = False) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: BaseException) -> None:
+        get_registry().counter("serve.http.errors").inc()
+        self._send_json(
+            status,
+            {"error": type(exc).__name__, "detail": str(exc)},
+            retry_after=status == 503,
+        )
+
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServeError(f"request body {length} bytes exceeds {MAX_BODY_BYTES}")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(f"malformed JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServeError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler) -> None:
+        """Run one route, translating typed errors to status codes."""
+        try:
+            handler()
+        except QueueFullError as exc:
+            self._send_error_json(503, exc)
+        except EngineClosedError as exc:
+            self._send_error_json(503, exc)
+        except ModelNotFoundError as exc:
+            self._send_error_json(404, exc)
+        except CheckpointError as exc:
+            # Bad candidate checkpoint: the previously active model is
+            # untouched and still serving — hence 409, not 500.
+            self._send_error_json(409, exc)
+        except FutureTimeoutError as exc:
+            self._send_error_json(504, exc)
+        except (ServeError, FeatureError, ValueError, TypeError) as exc:
+            self._send_error_json(400, exc)
+        except ReproError as exc:
+            self._send_error_json(500, exc)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._dispatch(self._handle_health)
+        elif self.path == "/metrics":
+            self._dispatch(self._handle_metrics)
+        else:
+            self._send_json(404, {"error": "NotFound", "detail": self.path})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/v1/predict":
+            self._dispatch(self._handle_predict)
+            return
+        parts = [p for p in self.path.split("/") if p]
+        if len(parts) == 4 and parts[:2] == ["v1", "models"]:
+            name, action = parts[2], parts[3]
+            if action == "reload":
+                self._dispatch(lambda: self._handle_reload(name))
+                return
+            if action == "rollback":
+                self._dispatch(lambda: self._handle_rollback(name))
+                return
+        self._send_json(404, {"error": "NotFound", "detail": self.path})
+
+    # ------------------------------------------------------------------
+    def _handle_health(self) -> None:
+        engine = self.server.engine
+        try:
+            version = engine.model_version
+        except ModelNotFoundError as exc:
+            self._send_error_json(503, exc)
+            return
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "model": self.server.registry.name if self.server.registry else "static",
+                "version": version,
+                "queue_depth": engine.queue_depth,
+            },
+        )
+
+    def _handle_metrics(self) -> None:
+        self._send_json(
+            200,
+            {
+                "serve": self.server.engine.stats(),
+                "metrics": get_registry().snapshot(),
+            },
+        )
+
+    def _handle_predict(self) -> None:
+        engine = self.server.engine
+        with span("serve.request", thread=threading.get_ident()):
+            payload = self._read_json_body()
+            tensors = payload.get("tensors")
+            images = payload.get("images")
+            if (tensors is None) == (images is None):
+                raise ServeError(
+                    "body must have exactly one of 'tensors' or 'images'"
+                )
+            if tensors is not None:
+                future = engine.submit(np.asarray(tensors, dtype=np.float32))
+            else:
+                future = engine.submit_images(images)
+            probabilities = future.result(self.server.request_timeout_s)
+        self._send_json(
+            200,
+            {
+                "probabilities": probabilities.tolist(),
+                "count": int(probabilities.shape[0]),
+                "model": self.server.registry.name if self.server.registry else "static",
+                "version": engine.model_version,
+            },
+        )
+
+    def _require_registry(self, name: str) -> ModelRegistry:
+        registry = self.server.registry
+        if registry is None:
+            raise ServeError("server is running a fixed model; no registry attached")
+        if name != registry.name:
+            raise ModelNotFoundError(f"no model named {name!r} (serving {registry.name!r})")
+        return registry
+
+    def _handle_reload(self, name: str) -> None:
+        registry = self._require_registry(name)
+        payload = self._read_json_body()
+        version = payload.get("version")
+        if version is not None and not isinstance(version, str):
+            raise ServeError(f"'version' must be a string, got {type(version).__name__}")
+        previous = registry.current.version if registry.has_current else None
+        loaded = registry.activate(version)
+        self._send_json(
+            200,
+            {"model": registry.name, "version": loaded.version, "previous": previous},
+        )
+
+    def _handle_rollback(self, name: str) -> None:
+        registry = self._require_registry(name)
+        rolled = registry.rollback()
+        self._send_json(200, {"model": registry.name, "version": rolled.version})
+
+
+def make_server(
+    engine: InferenceEngine,
+    registry: Optional[ModelRegistry] = None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    request_timeout_s: float = 30.0,
+) -> HotspotHTTPServer:
+    """Bind a serving HTTP server (``port=0`` picks a free port)."""
+    server = HotspotHTTPServer(
+        (host, port), engine, registry, request_timeout_s=request_timeout_s
+    )
+    emit("serve.listening", host=host, port=server.port)
+    return server

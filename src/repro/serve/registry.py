@@ -1,0 +1,222 @@
+"""Versioned model store with atomic hot swap and rollback.
+
+A :class:`ModelRegistry` owns one directory of serving checkpoints
+(``model-<version>.ckpt.npz``, written by
+:meth:`~repro.core.detector.HotspotDetector.save_checkpoint` via
+:meth:`ModelRegistry.publish`) and one *active* model that the inference
+engine scores requests with.
+
+Swap discipline:
+
+- ``activate(version)`` loads and **fully verifies** the candidate
+  checkpoint (magic, schema, CRC — the PR-3 ``read_checkpoint`` path)
+  *before* touching the active slot, then swaps the reference under the
+  registry lock. A corrupt or mismatched checkpoint therefore raises the
+  existing typed :class:`~repro.exceptions.CheckpointError` family and
+  leaves the old model serving.
+- The engine resolves ``registry.current`` once per micro-batch, so
+  in-flight batches finish on the model they started with; the swap is
+  a single reference assignment — no serving gap.
+- ``rollback()`` swaps back to the previously active model (one level).
+
+``versions()`` lists candidates cheaply via
+:func:`~repro.nn.serialize.peek_checkpoint` — manifest only, weights not
+materialised — which is how operators audit a registry directory without
+paying a full model load per file.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.detector import DETECTOR_CHECKPOINT_KIND, HotspotDetector
+from repro.exceptions import (
+    CheckpointCorruptError,
+    CheckpointError,
+    ModelNotFoundError,
+    ServeError,
+)
+from repro.nn.serialize import ArraySummary, peek_checkpoint
+from repro.obs import emit, get_registry
+
+PathLike = Union[str, Path]
+
+_VERSION_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_FILE_PREFIX = "model-"
+_FILE_SUFFIX = ".ckpt.npz"
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One registry entry, described without loading its weights."""
+
+    version: str
+    path: Path
+    valid: bool
+    parameter_count: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class LoadedModel:
+    """The active (or previously active) model with its provenance."""
+
+    version: str
+    detector: HotspotDetector
+
+
+class ModelRegistry:
+    """Serves a named "current" model out of a checkpoint directory."""
+
+    def __init__(self, directory: PathLike, name: str = "default"):
+        if not name or "/" in name:
+            raise ServeError(f"bad model name {name!r}")
+        self.directory = Path(directory)
+        self.name = name
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._current: Optional[LoadedModel] = None
+        self._previous: Optional[LoadedModel] = None
+
+    # ------------------------------------------------------------------
+    # Directory layout
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_version(version: str) -> str:
+        if not _VERSION_RE.match(version or ""):
+            raise ServeError(
+                f"bad model version {version!r} (alphanumeric, dot, dash, "
+                "underscore; must not start with a separator)"
+            )
+        return version
+
+    def path_for(self, version: str) -> Path:
+        return self.directory / f"{_FILE_PREFIX}{self._check_version(version)}{_FILE_SUFFIX}"
+
+    def version_names(self) -> List[str]:
+        """Registered version names, sorted (lexicographic, deterministic)."""
+        found = []
+        for entry in self.directory.glob(f"{_FILE_PREFIX}*{_FILE_SUFFIX}"):
+            stem = entry.name[len(_FILE_PREFIX) : -len(_FILE_SUFFIX)]
+            if _VERSION_RE.match(stem):
+                found.append(stem)
+        return sorted(found)
+
+    def versions(self) -> List[ModelVersion]:
+        """Audit every registered checkpoint via a cheap metadata peek.
+
+        Invalid entries (corrupt, wrong kind, wrong schema) come back
+        flagged rather than raising, so one bad file never hides the
+        rest of the registry.
+        """
+        entries = []
+        for version in self.version_names():
+            path = self.path_for(version)
+            try:
+                state = peek_checkpoint(path)
+                if state.get("kind") != DETECTOR_CHECKPOINT_KIND:
+                    raise CheckpointCorruptError(
+                        f"{path}: kind {state.get('kind')!r} is not a "
+                        f"{DETECTOR_CHECKPOINT_KIND} checkpoint"
+                    )
+                params = sum(
+                    w.size
+                    for w in state.get("weights", ())
+                    if isinstance(w, ArraySummary)
+                )
+                entries.append(
+                    ModelVersion(version, path, valid=True, parameter_count=params)
+                )
+            except CheckpointError as exc:
+                entries.append(
+                    ModelVersion(version, path, valid=False, error=str(exc))
+                )
+        return entries
+
+    def latest_version(self) -> str:
+        """Newest *valid* version (last in sort order)."""
+        valid = [entry.version for entry in self.versions() if entry.valid]
+        if not valid:
+            raise ModelNotFoundError(
+                f"registry {self.directory} has no valid model checkpoints"
+            )
+        return valid[-1]
+
+    # ------------------------------------------------------------------
+    # Publish / load
+    # ------------------------------------------------------------------
+    def publish(self, detector: HotspotDetector, version: str) -> Path:
+        """Write ``detector`` as checkpoint ``version`` (atomic, verified)."""
+        path = self.path_for(version)
+        if path.exists():
+            raise ServeError(
+                f"version {version!r} already published at {path}; "
+                "publish under a new version instead of overwriting"
+            )
+        detector.save_checkpoint(path)
+        emit(
+            "serve.publish",
+            model=self.name,
+            version=version,
+            path=str(path),
+            bytes=path.stat().st_size,
+        )
+        return path
+
+    def load(self, version: str) -> HotspotDetector:
+        """Fully load + verify one version (does not change the active slot)."""
+        path = self.path_for(version)
+        if not path.exists():
+            raise ModelNotFoundError(
+                f"model {self.name!r} has no version {version!r} at {path}"
+            )
+        return HotspotDetector.load_checkpoint(path)
+
+    # ------------------------------------------------------------------
+    # Active slot
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> LoadedModel:
+        """The active model; raises if nothing has been activated."""
+        current = self._current  # reference read is atomic; lock not needed
+        if current is None:
+            raise ModelNotFoundError(f"model {self.name!r} has no active version")
+        return current
+
+    @property
+    def has_current(self) -> bool:
+        return self._current is not None
+
+    def activate(self, version: Optional[str] = None) -> LoadedModel:
+        """Hot-swap the active model to ``version`` (default: latest).
+
+        The candidate is loaded and verified *outside* the swap: any
+        :class:`CheckpointError` (corrupt file, schema mismatch, wrong
+        kind) propagates with the old model still active and serving.
+        """
+        if version is None:
+            version = self.latest_version()
+        loaded = LoadedModel(version, self.load(version))
+        with self._lock:
+            if self._current is not None and self._current.version != version:
+                self._previous = self._current
+            self._current = loaded
+        get_registry().counter("serve.model.swaps").inc()
+        emit("serve.activate", model=self.name, version=version)
+        return loaded
+
+    def rollback(self) -> LoadedModel:
+        """Re-activate the previously active model (one step of history)."""
+        with self._lock:
+            if self._previous is None:
+                raise ModelNotFoundError(
+                    f"model {self.name!r} has no previous version to roll back to"
+                )
+            self._previous, self._current = self._current, self._previous
+        get_registry().counter("serve.model.rollbacks").inc()
+        emit("serve.rollback", model=self.name, version=self._current.version)
+        return self._current

@@ -49,6 +49,18 @@ class FlakyLayer(Layer):
             )
         return self.inner.forward(x, training=training)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        # Inference calls count against ``fail_on`` too so serving tests
+        # can inject mid-traffic failures. The counter update makes this
+        # wrapper deliberately non-reentrant — it is a test tool.
+        self.forward_calls += 1
+        if self.forward_calls in self.fail_on:
+            raise InjectedFault(
+                f"{self.name}: injected failure on forward call "
+                f"{self.forward_calls}"
+            )
+        return self.inner.infer(x)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return self.inner.backward(grad)
 

@@ -1,8 +1,10 @@
 """Validation tests for the detector configuration."""
 
+import json
+
 import pytest
 
-from repro.exceptions import TrainingError
+from repro.exceptions import ConfigError, TrainingError
 from repro.core.config import DetectorConfig
 from repro.features.tensor import FeatureTensorConfig
 from repro.nn.trainer import TrainerConfig
@@ -55,3 +57,29 @@ class TestDetectorConfig:
         config = DetectorConfig(balance_training=False, augment_hotspots=True)
         assert not config.balance_training
         assert config.augment_hotspots
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        config = DetectorConfig(
+            feature=FeatureTensorConfig(block_count=6, coefficients=9, pixel_nm=8),
+            learning_rate=5e-4,
+            bias_rounds=2,
+            trainer=TrainerConfig(batch_size=8, seed=3),
+            seed=7,
+        )
+        assert DetectorConfig.from_dict(config.to_dict()) == config
+
+    def test_dict_is_json_safe(self):
+        restored = json.loads(json.dumps(DetectorConfig().to_dict()))
+        assert DetectorConfig.from_dict(restored) == DetectorConfig()
+
+    def test_unknown_keys_rejected(self):
+        data = DetectorConfig().to_dict()
+        data["attention_heads"] = 8
+        with pytest.raises(ConfigError):
+            DetectorConfig.from_dict(data)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            DetectorConfig.from_dict([1, 2, 3])

@@ -165,3 +165,47 @@ class TestPersistence:
         # Parameter-count or shape mismatch, depending on architecture.
         with pytest.raises(ReproError):
             other.load(path)
+
+
+class TestServingCheckpoint:
+    """PR-3-format checkpoints carrying config + weights + scaler."""
+
+    def test_round_trip_is_bitwise(self, trained, tiny_data, tmp_path):
+        _, test = tiny_data
+        path = tmp_path / "model.ckpt.npz"
+        trained.save_checkpoint(path)
+        clone = HotspotDetector.load_checkpoint(path)
+        # No out-of-band config needed, and probabilities (not just hard
+        # labels) survive the round trip bit for bit.
+        assert clone.config == trained.config
+        assert np.array_equal(
+            clone.predict_proba(test), trained.predict_proba(test)
+        )
+
+    def test_state_tree_is_self_describing(self, trained):
+        state = trained.to_state()
+        assert state["kind"] == "hotspot-detector"
+        assert state["config"]["feature"]["block_count"] == 12
+        assert np.array_equal(
+            HotspotDetector.from_state(state).scaler.mean, trained.scaler.mean
+        )
+
+    def test_wrong_kind_rejected(self, trained):
+        from repro.exceptions import CheckpointCorruptError
+
+        state = trained.to_state()
+        state["kind"] = "optimizer-state"
+        with pytest.raises(CheckpointCorruptError):
+            HotspotDetector.from_state(state)
+
+    def test_missing_field_rejected(self, trained):
+        from repro.exceptions import CheckpointCorruptError
+
+        state = trained.to_state()
+        del state["scaler"]
+        with pytest.raises(CheckpointCorruptError):
+            HotspotDetector.from_state(state)
+
+    def test_untrained_to_state_raises(self):
+        with pytest.raises(TrainingError):
+            HotspotDetector(tiny_config()).to_state()

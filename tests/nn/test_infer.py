@@ -1,0 +1,151 @@
+"""Reentrant inference path: ``Layer.infer`` / ``Sequential.infer``.
+
+The serving engine scores one network from many threads at once, which
+is only sound because ``infer`` writes no shared layer state and matches
+``forward(training=False)`` bitwise. Both properties are asserted here,
+plus the empty-batch contract the engine's drain path relies on.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+
+def wide_network(seed=0):
+    """One of every layer kind, so infer coverage is total."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Conv2D(2, 4, 3, rng=rng, name="c1"),
+            BatchNorm2D(4),
+            ReLU(),
+            LeakyReLU(0.1),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(4 * 4 * 4, 8, rng=rng, name="fc1"),
+            Dropout(0.5, rng=np.random.default_rng(3)),
+            Dense(8, 2, rng=rng, name="out"),
+        ],
+        input_shape=(2, 8, 8),
+    )
+
+
+def batch(seed=1, n=6):
+    return np.random.default_rng(seed).normal(size=(n, 2, 8, 8))
+
+
+class TestInferEquivalence:
+    def test_bitwise_identical_to_eval_forward(self):
+        net = wide_network()
+        x = batch()
+        assert np.array_equal(net.infer(x), net.forward(x, training=False))
+
+    def test_after_training_statistics_exist(self):
+        # BatchNorm running stats must be read, not recomputed.
+        net = wide_network()
+        x = batch()
+        net.forward(x, training=True)
+        net.free_caches()
+        assert np.array_equal(net.infer(x), net.forward(x, training=False))
+
+    def test_infer_writes_no_layer_state(self):
+        net = wide_network()
+        x = batch()
+        dropout = net.layers[7]
+        rng_before = dropout._rng.bit_generator.state
+        net.infer(x)
+        assert all(
+            getattr(layer, "_cache", None) is None for layer in net.layers
+        )
+        # The dropout RNG position is part of the bitwise-resume contract.
+        assert dropout._rng.bit_generator.state == rng_before
+
+    def test_shape_validated(self):
+        from repro.exceptions import NetworkError
+
+        with pytest.raises(NetworkError):
+            wide_network().infer(np.zeros((2, 3, 8, 8)))
+
+
+class TestEmptyBatch:
+    def test_predict_proba_empty_returns_0x2(self):
+        net = wide_network()
+        probs = net.predict_proba(np.zeros((0, 2, 8, 8)))
+        assert probs.shape == (0, 2)
+        assert probs.dtype == np.float64
+
+    def test_predict_empty(self):
+        assert wide_network().predict(np.zeros((0, 2, 8, 8))).shape == (0,)
+
+
+class TestConcurrentInference:
+    def test_eight_threads_bitwise_match_serial(self):
+        net = wide_network()
+        x = batch(seed=7, n=16)
+        serial = net.predict_proba(x)
+
+        results = [None] * 8
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(slot):
+            try:
+                barrier.wait()
+                rows = [net.predict_proba(x) for _ in range(10)]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                return
+            results[slot] = rows
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for rows in results:
+            for row in rows:
+                assert np.array_equal(row, serial)
+
+    def test_profiling_path_also_reentrant(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        net = wide_network()
+        registry = MetricsRegistry()
+        net.enable_profiling(registry)
+        x = batch(seed=9, n=8)
+        serial = net.predict_proba(x)
+
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(5):
+                    assert np.array_equal(net.predict_proba(x), serial)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # 9 layers x (1 serial + 4 threads x 5 calls) observations each.
+        name = "nn.forward.00_c1.seconds"
+        assert registry.histogram(name).count == 21

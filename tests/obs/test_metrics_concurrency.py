@@ -1,0 +1,157 @@
+"""Thread-safety of the metrics instruments.
+
+The serving engine updates these counters and histograms from HTTP
+handler threads and inference workers simultaneously; a lost update
+would silently corrupt /metrics. Exact fields (count, sum, min, max,
+counter totals) make lost updates detectable deterministically — no
+reliance on "probably races".
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+THREADS = 8
+PER_THREAD = 2_000
+
+
+def run_threads(target):
+    barrier = threading.Barrier(THREADS)
+
+    def wrapped(slot):
+        barrier.wait()
+        target(slot)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(slot,)) for slot in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestCounterConcurrency:
+    def test_no_lost_increments(self):
+        registry = MetricsRegistry()
+
+        def work(slot):
+            for _ in range(PER_THREAD):
+                registry.counter("hits").inc()
+
+        run_threads(work)
+        assert registry.counter("hits").value == THREADS * PER_THREAD
+
+    def test_mixed_amounts(self):
+        registry = MetricsRegistry()
+
+        def work(slot):
+            for _ in range(PER_THREAD):
+                registry.counter("weighted").inc(slot + 1)
+
+        run_threads(work)
+        expected = PER_THREAD * sum(range(1, THREADS + 1))
+        assert registry.counter("weighted").value == expected
+
+
+class TestHistogramConcurrency:
+    def test_exact_fields_lose_nothing(self):
+        histogram = Histogram()
+
+        def work(slot):
+            for i in range(PER_THREAD):
+                histogram.observe(slot * PER_THREAD + i)
+
+        run_threads(work)
+        total = THREADS * PER_THREAD
+        assert histogram.count == total
+        assert histogram.total == sum(range(total))
+        assert histogram.min == 0
+        assert histogram.max == total - 1
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = [None] * THREADS
+
+        def work(slot):
+            for _ in range(200):
+                seen[slot] = registry.histogram("latency")
+
+        run_threads(work)
+        assert all(h is seen[0] for h in seen)
+
+    def test_reads_during_writes_are_safe(self):
+        histogram = Histogram()
+        failures = []
+
+        def work(slot):
+            try:
+                for i in range(PER_THREAD):
+                    if slot == 0:
+                        histogram.percentile(95)
+                        histogram.state()
+                    else:
+                        histogram.observe(float(i))
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        run_threads(work)
+        assert not failures
+        assert histogram.count == (THREADS - 1) * PER_THREAD
+
+
+class TestMergeMatchesSingleProcess:
+    def test_per_worker_snapshots_merge_to_single_process_totals(self):
+        """N per-worker registries merged == one registry fed everything."""
+        rng = np.random.default_rng(11)
+        streams = [rng.exponential(size=300) for _ in range(4)]
+
+        single = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in streams]
+        for worker, stream in zip(workers, streams):
+            for value in stream:
+                worker.counter("events").inc()
+                worker.histogram("latency").observe(value)
+                single.counter("events").inc()
+                single.histogram("latency").observe(value)
+            worker.gauge("depth").set(float(len(stream)))
+        single.gauge("depth").set(float(len(streams[-1])))
+
+        merged = MetricsRegistry()
+        for worker in workers:
+            merged.merge_snapshot(worker.snapshot())
+
+        expected = single.snapshot()
+        got = merged.snapshot()
+        assert got["counters"] == expected["counters"]
+        assert got["gauges"] == expected["gauges"]
+        exp_hist = expected["histograms"]["latency"]
+        got_hist = got["histograms"]["latency"]
+        for field in ("count", "min", "max"):
+            assert got_hist[field] == exp_hist[field]
+        # ``total`` accumulates in a different association order (per-worker
+        # subtotals vs. interleaved) — equal up to float addition rounding.
+        assert got_hist["total"] == pytest.approx(exp_hist["total"], rel=1e-12)
+
+    def test_concurrent_merges_into_shared_parent(self):
+        parent = MetricsRegistry()
+        workers = []
+        for slot in range(THREADS):
+            worker = MetricsRegistry()
+            for i in range(500):
+                worker.counter("events").inc()
+                worker.histogram("latency").observe(float(slot * 500 + i))
+            workers.append(worker.snapshot())
+
+        def work(slot):
+            parent.merge_snapshot(workers[slot])
+
+        run_threads(work)
+        total = THREADS * 500
+        assert parent.counter("events").value == total
+        histogram = parent.histogram("latency")
+        assert histogram.count == total
+        assert histogram.total == sum(range(total))

@@ -1,0 +1,83 @@
+"""Shared fixtures for the serving suite.
+
+Two tiny detectors (different trainer seeds, so their probabilities are
+distinguishable) are trained once per session; every test gets fresh
+process-global telemetry so counter/histogram assertions never see
+another test's traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.data.dataset import HotspotDataset
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.features.tensor import FeatureTensorConfig
+from repro.litho.oracle import OracleConfig
+from repro.litho.optics import OpticsConfig
+from repro.nn.trainer import TrainerConfig
+from repro.obs import EventBus, MetricsRegistry, set_bus, set_registry
+
+
+def tiny_config(seed=0):
+    return DetectorConfig(
+        feature=FeatureTensorConfig(block_count=12, coefficients=16, pixel_nm=4),
+        learning_rate=2e-3,
+        lr_decay_every=150,
+        bias_rounds=1,
+        trainer=TrainerConfig(
+            batch_size=16,
+            max_iterations=120,
+            validate_every=40,
+            patience=3,
+            min_iterations=40,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    """Every test writes to its own bus + metrics registry."""
+    bus = EventBus()
+    previous_bus = set_bus(bus)
+    registry = MetricsRegistry()
+    previous_registry = set_registry(registry)
+    yield registry
+    set_registry(previous_registry)
+    set_bus(previous_bus)
+    bus.close()
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    generator = ClipGenerator(
+        GeneratorConfig(
+            seed=5, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8))
+        )
+    )
+    train = HotspotDataset(generator.generate(24, 40), name="serve/train")
+    test = HotspotDataset(generator.generate(10, 16), name="serve/test")
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def trained_detector(tiny_data):
+    train, _ = tiny_data
+    return HotspotDetector(tiny_config(seed=0)).fit(train)
+
+
+@pytest.fixture(scope="session")
+def second_detector(tiny_data):
+    """A distinguishably different model for hot-swap tests."""
+    train, _ = tiny_data
+    return HotspotDetector(tiny_config(seed=1)).fit(train)
+
+
+@pytest.fixture(scope="session")
+def feature_batch(tiny_data, trained_detector):
+    """(N, n, n, k) float32 feature tensors for the test clips."""
+    _, test = tiny_data
+    return test.features(trained_detector.extractor).astype(np.float32)

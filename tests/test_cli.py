@@ -110,3 +110,44 @@ class TestTrainEvaluate:
         assert main(["scan", str(model), "--tiles", "2", "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "windows scanned" in out
+
+
+class TestServe:
+    def test_train_publish_then_serve(self, tmp_path, capsys, monkeypatch):
+        """One train feeds both halves: publish wiring and serve wiring."""
+        data = tmp_path / "clips.txt"
+        model = tmp_path / "model.npz"
+        models = tmp_path / "models"
+        assert main(["generate", str(data), "--hotspots", "16",
+                     "--non-hotspots", "24", "--seed", "3"]) == 0
+        assert main(["train", str(data), str(model),
+                     "--iterations", "120", "--bias-rounds", "1",
+                     "--publish-dir", str(models),
+                     "--publish-version", "v1"]) == 0
+        out = capsys.readouterr().out
+        assert "published serving checkpoint v1" in out
+
+        from repro.serve import ModelRegistry
+
+        registry = ModelRegistry(models)
+        (entry,) = registry.versions()
+        assert entry.version == "v1" and entry.valid
+        assert registry.activate("v1").version == "v1"
+
+        from repro.serve.http import HotspotHTTPServer
+
+        # Simulate ctrl-C the instant the server starts, exercising the
+        # full activate -> bind -> drain -> close path without blocking.
+        # The real shutdown() waits for a serve_forever loop that never
+        # ran here, so it must be stubbed alongside.
+        def interrupted(self, poll_interval=0.5):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(HotspotHTTPServer, "serve_forever", interrupted)
+        monkeypatch.setattr(HotspotHTTPServer, "shutdown", lambda self: None)
+        assert main(["serve", "--checkpoint-dir", str(models),
+                     "--port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving model 'default' version v1" in out
+        assert "listening on http://127.0.0.1:" in out
+        assert "shutting down" in out
