@@ -1,0 +1,571 @@
+"""Compute-kernel microbenchmarks (workspace-pooled GEMM conv layer).
+
+Measures the :mod:`repro.nn.kernels` performance layer against seed
+replicas defined in this file (the pre-kernel-layer implementations:
+reference-layout im2col plus a transpose copy, allocation-per-call GEMMs,
+temporary-chain optimizer updates):
+
+- ``im2col``: reference layout + transpose copy vs :func:`im2col_gemm`
+  into pooled scratch, for 'same' padding and the ``pad == 0`` fast path.
+- ``conv``: forward+backward, seed replica vs pooled float64 vs pooled
+  float32.
+- ``fused_relu``: Conv2D + separate ReLU layer vs ``activation="relu"``.
+- ``optimizer``: temporary-allocating SGD / momentum / Adam replicas vs
+  the in-place ``out=`` implementations.
+- ``dct``: ``encode_block_grid`` scipy backend vs the cached-basis matmul
+  backend on 12 x 12-pixel blocks (the paper's Figure-1 geometry).
+- ``train_step``: Table-1 network end-to-end — float64 unpooled/unfused
+  (seed-equivalent) vs float32 + fused conv + workspace pooling.
+
+Writes per-op results to ``BENCH_kernels.json`` and the train-epoch /
+feature-scan throughput trajectory to ``BENCH_train.json``; both
+artifacts are re-read and schema-checked loudly so a malformed record
+fails the run instead of silently poisoning the perf history.
+
+Full mode asserts the acceptance thresholds (train step >= 2x, matmul
+DCT >= 3x); ``--tiny`` shrinks every size/repeat for a CI smoke run and
+skips the speedup asserts (schema checks still apply).
+
+Run: ``PYTHONPATH=src python benchmarks/bench_kernels.py [--tiny]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.report import read_report, write_report
+from repro.core.model import build_dac17_network
+from repro.features.tensor import encode_block_grid
+from repro.nn.conv import Conv2D
+from repro.nn.activations import ReLU
+from repro.nn.im2col import col2im, im2col, im2col_gemm
+from repro.nn.kernels import Workspace, use_workspace
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Adam, ConstantRate, StepDecay
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+KERNELS_ARTIFACT = REPO_ROOT / "BENCH_kernels.json"
+TRAIN_ARTIFACT = REPO_ROOT / "BENCH_train.json"
+
+#: results sections every BENCH_kernels.json must carry, with the keys
+#: (all positive numbers) required inside each.
+_KERNELS_SCHEMA = {
+    "im2col": (
+        "reference_ms", "gemm_ms", "speedup",
+        "pad0_reference_ms", "pad0_gemm_ms", "pad0_speedup",
+    ),
+    "conv": (
+        "seed_ms", "pooled_float64_ms", "pooled_float32_ms",
+        "speedup_pooled", "speedup_float32",
+    ),
+    "fused_relu": ("unfused_ms", "fused_ms", "speedup"),
+    "optimizer": (
+        "sgd_alloc_ms", "sgd_inplace_ms", "sgd_speedup",
+        "momentum_alloc_ms", "momentum_inplace_ms", "momentum_speedup",
+        "adam_alloc_ms", "adam_inplace_ms", "adam_speedup",
+    ),
+    "dct": ("scipy_ms", "matmul_ms", "speedup"),
+    "train_step": (
+        "baseline_steps_per_s", "fast_steps_per_s", "speedup",
+    ),
+}
+
+_TRAIN_SCHEMA = {
+    "train_epoch": (
+        "baseline_steps_per_s", "baseline_samples_per_s",
+        "fast_steps_per_s", "fast_samples_per_s", "speedup",
+    ),
+    "scan": (
+        "scipy_windows_per_s", "matmul_windows_per_s", "speedup",
+    ),
+}
+
+
+def validate_kernels_report(path: Path) -> dict:
+    """Re-read BENCH_kernels.json and fail loudly on schema drift."""
+    document = read_report(path)
+    assert document["experiment"] == "kernel_microbenchmarks", document
+    return _check_sections(path, document, _KERNELS_SCHEMA)
+
+
+def validate_train_report(path: Path) -> dict:
+    """Re-read BENCH_train.json and fail loudly on schema drift."""
+    document = read_report(path)
+    assert document["experiment"] == "train_scan_throughput", document
+    return _check_sections(path, document, _TRAIN_SCHEMA)
+
+
+def _check_sections(path: Path, document: dict, schema: dict) -> dict:
+    results = document["results"]
+    for section, keys in schema.items():
+        assert section in results, f"{path}: results missing {section!r}"
+        entry = results[section]
+        assert isinstance(entry, dict), f"{path}: {section!r} is not a dict"
+        for key in keys:
+            assert key in entry, f"{path}: {section}.{key} missing"
+            value = entry[key]
+            assert isinstance(value, (int, float)) and value > 0, (
+                f"{path}: {section}.{key} must be a positive number, "
+                f"got {value!r}"
+            )
+    assert document.get("metadata", {}).get("mode") in ("tiny", "full"), (
+        f"{path}: metadata.mode must be 'tiny' or 'full'"
+    )
+    return document
+
+
+# ----------------------------------------------------------------------
+def best_of(fn, repeats: int, warmup: int = 1) -> float:
+    """Best wall-clock seconds of ``fn()`` over ``repeats`` timed calls."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Seed replicas: the pre-PR implementations, kept here as the baseline.
+def seed_conv_forward(conv: Conv2D, x: np.ndarray):
+    """Reference-layout im2col + transpose copy + allocating GEMM."""
+    cols, (oh, ow) = im2col(x, conv.kernel_size, conv.stride, conv.pad)
+    n = x.shape[0]
+    cols_flat = cols.transpose(1, 0, 2).reshape(cols.shape[1], n * oh * ow)
+    w_rows = conv.weight.value.reshape(conv.out_channels, -1)
+    out = (w_rows @ cols_flat).reshape(conv.out_channels, n, oh * ow)
+    out = out.transpose(1, 0, 2).reshape(n, conv.out_channels, oh, ow)
+    return out + conv.bias.value[None, :, None, None], cols_flat, (oh, ow)
+
+
+def seed_conv_backward(conv: Conv2D, cols_flat, out_hw, x_shape, grad):
+    """Allocation-per-call backward matching the seed implementation."""
+    oh, ow = out_hw
+    n = x_shape[0]
+    patches = oh * ow
+    grad_flat = (
+        grad.reshape(n, conv.out_channels, patches)
+        .transpose(1, 0, 2)
+        .reshape(conv.out_channels, n * patches)
+    )
+    w_rows = conv.weight.value.reshape(conv.out_channels, -1)
+    dw = (grad_flat @ cols_flat.T).reshape(conv.weight.value.shape)
+    db = grad_flat.sum(axis=1)
+    dcols = (w_rows.T @ grad_flat).reshape(w_rows.shape[1], n, patches)
+    dx = col2im(
+        dcols.transpose(1, 0, 2), x_shape, conv.kernel_size, conv.stride, conv.pad
+    )
+    return dx, dw, db
+
+
+def alloc_sgd_step(values, grads, rate):
+    for v, g in zip(values, grads):
+        v -= g * rate
+
+
+def alloc_momentum_step(values, grads, velocities, rate, momentum):
+    for v, g, vel in zip(values, grads, velocities):
+        vel[...] = momentum * vel - g * rate
+        v += vel
+
+
+def alloc_adam_step(values, grads, ms, vs, t, rate, b1=0.9, b2=0.999, eps=1e-8):
+    bias1 = 1.0 - b1 ** t
+    bias2 = 1.0 - b2 ** t
+    for v, g, m, s in zip(values, grads, ms, vs):
+        m[...] = b1 * m + (1.0 - b1) * g
+        s[...] = b2 * s + (1.0 - b2) * (g * g)
+        v -= (m / bias1) * rate / (np.sqrt(s / bias2) + eps)
+
+
+# ----------------------------------------------------------------------
+def bench_im2col(repeats: int, batch: int) -> dict:
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((batch, 16, 12, 12))
+    ws = Workspace()
+
+    def gemm(pad):
+        with use_workspace(ws), ws.step():
+            im2col_gemm(x, 3, 1, pad)
+
+    def reference(pad):
+        cols, _ = im2col(x, 3, 1, pad)
+        cols.transpose(1, 0, 2).reshape(cols.shape[1], -1)
+
+    ref = best_of(lambda: reference(1), repeats)
+    pooled = best_of(lambda: gemm(1), repeats)
+    ref0 = best_of(lambda: reference(0), repeats)
+    pooled0 = best_of(lambda: gemm(0), repeats)
+    return {
+        "reference_ms": ref * 1e3,
+        "gemm_ms": pooled * 1e3,
+        "speedup": ref / pooled,
+        "pad0_reference_ms": ref0 * 1e3,
+        "pad0_gemm_ms": pooled0 * 1e3,
+        "pad0_speedup": ref0 / pooled0,
+    }
+
+
+def bench_conv(repeats: int, batch: int) -> dict:
+    rng = np.random.default_rng(1)
+    x64 = rng.standard_normal((batch, 16, 12, 12))
+    grad64 = rng.standard_normal((batch, 16, 12, 12))
+    x32, grad32 = x64.astype(np.float32), grad64.astype(np.float32)
+
+    conv_seed = Conv2D(16, 16, 3, rng=np.random.default_rng(2))
+    conv64 = Conv2D(16, 16, 3, rng=np.random.default_rng(2))
+    conv32 = Conv2D(16, 16, 3, rng=np.random.default_rng(2), dtype=np.float32)
+    ws = Workspace()
+
+    def seed_step():
+        out, cols_flat, out_hw = seed_conv_forward(conv_seed, x64)
+        seed_conv_backward(conv_seed, cols_flat, out_hw, x64.shape, grad64)
+
+    def pooled_step(conv, x, grad):
+        for p in conv.parameters():
+            p.grad[...] = 0.0
+        with use_workspace(ws), ws.step():
+            conv.forward(x, training=True)
+            conv.backward(grad)
+
+    seed = best_of(seed_step, repeats)
+    pooled = best_of(lambda: pooled_step(conv64, x64, grad64), repeats)
+    pooled32 = best_of(lambda: pooled_step(conv32, x32, grad32), repeats)
+    return {
+        "seed_ms": seed * 1e3,
+        "pooled_float64_ms": pooled * 1e3,
+        "pooled_float32_ms": pooled32 * 1e3,
+        "speedup_pooled": seed / pooled,
+        "speedup_float32": seed / pooled32,
+    }
+
+
+def bench_fused_relu(repeats: int, batch: int) -> dict:
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal((batch, 16, 12, 12))
+    grad = rng.standard_normal((batch, 16, 12, 12))
+    unfused = Conv2D(16, 16, 3, rng=np.random.default_rng(4))
+    relu = ReLU()
+    fused = Conv2D(16, 16, 3, rng=np.random.default_rng(4), activation="relu")
+    ws = Workspace()
+
+    def unfused_step():
+        for p in unfused.parameters():
+            p.grad[...] = 0.0
+        with use_workspace(ws), ws.step():
+            out = unfused.forward(x, training=True)
+            relu.forward(out, training=True)
+            unfused.backward(relu.backward(grad))
+
+    def fused_step():
+        for p in fused.parameters():
+            p.grad[...] = 0.0
+        with use_workspace(ws), ws.step():
+            fused.forward(x, training=True)
+            fused.backward(grad)
+
+    t_unfused = best_of(unfused_step, repeats)
+    t_fused = best_of(fused_step, repeats)
+    return {
+        "unfused_ms": t_unfused * 1e3,
+        "fused_ms": t_fused * 1e3,
+        "speedup": t_unfused / t_fused,
+    }
+
+
+def bench_optimizers(repeats: int) -> dict:
+    rng = np.random.default_rng(5)
+    network = build_dac17_network(seed=0)
+    params = network.parameters()
+    for p in params:
+        p.grad[...] = rng.standard_normal(p.grad.shape)
+    rate = 1e-3
+    results = {}
+
+    # Allocating replicas run on detached copies of the same arrays.
+    values = [p.value.copy() for p in params]
+    grads = [p.grad.copy() for p in params]
+    velocities = [np.zeros_like(v) for v in values]
+    ms = [np.zeros_like(v) for v in values]
+    vs = [np.zeros_like(v) for v in values]
+
+    sgd = SGD(params, ConstantRate(rate))
+    momentum = SGD(params, ConstantRate(rate), momentum=0.9)
+    adam = Adam(params, ConstantRate(rate))
+
+    pairs = (
+        ("sgd", lambda: alloc_sgd_step(values, grads, rate), sgd.step),
+        (
+            "momentum",
+            lambda: alloc_momentum_step(values, grads, velocities, rate, 0.9),
+            momentum.step,
+        ),
+        ("adam", lambda: alloc_adam_step(values, grads, ms, vs, 1, rate), adam.step),
+    )
+    for name, alloc_fn, inplace_fn in pairs:
+        t_alloc = best_of(alloc_fn, repeats)
+        t_inplace = best_of(inplace_fn, repeats)
+        results[f"{name}_alloc_ms"] = t_alloc * 1e3
+        results[f"{name}_inplace_ms"] = t_inplace * 1e3
+        results[f"{name}_speedup"] = t_alloc / t_inplace
+    return results
+
+
+def bench_dct(repeats: int, encodes_per_rep: int) -> dict:
+    """Feature-tensor build on the paper's 12 x 12 grid of 12-px blocks."""
+    rng = np.random.default_rng(6)
+    images = [rng.random((144, 144)) for _ in range(encodes_per_rep)]
+
+    def run(backend):
+        for image in images:
+            encode_block_grid(image, 12, 32, backend=backend)
+
+    t_scipy = best_of(lambda: run("scipy"), repeats)
+    t_matmul = best_of(lambda: run("matmul"), repeats)
+    return {
+        "scipy_ms": t_scipy * 1e3,
+        "matmul_ms": t_matmul * 1e3,
+        "speedup": t_scipy / t_matmul,
+        "windows_per_rep": encodes_per_rep,
+        "scipy_windows_per_s": encodes_per_rep / t_scipy,
+        "matmul_windows_per_s": encodes_per_rep / t_matmul,
+    }
+
+
+class SeedReplicaNetwork:
+    """The pre-kernel-layer Table-1 network, reconstructed as the baseline.
+
+    Every op is the seed implementation: reference-layout im2col plus a
+    transpose copy, allocation-per-call GEMMs and activations, winner-mask
+    max pooling with a fresh spread buffer, and temporary-chain SGD.
+    Weights are copied from :func:`build_dac17_network` so the arithmetic
+    matches the measured fast network step for step.
+    """
+
+    def __init__(self, seed: int = 0):
+        reference = build_dac17_network(seed=seed)
+        from repro.nn.dense import Dense
+
+        self.convs = [l for l in reference.layers if isinstance(l, Conv2D)]
+        self.fcs = [l for l in reference.layers if isinstance(l, Dense)]
+        self.drop_rng = np.random.default_rng(seed + 1)
+        self.loss = SoftmaxCrossEntropy()
+
+    @staticmethod
+    def _pool_forward(x):
+        n, c, h, w = x.shape
+        tiles = x.reshape(n, c, h // 2, 2, w // 2, 2)
+        out = tiles.max(axis=(3, 5))
+        winners = (tiles == out[:, :, :, None, :, None]).astype(x.dtype)
+        winners /= winners.sum(axis=(3, 5), keepdims=True)
+        return out, (winners, x.shape)
+
+    @staticmethod
+    def _pool_backward(grad, cache):
+        winners, x_shape = cache
+        spread = winners * grad[:, :, :, None, :, None]
+        return spread.reshape(x_shape)
+
+    def step(self, xb, tb, rate):
+        convs, (fc1, fc2) = self.convs, self.fcs
+        caches, h = [], xb
+        for index, conv in enumerate(convs):
+            out, cols_flat, out_hw = seed_conv_forward(conv, h)
+            mask = out > 0
+            caches.append(("conv", conv, cols_flat, out_hw, h.shape, mask))
+            h = np.where(mask, out, 0.0)
+            if index in (1, 3):
+                h, pool_cache = self._pool_forward(h)
+                caches.append(("pool", pool_cache))
+        flat_shape = h.shape
+        h = h.reshape(h.shape[0], -1)
+        fc1_in = h
+        h = h @ fc1.weight.value + fc1.bias.value
+        fc1_mask = h > 0
+        h = np.where(fc1_mask, h, 0.0)
+        keep = 0.5
+        drop_mask = (self.drop_rng.random(h.shape) < keep) / keep
+        dropped_in = h
+        h = h * drop_mask
+        fc2_in = h
+        logits = h @ fc2.weight.value + fc2.bias.value
+
+        self.loss.forward(logits, tb)
+        grad = self.loss.backward()
+
+        grads = {}
+        grads[fc2] = (fc2_in.T @ grad, grad.sum(axis=0))
+        grad = grad @ fc2.weight.value.T
+        grad = grad * drop_mask
+        grad = grad * fc1_mask
+        grads[fc1] = (fc1_in.T @ grad, grad.sum(axis=0))
+        grad = (grad @ fc1.weight.value.T).reshape(flat_shape)
+        for entry in reversed(caches):
+            if entry[0] == "pool":
+                grad = self._pool_backward(grad, entry[1])
+                continue
+            _, conv, cols_flat, out_hw, x_shape, mask = entry
+            grad = grad * mask
+            grad, dw, db = seed_conv_backward(
+                conv, cols_flat, out_hw, x_shape, grad
+            )
+            grads[conv] = (dw, db)
+
+        for layer in convs + [fc1, fc2]:
+            dw, db = grads[layer]
+            layer.weight.value -= dw * rate
+            layer.bias.value -= db * rate
+
+
+def bench_train_step(steps: int, warmup: int, batch: int) -> dict:
+    """Table-1 network throughput: seed replica vs full fast mode."""
+    rng = np.random.default_rng(7)
+    n = max(4 * batch, 128)
+    x64 = rng.standard_normal((n, 32, 12, 12))
+    labels = rng.integers(0, 2, size=n)
+    targets64 = np.eye(2)[labels]
+    x32 = x64.astype(np.float32)
+    targets32 = targets64.astype(np.float32)
+    rate = 2e-3
+
+    def run_seed():
+        seed_net = SeedReplicaNetwork(seed=0)
+        batch_rng = np.random.default_rng(11)
+
+        def one_step():
+            idx = batch_rng.integers(0, n, size=batch)
+            seed_net.step(x64[idx], targets64[idx], rate)
+
+        for _ in range(warmup):
+            one_step()
+        start = time.perf_counter()
+        for _ in range(steps):
+            one_step()
+        return (time.perf_counter() - start) / steps
+
+    def run_fast():
+        network = build_dac17_network(
+            seed=0, compute_dtype="float32", fused_conv=True
+        )
+        optimizer = SGD(network.parameters(), StepDecay(rate, 0.5, 10_000))
+        loss = SoftmaxCrossEntropy()
+        workspace = Workspace()
+        batch_rng = np.random.default_rng(11)
+
+        def one_step():
+            idx = batch_rng.integers(0, n, size=batch)
+            xb, tb = x32[idx], targets32[idx]
+            network.zero_grad()
+            logits = network.forward(xb, training=True)
+            loss.forward(logits, tb)
+            network.backward(loss.backward())
+            optimizer.step()
+
+        for _ in range(warmup):
+            with use_workspace(workspace), workspace.step():
+                one_step()
+        start = time.perf_counter()
+        for _ in range(steps):
+            with use_workspace(workspace), workspace.step():
+                one_step()
+        return (time.perf_counter() - start) / steps
+
+    t_baseline = run_seed()
+    t_fast = run_fast()
+    return {
+        "baseline_steps_per_s": 1.0 / t_baseline,
+        "fast_steps_per_s": 1.0 / t_fast,
+        "baseline_samples_per_s": batch / t_baseline,
+        "fast_samples_per_s": batch / t_fast,
+        "speedup": t_baseline / t_fast,
+        "batch_size": batch,
+        "timed_steps": steps,
+    }
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke sizes; skips the speedup threshold asserts",
+    )
+    args = parser.parse_args(argv)
+    mode = "tiny" if args.tiny else "full"
+    if args.tiny:
+        repeats, batch, encodes = 3, 8, 4
+        steps, warmup, train_batch = 6, 2, 16
+    else:
+        repeats, batch, encodes = 10, 64, 32
+        steps, warmup, train_batch = 50, 5, 64
+
+    print(f"[bench_kernels] mode={mode}")
+    results = {
+        "im2col": bench_im2col(repeats, batch),
+        "conv": bench_conv(repeats, batch),
+        "fused_relu": bench_fused_relu(repeats, batch),
+        "optimizer": bench_optimizers(repeats),
+        "dct": bench_dct(repeats, encodes),
+        "train_step": bench_train_step(steps, warmup, train_batch),
+    }
+    for section, entry in results.items():
+        keys = [k for k in entry if "speedup" in k]
+        summary = ", ".join(f"{k}={entry[k]:.2f}x" for k in sorted(keys))
+        print(f"  {section}: {summary}")
+
+    metadata = {
+        "mode": mode,
+        "batch": batch,
+        "repeats": repeats,
+        "train_batch": train_batch,
+        "network": "dac17 Table 1 (32ch 12x12 input)",
+    }
+    write_report(KERNELS_ARTIFACT, "kernel_microbenchmarks", results, metadata)
+    print(f"wrote {KERNELS_ARTIFACT}")
+
+    train_doc = {
+        "train_epoch": {
+            k: results["train_step"][k]
+            for k in (
+                "baseline_steps_per_s", "baseline_samples_per_s",
+                "fast_steps_per_s", "fast_samples_per_s", "speedup",
+            )
+        },
+        "scan": {
+            "scipy_windows_per_s": results["dct"]["scipy_windows_per_s"],
+            "matmul_windows_per_s": results["dct"]["matmul_windows_per_s"],
+            "speedup": results["dct"]["speedup"],
+        },
+    }
+    write_report(TRAIN_ARTIFACT, "train_scan_throughput", train_doc, metadata)
+    print(f"wrote {TRAIN_ARTIFACT}")
+
+    # Loud schema validation: a malformed artifact fails the run.
+    validate_kernels_report(KERNELS_ARTIFACT)
+    validate_train_report(TRAIN_ARTIFACT)
+    print("artifact schemas OK")
+
+    if not args.tiny:
+        train_speedup = results["train_step"]["speedup"]
+        dct_speedup = results["dct"]["speedup"]
+        assert train_speedup >= 2.0, (
+            f"train-step speedup {train_speedup:.2f}x below the 2x target"
+        )
+        assert dct_speedup >= 3.0, (
+            f"matmul-DCT speedup {dct_speedup:.2f}x below the 3x target"
+        )
+        print(
+            f"thresholds OK: train {train_speedup:.2f}x >= 2x, "
+            f"DCT {dct_speedup:.2f}x >= 3x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

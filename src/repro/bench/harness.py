@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.core.config import DetectorConfig
 from repro.core.metrics import DetectionMetrics
 from repro.data.dataset import HotspotDataset
+from repro.features.tensor import FeatureTensorConfig
 from repro.nn.trainer import TrainerConfig
 
 #: Default scale on the paper's clip counts, chosen for single-CPU runs.
@@ -40,15 +41,21 @@ def bench_detector_config(
     bias_rounds: int = 2,
     seed: int = 0,
     max_iterations: int | None = None,
+    compute_dtype: str = "float64",
+    dct_backend: str = "scipy",
 ) -> DetectorConfig:
     """The CNN configuration used by the benchmark experiments.
 
     Paper hyper-parameters (α = 0.5, δε = 0.1, 25 % validation) with the
     iteration budget and LR-decay step scaled to the suite sizes this
-    reproduction trains on.
+    reproduction trains on. ``compute_dtype`` and ``dct_backend`` select
+    the numeric precision of the network and the DCT implementation of
+    the feature build; the defaults keep the historical bitwise path.
     """
     iterations = max_iterations if max_iterations is not None else bench_iterations()
     return DetectorConfig(
+        feature=FeatureTensorConfig(dct_backend=dct_backend),
+        compute_dtype=compute_dtype,
         learning_rate=2e-3,
         lr_alpha=0.5,
         lr_decay_every=max(1, int(iterations * 0.4)),

@@ -50,6 +50,15 @@ class DetectorConfig:
         Inner MGD loop settings (batch size m, iteration caps, patience).
     seed:
         Master seed for weight init and data splits.
+    compute_dtype:
+        Network parameter/activation precision: ``"float64"`` (default,
+        bitwise-compatible with all pre-existing checkpoints) or
+        ``"float32"`` (the fast path — roughly half the memory traffic
+        through every GEMM).
+    fused_conv:
+        Fold each post-conv ReLU into the convolution layer (same math;
+        fewer buffer passes). Off by default so checkpointed layer
+        structure stays identical to historical runs.
     """
 
     feature: FeatureTensorConfig = field(default_factory=FeatureTensorConfig)
@@ -65,8 +74,15 @@ class DetectorConfig:
     augment_hotspots: bool = False
     trainer: TrainerConfig = field(default_factory=TrainerConfig)
     seed: int = 0
+    compute_dtype: str = "float64"
+    fused_conv: bool = False
 
     def __post_init__(self) -> None:
+        if self.compute_dtype not in ("float32", "float64"):
+            raise TrainingError(
+                f"compute_dtype must be 'float32' or 'float64', "
+                f"got {self.compute_dtype!r}"
+            )
         if self.learning_rate <= 0:
             raise TrainingError("learning_rate must be positive")
         if not 0.0 < self.lr_alpha <= 1.0:

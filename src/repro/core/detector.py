@@ -60,6 +60,11 @@ class HotspotDetector:
     # ------------------------------------------------------------------
     # Feature plumbing
     # ------------------------------------------------------------------
+    @property
+    def _compute_dtype(self) -> np.dtype:
+        """Network precision from the config's dtype policy."""
+        return np.dtype(self.config.compute_dtype)
+
     def _to_network_input(
         self, dataset: HotspotDataset, fit_scaler: bool = False
     ) -> np.ndarray:
@@ -72,10 +77,10 @@ class HotspotDetector:
         if fit_scaler:
             self.scaler.fit(tensors)
         tensors = self.scaler.transform(tensors)
-        # float64 up front: the network's parameters are float64 and mixed
-        # dtype GEMMs would re-copy the batch every iteration.
+        # Cast to the compute dtype up front: the batch dtype must match
+        # the network's parameters or every GEMM would re-copy it.
         return np.ascontiguousarray(
-            tensors.transpose(0, 3, 1, 2), dtype=np.float64
+            tensors.transpose(0, 3, 1, 2), dtype=self._compute_dtype
         )
 
     def _build_network(self) -> Sequential:
@@ -84,6 +89,8 @@ class HotspotDetector:
             input_channels=cfg.coefficients,
             grid=cfg.block_count,
             seed=self.config.seed,
+            compute_dtype=self.config.compute_dtype,
+            fused_conv=self.config.fused_conv,
         )
 
     def _optimizer_factory(self, network: Sequential) -> SGD:
@@ -223,7 +230,7 @@ class HotspotDetector:
             )
         scaled = self.scaler.transform(tensors.astype(np.float32))
         batch = np.ascontiguousarray(
-            scaled.transpose(0, 3, 1, 2), dtype=np.float64
+            scaled.transpose(0, 3, 1, 2), dtype=self._compute_dtype
         )
         return network.predict_proba(batch)
 

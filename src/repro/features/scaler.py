@@ -47,8 +47,16 @@ class ChannelScaler:
         self.std = np.where(std > self.eps, std, 1.0)
         return self
 
-    def transform(self, features: np.ndarray) -> np.ndarray:
-        """Standardise ``features`` with the fitted statistics."""
+    def transform(self, features: np.ndarray, dtype=None) -> np.ndarray:
+        """Standardise ``features`` with the fitted statistics.
+
+        ``dtype`` selects the output precision; ``None`` keeps the
+        historical float32 (what every existing checkpoint's statistics
+        rounding was trained against). The standardisation itself always
+        runs at the statistics' precision — ``dtype`` only casts the
+        result, so float64 output of float32-fitted statistics does not
+        invent precision.
+        """
         if not self.fitted:
             raise FeatureError("scaler used before fit()")
         features = np.asarray(features)
@@ -57,10 +65,11 @@ class ChannelScaler:
                 f"channel count {features.shape[-1]} does not match fitted "
                 f"{self.mean.shape[0]}"
             )
-        return ((features - self.mean) / self.std).astype(np.float32)
+        target = np.float32 if dtype is None else np.dtype(dtype)
+        return ((features - self.mean) / self.std).astype(target)
 
-    def fit_transform(self, features: np.ndarray) -> np.ndarray:
-        return self.fit(features).transform(features)
+    def fit_transform(self, features: np.ndarray, dtype=None) -> np.ndarray:
+        return self.fit(features).transform(features, dtype=dtype)
 
     # ------------------------------------------------------------------
     def state(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -47,27 +47,30 @@ from repro.geometry.rect import Rect
 from repro.obs import MetricsRegistry, emit, get_registry, span
 from repro.testing.faults import maybe_fail
 
-#: One tile task: (index, rects, window, nm/px, block pixels, coefficients).
-_TileTask = Tuple[int, Tuple[Rect, ...], Rect, int, int, int]
+#: One tile task:
+#: (index, rects, window, nm/px, block pixels, coefficients, dct backend).
+_TileTask = Tuple[int, Tuple[Rect, ...], Rect, int, int, int, str]
 
 
 def _encode_tile(task: _TileTask) -> Tuple[np.ndarray, Dict[str, Any]]:
     """Rasterise one tile and reduce its blocks to truncated DCT vectors.
 
     Module-level so it pickles for the worker pool; pure function of its
-    arguments so fork/spawn start methods behave identically. Alongside
-    the coefficients it returns a private metrics-registry snapshot with
-    the tile's rasterisation and DCT wall-clock — workers cannot reach the
-    parent's registry, so stage timings travel back with the result and
-    the parent merges them (:meth:`MetricsRegistry.merge_snapshot`).
+    arguments so fork/spawn start methods behave identically — the DCT
+    backend travels in the task tuple rather than via process state.
+    Alongside the coefficients it returns a private metrics-registry
+    snapshot with the tile's rasterisation and DCT wall-clock — workers
+    cannot reach the parent's registry, so stage timings travel back with
+    the result and the parent merges them
+    (:meth:`MetricsRegistry.merge_snapshot`).
     """
-    index, rects, window, resolution, block, k = task
+    index, rects, window, resolution, block, k, backend = task
     maybe_fail("scan.tile", index)
     registry = MetricsRegistry()
     started = time.perf_counter()
     image = rasterize_rects(rects, window, resolution)
     rastered = time.perf_counter()
-    coefficients = encode_block_grid(image, block, k)
+    coefficients = encode_block_grid(image, block, k, backend=backend)
     registry.histogram("scan.raster.seconds").observe(rastered - started)
     registry.histogram("scan.dct.seconds").observe(
         time.perf_counter() - rastered
@@ -194,6 +197,7 @@ class SlidingFeatureExtractor:
                         self.config.pixel_nm,
                         self.block_px,
                         k,
+                        self.config.dct_backend,
                     )
                 )
         with span(

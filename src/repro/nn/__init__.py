@@ -25,6 +25,12 @@ from repro.nn.dense import Dense
 from repro.nn.dropout import Dropout
 from repro.nn.flatten import Flatten
 from repro.nn.init import glorot_uniform, he_normal, zeros_init
+from repro.nn.kernels import (
+    Workspace,
+    WorkspaceStats,
+    current_workspace,
+    use_workspace,
+)
 from repro.nn.layer import Layer, Parameter
 from repro.nn.loss import SoftmaxCrossEntropy, one_hot, softmax
 from repro.nn.network import Sequential
@@ -62,6 +68,10 @@ __all__ = [
     "TrainerConfig",
     "TrainingHistory",
     "ValidationUpdate",
+    "Workspace",
+    "WorkspaceStats",
+    "use_workspace",
+    "current_workspace",
     "he_normal",
     "glorot_uniform",
     "zeros_init",

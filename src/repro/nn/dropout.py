@@ -42,6 +42,10 @@ class Dropout(Layer):
             return x
         keep = 1.0 - self.rate
         mask = (self._rng.random(x.shape) < keep) / keep
+        if mask.dtype != x.dtype:
+            # Keep reduced-precision activations at their dtype; the
+            # float64 path is untouched (mask is already float64).
+            mask = mask.astype(x.dtype)
         self._cache = mask
         return x * mask
 

@@ -2,11 +2,17 @@
 
 Used by the test suite to validate every layer's analytic backward pass,
 and available to users extending the framework with new layers.
+
+Checks run in float64 by default. Pass ``dtype=np.float32`` (with a wider
+``eps``, e.g. ``1e-2``, and a ``tolerance``) to validate the float32
+compute path: the layer then sees genuine float32 inputs/probes, and the
+check raises :class:`~repro.exceptions.NetworkError` when both the
+absolute and relative errors exceed the tolerance.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -32,29 +38,59 @@ def numeric_gradient(
     return grad
 
 
+def _enforce(
+    errors: Tuple[float, float],
+    tolerance: Optional[float],
+    layer: Layer,
+    what: str,
+) -> None:
+    """Fail loudly when both error measures exceed the tolerance."""
+    if tolerance is None:
+        return
+    abs_err, rel_err = errors
+    if abs_err > tolerance and rel_err > tolerance:
+        raise NetworkError(
+            f"{layer.name}: {what} gradient check failed — "
+            f"abs={abs_err:.3e} rel={rel_err:.3e} tolerance={tolerance:.3e}"
+        )
+
+
 def check_layer_input_gradient(
     layer: Layer,
     x: np.ndarray,
     seed: int = 0,
     eps: float = 1e-5,
+    dtype=None,
+    tolerance: Optional[float] = None,
 ) -> Tuple[float, float]:
     """Compare analytic vs numeric input gradients of ``layer``.
 
     Uses the scalar probe ``L = sum(forward(x) * R)`` for a fixed random
     ``R``, whose analytic gradient is ``backward(R)``. Returns
-    ``(max_abs_error, max_rel_error)``.
+    ``(max_abs_error, max_rel_error)``. With ``dtype`` set, input and
+    probe are cast so the layer's own compute runs at that precision
+    (pick ``eps`` large enough to survive it — ``1e-2`` works for
+    float32); with ``tolerance`` set, failures raise instead of relying
+    on the caller to inspect the return value.
     """
     rng = np.random.default_rng(seed)
+    if dtype is not None:
+        x = np.asarray(x, dtype=dtype)
     out = layer.forward(x.copy(), training=False)
     probe = rng.normal(size=out.shape)
+    if dtype is not None:
+        probe = probe.astype(dtype)
 
     analytic = layer.backward(probe.copy())
 
     def scalar(inp: np.ndarray) -> float:
         return float((layer.forward(inp, training=False) * probe).sum())
 
-    numeric = numeric_gradient(scalar, x.astype(np.float64).copy(), eps)
-    return _errors(analytic, numeric)
+    base = x.copy() if dtype is not None else x.astype(np.float64).copy()
+    numeric = numeric_gradient(scalar, base, eps)
+    errors = _errors(analytic, numeric)
+    _enforce(errors, tolerance, layer, "input")
+    return errors
 
 
 def check_layer_param_gradients(
@@ -62,14 +98,26 @@ def check_layer_param_gradients(
     x: np.ndarray,
     seed: int = 0,
     eps: float = 1e-5,
+    dtype=None,
+    tolerance: Optional[float] = None,
 ) -> Tuple[float, float]:
-    """Compare analytic vs numeric parameter gradients of ``layer``."""
+    """Compare analytic vs numeric parameter gradients of ``layer``.
+
+    ``dtype``/``tolerance`` behave as in
+    :func:`check_layer_input_gradient`; parameters are perturbed at their
+    own storage dtype, so build the layer with the matching ``dtype`` to
+    exercise the reduced-precision path end to end.
+    """
     params = layer.parameters()
     if not params:
         raise NetworkError(f"{layer.name} has no parameters to check")
     rng = np.random.default_rng(seed)
+    if dtype is not None:
+        x = np.asarray(x, dtype=dtype)
     out = layer.forward(x.copy(), training=False)
     probe = rng.normal(size=out.shape)
+    if dtype is not None:
+        probe = probe.astype(dtype)
     for p in params:
         p.zero_grad()
     layer.forward(x.copy(), training=False)
@@ -86,7 +134,9 @@ def check_layer_param_gradients(
         abs_err, rel_err = _errors(analytic, numeric)
         worst_abs = max(worst_abs, abs_err)
         worst_rel = max(worst_rel, rel_err)
-    return worst_abs, worst_rel
+    errors = (worst_abs, worst_rel)
+    _enforce(errors, tolerance, layer, "parameter")
+    return errors
 
 
 def _errors(analytic: np.ndarray, numeric: np.ndarray) -> Tuple[float, float]:

@@ -5,6 +5,24 @@ the standard CPU strategy. ``im2col`` gathers every kernel-sized patch of
 the (padded) input into a column; ``col2im`` scatters columns back,
 accumulating overlaps, which is exactly the adjoint operation needed by the
 backward pass.
+
+Two layouts are provided:
+
+- :func:`im2col` / :func:`col2im` — the original per-sample layout
+  ``(N, C*k*k, P)``, kept as the reference API.
+- :func:`im2col_gemm` / :func:`col2im_gemm` — the GEMM layout
+  ``(C*k*k, N*P)`` that :class:`~repro.nn.conv.Conv2D` multiplies
+  directly, written straight into a workspace-pooled buffer. The input
+  is transposed to channel-major ``(C, N, H, W)`` once so the per-offset
+  gathers/scatters are same-layout slice copies, replacing the
+  ``transpose(1, 0, 2)`` copy (and per-offset strided transposes) the
+  old forward pass needed; the (large) column buffer is reused across
+  training steps via :mod:`repro.nn.kernels`. Element values are
+  identical to the reference layout — only the memory order differs.
+
+When ``pad == 0`` the reference path indexes the input directly instead
+of materialising a padded copy first, and the GEMM path skips the
+zero-fill of its channel-major staging buffer.
 """
 
 from __future__ import annotations
@@ -14,6 +32,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.exceptions import NetworkError
+from repro.nn import kernels
 
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -25,6 +44,13 @@ def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
             f"stride={stride} pad={pad}"
         )
     return out
+
+
+def _padded_view(x: np.ndarray, pad: int) -> np.ndarray:
+    """The input with zero padding applied — the input itself if pad==0."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
 
 
 def im2col(
@@ -40,9 +66,7 @@ def im2col(
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, pad)
     out_w = conv_output_size(w, kernel, stride, pad)
-    padded = np.pad(
-        x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
-    )
+    padded = _padded_view(x, pad)
     cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
     for ky in range(kernel):
         y_end = ky + stride * out_h
@@ -50,6 +74,45 @@ def im2col(
             x_end = kx + stride * out_w
             cols[:, :, ky, kx, :, :] = padded[:, :, ky:y_end:stride, kx:x_end:stride]
     return cols.reshape(n, c * kernel * kernel, out_h * out_w), (out_h, out_w)
+
+
+def im2col_gemm(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Patch columns in GEMM layout, gathered into workspace scratch.
+
+    Returns ``(cols_flat, (out_h, out_w))`` where ``cols_flat`` has shape
+    ``(C * kernel * kernel, N * out_h * out_w)`` — exactly the right-hand
+    operand of the convolution GEMM, with the same element values as
+    ``im2col(x, ...)[0].transpose(1, 0, 2).reshape(K, N*P)``.
+
+    The backing buffer comes from the ambient :class:`~repro.nn.kernels.
+    Workspace` (when one is active) and is only valid until the end of the
+    current workspace step.
+    """
+    if x.ndim != 4:
+        raise NetworkError(f"im2col expects NCHW input, got shape {x.shape}")
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    # Transpose to channel-major (C, N, H, W) once — padding with zeros in
+    # the same copy — so every patch gather below is a same-layout slice
+    # copy instead of a strided transpose.
+    if pad == 0:
+        padded = kernels.scratch((c, n, h, w), x.dtype)
+        np.copyto(padded, x.transpose(1, 0, 2, 3))
+    else:
+        padded = kernels.scratch_zeros((c, n, h + 2 * pad, w + 2 * pad), x.dtype)
+        padded[:, :, pad : pad + h, pad : pad + w] = x.transpose(1, 0, 2, 3)
+    cols = kernels.scratch((c, kernel, kernel, n, out_h, out_w), x.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            np.copyto(
+                cols[:, ky, kx], padded[:, :, ky:y_end:stride, kx:x_end:stride]
+            )
+    return cols.reshape(c * kernel * kernel, n * out_h * out_w), (out_h, out_w)
 
 
 def col2im(
@@ -78,3 +141,45 @@ def col2im(
     if pad == 0:
         return padded
     return padded[:, :, pad : pad + h, pad : pad + w]
+
+
+def col2im_gemm(
+    cols_flat: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col_gemm`: scatter-add GEMM-layout columns.
+
+    ``cols_flat`` has shape ``(C * kernel * kernel, N * out_h * out_w)``.
+    Accumulates into workspace scratch; the returned array is pooled
+    scratch and only valid until the end of the current workspace step.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, pad)
+    out_w = conv_output_size(w, kernel, stride, pad)
+    expected = (c * kernel * kernel, n * out_h * out_w)
+    if cols_flat.shape != expected:
+        raise NetworkError(
+            f"col2im shape mismatch: got {cols_flat.shape}, expected {expected}"
+        )
+    cols6 = cols_flat.reshape(c, kernel, kernel, n, out_h, out_w)
+    # Accumulate in channel-major (C, N, H, W) layout — the scatter-adds
+    # then run over same-layout slices — and transpose back to NCHW once
+    # at the end. Per-element addition order matches the naive NCHW loop,
+    # so the result is bitwise identical.
+    padded = kernels.scratch_zeros(
+        (c, n, h + 2 * pad, w + 2 * pad), cols_flat.dtype
+    )
+    for ky in range(kernel):
+        y_end = ky + stride * out_h
+        for kx in range(kernel):
+            x_end = kx + stride * out_w
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols6[:, ky, kx]
+    out = kernels.scratch((n, c, h, w), cols_flat.dtype)
+    np.copyto(
+        out,
+        padded[:, :, pad : pad + h, pad : pad + w].transpose(1, 0, 2, 3),
+    )
+    return out

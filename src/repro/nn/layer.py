@@ -17,10 +17,17 @@ from repro.exceptions import NetworkError
 
 
 class Parameter:
-    """A trainable tensor with its gradient buffer."""
+    """A trainable tensor with its gradient buffer.
 
-    def __init__(self, value: np.ndarray, name: str = ""):
-        self.value = np.asarray(value, dtype=np.float64)
+    ``dtype`` selects the storage/compute precision (the network-wide
+    ``compute_dtype`` policy); ``None`` keeps the float64 default that
+    every pre-existing checkpoint was written with.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "", dtype=None):
+        self.value = np.asarray(
+            value, dtype=np.float64 if dtype is None else np.dtype(dtype)
+        )
         self.grad = np.zeros_like(self.value)
         self.name = name
 

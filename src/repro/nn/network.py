@@ -227,5 +227,8 @@ class Sequential:
                     f"shape mismatch for {param.name}: "
                     f"{value.shape} vs {param.value.shape}"
                 )
-            param.value = value.astype(np.float64).copy()
+            # Cast to the parameter's own dtype: float64 networks restore
+            # float64 (the historical behaviour, bitwise), float32
+            # networks stay float32.
+            param.value = np.asarray(value, dtype=param.value.dtype).copy()
             param.zero_grad()

@@ -32,6 +32,7 @@ class BatchNorm2D(Layer):
         momentum: float = 0.9,
         eps: float = 1e-5,
         name: str = "",
+        dtype=np.float64,
     ):
         super().__init__(name)
         if channels < 1:
@@ -41,10 +42,11 @@ class BatchNorm2D(Layer):
         self.channels = channels
         self.momentum = momentum
         self.eps = eps
-        self.gamma = Parameter(np.ones(channels), name=f"{self.name}.gamma")
-        self.beta = Parameter(np.zeros(channels), name=f"{self.name}.beta")
-        self.running_mean = np.zeros(channels)
-        self.running_var = np.ones(channels)
+        self._dtype = np.dtype(dtype)
+        self.gamma = Parameter(np.ones(channels), name=f"{self.name}.gamma", dtype=dtype)
+        self.beta = Parameter(np.zeros(channels), name=f"{self.name}.beta", dtype=dtype)
+        self.running_mean = np.zeros(channels, dtype=self._dtype)
+        self.running_var = np.ones(channels, dtype=self._dtype)
         self._cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
@@ -118,8 +120,8 @@ class BatchNorm2D(Layer):
         }
 
     def load_extra_state(self, state: dict) -> None:
-        mean = np.asarray(state["running_mean"], dtype=np.float64)
-        var = np.asarray(state["running_var"], dtype=np.float64)
+        mean = np.asarray(state["running_mean"], dtype=self._dtype)
+        var = np.asarray(state["running_var"], dtype=self._dtype)
         if mean.shape != (self.channels,) or var.shape != (self.channels,):
             raise NetworkError(
                 f"{self.name}: running-stat shapes {mean.shape}/{var.shape} "

@@ -69,6 +69,20 @@ class Optimizer:
         self.parameters = list(parameters)
         self.schedule = schedule
         self.step_count = 0
+        self._scratch: Dict[Any, np.ndarray] = {}
+
+    def _scratch_like(self, param: Parameter, slot: int = 0) -> np.ndarray:
+        """Persistent per-(shape, dtype, slot) scratch for in-place math.
+
+        Scratch is transient within one ``_apply`` call and never part of
+        optimizer state, so it is excluded from ``state_dict``.
+        """
+        key = (param.value.shape, param.value.dtype.str, slot)
+        buffer = self._scratch.get(key)
+        if buffer is None:
+            buffer = np.empty_like(param.value)
+            self._scratch[key] = buffer
+        return buffer
 
     @property
     def current_rate(self) -> float:
@@ -142,7 +156,7 @@ class Optimizer:
                     f"has {len(self.parameters)}"
                 )
             param = self.parameters[index]
-            value = np.asarray(value, dtype=np.float64)
+            value = np.asarray(value, dtype=param.value.dtype)
             if value.shape != param.value.shape:
                 raise CheckpointError(
                     f"{slot_name} buffer {index} has shape {value.shape}, "
@@ -173,16 +187,23 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def _apply(self, rate: float) -> None:
+        # In-place `out=` update: the same op sequence as the original
+        # temporary-allocating form (`v = momentum*v - rate*grad`;
+        # `p += v` / `p -= rate*grad`), so results are bitwise identical,
+        # but no per-step parameter-sized temporaries are created.
         for p in self.parameters:
+            scaled = self._scratch_like(p)
+            np.multiply(p.grad, rate, out=scaled)
             if self.momentum > 0.0:
                 v = self._velocity.get(id(p))
                 if v is None:
                     v = np.zeros_like(p.value)
-                v = self.momentum * v - rate * p.grad
-                self._velocity[id(p)] = v
-                p.value += v
+                    self._velocity[id(p)] = v
+                np.multiply(v, self.momentum, out=v)
+                np.subtract(v, scaled, out=v)
+                np.add(p.value, v, out=p.value)
             else:
-                p.value -= rate * p.grad
+                np.subtract(p.value, scaled, out=p.value)
 
     def _slot_state(self) -> Dict[str, Any]:
         return {"velocity": self._pack_slot(self._velocity)}
@@ -212,20 +233,39 @@ class Adam(Optimizer):
         self._v: Dict[int, np.ndarray] = {}
 
     def _apply(self, rate: float) -> None:
+        # Same op sequence as the textbook temporary-allocating form, with
+        # every intermediate written into persistent scratch (`out=`), so
+        # updates are bitwise identical but allocation-free per step.
         t = self.step_count + 1
+        bias1 = 1 - self.beta1**t
+        bias2 = 1 - self.beta2**t
         for p in self.parameters:
             m = self._m.get(id(p))
             v = self._v.get(id(p))
             if m is None:
                 m = np.zeros_like(p.value)
                 v = np.zeros_like(p.value)
-            m = self.beta1 * m + (1 - self.beta1) * p.grad
-            v = self.beta2 * v + (1 - self.beta2) * np.square(p.grad)
-            self._m[id(p)] = m
-            self._v[id(p)] = v
-            m_hat = m / (1 - self.beta1**t)
-            v_hat = v / (1 - self.beta2**t)
-            p.value -= rate * m_hat / (np.sqrt(v_hat) + self.eps)
+                self._m[id(p)] = m
+                self._v[id(p)] = v
+            num = self._scratch_like(p, 0)
+            den = self._scratch_like(p, 1)
+            # m = beta1*m + (1-beta1)*grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(p.grad, 1 - self.beta1, out=num)
+            np.add(m, num, out=m)
+            # v = beta2*v + (1-beta2)*grad^2
+            np.multiply(v, self.beta2, out=v)
+            np.square(p.grad, out=num)
+            np.multiply(num, 1 - self.beta2, out=num)
+            np.add(v, num, out=v)
+            # p -= (rate * m_hat) / (sqrt(v_hat) + eps)
+            np.divide(m, bias1, out=num)
+            np.multiply(num, rate, out=num)
+            np.divide(v, bias2, out=den)
+            np.sqrt(den, out=den)
+            np.add(den, self.eps, out=den)
+            np.divide(num, den, out=num)
+            np.subtract(p.value, num, out=p.value)
 
     def _slot_state(self) -> Dict[str, Any]:
         return {"m": self._pack_slot(self._m), "v": self._pack_slot(self._v)}

@@ -13,6 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.exceptions import NetworkError
+from repro.nn import kernels
 from repro.nn.layer import Layer
 
 
@@ -41,12 +42,17 @@ class MaxPool2D(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         tiles = self._tile(x)
-        out = tiles.max(axis=(3, 5))
+        n, c, h, w = x.shape
+        p = self.pool_size
+        out = kernels.scratch((n, c, h // p, w // p), x.dtype)
+        tiles.max(axis=(3, 5), out=out)
         # Winner mask for the backward scatter. Ties split the gradient
         # between the tied positions, which keeps backward an exact adjoint
-        # of a subgradient choice.
+        # of a subgradient choice. The comparison writes 1.0/0.0 straight
+        # into pooled scratch (same values as the bool astype it replaces).
         expanded = out[:, :, :, None, :, None]
-        winners = (tiles == expanded).astype(x.dtype)
+        winners = kernels.scratch(tiles.shape, x.dtype)
+        np.equal(tiles, expanded, out=winners)
         winners /= winners.sum(axis=(3, 5), keepdims=True)
         self._cache = (winners, np.array(x.shape))
         return out
@@ -60,9 +66,10 @@ class MaxPool2D(Layer):
         winners, x_shape = self._require_cached(self._cache)
         self._cache = None
         n, c, h, w = (int(v) for v in x_shape)
-        p = self.pool_size
-        spread = winners * grad[:, :, :, None, :, None]
-        return spread.reshape(n, c, h, w)
+        # The cached mask is dead after this call: scale it in place
+        # rather than allocating the spread gradient.
+        winners *= grad[:, :, :, None, :, None]
+        return winners.reshape(n, c, h, w)
 
     def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         if len(input_shape) != 3:

@@ -21,6 +21,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.exceptions import CheckpointError, TrainingError
+from repro.nn import kernels
+from repro.nn.kernels import Workspace, use_workspace
 from repro.nn.loss import SoftmaxCrossEntropy
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
@@ -190,18 +192,28 @@ def resolve_resume_state(
 
 
 class Trainer:
-    """Runs Algorithm 1 on a network/optimizer pair."""
+    """Runs Algorithm 1 on a network/optimizer pair.
+
+    Each iteration's forward/backward/update runs inside one
+    :class:`~repro.nn.kernels.Workspace` step, so the large im2col and
+    activation buffers are allocated once on the first iteration and
+    reused for the rest of the run (the compute itself is bitwise
+    unchanged). Pass ``workspace`` to share a pool across trainers;
+    by default each trainer owns one.
+    """
 
     def __init__(
         self,
         network: Sequential,
         optimizer: Optimizer,
         config: TrainerConfig = TrainerConfig(),
+        workspace: Optional[Workspace] = None,
     ):
         self.network = network
         self.optimizer = optimizer
         self.config = config
         self.loss = SoftmaxCrossEntropy()
+        self.workspace = workspace if workspace is not None else Workspace()
 
     # ------------------------------------------------------------------
     def fit(
@@ -256,6 +268,11 @@ class Trainer:
             successive ``fit`` calls sharing one manager.
         """
         self._check_inputs(x_train, targets_train, x_val, y_val)
+        # Keep the loss gradient in the compute dtype: soft targets are
+        # built in float64, so a float32 network would otherwise upcast
+        # every backward buffer. No-op (same object) on the float64 path.
+        if targets_train.dtype != x_train.dtype:
+            targets_train = targets_train.astype(x_train.dtype)
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         history = TrainingHistory()
@@ -327,53 +344,63 @@ class Trainer:
             iteration += 1
             maybe_fail("trainer.iteration", iteration)
             batch_idx = rng.integers(0, n, size=min(cfg.batch_size, n))
-            xb = x_train[batch_idx]
-            tb = targets_train[batch_idx]
 
-            self.network.zero_grad()
-            logits = self.network.forward(xb, training=True)
-            loss_value = self.loss.forward(logits, tb)
-            self.network.backward(self.loss.backward())
-            self.optimizer.step()
+            with use_workspace(self.workspace), self.workspace.step():
+                # Gather the batch into pooled scratch (same values as
+                # fancy indexing, without the per-step allocation).
+                xb = kernels.scratch(
+                    (batch_idx.shape[0],) + x_train.shape[1:], x_train.dtype
+                )
+                np.take(x_train, batch_idx, axis=0, out=xb)
+                tb = targets_train[batch_idx]
 
-            if iteration % cfg.validate_every == 0 or iteration == cfg.max_iterations:
-                accuracy = self.evaluate(x_val, y_val)
-                elapsed = time.perf_counter() - start
-                rate = self.optimizer.current_rate
-                history.record(iteration, elapsed, accuracy, loss_value, rate)
-                improved = accuracy > best_accuracy
-                if improved:
-                    best_accuracy = accuracy
-                    best_weights = self.network.get_weights()
-                    stale_validations = 0
-                else:
-                    stale_validations += 1
-                update = ValidationUpdate(
-                    iteration=iteration,
-                    elapsed_seconds=elapsed,
-                    accuracy=accuracy,
-                    loss=loss_value,
-                    learning_rate=rate,
-                    best_accuracy=best_accuracy,
-                    improved=improved,
-                )
-                emit(
-                    "train.validate",
-                    level="debug",
-                    iteration=iteration,
-                    accuracy=accuracy,
-                    loss=loss_value,
-                    learning_rate=rate,
-                    elapsed_seconds=elapsed,
-                    improved=improved,
-                )
-                for callback in callbacks or ():
-                    callback(update)
+                self.network.zero_grad()
+                logits = self.network.forward(xb, training=True)
+                loss_value = self.loss.forward(logits, tb)
+                self.network.backward(self.loss.backward())
+                self.optimizer.step()
+
                 if (
-                    stale_validations >= cfg.patience
-                    and iteration >= cfg.min_iterations
+                    iteration % cfg.validate_every == 0
+                    or iteration == cfg.max_iterations
                 ):
-                    stopped = True
+                    accuracy = self.evaluate(x_val, y_val)
+                    elapsed = time.perf_counter() - start
+                    rate = self.optimizer.current_rate
+                    history.record(iteration, elapsed, accuracy, loss_value, rate)
+                    improved = accuracy > best_accuracy
+                    if improved:
+                        best_accuracy = accuracy
+                        best_weights = self.network.get_weights()
+                        stale_validations = 0
+                    else:
+                        stale_validations += 1
+                    update = ValidationUpdate(
+                        iteration=iteration,
+                        elapsed_seconds=elapsed,
+                        accuracy=accuracy,
+                        loss=loss_value,
+                        learning_rate=rate,
+                        best_accuracy=best_accuracy,
+                        improved=improved,
+                    )
+                    emit(
+                        "train.validate",
+                        level="debug",
+                        iteration=iteration,
+                        accuracy=accuracy,
+                        loss=loss_value,
+                        learning_rate=rate,
+                        elapsed_seconds=elapsed,
+                        improved=improved,
+                    )
+                    for callback in callbacks or ():
+                        callback(update)
+                    if (
+                        stale_validations >= cfg.patience
+                        and iteration >= cfg.min_iterations
+                    ):
+                        stopped = True
             if checkpoints is not None and (
                 iteration % save_every == 0 or stopped
             ):

@@ -50,6 +50,7 @@ from repro.exceptions import (
     QueueFullError,
     ServeError,
 )
+from repro.nn.kernels import Workspace, use_workspace
 from repro.obs import emit, get_registry
 from repro.obs.tracing import span
 from repro.serve.registry import LoadedModel, ModelRegistry
@@ -252,11 +253,19 @@ class InferenceEngine:
         return batch
 
     def _worker_loop(self) -> None:
+        # Each worker thread owns a kernel workspace: inference scratch
+        # (im2col columns, activation buffers) is allocated on the first
+        # batch of a given shape and reused for every later one. Scoping
+        # each batch with step() reclaims the buffers at batch end;
+        # results handed to futures are fresh arrays (softmax output),
+        # never pooled memory, so nothing escapes the step.
+        workspace = Workspace()
         while True:
             batch = self._collect()
             if batch is None:
                 return
-            self._run_batch(batch)
+            with use_workspace(workspace), workspace.step():
+                self._run_batch(batch)
 
     def _run_batch(self, batch: List[_Request]) -> None:
         registry = get_registry()

@@ -58,6 +58,13 @@ class TestDetectorConfig:
         assert not config.balance_training
         assert config.augment_hotspots
 
+    def test_compute_dtype_defaults_and_validation(self):
+        assert DetectorConfig().compute_dtype == "float64"
+        assert not DetectorConfig().fused_conv
+        assert DetectorConfig(compute_dtype="float32").compute_dtype == "float32"
+        with pytest.raises(TrainingError):
+            DetectorConfig(compute_dtype="float16")
+
 
 class TestDictRoundTrip:
     def test_round_trip_preserves_everything(self):
@@ -83,3 +90,16 @@ class TestDictRoundTrip:
     def test_non_mapping_rejected(self):
         with pytest.raises(ConfigError):
             DetectorConfig.from_dict([1, 2, 3])
+
+    def test_pre_dtype_policy_dicts_still_load(self):
+        # Config dicts saved before the compute-dtype policy existed have
+        # no compute_dtype/fused_conv/dct_backend keys; they must load
+        # with the historical (bitwise float64, scipy) defaults.
+        data = DetectorConfig().to_dict()
+        for key in ("compute_dtype", "fused_conv"):
+            del data[key]
+        del data["feature"]["dct_backend"]
+        config = DetectorConfig.from_dict(data)
+        assert config.compute_dtype == "float64"
+        assert not config.fused_conv
+        assert config.feature.dct_backend == "scipy"

@@ -1,0 +1,170 @@
+"""Tests for the matmul DCT backend (cached-basis GEMM feature path)."""
+
+import numpy as np
+import pytest
+import scipy.fft as sp_fft
+
+from repro.exceptions import FeatureError
+from repro.features.dct import (
+    DCT_BACKENDS,
+    dct2,
+    dct_basis,
+    get_default_dct_backend,
+    idct2,
+    resolve_dct_backend,
+    set_default_dct_backend,
+    truncated_dct_operator,
+)
+from repro.features.tensor import (
+    FeatureTensorConfig,
+    FeatureTensorExtractor,
+    encode_block_grid,
+)
+from repro.features.zigzag import zigzag_flatten, zigzag_unflatten
+
+BLOCK_SIZES = [4, 6, 8, 12, 16]
+
+
+class TestMatmulBackendExactness:
+    @pytest.mark.parametrize("n", BLOCK_SIZES)
+    def test_basis_is_orthonormal(self, n):
+        basis = dct_basis(n)
+        assert np.allclose(basis @ basis.T, np.eye(n), atol=1e-12)
+
+    @pytest.mark.parametrize("n", BLOCK_SIZES)
+    def test_dct2_matches_scipy(self, n):
+        block = np.random.default_rng(n).random((n, n)) * 100.0
+        assert np.allclose(
+            dct2(block, backend="matmul"),
+            sp_fft.dctn(block, type=2, norm="ortho", axes=(-2, -1)),
+            atol=1e-10,
+        )
+
+    @pytest.mark.parametrize("n", BLOCK_SIZES)
+    def test_idct2_matches_scipy(self, n):
+        coeffs = np.random.default_rng(n + 1).random((n, n))
+        assert np.allclose(
+            idct2(coeffs, backend="matmul"),
+            sp_fft.idctn(coeffs, type=2, norm="ortho", axes=(-2, -1)),
+            atol=1e-10,
+        )
+
+    @pytest.mark.parametrize("n", BLOCK_SIZES)
+    def test_round_trip_is_identity(self, n):
+        block = np.random.default_rng(n + 2).random((n, n))
+        assert np.allclose(
+            idct2(dct2(block, backend="matmul"), backend="matmul"),
+            block,
+            atol=1e-10,
+        )
+
+    def test_batched_blocks(self):
+        blocks = np.random.default_rng(0).random((3, 2, 8, 8))
+        assert np.allclose(
+            dct2(blocks, backend="matmul"),
+            dct2(blocks, backend="scipy"),
+            atol=1e-10,
+        )
+
+
+class TestTruncatedOperator:
+    @pytest.mark.parametrize("n,k", [(4, 5), (8, 16), (12, 32), (16, 100)])
+    def test_matches_dctn_plus_zigzag(self, n, k):
+        blocks = np.random.default_rng(k).random((3, n, n)) * 10.0
+        operator = truncated_dct_operator(n, k)
+        fused = blocks.reshape(3, n * n) @ operator.T
+        reference = zigzag_flatten(dct2(blocks, backend="scipy"))[..., :k]
+        assert fused.shape == (3, k)
+        assert np.allclose(fused, reference, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [4, 8, 12])
+    def test_full_rank_round_trip(self, n):
+        # k = B*B keeps every coefficient: operator is orthogonal, so the
+        # adjoint reconstructs the block exactly.
+        block = np.random.default_rng(n).random((1, n * n))
+        operator = truncated_dct_operator(n, n * n)
+        assert np.allclose(block @ operator.T @ operator, block, atol=1e-10)
+
+    def test_truncated_decode_matches_zigzag_unflatten(self):
+        n, k = 8, 10
+        coeffs = np.random.default_rng(1).random((4, k))
+        operator = truncated_dct_operator(n, k)
+        fused = (coeffs @ operator).reshape(4, n, n)
+        reference = idct2(zigzag_unflatten(coeffs, n), backend="scipy")
+        assert np.allclose(fused, reference, atol=1e-10)
+
+    @pytest.mark.parametrize("k", [0, -1, 17])
+    def test_k_out_of_range_raises(self, k):
+        with pytest.raises(FeatureError):
+            truncated_dct_operator(4, k)
+
+    def test_operator_is_read_only(self):
+        operator = truncated_dct_operator(4, 4)
+        with pytest.raises(ValueError):
+            operator[0, 0] = 1.0
+
+
+class TestBackendPlumbing:
+    def test_known_backends(self):
+        assert set(DCT_BACKENDS) == {"scipy", "matmul"}
+        for backend in DCT_BACKENDS:
+            assert resolve_dct_backend(backend) == backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(FeatureError):
+            resolve_dct_backend("fftw")
+
+    def test_default_backend_switch_and_restore(self):
+        block = np.random.default_rng(2).random((6, 6))
+        previous = set_default_dct_backend("matmul")
+        try:
+            assert get_default_dct_backend() == "matmul"
+            assert np.array_equal(dct2(block), dct2(block, backend="matmul"))
+        finally:
+            set_default_dct_backend(previous)
+        assert get_default_dct_backend() == previous
+
+    def test_set_unknown_default_raises(self):
+        with pytest.raises(FeatureError):
+            set_default_dct_backend("fftw")
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(FeatureError):
+            FeatureTensorConfig(dct_backend="fftw")
+
+
+class TestFeatureBuildEquivalence:
+    def test_encode_block_grid_backends_agree(self):
+        image = np.random.default_rng(3).random((48, 48)) * 255.0
+        scipy_tensor = encode_block_grid(image, 12, 32, backend="scipy")
+        matmul_tensor = encode_block_grid(image, 12, 32, backend="matmul")
+        assert scipy_tensor.dtype == matmul_tensor.dtype == np.float32
+        assert np.allclose(scipy_tensor, matmul_tensor, atol=1e-3)
+
+    def test_extractor_encode_decode_backends_agree(self):
+        image = np.random.default_rng(4).random((48, 48))
+        results = {}
+        for backend in DCT_BACKENDS:
+            config = FeatureTensorConfig(
+                block_count=4, coefficients=9, dct_backend=backend
+            )
+            extractor = FeatureTensorExtractor(config)
+            tensor = extractor.encode_image(image)
+            results[backend] = (tensor, extractor.decode(tensor, 48))
+        assert np.allclose(
+            results["scipy"][0], results["matmul"][0], atol=1e-3
+        )
+        assert np.allclose(
+            results["scipy"][1], results["matmul"][1], atol=1e-3
+        )
+
+    def test_full_k_round_trip_matmul(self):
+        # With k = B*B the matmul encode/decode pair is an exact identity
+        # up to the float32 storage cast.
+        image = np.random.default_rng(5).random((8, 8)).astype(np.float32)
+        config = FeatureTensorConfig(
+            block_count=2, coefficients=16, dct_backend="matmul"
+        )
+        extractor = FeatureTensorExtractor(config)
+        decoded = extractor.decode(extractor.encode_image(image), 8)
+        assert np.allclose(decoded, image, atol=1e-4)

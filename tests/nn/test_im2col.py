@@ -6,7 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import NetworkError
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.im2col import (
+    col2im,
+    col2im_gemm,
+    conv_output_size,
+    im2col,
+    im2col_gemm,
+)
+from repro.nn.kernels import Workspace, use_workspace
 
 
 class TestOutputSize:
@@ -84,3 +91,47 @@ class TestCol2Im:
         lhs = float((cols * c).sum())
         rhs = float((x * col2im(c, x.shape, kernel, stride, pad)).sum())
         assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestGemmLayout:
+    """The pooled GEMM-layout paths must be bitwise-equal reorderings of
+    the reference layout (pad == 0 exercises the no-padding fast path)."""
+
+    @pytest.mark.parametrize("pad", [0, 1, 2])
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_im2col_gemm_matches_reference(self, pad, stride):
+        x = np.random.default_rng(0).normal(size=(3, 4, 9, 9))
+        cols, (oh, ow) = im2col(x, 3, stride, pad)
+        reference = cols.transpose(1, 0, 2).reshape(cols.shape[1], -1)
+        gemm, out_hw = im2col_gemm(x, 3, stride, pad)
+        assert out_hw == (oh, ow)
+        assert np.array_equal(gemm, reference)
+
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_col2im_gemm_matches_reference(self, pad):
+        rng = np.random.default_rng(1)
+        x_shape = (2, 3, 8, 8)
+        cols, _ = im2col(np.zeros(x_shape), 3, 1, pad)
+        flat = rng.normal(size=(cols.shape[1], cols.shape[0] * cols.shape[2]))
+        per_sample = flat.reshape(cols.shape[1], cols.shape[0], -1).transpose(1, 0, 2)
+        assert np.array_equal(
+            col2im_gemm(flat, x_shape, 3, 1, pad),
+            col2im(per_sample, x_shape, 3, 1, pad),
+        )
+
+    def test_pooled_buffers_are_reused_across_steps(self):
+        x = np.random.default_rng(2).normal(size=(2, 3, 8, 8))
+        ws = Workspace()
+        with use_workspace(ws), ws.step():
+            first, _ = im2col_gemm(x, 3, 1, 1)
+        warm_misses = ws.stats().misses
+        with use_workspace(ws), ws.step():
+            second, _ = im2col_gemm(x, 3, 1, 1)
+        assert ws.stats().misses == warm_misses
+        assert np.array_equal(first, second)
+
+    def test_gemm_shape_mismatch_raises(self):
+        with pytest.raises(NetworkError):
+            col2im_gemm(np.zeros((4, 5)), (1, 1, 3, 3), 2, 1, 0)
+        with pytest.raises(NetworkError):
+            im2col_gemm(np.zeros((3, 5, 5)), 3, 1, 1)
