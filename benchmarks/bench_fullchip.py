@@ -2,19 +2,31 @@
 
 Not a paper table — this measures the deployment scenario the paper's
 introduction motivates: sweeping a block-level layout with the trained
-detector. Two entry points:
+detector. Entry points:
 
-- ``bench_fullchip_scan`` — the original 5x5 smoke scan (windows/second of
+- ``test_fullchip_scan`` — the original 5x5 smoke scan (windows/second of
   the default pipeline, region-merge sanity checks).
-- ``bench_fullchip_shared_vs_per_clip`` — the scan-throughput smoke
-  benchmark on the 8x8 layout: per-clip (legacy) pipeline vs the
-  shared-raster pipeline, serial and parallel. Asserts the fast path flags
-  identical windows/regions and is at least 2x faster single-worker, and
-  records windows/sec to the ``BENCH_fullchip.json`` artifact so future
-  PRs can track the perf trajectory (see ``scripts/bench_fullchip.sh``).
+- ``test_fullchip_shared_vs_per_clip`` — the scan-throughput benchmark on
+  the 8x8 layout (per-clip vs shared-raster, serial and parallel) plus the
+  scan-farm sections on an array-heavy bench chip: sharded ``ScanFarm``
+  scans at 1 and 2 workers against the serial shared pipeline, and the
+  warm-cache incremental re-scan after a single-tile edit. Everything
+  lands in the ``BENCH_fullchip.json`` artifact so future PRs can track
+  the perf trajectory (see ``scripts/bench_fullchip.sh``).
+- ``python benchmarks/bench_fullchip.py --tiny`` — CI smoke mode: the same
+  farm + incremental machinery with a probe detector at toy sizes,
+  schema-validating the artifact it writes. Timing-comparative assertions
+  are skipped (probe inference is too cheap for dedup to win); identity
+  and re-scan-fraction assertions still run.
+
+Timings that feed comparative assertions are best-of-``runs`` wall times:
+this box's run-to-run noise would otherwise dwarf the effects measured.
 """
 
-import os
+import argparse
+import sys
+import tempfile
+import time
 from pathlib import Path
 
 import pytest
@@ -26,13 +38,32 @@ from repro.core.fullchip import FullChipScanner
 from repro.data.dataset import HotspotDataset
 from repro.data.fullchip import FullChipSpec, make_layout
 from repro.data.generator import ClipGenerator, GeneratorConfig
-from repro.obs import JsonlSink, get_bus, load_run_log, summarize_spans
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.obs import (
+    JsonlSink,
+    MetricsRegistry,
+    get_bus,
+    load_run_log,
+    set_registry,
+    summarize_spans,
+)
+from repro.scanfarm import ScanFarm
 
 #: Where the scan-throughput record lands (repo root, next to bench_output).
 ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fullchip.json"
 
 #: JSONL event log of the shared-pipeline scan, for `repro obs report`.
 RUN_LOG_PATH = ARTIFACT_PATH.with_name("BENCH_fullchip_run.jsonl")
+
+#: The plain bench chip (no repeated macros) for the pipeline comparison.
+PLAIN_SPEC = FullChipSpec(tiles_x=8, tiles_y=8, seed=11)
+
+#: The farm bench chip: a memory-array-style layout where most sites sit in
+#: repeated span-4 macros, so window-fingerprint dedup carries the farm.
+FARM_SPEC = FullChipSpec(
+    tiles_x=12, tiles_y=12, seed=11, array_fraction=1.0, array_span=4
+)
 
 #: Required result keys -> per-pipeline keys; the schema check below fails
 #: the benchmark loudly if the written artifact drifts from this shape.
@@ -44,7 +75,26 @@ _RESULT_SCHEMA = {
     "per_clip": dict,
     "shared": dict,
     "shared_parallel": dict,
+    "farm": dict,
+    "incremental": dict,
 }
+_FARM_KEYS = _PIPELINE_KEYS + (
+    "workers",
+    "serial_seconds",
+    "speedup_vs_serial",
+    "single_worker_seconds",
+    "single_worker_speedup",
+    "window_count",
+    "windows_deduped",
+)
+_INCREMENTAL_KEYS = (
+    "cold_seconds",
+    "warm_seconds",
+    "warm_speedup",
+    "edit_rescanned_windows",
+    "edit_window_count",
+    "edit_rescanned_fraction",
+)
 
 
 def validate_fullchip_report(path: Path) -> dict:
@@ -63,7 +113,7 @@ def validate_fullchip_report(path: Path) -> dict:
             f"{path}: results[{key!r}] should be {kind.__name__}, "
             f"got {type(results[key]).__name__}"
         )
-    for pipeline in ("per_clip", "shared", "shared_parallel"):
+    for pipeline in ("per_clip", "shared", "shared_parallel", "farm"):
         entry = results[pipeline]
         for key in _PIPELINE_KEYS:
             assert key in entry, f"{path}: {pipeline} missing {key!r}"
@@ -72,7 +122,189 @@ def validate_fullchip_report(path: Path) -> dict:
                 f"{path}: {pipeline}[{key!r}] must be a positive number, "
                 f"got {value!r}"
             )
+    farm = results["farm"]
+    for key in _FARM_KEYS:
+        assert key in farm, f"{path}: farm missing {key!r}"
+    assert farm["workers"] >= 2, f"{path}: farm must run workers>=2"
+    incremental = results["incremental"]
+    for key in _INCREMENTAL_KEYS:
+        assert key in incremental, f"{path}: incremental missing {key!r}"
+        assert isinstance(incremental[key], (int, float)), (
+            f"{path}: incremental[{key!r}] must be a number"
+        )
+    assert incremental["cold_seconds"] > 0 and incremental["warm_seconds"] > 0
+    assert 0.0 <= incremental["edit_rescanned_fraction"] <= 1.0
     return document
+
+
+def _best_time(fn, runs):
+    """(best wall seconds, last result) over ``runs`` calls."""
+    best = None
+    result = None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _counted(fn):
+    """Run ``fn`` under a private registry; (result, counters dict)."""
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        result = fn()
+    finally:
+        set_registry(previous)
+    return result, registry.snapshot()["counters"]
+
+
+def _edited_copy(layout):
+    """The ECO edit: the same chip with one extra rect in one corner site."""
+    edited = Layout(layout.region)
+    for rect in layout.query(layout.region):
+        edited.add(rect)
+    edited.add(Rect(layout.region.x_lo + 97, layout.region.y_lo + 103,
+                    layout.region.x_lo + 420, layout.region.y_lo + 260))
+    return edited
+
+
+def run_farm_bench(
+    detector,
+    farm_spec,
+    *,
+    workers=2,
+    runs=2,
+    cache_dir=None,
+    tile_blocks=12,
+    perf_asserts=True,
+):
+    """Farm + incremental sections of the artifact; asserts as it goes.
+
+    ``perf_asserts=False`` (tiny/CI mode) keeps result-identity and
+    re-scan-fraction checks but skips wall-clock comparisons, which need
+    a detector whose inference is worth deduplicating.
+    """
+    layout = make_layout(farm_spec)
+    cache_root = (
+        Path(cache_dir)
+        if cache_dir is not None
+        else Path(tempfile.mkdtemp(prefix="bench_farm_cache_"))
+    )
+
+    def farm(n_workers, cache=None):
+        return ScanFarm(
+            detector,
+            pipeline="shared",
+            tile_blocks=tile_blocks,
+            workers=n_workers,
+            shards_per_worker=1,
+            cache_dir=cache,
+        )
+
+    serial_seconds, serial = _best_time(
+        lambda: FullChipScanner(
+            detector, pipeline="shared", tile_blocks=tile_blocks
+        ).scan(layout),
+        runs,
+    )
+    single_seconds, single = _best_time(lambda: farm(1).scan(layout), runs)
+    (farm_seconds, multi), counters = _counted(
+        lambda: _best_time(lambda: farm(workers).scan(layout), runs)
+    )
+
+    # The farm is an optimisation, not a different detector: identical
+    # detections at any worker count, cold cache or none.
+    assert single.flagged == serial.flagged
+    assert single.regions == serial.regions
+    assert multi.flagged == serial.flagged
+    assert multi.regions == serial.regions
+
+    deduped = int(counters.get("farm.windows_deduped", 0)) // runs
+    print(
+        f"\nfarm chip {serial.window_count} windows "
+        f"({deduped} deduped): serial {serial_seconds:.2f}s | "
+        f"farm x1 {single_seconds:.2f}s | farm x{workers} {farm_seconds:.2f}s"
+    )
+    if perf_asserts:
+        # The acceptance pins: a multi-worker farm beats the serial shared
+        # pipeline on the array bench chip, and one farm worker is not
+        # slower than serial (it skips the pool entirely and dedups).
+        assert farm_seconds < serial_seconds, (
+            f"farm x{workers} {farm_seconds:.2f}s not faster than "
+            f"serial {serial_seconds:.2f}s"
+        )
+        assert single_seconds <= serial_seconds, (
+            f"farm x1 {single_seconds:.2f}s slower than "
+            f"serial {serial_seconds:.2f}s"
+        )
+
+    # Incremental: cold fill, bitwise warm pass, then a single-site edit
+    # that must invalidate <20% of the windows.
+    cold_seconds, cold = _best_time(
+        lambda: farm(workers, cache_root).scan(layout), 1
+    )
+    warm_seconds, warm = _best_time(
+        lambda: farm(workers, cache_root).scan(layout), runs
+    )
+    assert warm.flagged == cold.flagged == serial.flagged
+    assert warm.regions == cold.regions == serial.regions
+
+    edited = _edited_copy(layout)
+    (edit_seconds, edit_result), edit_counters = _counted(
+        lambda: _best_time(lambda: farm(workers, cache_root).scan(edited), 1)
+    )
+    edit_hits = int(edit_counters.get("farm.cache_hits", 0))
+    rescanned = edit_result.window_count - edit_hits
+    fraction = rescanned / edit_result.window_count
+    edit_serial = FullChipScanner(
+        detector, pipeline="shared", tile_blocks=tile_blocks
+    ).scan(edited)
+    assert edit_result.flagged == edit_serial.flagged
+    assert edit_result.regions == edit_serial.regions
+    assert fraction < 0.20, (
+        f"single-tile edit re-scanned {rescanned}/{edit_result.window_count} "
+        f"windows ({fraction:.0%}); the incremental bound is 20%"
+    )
+    print(
+        f"incremental: cold {cold_seconds:.2f}s | warm {warm_seconds:.2f}s "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.1f}x) | edit re-scans "
+        f"{rescanned}/{edit_result.window_count} windows ({fraction:.0%})"
+    )
+    if perf_asserts:
+        assert warm_seconds < serial_seconds, (
+            f"warm cache pass {warm_seconds:.2f}s not faster than a cold "
+            f"serial scan {serial_seconds:.2f}s"
+        )
+
+    def rate(count, seconds):
+        return count / max(seconds, 1e-9)
+
+    return {
+        "farm": {
+            "workers": workers,
+            "shards_per_worker": 1,
+            "scan_seconds": farm_seconds,
+            "windows_per_second": rate(multi.window_count, farm_seconds),
+            "serial_seconds": serial_seconds,
+            "speedup_vs_serial": serial_seconds / max(farm_seconds, 1e-9),
+            "single_worker_seconds": single_seconds,
+            "single_worker_speedup": serial_seconds
+            / max(single_seconds, 1e-9),
+            "window_count": multi.window_count,
+            "windows_deduped": deduped,
+        },
+        "incremental": {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_speedup": cold_seconds / max(warm_seconds, 1e-9),
+            "edit_seconds": edit_seconds,
+            "edit_rescanned_windows": rescanned,
+            "edit_window_count": edit_result.window_count,
+            "edit_rescanned_fraction": fraction,
+        },
+    }
 
 
 @pytest.fixture(scope="module")
@@ -101,10 +333,9 @@ def test_fullchip_scan(once, trained_detector):
     assert len(result.regions) <= max(result.flagged_count, 1)
 
 
-def test_fullchip_shared_vs_per_clip(once, trained_detector):
-    """Scan-throughput smoke benchmark; writes BENCH_fullchip.json."""
-    layout = make_layout(FullChipSpec(tiles_x=8, tiles_y=8, seed=11))
-    workers = min(4, os.cpu_count() or 1)
+def test_fullchip_shared_vs_per_clip(once, trained_detector, tmp_path):
+    """Scan-throughput benchmark; writes BENCH_fullchip.json."""
+    layout = make_layout(PLAIN_SPEC)
 
     legacy = FullChipScanner(
         trained_detector, pipeline="per_clip"
@@ -116,9 +347,20 @@ def test_fullchip_shared_vs_per_clip(once, trained_detector):
         shared = once(
             FullChipScanner(trained_detector, pipeline="shared").scan, layout
         )
-    parallel = FullChipScanner(
-        trained_detector, pipeline="shared", workers=workers
-    ).scan(layout)
+    # workers=1 on purpose: this entry pins the single-worker regression
+    # (pool spin-up is skipped, so one worker must cost what serial costs).
+    parallel_seconds, parallel = _best_time(
+        lambda: FullChipScanner(
+            trained_detector, pipeline="shared", workers=1
+        ).scan(layout),
+        2,
+    )
+    shared_seconds, _ = _best_time(
+        lambda: FullChipScanner(
+            trained_detector, pipeline="shared"
+        ).scan(layout),
+        2,
+    )
 
     # The fast path is a pure optimisation: identical detections.
     assert shared.flagged == legacy.flagged
@@ -130,11 +372,20 @@ def test_fullchip_shared_vs_per_clip(once, trained_detector):
         return result.window_count / max(result.scan_seconds, 1e-9)
 
     speedup_shared = legacy.scan_seconds / max(shared.scan_seconds, 1e-9)
-    speedup_parallel = legacy.scan_seconds / max(parallel.scan_seconds, 1e-9)
+    speedup_parallel = legacy.scan_seconds / max(parallel_seconds, 1e-9)
     print(
         f"\nper-clip {rate(legacy):.1f} w/s | shared {rate(shared):.1f} w/s "
-        f"({speedup_shared:.1f}x) | shared x{workers} workers "
-        f"{rate(parallel):.1f} w/s ({speedup_parallel:.1f}x)"
+        f"({speedup_shared:.1f}x) | shared workers=1 "
+        f"{parallel.window_count / max(parallel_seconds, 1e-9):.1f} w/s "
+        f"({speedup_parallel:.1f}x)"
+    )
+
+    farm_sections = run_farm_bench(
+        trained_detector,
+        FARM_SPEC,
+        workers=2,
+        runs=2,
+        cache_dir=tmp_path / "cache",
     )
 
     write_report(
@@ -154,14 +405,17 @@ def test_fullchip_shared_vs_per_clip(once, trained_detector):
                 "speedup_vs_per_clip": speedup_shared,
             },
             "shared_parallel": {
-                "workers": workers,
-                "scan_seconds": parallel.scan_seconds,
-                "windows_per_second": rate(parallel),
+                "workers": 1,
+                "scan_seconds": parallel_seconds,
+                "windows_per_second": parallel.window_count
+                / max(parallel_seconds, 1e-9),
                 "speedup_vs_per_clip": speedup_parallel,
             },
+            **farm_sections,
         },
         metadata={
-            "spec": "FullChipSpec(tiles_x=8, tiles_y=8, seed=11)",
+            "spec": repr(PLAIN_SPEC),
+            "farm_spec": repr(FARM_SPEC),
             "clip_nm": 1200,
             "stride_nm": 600,
         },
@@ -179,3 +433,125 @@ def test_fullchip_shared_vs_per_clip(once, trained_detector):
 
     # DCT/raster reuse alone must buy at least 2x at the default stride.
     assert speedup_shared >= 2.0
+    # The workers=1 regression stays fixed: one worker skips the pool, so
+    # it must not lose to the serial scan beyond timer noise.
+    assert parallel_seconds <= shared_seconds * 1.10, (
+        f"workers=1 {parallel_seconds:.2f}s vs serial {shared_seconds:.2f}s"
+    )
+
+
+def main(argv=None):
+    """CI smoke entry point: ``bench_fullchip.py --tiny [--workers N]``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="probe detector + toy chips; skips timing-comparative asserts",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="artifact path (default: temp file in tiny mode, "
+        "BENCH_fullchip.json otherwise)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tiny:
+        from repro.testing import TensorProbeDetector
+
+        detector = TensorProbeDetector()
+        plain_spec = FullChipSpec(tiles_x=4, tiles_y=4, seed=11)
+        farm_spec = FullChipSpec(
+            tiles_x=6, tiles_y=6, seed=11, array_fraction=0.6, array_span=2
+        )
+        out = Path(
+            args.output
+            or Path(tempfile.mkdtemp(prefix="bench_fullchip_tiny_"))
+            / "BENCH_fullchip.json"
+        )
+    else:
+        generator = ClipGenerator(GeneratorConfig(seed=3))
+        train = HotspotDataset(
+            generator.generate(60, 120), name="fullchip/train"
+        )
+        detector = HotspotDetector(
+            bench_detector_config(bias_rounds=1, max_iterations=600)
+        )
+        detector.fit(train)
+        plain_spec = PLAIN_SPEC
+        farm_spec = FARM_SPEC
+        out = Path(args.output or ARTIFACT_PATH)
+
+    layout = make_layout(plain_spec)
+    legacy = FullChipScanner(detector, pipeline="per_clip").scan(layout)
+    shared_seconds, shared = _best_time(
+        lambda: FullChipScanner(detector, pipeline="shared").scan(layout), 2
+    )
+    parallel_seconds, parallel = _best_time(
+        lambda: FullChipScanner(
+            detector, pipeline="shared", workers=1
+        ).scan(layout),
+        2,
+    )
+    assert shared.flagged == legacy.flagged
+    assert parallel.flagged == legacy.flagged
+
+    farm_sections = run_farm_bench(
+        detector,
+        farm_spec,
+        workers=max(2, args.workers),
+        runs=2,
+        perf_asserts=not args.tiny,
+    )
+
+    def rate(count, seconds):
+        return count / max(seconds, 1e-9)
+
+    write_report(
+        out,
+        "fullchip_scan_throughput",
+        {
+            "window_count": legacy.window_count,
+            "flagged_count": legacy.flagged_count,
+            "region_count": len(legacy.regions),
+            "per_clip": {
+                "scan_seconds": legacy.scan_seconds,
+                "windows_per_second": rate(
+                    legacy.window_count, legacy.scan_seconds
+                ),
+            },
+            "shared": {
+                "scan_seconds": shared_seconds,
+                "windows_per_second": rate(
+                    shared.window_count, shared_seconds
+                ),
+                "speedup_vs_per_clip": legacy.scan_seconds
+                / max(shared_seconds, 1e-9),
+            },
+            "shared_parallel": {
+                "workers": 1,
+                "scan_seconds": parallel_seconds,
+                "windows_per_second": rate(
+                    parallel.window_count, parallel_seconds
+                ),
+                "speedup_vs_per_clip": legacy.scan_seconds
+                / max(parallel_seconds, 1e-9),
+            },
+            **farm_sections,
+        },
+        metadata={
+            "spec": repr(plain_spec),
+            "farm_spec": repr(farm_spec),
+            "clip_nm": 1200,
+            "stride_nm": 600,
+            "tiny": args.tiny,
+        },
+    )
+    validate_fullchip_report(out)
+    print(f"wrote and validated {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ workflows without writing Python:
 - ``evaluate`` — evaluate a saved model on a clip file (Table-2 metrics).
 - ``experiment`` — regenerate one of the paper's tables/figures.
 - ``stats`` — audit a clip file.
-- ``scan`` — full-chip scan with a saved model.
+- ``scan`` — full-chip scan with a saved model (``--farm``/``--cache-dir``
+  route it through the shard farm with incremental re-scan).
+- ``scan-batch`` — farm-scan several LAYOUT files with one shared cache.
 - ``serve`` — run the HTTP inference service from a model registry.
 - ``obs report`` — summarise a JSONL run log (stage timings, metrics).
 
@@ -143,6 +145,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="skip windows already recorded in --journal",
     )
+    scan.add_argument(
+        "--layout", metavar="PATH", default=None,
+        help="scan a LAYOUT file instead of a synthetic chip "
+             "(see 'scan-batch' for scanning several)",
+    )
+    scan.add_argument(
+        "--farm", action="store_true",
+        help="scan through the shard farm (multi-process shards, "
+             "fingerprint dedup) instead of the serial scanner",
+    )
+    scan.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent window-probability cache for incremental "
+             "re-scan (implies --farm)",
+    )
+    scan.add_argument(
+        "--shards-per-worker", type=int, default=2,
+        help="farm queue oversubscription factor",
+    )
+
+    scan_batch = sub.add_parser(
+        "scan-batch",
+        help="farm-scan a batch of LAYOUT files with one shared cache",
+    )
+    scan_batch.add_argument("model", help="model file from 'train'")
+    scan_batch.add_argument(
+        "layouts", nargs="+", metavar="LAYOUT",
+        help="full-chip LAYOUT files (see repro.geometry.write_chip)",
+    )
+    scan_batch.add_argument("--threshold", type=float, default=0.5)
+    scan_batch.add_argument("--workers", type=int, default=1,
+                            help="shard worker processes")
+    scan_batch.add_argument("--shards-per-worker", type=int, default=2,
+                            help="farm queue oversubscription factor")
+    scan_batch.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="shared window-probability cache: layouts that repeat "
+             "geometry (chip revisions) reuse each other's windows",
+    )
+    scan_batch.add_argument(
+        "--feature-backend", choices=("scipy", "matmul"), default="scipy",
+        help="DCT implementation for window feature extraction",
+    )
 
     serve = sub.add_parser("serve", help="run the HTTP inference service")
     serve.add_argument(
@@ -209,6 +254,8 @@ def _dispatch(args) -> int:
         return _cmd_stats(args)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "scan-batch":
+        return _cmd_scan_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "obs":
@@ -323,27 +370,76 @@ def _cmd_scan(args) -> int:
     from repro.core.detector import HotspotDetector
     from repro.core.fullchip import FullChipScanner
     from repro.data.fullchip import FullChipSpec, make_layout
+    from repro.geometry.layoutio import read_chip
 
     detector = HotspotDetector(
         bench_detector_config(dct_backend=args.feature_backend)
     ).load(args.model)
-    layout = make_layout(
-        FullChipSpec(tiles_x=args.tiles, tiles_y=args.tiles, seed=args.seed)
-    )
+    if args.layout:
+        name, layout = read_chip(args.layout)
+        _say(f"scanning {name!r} from {args.layout}")
+    else:
+        layout = make_layout(
+            FullChipSpec(
+                tiles_x=args.tiles, tiles_y=args.tiles, seed=args.seed
+            )
+        )
     if args.resume and not args.journal:
         _say("--resume needs --journal")
         return 2
-    scanner = FullChipScanner(
-        detector, threshold=args.threshold, workers=args.workers
-    )
-    result = scanner.scan(layout, journal=args.journal, resume=args.resume)
+    if args.farm or args.cache_dir:
+        from repro.scanfarm import ScanFarm
+
+        front_end = ScanFarm(
+            detector,
+            threshold=args.threshold,
+            workers=args.workers,
+            shards_per_worker=args.shards_per_worker,
+            cache_dir=args.cache_dir,
+        )
+    else:
+        front_end = FullChipScanner(
+            detector, threshold=args.threshold, workers=args.workers
+        )
+    result = front_end.scan(layout, journal=args.journal, resume=args.resume)
     _say(result.summary())
+    _print_regions(result)
+    return 0
+
+
+def _print_regions(result) -> None:
     for region in result.regions:
         b = region.bbox
         _say(
             f"  region ({b.x_lo},{b.y_lo})-({b.x_hi},{b.y_hi}) "
             f"windows={region.window_count} peak={region.max_probability:.2f}"
         )
+
+
+def _cmd_scan_batch(args) -> int:
+    from repro.bench.harness import bench_detector_config
+    from repro.core.detector import HotspotDetector
+    from repro.geometry.layoutio import read_chip
+    from repro.scanfarm import ScanFarm
+
+    detector = HotspotDetector(
+        bench_detector_config(dct_backend=args.feature_backend)
+    ).load(args.model)
+    farm = ScanFarm(
+        detector,
+        threshold=args.threshold,
+        workers=args.workers,
+        shards_per_worker=args.shards_per_worker,
+        cache_dir=args.cache_dir,
+    )
+    named = []
+    for path in args.layouts:
+        name, layout = read_chip(path)
+        named.append((name or path, layout))
+    results = farm.scan_batch(named)
+    for name, result in results.items():
+        _say(f"{name}: {result.summary()}")
+        _print_regions(result)
     return 0
 
 

@@ -96,6 +96,70 @@ class ScanResult:
         )
 
 
+def assemble_scan_result(
+    windows: Tuple[Rect, ...],
+    probabilities: np.ndarray,
+    threshold: float,
+    started: float,
+) -> ScanResult:
+    """Flag, merge and package per-window probabilities into a result.
+
+    ``started`` is the ``time.perf_counter()`` origin of the scan; the
+    result's ``scan_seconds`` is taken after region merging so it covers
+    the whole pipeline. Shared by :class:`FullChipScanner` and the scan
+    farm (:mod:`repro.scanfarm`): both produce one probability per
+    window, so routing them through a single assembly path reduces
+    "farm result equals serial result" to a property of the probability
+    vectors alone.
+    """
+    flagged_indices = tuple(
+        int(i) for i in np.flatnonzero(probabilities >= threshold)
+    )
+    flagged = tuple(windows[i] for i in flagged_indices)
+    with span("scan.merge", flagged=len(flagged)):
+        regions = merge_windows(
+            flagged, [probabilities[i] for i in flagged_indices]
+        )
+    return ScanResult(
+        windows=windows,
+        probabilities=probabilities,
+        flagged_indices=flagged_indices,
+        flagged=flagged,
+        regions=tuple(regions),
+        scan_seconds=time.perf_counter() - started,
+    )
+
+
+def scan_journal_header(
+    layout: Layout,
+    window_count: int,
+    *,
+    clip_nm: int,
+    stride_nm: int,
+    threshold: float,
+    pipeline: str,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Fingerprint binding a journal to one scan configuration.
+
+    ``extra`` lets callers fold additional configuration into the header
+    (the scan farm adds its shard layout and cache identity); any
+    difference in any key makes :meth:`ScanJournal.resume` refuse the
+    journal with :class:`~repro.exceptions.ScanJournalError`.
+    """
+    return {
+        "version": ScanJournal.VERSION,
+        "windows": window_count,
+        "clip_nm": clip_nm,
+        "stride_nm": stride_nm,
+        "threshold": threshold,
+        "pipeline": pipeline,
+        "region": list(layout.region.as_tuple()),
+        "rect_count": len(layout),
+        **extra,
+    }
+
+
 class ScanJournal:
     """Append-only JSONL record of a scan's completed batches.
 
@@ -250,16 +314,14 @@ class FullChipScanner:
     # ------------------------------------------------------------------
     def _journal_header(self, layout: Layout, window_count: int) -> Dict[str, Any]:
         """Fingerprint binding a journal to this scan's configuration."""
-        return {
-            "version": ScanJournal.VERSION,
-            "windows": window_count,
-            "clip_nm": self.clip_nm,
-            "stride_nm": self.stride_nm,
-            "threshold": self.threshold,
-            "pipeline": self.pipeline,
-            "region": list(layout.region.as_tuple()),
-            "rect_count": len(layout),
-        }
+        return scan_journal_header(
+            layout,
+            window_count,
+            clip_nm=self.clip_nm,
+            stride_nm=self.stride_nm,
+            threshold=self.threshold,
+            pipeline=self.pipeline,
+        )
 
     def scan(
         self,
@@ -330,26 +392,12 @@ class FullChipScanner:
                         scan_journal.record(global_indices, batch_probs)
                     maybe_fail("scan.batch", batch_number)
                     batch_number += 1
-                flagged_indices = tuple(
-                    int(i)
-                    for i in np.flatnonzero(probabilities >= self.threshold)
+                result = assemble_scan_result(
+                    windows, probabilities, self.threshold, start
                 )
-                flagged = tuple(windows[i] for i in flagged_indices)
-                with span("scan.merge", flagged=len(flagged)):
-                    regions = merge_windows(
-                        flagged, [probabilities[i] for i in flagged_indices]
-                    )
         finally:
             if scan_journal is not None:
                 scan_journal.close()
-        result = ScanResult(
-            windows=windows,
-            probabilities=probabilities,
-            flagged_indices=flagged_indices,
-            flagged=flagged,
-            regions=tuple(regions),
-            scan_seconds=time.perf_counter() - start,
-        )
         registry = get_registry()
         registry.counter("scan.windows").inc(result.window_count)
         registry.counter("scan.flagged").inc(result.flagged_count)

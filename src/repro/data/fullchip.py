@@ -32,12 +32,23 @@ class FullChipSpec:
         Chance each site receives a pattern (empty sites model whitespace).
     seed:
         Placement and pattern RNG seed.
+    array_fraction:
+        Target fraction of sites covered by repeated-cell *array macros*:
+        square ``array_span x array_span`` blocks that all instantiate
+        one pattern draw, the way standard-cell rows and memory arrays
+        repeat one cell. 0 (the default) disables macros entirely — and
+        consumes no RNG draws doing so, so every layout generated before
+        this knob existed reproduces bit-for-bit.
+    array_span:
+        Array macro side length, in sites.
     """
 
     tiles_x: int = 8
     tiles_y: int = 8
     fill_probability: float = 0.85
     seed: int = 0
+    array_fraction: float = 0.0
+    array_span: int = 3
 
     def __post_init__(self) -> None:
         if self.tiles_x < 1 or self.tiles_y < 1:
@@ -45,6 +56,14 @@ class FullChipSpec:
         if not 0.0 <= self.fill_probability <= 1.0:
             raise DatasetError(
                 f"fill_probability must be in [0, 1], got {self.fill_probability}"
+            )
+        if not 0.0 <= self.array_fraction <= 1.0:
+            raise DatasetError(
+                f"array_fraction must be in [0, 1], got {self.array_fraction}"
+            )
+        if self.array_span < 1:
+            raise DatasetError(
+                f"array_span must be >= 1, got {self.array_span}"
             )
 
 
@@ -80,9 +99,14 @@ def make_labelled_layout(
     layout = Layout(region, bin_nm=tile_nm)
     family_names = sorted(PATTERN_FAMILIES)
     hotspot_sites: List[Rect] = []
+    array_sites = _place_array_macros(
+        spec, tile_nm, rng, layout, family_names, oracle, hotspot_sites
+    )
 
     for ty in range(spec.tiles_y):
         for tx in range(spec.tiles_x):
+            if (tx, ty) in array_sites:
+                continue  # covered by a macro; no RNG consumed
             if rng.random() > spec.fill_probability:
                 continue
             family = get_family(str(rng.choice(family_names)))
@@ -96,3 +120,64 @@ def make_labelled_layout(
                 if oracle.label(layout.clip_at(window)) == 1:
                     hotspot_sites.append(window)
     return layout, hotspot_sites
+
+
+def _place_array_macros(
+    spec: FullChipSpec,
+    tile_nm: int,
+    rng: np.random.Generator,
+    layout: Layout,
+    family_names: List[str],
+    oracle: Optional[HotspotOracle],
+    hotspot_sites: List[Rect],
+) -> set:
+    """Place repeated-cell array macros; returns the sites they cover.
+
+    Runs *before* the per-site fill loop and only when
+    ``spec.array_fraction > 0``, so the default spec draws exactly the
+    RNG sequence it always did. Every site of a macro instantiates the
+    same pattern draw; since the content is identical, the oracle labels
+    the first instance and the verdict is reused for the rest.
+    """
+    covered: set = set()
+    if spec.array_fraction <= 0.0:
+        return covered
+    span = min(spec.array_span, spec.tiles_x, spec.tiles_y)
+    total = spec.tiles_x * spec.tiles_y
+    target = int(spec.array_fraction * total)
+    # Macros occupy span-aligned slots (the way placers row-align cells):
+    # non-overlap is structural, so array_fraction=1.0 really tiles the
+    # chip instead of stalling on rejection-sampling collisions.
+    slots = [
+        (tx0, ty0)
+        for ty0 in range(0, spec.tiles_y - span + 1, span)
+        for tx0 in range(0, spec.tiles_x - span + 1, span)
+    ]
+    rng.shuffle(slots)
+    origins: List[Tuple[int, int]] = []
+    for tx0, ty0 in slots:
+        if len(covered) >= target:
+            break
+        covered |= {
+            (tx0 + i, ty0 + j) for i in range(span) for j in range(span)
+        }
+        origins.append((tx0, ty0))
+    for tx0, ty0 in origins:
+        family = get_family(str(rng.choice(family_names)))
+        clip = family.make_clip(rng, tile_nm)
+        is_hotspot: Optional[bool] = None
+        for j in range(span):
+            for i in range(span):
+                dx, dy = (tx0 + i) * tile_nm, (ty0 + j) * tile_nm
+                placed = [r.translated(dx, dy) for r in clip.rects]
+                for rect in placed:
+                    layout.add(rect)
+                if oracle is not None and placed:
+                    window = Rect(dx, dy, dx + tile_nm, dy + tile_nm)
+                    if is_hotspot is None:
+                        is_hotspot = (
+                            oracle.label(layout.clip_at(window)) == 1
+                        )
+                    if is_hotspot:
+                        hotspot_sites.append(window)
+    return covered

@@ -56,6 +56,10 @@ class ScanJournalError(ReproError):
     """Scan journal is unusable (header mismatch with the resumed scan)."""
 
 
+class ScanCacheError(ReproError):
+    """Scan result cache is unusable (bad directory, schema mismatch)."""
+
+
 class DatasetError(ReproError):
     """Dataset construction or consistency failure."""
 

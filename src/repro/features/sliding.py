@@ -41,6 +41,7 @@ from repro.features.tensor import (
     FeatureTensorExtractor,
     encode_block_grid,
 )
+from repro.geometry.fingerprint import geometry_digest
 from repro.geometry.layout import Layout
 from repro.geometry.raster import rasterize_rects
 from repro.geometry.rect import Rect
@@ -50,6 +51,31 @@ from repro.testing.faults import maybe_fail
 #: One tile task:
 #: (index, rects, window, nm/px, block pixels, coefficients, dct backend).
 _TileTask = Tuple[int, Tuple[Rect, ...], Rect, int, int, int, str]
+
+
+def bind_worker_to_parent() -> None:
+    """Ask the kernel to SIGTERM this worker when its parent dies.
+
+    Without this, a scan process killed mid-run (OOM killer, operator
+    SIGKILL) strands its pool workers as orphans that keep every
+    inherited fd open — journal files, and pipes whose readers then
+    never see EOF. PR_SET_PDEATHSIG bounds worker lifetime strictly by
+    the parent's. Linux-only; elsewhere workers stay plain orphans,
+    exactly the pre-existing behaviour.
+    """
+    try:
+        import ctypes
+        import signal
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGTERM, 0, 0, 0)
+    except (OSError, AttributeError):  # pragma: no cover - non-Linux
+        return
+    import os
+
+    if os.getppid() == 1:  # pragma: no cover - fork/death race
+        os._exit(1)
 
 
 def _encode_tile(task: _TileTask) -> Tuple[np.ndarray, Dict[str, Any]]:
@@ -96,7 +122,15 @@ class SlidingFeatureExtractor:
     workers:
         Process count for tile rasterisation + DCT. 1 (default) runs
         serially in-process; higher values use a process pool and fall
-        back to serial execution if a pool cannot be created.
+        back to serial execution if a pool cannot be created. Grids too
+        small to amortise pool spin-up (fewer than
+        ``workers * min_tiles_per_worker`` unique tiles) also run
+        serially, so ``pipeline="auto"`` scans of small layouts never pay
+        for a pool they cannot use.
+    min_tiles_per_worker:
+        Minimum unique tiles per requested worker before a pool is
+        spun up (default 4). Set to 1 to force pool execution for any
+        multi-tile grid (the fault-injection tests do).
     max_retries:
         Retries per failing tile (transient failures: flaky NFS reads,
         OOM-killed workers). A tile still failing after its retry budget
@@ -124,11 +158,16 @@ class SlidingFeatureExtractor:
         workers: int = 1,
         max_retries: int = 2,
         retry_backoff: float = 0.05,
+        min_tiles_per_worker: int = 4,
     ):
         if tile_blocks < 1:
             raise FeatureError(f"tile_blocks must be >= 1, got {tile_blocks}")
         if workers < 1:
             raise FeatureError(f"workers must be >= 1, got {workers}")
+        if min_tiles_per_worker < 1:
+            raise FeatureError(
+                f"min_tiles_per_worker must be >= 1, got {min_tiles_per_worker}"
+            )
         if max_retries < 0:
             raise FeatureError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff < 0:
@@ -141,6 +180,7 @@ class SlidingFeatureExtractor:
         self.workers = workers
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.min_tiles_per_worker = min_tiles_per_worker
         # Validates clip/pixel/block divisibility and k capacity eagerly.
         self.block_px = config.block_size_px(clip_nm)
         self.block_nm = self.block_px * config.pixel_nm
@@ -160,8 +200,28 @@ class SlidingFeatureExtractor:
         cols = -(-region.width // self.block_nm)
         return rows, cols, self.config.coefficients
 
-    def coefficient_grid(self, layout: Layout) -> np.ndarray:
-        """Truncated block-DCT coefficients of the whole layout region.
+    def _check_subregion(self, full: Rect, region: Rect) -> Tuple[int, int]:
+        """Validate a block-aligned sub-region; return its block offset."""
+        dx = region.x_lo - full.x_lo
+        dy = region.y_lo - full.y_lo
+        if (
+            dx < 0
+            or dy < 0
+            or region.x_hi > full.x_hi
+            or region.y_hi > full.y_hi
+            or dx % self.block_nm
+            or dy % self.block_nm
+        ):
+            raise FeatureError(
+                f"sub-region {region.as_tuple()} is not a block-aligned "
+                f"({self.block_nm} nm) sub-rectangle of {full.as_tuple()}"
+            )
+        return dy // self.block_nm, dx // self.block_nm
+
+    def coefficient_grid(
+        self, layout: Layout, region: Optional[Rect] = None
+    ) -> np.ndarray:
+        """Truncated block-DCT coefficients of ``region`` of the layout.
 
         Returns ``(rows, cols, k)`` float32 where entry ``[r, c]`` is the
         zig-zag-truncated DCT of the block whose lower-left corner sits at
@@ -169,48 +229,92 @@ class SlidingFeatureExtractor:
         up to whole blocks on the high side; padding blocks (and blocks of
         empty tiles) are all-zero, matching what encoding an empty raster
         would produce.
+
+        ``region`` (default: the whole layout region) restricts the grid
+        to a block-aligned sub-rectangle — how a scan-farm shard computes
+        only its own slice of the chip. Tiles stay anchored to the *full*
+        region's tile lattice, so every tile task a sub-region produces is
+        byte-identical to the task the full grid would produce for that
+        tile, and the returned sub-grid equals the matching slice of the
+        full grid bit for bit (the property the farm's equivalence tests
+        pin).
+
+        Tiles with identical clipped geometry (standard-cell arrays,
+        repeated macros) are encoded once and copied — fingerprinted via
+        :func:`~repro.geometry.fingerprint.geometry_digest`, so the reuse
+        is exact, never approximate.
         """
-        rows, cols, k = self.grid_shape(layout.region)
+        full = layout.region
+        full_rows, full_cols, k = self.grid_shape(full)
+        if region is None:
+            region = full
+            r0 = c0 = 0
+            rows, cols = full_rows, full_cols
+        else:
+            r0, c0 = self._check_subregion(full, region)
+            rows, cols, _ = self.grid_shape(region)
         grid = np.zeros((rows, cols, k), dtype=np.float32)
-        placements: List[Tuple[int, int]] = []
+        #: Placements: (grid row, grid col, task index) per non-empty tile.
+        placements: List[Tuple[int, int, int]] = []
         tasks: List[_TileTask] = []
-        region = layout.region
-        for b_row in range(0, rows, self.tile_blocks):
-            for b_col in range(0, cols, self.tile_blocks):
-                hi_row = min(b_row + self.tile_blocks, rows)
-                hi_col = min(b_col + self.tile_blocks, cols)
+        unique: Dict[str, int] = {}
+        duplicates = 0
+        tile = self.tile_blocks
+        for b_row in range(r0 - r0 % tile, r0 + rows, tile):
+            for b_col in range(c0 - c0 % tile, c0 + cols, tile):
+                hi_row = min(b_row + tile, full_rows)
+                hi_col = min(b_col + tile, full_cols)
                 window = Rect(
-                    region.x_lo + b_col * self.block_nm,
-                    region.y_lo + b_row * self.block_nm,
-                    region.x_lo + hi_col * self.block_nm,
-                    region.y_lo + hi_row * self.block_nm,
+                    full.x_lo + b_col * self.block_nm,
+                    full.y_lo + b_row * self.block_nm,
+                    full.x_lo + hi_col * self.block_nm,
+                    full.y_lo + hi_row * self.block_nm,
                 )
                 rects = tuple(layout.query(window))
                 if not rects:
                     continue  # empty tile: grid already zero
-                placements.append((b_row, b_col))
-                tasks.append(
-                    (
-                        len(tasks),
-                        rects,
-                        window,
-                        self.config.pixel_nm,
-                        self.block_px,
-                        k,
-                        self.config.dct_backend,
+                digest = geometry_digest(rects, window)
+                index = unique.get(digest)
+                if index is None:
+                    index = len(tasks)
+                    unique[digest] = index
+                    tasks.append(
+                        (
+                            index,
+                            rects,
+                            window,
+                            self.config.pixel_nm,
+                            self.block_px,
+                            k,
+                            self.config.dct_backend,
+                        )
                     )
-                )
+                else:
+                    duplicates += 1
+                placements.append((b_row, b_col, index))
+        if duplicates:
+            get_registry().counter("scan.tiles_deduped").inc(duplicates)
         with span(
             "scan.grid", tiles=len(tasks), workers=self.workers
         ) as record:
             registry = get_registry()
-            for (b_row, b_col), (coeffs, tile_metrics) in zip(
-                placements, self._run_tiles(tasks)
-            ):
-                t_rows, t_cols = coeffs.shape[:2]
-                grid[b_row : b_row + t_rows, b_col : b_col + t_cols] = coeffs
+            results = self._run_tiles(tasks)
+            for index, (_, tile_metrics) in enumerate(results):
                 registry.merge_snapshot(tile_metrics)
+            for b_row, b_col, index in placements:
+                coeffs = results[index][0]
+                t_rows, t_cols = coeffs.shape[:2]
+                # Intersect the tile's block span with the requested
+                # sub-grid (tiles straddle shard edges by design).
+                lo_r = max(b_row, r0)
+                lo_c = max(b_col, c0)
+                hi_r = min(b_row + t_rows, r0 + rows)
+                hi_c = min(b_col + t_cols, c0 + cols)
+                grid[lo_r - r0 : hi_r - r0, lo_c - c0 : hi_c - c0] = coeffs[
+                    lo_r - b_row : hi_r - b_row, lo_c - b_col : hi_c - b_col
+                ]
             record.attrs["grid_shape"] = (rows, cols, k)
+            record.attrs["tiles_deduped"] = duplicates
         return grid
 
     def _run_tiles(
@@ -225,7 +329,18 @@ class SlidingFeatureExtractor:
         """
         results: Dict[int, Tuple[np.ndarray, Dict[str, Any]]] = {}
         if self.workers > 1 and len(tasks) > 1:
-            self._run_tiles_pool(tasks, results)
+            if len(tasks) >= self.workers * self.min_tiles_per_worker:
+                self._run_tiles_pool(tasks, results)
+            else:
+                # Pool spin-up would dominate a grid this small; run
+                # serially (the workers=1 path) instead of paying for it.
+                emit(
+                    "scan.pool_skipped",
+                    level="debug",
+                    tiles=len(tasks),
+                    workers=self.workers,
+                    min_tiles_per_worker=self.min_tiles_per_worker,
+                )
         for i in range(len(tasks)):
             if i not in results:
                 results[i] = self._encode_tile_with_retry(tasks[i])
@@ -248,7 +363,8 @@ class SlidingFeatureExtractor:
             pending = [i for i in range(len(tasks)) if i not in results]
             try:
                 executor = ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(pending))
+                    max_workers=min(self.workers, len(pending)),
+                    initializer=bind_worker_to_parent,
                 )
             except (ImportError, OSError, ValueError):
                 return  # restricted environments: no pool at all
@@ -348,6 +464,7 @@ class SlidingFeatureExtractor:
         layout: Layout,
         windows: Sequence[Rect],
         batch_size: int = 512,
+        region: Optional[Rect] = None,
     ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         """Stream ``(indices, tensors)`` batches over ``windows``.
 
@@ -356,16 +473,26 @@ class SlidingFeatureExtractor:
         matching ``(len(indices), n, n, k)`` float32 stack. Aligned windows
         are sliced from the shared coefficient grid (computed once, on
         first need); the rest go through per-clip extraction.
+
+        ``region`` restricts the coefficient grid to a block-aligned
+        sub-rectangle of the layout (see :meth:`coefficient_grid`) — the
+        scan-farm shard path. Windows that are grid-aligned but fall
+        outside ``region`` take the per-clip fallback, so any window set
+        remains valid for any region.
         """
         if batch_size < 1:
             raise FeatureError(f"batch_size must be >= 1, got {batch_size}")
-        region = layout.region
-        aligned = [self.is_aligned(w, region) for w in windows]
+        if region is not None:
+            self._check_subregion(layout.region, region)
+        aligned_region = layout.region if region is None else region
+        aligned = [self.is_aligned(w, aligned_region) for w in windows]
         fallback_count = len(aligned) - sum(aligned)
         if fallback_count:
             get_registry().counter("scan.windows_fallback").inc(fallback_count)
         grid: Optional[np.ndarray] = (
-            self.coefficient_grid(layout) if any(aligned) else None
+            self.coefficient_grid(layout, region=region)
+            if any(aligned)
+            else None
         )
         n = self.config.block_count
         k = self.config.coefficients
@@ -374,8 +501,8 @@ class SlidingFeatureExtractor:
             tensors = np.empty((len(chunk), n, n, k), dtype=np.float32)
             for i, window in enumerate(chunk):
                 if aligned[lo + i]:
-                    row = (window.y_lo - region.y_lo) // self.block_nm
-                    col = (window.x_lo - region.x_lo) // self.block_nm
+                    row = (window.y_lo - aligned_region.y_lo) // self.block_nm
+                    col = (window.x_lo - aligned_region.x_lo) // self.block_nm
                     tensors[i] = grid[row : row + n, col : col + n]
                 else:
                     tensors[i] = self._per_clip.extract(layout.clip_at(window))

@@ -13,12 +13,15 @@ The public surface is re-exported here:
 - :func:`rasterize_rects` / :func:`rasterize_clip` — binary rasterisation.
 - :func:`snap` / :func:`snap_rect` — grid snapping helpers.
 - :func:`read_layout` / :func:`write_layout` — text layout format I/O.
+- :func:`read_chip` / :func:`write_chip` — full-chip LAYOUT file I/O.
+- :func:`geometry_digest` — content fingerprints for windowed geometry.
 """
 
 from repro.geometry.clip import Clip
+from repro.geometry.fingerprint import clipped_relative, geometry_digest
 from repro.geometry.grid import snap, snap_rect
 from repro.geometry.layout import Layout, clip_window_positions, iter_clip_windows
-from repro.geometry.layoutio import read_layout, write_layout
+from repro.geometry.layoutio import read_chip, read_layout, write_chip, write_layout
 from repro.geometry.polygon import Polygon
 from repro.geometry.raster import (
     rasterize_clip,
@@ -41,4 +44,8 @@ __all__ = [
     "snap_rect",
     "read_layout",
     "write_layout",
+    "read_chip",
+    "write_chip",
+    "geometry_digest",
+    "clipped_relative",
 ]

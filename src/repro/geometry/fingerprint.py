@@ -1,0 +1,67 @@
+"""Content fingerprints for layout geometry.
+
+The scan farm (:mod:`repro.scanfarm`) never wants to re-rasterise or
+re-score geometry it has already seen: identical window content must
+produce an identical probability, whether the window repeats inside one
+chip (standard-cell arrays, memory macros) or across edits of the same
+chip (an ECO touches a handful of sites). Both cases reduce to one
+question — *is the geometry under this window byte-for-byte the same as
+under that one?* — which this module answers without rasterising.
+
+A fingerprint hashes the rectangles overlapping a window, **clipped to
+the window and translated to its origin**. Rasterisation is a pure
+function of exactly that clipped-relative geometry (pixel values depend
+only on rect coordinates relative to the window origin), so equal
+digests imply bit-identical rasters, hence bit-identical feature tensors
+and — for a deterministic per-window detector — bit-identical
+probabilities. The converse does not hold (two rect sets can cover the
+same pixels), which is fine: a conservative fingerprint only ever
+*misses* a reuse opportunity, never corrupts a result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, Tuple
+
+from repro.geometry.rect import Rect
+
+#: Bump when the digest layout changes; baked into every digest so stale
+#: persisted fingerprints can never collide with current ones.
+FINGERPRINT_SCHEMA = 1
+
+
+def clipped_relative(rects: Iterable[Rect], window: Rect) -> Tuple[Rect, ...]:
+    """Rects clipped to ``window`` and translated to its origin, sorted.
+
+    This is the canonical form two windows are compared in: it is exactly
+    the geometry :func:`~repro.geometry.raster.rasterize_rects` sees (up
+    to the window-origin translation, which rasterisation is invariant
+    to), deduplicated of everything outside the window.
+    """
+    out = []
+    for rect in rects:
+        inter = rect.intersection(window)
+        if inter is not None:
+            out.append(inter.translated(-window.x_lo, -window.y_lo))
+    out.sort()
+    return tuple(out)
+
+
+def geometry_digest(
+    rects: Iterable[Rect], window: Rect, salt: bytes = b""
+) -> str:
+    """Hex digest of the clipped-relative geometry under ``window``.
+
+    Two windows (of any absolute position) with equal digests rasterise
+    to bit-identical images at any resolution. ``salt`` folds caller
+    context — feature configuration, model identity — into the key so
+    fingerprints from incompatible configurations never collide.
+    """
+    digest = hashlib.sha256()
+    digest.update(struct.pack("<qqq", FINGERPRINT_SCHEMA, window.width, window.height))
+    digest.update(salt)
+    for rect in clipped_relative(rects, window):
+        digest.update(struct.pack("<qqqq", *rect.as_tuple()))
+    return digest.hexdigest()

@@ -15,15 +15,27 @@ ENDCLIP
 
 All coordinates are integer nanometres. The label field is ``0``, ``1`` or
 ``?`` for unlabelled clips.
+
+Full-chip layouts (the scan farm's ``scan-batch`` input) use a sibling
+format — one header naming the chip and its extent, then bare
+rectangles:
+
+```
+LAYOUT <name> <x_lo> <y_lo> <x_hi> <y_hi>
+RECT <x_lo> <y_lo> <x_hi> <y_hi>
+...
+ENDLAYOUT
+```
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import GeometryError, LayoutFormatError
 from repro.geometry.clip import Clip
+from repro.geometry.layout import Layout
 from repro.geometry.rect import Rect
 
 PathLike = Union[str, Path]
@@ -107,6 +119,85 @@ def read_layout(path: PathLike) -> List[Clip]:
     if current_window is not None:
         raise LayoutFormatError(f"{path}: unterminated CLIP {current_name!r}")
     return clips
+
+
+def write_chip(path: PathLike, layout: Layout, name: str = "chip") -> int:
+    """Write a full-chip :class:`Layout` in the LAYOUT text format.
+
+    Returns the number of rectangles written. Rects are emitted sorted,
+    so two layouts with equal geometry produce byte-identical files
+    regardless of insertion order.
+    """
+    region = layout.region
+    rects = sorted(layout.query(region))
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# repro full-chip layout file v1\n")
+        handle.write(
+            f"LAYOUT {name} "
+            f"{region.x_lo} {region.y_lo} {region.x_hi} {region.y_hi}\n"
+        )
+        for r in rects:
+            handle.write(f"RECT {r.x_lo} {r.y_lo} {r.x_hi} {r.y_hi}\n")
+        handle.write("ENDLAYOUT\n")
+    return len(rects)
+
+
+def read_chip(path: PathLike) -> Tuple[str, Layout]:
+    """Read a ``(name, Layout)`` from a :func:`write_chip` file."""
+    name: Optional[str] = None
+    region: Optional[Rect] = None
+    rects: List[Rect] = []
+    terminated = False
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if terminated:
+                raise LayoutFormatError(
+                    f"{path}:{lineno}: content after ENDLAYOUT"
+                )
+            fields = line.split()
+            keyword = fields[0].upper()
+            if keyword == "LAYOUT":
+                if region is not None:
+                    raise LayoutFormatError(f"{path}:{lineno}: nested LAYOUT")
+                if len(fields) != 6:
+                    raise LayoutFormatError(
+                        f"{path}:{lineno}: LAYOUT needs 5 fields, "
+                        f"got {len(fields) - 1}"
+                    )
+                name = fields[1]
+                region = _parse_rect(fields[2:6], path, lineno)
+            elif keyword == "RECT":
+                if region is None:
+                    raise LayoutFormatError(
+                        f"{path}:{lineno}: RECT outside LAYOUT"
+                    )
+                if len(fields) != 5:
+                    raise LayoutFormatError(
+                        f"{path}:{lineno}: RECT needs 4 fields, "
+                        f"got {len(fields) - 1}"
+                    )
+                rects.append(_parse_rect(fields[1:5], path, lineno))
+            elif keyword == "ENDLAYOUT":
+                if region is None:
+                    raise LayoutFormatError(
+                        f"{path}:{lineno}: ENDLAYOUT outside LAYOUT"
+                    )
+                terminated = True
+            else:
+                raise LayoutFormatError(
+                    f"{path}:{lineno}: unknown record {keyword!r}"
+                )
+    if region is None:
+        raise LayoutFormatError(f"{path}: not a LAYOUT file")
+    if not terminated:
+        raise LayoutFormatError(f"{path}: unterminated LAYOUT {name!r}")
+    layout = Layout(region)
+    for r in rects:
+        layout.add(r)
+    return name or "", layout
 
 
 def _parse_rect(fields: Sequence[str], path: PathLike, lineno: int) -> Rect:

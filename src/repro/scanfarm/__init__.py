@@ -1,0 +1,31 @@
+"""Wafer-scale scan farm: sharded scanning + fingerprint-keyed reuse.
+
+Public surface:
+
+- :class:`ScanFarm` — the orchestrator (sharded scan, incremental
+  re-scan, batch scanning).
+- :class:`ScanCache` — the persistent fingerprint → probability store.
+- :func:`plan_shards` / :class:`RegionShard` — region sharding.
+- Fingerprint helpers binding window content to configuration + model.
+"""
+
+from repro.scanfarm.cache import ScanCache
+from repro.scanfarm.farm import ScanFarm
+from repro.scanfarm.fingerprint import (
+    model_fingerprint,
+    scan_salt,
+    window_fingerprint,
+    window_fingerprints,
+)
+from repro.scanfarm.sharding import RegionShard, plan_shards
+
+__all__ = [
+    "ScanFarm",
+    "ScanCache",
+    "RegionShard",
+    "plan_shards",
+    "model_fingerprint",
+    "scan_salt",
+    "window_fingerprint",
+    "window_fingerprints",
+]

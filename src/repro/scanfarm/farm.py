@@ -1,0 +1,585 @@
+"""Sharded multi-process full-chip scanning with incremental re-scan.
+
+:class:`ScanFarm` is the wafer-scale front end to
+:class:`~repro.core.fullchip.FullChipScanner`'s machinery. It decomposes
+a scan three ways, every one of them exact:
+
+1. **Reuse** — each window gets a content fingerprint (geometry digest
+   salted with feature config + model identity). Windows whose
+   fingerprint already has a probability — from the persistent
+   :class:`~repro.scanfarm.cache.ScanCache`, from a resumed
+   :class:`~repro.core.fullchip.ScanJournal`, or from another window
+   earlier in this very scan (standard-cell arrays, repeated macros) —
+   are never recomputed: the known probability is replicated.
+2. **Sharding** — the remaining (representative) windows are split into
+   contiguous row bands (:func:`~repro.scanfarm.sharding.plan_shards`),
+   oversubscribed ``shards_per_worker``-fold so a shared task queue
+   load-balances them across worker processes: a worker that finishes a
+   cheap band steals the next one. Each shard rasterises only its own
+   block-aligned sub-region, whose coefficient sub-grid is bit-identical
+   to the matching slice of the full-chip grid by construction.
+3. **Assembly** — probabilities stream back through the same journal and
+   the same :func:`~repro.core.fullchip.assemble_scan_result` path the
+   serial scanner uses, so a farm scan's :class:`ScanResult` differs
+   from a serial scan's only if the probabilities do.
+
+For deterministic per-window detectors (the probe detectors, anything
+whose output is independent of batch composition) the farm result is
+therefore *bitwise* equal to a serial scan, warm cache or cold — the
+property the equivalence tests pin. The CNN's BLAS kernels pick
+different instruction paths for different batch shapes, so for real
+detectors equality holds at flagged-window/region level (the same
+contract the benchmarks assert between the serial pipelines).
+
+Failure handling follows the sliding extractor: a worker process that
+dies (SIGKILL, OOM) breaks the pool, which is respawned once and then
+degraded to in-process execution; the journal makes a killed *parent*
+resumable mid-scan.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.fullchip import (
+    FullChipScanner,
+    ScanJournal,
+    ScanResult,
+    assemble_scan_result,
+    scan_journal_header,
+)
+from repro.data.dataset import HotspotDataset
+from repro.exceptions import FeatureError, TrainingError
+from repro.features.sliding import (
+    SlidingFeatureExtractor,
+    bind_worker_to_parent,
+)
+from repro.geometry.layout import Layout, iter_clip_windows
+from repro.geometry.rect import Rect
+from repro.obs import MetricsRegistry, emit, get_registry, set_registry, span
+from repro.scanfarm.cache import ScanCache
+from repro.scanfarm.fingerprint import (
+    model_fingerprint,
+    scan_salt,
+    window_fingerprints,
+)
+from repro.scanfarm.sharding import RegionShard, plan_shards
+from repro.testing.faults import maybe_fail
+
+PathLike = Union[str, Path]
+
+#: Per-process scan context installed by the pool initializer.
+_WORKER: Dict[str, Any] = {}
+
+
+def _init_worker(payload: Dict[str, Any]) -> None:
+    """Pool initializer: stash the shared scan context once per process.
+
+    ``bind_worker_to_parent`` ties each worker's lifetime to the farm
+    process — a farm killed mid-scan must not strand orphans holding
+    the journal fd and inherited pipes open.
+    """
+    bind_worker_to_parent()
+    _WORKER["payload"] = payload
+
+
+def _scan_shard(shard: RegionShard) -> Tuple[int, np.ndarray, Dict[str, Any], float]:
+    """Pool entry point — module-level so it pickles."""
+    return _shard_result(_WORKER["payload"], shard)
+
+
+def _shard_result(
+    payload: Dict[str, Any], shard: RegionShard
+) -> Tuple[int, np.ndarray, Dict[str, Any], float]:
+    """Scan one shard; returns (index, probabilities, metrics, seconds).
+
+    Runs under a private metrics registry so stage timings (raster, DCT,
+    inference) travel back in the returned snapshot and the parent can
+    :meth:`~repro.obs.MetricsRegistry.merge_snapshot` them — the same
+    convention the sliding extractor's tile workers use.
+    """
+    maybe_fail("farm.shard", shard.index)
+    started = time.perf_counter()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        probabilities = _shard_probabilities(payload, shard)
+    finally:
+        set_registry(previous)
+    return (
+        shard.index,
+        probabilities,
+        registry.snapshot(),
+        time.perf_counter() - started,
+    )
+
+
+def _shard_probabilities(
+    payload: Dict[str, Any], shard: RegionShard
+) -> np.ndarray:
+    """Hotspot probability for each of the shard's windows, in order."""
+    layout: Layout = payload["layout"]
+    detector = payload["detector"]
+    batch_size: int = payload["batch_size"]
+    windows = [payload["windows"][i] for i in shard.window_indices]
+    probabilities = np.empty(len(windows), dtype=np.float64)
+    if payload["use_shared"]:
+        extractor = SlidingFeatureExtractor(
+            detector.extractor.config,
+            clip_nm=payload["clip_nm"],
+            tile_blocks=payload["tile_blocks"],
+            workers=1,
+        )
+        for indices, tensors in extractor.iter_batches(
+            layout, windows, batch_size, region=shard.region
+        ):
+            with span("scan.inference", batch=len(indices)):
+                probabilities[indices] = detector.predict_proba_tensors(
+                    tensors
+                )[:, 1]
+    else:
+        for lo in range(0, len(windows), batch_size):
+            chunk = windows[lo : lo + batch_size]
+            with span("scan.extract", batch=len(chunk)):
+                clips = [
+                    layout.clip_at(w, name=f"farm_{shard.index}_{lo + i}")
+                    for i, w in enumerate(chunk)
+                ]
+                batch = HotspotDataset(clips, name="farm", allow_unlabelled=True)
+            with span("scan.inference", batch=len(clips)):
+                probabilities[lo : lo + len(chunk)] = detector.predict_proba(
+                    batch
+                )[:, 1]
+    return probabilities
+
+
+class ScanFarm:
+    """Sharded, cached full-chip scanning.
+
+    Parameters
+    ----------
+    detector:
+        Same contract as :class:`~repro.core.fullchip.FullChipScanner`.
+        Must be picklable when ``workers > 1`` (trained detectors and the
+        probe detectors are).
+    clip_nm / stride_nm / threshold / pipeline / tile_blocks:
+        As for the serial scanner; ``pipeline`` is resolved once up front
+        (``"auto"`` → shared when the detector supports it) so every
+        shard takes the same path.
+    workers:
+        Shard worker *processes*. 1 (the default) runs every shard
+        in-process — no pool is ever spun up, so a single-worker farm
+        costs what a serial scan costs.
+    shards_per_worker:
+        Queue oversubscription factor: the scan is cut into about
+        ``workers * shards_per_worker`` row bands so early-finishing
+        workers pull extra bands instead of idling.
+    cache_dir:
+        Directory for the persistent :class:`ScanCache`. ``None``
+        disables caching (fingerprints are still used for in-scan
+        deduplication of repeated geometry).
+    model_key:
+        Overrides :func:`~repro.scanfarm.fingerprint.model_fingerprint`
+        as the model identity in fingerprints — for callers that version
+        models externally (e.g. the serving registry's names).
+    """
+
+    #: Pool respawns after a dead worker before degrading to in-process.
+    max_pool_respawns = 1
+
+    def __init__(
+        self,
+        detector,
+        clip_nm: int = 1200,
+        stride_nm: int = 600,
+        threshold: float = 0.5,
+        pipeline: str = "auto",
+        workers: int = 1,
+        tile_blocks: int = 16,
+        shards_per_worker: int = 2,
+        cache_dir: Optional[PathLike] = None,
+        model_key: Optional[str] = None,
+    ):
+        # The serial scanner validates detector/threshold/pipeline and
+        # owns the pipeline-resolution logic; composing it keeps the two
+        # front ends impossible to configure apart.
+        self._serial = FullChipScanner(
+            detector,
+            clip_nm=clip_nm,
+            stride_nm=stride_nm,
+            threshold=threshold,
+            pipeline=pipeline,
+            workers=1,
+            tile_blocks=tile_blocks,
+        )
+        if shards_per_worker < 1:
+            raise TrainingError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        if workers < 1:
+            raise TrainingError(f"workers must be >= 1, got {workers}")
+        self.detector = detector
+        self.clip_nm = clip_nm
+        self.stride_nm = stride_nm
+        self.threshold = threshold
+        self.pipeline = pipeline
+        self.workers = workers
+        self.tile_blocks = tile_blocks
+        self.shards_per_worker = shards_per_worker
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self._model_key = model_key
+
+    # ------------------------------------------------------------------
+    def _resolve_pipeline(self) -> Tuple[bool, int]:
+        """(use shared raster?, block pitch nm) — decided once per scan."""
+        use_shared = self._serial._use_shared_pipeline()
+        if use_shared:
+            try:
+                probe = SlidingFeatureExtractor(
+                    self.detector.extractor.config,
+                    clip_nm=self.clip_nm,
+                    tile_blocks=self.tile_blocks,
+                )
+                return True, probe.block_nm
+            except FeatureError:
+                if self.pipeline == "shared":
+                    raise
+                use_shared = False
+        # Per-clip shards have no block lattice; any pitch yields valid
+        # (unused) shard regions. The clip size keeps bands window-sized.
+        return False, self.clip_nm
+
+    def model_key(self) -> str:
+        """The model identity folded into every fingerprint."""
+        if self._model_key is None:
+            self._model_key = model_fingerprint(self.detector)
+        return self._model_key
+
+    def _journal_header(
+        self, layout: Layout, window_count: int, resolved: str
+    ) -> Dict[str, Any]:
+        """Serial header plus the farm's shard/cache/model identity.
+
+        Any drift — different worker count, shard factor, cache
+        directory or model — makes :meth:`ScanJournal.resume` raise
+        :class:`~repro.exceptions.ScanJournalError` rather than silently
+        splicing incompatible scans together.
+        """
+        return scan_journal_header(
+            layout,
+            window_count,
+            clip_nm=self.clip_nm,
+            stride_nm=self.stride_nm,
+            threshold=self.threshold,
+            pipeline=f"farm:{resolved}",
+            farm_workers=self.workers,
+            shards_per_worker=self.shards_per_worker,
+            cache=None if self.cache_dir is None else str(self.cache_dir),
+            model=self.model_key(),
+        )
+
+    # ------------------------------------------------------------------
+    def scan(
+        self,
+        layout: Layout,
+        batch_size: int = 512,
+        journal: Optional[PathLike] = None,
+        resume: bool = False,
+    ) -> ScanResult:
+        """Scan ``layout``; same contract as ``FullChipScanner.scan``.
+
+        On top of the serial contract: windows already answered by the
+        cache, the resumed journal, or an identical window earlier in the
+        scan are not recomputed, and the rest fan out across the shard
+        worker pool. The returned :class:`ScanResult` is
+        order-identical to a serial scan's (windows in scan order,
+        probabilities aligned).
+        """
+        if resume and journal is None:
+            raise TrainingError("resume=True needs a journal path")
+        started = time.perf_counter()
+        use_shared, block_nm = self._resolve_pipeline()
+        resolved = "shared" if use_shared else "per_clip"
+        windows = tuple(
+            iter_clip_windows(layout.region, self.clip_nm, self.stride_nm)
+        )
+        registry = get_registry()
+        with span(
+            "farm.fingerprint", windows=len(windows), pipeline=resolved
+        ):
+            salt = scan_salt(
+                clip_nm=self.clip_nm,
+                pipeline=resolved,
+                model_key=self.model_key(),
+                feature=(
+                    self.detector.extractor.config if use_shared else None
+                ),
+            )
+            fingerprints = window_fingerprints(layout, windows, salt)
+
+        scan_journal: Optional[ScanJournal] = None
+        done: Dict[int, float] = {}
+        if journal is not None:
+            scan_journal = ScanJournal(journal)
+            header = self._journal_header(layout, len(windows), resolved)
+            if resume and scan_journal.path.exists():
+                done = scan_journal.resume(header)
+                emit(
+                    "scan.journal.resume",
+                    completed=len(done),
+                    windows=len(windows),
+                    path=str(scan_journal.path),
+                )
+                registry.counter("scan.windows_resumed").inc(len(done))
+            else:
+                scan_journal.start(header)
+
+        #: fingerprint -> probability, from every source of truth we have.
+        known: Dict[str, float] = {
+            fingerprints[i]: p for i, p in done.items()
+        }
+        cache = (
+            ScanCache(self.cache_dir) if self.cache_dir is not None else None
+        )
+        if cache is not None:
+            hits = cache.lookup(fingerprints)
+            cache_hits = 0
+            for i, fp in enumerate(fingerprints):
+                if i not in done and fp in hits:
+                    done[i] = hits[fp]
+                    known.setdefault(fp, hits[fp])
+                    cache_hits += 1
+            registry.counter("farm.cache_hits").inc(cache_hits)
+            registry.counter("farm.cache_misses").inc(
+                len(windows) - len(done)
+            )
+
+        # Deduplicate the remaining windows: the first window of each
+        # fingerprint is scanned, the rest inherit its probability.
+        representatives: List[int] = []
+        duplicates: List[int] = []
+        for i in range(len(windows)):
+            if i in done:
+                continue
+            fp = fingerprints[i]
+            if fp in known:
+                duplicates.append(i)
+            else:
+                known[fp] = np.nan  # claimed; real value filled on arrival
+                representatives.append(i)
+        if duplicates:
+            registry.counter("farm.windows_deduped").inc(len(duplicates))
+
+        # Oversubscription only pays off when a pool is load-balancing;
+        # in-process execution gets one shard, avoiding the duplicated
+        # boundary-tile raster that adjacent overlapping bands cost.
+        shard_count = (
+            self.workers * self.shards_per_worker if self.workers > 1 else 1
+        )
+        shards = plan_shards(
+            windows,
+            representatives,
+            region=layout.region,
+            block_nm=block_nm,
+            shard_count=shard_count,
+        )
+        payload = {
+            "detector": self.detector,
+            "layout": layout,
+            "windows": windows,
+            "use_shared": use_shared,
+            "clip_nm": self.clip_nm,
+            "tile_blocks": self.tile_blocks,
+            "batch_size": batch_size,
+        }
+        probabilities = np.empty(len(windows), dtype=np.float64)
+        for i, probability in done.items():
+            probabilities[i] = probability
+        consumed = {"batches": 0}
+
+        def consume(
+            shard: RegionShard,
+            result: Tuple[int, np.ndarray, Dict[str, Any], float],
+        ) -> None:
+            _, shard_probs, snapshot, seconds = result
+            indices = list(shard.window_indices)
+            probabilities[indices] = shard_probs
+            for i, p in zip(indices, shard_probs):
+                known[fingerprints[i]] = float(p)
+            if scan_journal is not None:
+                scan_journal.record(indices, shard_probs)
+            registry.merge_snapshot(snapshot)
+            emit(
+                "farm.shard.complete",
+                level="debug",
+                shard=shard.index,
+                windows=len(indices),
+                seconds=seconds,
+            )
+            maybe_fail("farm.batch", consumed["batches"])
+            consumed["batches"] += 1
+
+        try:
+            with span(
+                "farm.scan",
+                windows=len(windows),
+                shards=len(shards),
+                workers=self.workers,
+                pipeline=resolved,
+            ):
+                completed: set = set()
+                if self.workers > 1 and len(shards) > 1:
+                    completed = self._run_shards_pool(payload, shards, consume)
+                for shard in shards:
+                    if shard.index not in completed:
+                        consume(shard, _shard_result(payload, shard))
+                if duplicates:
+                    replicated = [
+                        known[fingerprints[i]] for i in duplicates
+                    ]
+                    probabilities[duplicates] = replicated
+                    if scan_journal is not None:
+                        scan_journal.record(duplicates, np.asarray(replicated))
+                result = assemble_scan_result(
+                    windows, probabilities, self.threshold, started
+                )
+        finally:
+            if scan_journal is not None:
+                scan_journal.close()
+
+        if cache is not None:
+            written = cache.update(
+                {
+                    fp: float(probabilities[i])
+                    for i, fp in enumerate(fingerprints)
+                }
+            )
+            registry.counter("farm.cache_writes").inc(written)
+        registry.counter("scan.windows").inc(result.window_count)
+        registry.counter("scan.flagged").inc(result.flagged_count)
+        registry.counter("farm.shards").inc(len(shards))
+        rate = result.window_count / max(result.scan_seconds, 1e-9)
+        registry.gauge("scan.windows_per_second").set(rate)
+        emit(
+            "farm.scan.complete",
+            windows=result.window_count,
+            scanned=len(representatives),
+            deduped=len(duplicates),
+            resumed_or_cached=len(done),
+            flagged=result.flagged_count,
+            regions=len(result.regions),
+            shards=len(shards),
+            workers=self.workers,
+            seconds=result.scan_seconds,
+            windows_per_second=rate,
+            pipeline=resolved,
+        )
+        emit("metrics.snapshot", level="debug", **registry.snapshot())
+        return result
+
+    def scan_batch(
+        self,
+        layouts: Union[
+            Mapping[str, Layout], Iterable[Tuple[str, Layout]]
+        ],
+        batch_size: int = 512,
+    ) -> Dict[str, ScanResult]:
+        """Scan several layouts through one farm (and one shared cache).
+
+        With a ``cache_dir`` this is the cross-layout incremental mode:
+        revisions of the same chip reuse every unchanged window's
+        probability from the scans before them.
+        """
+        items = (
+            layouts.items() if isinstance(layouts, Mapping) else layouts
+        )
+        results: Dict[str, ScanResult] = {}
+        for name, layout in items:
+            emit("farm.batch.layout", layout=name)
+            results[name] = self.scan(layout, batch_size=batch_size)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_shards_pool(
+        self,
+        payload: Dict[str, Any],
+        shards: Sequence[RegionShard],
+        consume: Callable[[RegionShard, Tuple], None],
+    ) -> set:
+        """Run shards on a worker pool; returns indices that completed.
+
+        Mirrors the sliding extractor's containment: a dying worker
+        breaks the pool (sibling futures fail with it), the pool is
+        respawned once with the unfinished shards, and a second break
+        degrades the remainder to in-process execution in the caller.
+        Pool scheduling itself is the work-stealing part — shards sit in
+        one shared queue and idle workers pull the next one.
+        """
+        completed: set = set()
+        pool_failures = 0
+        pending = {shard.index: shard for shard in shards}
+        while pending:
+            try:
+                executor = ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending)),
+                    initializer=_init_worker,
+                    initargs=(payload,),
+                )
+            except (ImportError, OSError, ValueError):
+                return completed  # restricted environments: no pool at all
+            broken = False
+            try:
+                futures = {
+                    index: executor.submit(_scan_shard, shard)
+                    for index, shard in pending.items()
+                }
+                for index, future in futures.items():
+                    try:
+                        result = future.result()
+                    except (BrokenProcessPool, OSError) as exc:
+                        if not broken:
+                            broken = True
+                            emit(
+                                "farm.worker_dead",
+                                level="warning",
+                                error=str(exc),
+                                completed=len(completed),
+                                shards=len(shards),
+                            )
+                            get_registry().counter("farm.worker_deaths").inc()
+                    else:
+                        consume(pending[index], result)
+                        completed.add(index)
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            for index in completed:
+                pending.pop(index, None)
+            if not broken:
+                break
+            pool_failures += 1
+            if pool_failures > self.max_pool_respawns:
+                emit(
+                    "farm.degraded",
+                    level="warning",
+                    remaining=len(pending),
+                    shards=len(shards),
+                )
+                break  # caller finishes the remainder in-process
+        return completed

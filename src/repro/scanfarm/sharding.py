@@ -1,0 +1,103 @@
+"""Region sharding: partitioning scan windows into worker-sized bands.
+
+A shard is a contiguous band of window rows plus the block-aligned
+sub-rectangle of the chip that covers them. Row bands (rather than 2-D
+tiles) keep every shard's windows contiguous in scan order — which is
+how :func:`~repro.geometry.layout.iter_clip_windows` emits them — and
+give each shard a clean ``region=`` to hand
+:meth:`~repro.features.sliding.SlidingFeatureExtractor.iter_batches`,
+whose sub-grids are bit-identical to the matching slice of the full
+grid. Bit-identical sub-grids per shard is what reduces "farm scan
+equals serial scan" to bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import TrainingError
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class RegionShard:
+    """One worker-sized unit of a farm scan.
+
+    ``window_indices`` are positions into the scan's global window tuple
+    (ascending); ``region`` is a block-aligned sub-rectangle of the chip
+    containing every one of those windows, sized so a shard worker
+    rasterises only its own band.
+    """
+
+    index: int
+    region: Rect
+    window_indices: Tuple[int, ...]
+
+    @property
+    def window_count(self) -> int:
+        return len(self.window_indices)
+
+
+def _snap_to_blocks(bbox: Rect, region: Rect, block_nm: int) -> Rect:
+    """Expand ``bbox`` outward to the block lattice, clamped to ``region``."""
+    return Rect(
+        region.x_lo + ((bbox.x_lo - region.x_lo) // block_nm) * block_nm,
+        region.y_lo + ((bbox.y_lo - region.y_lo) // block_nm) * block_nm,
+        min(
+            region.x_hi,
+            region.x_lo + -(-(bbox.x_hi - region.x_lo) // block_nm) * block_nm,
+        ),
+        min(
+            region.y_hi,
+            region.y_lo + -(-(bbox.y_hi - region.y_lo) // block_nm) * block_nm,
+        ),
+    )
+
+
+def plan_shards(
+    windows: Sequence[Rect],
+    indices: Sequence[int],
+    *,
+    region: Rect,
+    block_nm: int,
+    shard_count: int,
+) -> Tuple[RegionShard, ...]:
+    """Partition ``indices`` (positions into ``windows``) into row bands.
+
+    Windows are grouped by their ``y_lo`` (scan rows), rows are split
+    into at most ``shard_count`` contiguous bands of near-equal row
+    count, and each band's region is the bounding box of its windows
+    snapped outward to the ``block_nm`` lattice anchored at ``region``'s
+    origin (so it is a valid ``region=`` for the sliding extractor).
+
+    ``indices`` may be any subset of the scan — after a warm-cache or
+    journal-resume pass only the dirty windows remain — and may be
+    fewer than ``shard_count``, in which case fewer shards come back.
+    """
+    if shard_count < 1:
+        raise TrainingError(f"shard_count must be >= 1, got {shard_count}")
+    if not indices:
+        return ()
+    rows: Dict[int, List[int]] = {}
+    for i in indices:
+        rows.setdefault(windows[i].y_lo, []).append(i)
+    # Scan order is y-major, but a resumed/dirty subset need not be.
+    ordered = [rows[y] for y in sorted(rows)]
+    count = min(shard_count, len(ordered))
+    shards: List[RegionShard] = []
+    for s in range(count):
+        lo = (s * len(ordered)) // count
+        hi = ((s + 1) * len(ordered)) // count
+        members = sorted(i for row in ordered[lo:hi] for i in row)
+        bbox = windows[members[0]]
+        for i in members[1:]:
+            bbox = bbox.union_bbox(windows[i])
+        shards.append(
+            RegionShard(
+                index=s,
+                region=_snap_to_blocks(bbox, region, block_nm),
+                window_indices=tuple(members),
+            )
+        )
+    return tuple(shards)

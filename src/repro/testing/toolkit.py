@@ -10,6 +10,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import time
 from pathlib import Path
 from typing import Callable, Iterable, List, Optional, Tuple, Union
 
@@ -104,7 +105,14 @@ class CrashingWorker:
             target=_crashing_entry, args=(self.target, self.args, self.faults)
         )
         process.start()
-        process.join(timeout)
+        # Poll ``is_alive`` (waitpid) rather than ``join`` — join waits
+        # on the child's sentinel pipe, and any grandchildren the child
+        # forked (e.g. scan pool workers) inherit its write end, so a
+        # SIGKILLed child with surviving descendants stalls join until
+        # the descendants exit. waitpid sees the death immediately.
+        deadline = time.monotonic() + timeout
+        while process.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.02)
         if process.is_alive():  # pragma: no cover - hung child safety net
             process.kill()
             process.join()

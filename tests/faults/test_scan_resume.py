@@ -200,7 +200,8 @@ class TestWorkerFaults:
         # inert) and still produces the exact serial grid.
         monkeypatch.setenv("REPRO_FAULTS", "scan.tile:1=kill-worker")
         extractor = SlidingFeatureExtractor(
-            FEATURES, clip_nm=1200, tile_blocks=8, workers=2
+            FEATURES, clip_nm=1200, tile_blocks=8, workers=2,
+            min_tiles_per_worker=1,  # force the pool despite the tiny grid
         )
         assert np.array_equal(serial_grid(), extractor.coefficient_grid(grid_layout()))
         assert fresh_registry.counter("scan.worker_deaths").value >= 1

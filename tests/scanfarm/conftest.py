@@ -1,0 +1,45 @@
+"""Shared fixtures for the scan-farm suite.
+
+Fault hooks and the telemetry singletons are process-global; every test
+gets a clean slate of both so ordering never matters (same contract as
+the fault-injection suite).
+"""
+
+import os
+
+import pytest
+
+from repro.obs import EventBus, MemorySink, MetricsRegistry, set_bus, set_registry
+from repro.testing import FAULTS_ENV, clear_faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    clear_faults()
+    os.environ.pop(FAULTS_ENV, None)
+    yield
+    clear_faults()
+    os.environ.pop(FAULTS_ENV, None)
+
+
+@pytest.fixture
+def fresh_bus():
+    bus = EventBus()
+    previous = set_bus(bus)
+    yield bus
+    set_bus(previous)
+    bus.close()
+
+
+@pytest.fixture
+def fresh_registry():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    yield registry
+    set_registry(previous)
+
+
+@pytest.fixture
+def captured_events(fresh_bus):
+    """A MemorySink attached to the fresh default bus."""
+    return fresh_bus.attach(MemorySink())

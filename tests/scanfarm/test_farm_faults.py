@@ -1,0 +1,191 @@
+"""Farm fault injection: dead shard workers, killed scans, bad resumes.
+
+Same conventions as the serial-scan fault suite: probe detectors make
+every recovered-vs-clean comparison bitwise, and ``CrashingWorker``
+delivers real SIGKILLs that no ``try/except`` can fake.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.fullchip import FullChipScanner
+from repro.data.fullchip import FullChipSpec, make_layout
+from repro.exceptions import ScanJournalError, TrainingError
+from repro.features.sliding import bind_worker_to_parent
+from repro.scanfarm import ScanFarm
+from repro.testing import (
+    CrashingWorker,
+    InjectedFault,
+    TensorProbeDetector,
+    fail_on_calls,
+    install_fault,
+    scan_results_equal,
+)
+
+
+def make_chip():
+    return make_layout(FullChipSpec(tiles_x=3, tiles_y=3, seed=0))
+
+
+def make_farm(**kwargs):
+    return ScanFarm(TensorProbeDetector(), **kwargs)
+
+
+def _journaled_farm_scan(journal_path, workers):
+    """Subprocess target: one journaled farm scan, armed to die mid-run."""
+    make_farm(workers=workers).scan(
+        make_chip(), batch_size=5, journal=journal_path
+    )
+
+
+def _bound_sleeper():
+    bind_worker_to_parent()
+    time.sleep(60)
+
+
+def _parent_with_bound_child(queue):
+    child = multiprocessing.get_context("fork").Process(target=_bound_sleeper)
+    child.start()
+    queue.put(child.pid)
+    time.sleep(60)
+
+
+def _pid_gone(pid, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestWorkerLifetime:
+    def test_pool_workers_die_with_their_parent(self):
+        # A SIGKILLed scan must not strand pool workers: orphans keep
+        # the journal fd and inherited pipes open (readers never see
+        # EOF). ``bind_worker_to_parent`` ties worker lifetime to the
+        # parent via PR_SET_PDEATHSIG; this pins the mechanism.
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        parent = ctx.Process(target=_parent_with_bound_child, args=(queue,))
+        parent.start()
+        worker_pid = queue.get(timeout=30)
+        os.kill(parent.pid, signal.SIGKILL)
+        parent.join(timeout=30)
+        assert _pid_gone(worker_pid), (
+            f"worker {worker_pid} outlived its SIGKILLed parent"
+        )
+
+
+class TestShardWorkerDeath:
+    def test_dead_shard_worker_degrades_and_stays_exact(
+        self, monkeypatch, fresh_registry, captured_events
+    ):
+        # Every pool worker SIGKILLs itself on shard 0; after the
+        # respawn budget the remaining shards run in-process (where
+        # kill-worker is inert) and the result is still bitwise serial.
+        monkeypatch.setenv("REPRO_FAULTS", "farm.shard:0=kill-worker")
+        result = make_farm(workers=2, shards_per_worker=2).scan(make_chip())
+        clean = FullChipScanner(TensorProbeDetector()).scan(make_chip())
+        assert scan_results_equal(clean, result)
+        assert fresh_registry.counter("farm.worker_deaths").value >= 1
+        names = {e.name for e in captured_events.events}
+        assert "farm.worker_dead" in names
+        assert "farm.degraded" in names
+
+
+class TestFarmScanResume:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sigkill_mid_scan_resume_is_bitwise(self, tmp_path, workers):
+        journal = str(tmp_path / "farm.jsonl")
+        # Kill after the first consumed shard (workers=1 plans a single
+        # shard, so a later batch index would never fire): the journal
+        # holds that shard's windows and resume must finish the rest.
+        worker = CrashingWorker(
+            _journaled_farm_scan,
+            args=(journal, workers),
+            faults="farm.batch:0=kill",
+        )
+        worker.run()
+        assert worker.was_killed
+        resumed = make_farm(workers=workers).scan(
+            make_chip(), batch_size=5, journal=journal, resume=True
+        )
+        clean = make_farm(workers=workers).scan(make_chip(), batch_size=5)
+        assert scan_results_equal(clean, resumed)
+
+    def test_inprocess_crash_resume_is_bitwise(self, tmp_path, fresh_registry):
+        journal = str(tmp_path / "farm.jsonl")
+        layout = make_chip()
+        install_fault("farm.batch", fail_on_calls(0))
+        with pytest.raises(InjectedFault):
+            make_farm().scan(layout, batch_size=5, journal=journal)
+        from repro.testing import clear_faults
+
+        clear_faults()
+        resumed = make_farm().scan(
+            layout, batch_size=5, journal=journal, resume=True
+        )
+        assert fresh_registry.counter("scan.windows_resumed").value > 0
+        clean = make_farm().scan(layout, batch_size=5)
+        assert scan_results_equal(clean, resumed)
+
+    def test_resume_skips_cached_and_journaled_work(self, tmp_path):
+        # Journal + cache together: a resumed warm scan recomputes no
+        # window at all — any evaluation would trip the armed fault.
+        journal = str(tmp_path / "farm.jsonl")
+        layout = make_chip()
+        farm = make_farm(cache_dir=tmp_path / "cache")
+        first = farm.scan(layout, batch_size=5, journal=journal)
+        install_fault("farm.shard", fail_on_calls(0, 1, 2, 3, 4, 5))
+        again = make_farm(cache_dir=tmp_path / "cache").scan(
+            layout, batch_size=5
+        )
+        assert scan_results_equal(first, again)
+
+    def test_resume_without_journal_raises(self):
+        with pytest.raises(TrainingError):
+            make_farm().scan(make_chip(), resume=True)
+
+
+class TestFarmJournalHeader:
+    def test_serial_journal_rejected_by_farm(self, tmp_path):
+        # A serial scanner's journal must not resume a farm scan (and
+        # vice versa): the header pipelines differ.
+        journal = str(tmp_path / "scan.jsonl")
+        layout = make_chip()
+        FullChipScanner(TensorProbeDetector()).scan(
+            layout, batch_size=5, journal=journal
+        )
+        with pytest.raises(ScanJournalError):
+            make_farm().scan(layout, journal=journal, resume=True)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            dict(workers=2),
+            dict(shards_per_worker=3),
+            dict(model_key="other-model"),
+        ],
+    )
+    def test_mismatched_farm_config_rejected(self, tmp_path, other):
+        journal = str(tmp_path / "farm.jsonl")
+        layout = make_chip()
+        make_farm(workers=1).scan(layout, batch_size=5, journal=journal)
+        with pytest.raises(ScanJournalError):
+            make_farm(**other).scan(layout, journal=journal, resume=True)
+
+    def test_mismatched_cache_dir_rejected(self, tmp_path):
+        journal = str(tmp_path / "farm.jsonl")
+        layout = make_chip()
+        make_farm().scan(layout, batch_size=5, journal=journal)
+        with pytest.raises(ScanJournalError):
+            make_farm(cache_dir=tmp_path / "cache").scan(
+                layout, journal=journal, resume=True
+            )

@@ -1,0 +1,91 @@
+"""Fingerprint semantics: what must collide, what must not."""
+
+from repro.features.tensor import FeatureTensorConfig
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.scanfarm import (
+    model_fingerprint,
+    scan_salt,
+    window_fingerprint,
+)
+from repro.testing import DensityProbeDetector, TensorProbeDetector
+
+
+class TestModelFingerprint:
+    def test_equal_detectors_collide(self):
+        assert model_fingerprint(DensityProbeDetector()) == model_fingerprint(
+            DensityProbeDetector()
+        )
+
+    def test_different_config_differs(self):
+        assert model_fingerprint(
+            DensityProbeDetector(cutoff=0.15)
+        ) != model_fingerprint(DensityProbeDetector(cutoff=0.3))
+
+    def test_different_class_differs(self):
+        assert model_fingerprint(DensityProbeDetector()) != model_fingerprint(
+            TensorProbeDetector()
+        )
+
+    def test_stable_across_processes_shape(self):
+        # Structural hashing must not leak id()/repr addresses: two
+        # fresh instances holding distinct (equal-valued) sub-objects
+        # still collide.
+        a, b = TensorProbeDetector(), TensorProbeDetector()
+        assert a.extractor is not b.extractor
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+
+class TestScanSalt:
+    def test_varies_with_each_component(self):
+        base = dict(
+            clip_nm=1200,
+            pipeline="shared",
+            model_key="m1",
+            feature=FeatureTensorConfig(),
+        )
+        salt = scan_salt(**base)
+        assert salt == scan_salt(**base)  # deterministic
+        assert salt != scan_salt(**{**base, "clip_nm": 600})
+        assert salt != scan_salt(**{**base, "pipeline": "per_clip"})
+        assert salt != scan_salt(**{**base, "model_key": "m2"})
+        assert salt != scan_salt(
+            **{**base, "feature": FeatureTensorConfig(coefficients=16)}
+        )
+
+
+class TestWindowFingerprint:
+    def test_translation_invariant(self):
+        # Identical content at different chip positions → same key.
+        # This is the whole dedup/incremental story in one assertion.
+        layout = Layout(Rect(0, 0, 4000, 2000))
+        for dx in (0, 2000):
+            layout.add(Rect(dx + 100, 300, dx + 700, 500))
+            layout.add(Rect(dx + 900, 800, dx + 1300, 1600))
+        a = window_fingerprint(layout, Rect(0, 0, 2000, 2000), b"s")
+        b = window_fingerprint(layout, Rect(2000, 0, 4000, 2000), b"s")
+        assert a == b
+
+    def test_content_change_differs(self):
+        layout = Layout(Rect(0, 0, 2000, 2000))
+        layout.add(Rect(100, 300, 700, 500))
+        window = Rect(0, 0, 2000, 2000)
+        before = window_fingerprint(layout, window, b"s")
+        layout.add(Rect(1500, 1500, 1600, 1900))
+        assert window_fingerprint(layout, window, b"s") != before
+
+    def test_salt_partitions_keyspace(self):
+        layout = Layout(Rect(0, 0, 2000, 2000))
+        layout.add(Rect(100, 300, 700, 500))
+        window = Rect(0, 0, 2000, 2000)
+        assert window_fingerprint(
+            layout, window, b"model-a"
+        ) != window_fingerprint(layout, window, b"model-b")
+
+    def test_outside_geometry_ignored(self):
+        layout = Layout(Rect(0, 0, 4000, 2000))
+        layout.add(Rect(100, 300, 700, 500))
+        window = Rect(0, 0, 2000, 2000)
+        before = window_fingerprint(layout, window, b"s")
+        layout.add(Rect(3000, 300, 3700, 500))  # outside the window
+        assert window_fingerprint(layout, window, b"s") == before

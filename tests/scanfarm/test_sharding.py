@@ -1,0 +1,81 @@
+"""Shard planning: exact partition, aligned regions."""
+
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.geometry.layout import iter_clip_windows
+from repro.geometry.rect import Rect
+from repro.scanfarm import plan_shards
+
+REGION = Rect(0, 0, 4800, 4800)
+WINDOWS = tuple(iter_clip_windows(REGION, 1200, 600))
+BLOCK = 200
+
+
+class TestPlanShards:
+    def test_partition_is_exact(self):
+        indices = list(range(len(WINDOWS)))
+        shards = plan_shards(
+            WINDOWS, indices, region=REGION, block_nm=BLOCK, shard_count=4
+        )
+        covered = [i for shard in shards for i in shard.window_indices]
+        assert sorted(covered) == indices
+        assert len(covered) == len(set(covered))  # disjoint
+
+    def test_regions_aligned_and_contain_windows(self):
+        indices = list(range(len(WINDOWS)))
+        for count in (1, 2, 3, 5, 8):
+            for shard in plan_shards(
+                WINDOWS,
+                indices,
+                region=REGION,
+                block_nm=BLOCK,
+                shard_count=count,
+            ):
+                r = shard.region
+                assert (r.x_lo - REGION.x_lo) % BLOCK == 0
+                assert (r.y_lo - REGION.y_lo) % BLOCK == 0
+                assert REGION.x_lo <= r.x_lo and r.x_hi <= REGION.x_hi
+                assert REGION.y_lo <= r.y_lo and r.y_hi <= REGION.y_hi
+                for i in shard.window_indices:
+                    w = WINDOWS[i]
+                    assert (
+                        r.x_lo <= w.x_lo
+                        and w.x_hi <= r.x_hi
+                        and r.y_lo <= w.y_lo
+                        and w.y_hi <= r.y_hi
+                    )
+
+    def test_sparse_subset_plans(self):
+        # After a warm-cache pass only scattered dirty windows remain.
+        indices = [0, 3, 17, 18, 40]
+        shards = plan_shards(
+            WINDOWS, indices, region=REGION, block_nm=BLOCK, shard_count=3
+        )
+        covered = sorted(i for s in shards for i in s.window_indices)
+        assert covered == indices
+
+    def test_shard_count_clamped_to_rows(self):
+        row_count = len({w.y_lo for w in WINDOWS})
+        shards = plan_shards(
+            WINDOWS,
+            list(range(len(WINDOWS))),
+            region=REGION,
+            block_nm=BLOCK,
+            shard_count=1000,
+        )
+        assert len(shards) == row_count
+
+    def test_empty_indices_yield_no_shards(self):
+        assert (
+            plan_shards(
+                WINDOWS, [], region=REGION, block_nm=BLOCK, shard_count=4
+            )
+            == ()
+        )
+
+    def test_bad_shard_count_raises(self):
+        with pytest.raises(TrainingError):
+            plan_shards(
+                WINDOWS, [0], region=REGION, block_nm=BLOCK, shard_count=0
+            )
