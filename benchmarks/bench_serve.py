@@ -11,6 +11,12 @@ PRs can track the serving perf trajectory alongside the scan benchmark.
 ``max_batch=1`` is the no-batching control: its mean batch size is
 exactly 1.0 by construction, and the wide-batch configurations must
 amortise work into visibly larger batches under the same load.
+
+The run also measures distributed-tracing overhead: the same mid-sweep
+configuration is driven with trace-id generation on (the default) and
+off (``set_trace_ids(False)``), and the throughput delta lands in the
+artifact's ``tracing`` section. The id path is one ``os.urandom`` call
+per span, so the expected overhead is noise-level (well under 5%).
 """
 
 import threading
@@ -29,6 +35,7 @@ from repro.litho.oracle import OracleConfig
 from repro.litho.optics import OpticsConfig
 from repro.nn.trainer import TrainerConfig
 from repro.obs import MetricsRegistry, set_registry
+from repro.obs.tracing import set_trace_ids
 from repro.serve import EngineConfig, InferenceEngine
 
 #: Where the serving perf record lands (repo root, next to BENCH_fullchip).
@@ -50,6 +57,15 @@ _CONFIG_KEYS = (
 )
 
 
+_TRACING_KEYS = (
+    "ids_on_rps",
+    "ids_off_rps",
+    "overhead_fraction",
+    "p95_on_s",
+    "p95_off_s",
+)
+
+
 def validate_serve_report(path: Path) -> dict:
     """Re-read BENCH_serve.json and fail loudly on schema drift."""
     document = read_report(path)
@@ -63,6 +79,11 @@ def validate_serve_report(path: Path) -> dict:
         assert entry["requests_per_second"] > 0
         assert entry["p95_latency_s"] > 0
         assert entry["mean_batch_size"] >= 1.0
+    tracing = document["results"]["tracing"]
+    for key in _TRACING_KEYS:
+        assert key in tracing, f"{path}: tracing section missing {key!r}"
+    assert tracing["ids_on_rps"] > 0
+    assert tracing["ids_off_rps"] > 0
     return document
 
 
@@ -154,17 +175,46 @@ def drive_engine(detector, feature_batch, max_batch, max_wait_ms):
         set_registry(previous)
 
 
+def measure_tracing_overhead(detector, feature_batch) -> dict:
+    """Throughput with trace-id generation on vs off (one mid-sweep config).
+
+    A single-measurement ratio on a busy machine is noisy, so the
+    recorded ``overhead_fraction`` is a trend signal, not a gate —
+    ``scripts/check_bench_regression.py`` applies the tolerance band.
+    """
+    previous = set_trace_ids(True)
+    try:
+        on = drive_engine(detector, feature_batch, 8, 2.0)
+        set_trace_ids(False)
+        off = drive_engine(detector, feature_batch, 8, 2.0)
+    finally:
+        set_trace_ids(previous)
+    overhead = 1.0 - on["requests_per_second"] / max(
+        off["requests_per_second"], 1e-9
+    )
+    return {
+        "ids_on_rps": on["requests_per_second"],
+        "ids_off_rps": off["requests_per_second"],
+        "overhead_fraction": overhead,
+        "p95_on_s": on["p95_latency_s"],
+        "p95_off_s": off["p95_latency_s"],
+    }
+
+
 def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch):
-    """Batching sweep; writes BENCH_serve.json."""
+    """Batching sweep + tracing overhead; writes BENCH_serve.json."""
 
     def sweep():
-        return [
+        configs = [
             drive_engine(trained_detector, feature_batch, max_batch, wait_ms)
             for max_batch in BATCH_SIZES
             for wait_ms in WAIT_WINDOWS_MS
         ]
+        return configs, measure_tracing_overhead(
+            trained_detector, feature_batch
+        )
 
-    configs = once(sweep)
+    configs, tracing = once(sweep)
 
     for entry in configs:
         print(
@@ -174,6 +224,12 @@ def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch)
             f"p95 {entry['p95_latency_s'] * 1000:7.2f} ms  "
             f"mean batch {entry['mean_batch_size']:.2f}"
         )
+
+    print(
+        f"tracing ids on {tracing['ids_on_rps']:.1f} req/s, "
+        f"off {tracing['ids_off_rps']:.1f} req/s "
+        f"(overhead {tracing['overhead_fraction'] * 100:+.1f}%)"
+    )
 
     by_key = {(e["max_batch"], e["max_wait_ms"]): e for e in configs}
     # The no-batching control cannot batch, by construction.
@@ -185,7 +241,7 @@ def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch)
     write_report(
         ARTIFACT_PATH,
         "serve_throughput_latency",
-        {"configs": configs},
+        {"configs": configs, "tracing": tracing},
         metadata={
             "client_threads": CLIENT_THREADS,
             "requests_per_thread": REQUESTS_PER_THREAD,

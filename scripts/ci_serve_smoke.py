@@ -9,6 +9,14 @@ engage dynamic batching, /metrics (must expose the request-latency
 histogram), hot reload, rollback, and a corrupt-checkpoint reload that
 must be rejected with 409 while the old model keeps serving.
 
+Observability coverage rides the same drive: the whole session logs to
+a JSONL sink, one traced request's id must reassemble into a span tree
+(client.request → serve.request → serve.queue_wait/serve.batch →
+serve.infer) through the ``obs report --trace`` machinery, the
+``/metrics`` endpoint must serve parseable OpenMetrics text ending in
+``# EOF``, and ``obs top --once`` must render a dashboard frame from
+the live server.
+
 Any non-2xx response (``ServeClientError``), missing metric, or
 probability mismatch exits non-zero.
 """
@@ -29,6 +37,9 @@ from repro.features.tensor import FeatureTensorConfig
 from repro.litho.oracle import OracleConfig
 from repro.litho.optics import OpticsConfig
 from repro.nn.trainer import TrainerConfig
+from repro.obs import JsonlSink, get_bus
+from repro.obs.report import report_from_file
+from repro.obs.top import run_top
 from repro.serve import (
     EngineConfig,
     InferenceEngine,
@@ -66,18 +77,22 @@ def train_tiny():
         ),
         seed=0,
     )
-    return HotspotDetector(config).fit(train), test
+    return HotspotDetector(config).fit(train), train, test
 
 
 def main(workdir: Path) -> None:
-    detector, test = train_tiny()
+    detector, train, test = train_tiny()
     tensors = test.features(detector.extractor).astype(np.float32)
     offline = detector.predict_proba_tensors(tensors)
 
+    log_path = workdir / "serve_smoke.jsonl"
+    sink = get_bus().attach(JsonlSink(log_path))
+
     registry = ModelRegistry(workdir / "models")
-    registry.publish(detector, "v1")
+    registry.publish(detector, "v1", reference=train)
     registry.publish(detector, "v2")
-    registry.activate("v1")
+    loaded = registry.activate("v1")
+    check(loaded.profile is not None, "v1 activated with drift profile")
 
     engine = InferenceEngine(
         registry, EngineConfig(max_batch=16, max_wait_ms=20.0, workers=2)
@@ -149,6 +164,29 @@ def main(workdir: Path) -> None:
         check(client.health()["version"] == "v1", "old model still serving")
         probs = client.predict_tensors(tensors[:1])
         check(probs.shape == (1, 2), "prediction still works after rejected reload")
+
+        # --- observability round trips -----------------------------------
+        trace_id = client.last_trace_id
+        check(
+            len(trace_id) == 32 and set(trace_id) <= set("0123456789abcdef"),
+            f"client captured W3C trace id ({trace_id[:8]}…)",
+        )
+        tree = report_from_file(log_path, trace=trace_id)  # lines flush per write
+        for name in ("client.request", "serve.request", "serve.infer"):
+            check(name in tree, f"trace tree contains {name}")
+        print(tree)
+
+        text = client.metrics_text()
+        check(text.rstrip().endswith("# EOF"), "OpenMetrics ends with # EOF")
+        check(
+            "repro_serve_request_seconds" in text,
+            "OpenMetrics exposes the request-latency summary",
+        )
+
+        check(
+            run_top(client.base_url, once=True) == 0,
+            "obs top --once renders a frame from the live server",
+        )
     finally:
         server.shutdown()
         server.server_close()

@@ -106,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--publish-version", metavar="NAME", default=None,
         help="registry version name for --publish-dir (default: v<timestamp>)",
     )
+    train.add_argument(
+        "--no-drift-profile", action="store_true",
+        help="publish without freezing a drift reference profile "
+             "(default: profile the model on the training set so serving "
+             "can monitor score/feature drift against it)",
+    )
 
     evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
     evaluate.add_argument("model", help="model file from 'train'")
@@ -210,6 +216,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pending-request cap before 503 backpressure")
     serve.add_argument("--workers", type=int, default=1,
                        help="inference worker threads")
+    serve.add_argument("--slo-latency-ms", type=float, default=250.0,
+                       metavar="MS",
+                       help="predict-latency SLO threshold (99%% of "
+                            "requests faster than this)")
+    serve.add_argument("--slo-availability", type=float, default=0.999,
+                       metavar="FRACTION",
+                       help="availability SLO target (fraction of "
+                            "non-error responses)")
+    serve.add_argument("--no-slo", action="store_true",
+                       help="disable SLO burn-rate tracking")
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -217,6 +233,24 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarise a JSONL run log (stage timings, metrics)"
     )
     report.add_argument("log", help="JSONL run log from --log-json")
+    report.add_argument(
+        "--trace", metavar="ID", default=None,
+        help="render one trace as a span tree instead of the summary "
+             "(full 32-hex trace id or any unique prefix)",
+    )
+    top = obs_sub.add_parser(
+        "top", help="live terminal dashboard scraping a serve instance"
+    )
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8080",
+        help="base URL of the serve instance to scrape",
+    )
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh interval in seconds")
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (non-zero on scrape failure)",
+    )
     return parser
 
 
@@ -313,8 +347,14 @@ def _cmd_train(args) -> int:
 
         version = args.publish_version or f"v{int(time.time())}"
         registry = ModelRegistry(args.publish_dir)
-        path = registry.publish(detector, version)
+        reference = None if args.no_drift_profile else dataset
+        path = registry.publish(detector, version, reference=reference)
         _say(f"published serving checkpoint {version} to {path}")
+        if reference is not None:
+            _say(
+                "froze drift reference profile "
+                f"({len(dataset)} training clips) into {version}"
+            )
     return 0
 
 
@@ -452,6 +492,16 @@ def _cmd_serve(args) -> int:
         f"serving model {registry.name!r} version {loaded.version} "
         f"from {args.checkpoint_dir}"
     )
+    from repro.obs.slo import default_serve_objectives
+
+    slo = (
+        ()
+        if args.no_slo
+        else default_serve_objectives(
+            latency_threshold_s=args.slo_latency_ms / 1000.0,
+            availability_target=args.slo_availability,
+        )
+    )
     engine = InferenceEngine(
         registry,
         EngineConfig(
@@ -460,6 +510,7 @@ def _cmd_serve(args) -> int:
             max_queue=args.max_queue,
             workers=args.workers,
         ),
+        slo=slo,
     )
     server = make_server(engine, registry, host=args.host, port=args.port)
     _say(f"listening on http://{args.host}:{server.port}")
@@ -475,11 +526,15 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from repro.obs.report import report_from_file
-
     if args.obs_command == "report":
-        _say(report_from_file(args.log))
+        from repro.obs.report import report_from_file
+
+        _say(report_from_file(args.log, trace=args.trace))
         return 0
+    if args.obs_command == "top":
+        from repro.obs.top import run_top
+
+        return run_top(args.url, interval_s=args.interval, once=args.once)
     return 2  # unreachable: argparse enforces the choices
 
 

@@ -42,6 +42,7 @@ from repro.features.tensor import FeatureTensorExtractor
 from repro.geometry.layout import Layout, iter_clip_windows
 from repro.geometry.rect import Rect
 from repro.obs import emit, get_registry, span
+from repro.obs.drift import DriftMonitor
 from repro.testing.faults import maybe_fail
 
 PathLike = Union[str, Path]
@@ -279,6 +280,12 @@ class FullChipScanner:
     tile_blocks:
         Tile size (in blocks) for the shared raster; see
         :class:`~repro.features.sliding.SlidingFeatureExtractor`.
+    drift_monitor:
+        Optional :class:`~repro.obs.drift.DriftMonitor` fed every
+        batch's hotspot probabilities as they are scored; a forced
+        drift check runs once per completed scan, so a layout whose
+        score distribution has shifted from the model's publish-time
+        reference raises ``drift.alert`` before anyone reads the result.
     """
 
     def __init__(
@@ -290,6 +297,7 @@ class FullChipScanner:
         pipeline: str = "auto",
         workers: int = 1,
         tile_blocks: int = 16,
+        drift_monitor: Optional[DriftMonitor] = None,
     ):
         if not hasattr(detector, "predict_proba"):
             raise TrainingError(
@@ -310,6 +318,7 @@ class FullChipScanner:
         self.pipeline = pipeline
         self.workers = workers
         self.tile_blocks = tile_blocks
+        self.drift_monitor = drift_monitor
 
     # ------------------------------------------------------------------
     def _journal_header(self, layout: Layout, window_count: int) -> Dict[str, Any]:
@@ -390,6 +399,8 @@ class FullChipScanner:
                     probabilities[global_indices] = batch_probs
                     if scan_journal is not None:
                         scan_journal.record(global_indices, batch_probs)
+                    if self.drift_monitor is not None:
+                        self.drift_monitor.observe(batch_probs)
                     maybe_fail("scan.batch", batch_number)
                     batch_number += 1
                 result = assemble_scan_result(
@@ -398,6 +409,8 @@ class FullChipScanner:
         finally:
             if scan_journal is not None:
                 scan_journal.close()
+        if self.drift_monitor is not None:
+            self.drift_monitor.check(force=True)
         registry = get_registry()
         registry.counter("scan.windows").inc(result.window_count)
         registry.counter("scan.flagged").inc(result.flagged_count)

@@ -1,0 +1,167 @@
+"""OpenMetrics text exposition for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+:func:`render_openmetrics` turns a registry snapshot into the OpenMetrics
+1.0 text format (the content type Prometheus negotiates as
+``application/openmetrics-text``): one ``# HELP`` / ``# TYPE`` block per
+metric family, samples with escaped, name-sorted labels, counters
+exposed with the mandatory ``_total`` suffix, histograms as ``summary``
+families (``quantile`` samples + ``_count``/``_sum``), and the
+terminating ``# EOF`` line.
+
+Registry names like ``serve.request.seconds`` are mangled to the
+``[a-zA-Z_][a-zA-Z0-9_]*`` charset and namespaced: ``
+repro_serve_request_seconds``. Labelled series (canonical
+``name{k="v"}`` snapshot keys from :func:`repro.obs.metrics.metric_key`)
+group under one family per base name so each family gets exactly one
+HELP/TYPE header.
+
+The serving front end negotiates this on ``/metrics`` (JSON remains at
+``/metrics.json`` and for ``Accept: application/json``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.obs.metrics import escape_label_value, parse_metric_key
+
+#: Content type for the rendered exposition.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: Namespace prefixed to every exported family.
+NAME_PREFIX = "repro"
+
+#: Help strings for well-known instrument families (by registry name).
+HELP_TEXT = {
+    "serve.requests": "Predict requests accepted by the inference engine",
+    "serve.samples": "Individual samples (windows) run through the model",
+    "serve.batches": "Micro-batches assembled by the engine",
+    "serve.errors": "Requests failed inside the engine",
+    "serve.request.seconds": "End-to-end request latency",
+    "serve.queue_wait.seconds": "Time requests spent queued before batching",
+    "serve.batch.size": "Samples per assembled micro-batch",
+    "serve.batch.seconds": "Model inference time per micro-batch",
+    "serve.queue.depth": "Requests waiting in the engine queue",
+    "scan.windows_per_second": "Full-chip scan throughput",
+    "farm.shards_lost": "Scan-farm shards lost to dead workers",
+    "farm.worker_deaths": "Scan-farm pool worker deaths",
+    "drift.score_psi": "Population stability index of the score window",
+    "drift.score_ks": "KS statistic of the score window vs reference",
+    "drift.alerts": "Drift alerts raised",
+    "slo.burn_rate": "SLO error-budget burn rate (worst window)",
+}
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Mangle a registry name into an OpenMetrics family name."""
+    mangled = _INVALID_CHARS.sub("_", name)
+    if not mangled or not (mangled[0].isalpha() or mangled[0] == "_"):
+        mangled = "_" + mangled
+    return f"{NAME_PREFIX}_{mangled}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    pairs = ",".join(
+        f'{key}="{escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _families(
+    series: Mapping[str, Any]
+) -> "Dict[str, List[Tuple[Dict[str, str], Any]]]":
+    """Group snapshot keys by base name, label-sorted within a family."""
+    grouped: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+    for key, value in series.items():
+        name, labels = parse_metric_key(key)
+        grouped.setdefault(name, []).append((labels, value))
+    for samples in grouped.values():
+        samples.sort(key=lambda item: _format_labels(item[0]))
+    return grouped
+
+
+def _header(lines: List[str], family: str, name: str, kind: str) -> None:
+    help_text = HELP_TEXT.get(name, f"Registry instrument {name}")
+    lines.append(f"# HELP {family} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {family} {kind}")
+
+
+def render_openmetrics(snapshot: Mapping[str, Any]) -> str:
+    """Render a registry snapshot as OpenMetrics text.
+
+    Families are emitted in sorted order (counters, then gauges, then
+    histogram summaries, each alphabetical) so scrapes diff cleanly.
+    """
+    lines: List[str] = []
+
+    counter_families = _families(snapshot.get("counters", {}))
+    for name in sorted(counter_families):
+        samples = counter_families[name]
+        family = sanitize_name(name)
+        _header(lines, family, name, "counter")
+        for labels, value in samples:
+            lines.append(
+                f"{family}_total{_format_labels(labels)} {_format_value(int(value))}"
+            )
+
+    gauge_families = _families(snapshot.get("gauges", {}))
+    for name in sorted(gauge_families):
+        samples = gauge_families[name]
+        family = sanitize_name(name)
+        _header(lines, family, name, "gauge")
+        for labels, value in samples:
+            lines.append(
+                f"{family}{_format_labels(labels)} {_format_value(float(value))}"
+            )
+
+    histogram_families = _families(snapshot.get("histograms", {}))
+    for name in sorted(histogram_families):
+        samples = histogram_families[name]
+        family = sanitize_name(name)
+        _header(lines, family, name, "summary")
+        for labels, state in samples:
+            for quantile, field in (("0.5", "p50"), ("0.95", "p95")):
+                quantile_labels = dict(labels)
+                quantile_labels["quantile"] = quantile
+                lines.append(
+                    f"{family}{_format_labels(quantile_labels)} "
+                    f"{_format_value(float(state[field]))}"
+                )
+            rendered = _format_labels(labels)
+            lines.append(
+                f"{family}_count{rendered} {_format_value(int(state['count']))}"
+            )
+            lines.append(
+                f"{family}_sum{rendered} {_format_value(float(state['total']))}"
+            )
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

@@ -19,15 +19,84 @@ plain-dict :meth:`~MetricsRegistry.snapshot`, which another registry can
 :meth:`~MetricsRegistry.merge_snapshot`. That is how the full-chip scan's
 worker subprocesses report back: each worker fills a private registry,
 returns its snapshot over the pool, and the parent merges.
+
+Instruments can carry **labels** (``registry.counter("serve.requests",
+labels={"model_version": "v3"})``): each distinct label set is its own
+instrument, stored under a canonical key ``name{k="v",...}`` with sorted
+label names and Prometheus-style value escaping. Labelled series
+therefore flow through snapshots, merges, and the OpenMetrics exposition
+(:mod:`repro.obs.export`) without any extra machinery, and
+:meth:`MetricsRegistry.sum_counter` re-aggregates a family across its
+label sets. :func:`metric_key` / :func:`parse_metric_key` are the codec.
 """
 
 from __future__ import annotations
 
 import math
+import re
 import threading
-from typing import Any, Dict, List, Mapping
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import ObservabilityError
+
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for canonical keys / text exposition."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value`."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        char = value[i]
+        if char == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append("\n" if nxt == "n" else nxt)
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
+
+
+def metric_key(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """Canonical registry key for ``name`` + ``labels``.
+
+    Label names are sorted so the same label set always produces the same
+    key; values are escaped so quotes and backslashes round-trip through
+    :func:`parse_metric_key`.
+    """
+    if not name or "{" in name or "}" in name:
+        raise ObservabilityError(f"invalid metric name: {name!r}")
+    if not labels:
+        return name
+    pairs = []
+    for key in sorted(labels):
+        if not _LABEL_NAME_RE.match(key):
+            raise ObservabilityError(f"invalid label name: {key!r}")
+        pairs.append(f'{key}="{escape_label_value(str(labels[key]))}"')
+    return f"{name}{{{','.join(pairs)}}}"
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a canonical key back into ``(name, labels)``."""
+    if "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    if not rest.endswith("}"):
+        raise ObservabilityError(f"malformed metric key: {key!r}")
+    labels = {
+        match.group(1): unescape_label_value(match.group(2))
+        for match in _LABEL_PAIR_RE.finditer(rest[:-1])
+    }
+    return name, labels
 
 
 class Counter:
@@ -105,12 +174,17 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate ``q``-th percentile (q in [0, 100]); 0.0 if empty."""
+        """Approximate ``q``-th percentile (q in [0, 100]); NaN if empty.
+
+        NaN — not an exception, and not a fake ``0.0`` that could pass a
+        latency SLO check — is the consistent "no data" answer. With a
+        single sample every percentile is that sample (nearest rank).
+        """
         if not 0.0 <= q <= 100.0:
             raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
         with self._lock:
             if not self._samples:
-                return 0.0
+                return math.nan
             ordered = sorted(self._samples)
             # Nearest-rank on the retained sample set.
             rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
@@ -148,8 +222,12 @@ class Histogram:
     def merge_state(self, state: Mapping[str, Any]) -> None:
         """Fold another histogram's :meth:`state` into this one.
 
-        Exact fields combine exactly; the sample buffers concatenate and
-        re-decimate, so merged percentiles stay approximations.
+        Exact fields combine exactly. The sample buffers concatenate,
+        **sort**, and re-decimate: sorting makes the retained subset a
+        function of the combined multiset rather than of arrival order,
+        so merging A-then-B and B-then-A produce identical snapshots
+        (pinned by property tests). Merged percentiles stay
+        approximations either way.
         """
         count = int(state["count"])
         if count == 0:
@@ -159,14 +237,25 @@ class Histogram:
             self.total += float(state["total"])
             self.min = min(self.min, float(state["min"]))
             self.max = max(self.max, float(state["max"]))
-            self._samples.extend(float(v) for v in state.get("samples", ()))
-            while len(self._samples) >= self.max_samples:
-                self._samples = self._samples[::2]
+            combined = self._samples + [
+                float(v) for v in state.get("samples", ())
+            ]
+            combined.sort()
+            while len(combined) >= self.max_samples:
+                combined = combined[::2]
                 self._stride *= 2
+            self._samples = combined
 
 
 class MetricsRegistry:
-    """Named instruments with get-or-create semantics."""
+    """Named instruments with get-or-create semantics.
+
+    ``labels`` (an optional str→str mapping) select a distinct instrument
+    per label set; the plain-name instrument is unrelated to any labelled
+    one. Snapshot keys for labelled instruments are the canonical
+    :func:`metric_key` strings, which downstream consumers split with
+    :func:`parse_metric_key`.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -175,17 +264,38 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = metric_key(name, labels) if labels else name
         with self._lock:
-            return self._counters.setdefault(name, Counter())
+            return self._counters.setdefault(key, Counter())
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        key = metric_key(name, labels) if labels else name
         with self._lock:
-            return self._gauges.setdefault(name, Gauge())
+            return self._gauges.setdefault(key, Gauge())
 
-    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+    def histogram(
+        self,
+        name: str,
+        max_samples: int = 4096,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        key = metric_key(name, labels) if labels else name
         with self._lock:
-            return self._histograms.setdefault(name, Histogram(max_samples))
+            return self._histograms.setdefault(key, Histogram(max_samples))
+
+    def sum_counter(self, name: str) -> int:
+        """Total of ``name`` across every label set (and the bare series)."""
+        with self._lock:
+            return sum(
+                counter.value
+                for key, counter in self._counters.items()
+                if parse_metric_key(key)[0] == name
+            )
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -205,17 +315,34 @@ class MetricsRegistry:
                 },
             }
 
-    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+    def merge_snapshot(
+        self,
+        snapshot: Mapping[str, Any],
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         """Fold a :meth:`snapshot` (e.g. from a worker process) into this.
 
         Counters add, gauges last-write-win, histograms merge their state.
+        ``labels`` re-keys every incoming series under extra labels —
+        the scan farm uses this to merge a lost shard's partial snapshot
+        under ``shard_lost="<i>"`` so the partial work stays visible
+        without double-counting the re-run's series.
         """
+
+        def rekey(key: str) -> str:
+            if not labels:
+                return key
+            base, existing = parse_metric_key(key)
+            merged = dict(labels)
+            merged.update(existing)
+            return metric_key(base, merged)
+
         for name, value in snapshot.get("counters", {}).items():
-            self.counter(name).inc(int(value))
+            self.counter(rekey(name)).inc(int(value))
         for name, value in snapshot.get("gauges", {}).items():
-            self.gauge(name).set(float(value))
+            self.gauge(rekey(name)).set(float(value))
         for name, state in snapshot.get("histograms", {}).items():
-            self.histogram(name).merge_state(state)
+            self.histogram(rekey(name)).merge_state(state)
 
     def reset(self) -> None:
         """Drop every instrument (tests, fresh CLI runs)."""

@@ -115,6 +115,137 @@ def last_metrics_snapshot(
 
 
 # ----------------------------------------------------------------------
+# Trace reassembly
+# ----------------------------------------------------------------------
+#: Span-event attr keys that belong to the span schema itself; everything
+#: else is a user attribute worth showing in the tree view.
+_SPAN_SCHEMA_KEYS = frozenset(
+    (
+        "span",
+        "path",
+        "depth",
+        "seconds",
+        "rss_delta_kb",
+        "status",
+        "trace_id",
+        "span_id",
+        "parent_id",
+    )
+)
+
+
+def trace_ids(events: Sequence[Event]) -> List[str]:
+    """Distinct trace ids present in ``events``, in first-seen order."""
+    seen: Dict[str, None] = {}
+    for event in events:
+        if event.name != "span":
+            continue
+        trace_id = event.attrs.get("trace_id")
+        if trace_id and trace_id not in seen:
+            seen[str(trace_id)] = None
+    return list(seen)
+
+
+def resolve_trace_id(events: Sequence[Event], wanted: str) -> str:
+    """Resolve ``wanted`` (full id or unique prefix) to a full trace id."""
+    available = trace_ids(events)
+    if wanted in available:
+        return wanted
+    matches = [t for t in available if t.startswith(wanted)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        shown = "\n  ".join(available) if available else "(log has no trace ids)"
+        raise ObservabilityError(
+            f"trace {wanted!r} not found; available traces:\n  {shown}"
+        )
+    raise ObservabilityError(
+        f"trace prefix {wanted!r} is ambiguous: {', '.join(matches)}"
+    )
+
+
+def build_trace_tree(
+    events: Sequence[Event], trace_id: str
+) -> List[Dict[str, Any]]:
+    """Reassemble one trace's span tree from its ``span`` events.
+
+    Returns the root nodes (spans whose parent is absent from the log —
+    genuinely parentless, or parented to a span that ran in an un-logged
+    process). Each node dict carries the span fields plus ``children``
+    (sorted by start time) and ``extra`` (non-schema attrs such as
+    ``shard`` or ``samples``).
+    """
+    trace_id = resolve_trace_id(events, trace_id)
+    nodes: Dict[str, Dict[str, Any]] = {}
+    ordered: List[Dict[str, Any]] = []
+    for event in events:
+        if event.name != "span" or event.attrs.get("trace_id") != trace_id:
+            continue
+        attrs = event.attrs
+        node = {
+            "name": str(attrs.get("span", "?")),
+            "span_id": str(attrs.get("span_id", "")),
+            "parent_id": str(attrs.get("parent_id", "")),
+            "seconds": float(attrs.get("seconds", 0.0)),
+            "status": str(attrs.get("status", "ok")),
+            # JsonlSink stamps time_s at emit (span close); subtracting
+            # the duration recovers the start for stable ordering.
+            "start_s": float(event.time_s) - float(attrs.get("seconds", 0.0)),
+            "extra": {
+                k: v for k, v in attrs.items() if k not in _SPAN_SCHEMA_KEYS
+            },
+            "children": [],
+        }
+        ordered.append(node)
+        if node["span_id"]:
+            nodes[node["span_id"]] = node
+    roots = []
+    for node in ordered:
+        parent = nodes.get(node["parent_id"]) if node["parent_id"] else None
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    for node in ordered:
+        node["children"].sort(key=lambda child: child["start_s"])
+    roots.sort(key=lambda node: node["start_s"])
+    return roots
+
+
+def _format_trace_node(
+    node: Mapping[str, Any], lines: List[str], indent: int
+) -> None:
+    extra = ""
+    if node["extra"]:
+        parts = ", ".join(
+            f"{k}={node['extra'][k]}" for k in sorted(node["extra"])
+        )
+        extra = f"  ({parts})"
+    status = "" if node["status"] == "ok" else f" [{node['status']}]"
+    lines.append(
+        f"{'  ' * indent}{node['name']}  {node['seconds'] * 1e3:.2f}ms"
+        f"{status}{extra}"
+    )
+    for child in node["children"]:
+        _format_trace_node(child, lines, indent + 1)
+
+
+def format_trace(events: Sequence[Event], trace_id: str) -> str:
+    """Human-readable tree view of one trace (``obs report --trace``)."""
+    resolved = resolve_trace_id(events, trace_id)
+    roots = build_trace_tree(events, resolved)
+    count = sum(_count_nodes(root) for root in roots)
+    lines = [f"trace {resolved}: {count} spans"]
+    for root in roots:
+        _format_trace_node(root, lines, indent=1)
+    return "\n".join(lines)
+
+
+def _count_nodes(node: Mapping[str, Any]) -> int:
+    return 1 + sum(_count_nodes(child) for child in node["children"])
+
+
+# ----------------------------------------------------------------------
 # Formatting
 # ----------------------------------------------------------------------
 def _rows_to_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -156,6 +287,14 @@ def format_report(events: Sequence[Event], title: str = "run log") -> str:
             [(name, census[name]) for name in sorted(census)],
         )
     )
+
+    traces = trace_ids(events)
+    if traces:
+        lines.append("")
+        lines.append(
+            f"Traces: {len(traces)} trace ids (inspect with "
+            f"obs report --trace <id>; first: {traces[0]})"
+        )
 
     stages = summarize_spans(events)
     if stages:
@@ -228,6 +367,13 @@ def format_report(events: Sequence[Event], title: str = "run log") -> str:
     return "\n".join(lines)
 
 
-def report_from_file(path: PathLike) -> str:
-    """Load ``path`` and render its report (the CLI entry point)."""
-    return format_report(load_run_log(path), title=str(path))
+def report_from_file(path: PathLike, trace: Optional[str] = None) -> str:
+    """Load ``path`` and render its report (the CLI entry point).
+
+    With ``trace`` set, renders that trace's span tree instead of the
+    aggregate report (``obs report RUN.jsonl --trace <id-or-prefix>``).
+    """
+    events = load_run_log(path)
+    if trace:
+        return format_trace(events, trace)
+    return format_report(events, title=str(path))

@@ -1,0 +1,232 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`SLObjective` states a target the way an on-call rota would:
+"99% of predict requests succeed within 250 ms". The
+:class:`SLOTracker` records every request outcome into per-window ring
+buffers and evaluates the **burn rate** — the fraction of the error
+budget being consumed per unit time::
+
+    burn = bad_fraction / (1 - target)
+
+A burn rate of 1.0 exactly exhausts the budget over the SLO period;
+sustained rates above ``burn_threshold`` across *all* configured windows
+raise an ``slo.burn`` event (level ``warning``). Requiring every window
+to breach is the standard multi-window guard: the short window makes the
+alert fast, the long window keeps a transient blip from paging.
+
+Each evaluation also publishes gauges (``slo.burn_rate``,
+``slo.bad_fraction``, ``slo.window_requests``, labelled with the
+objective name and window) so the OpenMetrics scrape and ``obs top``
+show budget consumption continuously, not just at alert time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ObservabilityError
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective.
+
+    ``target`` is the good-request fraction (e.g. ``0.99``).
+    ``latency_threshold_s`` marks a request bad when it succeeds but
+    takes longer than the threshold; ``None`` tracks availability only.
+    ``windows_s`` are the evaluation windows — all must breach
+    ``burn_threshold`` simultaneously to alert.
+    """
+
+    name: str
+    target: float
+    latency_threshold_s: Optional[float] = None
+    windows_s: Tuple[float, ...] = (60.0, 600.0)
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ObservabilityError("SLO objective needs a name")
+        if not 0.0 < self.target < 1.0:
+            raise ObservabilityError(
+                f"SLO target must be in (0, 1), got {self.target}"
+            )
+        if not self.windows_s or any(w <= 0 for w in self.windows_s):
+            raise ObservabilityError(
+                f"SLO windows must be positive, got {self.windows_s}"
+            )
+        if self.burn_threshold <= 0:
+            raise ObservabilityError(
+                f"burn_threshold must be positive, got {self.burn_threshold}"
+            )
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.target
+
+
+def default_serve_objectives(
+    latency_threshold_s: float = 0.25,
+    availability_target: float = 0.999,
+) -> List[SLObjective]:
+    """The serving engine's stock objectives."""
+    return [
+        SLObjective(
+            name="predict-latency",
+            target=0.99,
+            latency_threshold_s=latency_threshold_s,
+        ),
+        SLObjective(name="predict-availability", target=availability_target),
+    ]
+
+
+@dataclass
+class _Outcome:
+    at_s: float
+    ok: bool
+    latency_s: float
+
+
+@dataclass
+class SLOStatus:
+    """Evaluation result for one objective."""
+
+    objective: SLObjective
+    burn_rates: Dict[float, float] = field(default_factory=dict)
+    bad_fractions: Dict[float, float] = field(default_factory=dict)
+    window_requests: Dict[float, int] = field(default_factory=dict)
+    burning: bool = False
+
+    @property
+    def worst_burn(self) -> float:
+        return max(self.burn_rates.values()) if self.burn_rates else 0.0
+
+
+class SLOTracker:
+    """Records request outcomes and evaluates burn rates.
+
+    Thread-safe; designed to sit on the serving engine's hot path
+    (:meth:`record` is a deque append under a lock).
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SLObjective],
+        bus: Optional[_events.EventBus] = None,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+        clock=time.monotonic,
+        min_requests: int = 10,
+    ) -> None:
+        if not objectives:
+            raise ObservabilityError("SLOTracker needs at least one objective")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ObservabilityError(f"duplicate SLO objective names: {names}")
+        self.objectives = list(objectives)
+        self.min_requests = int(min_requests)
+        self._bus = bus
+        self._registry = registry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._horizon = max(
+            window for objective in self.objectives for window in objective.windows_s
+        )
+        self._outcomes: Deque[_Outcome] = deque()
+        self._burning: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, latency_s: float, ok: bool = True) -> None:
+        """Record one finished request."""
+        now = self._clock()
+        with self._lock:
+            self._outcomes.append(
+                _Outcome(at_s=now, ok=bool(ok), latency_s=float(latency_s))
+            )
+            self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        cutoff = now - self._horizon
+        while self._outcomes and self._outcomes[0].at_s < cutoff:
+            self._outcomes.popleft()
+
+    def _is_bad(self, outcome: _Outcome, objective: SLObjective) -> bool:
+        if not outcome.ok:
+            return True
+        threshold = objective.latency_threshold_s
+        return threshold is not None and outcome.latency_s > threshold
+
+    # ------------------------------------------------------------------
+    def evaluate(self) -> List[SLOStatus]:
+        """Evaluate every objective; emits gauges and ``slo.burn`` events.
+
+        An ``slo.burn`` fires on the transition into burning (all
+        windows above threshold) and an ``slo.recovered`` (level
+        ``info``) on the way back out, so the log records episodes
+        rather than a line per evaluation.
+        """
+        now = self._clock()
+        with self._lock:
+            self._trim(now)
+            outcomes = list(self._outcomes)
+        registry = self._registry or _metrics.get_registry()
+        bus = self._bus or _events.get_bus()
+        statuses = []
+        for objective in self.objectives:
+            status = SLOStatus(objective=objective)
+            breaching_all = True
+            for window in objective.windows_s:
+                cutoff = now - window
+                in_window = [o for o in outcomes if o.at_s >= cutoff]
+                total = len(in_window)
+                bad = sum(
+                    1 for o in in_window if self._is_bad(o, objective)
+                )
+                bad_fraction = bad / total if total else 0.0
+                burn = bad_fraction / objective.error_budget
+                status.window_requests[window] = total
+                status.bad_fractions[window] = bad_fraction
+                status.burn_rates[window] = burn
+                if total < self.min_requests or burn < objective.burn_threshold:
+                    breaching_all = False
+                labels = {
+                    "objective": objective.name,
+                    "window_s": f"{window:g}",
+                }
+                registry.gauge("slo.burn_rate", labels=labels).set(burn)
+                registry.gauge("slo.bad_fraction", labels=labels).set(
+                    bad_fraction
+                )
+                registry.gauge("slo.window_requests", labels=labels).set(total)
+            status.burning = breaching_all
+            previously = self._burning.get(objective.name, False)
+            if status.burning and not previously:
+                registry.counter(
+                    "slo.burns", labels={"objective": objective.name}
+                ).inc()
+                bus.emit(
+                    "slo.burn",
+                    level="warning",
+                    objective=objective.name,
+                    target=objective.target,
+                    burn_rates={
+                        f"{w:g}s": round(status.burn_rates[w], 4)
+                        for w in objective.windows_s
+                    },
+                    worst_burn=round(status.worst_burn, 4),
+                )
+            elif previously and not status.burning:
+                bus.emit(
+                    "slo.recovered",
+                    level="info",
+                    objective=objective.name,
+                    worst_burn=round(status.worst_burn, 4),
+                )
+            self._burning[objective.name] = status.burning
+            statuses.append(status)
+        return statuses

@@ -1,0 +1,217 @@
+"""``obs top``: a terminal dashboard over a live serve ``/metrics.json``.
+
+Polls the JSON metrics endpoint of a running ``repro-hotspot serve`` and
+renders the registry snapshot as a compact status board: engine
+counters and latency percentiles, per-label families (model versions,
+shards), SLO burn rates, and drift gauges. ``--once`` prints a single
+frame and exits (the CI smoke uses it as a liveness probe); otherwise
+the screen refreshes every ``--interval`` seconds until interrupted.
+
+Rendering is pure (snapshot dict → str), so tests feed it synthetic
+snapshots without a server.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Mapping, Optional, TextIO, Tuple
+
+from repro.exceptions import ObservabilityError
+from repro.obs.metrics import parse_metric_key
+
+#: ANSI: clear screen + home. Used only on the live (non-``--once``) path.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_snapshot(url: str, timeout_s: float = 5.0) -> Dict[str, Any]:
+    """GET ``<url>/metrics.json`` and return the registry snapshot."""
+    target = url.rstrip("/") + "/metrics.json"
+    request = urllib.request.Request(
+        target, headers={"Accept": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise ObservabilityError(f"cannot scrape {target}: {exc}") from exc
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ObservabilityError(
+            f"{target} returned no 'metrics' object (keys: "
+            f"{sorted(payload) if isinstance(payload, dict) else type(payload).__name__})"
+        )
+    return metrics
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value):
+        return "-"
+    if value and abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:,.4g}"
+
+
+def _grouped(series: Mapping[str, Any]) -> Dict[str, List[Tuple[Dict[str, str], Any]]]:
+    grouped: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+    for key, value in series.items():
+        name, labels = parse_metric_key(key)
+        grouped.setdefault(name, []).append((labels, value))
+    return grouped
+
+
+def _label_suffix(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return " [" + " ".join(f"{k}={labels[k]}" for k in sorted(labels)) + "]"
+
+
+def _section(lines: List[str], title: str) -> None:
+    if lines and lines[-1] != "":
+        lines.append("")
+    lines.append(title)
+    lines.append("-" * len(title))
+
+
+def format_top(snapshot: Mapping[str, Any], title: str = "repro serve") -> str:
+    """Render one dashboard frame from a registry snapshot."""
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    lines: List[str] = [
+        f"{title} — {time.strftime('%H:%M:%S')}",
+    ]
+
+    _section(lines, "Engine")
+    engine_keys = (
+        ("serve.requests", "requests"),
+        ("serve.samples", "samples"),
+        ("serve.batches", "batches"),
+        ("serve.errors", "errors"),
+        ("serve.rejected", "rejected"),
+    )
+    parts = []
+    for key, label in engine_keys:
+        if key in counters:
+            parts.append(f"{label}={_fmt(counters[key])}")
+    if "serve.queue.depth" in gauges:
+        parts.append(f"queue={_fmt(gauges['serve.queue.depth'])}")
+    lines.append("  " + ("  ".join(parts) if parts else "(no engine traffic yet)"))
+    for name in ("serve.request.seconds", "serve.queue_wait.seconds",
+                 "serve.batch.size"):
+        state = histograms.get(name)
+        if state:
+            lines.append(
+                f"  {name}: n={int(state.get('count', 0))} "
+                f"p50={_fmt(state.get('p50', math.nan))} "
+                f"p95={_fmt(state.get('p95', math.nan))} "
+                f"max={_fmt(state.get('max', 0.0))}"
+            )
+
+    model_rows = [
+        (labels, value)
+        for labels, value in _grouped(counters).get("serve.model.requests", [])
+        if labels
+    ]
+    if model_rows:
+        _section(lines, "Models")
+        for labels, value in sorted(model_rows, key=lambda r: _label_suffix(r[0])):
+            lines.append(
+                f"  version={labels.get('model_version', '?')}: "
+                f"requests={_fmt(value)}"
+            )
+
+    slo_rows = _grouped(gauges).get("slo.burn_rate", [])
+    if slo_rows:
+        _section(lines, "SLO burn rates")
+        by_objective: Dict[str, List[Tuple[str, float]]] = {}
+        for labels, value in slo_rows:
+            by_objective.setdefault(labels.get("objective", "?"), []).append(
+                (labels.get("window_s", "?"), float(value))
+            )
+        for objective in sorted(by_objective):
+            windows = sorted(
+                by_objective[objective], key=lambda w: float(w[0] or 0)
+            )
+            rendered = "  ".join(f"{w}s={_fmt(v)}" for w, v in windows)
+            worst = max(v for _, v in windows)
+            flag = "  !! BURNING" if worst >= 1.0 else ""
+            lines.append(f"  {objective}: {rendered}{flag}")
+
+    drift_gauges = {
+        name: rows
+        for name, rows in _grouped(gauges).items()
+        if name.startswith("drift.")
+    }
+    if drift_gauges:
+        _section(lines, "Drift")
+        for name in sorted(drift_gauges):
+            for labels, value in drift_gauges[name]:
+                lines.append(f"  {name}{_label_suffix(labels)}: {_fmt(value)}")
+        alerts = sum(
+            int(value)
+            for _, value in _grouped(counters).get("drift.alerts", [])
+        )
+        if alerts:
+            lines.append(f"  !! drift.alerts={alerts}")
+
+    other = {
+        key: value
+        for key, value in counters.items()
+        if not key.startswith(("serve.", "drift.", "slo."))
+    }
+    if other:
+        _section(lines, "Other counters")
+        for key in sorted(other):
+            lines.append(f"  {key}: {_fmt(other[key])}")
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    interval_s: float = 2.0,
+    once: bool = False,
+    iterations: Optional[int] = None,
+    stream: Optional[TextIO] = None,
+    fetch: Optional[Callable[[str], Dict[str, Any]]] = None,
+) -> int:
+    """Drive the dashboard loop; returns a process exit code.
+
+    ``iterations`` bounds the loop for tests; ``fetch`` overrides the
+    HTTP scrape. A scrape failure on the live path shows an error frame
+    and keeps polling; with ``--once`` it exits 1 so CI probes fail
+    loudly.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    fetcher = fetch or fetch_snapshot
+    frame = 0
+    while True:
+        try:
+            snapshot = fetcher(url)
+            text = format_top(snapshot, title=f"repro serve @ {url}")
+            failed = False
+        except ObservabilityError as exc:
+            text = f"scrape failed: {exc}"
+            failed = True
+        if once or iterations is not None:
+            print(text, file=out)
+        else:
+            print(f"{_CLEAR}{text}", file=out, flush=True)
+        if once:
+            return 1 if failed else 0
+        frame += 1
+        if iterations is not None and frame >= iterations:
+            return 1 if failed else 0
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:
+            return 0
+    return 0

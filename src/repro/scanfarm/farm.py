@@ -34,11 +34,25 @@ contract the benchmarks assert between the serial pipelines).
 Failure handling follows the sliding extractor: a worker process that
 dies (SIGKILL, OOM) breaks the pool, which is respawned once and then
 degraded to in-process execution; the journal makes a killed *parent*
-resumable mid-scan.
+resumable mid-scan. A lost shard is reported per shard with a
+``scan.shard.lost`` warning, and whatever stage metrics it managed to
+spill before dying are merged back under a ``shard_lost`` label — the
+partial work stays visible without double-counting the re-run in the
+unlabelled totals, so farm-vs-serial metric totals still reconcile.
+
+Shard workers run under a private event bus and metrics registry; their
+span events (``farm.shard`` → ``scan.extract``/``scan.inference``) ride
+back in the shard result and are re-emitted on the parent bus carrying
+the parent scan's trace id, so ``obs report --trace`` reassembles a
+farm scan — parent and worker processes together — as one tree.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -74,6 +88,8 @@ from repro.features.sliding import (
 from repro.geometry.layout import Layout, iter_clip_windows
 from repro.geometry.rect import Rect
 from repro.obs import MetricsRegistry, emit, get_registry, set_registry, span
+from repro.obs.events import Event, EventBus, get_bus, set_bus
+from repro.obs.tracing import use_trace
 from repro.scanfarm.cache import ScanCache
 from repro.scanfarm.fingerprint import (
     model_fingerprint,
@@ -100,39 +116,114 @@ def _init_worker(payload: Dict[str, Any]) -> None:
     _WORKER["payload"] = payload
 
 
-def _scan_shard(shard: RegionShard) -> Tuple[int, np.ndarray, Dict[str, Any], float]:
+class _EventCollector:
+    """Bus sink buffering shard-local events as picklable plain dicts."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def handle(self, event: Event) -> None:
+        self.events.append(
+            {
+                "name": event.name,
+                "level": event.level,
+                "attrs": dict(event.attrs),
+            }
+        )
+
+
+def _spill_path(payload: Dict[str, Any], index: int) -> Optional[str]:
+    """Where shard ``index`` spills partial metrics (None: spill off)."""
+    spill_dir = payload.get("spill_dir")
+    if not spill_dir:
+        return None
+    return os.path.join(spill_dir, f"shard-{index}.json")
+
+
+def _write_spill(path: str, index: int, snapshot: Dict[str, Any]) -> None:
+    """Atomically persist a shard's metrics-so-far (tmp + rename)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"shard": index, "snapshot": snapshot}, handle)
+    os.replace(tmp, path)
+
+
+def _read_spill(path: Optional[str]) -> Optional[Dict[str, Any]]:
+    """Load a spill file; ``None`` when absent/unreadable (best effort)."""
+    if path is None:
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _scan_shard(
+    shard: RegionShard,
+) -> Tuple[int, np.ndarray, Dict[str, Any], List[Dict[str, Any]], float]:
     """Pool entry point — module-level so it pickles."""
     return _shard_result(_WORKER["payload"], shard)
 
 
 def _shard_result(
     payload: Dict[str, Any], shard: RegionShard
-) -> Tuple[int, np.ndarray, Dict[str, Any], float]:
-    """Scan one shard; returns (index, probabilities, metrics, seconds).
+) -> Tuple[int, np.ndarray, Dict[str, Any], List[Dict[str, Any]], float]:
+    """Scan one shard; returns (index, probabilities, metrics, events, seconds).
 
-    Runs under a private metrics registry so stage timings (raster, DCT,
-    inference) travel back in the returned snapshot and the parent can
-    :meth:`~repro.obs.MetricsRegistry.merge_snapshot` them — the same
-    convention the sliding extractor's tile workers use.
+    Runs under a private metrics registry *and* a private event bus, so
+    stage timings (raster, DCT, inference) and span events travel back
+    in the returned tuple: the parent merges the snapshot and re-emits
+    the events on its own bus — the same convention the sliding
+    extractor's tile workers use, extended with tracing. The whole shard
+    runs inside a ``farm.shard`` span parented (via the shipped
+    :class:`~repro.obs.tracing.TraceContext`) to the farm's ``farm.scan``
+    span, so worker-process spans join the parent scan's trace tree.
+
+    When the payload names a ``spill_dir``, the running metrics snapshot
+    is spilled to disk after every batch and removed on clean
+    completion — a shard that dies mid-flight leaves its partial work
+    on disk for the parent's lost-shard accounting.
     """
     maybe_fail("farm.shard", shard.index)
     started = time.perf_counter()
     registry = MetricsRegistry()
     previous = set_registry(registry)
+    collector = _EventCollector()
+    bus = EventBus()
+    bus.attach(collector)
+    previous_bus = set_bus(bus)
+    spill = _spill_path(payload, shard.index)
     try:
-        probabilities = _shard_probabilities(payload, shard)
+        with use_trace(payload.get("trace")):
+            with span(
+                "farm.shard",
+                shard=shard.index,
+                windows=len(shard.window_indices),
+            ):
+                probabilities = _shard_probabilities(payload, shard, spill)
     finally:
+        set_bus(previous_bus)
         set_registry(previous)
+    if spill is not None:
+        try:
+            os.remove(spill)
+        except OSError:
+            pass
     return (
         shard.index,
         probabilities,
         registry.snapshot(),
+        collector.events,
         time.perf_counter() - started,
     )
 
 
 def _shard_probabilities(
-    payload: Dict[str, Any], shard: RegionShard
+    payload: Dict[str, Any],
+    shard: RegionShard,
+    spill: Optional[str] = None,
 ) -> np.ndarray:
     """Hotspot probability for each of the shard's windows, in order."""
     layout: Layout = payload["layout"]
@@ -154,6 +245,8 @@ def _shard_probabilities(
                 probabilities[indices] = detector.predict_proba_tensors(
                     tensors
                 )[:, 1]
+            if spill is not None:
+                _write_spill(spill, shard.index, get_registry().snapshot())
     else:
         for lo in range(0, len(windows), batch_size):
             chunk = windows[lo : lo + batch_size]
@@ -167,6 +260,8 @@ def _shard_probabilities(
                 probabilities[lo : lo + len(chunk)] = detector.predict_proba(
                     batch
                 )[:, 1]
+            if spill is not None:
+                _write_spill(spill, shard.index, get_registry().snapshot())
     return probabilities
 
 
@@ -199,6 +294,12 @@ class ScanFarm:
         Overrides :func:`~repro.scanfarm.fingerprint.model_fingerprint`
         as the model identity in fingerprints — for callers that version
         models externally (e.g. the serving registry's names).
+    drift_monitor:
+        Optional :class:`~repro.obs.drift.DriftMonitor` fed every
+        shard's freshly computed hotspot probabilities as they stream
+        back (cached/deduplicated windows are not re-observed), with a
+        forced drift check once per scan — same contract as
+        :class:`~repro.core.fullchip.FullChipScanner`.
     """
 
     #: Pool respawns after a dead worker before degrading to in-process.
@@ -216,6 +317,7 @@ class ScanFarm:
         shards_per_worker: int = 2,
         cache_dir: Optional[PathLike] = None,
         model_key: Optional[str] = None,
+        drift_monitor=None,
     ):
         # The serial scanner validates detector/threshold/pipeline and
         # owns the pipeline-resolution logic; composing it keeps the two
@@ -245,6 +347,7 @@ class ScanFarm:
         self.shards_per_worker = shards_per_worker
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self._model_key = model_key
+        self.drift_monitor = drift_monitor
 
     # ------------------------------------------------------------------
     def _resolve_pipeline(self) -> Tuple[bool, int]:
@@ -413,19 +516,38 @@ class ScanFarm:
         for i, probability in done.items():
             probabilities[i] = probability
         consumed = {"batches": 0}
+        bus = get_bus()
 
         def consume(
             shard: RegionShard,
-            result: Tuple[int, np.ndarray, Dict[str, Any], float],
+            result: Tuple[
+                int, np.ndarray, Dict[str, Any], List[Dict[str, Any]], float
+            ],
         ) -> None:
-            _, shard_probs, snapshot, seconds = result
+            _, shard_probs, snapshot, events, seconds = result
             indices = list(shard.window_indices)
             probabilities[indices] = shard_probs
             for i, p in zip(indices, shard_probs):
                 known[fingerprints[i]] = float(p)
             if scan_journal is not None:
                 scan_journal.record(indices, shard_probs)
+            if self.drift_monitor is not None:
+                self.drift_monitor.observe(shard_probs)
             registry.merge_snapshot(snapshot)
+            registry.counter(
+                "farm.shard.windows", labels={"shard": str(shard.index)}
+            ).inc(len(indices))
+            registry.histogram("farm.shard.seconds").observe(seconds)
+            # Replay the shard's span events (collected on its private
+            # bus, possibly in another process) onto the parent bus:
+            # their trace/span ids are in the attrs, so the JSONL log
+            # reassembles parent + worker spans into one trace tree.
+            for event in events:
+                bus.emit(
+                    event.get("name", "span"),
+                    level=event.get("level", "debug"),
+                    **event.get("attrs", {}),
+                )
             emit(
                 "farm.shard.complete",
                 level="debug",
@@ -436,6 +558,7 @@ class ScanFarm:
             maybe_fail("farm.batch", consumed["batches"])
             consumed["batches"] += 1
 
+        spill_dir: Optional[str] = None
         try:
             with span(
                 "farm.scan",
@@ -443,9 +566,14 @@ class ScanFarm:
                 shards=len(shards),
                 workers=self.workers,
                 pipeline=resolved,
-            ):
+            ) as farm_span:
+                # Shard workers (threads or processes) parent their
+                # farm.shard spans to this span via the shipped context.
+                payload["trace"] = farm_span.context()
                 completed: set = set()
                 if self.workers > 1 and len(shards) > 1:
+                    spill_dir = tempfile.mkdtemp(prefix="repro-farm-spill-")
+                    payload["spill_dir"] = spill_dir
                     completed = self._run_shards_pool(payload, shards, consume)
                 for shard in shards:
                     if shard.index not in completed:
@@ -463,6 +591,10 @@ class ScanFarm:
         finally:
             if scan_journal is not None:
                 scan_journal.close()
+            if spill_dir is not None:
+                shutil.rmtree(spill_dir, ignore_errors=True)
+        if self.drift_monitor is not None:
+            self.drift_monitor.check(force=True)
 
         if cache is not None:
             written = cache.update(
@@ -531,6 +663,16 @@ class ScanFarm:
         degrades the remainder to in-process execution in the caller.
         Pool scheduling itself is the work-stealing part — shards sit in
         one shared queue and idle workers pull the next one.
+
+        A break no longer drops the lost shards' telemetry silently:
+        every shard whose future failed gets a per-shard
+        ``scan.shard.lost`` warning (with its window count), bumps the
+        ``farm.shards_lost`` counter, and — when the worker spilled a
+        partial metrics snapshot before dying — that partial work is
+        merged back under a ``shard_lost="<index>"`` label. The re-run
+        of the same shard reports into the unlabelled series, so the
+        unlabelled totals still reconcile with a serial scan while the
+        wasted partial work stays accounted for.
         """
         completed: set = set()
         pool_failures = 0
@@ -545,6 +687,7 @@ class ScanFarm:
             except (ImportError, OSError, ValueError):
                 return completed  # restricted environments: no pool at all
             broken = False
+            lost: List[int] = []
             try:
                 futures = {
                     index: executor.submit(_scan_shard, shard)
@@ -554,6 +697,7 @@ class ScanFarm:
                     try:
                         result = future.result()
                     except (BrokenProcessPool, OSError) as exc:
+                        lost.append(index)
                         if not broken:
                             broken = True
                             emit(
@@ -569,6 +713,8 @@ class ScanFarm:
                         completed.add(index)
             finally:
                 executor.shutdown(wait=False, cancel_futures=True)
+            for index in lost:
+                self._report_lost_shard(payload, pending[index])
             for index in completed:
                 pending.pop(index, None)
             if not broken:
@@ -583,3 +729,36 @@ class ScanFarm:
                 )
                 break  # caller finishes the remainder in-process
         return completed
+
+    @staticmethod
+    def _report_lost_shard(
+        payload: Dict[str, Any], shard: RegionShard
+    ) -> None:
+        """Account for a shard whose worker died before returning.
+
+        Emits the per-shard ``scan.shard.lost`` warning and folds any
+        spilled partial metrics snapshot into the parent registry under
+        a ``shard_lost`` label (the shard is re-run afterwards, so the
+        partial series must stay out of the unlabelled totals).
+        """
+        registry = get_registry()
+        spill = _spill_path(payload, shard.index)
+        partial = _read_spill(spill)
+        if partial is not None and spill is not None:
+            try:  # consumed: a re-lost shard must not merge it twice
+                os.remove(spill)
+            except OSError:
+                pass
+        snapshot = partial.get("snapshot") if partial else None
+        if isinstance(snapshot, dict) and snapshot:
+            registry.merge_snapshot(
+                snapshot, labels={"shard_lost": str(shard.index)}
+            )
+        registry.counter("farm.shards_lost").inc()
+        emit(
+            "scan.shard.lost",
+            level="warning",
+            shard=shard.index,
+            windows=len(shard.window_indices),
+            partial_metrics=bool(snapshot),
+        )

@@ -3,6 +3,14 @@
 Used by the tests, the CI smoke drive, and the serving benchmark — and
 small enough to paste into any tool that needs to score clips against a
 running ``repro serve`` instance without extra dependencies.
+
+Every call opens a ``client.request`` span and sends its identity as a
+W3C ``traceparent`` header, so a request traced from here shows up in
+the server's JSONL log as one tree: ``client.request`` →
+``serve.request`` → queue wait / batch / infer. The predict response's
+``trace_id`` (also echoed in the ``traceparent`` response header) is
+returned to callers via :meth:`ServeClient.last_trace_id` for feeding
+``obs report --trace``.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.exceptions import ServeError
+from repro.obs.tracing import format_traceparent, span
 
 
 class ServeClientError(ServeError):
@@ -34,25 +43,47 @@ class ServeClient:
     def __init__(self, base_url: str, timeout_s: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        #: Trace id of the most recent request (empty when tracing off).
+        self.last_trace_id = ""
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        raw: bool = False,
+        accept: Optional[str] = None,
+    ):
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        headers = {"Content-Type": "application/json"} if data else {}
+        if accept:
+            headers["Accept"] = accept
+        with span("client.request", method=method, target=path) as record:
+            context = record.context()
+            if context is not None:
+                headers["traceparent"] = format_traceparent(context)
+                self.last_trace_id = record.trace_id
+            request = urllib.request.Request(
+                f"{self.base_url}{path}",
+                data=data,
+                method=method,
+                headers=headers,
+            )
             try:
-                payload = json.loads(exc.read().decode("utf-8"))
-            except Exception:
-                payload = {"error": "HTTPError", "detail": str(exc)}
-            raise ServeClientError(exc.code, payload) from exc
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout_s
+                ) as response:
+                    payload = response.read().decode("utf-8")
+                    if raw:
+                        return payload
+                    return json.loads(payload)
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read().decode("utf-8"))
+                except Exception:
+                    payload = {"error": "HTTPError", "detail": str(exc)}
+                raise ServeClientError(exc.code, payload) from exc
 
     # ------------------------------------------------------------------
     def predict_tensors(self, tensors) -> np.ndarray:
@@ -87,4 +118,11 @@ class ServeClient:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        return self._request("GET", "/metrics")
+        """The JSON metrics payload (stats + SLOs + registry snapshot)."""
+        return self._request(
+            "GET", "/metrics.json", accept="application/json"
+        )
+
+    def metrics_text(self) -> str:
+        """The OpenMetrics text exposition scraped from ``/metrics``."""
+        return self._request("GET", "/metrics", raw=True)

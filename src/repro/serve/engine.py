@@ -30,7 +30,24 @@ Telemetry (``repro.obs``): ``serve.queue.depth`` gauge,
 ``serve.batch.size`` / ``serve.batch.seconds`` / ``serve.queue_wait.seconds``
 / ``serve.request.seconds`` / ``serve.extract.seconds`` histograms, and
 ``serve.requests`` / ``serve.samples`` / ``serve.rejected`` /
-``serve.errors`` counters.
+``serve.errors`` counters, plus per-version ``serve.model.*`` counters
+labelled ``model_version``.
+
+Observability v2 additions:
+
+- **Tracing** — :meth:`submit` captures the caller's
+  :func:`~repro.obs.tracing.current_trace` on the request; the worker
+  re-installs the first request's context around the ``serve.batch`` /
+  ``serve.infer`` spans and emits a retroactive ``serve.queue_wait``
+  span per request, so a traced HTTP request's tree shows handler →
+  queue wait → batch → infer even though three threads were involved.
+- **Drift** — when the active model's checkpoint carries a publish-time
+  :class:`~repro.obs.drift.ReferenceProfile`, a per-version
+  :class:`~repro.obs.drift.DriftMonitor` watches the live score/feature
+  stream and raises ``drift.alert`` events.
+- **SLOs** — every request outcome (including rejects and failures)
+  feeds an :class:`~repro.obs.slo.SLOTracker`; burn rates are evaluated
+  on a small time cadence and on every metrics scrape.
 """
 
 from __future__ import annotations
@@ -40,7 +57,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Union
+from typing import Deque, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -52,7 +69,9 @@ from repro.exceptions import (
 )
 from repro.nn.kernels import Workspace, use_workspace
 from repro.obs import emit, get_registry
-from repro.obs.tracing import span
+from repro.obs.drift import DriftConfig, DriftMonitor
+from repro.obs.slo import SLObjective, SLOTracker, default_serve_objectives
+from repro.obs.tracing import current_trace, emit_span, span, use_trace
 from repro.serve.registry import LoadedModel, ModelRegistry
 
 
@@ -93,13 +112,24 @@ class EngineConfig:
 
 
 class _Request:
-    __slots__ = ("tensors", "count", "future", "submitted_at")
+    __slots__ = (
+        "tensors",
+        "count",
+        "future",
+        "submitted_at",
+        "submitted_wall",
+        "trace",
+    )
 
     def __init__(self, tensors: np.ndarray):
         self.tensors = tensors
         self.count = int(tensors.shape[0])
         self.future: "Future[np.ndarray]" = Future()
         self.submitted_at = time.perf_counter()
+        self.submitted_wall = time.time()
+        # The submitting context's trace identity (e.g. the HTTP
+        # handler's serve.request span); worker-side spans attach here.
+        self.trace = current_trace()
 
 
 class InferenceEngine:
@@ -113,6 +143,9 @@ class InferenceEngine:
         self,
         model: Union[HotspotDetector, ModelRegistry],
         config: EngineConfig = EngineConfig(),
+        slo: Optional[Sequence[SLObjective]] = None,
+        drift_config: Optional[DriftConfig] = None,
+        slo_eval_interval_s: float = 5.0,
     ):
         if isinstance(model, ModelRegistry):
             self._registry: Optional[ModelRegistry] = model
@@ -126,6 +159,17 @@ class InferenceEngine:
                 f"got {type(model).__name__}"
             )
         self.config = config
+        # slo=None enables the stock objectives; pass an empty sequence
+        # to disable SLO tracking entirely.
+        objectives = default_serve_objectives() if slo is None else list(slo)
+        self.slo_tracker: Optional[SLOTracker] = (
+            SLOTracker(objectives) if objectives else None
+        )
+        self._slo_eval_interval_s = float(slo_eval_interval_s)
+        self._slo_last_eval = time.monotonic()
+        self._drift_config = drift_config or DriftConfig()
+        self._drift_monitors: Dict[str, DriftMonitor] = {}
+        self._drift_lock = threading.Lock()
         self._queue: Deque[_Request] = deque()
         self._cond = threading.Condition()
         self._closed = False
@@ -182,6 +226,8 @@ class InferenceEngine:
                 raise EngineClosedError("engine is closed to new requests")
             if len(self._queue) >= self.config.max_queue:
                 registry.counter("serve.rejected").inc()
+                if self.slo_tracker is not None:
+                    self.slo_tracker.record(0.0, ok=False)
                 raise QueueFullError(
                     f"request queue at capacity ({self.config.max_queue})"
                 )
@@ -267,15 +313,51 @@ class InferenceEngine:
             with use_workspace(workspace), workspace.step():
                 self._run_batch(batch)
 
+    def _drift_monitor(self, model: LoadedModel) -> Optional[DriftMonitor]:
+        """The per-version monitor, if the model shipped with a profile."""
+        if model.profile is None:
+            return None
+        with self._drift_lock:
+            monitor = self._drift_monitors.get(model.version)
+            if monitor is None:
+                monitor = DriftMonitor(
+                    model.profile,
+                    config=self._drift_config,
+                    source="serve",
+                    model_version=model.version,
+                )
+                self._drift_monitors[model.version] = monitor
+        return monitor
+
+    def _maybe_evaluate_slos(self) -> None:
+        tracker = self.slo_tracker
+        if tracker is None:
+            return
+        now = time.monotonic()
+        if now - self._slo_last_eval < self._slo_eval_interval_s:
+            return
+        self._slo_last_eval = now
+        tracker.evaluate()
+
     def _run_batch(self, batch: List[_Request]) -> None:
         registry = get_registry()
         samples = sum(request.count for request in batch)
         model = self._resolve_model()
         started = time.perf_counter()
+        # The queue wait is only knowable now; emit it as a retroactive
+        # span parented to each request's own submitting context so the
+        # trace tree shows it under that request's serve.request span.
         for request in batch:
-            registry.histogram("serve.queue_wait.seconds").observe(
-                started - request.submitted_at
+            waited = started - request.submitted_at
+            registry.histogram("serve.queue_wait.seconds").observe(waited)
+            emit_span(
+                "serve.queue_wait",
+                waited,
+                parent=request.trace,
+                start_s=request.submitted_wall,
+                observe=False,
             )
+        first_trace = next((r.trace for r in batch if r.trace), None)
         try:
             if samples:
                 x = (
@@ -287,11 +369,16 @@ class InferenceEngine:
                 # A drain can flush a bucket of empty requests; the
                 # network handles the (0, ...) batch (returns (0, 2)).
                 x = batch[0].tensors
-            with span(
-                "serve.batch", requests=len(batch), samples=samples
-            ) as record:
-                probabilities = model.detector.predict_proba_tensors(x)
-                record.attrs["version"] = model.version
+            # serve.batch is shared by every request in the batch; it
+            # joins the first traced request's tree (the others link via
+            # their serve.queue_wait spans).
+            with use_trace(first_trace):
+                with span(
+                    "serve.batch", requests=len(batch), samples=samples
+                ) as record:
+                    with span("serve.infer"):
+                        probabilities = model.detector.predict_proba_tensors(x)
+                    record.attrs["version"] = model.version
         except BaseException as exc:  # fan the failure out, keep serving
             registry.counter("serve.errors").inc(len(batch))
             emit(
@@ -301,7 +388,12 @@ class InferenceEngine:
                 samples=samples,
                 error=f"{type(exc).__name__}: {exc}",
             )
+            failed = time.perf_counter()
             for request in batch:
+                if self.slo_tracker is not None:
+                    self.slo_tracker.record(
+                        failed - request.submitted_at, ok=False
+                    )
                 if not request.future.set_running_or_notify_cancel():
                     continue  # pragma: no cover - futures are never cancelled
                 request.future.set_exception(exc)
@@ -315,14 +407,27 @@ class InferenceEngine:
             if not request.future.set_running_or_notify_cancel():
                 continue  # pragma: no cover - futures are never cancelled
             request.future.set_result(rows)
-            registry.histogram("serve.request.seconds").observe(
-                finished - request.submitted_at
-            )
+            latency = finished - request.submitted_at
+            registry.histogram("serve.request.seconds").observe(latency)
+            if self.slo_tracker is not None:
+                self.slo_tracker.record(latency, ok=True)
         registry.counter("serve.requests").inc(len(batch))
         registry.counter("serve.samples").inc(samples)
         registry.counter("serve.batches").inc()
+        version_labels = {"model_version": model.version}
+        registry.counter("serve.model.requests", labels=version_labels).inc(
+            len(batch)
+        )
+        registry.counter("serve.model.samples", labels=version_labels).inc(
+            samples
+        )
         registry.histogram("serve.batch.size").observe(samples)
         registry.histogram("serve.batch.seconds").observe(elapsed)
+        if samples:
+            monitor = self._drift_monitor(model)
+            if monitor is not None:
+                monitor.observe(probabilities[:, 1], tensors=x)
+        self._maybe_evaluate_slos()
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -14,12 +14,21 @@ Endpoints (all JSON in/out):
 - ``POST /v1/models/<name>/rollback`` — swap back to the previously
   active version.
 - ``GET /healthz`` — liveness + active model.
-- ``GET /metrics`` — full ``repro.obs`` registry snapshot plus derived
-  serving stats (mean dynamic batch size, rejects, errors).
+- ``GET /metrics`` — OpenMetrics/Prometheus text exposition of the
+  ``repro.obs`` registry (content-negotiated: ``Accept:
+  application/json`` gets the JSON payload instead).
+- ``GET /metrics.json`` — the JSON form unconditionally: full registry
+  snapshot plus derived serving stats (mean dynamic batch size,
+  rejects, errors) and current SLO burn status.
 
 Error mapping: malformed input 400, unknown model/version 404,
 checkpoint corruption/schema mismatch 409 (old model still serving),
 backpressure 503 with ``Retry-After``, scoring timeout 504.
+
+Tracing: every request honours an inbound W3C ``traceparent`` header
+(the handler's ``serve.request`` span joins that trace) and the predict
+response carries a ``traceparent`` header naming the handler span, so
+callers can correlate their logs with ``obs report --trace``.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, which is exactly the concurrency the engine's micro-batcher
@@ -47,7 +56,13 @@ from repro.exceptions import (
     ServeError,
 )
 from repro.obs import emit, get_registry
-from repro.obs.tracing import span
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE, render_openmetrics
+from repro.obs.tracing import (
+    format_traceparent,
+    parse_traceparent,
+    span,
+    use_trace,
+)
 from repro.serve.engine import InferenceEngine
 from repro.serve.registry import ModelRegistry
 
@@ -89,13 +104,31 @@ class ServeHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         emit("serve.http", level="debug", line=format % args)
 
-    def _send_json(self, status: int, payload: dict, retry_after: bool = False) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: bool = False,
+        trace=None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if retry_after:
             self.send_header("Retry-After", "1")
+        if trace is not None:
+            context = trace.context() if hasattr(trace, "context") else trace
+            if context is not None:
+                self.send_header("traceparent", format_traceparent(context))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -123,9 +156,17 @@ class ServeHandler(BaseHTTPRequestHandler):
         return payload
 
     def _dispatch(self, handler) -> None:
-        """Run one route, translating typed errors to status codes."""
+        """Run one route, translating typed errors to status codes.
+
+        An inbound ``traceparent`` header is installed as the ambient
+        trace context for the whole route, so every span the handler
+        (and, via request capture, the engine workers) opens joins the
+        caller's trace. Absent/invalid headers yield ``None`` and spans
+        start a fresh trace.
+        """
         try:
-            handler()
+            with use_trace(parse_traceparent(self.headers.get("traceparent"))):
+                handler()
         except QueueFullError as exc:
             self._send_error_json(503, exc)
         except EngineClosedError as exc:
@@ -153,6 +194,8 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._dispatch(self._handle_health)
         elif self.path == "/metrics":
             self._dispatch(self._handle_metrics)
+        elif self.path == "/metrics.json":
+            self._dispatch(self._handle_metrics_json)
         else:
             self._send_json(404, {"error": "NotFound", "detail": self.path})
 
@@ -189,18 +232,52 @@ class ServeHandler(BaseHTTPRequestHandler):
             },
         )
 
-    def _handle_metrics(self) -> None:
-        self._send_json(
-            200,
+    def _refresh_slos(self) -> list:
+        tracker = self.server.engine.slo_tracker
+        if tracker is None:
+            return []
+        return [
             {
-                "serve": self.server.engine.stats(),
-                "metrics": get_registry().snapshot(),
-            },
+                "objective": status.objective.name,
+                "target": status.objective.target,
+                "burning": status.burning,
+                "worst_burn": status.worst_burn,
+                "burn_rates": {
+                    f"{window:g}s": status.burn_rates[window]
+                    for window in status.objective.windows_s
+                },
+            }
+            for status in tracker.evaluate()
+        ]
+
+    def _metrics_payload(self) -> dict:
+        # Evaluating SLOs before the snapshot keeps the exported burn
+        # gauges as fresh as the scrape that reads them.
+        slos = self._refresh_slos()
+        return {
+            "serve": self.server.engine.stats(),
+            "slo": slos,
+            "metrics": get_registry().snapshot(),
+        }
+
+    def _handle_metrics(self) -> None:
+        accept = self.headers.get("Accept", "")
+        if "application/json" in accept:
+            self._handle_metrics_json()
+            return
+        payload = self._metrics_payload()
+        self._send_text(
+            200,
+            render_openmetrics(payload["metrics"]),
+            OPENMETRICS_CONTENT_TYPE,
         )
+
+    def _handle_metrics_json(self) -> None:
+        self._send_json(200, self._metrics_payload())
 
     def _handle_predict(self) -> None:
         engine = self.server.engine
-        with span("serve.request", thread=threading.get_ident()):
+        with span("serve.request", thread=threading.get_ident()) as record:
             payload = self._read_json_body()
             tensors = payload.get("tensors")
             images = payload.get("images")
@@ -220,7 +297,9 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "count": int(probabilities.shape[0]),
                 "model": self.server.registry.name if self.server.registry else "static",
                 "version": engine.model_version,
+                "trace_id": record.trace_id,
             },
+            trace=record,
         )
 
     def _require_registry(self, name: str) -> ModelRegistry:

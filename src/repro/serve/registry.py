@@ -38,10 +38,20 @@ from repro.exceptions import (
     CheckpointCorruptError,
     CheckpointError,
     ModelNotFoundError,
+    ObservabilityError,
     ServeError,
 )
-from repro.nn.serialize import ArraySummary, peek_checkpoint
+from repro.nn.serialize import (
+    ArraySummary,
+    peek_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.obs import emit, get_registry
+from repro.obs.drift import ReferenceProfile
+
+#: Detector-state-tree key holding the serialized drift profile.
+DRIFT_PROFILE_KEY = "drift_profile"
 
 PathLike = Union[str, Path]
 
@@ -63,10 +73,17 @@ class ModelVersion:
 
 @dataclass(frozen=True)
 class LoadedModel:
-    """The active (or previously active) model with its provenance."""
+    """The active (or previously active) model with its provenance.
+
+    ``profile`` is the frozen drift reference captured at publish time
+    (``None`` for checkpoints published without reference data); the
+    inference engine uses it to spin up a
+    :class:`~repro.obs.drift.DriftMonitor` per served version.
+    """
 
     version: str
     detector: HotspotDetector
+    profile: Optional[ReferenceProfile] = None
 
 
 class ModelRegistry:
@@ -149,32 +166,86 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     # Publish / load
     # ------------------------------------------------------------------
-    def publish(self, detector: HotspotDetector, version: str) -> Path:
-        """Write ``detector`` as checkpoint ``version`` (atomic, verified)."""
+    def publish(
+        self,
+        detector: HotspotDetector,
+        version: str,
+        reference=None,
+        profile: Optional[ReferenceProfile] = None,
+    ) -> Path:
+        """Write ``detector`` as checkpoint ``version`` (atomic, verified).
+
+        ``reference`` (a labelled :class:`~repro.data.dataset.HotspotDataset`,
+        typically the training or validation set) freezes a drift
+        :class:`ReferenceProfile` — score histogram, per-channel feature
+        statistics, calibration bins — into the checkpoint metadata, so
+        every later :meth:`activate` of this version can monitor live
+        traffic against how the model behaved at publish time. Pass a
+        pre-built ``profile`` instead to skip the reference predictions.
+        """
         path = self.path_for(version)
         if path.exists():
             raise ServeError(
                 f"version {version!r} already published at {path}; "
                 "publish under a new version instead of overwriting"
             )
-        detector.save_checkpoint(path)
+        if profile is None and reference is not None:
+            profile = self.build_profile(detector, reference)
+        state = detector.to_state()
+        if profile is not None:
+            state[DRIFT_PROFILE_KEY] = profile.to_dict()
+        write_checkpoint(path, state)
         emit(
             "serve.publish",
             model=self.name,
             version=version,
             path=str(path),
             bytes=path.stat().st_size,
+            drift_profile=profile is not None,
         )
         return path
 
+    @staticmethod
+    def build_profile(detector: HotspotDetector, reference) -> ReferenceProfile:
+        """Profile ``detector`` on a labelled reference dataset."""
+        tensors = reference.features(detector.extractor)
+        scores = detector.predict_proba_tensors(tensors)[:, 1]
+        return ReferenceProfile.build(
+            scores, tensors=tensors, labels=reference.labels
+        )
+
     def load(self, version: str) -> HotspotDetector:
         """Fully load + verify one version (does not change the active slot)."""
+        return self.load_model(version).detector
+
+    def load_model(self, version: str) -> LoadedModel:
+        """Load + verify one version with its drift profile, if present.
+
+        A malformed embedded profile is dropped (with a warning event)
+        rather than blocking the model swap: drift monitoring is an
+        observer, never an availability risk.
+        """
         path = self.path_for(version)
         if not path.exists():
             raise ModelNotFoundError(
                 f"model {self.name!r} has no version {version!r} at {path}"
             )
-        return HotspotDetector.load_checkpoint(path)
+        state = read_checkpoint(path)
+        detector = HotspotDetector.from_state(state)
+        profile = None
+        payload = state.get(DRIFT_PROFILE_KEY)
+        if payload is not None:
+            try:
+                profile = ReferenceProfile.from_dict(payload)
+            except ObservabilityError as exc:
+                emit(
+                    "serve.profile.invalid",
+                    level="warning",
+                    model=self.name,
+                    version=version,
+                    error=str(exc),
+                )
+        return LoadedModel(version, detector, profile=profile)
 
     # ------------------------------------------------------------------
     # Active slot
@@ -200,7 +271,7 @@ class ModelRegistry:
         """
         if version is None:
             version = self.latest_version()
-        loaded = LoadedModel(version, self.load(version))
+        loaded = self.load_model(version)
         with self._lock:
             if self._current is not None and self._current.version != version:
                 self._previous = self._current

@@ -1,0 +1,227 @@
+"""Unit tests for scripts/check_bench_regression.py.
+
+The script lives outside the package (it is a CI entry point with no
+repro dependency), so it is loaded by file path via importlib.
+"""
+
+import importlib.util
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "scripts" / "check_bench_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def envelope(results):
+    return {
+        "experiment": "serve",
+        "metadata": {"host": "test"},
+        "results": results,
+    }
+
+
+def serve_results(rps=1000.0, p95=0.01):
+    return {
+        "configs": [
+            {
+                "max_batch": 32,
+                "max_wait_ms": 5.0,
+                "requests": 100,
+                "seconds": 1.0,
+                "requests_per_second": rps,
+                "p95_latency_s": p95,
+                "mean_batch_size": 4.0,
+            }
+        ],
+        "tracing": {
+            "ids_on_rps": rps,
+            "ids_off_rps": rps,
+            "overhead_fraction": 0.0,
+            "p95_on_s": p95,
+            "p95_off_s": p95,
+        },
+    }
+
+
+def write_artifacts(directory, name, document):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(document))
+
+
+class TestNumericLeaves:
+    def test_walks_nested_structures(self):
+        leaves = dict(
+            checker.numeric_leaves(
+                {"a": {"b": 1}, "c": [2.5, {"d": 3}], "skip": "text"}
+            )
+        )
+        assert leaves == {("a", "b"): 1.0, ("c", "0"): 2.5, ("c", "1", "d"): 3.0}
+
+    def test_booleans_are_not_metrics(self):
+        assert list(checker.numeric_leaves({"flag": True})) == []
+
+
+class TestDirection:
+    @pytest.mark.parametrize(
+        "leaf, sense",
+        [
+            ("requests_per_second", "higher"),
+            ("ids_on_rps", "higher"),
+            ("throughput", "higher"),
+            ("p95_latency_s", "lower"),
+            ("scan_seconds", "lower"),
+            ("mean_batch_size", None),
+            ("max_batch", None),
+        ],
+    )
+    def test_heuristics(self, leaf, sense):
+        assert checker.direction(("results", leaf)) == sense
+
+
+class TestCompareDocuments:
+    def test_identical_documents_are_clean(self):
+        doc = envelope(serve_results())
+        assert checker.compare_documents(doc, doc, tolerance=0.25) == []
+
+    def test_throughput_regression_beyond_tolerance_fails(self):
+        base = envelope(serve_results(rps=1000.0))
+        fresh = envelope(serve_results(rps=700.0))  # 30% drop
+        problems = checker.compare_documents(base, fresh, tolerance=0.25)
+        assert any("requests_per_second" in p for p in problems)
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        base = envelope(serve_results(rps=1000.0))
+        fresh = envelope(serve_results(rps=800.0))  # 20% drop
+        assert checker.compare_documents(base, fresh, tolerance=0.25) == []
+
+    def test_latency_regression_fails(self):
+        base = envelope(serve_results(p95=0.010))
+        fresh = envelope(serve_results(p95=0.020))  # 2x slower
+        problems = checker.compare_documents(base, fresh, tolerance=0.25)
+        assert any("p95" in p for p in problems)
+
+    def test_improvements_never_fail(self):
+        base = envelope(serve_results(rps=1000.0, p95=0.010))
+        fresh = envelope(serve_results(rps=5000.0, p95=0.001))
+        assert checker.compare_documents(base, fresh, tolerance=0.25) == []
+
+    def test_missing_metric_is_a_problem(self):
+        base = envelope(serve_results())
+        fresh = envelope({"configs": []})
+        problems = checker.compare_documents(base, fresh, tolerance=0.25)
+        assert any("missing metric" in p for p in problems)
+
+
+class TestCheckSchema:
+    def test_valid_serve_artifact_passes(self):
+        doc = envelope(serve_results())
+        assert checker.check_schema(Path("BENCH_serve.json"), doc) == []
+
+    def test_missing_envelope_key_fails(self):
+        doc = envelope(serve_results())
+        del doc["metadata"]
+        problems = checker.check_schema(Path("BENCH_serve.json"), doc)
+        assert any("metadata" in p for p in problems)
+
+    def test_serve_artifact_needs_tracing_section(self):
+        doc = envelope(serve_results())
+        del doc["results"]["tracing"]
+        problems = checker.check_schema(Path("BENCH_serve.json"), doc)
+        assert any("tracing" in p for p in problems)
+
+    def test_non_serve_artifact_skips_serve_rules(self):
+        doc = envelope({"scan_seconds": 1.0})
+        assert checker.check_schema(Path("BENCH_fullchip.json"), doc) == []
+
+    def test_metricless_results_fail(self):
+        doc = envelope({"note": "nothing numeric"})
+        problems = checker.check_schema(Path("BENCH_other.json"), doc)
+        assert any("no numeric" in p for p in problems)
+
+
+class TestRun:
+    def test_schema_only_over_real_baselines_passes(self):
+        out = io.StringIO()
+        code = checker.run(
+            checker.REPO_ROOT, None, tolerance=0.25, schema_only=True, out=out
+        )
+        assert code == 0, out.getvalue()
+
+    def test_fresh_comparison_flags_regression(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        write_artifacts(
+            base_dir, "BENCH_serve.json", envelope(serve_results(rps=1000.0))
+        )
+        write_artifacts(
+            fresh_dir, "BENCH_serve.json", envelope(serve_results(rps=100.0))
+        )
+        out = io.StringIO()
+        code = checker.run(
+            base_dir, fresh_dir, tolerance=0.25, schema_only=False, out=out
+        )
+        assert code == 1
+        assert "requests_per_second" in out.getvalue()
+
+    def test_fresh_comparison_clean_passes(self, tmp_path):
+        base_dir = tmp_path / "base"
+        fresh_dir = tmp_path / "fresh"
+        doc = envelope(serve_results())
+        write_artifacts(base_dir, "BENCH_serve.json", doc)
+        write_artifacts(fresh_dir, "BENCH_serve.json", doc)
+        code = checker.run(
+            base_dir, fresh_dir, tolerance=0.25, schema_only=False,
+            out=io.StringIO(),
+        )
+        assert code == 0
+
+    def test_missing_fresh_artifact_is_skipped(self, tmp_path):
+        base_dir = tmp_path / "base"
+        (tmp_path / "fresh").mkdir()
+        write_artifacts(
+            base_dir, "BENCH_serve.json", envelope(serve_results())
+        )
+        out = io.StringIO()
+        code = checker.run(
+            base_dir, tmp_path / "fresh", tolerance=0.25, schema_only=False,
+            out=out,
+        )
+        assert code == 0
+        assert "skip" in out.getvalue()
+
+    def test_empty_baseline_dir_is_usage_error(self, tmp_path):
+        code = checker.run(
+            tmp_path, None, tolerance=0.25, schema_only=True, out=io.StringIO()
+        )
+        assert code == 2
+
+    def test_corrupt_baseline_fails(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{nope")
+        code = checker.run(
+            tmp_path, None, tolerance=0.25, schema_only=True, out=io.StringIO()
+        )
+        assert code == 1
+
+
+class TestMain:
+    def test_requires_fresh_or_schema_only(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            checker.main([])
+        assert exc.value.code == 2
+
+    def test_tolerance_bounds_enforced(self):
+        with pytest.raises(SystemExit) as exc:
+            checker.main(["--schema-only", "--tolerance", "1.5"])
+        assert exc.value.code == 2
+
+    def test_schema_only_happy_path(self):
+        # Output content is pinned via run(out=StringIO) above; main()'s
+        # contract here is the exit code over the real repo baselines.
+        assert checker.main(["--schema-only"]) == 0

@@ -1,0 +1,278 @@
+"""Drift statistics, reference profiles, and the sliding-window monitor.
+
+The statistical checks use seeded draws from well-separated Beta
+distributions: Beta(5, 2) mass sits high, Beta(2, 5) sits low, so a
+monitor profiled on one and fed the other MUST alert, while a monitor
+fed fresh draws from its own reference distribution must stay silent.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.drift import (
+    DriftConfig,
+    DriftMonitor,
+    ReferenceProfile,
+    channel_means,
+    ks_statistic,
+    population_stability_index,
+    score_histogram,
+)
+
+RNG = np.random.default_rng
+
+
+def reference_scores(n=4000, seed=0):
+    return RNG(seed).beta(5.0, 2.0, size=n)
+
+
+def shifted_scores(n, seed=1):
+    return RNG(seed).beta(2.0, 5.0, size=n)
+
+
+def quick_config(**overrides):
+    base = dict(
+        window=256, min_samples=64, check_every=64, cooldown=10_000
+    )
+    base.update(overrides)
+    return DriftConfig(**base)
+
+
+class TestStatistics:
+    def test_score_histogram_uses_fixed_unit_bins(self):
+        hist = score_histogram(np.array([0.05, 0.05, 0.95]), bins=10)
+        assert hist.shape == (10,)
+        assert hist[0] == 2 and hist[9] == 1 and hist.sum() == 3
+
+    def test_score_histogram_clips_out_of_range(self):
+        hist = score_histogram(np.array([-3.0, 7.0]), bins=4)
+        assert hist[0] == 1 and hist[-1] == 1
+
+    def test_psi_zero_for_identical_distributions(self):
+        hist = np.array([10.0, 20.0, 30.0, 40.0])
+        assert population_stability_index(hist, hist * 2.5) < 1e-9
+
+    def test_psi_large_for_disjoint_mass(self):
+        a = np.array([100.0, 0.0, 0.0, 0.0])
+        b = np.array([0.0, 0.0, 0.0, 100.0])
+        assert population_stability_index(a, b) > 10.0
+
+    def test_psi_symmetric_direction_of_growth(self):
+        near = population_stability_index(
+            np.array([50.0, 50.0]), np.array([55.0, 45.0])
+        )
+        far = population_stability_index(
+            np.array([50.0, 50.0]), np.array([90.0, 10.0])
+        )
+        assert 0.0 < near < far
+
+    def test_ks_zero_identical_one_disjoint(self):
+        hist = np.array([1.0, 2.0, 3.0])
+        assert ks_statistic(hist, hist) == pytest.approx(0.0)
+        assert ks_statistic(
+            np.array([1.0, 0.0, 0.0]), np.array([0.0, 0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("fn", [population_stability_index, ks_statistic])
+    def test_bin_mismatch_raises(self, fn):
+        with pytest.raises(ObservabilityError, match="identical bins"):
+            fn(np.ones(4), np.ones(5))
+
+    def test_channel_means_reduces_spatial_axes(self):
+        tensors = np.arange(2 * 3 * 3 * 4, dtype=np.float64).reshape(2, 3, 3, 4)
+        means = channel_means(tensors)
+        assert means.shape == (2, 4)
+        assert means[0, 0] == pytest.approx(tensors[0, :, :, 0].mean())
+
+
+class TestReferenceProfile:
+    def test_build_profiles_scores_tensors_and_labels(self):
+        scores = reference_scores(300)
+        tensors = RNG(2).normal(size=(300, 4, 4, 3))
+        labels = (scores > 0.5).astype(float)
+        profile = ReferenceProfile.build(
+            scores, tensors=tensors, labels=labels, score_bins=16,
+            calibration_bins=8,
+        )
+        assert profile.score_bins == 16
+        assert profile.score_hist.sum() == pytest.approx(1.0)
+        assert profile.score_count == 300
+        assert profile.channel_mean.shape == (3,)
+        assert profile.channel_std.shape == (3,)
+        assert len(profile.calibration) == 8
+        assert sum(b["count"] for b in profile.calibration) == 300
+
+    def test_build_rejects_empty_and_mismatched_inputs(self):
+        with pytest.raises(ObservabilityError, match="zero scores"):
+            ReferenceProfile.build(np.array([]))
+        with pytest.raises(ObservabilityError, match="matching"):
+            ReferenceProfile.build(
+                np.ones(5), tensors=np.zeros((4, 2, 2, 1))
+            )
+        with pytest.raises(ObservabilityError, match="labels"):
+            ReferenceProfile.build(np.ones(5), labels=np.ones(4))
+
+    def test_constructor_validates_histogram(self):
+        with pytest.raises(ObservabilityError, match="1-D"):
+            ReferenceProfile(np.ones((2, 2)), score_count=4)
+        with pytest.raises(ObservabilityError, match=">= 2 bins"):
+            ReferenceProfile(np.ones(1), score_count=1)
+        with pytest.raises(ObservabilityError, match="positive mass"):
+            ReferenceProfile(np.zeros(4), score_count=0)
+
+    def test_dict_round_trip(self):
+        scores = reference_scores(200)
+        tensors = RNG(3).normal(size=(200, 4, 4, 2))
+        original = ReferenceProfile.build(
+            scores, tensors=tensors, labels=(scores > 0.5).astype(float)
+        )
+        restored = ReferenceProfile.from_dict(original.to_dict())
+        np.testing.assert_allclose(restored.score_hist, original.score_hist)
+        assert restored.score_count == original.score_count
+        np.testing.assert_allclose(restored.channel_mean, original.channel_mean)
+        np.testing.assert_allclose(restored.channel_std, original.channel_std)
+        assert restored.calibration == original.calibration
+
+    def test_dict_round_trip_survives_json(self):
+        import json
+
+        payload = ReferenceProfile.build(reference_scores(100)).to_dict()
+        restored = ReferenceProfile.from_dict(json.loads(json.dumps(payload)))
+        assert restored.score_count == 100
+        assert restored.channel_mean is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"score_hist": 3.0, "score_count": 1},
+            {"score_hist": ["a", "b"], "score_count": 2},
+        ],
+    )
+    def test_malformed_payload_raises(self, payload):
+        # Missing keys / bad types surface via the from_dict wrapper;
+        # structurally wrong histograms via the constructor's own checks.
+        with pytest.raises(ObservabilityError):
+            ReferenceProfile.from_dict(payload)
+
+
+class TestDriftConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(window=1),
+            dict(min_samples=1),
+            dict(min_samples=2048, window=1024),
+            dict(check_every=0),
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            DriftConfig(**kwargs)
+
+
+class TestDriftMonitor:
+    def test_silent_on_clean_traffic(self, captured_events, fresh_registry):
+        profile = ReferenceProfile.build(reference_scores())
+        # Tiny windows are statistically noisy (PSI at 64 samples sits
+        # well above threshold even for in-distribution draws), which is
+        # exactly why the monitor gates on min_samples — keep it
+        # realistic here.
+        config = quick_config(window=512, min_samples=256, check_every=128)
+        monitor = DriftMonitor(profile, config, source="serve")
+        alerts = []
+        live = RNG(7).beta(5.0, 2.0, size=512)
+        for batch in np.split(live, 8):
+            alerts += monitor.observe(batch)
+        assert alerts == []
+        assert not [e for e in captured_events.events if e.name == "drift.alert"]
+        psi = fresh_registry.gauge("drift.score_psi", labels={"source": "serve"})
+        assert psi.updated and psi.value < DriftConfig().psi_threshold
+
+    def test_alerts_on_injected_shift(self, captured_events, fresh_registry):
+        profile = ReferenceProfile.build(reference_scores())
+        monitor = DriftMonitor(
+            profile, quick_config(), source="serve", model_version="v1"
+        )
+        alerts = []
+        for batch in np.split(shifted_scores(256), 8):
+            alerts += monitor.observe(batch)
+        metrics = {a["metric"] for a in alerts}
+        assert {"score_psi", "score_ks"} <= metrics
+        events = [e for e in captured_events.events if e.name == "drift.alert"]
+        assert events and all(e.level == "warning" for e in events)
+        assert events[0].attrs["model_version"] == "v1"
+        assert events[0].attrs["value"] > events[0].attrs["threshold"]
+        labels = {"source": "serve", "model_version": "v1"}
+        assert fresh_registry.counter("drift.alerts", labels=labels).value >= 1
+
+    def test_cooldown_suppresses_repeat_events(
+        self, captured_events, fresh_registry
+    ):
+        profile = ReferenceProfile.build(reference_scores())
+        monitor = DriftMonitor(profile, quick_config(), source="serve")
+        for batch in np.split(shifted_scores(512, seed=4), 16):
+            monitor.observe(batch)
+        events = [e for e in captured_events.events if e.name == "drift.alert"]
+        # Several checks ran and each returned alerts, but the cooldown
+        # admits only the first event per breached metric.
+        assert len(events) == len({e.attrs["metric"] for e in events})
+        assert (
+            fresh_registry.counter(
+                "drift.alerts", labels={"source": "serve"}
+            ).value
+            == len(events)
+        )
+
+    def test_below_min_samples_stays_quiet_until_forced(
+        self, captured_events, fresh_registry
+    ):
+        profile = ReferenceProfile.build(reference_scores())
+        monitor = DriftMonitor(profile, quick_config(), source="scan")
+        assert monitor.observe(shifted_scores(32, seed=5)) == []
+        assert monitor.check() == []  # window < min_samples
+        forced = monitor.check(force=True)
+        assert forced and forced[0]["window_samples"] == 32
+
+    def test_empty_monitor_check_is_a_noop(
+        self, captured_events, fresh_registry
+    ):
+        profile = ReferenceProfile.build(reference_scores())
+        monitor = DriftMonitor(profile, quick_config())
+        assert monitor.check(force=True) == []
+        assert monitor.samples_seen == 0
+
+    def test_channel_shift_alert_names_worst_channel(
+        self, captured_events, fresh_registry
+    ):
+        rng = RNG(11)
+        scores = reference_scores(400)
+        tensors = rng.normal(size=(400, 4, 4, 3))
+        profile = ReferenceProfile.build(scores, tensors=tensors)
+        monitor = DriftMonitor(profile, quick_config(), source="serve")
+
+        live_scores = RNG(12).beta(5.0, 2.0, size=128)
+        live_tensors = RNG(13).normal(size=(128, 4, 4, 3))
+        live_tensors[..., 1] += 5.0  # unambiguous shift on channel 1
+        monitor.observe(live_scores, tensors=live_tensors)
+        alerts = monitor.check(force=True)
+        channel = [a for a in alerts if a["metric"] == "channel_shift"]
+        assert channel and channel[0]["channel"] == 1
+        shift = fresh_registry.gauge(
+            "drift.channel_shift", labels={"source": "serve"}
+        )
+        assert shift.updated and shift.value > 0.5
+
+    def test_window_is_bounded(self, captured_events, fresh_registry):
+        profile = ReferenceProfile.build(reference_scores())
+        monitor = DriftMonitor(profile, quick_config(window=128, min_samples=64))
+        monitor.observe(RNG(9).beta(5.0, 2.0, size=1000))
+        monitor.check(force=True)
+        window = fresh_registry.gauge(
+            "drift.window_samples", labels={"source": "serve"}
+        )
+        assert window.value == 128
+        assert monitor.samples_seen == 1000

@@ -1,0 +1,228 @@
+"""Strict line-format validation of the OpenMetrics exposition.
+
+``validate_openmetrics`` below walks the rendered text with a small
+state machine and rejects anything that deviates from the OpenMetrics
+1.0 text grammar we emit: every family introduced by exactly one
+``# HELP`` + ``# TYPE`` pair before its samples, sample names tied to
+the declared type (counters with the mandatory ``_total`` suffix,
+summaries as ``quantile``/``_count``/``_sum``), name-sorted escaped
+labels, parseable values (including ``NaN`` for empty percentiles),
+and a single terminating ``# EOF``. Prometheus's parser is forgiving;
+this one is not, so format drift fails loudly here instead of
+surfacing as silently dropped series on a real scrape.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.export import (
+    HELP_TEXT,
+    NAME_PREFIX,
+    OPENMETRICS_CONTENT_TYPE,
+    render_openmetrics,
+    sanitize_name,
+)
+from repro.obs.metrics import MetricsRegistry, parse_metric_key
+
+_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# Label values are quoted with only \\, \" and \n escapes allowed.
+_LABEL = rf'{_NAME}="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+_LABELSET = rf"\{{{_LABEL}(?:,{_LABEL})*\}}"
+_VALUE = r"(?:[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|NaN|\+Inf|-Inf)"
+
+HELP_RE = re.compile(rf"^# HELP ({_NAME}) (\S.*)$")
+TYPE_RE = re.compile(rf"^# TYPE ({_NAME}) (counter|gauge|summary)$")
+SAMPLE_RE = re.compile(rf"^({_NAME})({_LABELSET})? ({_VALUE})$")
+
+
+def validate_openmetrics(text):
+    """Parse ``text`` strictly; return ``{family: kind}``.
+
+    Raises AssertionError (with the offending line) on any grammar or
+    structure violation.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    lines = text.splitlines()
+    assert lines and lines[-1] == "# EOF", "last line must be '# EOF'"
+    assert lines.count("# EOF") == 1, "exactly one '# EOF' terminator"
+
+    families = {}
+    family = kind = None
+    pending_help = None  # family awaiting its TYPE line
+    for line in lines[:-1]:
+        assert line == line.strip() and line, f"blank/padded line: {line!r}"
+        helped = HELP_RE.match(line)
+        typed = TYPE_RE.match(line)
+        if helped:
+            assert pending_help is None, f"HELP without TYPE before: {line!r}"
+            name = helped.group(1)
+            assert name not in families, f"duplicate family header: {name}"
+            assert name.startswith(NAME_PREFIX + "_"), f"unprefixed: {name}"
+            pending_help = name
+            continue
+        if typed:
+            name = typed.group(1)
+            assert name == pending_help, f"TYPE without matching HELP: {line!r}"
+            family, kind = name, typed.group(2)
+            families[name] = kind
+            pending_help = None
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        assert pending_help is None, f"sample before TYPE: {line!r}"
+        assert family is not None, f"sample before any header: {line!r}"
+        matched = SAMPLE_RE.match(line)
+        assert matched, f"malformed sample line: {line!r}"
+        name = matched.group(1)
+        _, labels = parse_metric_key(line.rsplit(" ", 1)[0])
+        float(matched.group(3))  # value must parse (NaN/Inf included)
+        if matched.group(2):
+            keys = re.findall(rf"({_NAME})=", matched.group(2))
+            assert keys == sorted(keys), f"labels not sorted: {line!r}"
+        if kind == "counter":
+            assert name == f"{family}_total", f"counter sample {name!r}"
+        elif kind == "gauge":
+            assert name == family, f"gauge sample {name!r}"
+        else:  # summary
+            if name == family:
+                assert "quantile" in labels, f"summary sample {name!r}"
+            else:
+                assert name in (f"{family}_count", f"{family}_sum"), (
+                    f"summary sample {name!r}"
+                )
+    assert pending_help is None, "dangling HELP with no TYPE"
+    return families
+
+
+def rich_registry():
+    """A registry exercising every family kind, labels, and edge values."""
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", labels={"model_version": "v1"}).inc(3)
+    registry.counter(
+        "serve.requests", labels={"model_version": 'v2 "beta"\\x'}
+    ).inc(1)
+    registry.counter("farm.shards_lost").inc()
+    registry.gauge("serve.queue.depth").set(4)
+    registry.gauge("drift.score_psi", labels={"source": "serve"}).set(
+        float("nan")
+    )
+    for value in (0.01, 0.02, 0.05):
+        registry.histogram("serve.request.seconds").observe(value)
+    registry.histogram("stage.empty.seconds")  # no observations: NaN p50/p95
+    return registry
+
+
+class TestLineFormat:
+    def test_rich_snapshot_passes_strict_validation(self):
+        families = validate_openmetrics(
+            render_openmetrics(rich_registry().snapshot())
+        )
+        assert families["repro_serve_requests"] == "counter"
+        assert families["repro_serve_queue_depth"] == "gauge"
+        assert families["repro_serve_request_seconds"] == "summary"
+
+    def test_counter_samples_carry_total_suffix(self):
+        text = render_openmetrics(rich_registry().snapshot())
+        assert 'repro_serve_requests_total{model_version="v1"} 3' in text
+        assert "\nrepro_farm_shards_lost_total 1\n" in text
+
+    def test_summary_emits_quantiles_count_and_sum(self):
+        text = render_openmetrics(rich_registry().snapshot())
+        assert 'repro_serve_request_seconds{quantile="0.5"} 0.02' in text
+        assert 'repro_serve_request_seconds{quantile="0.95"} 0.05' in text
+        assert "repro_serve_request_seconds_count 3" in text
+        assert "repro_serve_request_seconds_sum 0.08" in text
+
+    def test_empty_histogram_renders_nan_quantiles(self):
+        text = render_openmetrics(rich_registry().snapshot())
+        assert 'repro_stage_empty_seconds{quantile="0.5"} NaN' in text
+        assert "repro_stage_empty_seconds_count 0" in text
+
+    def test_nan_gauge_renders_nan(self):
+        text = render_openmetrics(rich_registry().snapshot())
+        assert 'repro_drift_score_psi{source="serve"} NaN' in text
+
+    def test_label_values_escape_and_round_trip(self):
+        text = render_openmetrics(rich_registry().snapshot())
+        line = next(
+            l for l in text.splitlines() if 'v2 \\"beta\\"\\\\x' in l
+        )
+        name, labels = parse_metric_key(line.rsplit(" ", 1)[0])
+        assert labels["model_version"] == 'v2 "beta"\\x'
+        validate_openmetrics(text)  # escaped value still single-line-legal
+
+    def test_empty_snapshot_is_just_eof(self):
+        text = render_openmetrics({})
+        assert text == "# EOF\n"
+        assert validate_openmetrics(text) == {}
+
+    def test_families_group_kinds_in_order(self):
+        # Renderer emits counters, then gauges, then summaries — a scrape
+        # diff should never reshuffle whole sections.
+        kinds = list(
+            validate_openmetrics(
+                render_openmetrics(rich_registry().snapshot())
+            ).values()
+        )
+        boundary = {"counter": 0, "gauge": 1, "summary": 2}
+        assert kinds == sorted(kinds, key=boundary.__getitem__)
+
+    def test_help_text_known_and_fallback(self):
+        text = render_openmetrics(rich_registry().snapshot())
+        assert (
+            f"# HELP repro_serve_requests {HELP_TEXT['serve.requests']}"
+            in text
+        )
+        assert (
+            "# HELP repro_stage_empty_seconds "
+            "Registry instrument stage.empty.seconds" in text
+        )
+
+
+class TestSanitizeName:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("serve.request.seconds", "repro_serve_request_seconds"),
+            ("farm.shards_lost", "repro_farm_shards_lost"),
+            ("9lives", "repro__9lives"),
+            ("a-b c", "repro_a_b_c"),
+        ],
+    )
+    def test_mangles_to_metric_charset(self, raw, expected):
+        assert sanitize_name(raw) == expected
+        assert re.fullmatch(_NAME, sanitize_name(raw))
+
+
+class TestContentType:
+    def test_negotiated_content_type_is_openmetrics(self):
+        assert "application/openmetrics-text" in OPENMETRICS_CONTENT_TYPE
+        assert "version=1.0.0" in OPENMETRICS_CONTENT_TYPE
+
+
+class TestValidatorRejectsDrift:
+    """The validator itself must catch the failure modes it exists for."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "repro_x_total 1\n# EOF\n",  # sample before any header
+            "# HELP repro_x h\nrepro_x 1\n# EOF\n",  # HELP but no TYPE
+            "# HELP repro_x h\n# TYPE repro_x counter\nrepro_x 1\n# EOF\n",
+            "# HELP repro_x h\n# TYPE repro_x gauge\nrepro_x one\n# EOF\n",
+            "# HELP repro_x h\n# TYPE repro_x gauge\nrepro_x 1\n",  # no EOF
+            '# HELP repro_x h\n# TYPE repro_x gauge\nrepro_x{b="1",a="2"} 1\n# EOF\n',
+        ],
+    )
+    def test_bad_expositions_fail(self, text):
+        with pytest.raises(AssertionError):
+            validate_openmetrics(text)
+
+    def test_unsorted_labels_reason(self):
+        # The last rejection case above is specifically label ordering.
+        with pytest.raises(AssertionError, match="not sorted"):
+            validate_openmetrics(
+                "# HELP repro_x h\n# TYPE repro_x gauge\n"
+                'repro_x{b="1",a="2"} 1\n# EOF\n'
+            )

@@ -1,5 +1,7 @@
 """Tests for counters, gauges, histograms and snapshot merging."""
 
+import math
+
 import pytest
 
 from repro.exceptions import ObservabilityError
@@ -48,9 +50,13 @@ class TestHistogram:
         assert histogram.percentile(100.0) == 100.0
         assert histogram.percentile(0.0) == 1.0
 
-    def test_empty_percentiles_are_zero(self):
+    def test_empty_percentiles_are_nan(self):
+        # NaN, not 0.0: a fake zero latency would pass SLO checks that
+        # real "no data" must not.
         histogram = Histogram()
-        assert histogram.p50 == 0.0
+        assert math.isnan(histogram.p50)
+        assert math.isnan(histogram.p95)
+        assert math.isnan(histogram.percentile(0.0))
         assert histogram.summary()["min"] == 0.0
 
     def test_rejects_bad_percentile(self):

@@ -1,0 +1,136 @@
+"""Property tests for histogram merging and empty-percentile semantics.
+
+The farm merges worker metric snapshots in completion order, which a
+work-stealing pool makes nondeterministic — so snapshot merging must be
+order-insensitive. :meth:`Histogram.merge_state` sorts the combined
+sample buffer before re-decimating precisely so that merging A-then-B
+and B-then-A yield identical states; these properties pin that.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+finite = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(finite, max_size=120)
+
+
+def hist_from(values, max_samples=32):
+    histogram = Histogram(max_samples=max_samples)
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+def comparable(histogram):
+    """Everything a merged histogram exposes, percentiles included."""
+    state = histogram.state()
+    state["p25"] = histogram.percentile(25.0)
+    state["p99"] = histogram.percentile(99.0)
+    return state
+
+
+class TestMergeCommutativity:
+    @given(a=sample_lists, b=sample_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        left = hist_from(a)
+        left.merge_state(hist_from(b).state())
+        right = hist_from(b)
+        right.merge_state(hist_from(a).state())
+        left_state, right_state = comparable(left), comparable(right)
+        assert left_state["count"] == right_state["count"]
+        # Buffers keep arrival order until a merge sorts them, so compare
+        # as multisets — every derived statistic must still agree exactly.
+        assert sorted(left_state["samples"]) == sorted(right_state["samples"])
+        assert math.isclose(
+            left_state["total"], right_state["total"], rel_tol=1e-12, abs_tol=1e-9
+        )
+        for key in ("min", "max", "p50", "p95", "p25", "p99"):
+            lhs, rhs = left_state[key], right_state[key]
+            assert (math.isnan(lhs) and math.isnan(rhs)) or lhs == rhs
+
+    @given(a=sample_lists, b=sample_lists, c=sample_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_count_total_associative(self, a, b, c):
+        left = hist_from(a)
+        left.merge_state(hist_from(b).state())
+        left.merge_state(hist_from(c).state())
+        right = hist_from(a)
+        bc = hist_from(b)
+        bc.merge_state(hist_from(c).state())
+        right.merge_state(bc.state())
+        assert left.count == right.count == len(a) + len(b) + len(c)
+        assert math.isclose(
+            left.total, right.total, rel_tol=1e-12, abs_tol=1e-9
+        )
+
+    @given(values=sample_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merging_empty_state_is_identity(self, values):
+        histogram = hist_from(values)
+        before = comparable(histogram)
+        histogram.merge_state(Histogram().state())
+        after = comparable(histogram)
+        for key in ("count", "total", "samples"):
+            assert before[key] == after[key]
+
+    @given(a=sample_lists, b=sample_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_registry_snapshot_merge_commutes(self, a, b):
+        def registry_with(values, other):
+            registry = MetricsRegistry()
+            registry.counter("windows").inc(len(values))
+            for value in values:
+                registry.histogram("stage.seconds", ).observe(value)
+            registry.merge_snapshot(other)
+            return registry.snapshot()
+
+        snap_a = registry_with(a, {})
+        snap_b = registry_with(b, {})
+        ab = registry_with(a, snap_b)
+        ba = registry_with(b, snap_a)
+        assert ab["counters"] == ba["counters"]
+        hist_ab = ab["histograms"].get("stage.seconds")
+        hist_ba = ba["histograms"].get("stage.seconds")
+        if hist_ab is None or hist_ba is None:
+            assert hist_ab == hist_ba  # both absent: no observations at all
+        else:
+            assert hist_ab["count"] == hist_ba["count"]
+            for key in ("min", "max", "p50", "p95"):
+                lhs, rhs = hist_ab[key], hist_ba[key]
+                both_nan = (
+                    isinstance(lhs, float)
+                    and isinstance(rhs, float)
+                    and math.isnan(lhs)
+                    and math.isnan(rhs)
+                )
+                assert both_nan or lhs == rhs
+
+
+class TestEmptyPercentiles:
+    def test_every_percentile_of_empty_histogram_is_nan(self):
+        histogram = Histogram()
+        for q in (0.0, 25.0, 50.0, 95.0, 100.0):
+            assert math.isnan(histogram.percentile(q))
+        assert math.isnan(histogram.p50)
+        assert math.isnan(histogram.p95)
+
+    def test_summary_of_empty_histogram(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["min"] == 0.0 and summary["max"] == 0.0
+        assert math.isnan(summary["p50"]) and math.isnan(summary["p95"])
+
+    @given(value=finite)
+    @settings(max_examples=40, deadline=None)
+    def test_single_sample_percentiles_are_that_sample(self, value):
+        histogram = Histogram()
+        histogram.observe(value)
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert histogram.percentile(q) == value

@@ -1,0 +1,237 @@
+"""SLO burn-rate math, multi-window gating, and burn/recovery events.
+
+Every test drives the tracker with a fake monotonic clock so window
+membership is exact: an outcome "ages out" by advancing the clock, not
+by sleeping.
+"""
+
+import pytest
+
+from repro.exceptions import ObservabilityError
+from repro.obs.slo import (
+    SLObjective,
+    SLOTracker,
+    default_serve_objectives,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_tracker(objectives, clock=None, min_requests=10, **kwargs):
+    return SLOTracker(
+        objectives, clock=clock or FakeClock(), min_requests=min_requests,
+        **kwargs,
+    )
+
+
+def latency_slo(**overrides):
+    base = dict(
+        name="predict-latency",
+        target=0.99,
+        latency_threshold_s=0.25,
+        windows_s=(60.0, 600.0),
+        burn_threshold=2.0,
+    )
+    base.update(overrides)
+    return SLObjective(**base)
+
+
+class TestObjective:
+    def test_error_budget_is_one_minus_target(self):
+        assert latency_slo(target=0.99).error_budget == pytest.approx(0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name=""),
+            dict(target=0.0),
+            dict(target=1.0),
+            dict(windows_s=()),
+            dict(windows_s=(60.0, -1.0)),
+            dict(burn_threshold=0.0),
+        ],
+    )
+    def test_invalid_objectives_raise(self, kwargs):
+        with pytest.raises(ObservabilityError):
+            latency_slo(**kwargs)
+
+    def test_default_serve_objectives(self):
+        objectives = default_serve_objectives(
+            latency_threshold_s=0.1, availability_target=0.995
+        )
+        by_name = {o.name: o for o in objectives}
+        assert by_name["predict-latency"].latency_threshold_s == 0.1
+        assert by_name["predict-availability"].target == 0.995
+        assert by_name["predict-availability"].latency_threshold_s is None
+
+
+class TestTrackerValidation:
+    def test_needs_objectives(self):
+        with pytest.raises(ObservabilityError, match="at least one"):
+            SLOTracker([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ObservabilityError, match="duplicate"):
+            SLOTracker([latency_slo(), latency_slo()])
+
+
+class TestBurnMath:
+    def test_burn_rate_is_bad_fraction_over_budget(
+        self, captured_events, fresh_registry
+    ):
+        clock = FakeClock()
+        tracker = make_tracker([latency_slo()], clock=clock, min_requests=1)
+        # 20 requests, 1 over the latency threshold: bad_fraction 0.05,
+        # budget 0.01 → burn 5.0 in both windows.
+        for _ in range(19):
+            tracker.record(0.01, ok=True)
+        tracker.record(0.50, ok=True)
+        status = tracker.evaluate()[0]
+        for window in (60.0, 600.0):
+            assert status.bad_fractions[window] == pytest.approx(0.05)
+            assert status.burn_rates[window] == pytest.approx(5.0)
+            assert status.window_requests[window] == 20
+        assert status.worst_burn == pytest.approx(5.0)
+        assert status.burning
+
+    def test_failures_count_as_bad_regardless_of_latency(
+        self, captured_events, fresh_registry
+    ):
+        tracker = make_tracker([latency_slo()], min_requests=1)
+        tracker.record(0.001, ok=False)
+        status = tracker.evaluate()[0]
+        assert status.bad_fractions[60.0] == pytest.approx(1.0)
+
+    def test_availability_objective_ignores_latency(
+        self, captured_events, fresh_registry
+    ):
+        objective = latency_slo(
+            name="availability", latency_threshold_s=None, target=0.9
+        )
+        tracker = make_tracker([objective], min_requests=1)
+        tracker.record(10.0, ok=True)  # slow but successful
+        status = tracker.evaluate()[0]
+        assert status.bad_fractions[60.0] == 0.0
+        assert not status.burning
+
+    def test_empty_window_burns_nothing(self, captured_events, fresh_registry):
+        status = make_tracker([latency_slo()]).evaluate()[0]
+        assert status.worst_burn == 0.0
+        assert not status.burning
+
+    def test_gauges_labelled_per_objective_and_window(
+        self, captured_events, fresh_registry
+    ):
+        tracker = make_tracker([latency_slo()], min_requests=1)
+        tracker.record(0.5, ok=True)
+        tracker.evaluate()
+        labels = {"objective": "predict-latency", "window_s": "60"}
+        assert fresh_registry.gauge("slo.burn_rate", labels=labels).updated
+        assert (
+            fresh_registry.gauge("slo.window_requests", labels=labels).value
+            == 1
+        )
+
+
+class TestMultiWindowGating:
+    def test_short_window_breach_alone_does_not_burn(
+        self, captured_events, fresh_registry
+    ):
+        clock = FakeClock()
+        tracker = make_tracker([latency_slo()], clock=clock, min_requests=1)
+        # A long stretch of good traffic ages into the 600 s window only.
+        for _ in range(100):
+            tracker.record(0.01, ok=True)
+        clock.advance(120.0)
+        # Fresh blip: two slow requests inside the 60 s window. The
+        # short window burns hard (2/2 bad), but the long window sees
+        # bad_fraction 2/102 ≈ 0.0196, burn ≈ 1.96 — just under the 2.0
+        # threshold — so the multi-window guard keeps the page quiet.
+        tracker.record(0.5, ok=True)
+        tracker.record(0.5, ok=True)
+        status = tracker.evaluate()[0]
+        assert status.burn_rates[60.0] > 2.0
+        assert status.burn_rates[600.0] < 2.0
+        assert not status.burning
+        assert not [e for e in captured_events.events if e.name == "slo.burn"]
+
+    def test_min_requests_guards_thin_windows(
+        self, captured_events, fresh_registry
+    ):
+        tracker = make_tracker([latency_slo()], min_requests=10)
+        for _ in range(5):
+            tracker.record(0.5, ok=True)  # 100% bad, but only 5 requests
+        status = tracker.evaluate()[0]
+        assert status.burn_rates[60.0] > 2.0
+        assert not status.burning
+
+    def test_outcomes_age_out_of_all_windows(
+        self, captured_events, fresh_registry
+    ):
+        clock = FakeClock()
+        tracker = make_tracker([latency_slo()], clock=clock, min_requests=1)
+        for _ in range(20):
+            tracker.record(0.5, ok=True)
+        assert tracker.evaluate()[0].burning
+        clock.advance(601.0)  # past the longest window
+        status = tracker.evaluate()[0]
+        assert status.window_requests[600.0] == 0
+        assert not status.burning
+
+
+class TestBurnEvents:
+    def test_burn_and_recovery_are_edge_triggered(
+        self, captured_events, fresh_registry
+    ):
+        clock = FakeClock()
+        tracker = make_tracker([latency_slo()], clock=clock, min_requests=1)
+        for _ in range(20):
+            tracker.record(0.5, ok=True)
+        assert tracker.evaluate()[0].burning
+        assert tracker.evaluate()[0].burning  # still burning: no new event
+        burns = [e for e in captured_events.events if e.name == "slo.burn"]
+        assert len(burns) == 1
+        assert burns[0].level == "warning"
+        assert burns[0].attrs["objective"] == "predict-latency"
+        assert burns[0].attrs["burn_rates"]["60s"] > 2.0
+        assert (
+            fresh_registry.counter(
+                "slo.burns", labels={"objective": "predict-latency"}
+            ).value
+            == 1
+        )
+
+        clock.advance(601.0)
+        assert not tracker.evaluate()[0].burning
+        recoveries = [
+            e for e in captured_events.events if e.name == "slo.recovered"
+        ]
+        assert len(recoveries) == 1 and recoveries[0].level == "info"
+        # A second burning episode fires a second event.
+        for _ in range(20):
+            tracker.record(0.5, ok=True)
+        tracker.evaluate()
+        burns = [e for e in captured_events.events if e.name == "slo.burn"]
+        assert len(burns) == 2
+
+    def test_objectives_burn_independently(
+        self, captured_events, fresh_registry
+    ):
+        objectives = default_serve_objectives(latency_threshold_s=0.25)
+        tracker = make_tracker(objectives, min_requests=1)
+        for _ in range(20):
+            tracker.record(0.5, ok=True)  # slow, but all successful
+        statuses = {s.objective.name: s for s in tracker.evaluate()}
+        assert statuses["predict-latency"].burning
+        assert not statuses["predict-availability"].burning
+        burns = [e for e in captured_events.events if e.name == "slo.burn"]
+        assert [e.attrs["objective"] for e in burns] == ["predict-latency"]

@@ -1,0 +1,232 @@
+"""Serving observability end-to-end: traces, scrapes, drift, and SLOs.
+
+Real sockets again — the point is that one client call produces one
+trace id whose span tree crosses the HTTP handler, the engine's queue,
+and the batch worker, and that the same live server exposes a valid
+OpenMetrics scrape, raises drift alerts only under a shifted feature
+stream, and flags SLO burn when latency objectives are breached.
+"""
+
+import contextlib
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import JsonlSink, MemorySink, get_bus
+from repro.obs.drift import DriftConfig
+from repro.obs.report import report_from_file
+from repro.obs.slo import SLObjective
+from repro.serve import (
+    EngineConfig,
+    InferenceEngine,
+    ModelRegistry,
+    ServeClient,
+    make_server,
+)
+
+HEX = set("0123456789abcdef")
+
+
+@contextlib.contextmanager
+def serving(model, registry=None, slo=(), drift_config=None, **config):
+    engine = InferenceEngine(
+        model,
+        EngineConfig(**config),
+        slo=slo,
+        drift_config=drift_config,
+        slo_eval_interval_s=0.0,
+    )
+    server = make_server(engine, registry, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield ServeClient(f"http://127.0.0.1:{server.port}"), engine
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+        thread.join(5)
+
+
+@pytest.fixture
+def registry(tmp_path, trained_detector, tiny_data):
+    train, _ = tiny_data
+    registry = ModelRegistry(tmp_path / "models")
+    # v1 ships a drift profile captured from the training reference.
+    registry.publish(trained_detector, "v1", reference=train)
+    registry.activate("v1")
+    return registry
+
+
+class TestTracePropagation:
+    def test_one_request_one_trace_tree(
+        self, tmp_path, registry, feature_batch
+    ):
+        log_path = tmp_path / "trace.jsonl"
+        get_bus().attach(JsonlSink(log_path))
+        with serving(registry, registry) as (client, _):
+            client.predict_tensors(feature_batch[:2])
+            trace_id = client.last_trace_id
+        assert len(trace_id) == 32 and set(trace_id) <= HEX
+        tree = report_from_file(log_path, trace=trace_id)
+        for name in (
+            "client.request",
+            "serve.request",
+            "serve.queue_wait",
+            "serve.batch",
+            "serve.infer",
+        ):
+            assert name in tree, f"{name} missing from trace tree:\n{tree}"
+
+    def test_client_and_server_spans_share_the_trace(
+        self, registry, feature_batch
+    ):
+        sink = get_bus().attach(MemorySink())
+        with serving(registry, registry) as (client, _):
+            client.predict_tensors(feature_batch[:1])
+            trace_id = client.last_trace_id
+        spans = [
+            e.attrs
+            for e in sink.events
+            if e.name == "span" and e.attrs.get("trace_id") == trace_id
+        ]
+        names = {s["span"] for s in spans}
+        assert {"client.request", "serve.request", "serve.infer"} <= names
+        # Exactly one root: the client span that started the trace.
+        span_ids = {s["span_id"] for s in spans}
+        roots = [s for s in spans if s.get("parent_id", "") not in span_ids]
+        assert [s["span"] for s in roots] == ["client.request"]
+
+    def test_distinct_requests_get_distinct_traces(
+        self, registry, feature_batch
+    ):
+        with serving(registry, registry) as (client, _):
+            client.predict_tensors(feature_batch[:1])
+            first = client.last_trace_id
+            client.predict_tensors(feature_batch[:1])
+            second = client.last_trace_id
+        assert first != second
+
+
+class TestMetricsScrape:
+    def test_openmetrics_scrape_is_well_formed(self, registry, feature_batch):
+        with serving(registry, registry) as (client, _):
+            client.predict_tensors(feature_batch)
+            text = client.metrics_text()
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert "repro_serve_request_seconds" in text
+        assert "repro_serve_requests_total" in text
+        sample = re.compile(
+            r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? \S+$"
+        )
+        for line in lines[:-1]:
+            assert line.startswith("#") or sample.match(line), line
+
+    def test_json_metrics_still_served(self, registry, feature_batch):
+        with serving(registry, registry) as (client, _):
+            client.predict_tensors(feature_batch[:2])
+            metrics = client.metrics()
+        assert metrics["serve"]["requests"] >= 1
+        assert "serve.request.seconds" in metrics["metrics"]["histograms"]
+
+
+def drifty_config():
+    # Tiny thresholds so a 16-sample test dataset can trigger checks;
+    # cooldown high enough that counts stay deterministic.
+    return DriftConfig(
+        window=64, min_samples=8, check_every=8, cooldown=100_000
+    )
+
+
+class TestDriftThroughEngine:
+    def test_clean_traffic_raises_no_alert(
+        self, registry, tiny_data, trained_detector
+    ):
+        sink = get_bus().attach(MemorySink())
+        train, _ = tiny_data
+        clean = train.features(trained_detector.extractor).astype(np.float32)
+        with serving(registry, registry, drift_config=drifty_config()) as (
+            client,
+            _,
+        ):
+            # The live stream IS the reference data: distributions match
+            # exactly, so no score- or channel-drift alert may fire.
+            client.predict_tensors(clean)
+        assert not [e for e in sink.events if e.name == "drift.alert"]
+
+    def test_shifted_traffic_alerts(self, registry, feature_batch):
+        sink = get_bus().attach(MemorySink())
+        rng = np.random.default_rng(0)
+        shifted = rng.normal(
+            loc=3.0, scale=2.0, size=feature_batch.shape
+        ).astype(np.float32)
+        with serving(registry, registry, drift_config=drifty_config()) as (
+            client,
+            engine,
+        ):
+            client.predict_tensors(shifted)
+            client.predict_tensors(shifted)
+        alerts = [e for e in sink.events if e.name == "drift.alert"]
+        assert alerts, "injected feature shift must raise drift.alert"
+        assert all(e.level == "warning" for e in alerts)
+        assert alerts[0].attrs["source"] == "serve"
+        assert alerts[0].attrs["model_version"] == "v1"
+
+    def test_profileless_version_is_unmonitored(
+        self, tmp_path, trained_detector, feature_batch
+    ):
+        sink = get_bus().attach(MemorySink())
+        registry = ModelRegistry(tmp_path / "bare")
+        registry.publish(trained_detector, "v1")  # no reference data
+        registry.activate("v1")
+        shifted = np.random.default_rng(1).normal(
+            size=feature_batch.shape
+        ).astype(np.float32)
+        with serving(registry, registry, drift_config=drifty_config()) as (
+            client,
+            _,
+        ):
+            client.predict_tensors(shifted)
+        assert not [e for e in sink.events if e.name == "drift.alert"]
+
+
+class TestSLOThroughEngine:
+    def test_latency_breach_flags_burn(
+        self, registry, feature_batch, fresh_telemetry
+    ):
+        sink = get_bus().attach(MemorySink())
+        # An impossible latency objective: every request is "bad", so
+        # once min_requests accumulate the tracker must flag burning.
+        objectives = [
+            SLObjective(
+                name="predict-latency",
+                target=0.99,
+                latency_threshold_s=1e-9,
+            )
+        ]
+        with serving(registry, registry, slo=objectives) as (client, _):
+            for _ in range(12):
+                client.predict_tensors(feature_batch[:1])
+        burns = [e for e in sink.events if e.name == "slo.burn"]
+        assert burns and burns[0].attrs["objective"] == "predict-latency"
+        counter = fresh_telemetry.counter(
+            "slo.burns", labels={"objective": "predict-latency"}
+        )
+        assert counter.value >= 1
+
+    def test_generous_objective_stays_quiet(
+        self, registry, feature_batch
+    ):
+        sink = get_bus().attach(MemorySink())
+        objectives = [
+            SLObjective(
+                name="predict-latency", target=0.99, latency_threshold_s=60.0
+            )
+        ]
+        with serving(registry, registry, slo=objectives) as (client, _):
+            for _ in range(12):
+                client.predict_tensors(feature_batch[:1])
+        assert not [e for e in sink.events if e.name == "slo.burn"]
