@@ -17,8 +17,18 @@ configuration is driven with trace-id generation on (the default) and
 off (``set_trace_ids(False)``), and the throughput delta lands in the
 artifact's ``tracing`` section. The id path is one ``os.urandom`` call
 per span, so the expected overhead is noise-level (well under 5%).
+
+Finally, the ``fleet`` section sweeps the multi-process
+:class:`~repro.serve.fleet.FleetEngine` over replica counts {1, 2, 4}
+under the same client load and records throughput, p95 latency, and the
+speedup over the single-process engine. Multi-process speedup is only
+physically available when there are cores to run the replicas on, so
+the ≥2.5x-at-4-replicas expectation is asserted only on machines with
+at least 4 CPUs; the measurements (and ``cpu_count``) are recorded
+honestly either way.
 """
 
+import os
 import threading
 import time
 from pathlib import Path
@@ -36,7 +46,13 @@ from repro.litho.optics import OpticsConfig
 from repro.nn.trainer import TrainerConfig
 from repro.obs import MetricsRegistry, set_registry
 from repro.obs.tracing import set_trace_ids
-from repro.serve import EngineConfig, InferenceEngine
+from repro.serve import (
+    EngineConfig,
+    FleetConfig,
+    FleetEngine,
+    InferenceEngine,
+    ModelRegistry,
+)
 
 #: Where the serving perf record lands (repo root, next to BENCH_fullchip).
 ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
@@ -65,6 +81,17 @@ _TRACING_KEYS = (
     "p95_off_s",
 )
 
+FLEET_REPLICA_COUNTS = (1, 2, 4)
+
+_FLEET_SWEEP_KEYS = (
+    "replicas",
+    "requests",
+    "seconds",
+    "requests_per_second",
+    "p95_latency_s",
+    "speedup_vs_single_process",
+)
+
 
 def validate_serve_report(path: Path) -> dict:
     """Re-read BENCH_serve.json and fail loudly on schema drift."""
@@ -84,6 +111,17 @@ def validate_serve_report(path: Path) -> dict:
         assert key in tracing, f"{path}: tracing section missing {key!r}"
     assert tracing["ids_on_rps"] > 0
     assert tracing["ids_off_rps"] > 0
+    fleet = document["results"]["fleet"]
+    assert fleet["cpu_count"] >= 1
+    assert fleet["single_process_rps"] > 0
+    sweep = fleet["replicas_sweep"]
+    assert [entry["replicas"] for entry in sweep] == list(FLEET_REPLICA_COUNTS)
+    for entry in sweep:
+        for key in _FLEET_SWEEP_KEYS:
+            assert key in entry, f"{path}: fleet entry missing {key!r}"
+        assert entry["requests_per_second"] > 0
+        assert entry["p95_latency_s"] > 0
+        assert entry["speedup_vs_single_process"] > 0
     return document
 
 
@@ -175,6 +213,82 @@ def drive_engine(detector, feature_batch, max_batch, max_wait_ms):
         set_registry(previous)
 
 
+def drive_fleet(registry_dir, feature_batch, replicas):
+    """Hammer a replica fleet; returns the measured record (sans speedup)."""
+    metrics = MetricsRegistry()
+    previous = set_registry(metrics)
+    try:
+        model_registry = ModelRegistry(registry_dir)
+        engine = FleetEngine(
+            model_registry,
+            FleetConfig(
+                replicas=replicas,
+                max_queue=4096,
+                max_batch=32,
+                max_wait_ms=2.0,
+            ),
+        )
+        try:
+            n = feature_batch.shape[0]
+            barrier = threading.Barrier(CLIENT_THREADS + 1)
+            errors = []
+
+            def client(slot):
+                try:
+                    barrier.wait()
+                    for j in range(REQUESTS_PER_THREAD):
+                        engine.predict(
+                            feature_batch[(slot + j) % n], timeout=60
+                        )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(CLIENT_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+        finally:
+            engine.close()
+        assert not errors, errors
+
+        requests = CLIENT_THREADS * REQUESTS_PER_THREAD
+        return {
+            "replicas": replicas,
+            "requests": requests,
+            "seconds": elapsed,
+            "requests_per_second": requests / max(elapsed, 1e-9),
+            "p95_latency_s": metrics.histogram("serve.request.seconds").p95,
+        }
+    finally:
+        set_registry(previous)
+
+
+def measure_fleet_scaling(detector, feature_batch, tmp_dir) -> dict:
+    """Replica-count sweep against the single-process (32, 2ms) config."""
+    registry_dir = Path(tmp_dir) / "bench-fleet-registry"
+    ModelRegistry(registry_dir).publish(detector, "bench-v1")
+    single = drive_engine(detector, feature_batch, 32, 2.0)
+    sweep = []
+    for replicas in FLEET_REPLICA_COUNTS:
+        entry = drive_fleet(registry_dir, feature_batch, replicas)
+        entry["speedup_vs_single_process"] = entry[
+            "requests_per_second"
+        ] / max(single["requests_per_second"], 1e-9)
+        sweep.append(entry)
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "single_process_rps": single["requests_per_second"],
+        "replicas_sweep": sweep,
+    }
+
+
 def measure_tracing_overhead(detector, feature_batch) -> dict:
     """Throughput with trace-id generation on vs off (one mid-sweep config).
 
@@ -201,8 +315,11 @@ def measure_tracing_overhead(detector, feature_batch) -> dict:
     }
 
 
-def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch):
-    """Batching sweep + tracing overhead; writes BENCH_serve.json."""
+def test_serve_throughput_vs_batch_window(
+    once, trained_detector, feature_batch, tmp_path_factory
+):
+    """Batching sweep + tracing overhead + fleet scaling; writes
+    BENCH_serve.json."""
 
     def sweep():
         configs = [
@@ -210,11 +327,15 @@ def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch)
             for max_batch in BATCH_SIZES
             for wait_ms in WAIT_WINDOWS_MS
         ]
-        return configs, measure_tracing_overhead(
-            trained_detector, feature_batch
+        tracing = measure_tracing_overhead(trained_detector, feature_batch)
+        fleet = measure_fleet_scaling(
+            trained_detector,
+            feature_batch,
+            tmp_path_factory.mktemp("bench-fleet"),
         )
+        return configs, tracing, fleet
 
-    configs, tracing = once(sweep)
+    configs, tracing, fleet = once(sweep)
 
     for entry in configs:
         print(
@@ -230,6 +351,14 @@ def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch)
         f"off {tracing['ids_off_rps']:.1f} req/s "
         f"(overhead {tracing['overhead_fraction'] * 100:+.1f}%)"
     )
+    for entry in fleet["replicas_sweep"]:
+        print(
+            f"fleet replicas={entry['replicas']}  "
+            f"{entry['requests_per_second']:8.1f} req/s  "
+            f"p95 {entry['p95_latency_s'] * 1000:7.2f} ms  "
+            f"speedup {entry['speedup_vs_single_process']:.2f}x "
+            f"(cpu_count={fleet['cpu_count']})"
+        )
 
     by_key = {(e["max_batch"], e["max_wait_ms"]): e for e in configs}
     # The no-batching control cannot batch, by construction.
@@ -237,15 +366,21 @@ def test_serve_throughput_vs_batch_window(once, trained_detector, feature_batch)
         assert by_key[(1, wait_ms)]["mean_batch_size"] == 1.0
     # Under 8 concurrent clients a 32-sample window must actually batch.
     assert by_key[(32, WAIT_WINDOWS_MS[-1])]["mean_batch_size"] > 1.0
+    # Replica scaling needs cores to scale onto: assert the expected
+    # ≥2.5x at 4 replicas only where the hardware makes it possible.
+    if fleet["cpu_count"] >= 4:
+        four = fleet["replicas_sweep"][-1]
+        assert four["speedup_vs_single_process"] >= 2.5, four
 
     write_report(
         ARTIFACT_PATH,
         "serve_throughput_latency",
-        {"configs": configs, "tracing": tracing},
+        {"configs": configs, "tracing": tracing, "fleet": fleet},
         metadata={
             "client_threads": CLIENT_THREADS,
             "requests_per_thread": REQUESTS_PER_THREAD,
             "engine_workers": 2,
+            "cpu_count": os.cpu_count() or 1,
         },
     )
     validate_serve_report(ARTIFACT_PATH)

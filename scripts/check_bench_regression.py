@@ -59,6 +59,20 @@ SERVE_TRACING_KEYS = (
     "p95_on_s",
     "p95_off_s",
 )
+#: Required keys in the ``fleet`` section / each replica-sweep entry.
+SERVE_FLEET_KEYS = (
+    "cpu_count",
+    "single_process_rps",
+    "replicas_sweep",
+)
+SERVE_FLEET_SWEEP_KEYS = (
+    "replicas",
+    "requests",
+    "seconds",
+    "requests_per_second",
+    "p95_latency_s",
+    "speedup_vs_single_process",
+)
 
 
 def numeric_leaves(
@@ -145,6 +159,22 @@ def check_schema(path: Path, document: dict) -> List[str]:
             for key in SERVE_TRACING_KEYS:
                 if key not in tracing:
                     problems.append(f"serve tracing section missing {key!r}")
+        fleet = results.get("fleet")
+        if not isinstance(fleet, dict):
+            problems.append("serve results missing 'fleet' section")
+        else:
+            for key in SERVE_FLEET_KEYS:
+                if key not in fleet:
+                    problems.append(f"serve fleet section missing {key!r}")
+            sweep = fleet.get("replicas_sweep")
+            if not isinstance(sweep, list) or not sweep:
+                problems.append("serve fleet missing 'replicas_sweep' entries")
+            else:
+                for key in SERVE_FLEET_SWEEP_KEYS:
+                    if any(key not in entry for entry in sweep):
+                        problems.append(
+                            f"serve fleet sweep entries missing {key!r}"
+                        )
     return problems
 
 

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""CI smoke drive for the serving fleet.
+
+Trains a tiny detector, publishes two checkpoint versions, starts a
+2-replica :class:`~repro.serve.fleet.FleetEngine` behind the HTTP
+front-end, and drives the fleet-specific surface end to end:
+
+- concurrent mixed-tenant load through the conformance harness
+  (``repro.testing.fleet``): zero dropped requests, only documented
+  errors, every response bitwise-equal to offline scoring;
+- deterministic canary flip to v2 and back, checked via /v1/routing;
+- shadow scoring (candidate never served);
+- per-tenant 429 with a usable Retry-After, ridden out by the client's
+  backoff;
+- /metrics exposition carrying per-replica labels;
+- a replica SIGKILL mid-session with automatic respawn;
+- clean shutdown with zero leaked shared-memory segments.
+
+Any failed check exits non-zero.
+"""
+
+import os
+import signal
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.data.dataset import HotspotDataset
+from repro.data.generator import ClipGenerator, GeneratorConfig
+from repro.features.tensor import FeatureTensorConfig
+from repro.litho.oracle import OracleConfig
+from repro.litho.optics import OpticsConfig
+from repro.nn.trainer import TrainerConfig
+from repro.serve import (
+    AdmissionController,
+    FleetConfig,
+    FleetEngine,
+    ModelRegistry,
+    Router,
+    ServeClient,
+    ServeClientError,
+    TenantRate,
+    make_server,
+)
+from repro.testing.fleet import (
+    FleetLoadGenerator,
+    assert_no_leaked_segments,
+    client_sender,
+    offline_expectations,
+)
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"FAIL: {message}")
+    print(f"ok: {message}")
+
+
+def train_tiny(seed):
+    generator = ClipGenerator(
+        GeneratorConfig(seed=5, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8)))
+    )
+    train = HotspotDataset(generator.generate(24, 40), name="fleet-smoke/train")
+    config = DetectorConfig(
+        feature=FeatureTensorConfig(block_count=12, coefficients=16, pixel_nm=4),
+        learning_rate=2e-3,
+        lr_decay_every=150,
+        bias_rounds=1,
+        trainer=TrainerConfig(
+            batch_size=16,
+            max_iterations=120,
+            validate_every=40,
+            patience=3,
+            min_iterations=40,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+    return HotspotDetector(config).fit(train)
+
+
+def main(workdir: Path) -> None:
+    stable = train_tiny(0)
+    candidate = train_tiny(1)
+    generator = ClipGenerator(
+        GeneratorConfig(seed=9, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8)))
+    )
+    load = HotspotDataset(generator.generate(6, 10), name="fleet-smoke/load")
+    tensors = load.features(stable.extractor).astype(np.float32)
+    expected = offline_expectations({"v1": stable, "v2": candidate}, tensors)
+
+    registry = ModelRegistry(workdir / "models")
+    registry.publish(stable, "v1")
+    registry.publish(candidate, "v2")
+    registry.activate("v1")
+
+    router = Router(
+        AdmissionController(per_tenant={"slow": TenantRate(0.5, 1.0)})
+    )
+    engine = FleetEngine(
+        registry, FleetConfig(replicas=2), router=router, version="v1"
+    )
+    server = make_server(engine, registry, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(f"http://127.0.0.1:{server.port}", timeout_s=60.0)
+    try:
+        check(client.health()["version"] == "v1", "healthz shows v1")
+        check(len(client.routing()["replicas"]) == 2, "2 replicas attached")
+
+        # concurrent conformance load over HTTP
+        report = FleetLoadGenerator(
+            client_sender(ServeClient(client.base_url, timeout_s=60.0)),
+            tensors,
+            requests=60,
+            tenants=("opc", "verification"),
+            threads=8,
+        ).run()
+        report.assert_no_dropped()
+        report.assert_only_documented_errors(allowed=())
+        report.assert_bitwise_vs_offline(expected)
+        check(len(report.ok) == 60, f"conformance load: {report.summary()}")
+
+        # canary flip: 100% of keys route to v2, deterministically
+        client.canary("v2", 1.0)
+        detail = client.predict_tensors_detail(tensors[:1], key="smoke-key")
+        check(detail["version"] == "v2", "canaried request served by v2")
+        check(
+            np.array_equal(
+                np.asarray(detail["probabilities"]), expected["v2"][:1]
+            ),
+            "canary response bitwise-equal to offline v2",
+        )
+        client.canary(None)
+        check(client.routing()["canary"] is None, "canary cleared")
+
+        # shadow: candidate scores but never serves
+        client.shadow("v2")
+        detail = client.predict_tensors_detail(tensors[:1])
+        check(detail["version"] == "v1", "shadowed request still served by v1")
+        client.shadow(None)
+
+        # per-tenant throttle with Retry-After, ridden out by retries
+        client.predict_tensors(tensors[:1], tenant="slow")
+        try:
+            client.predict_tensors(tensors[:1], tenant="slow")
+            raise SystemExit("FAIL: second slow-tenant request not throttled")
+        except ServeClientError as exc:
+            check(
+                exc.status == 429 and exc.retry_after >= 1.0,
+                f"throttled with 429, Retry-After {exc.retry_after}",
+            )
+        retrier = ServeClient(client.base_url, timeout_s=60.0, retries=3)
+        retrier.predict_tensors(tensors[:1], tenant="slow")
+        check(retrier.last_retries >= 1, "client backoff rode out the 429")
+
+        # replica-labelled metrics in the exposition
+        text = client.metrics_text()
+        check(
+            any('replica="' in line for line in text.splitlines()),
+            "OpenMetrics carries per-replica labels",
+        )
+
+        # kill a replica; the fleet respawns and keeps serving
+        victim = engine.stats()["replicas"][0]["pid"]
+        os.kill(victim, signal.SIGKILL)
+        probs = client.predict_tensors(tensors[:1])
+        check(
+            np.array_equal(probs, expected["v1"][:1]),
+            "serving continued through replica SIGKILL",
+        )
+        import time
+
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            if engine.stats()["respawns"] >= 1:
+                break
+            time.sleep(0.1)
+        check(engine.stats()["respawns"] >= 1, "killed replica respawned")
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+        thread.join(5)
+    assert_no_leaked_segments()
+    print("ok: no leaked shared-memory segments")
+    print("fleet smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        main(Path(tmp))

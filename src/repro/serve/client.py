@@ -11,42 +11,111 @@ the server's JSONL log as one tree: ``client.request`` →
 ``trace_id`` (also echoed in the ``traceparent`` response header) is
 returned to callers via :meth:`ServeClient.last_trace_id` for feeding
 ``obs report --trace``.
+
+Retries: with ``retries > 0`` the client treats 429 (per-tenant
+throttle) and 503 (fleet saturation / mid-swap) as transient. The wait
+honours the server's ``Retry-After`` header when present, otherwise
+falls back to capped exponential backoff (``backoff_base_s * 2**n``,
+clamped to ``backoff_cap_s``). Other statuses surface immediately —
+retrying a 400 would just re-send a malformed request.
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ServeError
 from repro.obs.tracing import format_traceparent, span
 
+#: Statuses the client may transparently retry (with backoff).
+RETRYABLE_STATUSES = (429, 503)
+
 
 class ServeClientError(ServeError):
     """Non-2xx response from the serving API."""
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: Optional[float] = None,
+    ):
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
         detail = payload.get("detail", "") if isinstance(payload, dict) else payload
         error = payload.get("error", "error") if isinstance(payload, dict) else "error"
         super().__init__(f"HTTP {status}: {error}: {detail}")
 
 
-class ServeClient:
-    """Blocking JSON client over ``urllib`` (no external dependencies)."""
+def _parse_retry_after(value) -> Optional[float]:
+    """Delay seconds from a ``Retry-After`` header (None if unusable)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(str(value).strip())
+    except ValueError:
+        return None  # HTTP-date form unsupported; fall back to backoff
+    return max(0.0, seconds)
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+
+def _urllib_transport(
+    request: urllib.request.Request, timeout_s: float
+) -> Tuple[int, dict, bytes]:
+    """Default transport: ``(status, headers, body)`` via urllib."""
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers or {}), exc.read()
+
+
+class ServeClient:
+    """Blocking JSON client over ``urllib`` (no external dependencies).
+
+    ``transport`` and ``sleep`` are injectable for tests: a transport is
+    any callable ``(urllib.request.Request, timeout_s) -> (status,
+    headers, body_bytes)``.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        retries: int = 0,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 5.0,
+        transport: Optional[Callable] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        if backoff_base_s <= 0 or backoff_cap_s <= 0:
+            raise ServeError("backoff base/cap must be > 0")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._transport = transport or _urllib_transport
+        self._sleep = sleep
         #: Trace id of the most recent request (empty when tracing off).
         self.last_trace_id = ""
+        #: Retries performed by the most recent call (observability aid).
+        self.last_retries = 0
 
     # ------------------------------------------------------------------
+    def _retry_delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        if retry_after is not None:
+            return min(retry_after, self.backoff_cap_s)
+        return min(self.backoff_base_s * (2.0 ** attempt), self.backoff_cap_s)
+
     def _request(
         self,
         method: str,
@@ -54,54 +123,99 @@ class ServeClient:
         body: Optional[dict] = None,
         raw: bool = False,
         accept: Optional[str] = None,
+        headers: Optional[dict] = None,
     ):
         data = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"} if data else {}
+        base_headers = {"Content-Type": "application/json"} if data else {}
         if accept:
-            headers["Accept"] = accept
+            base_headers["Accept"] = accept
+        if headers:
+            base_headers.update(headers)
+        self.last_retries = 0
         with span("client.request", method=method, target=path) as record:
             context = record.context()
             if context is not None:
-                headers["traceparent"] = format_traceparent(context)
+                base_headers["traceparent"] = format_traceparent(context)
                 self.last_trace_id = record.trace_id
-            request = urllib.request.Request(
-                f"{self.base_url}{path}",
-                data=data,
-                method=method,
-                headers=headers,
-            )
-            try:
-                with urllib.request.urlopen(
-                    request, timeout=self.timeout_s
-                ) as response:
-                    payload = response.read().decode("utf-8")
-                    if raw:
-                        return payload
-                    return json.loads(payload)
-            except urllib.error.HTTPError as exc:
+            attempt = 0
+            while True:
+                request = urllib.request.Request(
+                    f"{self.base_url}{path}",
+                    data=data,
+                    method=method,
+                    headers=dict(base_headers),
+                )
+                status, response_headers, payload_bytes = self._transport(
+                    request, self.timeout_s
+                )
+                if 200 <= status < 300:
+                    text = payload_bytes.decode("utf-8")
+                    return text if raw else json.loads(text)
                 try:
-                    payload = json.loads(exc.read().decode("utf-8"))
+                    payload = json.loads(payload_bytes.decode("utf-8"))
                 except Exception:
-                    payload = {"error": "HTTPError", "detail": str(exc)}
-                raise ServeClientError(exc.code, payload) from exc
+                    payload = {"error": "HTTPError", "detail": f"HTTP {status}"}
+                retry_after = _parse_retry_after(
+                    _header_get(response_headers, "Retry-After")
+                )
+                error = ServeClientError(status, payload, retry_after=retry_after)
+                if status not in RETRYABLE_STATUSES or attempt >= self.retries:
+                    record.attrs["retries"] = attempt
+                    raise error
+                self._sleep(self._retry_delay(attempt, retry_after))
+                attempt += 1
+                self.last_retries = attempt
 
     # ------------------------------------------------------------------
-    def predict_tensors(self, tensors) -> np.ndarray:
+    def predict_tensors(
+        self,
+        tensors,
+        tenant: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> np.ndarray:
         """Score feature tensors; returns the ``(N, 2)`` probability rows."""
         tensors = np.asarray(tensors, dtype=np.float32)
         if tensors.ndim == 3:
             tensors = tensors[None]
-        payload = self._request(
-            "POST", "/v1/predict", {"tensors": tensors.tolist()}
-        )
+        payload = self.predict_tensors_detail(tensors, tenant=tenant, key=key)
         return np.asarray(payload["probabilities"], dtype=np.float64)
 
-    def predict_images(self, images: Sequence) -> np.ndarray:
+    def predict_tensors_detail(
+        self,
+        tensors,
+        tenant: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> dict:
+        """Like :meth:`predict_tensors` but returns the full response
+        (probabilities plus the ``version`` that scored the request)."""
+        tensors = np.asarray(tensors, dtype=np.float32)
+        if tensors.ndim == 3:
+            tensors = tensors[None]
+        body = {"tensors": tensors.tolist()}
+        headers = {}
+        if tenant is not None:
+            headers["X-Tenant"] = tenant
+        if key is not None:
+            headers["X-Request-Key"] = key
+        return self._request("POST", "/v1/predict", body, headers=headers)
+
+    def predict_images(
+        self,
+        images: Sequence,
+        tenant: Optional[str] = None,
+        key: Optional[str] = None,
+    ) -> np.ndarray:
         """Score raw square clip images (server runs feature extraction)."""
+        headers = {}
+        if tenant is not None:
+            headers["X-Tenant"] = tenant
+        if key is not None:
+            headers["X-Request-Key"] = key
         payload = self._request(
             "POST",
             "/v1/predict",
             {"images": [np.asarray(image).tolist() for image in images]},
+            headers=headers,
         )
         return np.asarray(payload["probabilities"], dtype=np.float64)
 
@@ -113,6 +227,29 @@ class ServeClient:
     def rollback(self, model: str = "default") -> dict:
         """Swap back to the previously served version."""
         return self._request("POST", f"/v1/models/{model}/rollback", {})
+
+    def canary(
+        self,
+        version: Optional[str],
+        fraction: float = 0.0,
+        model: str = "default",
+    ) -> dict:
+        """Set (or clear, with ``version=None``) fleet canary routing."""
+        body = (
+            {"version": version, "fraction": fraction}
+            if version is not None
+            else {}
+        )
+        return self._request("POST", f"/v1/models/{model}/canary", body)
+
+    def shadow(self, version: Optional[str], model: str = "default") -> dict:
+        """Set (or clear, with ``version=None``) fleet shadow scoring."""
+        body = {"version": version} if version is not None else {}
+        return self._request("POST", f"/v1/models/{model}/shadow", body)
+
+    def routing(self) -> dict:
+        """The fleet's routing state (stable/canary/shadow, replicas)."""
+        return self._request("GET", "/v1/routing")
 
     def health(self) -> dict:
         return self._request("GET", "/healthz")
@@ -126,3 +263,11 @@ class ServeClient:
     def metrics_text(self) -> str:
         """The OpenMetrics text exposition scraped from ``/metrics``."""
         return self._request("GET", "/metrics", raw=True)
+
+
+def _header_get(headers: dict, name: str):
+    """Case-insensitive header lookup over a plain dict."""
+    for key, value in headers.items():
+        if key.lower() == name.lower():
+            return value
+    return None

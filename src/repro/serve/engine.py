@@ -209,7 +209,13 @@ class InferenceEngine:
             )
         return batch
 
-    def submit(self, tensors) -> "Future[np.ndarray]":
+    def submit(
+        self,
+        tensors,
+        *,
+        tenant: str = "default",
+        key: Optional[str] = None,
+    ) -> "Future[np.ndarray]":
         """Queue feature tensors for scoring; returns a future of (N, 2).
 
         Raises :class:`QueueFullError` at capacity,
@@ -217,7 +223,13 @@ class InferenceEngine:
         :class:`ServeError` for tensors that do not match the active
         model's feature shape (rejected up front so one malformed request
         can never poison a whole micro-batch).
+
+        ``tenant``/``key`` exist for signature parity with
+        :class:`~repro.serve.fleet.FleetEngine`; the single-process
+        engine has no admission control or canary routing, so they are
+        accepted and ignored.
         """
+        del tenant, key
         batch = self._coerce_tensors(tensors)
         registry = get_registry()
         request = _Request(batch)
@@ -263,9 +275,15 @@ class InferenceEngine:
         )
         return tensors
 
-    def submit_images(self, images: Sequence) -> "Future[np.ndarray]":
+    def submit_images(
+        self,
+        images: Sequence,
+        *,
+        tenant: str = "default",
+        key: Optional[str] = None,
+    ) -> "Future[np.ndarray]":
         """Extract feature tensors from raw images, then :meth:`submit`."""
-        return self.submit(self.encode_images(images))
+        return self.submit(self.encode_images(images), tenant=tenant, key=key)
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -455,6 +473,17 @@ class InferenceEngine:
             "errors": registry.counter("serve.errors").value,
             "mean_batch_size": (samples / batches) if batches else 0.0,
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Process-registry snapshot (fleet-parity scrape surface).
+
+        The single-process engine records everything in the process
+        default registry; :class:`~repro.serve.fleet.FleetEngine`
+        overlays per-replica snapshots here, which is why the HTTP
+        ``/metrics`` endpoints scrape through this method instead of
+        reading :func:`~repro.obs.get_registry` directly.
+        """
+        return get_registry().snapshot()
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop intake and shut the workers down.

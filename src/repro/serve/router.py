@@ -1,0 +1,279 @@
+"""Request routing for the serving fleet: admission, canary, shadow.
+
+Three orthogonal concerns, composed by :class:`Router`:
+
+- **Admission** — per-tenant token buckets
+  (:class:`AdmissionController`). A tenant above its rate gets
+  :class:`~repro.exceptions.RateLimitedError` (HTTP 429 + Retry-After)
+  *before* its request touches the queue, so one noisy tenant cannot
+  starve the rest; whole-fleet saturation still surfaces as the existing
+  :class:`~repro.exceptions.QueueFullError` (503).
+- **Canary** — a deterministic hash split: request key ``k`` goes to the
+  candidate version iff ``sha256(salt:k)`` mapped into ``[0, 1)`` is
+  below the canary fraction. The same key always routes the same way
+  (sticky sessions for free), and fractions 0/1 degenerate exactly to
+  single-version routing.
+- **Shadow** — a candidate that scores every stable-routed request but
+  never serves: the fleet logs per-request score diffs through
+  ``repro.obs`` for offline comparison.
+
+Everything takes an injectable monotonic clock so the admission
+invariants are testable on a fake clock.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import RateLimitedError, ServeError
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class TenantRate:
+    """Admission budget for one tenant: sustained rps + burst headroom."""
+
+    rps: float
+    burst: float = 1.0
+
+    def __post_init__(self):
+        if not self.rps > 0:
+            raise ServeError(f"tenant rate must be > 0, got {self.rps}")
+        if not self.burst >= 1:
+            raise ServeError(f"tenant burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    Starts full (a fresh tenant may burst immediately). Thread-safe;
+    ``clock`` must be monotonic.
+    """
+
+    def __init__(self, rate: float, burst: float, clock: Clock = time.monotonic):
+        if not rate > 0:
+            raise ServeError(f"bucket rate must be > 0, got {rate}")
+        if not burst >= 1:
+            raise ServeError(f"bucket burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_admit(self) -> Tuple[bool, float]:
+        """``(admitted, retry_after_s)``; retry_after is 0 when admitted."""
+        with self._lock:
+            now = self._clock()
+            if now > self._last:
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._last) * self.rate
+                )
+            self._last = max(self._last, now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True, 0.0
+            return False, (1.0 - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+
+class AdmissionController:
+    """Lazy per-tenant token buckets.
+
+    ``per_tenant`` pins explicit budgets; ``default`` applies to any
+    other tenant (``None`` = unlimited, the pre-fleet behaviour).
+    """
+
+    def __init__(
+        self,
+        default: Optional[TenantRate] = None,
+        per_tenant: Optional[Mapping[str, TenantRate]] = None,
+        clock: Clock = time.monotonic,
+    ):
+        self.default = default
+        self._rates: Dict[str, TenantRate] = dict(per_tenant or {})
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def rate_for(self, tenant: str) -> Optional[TenantRate]:
+        return self._rates.get(tenant, self.default)
+
+    def _bucket_for(self, tenant: str) -> Optional[TokenBucket]:
+        rate = self.rate_for(tenant)
+        if rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(rate.rps, rate.burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Raise :class:`RateLimitedError` if ``tenant`` is over budget."""
+        bucket = self._bucket_for(tenant)
+        if bucket is None:
+            return
+        admitted, retry_after = bucket.try_admit()
+        if not admitted:
+            raise RateLimitedError(
+                f"tenant {tenant!r} over admission rate "
+                f"({bucket.rate:g} rps, burst {bucket.burst:g}); "
+                f"retry in {retry_after:.3f}s",
+                retry_after=retry_after,
+                tenant=tenant,
+            )
+
+    def describe(self) -> dict:
+        return {
+            "default": (
+                {"rps": self.default.rps, "burst": self.default.burst}
+                if self.default
+                else None
+            ),
+            "tenants": {
+                tenant: {"rps": rate.rps, "burst": rate.burst}
+                for tenant, rate in sorted(self._rates.items())
+            },
+        }
+
+
+def key_fraction(key: str, salt: str = "") -> float:
+    """Deterministic uniform mapping of a request key into ``[0, 1)``."""
+    digest = hashlib.sha256(f"{salt}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+class Router:
+    """Version routing state for a fleet: stable, canary, shadow."""
+
+    def __init__(
+        self,
+        admission: Optional[AdmissionController] = None,
+        salt: str = "",
+    ):
+        self.admission = admission or AdmissionController()
+        self.salt = salt
+        self._lock = threading.Lock()
+        self._stable: Optional[str] = None
+        self._canary: Optional[str] = None
+        self._fraction = 0.0
+        self._shadow: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_stable(self, version: str) -> None:
+        with self._lock:
+            self._stable = version
+            if self._canary == version:
+                self._canary, self._fraction = None, 0.0
+            if self._shadow == version:
+                self._shadow = None
+
+    def set_canary(self, version: str, fraction: float) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ServeError(
+                f"canary fraction must be in [0, 1], got {fraction}"
+            )
+        with self._lock:
+            if version == self._stable:
+                raise ServeError(
+                    f"canary version {version!r} is already stable"
+                )
+            self._canary, self._fraction = version, float(fraction)
+
+    def clear_canary(self) -> None:
+        with self._lock:
+            self._canary, self._fraction = None, 0.0
+
+    def set_shadow(self, version: str) -> None:
+        with self._lock:
+            if version == self._stable:
+                raise ServeError(
+                    f"shadow version {version!r} is already stable"
+                )
+            self._shadow = version
+
+    def clear_shadow(self) -> None:
+        with self._lock:
+            self._shadow = None
+
+    # ------------------------------------------------------------------
+    # Per-request decisions
+    # ------------------------------------------------------------------
+    def admit(self, tenant: str) -> None:
+        self.admission.admit(tenant)
+
+    def route(self, key: str) -> Tuple[str, Optional[str]]:
+        """``(serve_version, shadow_version_or_None)`` for a request key."""
+        with self._lock:
+            stable, canary, fraction, shadow = (
+                self._stable,
+                self._canary,
+                self._fraction,
+                self._shadow,
+            )
+        if stable is None:
+            raise ServeError("router has no stable version")
+        if canary is not None and key_fraction(key, self.salt) < fraction:
+            # Canaried requests are not shadowed: the diff stream compares
+            # candidate-vs-stable, and a canary hit already serves the
+            # candidate.
+            return canary, None
+        return stable, shadow
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def stable(self) -> Optional[str]:
+        return self._stable
+
+    @property
+    def canary(self) -> Optional[Tuple[str, float]]:
+        with self._lock:
+            if self._canary is None:
+                return None
+            return self._canary, self._fraction
+
+    @property
+    def shadow(self) -> Optional[str]:
+        return self._shadow
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "stable": self._stable,
+                "canary": (
+                    {"version": self._canary, "fraction": self._fraction}
+                    if self._canary is not None
+                    else None
+                ),
+                "shadow": self._shadow,
+                "admission": self.admission.describe(),
+            }
+
+    def referenced_versions(self) -> Tuple[str, ...]:
+        """Every version the router may currently need (for segment GC)."""
+        with self._lock:
+            return tuple(
+                sorted(
+                    {
+                        v
+                        for v in (self._stable, self._canary, self._shadow)
+                        if v is not None
+                    }
+                )
+            )

@@ -1,0 +1,391 @@
+"""Shared-memory model publication for the serving fleet.
+
+The fleet front-end publishes each served model version **once** into a
+POSIX shared-memory segment (``multiprocessing.shared_memory``); every
+replica process attaches the segment read-only and binds its network
+parameters to zero-copy numpy views over it. N replicas therefore share
+one physical copy of the weights instead of N.
+
+Segment layout (all integers little-endian)::
+
+    [ 0..8)   magic  b"RPROSHM1"
+    [ 8..16)  header JSON length (uint64)
+    [16..24)  payload offset from segment start (uint64)
+    [24..32)  payload length in bytes (uint64)
+    [32..40)  CRC-32 of the header JSON (uint64)
+    [40..48)  CRC-32 of the payload (uint64)
+    [48..)    header JSON (utf-8)
+    [payload_offset..)  64-byte-aligned array payload
+
+The header JSON carries the model version, the full ``DetectorConfig``
+dict, the scaler state, and an array table (role, dtype, shape, offset
+within the payload). :meth:`SharedModel.attach` verifies magic and both
+CRCs before any array view is handed out; a mismatch raises
+:class:`~repro.exceptions.CheckpointCorruptError` and the replica
+refuses to serve that version.
+
+Lifecycle: the *fleet* owns every segment it creates — segments are
+unlinked on clean shutdown and swept by :func:`sweep_stale_segments` on
+the next fleet start if the creator crashed (segment names embed the
+creator pid, so liveness is checkable). CPython's ``resource_tracker``
+double-registers ``SharedMemory`` on both create *and* attach, which
+would spam "leaked shared_memory" warnings and unlink segments while
+siblings still use them, so both sides unregister and lifecycle is
+managed here explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import struct
+import zlib
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import CheckpointCorruptError, FleetError
+from repro.core.detector import DETECTOR_CHECKPOINT_KIND, HotspotDetector
+from repro.core.config import DetectorConfig
+from repro.features.scaler import ChannelScaler
+
+#: Segment-name prefix; full names are ``repro-fleet-<pid>-<token>``.
+SEGMENT_PREFIX = "repro-fleet"
+
+_MAGIC = b"RPROSHM1"
+_FIXED = struct.Struct("<8sQQQQQ")  # magic, jsonlen, payoff, paylen, crcs
+_ALIGN = 64
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from the resource tracker (we manage lifecycle)."""
+    try:
+        resource_tracker.unregister(f"/{name.lstrip('/')}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def _segment_name() -> str:
+    return f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedModel:
+    """One model version in a shared-memory segment.
+
+    Create with :meth:`publish` (owner side, front-end process) or
+    :meth:`attach` (replica side). The owner calls :meth:`unlink` when
+    the version leaves the serving set; attachers call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        header: dict,
+        payload_offset: int,
+        owner: bool,
+    ):
+        self._shm = shm
+        self._header = header
+        self._payload_offset = payload_offset
+        self._owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def version(self) -> str:
+        return self._header["version"]
+
+    @property
+    def config(self) -> dict:
+        return self._header["config"]
+
+    @property
+    def nbytes(self) -> int:
+        return self._payload_offset + int(self._header["payload_nbytes"])
+
+    # ------------------------------------------------------------------
+    # Publish / attach
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(
+        cls, state: dict, version: str, name: Optional[str] = None
+    ) -> "SharedModel":
+        """Write a detector state tree into a fresh segment (owner side)."""
+        if state.get("kind") != DETECTOR_CHECKPOINT_KIND:
+            raise FleetError(
+                f"cannot publish kind {state.get('kind')!r} to shared memory"
+            )
+        try:
+            weights = list(state["weights"])
+            scaler = state["scaler"]
+            arrays = [("weight", np.ascontiguousarray(w)) for w in weights]
+            arrays.append(
+                ("scaler_mean", np.ascontiguousarray(scaler["mean"]))
+            )
+            arrays.append(("scaler_std", np.ascontiguousarray(scaler["std"])))
+            config = dict(state["config"])
+        except (KeyError, TypeError) as exc:
+            raise FleetError(f"state tree missing field: {exc}") from exc
+
+        table: List[dict] = []
+        offset = 0
+        for role, array in arrays:
+            offset = _aligned(offset)
+            table.append(
+                {
+                    "role": role,
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": offset,
+                }
+            )
+            offset += array.nbytes
+        payload_nbytes = offset
+
+        header = {
+            "version": version,
+            "config": config,
+            "arrays": table,
+            "payload_nbytes": payload_nbytes,
+        }
+        header_json = json.dumps(header, sort_keys=True).encode("utf-8")
+        payload_offset = _aligned(_FIXED.size + len(header_json))
+        total = max(1, payload_offset + payload_nbytes)
+
+        shm = shared_memory.SharedMemory(
+            create=True, size=total, name=name or _segment_name()
+        )
+        _untrack(shm.name)
+        try:
+            buf = shm.buf
+            for entry, (_, array) in zip(table, arrays):
+                start = payload_offset + entry["offset"]
+                buf[start : start + array.nbytes] = array.tobytes()
+            payload = bytes(buf[payload_offset : payload_offset + payload_nbytes])
+            buf[: _FIXED.size] = _FIXED.pack(
+                _MAGIC,
+                len(header_json),
+                payload_offset,
+                payload_nbytes,
+                zlib.crc32(header_json),
+                zlib.crc32(payload),
+            )
+            buf[_FIXED.size : _FIXED.size + len(header_json)] = header_json
+        except Exception:
+            shm.close()
+            try:  # rebalance the tracker (see SharedModel.unlink)
+                resource_tracker.register(
+                    f"/{shm.name.lstrip('/')}", "shared_memory"
+                )
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            raise
+        return cls(shm, header, payload_offset, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedModel":
+        """Attach and fully verify an existing segment (replica side)."""
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as exc:
+            raise FleetError(f"shared segment {name!r} does not exist") from exc
+        _untrack(shm.name)
+        try:
+            buf = shm.buf
+            if len(buf) < _FIXED.size:
+                raise CheckpointCorruptError(
+                    f"segment {name!r}: truncated ({len(buf)} bytes)"
+                )
+            magic, json_len, payload_offset, payload_nbytes, crc_h, crc_p = (
+                _FIXED.unpack_from(buf, 0)
+            )
+            if magic != _MAGIC:
+                raise CheckpointCorruptError(
+                    f"segment {name!r}: bad magic {bytes(magic)!r}"
+                )
+            end = payload_offset + payload_nbytes
+            if _FIXED.size + json_len > len(buf) or end > len(buf):
+                raise CheckpointCorruptError(
+                    f"segment {name!r}: header claims {end} bytes, "
+                    f"segment has {len(buf)}"
+                )
+            header_json = bytes(buf[_FIXED.size : _FIXED.size + json_len])
+            if zlib.crc32(header_json) != crc_h:
+                raise CheckpointCorruptError(
+                    f"segment {name!r}: header CRC mismatch"
+                )
+            payload = bytes(buf[payload_offset:end])
+            if zlib.crc32(payload) != crc_p:
+                raise CheckpointCorruptError(
+                    f"segment {name!r}: payload CRC mismatch "
+                    f"(expected {crc_p:#010x}, got {zlib.crc32(payload):#010x})"
+                )
+            header = json.loads(header_json.decode("utf-8"))
+        except Exception:
+            shm.close()
+            raise
+        return cls(shm, header, payload_offset, owner=False)
+
+    # ------------------------------------------------------------------
+    # Zero-copy detector
+    # ------------------------------------------------------------------
+    def _view(self, entry: dict) -> np.ndarray:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        view = np.frombuffer(
+            self._shm.buf,
+            dtype=dtype,
+            count=count,
+            offset=self._payload_offset + int(entry["offset"]),
+        ).reshape(shape)
+        view.flags.writeable = False
+        return view
+
+    def detector(self) -> HotspotDetector:
+        """Build a detector whose parameters *view* the segment (no copy).
+
+        ``Sequential.set_weights`` copies, so the views are bound directly
+        to ``Parameter.value``. Parameters are read-only: this detector is
+        for inference only, never training.
+        """
+        detector = HotspotDetector(DetectorConfig.from_dict(self.config))
+        detector.network = detector._build_network()
+        params = detector.network.parameters()
+        weight_entries = [
+            e for e in self._header["arrays"] if e["role"] == "weight"
+        ]
+        if len(params) != len(weight_entries):
+            raise CheckpointCorruptError(
+                f"segment {self.name!r}: {len(weight_entries)} weight arrays "
+                f"for a network with {len(params)} parameters"
+            )
+        for param, entry in zip(params, weight_entries):
+            view = self._view(entry)
+            if tuple(view.shape) != tuple(param.value.shape):
+                raise CheckpointCorruptError(
+                    f"segment {self.name!r}: weight shape {view.shape} does "
+                    f"not match parameter {param.name!r} {param.value.shape}"
+                )
+            param.value = view
+            # Inference never touches grads; keep a minimal placeholder
+            # instead of a full-size private copy per replica.
+            param.grad = np.zeros((), dtype=view.dtype)
+        by_role = {e["role"]: e for e in self._header["arrays"]}
+        try:
+            mean = self._view(by_role["scaler_mean"])
+            std = self._view(by_role["scaler_std"])
+        except KeyError as exc:
+            raise CheckpointCorruptError(
+                f"segment {self.name!r}: missing scaler array {exc}"
+            ) from exc
+        detector.scaler = ChannelScaler.from_state(mean, std)
+        return detector
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach this process's mapping (both sides)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live numpy views still point into the mapping (e.g. a
+            # detector that scored a request this instant). The mapping
+            # is reclaimed when the views die or the process exits; the
+            # segment itself is still freed by unlink().
+            self._closed = False
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner side).
+
+        ``SharedMemory.unlink`` unregisters from the resource tracker as
+        a side effect; :func:`_untrack` already removed the name at open
+        time, so re-register first to keep the tracker's register/
+        unregister pairs balanced (an unbalanced unregister crashes the
+        tracker thread with a KeyError at interpreter exit).
+        """
+        try:
+            resource_tracker.register(
+                f"/{self._shm.name.lstrip('/')}", "shared_memory"
+            )
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            # Already gone (raced with a sweeper); shm_unlink raised
+            # before the tracker unregister ran, so rebalance ourselves.
+            _untrack(self._shm.name)
+
+
+def _pid_of_segment(name: str, prefix: str = SEGMENT_PREFIX) -> Optional[int]:
+    if not name.startswith(prefix + "-"):
+        return None
+    rest = name[len(prefix) + 1 :]
+    pid = rest.split("-", 1)[0]
+    return int(pid) if pid.isdigit() else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def list_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Names of live ``/dev/shm`` segments created under ``prefix``."""
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        entry.name
+        for entry in shm_dir.glob(f"{prefix}-*")
+        if _pid_of_segment(entry.name, prefix) is not None
+    )
+
+
+def sweep_stale_segments(prefix: str = SEGMENT_PREFIX) -> List[str]:
+    """Unlink segments whose creator process is gone (crash cleanup).
+
+    Called on fleet start so a SIGKILLed predecessor never leaks
+    ``/dev/shm`` space across restarts. Returns the removed names.
+    """
+    shm_dir = Path("/dev/shm")
+    removed: List[str] = []
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return removed
+    for entry in shm_dir.glob(f"{prefix}-*"):
+        pid = _pid_of_segment(entry.name, prefix)
+        if pid is None or _pid_alive(pid):
+            continue
+        try:
+            entry.unlink()
+            removed.append(entry.name)
+        except OSError:  # pragma: no cover - raced with another sweeper
+            pass
+    return sorted(removed)

@@ -1,0 +1,337 @@
+"""Fleet conformance and load-test harness.
+
+Drives a serving fleet (in-process :class:`~repro.serve.fleet.FleetEngine`
+or a live HTTP endpoint via :class:`~repro.serve.client.ServeClient`) with
+concurrent mixed-tenant traffic and checks the invariants the serving
+tier promises:
+
+- **No dropped requests** — every submitted request resolves to exactly
+  one terminal outcome (a scored response or a documented error status).
+- **Only documented errors** — under admission throttling and queue
+  saturation the only client-visible failures are 429 and 503; anything
+  else (a 500, a connection reset, an unexplained exception) is a bug.
+- **Bitwise fidelity** — every 200 response is bitwise-equal
+  (``atol=0``) to offline single-request
+  :meth:`~repro.core.detector.HotspotDetector.predict_proba_tensors`
+  scoring on the version that served it, no matter how many replicas,
+  tenants, or concurrent requests were in flight.
+- **No leaked shared memory** — after ``close()`` the fleet leaves no
+  ``repro-fleet-*`` segments behind.
+
+The harness lives in ``repro.testing`` (not ``tests/``) so CI smoke
+scripts and benchmarks can reuse the same checkers the test suite runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import (
+    QueueFullError,
+    RateLimitedError,
+    ServeError,
+)
+
+#: A sender scores one single-sample tensor batch for (tenant, key) and
+#: returns ``(status, probabilities | None, version | None)``.
+Sender = Callable[[np.ndarray, str, Optional[str]], Tuple[int, Optional[np.ndarray], Optional[str]]]
+
+
+@dataclass
+class RequestOutcome:
+    """Terminal result of one load-generator request."""
+
+    index: int
+    sample_index: int
+    tenant: str
+    key: Optional[str]
+    status: int
+    probabilities: Optional[np.ndarray] = None
+    version: Optional[str] = None
+    error: str = ""
+    latency_s: float = 0.0
+
+
+@dataclass
+class LoadReport:
+    """Everything a load run produced, with invariant checkers attached."""
+
+    submitted: int
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    # -- views ---------------------------------------------------------
+    @property
+    def ok(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == 200]
+
+    @property
+    def throttled(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == 429]
+
+    @property
+    def saturated(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == 503]
+
+    def with_status(self, status: int) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if o.status == status]
+
+    def by_tenant(self) -> Dict[str, List[RequestOutcome]]:
+        grouped: Dict[str, List[RequestOutcome]] = {}
+        for outcome in self.outcomes:
+            grouped.setdefault(outcome.tenant, []).append(outcome)
+        return grouped
+
+    def versions_served(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for outcome in self.ok:
+            counts[outcome.version or "?"] = counts.get(outcome.version or "?", 0) + 1
+        return counts
+
+    # -- invariants ----------------------------------------------------
+    def assert_no_dropped(self) -> None:
+        """Every submitted request reached exactly one terminal outcome."""
+        if len(self.outcomes) != self.submitted:
+            raise AssertionError(
+                f"dropped requests: submitted {self.submitted}, "
+                f"got {len(self.outcomes)} outcomes"
+            )
+        indices = sorted(o.index for o in self.outcomes)
+        if indices != list(range(self.submitted)):
+            raise AssertionError("duplicate or missing request indices")
+
+    def assert_only_documented_errors(
+        self, allowed: Sequence[int] = (429, 503)
+    ) -> None:
+        """Non-200 outcomes are all in ``allowed`` (throttle/saturation)."""
+        bad = [
+            o
+            for o in self.outcomes
+            if o.status != 200 and o.status not in tuple(allowed)
+        ]
+        if bad:
+            sample = bad[0]
+            raise AssertionError(
+                f"{len(bad)} undocumented failures, e.g. request "
+                f"{sample.index} (tenant {sample.tenant!r}): "
+                f"HTTP {sample.status} {sample.error}"
+            )
+
+    def assert_bitwise_vs_offline(
+        self, expected: Mapping[str, np.ndarray]
+    ) -> None:
+        """Every 200 response equals offline scoring bitwise (``atol=0``).
+
+        ``expected`` maps version name to the offline per-sample
+        probability table ``(n_samples, 2)`` for the batch the generator
+        drew from (one ``predict_proba_tensors`` call per sample).
+        """
+        for outcome in self.ok:
+            if outcome.version is None:
+                raise AssertionError(
+                    f"request {outcome.index}: 200 response missing version"
+                )
+            if outcome.version not in expected:
+                raise AssertionError(
+                    f"request {outcome.index}: served by unexpected "
+                    f"version {outcome.version!r}"
+                )
+            want = np.asarray(expected[outcome.version])[
+                outcome.sample_index : outcome.sample_index + 1
+            ]
+            got = np.asarray(outcome.probabilities)
+            if got.shape != want.shape or not np.array_equal(got, want):
+                raise AssertionError(
+                    f"request {outcome.index} (version {outcome.version}, "
+                    f"sample {outcome.sample_index}): response not "
+                    f"bitwise-equal to offline scoring\n"
+                    f"  served:  {got.tolist()}\n"
+                    f"  offline: {want.tolist()}"
+                )
+
+    def summary(self) -> str:
+        rps = len(self.outcomes) / self.duration_s if self.duration_s else 0.0
+        return (
+            f"{self.submitted} requests in {self.duration_s:.2f}s "
+            f"({rps:.0f} rps): {len(self.ok)} ok, "
+            f"{len(self.throttled)} throttled, "
+            f"{len(self.saturated)} saturated, "
+            f"{len(self.outcomes) - len(self.ok) - len(self.throttled) - len(self.saturated)} other"
+        )
+
+
+def offline_expectations(
+    detectors: Mapping[str, "object"], batch: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Per-sample offline probability tables, one scoring call per sample.
+
+    Single-sample calls are the fidelity baseline: the fleet scores each
+    request in its own ``predict_proba_tensors`` call precisely so that
+    responses are bitwise-reproducible regardless of batching, and GEMM
+    backends are not guaranteed row-stable across batch shapes.
+    """
+    expected: Dict[str, np.ndarray] = {}
+    for version, detector in detectors.items():
+        rows = [
+            detector.predict_proba_tensors(batch[i : i + 1])
+            for i in range(len(batch))
+        ]
+        expected[version] = np.concatenate(rows, axis=0)
+    return expected
+
+
+def engine_sender(engine) -> Sender:
+    """Sender adapter over an in-process engine (fleet or single)."""
+
+    def send(tensors, tenant, key):
+        try:
+            future = engine.submit(tensors, tenant=tenant, key=key)
+            probabilities = future.result(timeout=60.0)
+            version = getattr(future, "version", None) or engine.model_version
+            return 200, probabilities, version
+        except RateLimitedError:
+            return 429, None, None
+        except QueueFullError:
+            return 503, None, None
+
+    return send
+
+
+def client_sender(client) -> Sender:
+    """Sender adapter over a :class:`~repro.serve.client.ServeClient`."""
+    from repro.serve.client import ServeClientError
+
+    def send(tensors, tenant, key):
+        try:
+            payload = client.predict_tensors_detail(
+                tensors, tenant=tenant, key=key
+            )
+            probabilities = np.asarray(payload["probabilities"], dtype=np.float64)
+            return 200, probabilities, payload.get("version")
+        except ServeClientError as exc:
+            return exc.status, None, None
+
+    return send
+
+
+class FleetLoadGenerator:
+    """Concurrent mixed-tenant load against a sender.
+
+    ``threads`` workers start behind a barrier and issue single-sample
+    requests round-robin over ``batch``; request ``i`` uses tenant
+    ``tenants[i % len(tenants)]`` and sample ``i % len(batch)``, so a
+    report can be checked bitwise against :func:`offline_expectations`.
+    """
+
+    def __init__(
+        self,
+        sender: Sender,
+        batch: np.ndarray,
+        requests: int,
+        tenants: Sequence[str] = ("default",),
+        threads: int = 8,
+        key_fn: Optional[Callable[[int], Optional[str]]] = None,
+        mid_run_hook: Optional[Callable[[], None]] = None,
+        hook_at: float = 0.5,
+    ):
+        if requests <= 0:
+            raise ServeError(f"requests must be > 0, got {requests}")
+        if threads <= 0:
+            raise ServeError(f"threads must be > 0, got {threads}")
+        self.sender = sender
+        self.batch = np.asarray(batch)
+        self.requests = int(requests)
+        self.tenants = tuple(tenants) or ("default",)
+        self.threads = int(min(threads, requests))
+        self.key_fn = key_fn
+        self.mid_run_hook = mid_run_hook
+        self.hook_index = int(requests * hook_at)
+
+    def run(self) -> LoadReport:
+        outcomes: List[RequestOutcome] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(self.threads)
+        counter = {"next": 0, "hook_fired": False}
+
+        def claim() -> int:
+            with lock:
+                index = counter["next"]
+                if index >= self.requests:
+                    return -1
+                counter["next"] = index + 1
+                fire = (
+                    self.mid_run_hook is not None
+                    and not counter["hook_fired"]
+                    and index >= self.hook_index
+                )
+                if fire:
+                    counter["hook_fired"] = True
+            if fire:
+                self.mid_run_hook()
+            return index
+
+        def worker():
+            barrier.wait()
+            while True:
+                index = claim()
+                if index < 0:
+                    return
+                sample = index % len(self.batch)
+                tenant = self.tenants[index % len(self.tenants)]
+                key = self.key_fn(index) if self.key_fn else None
+                tensors = self.batch[sample : sample + 1]
+                started = time.monotonic()
+                try:
+                    status, probabilities, version = self.sender(
+                        tensors, tenant, key
+                    )
+                    outcome = RequestOutcome(
+                        index=index,
+                        sample_index=sample,
+                        tenant=tenant,
+                        key=key,
+                        status=status,
+                        probabilities=probabilities,
+                        version=version,
+                        latency_s=time.monotonic() - started,
+                    )
+                except BaseException as exc:  # undocumented failure
+                    outcome = RequestOutcome(
+                        index=index,
+                        sample_index=sample,
+                        tenant=tenant,
+                        key=key,
+                        status=-1,
+                        error=f"{type(exc).__name__}: {exc}",
+                        latency_s=time.monotonic() - started,
+                    )
+                with lock:
+                    outcomes.append(outcome)
+
+        started = time.monotonic()
+        workers = [
+            threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+            for i in range(self.threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        duration = time.monotonic() - started
+        return LoadReport(
+            submitted=self.requests, outcomes=outcomes, duration_s=duration
+        )
+
+
+def assert_no_leaked_segments() -> None:
+    """No ``repro-fleet-*`` shared-memory segments remain in /dev/shm."""
+    from repro.serve.shm import list_segments
+
+    leaked = list_segments()
+    if leaked:
+        raise AssertionError(f"leaked shared-memory segments: {leaked}")

@@ -47,6 +47,20 @@ def serve_results(rps=1000.0, p95=0.01):
             "p95_on_s": p95,
             "p95_off_s": p95,
         },
+        "fleet": {
+            "cpu_count": 4,
+            "single_process_rps": rps,
+            "replicas_sweep": [
+                {
+                    "replicas": 4,
+                    "requests": 100,
+                    "seconds": 1.0,
+                    "requests_per_second": rps,
+                    "p95_latency_s": p95,
+                    "speedup_vs_single_process": 1.0,
+                }
+            ],
+        },
     }
 
 
@@ -135,6 +149,20 @@ class TestCheckSchema:
         del doc["results"]["tracing"]
         problems = checker.check_schema(Path("BENCH_serve.json"), doc)
         assert any("tracing" in p for p in problems)
+
+    def test_serve_artifact_needs_fleet_section(self):
+        doc = envelope(serve_results())
+        del doc["results"]["fleet"]
+        problems = checker.check_schema(Path("BENCH_serve.json"), doc)
+        assert any("fleet" in p for p in problems)
+
+    def test_fleet_sweep_entries_validated(self):
+        doc = envelope(serve_results())
+        del doc["results"]["fleet"]["replicas_sweep"][0][
+            "speedup_vs_single_process"
+        ]
+        problems = checker.check_schema(Path("BENCH_serve.json"), doc)
+        assert any("speedup_vs_single_process" in p for p in problems)
 
     def test_non_serve_artifact_skips_serve_rules(self):
         doc = envelope({"scan_seconds": 1.0})

@@ -1,0 +1,146 @@
+"""Fleet behind the HTTP front-end: real sockets, real replica
+processes, driven through ServeClient — predict fidelity, routing
+control endpoints, per-tenant 429s, and replica-labelled metrics."""
+
+import contextlib
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    FleetConfig,
+    FleetEngine,
+    ModelRegistry,
+    Router,
+    ServeClient,
+    ServeClientError,
+    TenantRate,
+    make_server,
+)
+from repro.testing.fleet import assert_no_leaked_segments
+
+
+@contextlib.contextmanager
+def fleet_serving(registry, replicas=2, router=None, **config):
+    engine = FleetEngine(
+        registry,
+        FleetConfig(replicas=replicas, **config),
+        router=router,
+        version="v1",
+    )
+    server = make_server(engine, registry, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield ServeClient(f"http://127.0.0.1:{server.port}"), engine
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+        thread.join(5)
+    assert_no_leaked_segments()
+
+
+@pytest.fixture
+def registry(tmp_path, trained_detector, second_detector):
+    registry = ModelRegistry(tmp_path / "models")
+    registry.publish(trained_detector, "v1")
+    registry.publish(second_detector, "v2")
+    registry.activate("v1")
+    return registry
+
+
+class TestFleetHTTP:
+    def test_predict_bitwise_and_version(
+        self, registry, trained_detector, feature_batch
+    ):
+        with fleet_serving(registry) as (client, _):
+            payload = client.predict_tensors_detail(
+                feature_batch[:1], tenant="opc", key="clip-1"
+            )
+        assert payload["version"] == "v1"
+        assert payload["tenant"] == "opc"
+        got = np.asarray(payload["probabilities"])
+        want = trained_detector.predict_proba_tensors(feature_batch[:1])
+        np.testing.assert_array_equal(got, want)
+
+    def test_canary_and_routing_endpoints(self, registry, feature_batch):
+        with fleet_serving(registry) as (client, _):
+            result = client.canary("v2", 0.25)
+            assert result["canary"]["version"] == "v2"
+            assert result["canary"]["fraction"] == 0.25
+            routing = client.routing()
+            assert routing["stable"] == "v1"
+            assert routing["canary"] == {"version": "v2", "fraction": 0.25}
+            assert len(routing["replicas"]) == 2
+            result = client.canary(None)
+            assert result["canary"] is None
+
+    def test_shadow_endpoint(self, registry):
+        with fleet_serving(registry) as (client, _):
+            result = client.shadow("v2")
+            assert result["shadow"] == "v2"
+            assert client.routing()["shadow"] == "v2"
+            result = client.shadow(None)
+            assert result["shadow"] is None
+
+    def test_reload_and_rollback_fleet(
+        self, registry, second_detector, feature_batch
+    ):
+        with fleet_serving(registry) as (client, _):
+            client.reload("v2")
+            payload = client.predict_tensors_detail(feature_batch[:1])
+            assert payload["version"] == "v2"
+            got = np.asarray(payload["probabilities"])
+            want = second_detector.predict_proba_tensors(feature_batch[:1])
+            np.testing.assert_array_equal(got, want)
+            client.rollback()
+            assert client.routing()["stable"] == "v1"
+
+    def test_tenant_429_with_retry_after(self, registry, feature_batch):
+        router = Router(
+            AdmissionController(per_tenant={"slow": TenantRate(0.5, 1.0)})
+        )
+        with fleet_serving(registry, router=router) as (client, _):
+            client.predict_tensors(feature_batch[:1], tenant="slow")
+            with pytest.raises(ServeClientError) as excinfo:
+                client.predict_tensors(feature_batch[:1], tenant="slow")
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1.0
+            # other tenants sail through
+            client.predict_tensors(feature_batch[:1], tenant="fast")
+
+    def test_metrics_carry_replica_labels(self, registry, feature_batch):
+        with fleet_serving(registry) as (client, _):
+            for i in range(4):
+                client.predict_tensors(feature_batch[i : i + 1])
+            text = client.metrics_text()
+        labelled = [
+            line
+            for line in text.splitlines()
+            if "serve_replica_requests" in line and 'replica="' in line
+        ]
+        assert labelled, "no replica-labelled metrics in exposition"
+
+    def test_routing_endpoint_requires_fleet(
+        self, registry, trained_detector
+    ):
+        from repro.serve import EngineConfig, InferenceEngine
+
+        engine = InferenceEngine(registry, EngineConfig())
+        server = make_server(engine, registry, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(f"http://127.0.0.1:{server.port}")
+            with pytest.raises(ServeClientError) as excinfo:
+                client.routing()
+            assert excinfo.value.status == 400  # ServeError → client error
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+            thread.join(5)

@@ -1,0 +1,214 @@
+"""Property tests for the fleet router: canary hash-split determinism and
+convergence, and token-bucket admission bounds on a fake clock."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import RateLimitedError, ServeError
+from repro.serve.router import (
+    AdmissionController,
+    Router,
+    TenantRate,
+    TokenBucket,
+    key_fraction,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for token-bucket tests."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = float(now)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# canary hash split
+# ----------------------------------------------------------------------
+class TestKeyFraction:
+    @given(st.text(min_size=1, max_size=64), st.text(max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_and_bounded(self, key, salt):
+        first = key_fraction(key, salt)
+        assert first == key_fraction(key, salt)
+        assert 0.0 <= first < 1.0
+
+    def test_salt_changes_split(self):
+        keys = [f"clip-{i}" for i in range(256)]
+        a = {k for k in keys if key_fraction(k, "salt-a") < 0.5}
+        b = {k for k in keys if key_fraction(k, "salt-b") < 0.5}
+        assert a != b  # astronomically unlikely to collide on 256 keys
+
+
+class TestCanaryRouting:
+    def _router(self, fraction):
+        router = Router()
+        router.set_stable("stable")
+        if fraction is not None:
+            router.set_canary("canary", fraction)
+        return router
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=25, deadline=None)
+    def test_proportion_converges(self, fraction):
+        router = self._router(fraction)
+        n = 4000
+        hits = sum(
+            1
+            for i in range(n)
+            if router.route(f"key-{i}")[0] == "canary"
+        )
+        observed = hits / n
+        # 4000 hash draws: ~6 sigma of a Bernoulli mean is well under 0.05
+        tolerance = 6.0 * math.sqrt(fraction * (1.0 - fraction) / n) + 0.01
+        assert abs(observed - fraction) < max(tolerance, 0.05)
+
+    @given(st.text(min_size=1, max_size=32))
+    @settings(max_examples=50, deadline=None)
+    def test_per_key_deterministic(self, key):
+        router = self._router(0.37)
+        first = router.route(key)
+        assert all(router.route(key) == first for _ in range(5))
+
+    def test_fraction_zero_never_canaries(self):
+        router = self._router(0.0)
+        assert all(
+            router.route(f"key-{i}")[0] == "stable" for i in range(500)
+        )
+
+    def test_fraction_one_always_canaries(self):
+        router = self._router(1.0)
+        assert all(
+            router.route(f"key-{i}")[0] == "canary" for i in range(500)
+        )
+
+    def test_no_canary_routes_stable(self):
+        router = self._router(None)
+        version, shadow = router.route("any")
+        assert version == "stable" and shadow is None
+
+    def test_canaried_requests_are_not_shadowed(self):
+        router = self._router(1.0)
+        router.set_shadow("candidate")
+        version, shadow = router.route("key")
+        assert version == "canary" and shadow is None
+
+    def test_stable_requests_carry_shadow(self):
+        router = self._router(0.0)
+        router.set_shadow("candidate")
+        version, shadow = router.route("key")
+        assert version == "stable" and shadow == "candidate"
+
+    def test_invalid_fraction_rejected(self):
+        router = self._router(None)
+        with pytest.raises(ServeError):
+            router.set_canary("canary", -0.1)
+        with pytest.raises(ServeError):
+            router.set_canary("canary", 1.5)
+
+    def test_canary_must_differ_from_stable(self):
+        router = self._router(None)
+        with pytest.raises(ServeError):
+            router.set_canary("stable", 0.5)
+
+
+# ----------------------------------------------------------------------
+# token bucket
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    @given(
+        rate=st.floats(min_value=0.5, max_value=200.0),
+        burst=st.floats(min_value=1.0, max_value=20.0),
+        steps=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=200
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_never_admits_above_rate_plus_burst(self, rate, burst, steps):
+        clock = FakeClock()
+        bucket = TokenBucket(rate, burst, clock=clock)
+        admitted = 0
+        for step in steps:
+            clock.advance(step)
+            ok, retry_after = bucket.try_admit()
+            if ok:
+                admitted += 1
+            else:
+                assert retry_after > 0.0
+        elapsed = sum(steps)
+        assert admitted <= rate * elapsed + burst + 1e-6
+
+    @given(
+        rate=st.floats(min_value=0.5, max_value=100.0),
+        n=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_admits_at_or_below_rate(self, rate, n):
+        clock = FakeClock()
+        bucket = TokenBucket(rate, 1.0, clock=clock)
+        assert bucket.try_admit()[0]  # bucket starts full
+        # nudge past 1/rate so float rounding can't leave 0.999... tokens
+        interval = (1.0 / rate) * (1.0 + 1e-9)
+        for _ in range(n):
+            clock.advance(interval)
+            assert bucket.try_admit()[0]
+
+    def test_retry_after_predicts_admission(self):
+        clock = FakeClock()
+        bucket = TokenBucket(2.0, 1.0, clock=clock)
+        assert bucket.try_admit()[0]
+        ok, retry_after = bucket.try_admit()
+        assert not ok
+        clock.advance(retry_after)
+        assert bucket.try_admit()[0]
+
+    def test_burst_allows_initial_spike(self):
+        clock = FakeClock()
+        bucket = TokenBucket(1.0, 5.0, clock=clock)
+        assert sum(bucket.try_admit()[0] for _ in range(10)) == 5
+
+
+class TestAdmissionController:
+    def test_tenants_are_independent(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            default=TenantRate(1.0, 1.0), clock=clock
+        )
+        controller.admit("a")
+        with pytest.raises(RateLimitedError):
+            controller.admit("a")
+        controller.admit("b")  # unaffected by tenant a's exhaustion
+
+    def test_per_tenant_overrides_default(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            default=TenantRate(1.0, 1.0),
+            per_tenant={"big": TenantRate(100.0, 10.0)},
+            clock=clock,
+        )
+        for _ in range(10):
+            controller.admit("big")
+        controller.admit("small")
+        with pytest.raises(RateLimitedError) as excinfo:
+            controller.admit("small")
+        assert excinfo.value.tenant == "small"
+        assert excinfo.value.retry_after > 0.0
+
+    def test_no_default_admits_everything(self):
+        controller = AdmissionController(clock=FakeClock())
+        for _ in range(1000):
+            controller.admit("anyone")
+
+    def test_rate_validation(self):
+        with pytest.raises(ServeError):
+            TenantRate(0.0)
+        with pytest.raises(ServeError):
+            TenantRate(1.0, burst=0.5)

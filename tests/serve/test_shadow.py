@@ -1,0 +1,138 @@
+"""Shadow mode: the candidate version scores every stable request but
+never reaches a client, and the emitted diff stream reconciles exactly
+with offline scoring of both versions."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs import get_bus
+from repro.obs.sinks import MemorySink
+from repro.serve import FleetConfig, FleetEngine, ModelRegistry
+from repro.testing.fleet import (
+    FleetLoadGenerator,
+    assert_no_leaked_segments,
+    engine_sender,
+    offline_expectations,
+)
+
+
+@pytest.fixture(scope="session")
+def shadow_registry(tmp_path_factory, trained_detector, second_detector):
+    registry = ModelRegistry(tmp_path_factory.mktemp("shadow-registry"))
+    registry.publish(trained_detector, "v1")
+    registry.publish(second_detector, "v2")
+    return registry
+
+
+@pytest.fixture(scope="session")
+def expected(trained_detector, second_detector, feature_batch):
+    return offline_expectations(
+        {"v1": trained_detector, "v2": second_detector}, feature_batch
+    )
+
+
+def _diff_events(sink):
+    return [e for e in sink.events if e.name == "serve.shadow.diff"]
+
+
+def _wait_for(predicate, timeout_s=15.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return predicate()
+
+
+class TestShadowMode:
+    def test_candidate_never_served_and_diffs_reconcile(
+        self, shadow_registry, expected, feature_batch
+    ):
+        sink = MemorySink()
+        get_bus().attach(sink)
+        engine = FleetEngine(
+            shadow_registry, FleetConfig(replicas=2), version="v1"
+        )
+        try:
+            engine.set_shadow("v2")
+            requests = 60
+            report = FleetLoadGenerator(
+                engine_sender(engine),
+                feature_batch,
+                requests=requests,
+                threads=8,
+                key_fn=lambda i: f"clip-{i}",
+            ).run()
+
+            # -- the candidate never reaches a client -------------------
+            report.assert_no_dropped()
+            assert len(report.ok) == requests
+            assert all(o.version == "v1" for o in report.ok)
+            report.assert_bitwise_vs_offline(expected)
+
+            # -- every request produced exactly one diff event ----------
+            assert _wait_for(lambda: len(_diff_events(sink)) >= requests)
+            events = _diff_events(sink)
+            assert len(events) == requests
+            seen_keys = sorted(e.attrs["key"] for e in events)
+            assert seen_keys == sorted(f"clip-{i}" for i in range(requests))
+
+            # -- and the diff stream reconciles exactly with offline ----
+            p_stable = np.asarray(expected["v1"][:, 1], dtype=np.float64)
+            p_shadow = np.asarray(expected["v2"][:, 1], dtype=np.float64)
+            for event in events:
+                assert event.attrs["stable_version"] == "v1"
+                assert event.attrs["shadow_version"] == "v2"
+                index = int(event.attrs["key"].split("-")[1])
+                sample = index % len(feature_batch)
+                got_stable = event.attrs["stable_p_hot"]
+                got_shadow = event.attrs["shadow_p_hot"]
+                assert got_stable == [p_stable[sample]]
+                assert got_shadow == [p_shadow[sample]]
+                assert event.attrs["max_abs_diff"] == abs(
+                    p_stable[sample] - p_shadow[sample]
+                )
+        finally:
+            engine.close()
+            get_bus().detach(sink)
+        assert_no_leaked_segments()
+
+    def test_clear_shadow_stops_diffs(
+        self, shadow_registry, feature_batch
+    ):
+        sink = MemorySink()
+        get_bus().attach(sink)
+        engine = FleetEngine(
+            shadow_registry, FleetConfig(replicas=1), version="v1"
+        )
+        try:
+            engine.set_shadow("v2")
+            engine.predict(feature_batch[:1], timeout=30)
+            assert _wait_for(lambda: len(_diff_events(sink)) >= 1)
+            engine.clear_shadow()
+            baseline = len(_diff_events(sink))
+            for _ in range(5):
+                engine.predict(feature_batch[:1], timeout=30)
+            time.sleep(0.2)
+            assert len(_diff_events(sink)) == baseline
+        finally:
+            engine.close()
+            get_bus().detach(sink)
+        assert_no_leaked_segments()
+
+    def test_shadow_version_must_differ_from_stable(
+        self, shadow_registry, feature_batch
+    ):
+        from repro.exceptions import ServeError
+
+        engine = FleetEngine(
+            shadow_registry, FleetConfig(replicas=1), version="v1"
+        )
+        try:
+            with pytest.raises(ServeError):
+                engine.set_shadow("v1")
+        finally:
+            engine.close()
+        assert_no_leaked_segments()

@@ -1,0 +1,158 @@
+"""Shared-memory segment lifecycle: publish/attach fidelity, CRC
+verification, and leak-freedom on clean close and on creator crash."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointCorruptError, FleetError
+from repro.serve.shm import (
+    SEGMENT_PREFIX,
+    SharedModel,
+    _untrack,
+    list_segments,
+    sweep_stale_segments,
+)
+
+
+def _shm_path(name: str) -> str:
+    return f"/dev/shm/{name}"
+
+
+@pytest.fixture
+def published(trained_detector):
+    model = SharedModel.publish(trained_detector.to_state(), "v-test")
+    yield model
+    try:
+        model.unlink()
+    except FleetError:
+        pass
+    except FileNotFoundError:
+        pass
+
+
+class TestPublishAttach:
+    def test_round_trip_bitwise(self, published, trained_detector, feature_batch):
+        attached = SharedModel.attach(published.name)
+        try:
+            assert attached.version == "v-test"
+            detector = attached.detector()
+            got = detector.predict_proba_tensors(feature_batch)
+            want = trained_detector.predict_proba_tensors(feature_batch)
+            np.testing.assert_array_equal(got, want)
+        finally:
+            # views into the segment must be dropped before release
+            del detector
+            attached.close()
+
+    def test_views_are_zero_copy_and_read_only(self, published):
+        attached = SharedModel.attach(published.name)
+        try:
+            detector = attached.detector()
+            for parameter in detector.network.parameters():
+                view = parameter.value
+                assert not view.flags.owndata  # borrows the segment buffer
+                assert not view.flags.writeable
+                with pytest.raises(ValueError):
+                    view[...] = 0.0
+        finally:
+            del view, parameter, detector
+            attached.close()
+
+    def test_publish_rejects_wrong_kind(self):
+        with pytest.raises(FleetError):
+            SharedModel.publish({"kind": "something-else"}, "v")
+
+    def test_attach_missing_segment(self):
+        with pytest.raises(FleetError):
+            SharedModel.attach(f"{SEGMENT_PREFIX}-0-ffffffff")
+
+
+class TestCorruptionRefusal:
+    def _flip_byte(self, name: str, offset: int) -> None:
+        from multiprocessing import shared_memory
+
+        handle = shared_memory.SharedMemory(name=name)
+        _untrack(handle.name)  # plain inspection handle, not an owner
+        try:
+            handle.buf[offset] ^= 0xFF
+        finally:
+            handle.close()
+
+    def test_payload_corruption_refused(self, published):
+        # last byte of the payload region
+        self._flip_byte(published.name, published.nbytes - 1)
+        with pytest.raises(CheckpointCorruptError, match="payload CRC"):
+            SharedModel.attach(published.name)
+
+    def test_header_corruption_refused(self, published):
+        from repro.serve.shm import _FIXED
+
+        self._flip_byte(published.name, _FIXED.size + 2)  # inside the JSON
+        with pytest.raises(CheckpointCorruptError, match="header CRC"):
+            SharedModel.attach(published.name)
+
+    def test_bad_magic_refused(self, published):
+        self._flip_byte(published.name, 0)
+        with pytest.raises(CheckpointCorruptError, match="magic"):
+            SharedModel.attach(published.name)
+
+
+class TestLifecycle:
+    def test_clean_unlink_leaves_no_file(self, trained_detector):
+        model = SharedModel.publish(trained_detector.to_state(), "v-clean")
+        name = model.name
+        assert os.path.exists(_shm_path(name))
+        assert name in list_segments()
+        model.unlink()
+        assert not os.path.exists(_shm_path(name))
+        assert name not in list_segments()
+
+    def test_attacher_close_does_not_unlink(self, published):
+        attached = SharedModel.attach(published.name)
+        attached.close()
+        assert os.path.exists(_shm_path(published.name))
+
+    def test_crashed_creator_swept(self):
+        # A child creates a fleet-prefixed segment and dies without
+        # unlinking (simulating a SIGKILLed front-end). The segment
+        # survives the crash; sweep_stale_segments reclaims it because
+        # the pid embedded in the name is no longer alive.
+        script = (
+            "import os, sys\n"
+            "from multiprocessing import shared_memory\n"
+            "from repro.serve.shm import SEGMENT_PREFIX, _untrack\n"
+            "name = f'{SEGMENT_PREFIX}-{os.getpid()}-deadbeef'\n"
+            "shm = shared_memory.SharedMemory(create=True, size=64, name=name)\n"
+            "_untrack(name)\n"
+            "print(name, flush=True)\n"
+            "os._exit(1)\n"
+        )
+        import repro
+
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH", "")) if p
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        name = result.stdout.strip()
+        assert name, f"child failed: {result.stderr}"
+        assert os.path.exists(_shm_path(name))  # crash leaked the segment
+        swept = sweep_stale_segments()
+        assert name in swept
+        assert not os.path.exists(_shm_path(name))
+
+    def test_sweep_spares_live_owners(self, published):
+        swept = sweep_stale_segments()
+        assert published.name not in swept
+        assert os.path.exists(_shm_path(published.name))
