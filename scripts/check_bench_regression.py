@@ -16,8 +16,9 @@ tolerance band:
 
 ``--schema-only`` skips the numeric comparison and just validates that
 every artifact parses, carries the ``experiment``/``metadata``/
-``results`` envelope, and (for ``BENCH_serve.json``) has the batching
-sweep and tracing-overhead sections. CI runs this mode: absolute
+``results`` envelope, and (for ``BENCH_serve.json`` /
+``BENCH_active.json``) has the batching sweep and tracing-overhead
+sections / the label-budget curves. CI runs this mode: absolute
 numbers are machine-dependent, but a benchmark that silently stops
 writing a section is a regression on any machine.
 
@@ -72,6 +73,30 @@ SERVE_FLEET_SWEEP_KEYS = (
     "requests_per_second",
     "p95_latency_s",
     "speedup_vs_single_process",
+)
+
+#: Required keys in ``BENCH_active.json``: top-level results, the
+#: full-pool baseline, each strategy arm, and each per-round curve point.
+ACTIVE_RESULT_KEYS = (
+    "pool_size",
+    "full_budget_seconds",
+    "budget_fraction",
+    "full_pool",
+    "strategies",
+)
+ACTIVE_FULL_POOL_KEYS = ("labels", "budget_seconds", "roc_auc")
+ACTIVE_STRATEGY_KEYS = (
+    "strategy",
+    "labels",
+    "budget_seconds",
+    "final_roc_auc",
+    "rounds",
+)
+ACTIVE_ROUND_KEYS = (
+    "round_index",
+    "labels_total",
+    "budget_spent_seconds",
+    "eval_roc_auc",
 )
 
 
@@ -174,6 +199,38 @@ def check_schema(path: Path, document: dict) -> List[str]:
                     if any(key not in entry for entry in sweep):
                         problems.append(
                             f"serve fleet sweep entries missing {key!r}"
+                        )
+    if path.name == "BENCH_active.json":
+        results = document["results"]
+        for key in ACTIVE_RESULT_KEYS:
+            if key not in results:
+                problems.append(f"active results missing {key!r}")
+        full = results.get("full_pool")
+        if not isinstance(full, dict):
+            problems.append("active results missing 'full_pool' baseline")
+        else:
+            for key in ACTIVE_FULL_POOL_KEYS:
+                if key not in full:
+                    problems.append(f"active full_pool missing {key!r}")
+        strategies = results.get("strategies")
+        if not isinstance(strategies, list) or not strategies:
+            problems.append("active results missing 'strategies' arms")
+        else:
+            for key in ACTIVE_STRATEGY_KEYS:
+                if any(key not in entry for entry in strategies):
+                    problems.append(f"active strategy entries missing {key!r}")
+            for entry in strategies:
+                rounds = entry.get("rounds")
+                if not isinstance(rounds, list) or not rounds:
+                    problems.append(
+                        f"active strategy {entry.get('strategy')!r} has no "
+                        "'rounds' curve"
+                    )
+                    continue
+                for key in ACTIVE_ROUND_KEYS:
+                    if any(key not in row for row in rounds):
+                        problems.append(
+                            f"active round entries missing {key!r}"
                         )
     return problems
 

@@ -1,0 +1,53 @@
+"""Batch active learning between the litho oracle and biased training.
+
+The label-scarce workflow: ground truth costs full lithography
+simulation (the paper's ODST charges 10 s a clip), so the loop buys
+labels through a budget-metered oracle and spends them where the current
+detector is least sure — uncertainty sampling, optionally spread by
+greedy k-center diversity in truncated-DCT feature-tensor space.
+
+- :mod:`repro.active.selection` — the strategies (random / uncertainty /
+  uncertainty + diversity), pure deterministic functions of the
+  candidate set.
+- :mod:`repro.active.loop` — :class:`ActiveLearningLoop`: seed → select
+  → label → train rounds with round-boundary checkpoints that resume
+  bitwise after a crash.
+
+Budget plumbing lives with the simulator in :mod:`repro.litho.budget`
+(:class:`~repro.litho.budget.BudgetedOracle`,
+:class:`~repro.litho.budget.LabelBudget`); accuracy-vs-label-budget
+curves are produced by ``benchmarks/bench_active.py`` and the
+``repro-hotspot active`` CLI.
+"""
+
+from repro.active.loop import (
+    ACTIVE_CHECKPOINT_KIND,
+    ActiveLearningConfig,
+    ActiveLearningLoop,
+    ActiveLearningResult,
+    ActiveRound,
+)
+from repro.active.selection import (
+    SELECTION_STRATEGIES,
+    UNCERTAINTY_SCORES,
+    entropy_uncertainty,
+    k_center_greedy,
+    margin_uncertainty,
+    select_batch,
+    uncertainty_scores,
+)
+
+__all__ = [
+    "ACTIVE_CHECKPOINT_KIND",
+    "ActiveLearningConfig",
+    "ActiveLearningLoop",
+    "ActiveLearningResult",
+    "ActiveRound",
+    "SELECTION_STRATEGIES",
+    "UNCERTAINTY_SCORES",
+    "entropy_uncertainty",
+    "margin_uncertainty",
+    "uncertainty_scores",
+    "k_center_greedy",
+    "select_batch",
+]

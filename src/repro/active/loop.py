@@ -1,0 +1,580 @@
+"""The batch active-learning loop (label-budget training).
+
+The label-scarce workflow the DAC'17 flow implies but never spells out:
+ground truth comes from lithography simulation at ~10 s a clip, so the
+interesting question is not "how good is the detector on all the data"
+but "how good can it get per simulation second". :class:`ActiveLearningLoop`
+runs that experiment end to end:
+
+1. **Seed** — buy a small random labelled pool from the
+   :class:`~repro.litho.budget.BudgetedOracle` (topped up one clip at a
+   time if the draw lands single-class) and train a first detector.
+2. **Select** — score the remaining pool with the current detector and
+   pick the next batch by a :mod:`repro.active.selection` strategy
+   (random / uncertainty / uncertainty + k-center diversity in
+   feature-tensor space).
+3. **Label** — pay the simulated litho budget for the batch; an
+   exhausted budget ends the loop instead of half-labelling.
+4. **Train** — either retrain from scratch or warm-start fine-tune
+   (:meth:`~repro.core.detector.HotspotDetector.finetune`) on the grown
+   labelled pool, then evaluate on the held-out set (paper metrics +
+   exact rank ROC-AUC).
+
+Every round boundary is checkpointed through :mod:`repro.nn.serialize`
+(same envelope as trainer/biased checkpoints, ``kind="active-loop"``):
+selection RNG position, labelled pool, budget account, detector weights
+*and* auxiliary layer state all travel in the snapshot, so a run killed
+mid-round resumes at the last boundary and reproduces the uninterrupted
+run's selections and final weights bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigError, TrainingError
+from repro.core.config import DetectorConfig
+from repro.core.detector import HotspotDetector
+from repro.core.metrics import evaluate_predictions
+from repro.core.roc import rank_auc
+from repro.data.dataset import HotspotDataset
+from repro.features.tensor import FeatureTensorExtractor
+from repro.litho.budget import BudgetedOracle
+from repro.obs import emit, get_registry, span
+from repro.testing.faults import maybe_fail
+
+from repro.active.selection import (
+    SELECTION_STRATEGIES,
+    UNCERTAINTY_SCORES,
+    select_batch,
+)
+
+#: ``kind`` tag of an active-loop checkpoint.
+ACTIVE_CHECKPOINT_KIND = "active-loop"
+
+
+@dataclass(frozen=True)
+class ActiveLearningConfig:
+    """Hyper-parameters of the label-budget loop.
+
+    Attributes
+    ----------
+    strategy / uncertainty / candidate_factor:
+        Batch-selection knobs; see :func:`repro.active.selection.select_batch`.
+    seed_size:
+        Labels bought up front (round 0) by uniform random draw.
+    batch_size:
+        Labels bought per selection round (capped by budget and pool).
+    rounds:
+        Selection rounds after the seed round.
+    warm_start:
+        ``True`` fine-tunes the existing detector each round
+        (:meth:`~repro.core.detector.HotspotDetector.finetune`);
+        ``False`` retrains from scratch on the grown pool.
+    seed:
+        Seeds the selection RNG (seed draw + random strategy). Detector
+        training randomness is governed by the detector config, not this.
+    """
+
+    strategy: str = "uncertainty_diversity"
+    uncertainty: str = "entropy"
+    seed_size: int = 20
+    batch_size: int = 10
+    rounds: int = 4
+    candidate_factor: int = 4
+    warm_start: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in SELECTION_STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {self.strategy!r}; expected one of "
+                f"{SELECTION_STRATEGIES}"
+            )
+        if self.uncertainty not in UNCERTAINTY_SCORES:
+            raise ConfigError(
+                f"unknown uncertainty {self.uncertainty!r}; expected one of "
+                f"{UNCERTAINTY_SCORES}"
+            )
+        if self.seed_size < 2:
+            raise ConfigError(
+                f"seed_size must be >= 2 (both classes), got {self.seed_size}"
+            )
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.rounds < 0:
+            raise ConfigError(f"rounds must be >= 0, got {self.rounds}")
+        if self.candidate_factor < 1:
+            raise ConfigError(
+                f"candidate_factor must be >= 1, got {self.candidate_factor}"
+            )
+        if self.seed < 0:
+            raise ConfigError(f"seed must be >= 0, got {self.seed}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "uncertainty": self.uncertainty,
+            "seed_size": self.seed_size,
+            "batch_size": self.batch_size,
+            "rounds": self.rounds,
+            "candidate_factor": self.candidate_factor,
+            "warm_start": self.warm_start,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ActiveLearningConfig":
+        try:
+            return cls(
+                strategy=str(data["strategy"]),
+                uncertainty=str(data["uncertainty"]),
+                seed_size=int(data["seed_size"]),
+                batch_size=int(data["batch_size"]),
+                rounds=int(data["rounds"]),
+                candidate_factor=int(data["candidate_factor"]),
+                warm_start=bool(data["warm_start"]),
+                seed=int(data["seed"]),
+            )
+        except KeyError as exc:
+            raise ConfigError(f"active config missing field: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ActiveRound:
+    """One completed loop round (seed round is ``round_index == 0``)."""
+
+    round_index: int
+    strategy: str                 # "seed" for round 0
+    selected: Tuple[int, ...]     # global pool indices labelled this round
+    labels_total: int             # labelled-pool size after this round
+    hotspots_total: int
+    budget_spent_seconds: float   # cumulative, after this round's purchase
+    eval_accuracy: float          # paper Accuracy = hotspot recall
+    eval_false_alarm_rate: float
+    eval_roc_auc: float
+
+    def to_state(self) -> Dict[str, Any]:
+        return {
+            "round_index": self.round_index,
+            "strategy": self.strategy,
+            "selected": [int(i) for i in self.selected],
+            "labels_total": self.labels_total,
+            "hotspots_total": self.hotspots_total,
+            "budget_spent_seconds": self.budget_spent_seconds,
+            "eval_accuracy": self.eval_accuracy,
+            "eval_false_alarm_rate": self.eval_false_alarm_rate,
+            "eval_roc_auc": self.eval_roc_auc,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "ActiveRound":
+        return cls(
+            round_index=int(state["round_index"]),
+            strategy=str(state["strategy"]),
+            selected=tuple(int(i) for i in state["selected"]),
+            labels_total=int(state["labels_total"]),
+            hotspots_total=int(state["hotspots_total"]),
+            budget_spent_seconds=float(state["budget_spent_seconds"]),
+            eval_accuracy=float(state["eval_accuracy"]),
+            eval_false_alarm_rate=float(state["eval_false_alarm_rate"]),
+            eval_roc_auc=float(state["eval_roc_auc"]),
+        )
+
+
+@dataclass
+class ActiveLearningResult:
+    """What a finished loop hands back."""
+
+    rounds: List[ActiveRound]
+    labelled_indices: List[int]
+    detector: HotspotDetector
+    budget_spent_seconds: float
+    labels_bought: int
+    stopped_reason: str = "completed"
+
+    @property
+    def final_round(self) -> ActiveRound:
+        if not self.rounds:
+            raise TrainingError("loop produced no rounds")
+        return self.rounds[-1]
+
+    def curve(self) -> List[Tuple[int, float]]:
+        """``(labels_total, eval_roc_auc)`` per round — the budget curve."""
+        return [(r.labels_total, r.eval_roc_auc) for r in self.rounds]
+
+
+class ActiveLearningLoop:
+    """Drives seed → select → label → train rounds against one pool.
+
+    Parameters
+    ----------
+    detector_config:
+        Architecture/training hyper-parameters for every (re)trained
+        detector; also fixes the feature-tensor space the diversity
+        strategy measures distances in.
+    oracle:
+        The budget-metered labeller. Its :class:`~repro.litho.budget.LabelBudget`
+        is the loop's stopping resource.
+    config:
+        Loop hyper-parameters (:class:`ActiveLearningConfig`).
+    """
+
+    def __init__(
+        self,
+        detector_config: DetectorConfig,
+        oracle: BudgetedOracle,
+        config: ActiveLearningConfig = ActiveLearningConfig(),
+    ):
+        if not isinstance(oracle, BudgetedOracle):
+            raise ConfigError(
+                f"oracle must be a BudgetedOracle, got {type(oracle).__name__}"
+            )
+        self.detector_config = detector_config
+        self.oracle = oracle
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _snapshot(
+        self,
+        next_round: int,
+        pool_size: int,
+        labelled: List[int],
+        labels: List[int],
+        rng: np.random.Generator,
+        detector: HotspotDetector,
+        rounds: List[ActiveRound],
+    ) -> Dict[str, Any]:
+        epsilon = (
+            detector.selected_round.epsilon
+            if detector.selected_round is not None
+            else 0.0
+        )
+        return {
+            "kind": ACTIVE_CHECKPOINT_KIND,
+            "config": self.config.to_dict(),
+            "pool_size": pool_size,
+            "next_round": next_round,
+            "labelled_indices": np.asarray(labelled, dtype=np.int64),
+            "labelled_labels": np.asarray(labels, dtype=np.int64),
+            "rng": rng.bit_generator.state,
+            "budget": self.oracle.budget.state(),
+            "detector": detector.to_state(),
+            "network_extra": detector.network.extra_state(),
+            "epsilon": float(epsilon),
+            "rounds": [r.to_state() for r in rounds],
+        }
+
+    def _check_resume_state(self, state: Dict[str, Any], pool_size: int) -> None:
+        recorded = json.dumps(state["config"], sort_keys=True)
+        current = json.dumps(self.config.to_dict(), sort_keys=True)
+        if recorded != current:
+            raise TrainingError(
+                "active checkpoint was written under a different loop "
+                f"config: {recorded} vs {current}"
+            )
+        if int(state["pool_size"]) != pool_size:
+            raise TrainingError(
+                f"active checkpoint expects a {state['pool_size']}-clip "
+                f"pool, got {pool_size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Training / evaluation helpers
+    # ------------------------------------------------------------------
+    def _labelled_dataset(
+        self, pool: HotspotDataset, labelled: List[int], labels: List[int]
+    ) -> HotspotDataset:
+        clips = [
+            pool[i].with_label(int(label)) for i, label in zip(labelled, labels)
+        ]
+        return HotspotDataset(clips, name="active-labelled")
+
+    def _train(
+        self,
+        detector: Optional[HotspotDetector],
+        labelled_data: HotspotDataset,
+    ) -> HotspotDetector:
+        if detector is None or not self.config.warm_start:
+            fresh = HotspotDetector(self.detector_config)
+            fresh.fit(labelled_data)
+            return fresh
+        detector.finetune(labelled_data)
+        return detector
+
+    def _evaluate(
+        self, detector: HotspotDetector, eval_data: HotspotDataset
+    ) -> Tuple[float, float, float]:
+        probabilities = detector.predict_proba(eval_data)
+        predictions = probabilities.argmax(axis=1)
+        metrics = evaluate_predictions(
+            eval_data.labels,
+            predictions,
+            simulation_seconds_per_clip=(
+                self.oracle.budget.cost_model.seconds_per_clip
+            ),
+        )
+        auc = rank_auc(probabilities, eval_data.labels)
+        return metrics.accuracy, metrics.false_alarm_rate, auc
+
+    # ------------------------------------------------------------------
+    def _seed_selection(
+        self,
+        pool: HotspotDataset,
+        rng: np.random.Generator,
+    ) -> Tuple[List[int], List[int]]:
+        """Random seed purchase, topped up until both classes appear."""
+        budget = self.oracle.budget
+        pool_size = len(pool)
+        count = min(self.config.seed_size, pool_size, budget.affordable_labels())
+        if count < 2:
+            raise TrainingError(
+                f"cannot seed the labelled pool: budget affords "
+                f"{budget.affordable_labels()} labels, pool has {pool_size} "
+                "clips (need >= 2)"
+            )
+        picks = sorted(
+            int(i) for i in rng.choice(pool_size, size=count, replace=False)
+        )
+        labelled_clips = self.oracle.label_clips([pool[i] for i in picks])
+        labels = [int(clip.label) for clip in labelled_clips]
+        # A single-class seed cannot train the detector; buy one random
+        # clip at a time until the minority class shows up (or we run out
+        # of budget/pool — then fail loudly below at training time).
+        remaining = [i for i in range(pool_size) if i not in set(picks)]
+        while (
+            len(set(labels)) < 2
+            and remaining
+            and budget.affordable_labels() >= 1
+        ):
+            position = int(rng.integers(len(remaining)))
+            extra = remaining.pop(position)
+            clip = self.oracle.label_clips([pool[extra]])[0]
+            picks.append(extra)
+            labels.append(int(clip.label))
+        return picks, labels
+
+    def _select(
+        self,
+        detector: HotspotDetector,
+        tensors: np.ndarray,
+        embeddings: np.ndarray,
+        labelled: List[int],
+        pool_size: int,
+        rng: np.random.Generator,
+    ) -> List[int]:
+        """Pick the next batch of global pool indices to buy labels for."""
+        budget = self.oracle.budget
+        unlabelled = sorted(set(range(pool_size)) - set(labelled))
+        count = min(
+            self.config.batch_size, len(unlabelled), budget.affordable_labels()
+        )
+        if count == 0:
+            return []
+        kwargs: Dict[str, Any] = {"rng": rng}
+        if self.config.strategy != "random":
+            kwargs["probabilities"] = detector.predict_proba_tensors(
+                tensors[unlabelled]
+            )
+        if self.config.strategy == "uncertainty_diversity":
+            kwargs["embeddings"] = embeddings[unlabelled]
+            kwargs["labelled_embeddings"] = embeddings[labelled]
+        chosen = select_batch(
+            self.config.strategy,
+            count,
+            unlabelled,
+            uncertainty=self.config.uncertainty,
+            candidate_factor=self.config.candidate_factor,
+            **kwargs,
+        )
+        return [int(i) for i in chosen]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        pool: HotspotDataset,
+        eval_data: HotspotDataset,
+        checkpoints: Optional[Union["CheckpointManager", str]] = None,
+        resume: bool = False,
+    ) -> ActiveLearningResult:
+        """Run the loop over ``pool``, reporting quality on ``eval_data``.
+
+        ``pool`` labels (if present) are treated as hidden ground truth —
+        the loop only ever sees labels the oracle sells it. ``checkpoints``
+        (manager or directory) turns on round-boundary snapshots;
+        ``resume=True`` restarts from the newest one (identical pool,
+        loop config and budget terms required) and is bitwise-faithful to
+        the uninterrupted run.
+        """
+        from repro.nn.serialize import CheckpointManager
+        from repro.nn.trainer import resolve_resume_state
+
+        if checkpoints is not None and not isinstance(
+            checkpoints, CheckpointManager
+        ):
+            checkpoints = CheckpointManager(checkpoints, prefix="active")
+        if resume and checkpoints is None:
+            raise TrainingError(
+                "resume=True needs a checkpoints manager or directory"
+            )
+        if len(pool) == 0:
+            raise TrainingError("active pool is empty")
+        if len(eval_data) == 0:
+            raise TrainingError("evaluation dataset is empty")
+
+        pool_size = len(pool)
+        extractor = FeatureTensorExtractor(self.detector_config.feature)
+        tensors = extractor.extract_batch(pool.clips)
+        embeddings = tensors.reshape(pool_size, -1).astype(np.float64)
+        # Standardise each DCT dimension over the pool before measuring
+        # k-center distances: raw coefficients put almost all the energy
+        # in the DC channels, which would reduce "diversity" to pattern
+        # density. Deterministic in the pool, so resume sees it bitwise.
+        spread = embeddings.std(axis=0)
+        spread[spread == 0.0] = 1.0
+        embeddings = (embeddings - embeddings.mean(axis=0)) / spread
+
+        rng = np.random.default_rng(self.config.seed)
+        labelled: List[int] = []
+        labels: List[int] = []
+        rounds: List[ActiveRound] = []
+        detector: Optional[HotspotDetector] = None
+        start_round = 0
+        registry = get_registry()
+
+        state = resolve_resume_state(
+            checkpoints if resume else None, ACTIVE_CHECKPOINT_KIND
+        )
+        if state is not None:
+            self._check_resume_state(state, pool_size)
+            self.oracle.budget.load_state(state["budget"])
+            labelled = [int(i) for i in np.asarray(state["labelled_indices"])]
+            labels = [int(v) for v in np.asarray(state["labelled_labels"])]
+            rng.bit_generator.state = state["rng"]
+            detector = HotspotDetector.from_state(state["detector"])
+            detector.network.load_extra_state(state["network_extra"])
+            # finetune() reads the accepted bias level off selected_round;
+            # only epsilon survives the checkpoint (the full BiasedRound
+            # history is training-time bookkeeping the loop never reads).
+            detector.selected_round = SimpleNamespace(
+                epsilon=float(state["epsilon"])
+            )
+            rounds = [ActiveRound.from_state(s) for s in state["rounds"]]
+            start_round = int(state["next_round"])
+            emit(
+                "active.resume",
+                round=start_round,
+                labels=len(labelled),
+                spent_seconds=self.oracle.budget.spent_seconds,
+            )
+
+        stopped_reason = "completed"
+        for round_index in range(start_round, self.config.rounds + 1):
+            maybe_fail("active.round", round_index)
+            strategy = "seed" if round_index == 0 else self.config.strategy
+            with span(
+                "active.round", round=round_index, strategy=strategy
+            ):
+                if round_index == 0:
+                    selected, bought = self._seed_selection(pool, rng)
+                else:
+                    selected = self._select(
+                        detector, tensors, embeddings, labelled, pool_size, rng
+                    )
+                    if not selected:
+                        stopped_reason = (
+                            "budget_exhausted"
+                            if self.oracle.budget.affordable_labels() == 0
+                            else "pool_exhausted"
+                        )
+                        emit(
+                            "active.stop",
+                            round=round_index,
+                            reason=stopped_reason,
+                        )
+                        break
+                    bought = [
+                        int(clip.label)
+                        for clip in self.oracle.label_clips(
+                            [pool[i] for i in selected]
+                        )
+                    ]
+                labelled.extend(selected)
+                labels.extend(bought)
+                emit(
+                    "active.select",
+                    round=round_index,
+                    strategy=strategy,
+                    count=len(selected),
+                    labels_total=len(labelled),
+                    spent_seconds=self.oracle.budget.spent_seconds,
+                )
+
+                labelled_data = self._labelled_dataset(pool, labelled, labels)
+                detector = self._train(detector, labelled_data)
+                accuracy, false_alarms, auc = self._evaluate(
+                    detector, eval_data
+                )
+                record = ActiveRound(
+                    round_index=round_index,
+                    strategy=strategy,
+                    selected=tuple(selected),
+                    labels_total=len(labelled),
+                    hotspots_total=int(sum(labels)),
+                    budget_spent_seconds=self.oracle.budget.spent_seconds,
+                    eval_accuracy=accuracy,
+                    eval_false_alarm_rate=false_alarms,
+                    eval_roc_auc=auc,
+                )
+                rounds.append(record)
+                registry.counter("active.rounds").inc()
+                registry.gauge("active.labels_total").set(len(labelled))
+                registry.gauge("active.budget.spent_seconds").set(
+                    self.oracle.budget.spent_seconds
+                )
+                registry.gauge("active.budget.remaining_seconds").set(
+                    self.oracle.budget.remaining_seconds
+                )
+                registry.gauge("active.eval.roc_auc").set(auc)
+                emit(
+                    "active.round",
+                    round=round_index,
+                    strategy=strategy,
+                    labels_total=len(labelled),
+                    hotspots_total=record.hotspots_total,
+                    spent_seconds=record.budget_spent_seconds,
+                    eval_accuracy=accuracy,
+                    eval_false_alarm_rate=false_alarms,
+                    eval_roc_auc=auc,
+                )
+                if checkpoints is not None:
+                    checkpoints.save(
+                        self._snapshot(
+                            round_index + 1,
+                            pool_size,
+                            labelled,
+                            labels,
+                            rng,
+                            detector,
+                            rounds,
+                        ),
+                        step=round_index,
+                    )
+
+        if detector is None:
+            raise TrainingError("active loop never trained a detector")
+        return ActiveLearningResult(
+            rounds=rounds,
+            labelled_indices=list(labelled),
+            detector=detector,
+            budget_spent_seconds=self.oracle.budget.spent_seconds,
+            labels_bought=self.oracle.budget.labels_bought,
+            stopped_reason=stopped_reason,
+        )

@@ -1,0 +1,261 @@
+"""Batch selection strategies for active learning.
+
+Three strategies, mirroring the batch-active-learning hotspot literature
+(uncertainty alone over-samples one dense boundary region; adding a
+diversity term spreads the batch across feature space):
+
+- ``"random"`` — uniform draws from the pool (the control arm).
+- ``"uncertainty"`` — top-B by predictive uncertainty (entropy or margin
+  of the detector's softmax output).
+- ``"uncertainty_diversity"`` — k-center greedy over the most-uncertain
+  candidates in truncated-DCT feature-tensor space, anchored on the
+  already-labelled pool so new picks cover *uncovered* regions.
+
+Everything non-random is a pure function of its inputs with explicit,
+total tie-breaking (score, then uncertainty, then global pool index), so
+a selection is invariant under permutation of the candidate order — the
+property that lets a resumed loop reproduce an uninterrupted run's picks
+bitwise, and the one the hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigError, TrainingError
+
+#: Recognised batch-selection strategies.
+SELECTION_STRATEGIES = ("random", "uncertainty", "uncertainty_diversity")
+
+#: Recognised uncertainty scores.
+UNCERTAINTY_SCORES = ("entropy", "margin")
+
+
+def validate_strategy(strategy: str) -> str:
+    if strategy not in SELECTION_STRATEGIES:
+        raise ConfigError(
+            f"unknown selection strategy {strategy!r}; expected one of "
+            f"{SELECTION_STRATEGIES}"
+        )
+    return strategy
+
+
+def _checked_probabilities(probabilities: np.ndarray) -> np.ndarray:
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2 or probabilities.shape[1] != 2:
+        raise TrainingError(
+            f"probabilities must be (N, 2) softmax rows, got "
+            f"{probabilities.shape}"
+        )
+    return probabilities
+
+
+def entropy_uncertainty(probabilities: np.ndarray) -> np.ndarray:
+    """Shannon entropy of each softmax row (nats); 0 = certain."""
+    probabilities = _checked_probabilities(probabilities)
+    clipped = np.clip(probabilities, 1e-12, 1.0)
+    return -np.sum(clipped * np.log(clipped), axis=1)
+
+
+def margin_uncertainty(probabilities: np.ndarray) -> np.ndarray:
+    """One minus the top-two class margin; 1 = maximally uncertain."""
+    probabilities = _checked_probabilities(probabilities)
+    return 1.0 - np.abs(probabilities[:, 1] - probabilities[:, 0])
+
+
+def uncertainty_scores(probabilities: np.ndarray, kind: str) -> np.ndarray:
+    """Dispatch to the named uncertainty score (higher = more uncertain)."""
+    if kind == "entropy":
+        return entropy_uncertainty(probabilities)
+    if kind == "margin":
+        return margin_uncertainty(probabilities)
+    raise ConfigError(
+        f"unknown uncertainty score {kind!r}; expected one of "
+        f"{UNCERTAINTY_SCORES}"
+    )
+
+
+def _ranked_by_uncertainty(
+    scores: np.ndarray, pool_indices: np.ndarray
+) -> np.ndarray:
+    """Positions sorted by (uncertainty desc, global index asc).
+
+    The global-index tie-break makes the ranking a function of the
+    candidate *set*, not of the order the caller happened to stack the
+    arrays in.
+    """
+    return np.lexsort((pool_indices, -scores))
+
+
+def k_center_greedy(
+    embeddings: np.ndarray,
+    count: int,
+    anchors: Optional[np.ndarray] = None,
+    priorities: Optional[np.ndarray] = None,
+    tie_keys: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Greedy k-center over ``embeddings``; returns selected positions.
+
+    Classic farthest-point traversal: each step picks the candidate whose
+    distance to the selected-so-far set (plus the ``anchors`` — e.g. the
+    already-labelled pool) is largest, so ``count`` picks approximate the
+    optimal covering centres within a factor of two. With no anchors the
+    first pick is the highest-priority candidate.
+
+    Ties are broken by (priority desc, tie_key asc); ``tie_keys``
+    defaults to the candidate position, but callers wanting permutation
+    invariance pass a stable identity (the global pool index).
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise TrainingError(
+            f"embeddings must be (N, D), got shape {embeddings.shape}"
+        )
+    n = embeddings.shape[0]
+    if count < 0:
+        raise TrainingError(f"count must be >= 0, got {count}")
+    count = min(count, n)
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    priorities = (
+        np.zeros(n) if priorities is None else np.asarray(priorities, dtype=np.float64)
+    )
+    tie_keys = (
+        np.arange(n) if tie_keys is None else np.asarray(tie_keys)
+    )
+    if priorities.shape[0] != n or tie_keys.shape[0] != n:
+        raise TrainingError(
+            "priorities/tie_keys must align with embeddings "
+            f"({priorities.shape[0]}/{tie_keys.shape[0]} vs {n})"
+        )
+
+    if anchors is not None and len(anchors):
+        anchors = np.asarray(anchors, dtype=np.float64)
+        if anchors.ndim != 2 or anchors.shape[1] != embeddings.shape[1]:
+            raise TrainingError(
+                f"anchors {getattr(anchors, 'shape', None)} do not match "
+                f"embedding dimension {embeddings.shape[1]}"
+            )
+        # Min distance to any anchor, computed anchor-by-anchor to keep
+        # peak memory at O(N) rather than O(N * anchors).
+        min_dist = np.full(n, np.inf)
+        for anchor in anchors:
+            delta = embeddings - anchor
+            np.minimum(min_dist, np.einsum("ij,ij->i", delta, delta), out=min_dist)
+    else:
+        min_dist = np.full(n, np.inf)
+
+    selected = []
+    available = np.ones(n, dtype=bool)
+    for _ in range(count):
+        if np.isinf(min_dist[available]).all():
+            # No anchors yet: seed from priority alone.
+            order = np.lexsort(
+                (tie_keys[available], -priorities[available])
+            )
+        else:
+            order = np.lexsort(
+                (
+                    tie_keys[available],
+                    -priorities[available],
+                    -min_dist[available],
+                )
+            )
+        pick = np.flatnonzero(available)[order[0]]
+        selected.append(int(pick))
+        available[pick] = False
+        delta = embeddings - embeddings[pick]
+        np.minimum(min_dist, np.einsum("ij,ij->i", delta, delta), out=min_dist)
+    return np.asarray(selected, dtype=np.int64)
+
+
+def select_batch(
+    strategy: str,
+    batch_size: int,
+    pool_indices: Sequence[int],
+    probabilities: Optional[np.ndarray] = None,
+    embeddings: Optional[np.ndarray] = None,
+    labelled_embeddings: Optional[np.ndarray] = None,
+    uncertainty: str = "entropy",
+    candidate_factor: int = 4,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Pick up to ``batch_size`` global pool indices to label next.
+
+    Parameters
+    ----------
+    strategy / batch_size:
+        One of :data:`SELECTION_STRATEGIES`; the batch is silently capped
+        at the candidate count (never padded).
+    pool_indices:
+        Global indices of the unlabelled candidates; the i-th row of
+        ``probabilities`` / ``embeddings`` describes ``pool_indices[i]``.
+    probabilities:
+        ``(M, 2)`` detector softmax rows (uncertainty strategies).
+    embeddings / labelled_embeddings:
+        ``(M, D)`` candidate and ``(L, D)`` labelled-pool coordinates in
+        feature-tensor space (diversity strategy).
+    uncertainty / candidate_factor:
+        Uncertainty score name, and the width of the uncertainty
+        pre-filter handed to k-center (``candidate_factor * batch_size``
+        most-uncertain candidates).
+    rng:
+        Random source for the ``"random"`` strategy only.
+
+    Returns the selected *global* indices, in selection order. The
+    non-random strategies are pure functions of the candidate set —
+    shuffling the rows (together) cannot change the returned set.
+    """
+    validate_strategy(strategy)
+    if batch_size < 0:
+        raise TrainingError(f"batch_size must be >= 0, got {batch_size}")
+    if candidate_factor < 1:
+        raise ConfigError(
+            f"candidate_factor must be >= 1, got {candidate_factor}"
+        )
+    pool_indices = np.asarray(list(pool_indices), dtype=np.int64)
+    if len(set(pool_indices.tolist())) != pool_indices.shape[0]:
+        raise TrainingError("pool_indices contain duplicates")
+    count = min(batch_size, pool_indices.shape[0])
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+
+    if strategy == "random":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        picks = rng.choice(pool_indices.shape[0], size=count, replace=False)
+        return pool_indices[picks]
+
+    if probabilities is None:
+        raise TrainingError(f"strategy {strategy!r} needs probabilities")
+    scores = uncertainty_scores(probabilities, uncertainty)
+    if scores.shape[0] != pool_indices.shape[0]:
+        raise TrainingError(
+            f"{scores.shape[0]} probability rows vs "
+            f"{pool_indices.shape[0]} pool indices"
+        )
+    ranked = _ranked_by_uncertainty(scores, pool_indices)
+
+    if strategy == "uncertainty":
+        return pool_indices[ranked[:count]]
+
+    if embeddings is None:
+        raise TrainingError(
+            "strategy 'uncertainty_diversity' needs embeddings"
+        )
+    embeddings = np.asarray(embeddings)
+    if embeddings.shape[0] != pool_indices.shape[0]:
+        raise TrainingError(
+            f"{embeddings.shape[0]} embedding rows vs "
+            f"{pool_indices.shape[0]} pool indices"
+        )
+    candidates = ranked[: max(count, candidate_factor * count)]
+    chosen = k_center_greedy(
+        embeddings[candidates],
+        count,
+        anchors=labelled_embeddings,
+        priorities=scores[candidates],
+        tie_keys=pool_indices[candidates],
+    )
+    return pool_indices[candidates[chosen]]

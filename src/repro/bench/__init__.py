@@ -14,6 +14,12 @@ Experiment index (see DESIGN.md for the full mapping):
 - :func:`experiment_fig4` — biased learning vs boundary shifting.
 """
 
+from repro.bench.active import (
+    format_label_curves,
+    full_pool_record,
+    run_active_strategy,
+    strategy_record,
+)
 from repro.bench.experiments import (
     experiment_fig1,
     experiment_fig3,
@@ -37,4 +43,8 @@ __all__ = [
     "run_detector",
     "bench_scale",
     "format_table",
+    "run_active_strategy",
+    "strategy_record",
+    "full_pool_record",
+    "format_label_curves",
 ]

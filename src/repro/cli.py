@@ -11,6 +11,8 @@ workflows without writing Python:
 - ``scan`` — full-chip scan with a saved model (``--farm``/``--cache-dir``
   route it through the shard farm with incremental re-scan).
 - ``scan-batch`` — farm-scan several LAYOUT files with one shared cache.
+- ``active`` — budgeted active-learning loop: buy labels from the litho
+  oracle under a simulation-seconds budget and grow a detector.
 - ``serve`` — run the HTTP inference service from a model registry.
 - ``obs report`` — summarise a JSONL run log (stage timings, metrics).
 
@@ -195,6 +197,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="DCT implementation for window feature extraction",
     )
 
+    active = sub.add_parser(
+        "active",
+        help="budgeted active-learning loop over a clip pool",
+    )
+    active.add_argument("pool", help="pool clip file (labels = ground truth)")
+    active.add_argument(
+        "--eval", dest="eval_data", required=True, metavar="PATH",
+        help="labelled evaluation clip file (quality per round)",
+    )
+    active.add_argument(
+        "--strategy",
+        choices=("random", "uncertainty", "uncertainty_diversity"),
+        default="uncertainty_diversity",
+    )
+    active.add_argument(
+        "--uncertainty", choices=("entropy", "margin"), default="entropy",
+        help="uncertainty score for the informed strategies",
+    )
+    active.add_argument("--seed-size", type=int, default=20,
+                        help="random labels bought up front (round 0)")
+    active.add_argument("--batch-size", type=int, default=10,
+                        help="labels bought per selection round")
+    active.add_argument("--rounds", type=int, default=4,
+                        help="selection rounds after the seed round")
+    active.add_argument(
+        "--budget-seconds", type=float, default=None,
+        help="label budget in simulated litho seconds "
+             "(default: 40%% of the pool at --seconds-per-clip)",
+    )
+    active.add_argument("--seconds-per-clip", type=float, default=10.0,
+                        help="simulated litho price per label (ODST charge)")
+    active.add_argument(
+        "--warm-start", action="store_true",
+        help="fine-tune the existing detector each round instead of "
+             "retraining from scratch",
+    )
+    active.add_argument("--iterations", type=int, default=400,
+                        help="MGD iteration cap per (re)training")
+    active.add_argument("--pixel-nm", type=int, default=4,
+                        help="feature raster resolution")
+    active.add_argument("--coefficients", type=int, default=16,
+                        help="DCT coefficients kept per block")
+    active.add_argument("--seed", type=int, default=0,
+                        help="selection RNG seed (also the detector seed)")
+    active.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="snapshot loop state into DIR at every round boundary",
+    )
+    active.add_argument(
+        "--resume", action="store_true",
+        help="continue from the newest snapshot in --checkpoint-dir",
+    )
+    active.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write the accuracy-vs-label-budget record to PATH (JSON)",
+    )
+    active.add_argument(
+        "--model", metavar="PATH", default=None,
+        help="save the final detector as a self-describing serving "
+             "checkpoint (config + weights + scaler; loadable by "
+             "'evaluate', 'scan', and the serve registry)",
+    )
+
     serve = sub.add_parser("serve", help="run the HTTP inference service")
     serve.add_argument(
         "--checkpoint-dir", metavar="DIR", required=True,
@@ -306,6 +371,8 @@ def _dispatch(args) -> int:
         return _cmd_scan(args)
     if args.command == "scan-batch":
         return _cmd_scan_batch(args)
+    if args.command == "active":
+        return _cmd_active(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "obs":
@@ -374,13 +441,31 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_evaluate(args) -> int:
+def _load_model(path, dct_backend="scipy"):
+    """Load either model format the CLI writes.
+
+    ``train`` saves weights-only npz files that assume the bench-harness
+    config; ``active --model`` (and the serve registry) write
+    self-describing serving checkpoints that carry their own config.
+    Sniff the checkpoint format first so both work everywhere.
+    """
     from repro.bench.harness import bench_detector_config
     from repro.core.detector import HotspotDetector
+    from repro.exceptions import CheckpointError
+
+    try:
+        return HotspotDetector.load_checkpoint(path)
+    except CheckpointError:
+        return HotspotDetector(
+            bench_detector_config(dct_backend=dct_backend)
+        ).load(path)
+
+
+def _cmd_evaluate(args) -> int:
     from repro.data.dataset import HotspotDataset
 
     dataset = HotspotDataset.load(args.data)
-    detector = HotspotDetector(bench_detector_config()).load(args.model)
+    detector = _load_model(args.model)
     metrics = detector.evaluate(dataset)
     _say(dataset.summary())
     _say(metrics.row())
@@ -422,15 +507,11 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_scan(args) -> int:
-    from repro.bench.harness import bench_detector_config
-    from repro.core.detector import HotspotDetector
     from repro.core.fullchip import FullChipScanner
     from repro.data.fullchip import FullChipSpec, make_layout
     from repro.geometry.layoutio import read_chip
 
-    detector = HotspotDetector(
-        bench_detector_config(dct_backend=args.feature_backend)
-    ).load(args.model)
+    detector = _load_model(args.model, dct_backend=args.feature_backend)
     if args.layout:
         name, layout = read_chip(args.layout)
         _say(f"scanning {name!r} from {args.layout}")
@@ -473,14 +554,10 @@ def _print_regions(result) -> None:
 
 
 def _cmd_scan_batch(args) -> int:
-    from repro.bench.harness import bench_detector_config
-    from repro.core.detector import HotspotDetector
     from repro.geometry.layoutio import read_chip
     from repro.scanfarm import ScanFarm
 
-    detector = HotspotDetector(
-        bench_detector_config(dct_backend=args.feature_backend)
-    ).load(args.model)
+    detector = _load_model(args.model, dct_backend=args.feature_backend)
     farm = ScanFarm(
         detector,
         threshold=args.threshold,
@@ -496,6 +573,114 @@ def _cmd_scan_batch(args) -> int:
     for name, result in results.items():
         _say(f"{name}: {result.summary()}")
         _print_regions(result)
+    return 0
+
+
+def _cmd_active(args) -> int:
+    from repro.active import ActiveLearningConfig
+    from repro.bench.active import format_label_curves, run_active_strategy
+    from repro.bench.report import write_report
+    from repro.core.config import DetectorConfig
+    from repro.data.dataset import HotspotDataset
+    from repro.features.tensor import FeatureTensorConfig
+    from repro.litho.oracle import HotspotOracle
+    from repro.nn.trainer import TrainerConfig
+
+    if args.resume and not args.checkpoint_dir:
+        _say("--resume needs --checkpoint-dir")
+        return 2
+    pool = HotspotDataset.load(args.pool)
+    eval_data = HotspotDataset.load(args.eval_data)
+    budget_seconds = (
+        args.budget_seconds
+        if args.budget_seconds is not None
+        else round(len(pool) * 0.40) * args.seconds_per_clip
+    )
+    _say(
+        f"pool {pool.summary()} | eval {eval_data.summary()} | "
+        f"budget {budget_seconds:g}s at {args.seconds_per_clip:g}s/label"
+    )
+    iterations = args.iterations
+    detector_config = DetectorConfig(
+        feature=FeatureTensorConfig(
+            block_count=12,
+            coefficients=args.coefficients,
+            pixel_nm=args.pixel_nm,
+            dct_backend="matmul",
+        ),
+        learning_rate=2e-3,
+        lr_decay_every=max(1, int(iterations * 0.4)),
+        bias_rounds=1,
+        augment_hotspots=True,
+        trainer=TrainerConfig(
+            batch_size=32,
+            max_iterations=iterations,
+            validate_every=max(1, iterations // 10),
+            patience=6,
+            min_iterations=iterations // 2,
+            seed=args.seed,
+        ),
+        seed=args.seed,
+    )
+    loop_config = ActiveLearningConfig(
+        strategy=args.strategy,
+        uncertainty=args.uncertainty,
+        seed_size=args.seed_size,
+        batch_size=args.batch_size,
+        rounds=args.rounds,
+        warm_start=args.warm_start,
+        seed=args.seed,
+    )
+    start = time.perf_counter()
+    # Per-round progress arrives live as [active.round] event lines.
+    result, record = run_active_strategy(
+        pool,
+        eval_data,
+        detector_config,
+        loop_config,
+        budget_seconds,
+        args.seconds_per_clip,
+        fallback_oracle=HotspotOracle(),
+        checkpoints=args.checkpoint_dir,
+        resume=args.resume,
+    )
+    _say(
+        f"bought {result.labels_bought} labels "
+        f"({result.budget_spent_seconds:g}s of {budget_seconds:g}s) in "
+        f"{time.perf_counter() - start:.1f}s; {result.stopped_reason}"
+    )
+    _say(format_label_curves([record]))
+    final = result.final_round
+    _say(
+        f"final: ROC-AUC {final.eval_roc_auc:.4f}, "
+        f"accuracy {final.eval_accuracy:.1%}, "
+        f"false-alarm rate {final.eval_false_alarm_rate:.1%}"
+    )
+    if args.report:
+        write_report(
+            args.report,
+            "active_label_budget",
+            {
+                "pool_size": len(pool),
+                "eval_size": len(eval_data),
+                "full_budget_seconds": float(
+                    len(pool) * args.seconds_per_clip
+                ),
+                "budget_fraction": budget_seconds
+                / max(len(pool) * args.seconds_per_clip, 1e-9),
+                "seconds_per_clip": args.seconds_per_clip,
+                "strategies": [record],
+            },
+            metadata={"pool": pool.summary(), "eval": eval_data.summary()},
+        )
+        _say(f"wrote {args.report}")
+    if args.model:
+        # Serving-checkpoint format: the active loop's config differs from
+        # the bench harness default, so a weights-only npz would force the
+        # caller to reconstruct it out of band. A self-describing
+        # checkpoint loads anywhere (evaluate/scan/serve registry).
+        result.detector.save_checkpoint(args.model)
+        _say(f"model saved to {args.model}")
     return 0
 
 

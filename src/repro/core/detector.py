@@ -17,7 +17,12 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.exceptions import CheckpointCorruptError, TrainingError
-from repro.core.biased import BiasedLearning, BiasedRound, select_round
+from repro.core.biased import (
+    BiasedLearning,
+    BiasedRound,
+    biased_targets,
+    select_round,
+)
 from repro.core.config import DetectorConfig
 from repro.core.metrics import DetectionMetrics, evaluate_predictions
 from repro.core.model import build_dac17_network
@@ -28,7 +33,7 @@ from repro.features.scaler import ChannelScaler
 from repro.features.tensor import FeatureTensorExtractor
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD, StepDecay
-from repro.nn.trainer import TrainerConfig
+from repro.nn.trainer import Trainer, TrainerConfig, TrainingHistory
 
 PathLike = Union[str, Path]
 
@@ -198,6 +203,61 @@ class HotspotDetector:
         )
         self.network.set_weights(self.selected_round.weights)
         return self
+
+    # ------------------------------------------------------------------
+    # Warm-start fine-tuning
+    # ------------------------------------------------------------------
+    def finetune(self, train_data: HotspotDataset) -> "TrainingHistory":
+        """Fine-tune the already-trained network on (new) labelled data.
+
+        The warm-start entry point for incremental workloads (the active-
+        learning loop's per-round update): instead of rebuilding the
+        network and re-running Algorithms 1 + 2, training continues from
+        the current weights with the shrunken ε-round budget
+        (``finetune_fraction``), at the bias level the validation
+        procedure last accepted (``selected_round.epsilon``, 0 when the
+        detector was loaded without round history). The fitted channel
+        scaler is *frozen* — new data is standardised exactly as serving
+        traffic would be, so fine-tuning never shifts the input
+        distribution under the existing weights.
+
+        Deterministic given (weights, auxiliary layer state, data,
+        config): two detectors in identical states fine-tuned on the same
+        dataset land on bitwise-identical weights.
+        """
+        network = self._require_trained()
+        if not self.scaler.fitted:
+            raise TrainingError(
+                "detector has no fitted channel scaler; finetune() needs a "
+                "fit() or load_checkpoint() first"
+            )
+        if train_data.hotspot_count == 0 or train_data.non_hotspot_count == 0:
+            raise TrainingError(
+                f"fine-tuning data needs both classes, got {train_data.summary()}"
+            )
+        main, holdout = train_data.split(
+            self.config.validation_fraction, seed=self.config.seed
+        )
+        if self.config.augment_hotspots:
+            main = HotspotDataset(augment_dihedral(main.clips), name=main.name)
+        if self.config.balance_training:
+            main = HotspotDataset(
+                upsample_minority(main.clips, seed=self.config.seed),
+                name=main.name,
+            )
+        x_train = self._to_network_input(main)
+        x_val = self._to_network_input(holdout)
+        epsilon = (
+            self.selected_round.epsilon if self.selected_round is not None else 0.0
+        )
+        targets = biased_targets(main.labels, epsilon)
+        trainer = Trainer(
+            network,
+            self._optimizer_factory(network),
+            self._finetune_trainer_config(),
+        )
+        history = trainer.fit(x_train, targets, x_val, holdout.labels)
+        return history
 
     # ------------------------------------------------------------------
     # Inference

@@ -115,6 +115,28 @@ class HotspotDataset:
             allow_unlabelled=self.allow_unlabelled,
         )
 
+    def without(self, indices: Iterable[int], name: str = "") -> "HotspotDataset":
+        """Complement of :meth:`subset`: every clip *not* in ``indices``.
+
+        Original order is preserved. Negative indices are normalised the
+        way ``__getitem__`` resolves them; out-of-range indices raise —
+        a silent no-op there would corrupt pool bookkeeping (the active-
+        learning loop uses this to maintain the unlabelled pool without
+        manual index arithmetic).
+        """
+        n = len(self._clips)
+        drop = set()
+        for index in indices:
+            i = int(index)
+            if i < -n or i >= n:
+                raise DatasetError(
+                    f"index {i} out of range for {n}-clip dataset"
+                )
+            drop.add(i % n)
+        return self.subset(
+            [i for i in range(n) if i not in drop], name=name
+        )
+
     def split(
         self, holdout_fraction: float = 0.25, seed: int = 0
     ) -> Tuple["HotspotDataset", "HotspotDataset"]:

@@ -15,6 +15,42 @@ from repro.exceptions import DatasetError
 from repro.geometry.clip import Clip
 
 
+def stratified_split_indices(
+    labels: Sequence[int],
+    holdout_fraction: float = 0.25,
+    seed: int = 0,
+) -> Tuple[List[int], List[int]]:
+    """Stratified ``(main, holdout)`` split of an *index set*.
+
+    Takes the label vector of a pool and returns positional indices into
+    it — the form active-learning journals and checkpoints persist, since
+    an index list round-trips losslessly where a clip list does not.
+    The RNG consumption is identical to the historical clip-level
+    :func:`stratified_split`, so ``stratified_split(clips, f, s)`` equals
+    ``[clips[i] for i in stratified_split_indices(labels, f, s)]`` side
+    for side, element for element.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise DatasetError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    labels = [None if l is None else int(l) for l in labels]
+    if any(l is None for l in labels):
+        raise DatasetError("stratified_split requires labelled clips")
+    rng = np.random.default_rng(seed)
+    main: List[int] = []
+    holdout: List[int] = []
+    for label in (0, 1):
+        members = [i for i, l in enumerate(labels) if l == label]
+        order = rng.permutation(len(members))
+        cut = int(round(len(members) * holdout_fraction))
+        holdout.extend(members[i] for i in order[:cut])
+        main.extend(members[i] for i in order[cut:])
+    rng.shuffle(main)  # type: ignore[arg-type]
+    rng.shuffle(holdout)  # type: ignore[arg-type]
+    return main, holdout
+
+
 def stratified_split(
     clips: Sequence[Clip],
     holdout_fraction: float = 0.25,
@@ -24,25 +60,14 @@ def stratified_split(
 
     Each class is shuffled and cut independently, so a 25 % holdout takes
     25 % of the hotspots and 25 % of the non-hotspots (up to rounding).
+    Thin clip-level wrapper over :func:`stratified_split_indices` (same
+    seed -> same split, byte for byte, as every earlier release).
     """
-    if not 0.0 < holdout_fraction < 1.0:
-        raise DatasetError(
-            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
-        )
-    if any(c.label is None for c in clips):
-        raise DatasetError("stratified_split requires labelled clips")
-    rng = np.random.default_rng(seed)
-    main: List[Clip] = []
-    holdout: List[Clip] = []
-    for label in (0, 1):
-        members = [c for c in clips if c.label == label]
-        order = rng.permutation(len(members))
-        cut = int(round(len(members) * holdout_fraction))
-        holdout.extend(members[i] for i in order[:cut])
-        main.extend(members[i] for i in order[cut:])
-    rng.shuffle(main)  # type: ignore[arg-type]
-    rng.shuffle(holdout)  # type: ignore[arg-type]
-    return main, holdout
+    clips = list(clips)
+    main_idx, holdout_idx = stratified_split_indices(
+        [c.label for c in clips], holdout_fraction, seed
+    )
+    return [clips[i] for i in main_idx], [clips[i] for i in holdout_idx]
 
 
 def upsample_minority(clips: Sequence[Clip], seed: int = 0) -> List[Clip]:

@@ -68,6 +68,22 @@ class LithoError(ReproError):
     """Lithography-simulation configuration or input error."""
 
 
+class BudgetExhaustedError(LithoError):
+    """Label budget cannot pay for the requested lithography simulations.
+
+    Raised by :class:`~repro.litho.budget.BudgetedOracle` when a labelling
+    request costs more simulation seconds than the budget has left. The
+    request is rejected *whole* — no partial labelling — so callers can
+    shrink the batch to :meth:`~repro.litho.budget.LabelBudget.affordable_labels`
+    and retry.
+    """
+
+    def __init__(self, message: str, requested: int = 0, affordable: int = 0):
+        super().__init__(message)
+        self.requested = int(requested)
+        self.affordable = int(affordable)
+
+
 class ObservabilityError(ReproError):
     """Invalid telemetry configuration, sink failure, or malformed run log."""
 

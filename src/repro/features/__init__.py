@@ -28,6 +28,7 @@ from repro.features.tensor import (
     FeatureTensorConfig,
     FeatureTensorExtractor,
     encode_block_grid,
+    encode_image_batch,
 )
 from repro.features.zigzag import inverse_zigzag_indices, zigzag_indices
 
@@ -37,6 +38,7 @@ __all__ = [
     "FeatureTensorExtractor",
     "SlidingFeatureExtractor",
     "encode_block_grid",
+    "encode_image_batch",
     "DensityConfig",
     "DensityExtractor",
     "CCSConfig",

@@ -139,6 +139,49 @@ def encode_block_grid(
     return scanned[..., :k].astype(np.float32)
 
 
+def encode_image_batch(
+    images: np.ndarray, block: int, k: int, backend: Optional[str] = None
+) -> np.ndarray:
+    """Vectorised :func:`encode_block_grid` over a stack of images.
+
+    ``images`` is ``(N, H, W)`` with each dimension a multiple of
+    ``block``; returns ``(N, rows, cols, k)``. On the ``"matmul"``
+    backend the entire batch collapses into one GEMM against the cached
+    truncated-DCT projection — the fast path behind active-learning pool
+    embeddings, where thousands of clips are encoded at once. Each slice
+    ``out[i]`` is numerically identical to ``encode_block_grid(images[i],
+    ...)`` on the same backend.
+    """
+    backend = resolve_dct_backend(backend)
+    images = np.asarray(images)
+    if images.ndim != 3:
+        raise FeatureError(
+            f"expected (N, H, W) image stack, got shape {images.shape}"
+        )
+    if block < 1:
+        raise FeatureError(f"block size must be >= 1, got {block}")
+    n, h, w = images.shape
+    if h % block or w % block:
+        raise FeatureError(
+            f"images {h}x{w} not divisible into {block}-pixel blocks"
+        )
+    if k > block * block:
+        raise FeatureError(
+            f"k={k} exceeds block capacity {block * block} (B={block})"
+        )
+    rows, cols = h // block, w // block
+    blocks = images.reshape(n, rows, block, cols, block).transpose(0, 1, 3, 2, 4)
+    if backend == "matmul":
+        operator = truncated_dct_operator(block, k)
+        flat = np.ascontiguousarray(blocks, dtype=np.float64).reshape(
+            n * rows * cols, block * block
+        )
+        return (flat @ operator.T).reshape(n, rows, cols, k).astype(np.float32)
+    coefficients = dct2(blocks.astype(np.float64))
+    scanned = zigzag_flatten(coefficients)
+    return scanned[..., :k].astype(np.float32)
+
+
 class FeatureTensorExtractor:
     """Encodes clips to feature tensors and decodes them back to images."""
 
@@ -158,6 +201,37 @@ class FeatureTensorExtractor:
         """Feature tensor of ``clip`` with shape ``(n, n, k)``."""
         image = clip.rasterize(resolution=self.config.pixel_nm)
         return self.encode_image(image)
+
+    def extract_batch(self, clips) -> np.ndarray:
+        """Feature tensors for a sequence of clips, shape ``(N, n, n, k)``.
+
+        All clips are rasterised once and encoded in a single
+        :func:`encode_image_batch` call (one GEMM on the ``"matmul"``
+        backend), so embedding a whole unlabelled pool costs one batched
+        pass instead of N per-clip pipelines. Clips must share one window
+        size; each row equals :meth:`extract` of the same clip.
+        """
+        clips = list(clips)
+        if not clips:
+            raise FeatureError("cannot extract features from zero clips")
+        images = [clip.rasterize(resolution=self.config.pixel_nm) for clip in clips]
+        shapes = {image.shape for image in images}
+        if len(shapes) != 1:
+            raise FeatureError(
+                f"clips rasterise to mixed shapes {sorted(shapes)}; "
+                "batch extraction needs one clip size"
+            )
+        stack = np.stack(images)
+        n = self.config.block_count
+        h = stack.shape[1]
+        if h != stack.shape[2]:
+            raise FeatureError(f"images must be square, got {stack.shape[1:]}")
+        if h % n:
+            raise FeatureError(f"image side {h} not divisible into {n} blocks")
+        return encode_image_batch(
+            stack, h // n, self.config.coefficients,
+            backend=self.config.dct_backend,
+        )
 
     def encode_image(self, image: np.ndarray) -> np.ndarray:
         """Encode a pre-rasterised square image to an ``(n, n, k)`` tensor."""

@@ -21,6 +21,11 @@ neighbourhood through optical proximity, which is exactly the structure the
 paper's learners must capture.
 """
 
+from repro.litho.budget import (
+    BudgetedOracle,
+    LabelBudget,
+    PrelabelledOracle,
+)
 from repro.litho.epe import ContourStats, measure_contour
 from repro.litho.opc import OPCRules, correct_clip, correction_report
 from repro.litho.optics import OpticalModel, OpticsConfig
@@ -55,4 +60,7 @@ __all__ = [
     "OracleConfig",
     "OracleReport",
     "SimulationCostModel",
+    "LabelBudget",
+    "BudgetedOracle",
+    "PrelabelledOracle",
 ]

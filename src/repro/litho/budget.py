@@ -1,0 +1,185 @@
+"""Budgeted access to the lithography labeller.
+
+Real fabs operate label-scarce: every ground-truth label costs full
+process-window simulation (the paper's ODST metric charges 10 s per
+clip). The active-learning loop therefore never talks to
+:class:`~repro.litho.oracle.HotspotOracle` directly — it goes through a
+:class:`BudgetedOracle` that charges a :class:`LabelBudget` (priced by
+the existing :class:`~repro.litho.runtime.SimulationCostModel`) for each
+clip it labels and refuses requests the budget cannot pay for with a
+typed :class:`~repro.exceptions.BudgetExhaustedError`.
+
+:class:`PrelabelledOracle` is the replay twin for benchmarks and tests:
+clips that already carry a ground-truth label (our synthetic suites are
+labelled at generation time) are answered from that label without
+re-simulating, while the *cost* is still charged by the wrapping
+:class:`BudgetedOracle` — the economics of the label-scarce workload
+without paying the simulation wall-clock twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.exceptions import BudgetExhaustedError, LithoError
+from repro.geometry.clip import Clip
+from repro.litho.oracle import HotspotOracle
+from repro.litho.runtime import SimulationCostModel
+
+
+@dataclass
+class LabelBudget:
+    """Mutable simulation-seconds account for oracle labelling.
+
+    Attributes
+    ----------
+    total_seconds:
+        The full allowance. ``float("inf")`` means unmetered (useful as a
+        control arm in benchmarks).
+    cost_model:
+        Prices one label at ``cost_model.seconds_per_clip`` seconds.
+    spent_seconds / labels_bought:
+        Running account, advanced by :meth:`charge`.
+    """
+
+    total_seconds: float
+    cost_model: SimulationCostModel = field(default_factory=SimulationCostModel)
+    spent_seconds: float = 0.0
+    labels_bought: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_seconds < 0:
+            raise LithoError(
+                f"budget total_seconds must be >= 0, got {self.total_seconds}"
+            )
+        if self.spent_seconds < 0 or self.labels_bought < 0:
+            raise LithoError("budget account cannot start negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining_seconds(self) -> float:
+        return max(0.0, self.total_seconds - self.spent_seconds)
+
+    def affordable_labels(self) -> int:
+        """How many more labels this budget can pay for.
+
+        A free cost model (``seconds_per_clip == 0``) affords unboundedly
+        many; we report a large sentinel rather than ``inf`` so callers
+        can use the value directly in ``min(...)`` arithmetic.
+        """
+        per_clip = self.cost_model.seconds_per_clip
+        if per_clip == 0:
+            return 2**62
+        return int(self.remaining_seconds // per_clip)
+
+    def cost_of(self, count: int) -> float:
+        """Simulation seconds a ``count``-label request would charge."""
+        return self.cost_model.simulation_seconds(count)
+
+    def charge(self, count: int) -> float:
+        """Debit ``count`` labels; raises if the budget cannot pay."""
+        if count < 0:
+            raise LithoError(f"cannot charge a negative label count: {count}")
+        cost = self.cost_of(count)
+        if cost > self.remaining_seconds:
+            raise BudgetExhaustedError(
+                f"labelling {count} clips costs {cost:g}s but only "
+                f"{self.remaining_seconds:g}s of the {self.total_seconds:g}s "
+                "budget remain",
+                requested=count,
+                affordable=self.affordable_labels(),
+            )
+        self.spent_seconds += cost
+        self.labels_bought += count
+        return cost
+
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Checkpointable account snapshot (JSON scalars only)."""
+        return {
+            "total_seconds": self.total_seconds,
+            "seconds_per_clip": self.cost_model.seconds_per_clip,
+            "spent_seconds": self.spent_seconds,
+            "labels_bought": self.labels_bought,
+        }
+
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Restore an account written by :meth:`state`.
+
+        The budget *terms* (total, price per clip) must match — a resumed
+        run under different economics would silently change what the
+        recorded curve means.
+        """
+        total = float(state["total_seconds"])
+        per_clip = float(state["seconds_per_clip"])
+        if total != self.total_seconds or per_clip != self.cost_model.seconds_per_clip:
+            raise LithoError(
+                f"budget terms changed: checkpoint has total={total:g}s at "
+                f"{per_clip:g}s/clip, this budget is "
+                f"{self.total_seconds:g}s at "
+                f"{self.cost_model.seconds_per_clip:g}s/clip"
+            )
+        self.spent_seconds = float(state["spent_seconds"])
+        self.labels_bought = int(state["labels_bought"])
+
+
+class PrelabelledOracle:
+    """Answers from a clip's existing label; simulates only when missing.
+
+    Ground-truth replay for already-labelled pools: the synthetic suites
+    are labelled at generation time by the same
+    :class:`~repro.litho.oracle.HotspotOracle`, so re-simulating inside
+    an active-learning experiment would only burn wall-clock. Clips with
+    ``label is None`` fall through to the wrapped oracle.
+    """
+
+    def __init__(self, fallback: HotspotOracle = None):
+        self.fallback = fallback
+        self.replayed = 0
+        self.simulated = 0
+
+    def label_clip(self, clip: Clip) -> Clip:
+        if clip.label is not None:
+            self.replayed += 1
+            return clip
+        if self.fallback is None:
+            raise LithoError(
+                f"clip {clip.name!r} is unlabelled and PrelabelledOracle "
+                "has no fallback simulator"
+            )
+        self.simulated += 1
+        return self.fallback.label_clip(clip)
+
+    def label_clips(self, clips: Sequence[Clip]) -> List[Clip]:
+        return [self.label_clip(clip) for clip in clips]
+
+
+class BudgetedOracle:
+    """Charges a :class:`LabelBudget` for every clip an oracle labels.
+
+    Wraps anything exposing ``label_clips(clips) -> List[Clip]`` (the
+    real :class:`~repro.litho.oracle.HotspotOracle`, a
+    :class:`PrelabelledOracle`, test probes). A request is priced *up
+    front* and rejected whole with
+    :class:`~repro.exceptions.BudgetExhaustedError` if the budget cannot
+    cover it — an exhausted budget never produces a half-labelled batch.
+    """
+
+    def __init__(self, oracle, budget: LabelBudget):
+        if not hasattr(oracle, "label_clips"):
+            raise LithoError(
+                f"{type(oracle).__name__} has no label_clips(); cannot be "
+                "budget-wrapped"
+            )
+        self.oracle = oracle
+        self.budget = budget
+
+    def label_clips(self, clips: Sequence[Clip]) -> List[Clip]:
+        """Label ``clips``, debiting the budget first."""
+        clips = list(clips)
+        self.budget.charge(len(clips))
+        return self.oracle.label_clips(clips)
+
+    def label_clip(self, clip: Clip) -> Clip:
+        return self.label_clips([clip])[0]

@@ -1,0 +1,142 @@
+"""Property-based invariants of the label-budget active loop.
+
+The three pins from the issue: a selection round can never buy more
+labels than the budget affords, a selected batch is always disjoint from
+the already-labelled pool, and the diversity strategy is invariant under
+permutation of its candidate rows (the bitwise-resume precondition).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.active.selection import select_batch
+from repro.exceptions import BudgetExhaustedError
+from repro.litho.budget import LabelBudget
+from repro.litho.runtime import SimulationCostModel
+
+
+class TestBudgetNeverExceeded:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(0.0, 500.0),
+        st.floats(0.1, 30.0),
+        st.lists(st.integers(0, 40), min_size=1, max_size=12),
+    )
+    def test_charges_never_overdraw(self, total, price, requests):
+        # Whatever request sequence arrives, the account never goes
+        # negative, rejected requests debit nothing, and the books always
+        # balance exactly (labels bought x price == seconds spent).
+        budget = LabelBudget(total, SimulationCostModel(seconds_per_clip=price))
+        bought = 0
+        for request in requests:
+            affordable = budget.affordable_labels()
+            try:
+                budget.charge(request)
+            except BudgetExhaustedError:
+                assert request > affordable
+                assert budget.labels_bought == bought
+            else:
+                assert request <= affordable
+                bought += request
+            assert budget.spent_seconds <= total + 1e-9
+            assert budget.spent_seconds == pytest.approx(
+                budget.labels_bought * price
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.floats(0.0, 500.0),
+        st.floats(0.1, 30.0),
+        st.integers(1, 30),
+        st.integers(0, 50),
+    )
+    def test_loop_batch_cap_is_affordable(self, total, price, batch, pool):
+        # The loop's per-round purchase size — min(batch, pool,
+        # affordable) — is always chargeable; affordability is a promise.
+        budget = LabelBudget(total, SimulationCostModel(seconds_per_clip=price))
+        count = min(batch, pool, budget.affordable_labels())
+        budget.charge(count)
+        assert budget.spent_seconds <= total + 1e-9
+
+
+@st.composite
+def pool_with_labelled(draw):
+    pool_size = draw(st.integers(2, 40))
+    labelled_count = draw(st.integers(0, pool_size - 1))
+    order = np.random.default_rng(draw(st.integers(0, 2**31))).permutation(
+        pool_size
+    )
+    labelled = sorted(order[:labelled_count].tolist())
+    unlabelled = sorted(order[labelled_count:].tolist())
+    return pool_size, labelled, unlabelled
+
+
+class TestBatchDisjointFromLabelled:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pool_with_labelled(),
+        st.sampled_from(["random", "uncertainty", "uncertainty_diversity"]),
+        st.integers(1, 12),
+        st.integers(0, 2**31),
+    )
+    def test_selected_disjoint_and_unique(self, split, strategy, batch, seed):
+        pool_size, labelled, unlabelled = split
+        rng = np.random.default_rng(seed)
+        p1 = rng.uniform(0.01, 0.99, size=len(unlabelled))
+        embeddings = rng.normal(size=(pool_size, 4))
+        chosen = select_batch(
+            strategy,
+            batch,
+            unlabelled,
+            probabilities=np.column_stack([1.0 - p1, p1]),
+            embeddings=embeddings[unlabelled],
+            labelled_embeddings=embeddings[labelled],
+            rng=rng,
+        )
+        chosen = chosen.tolist()
+        assert len(chosen) == min(batch, len(unlabelled))
+        assert len(set(chosen)) == len(chosen)
+        assert set(chosen) <= set(unlabelled)
+        assert not set(chosen) & set(labelled)
+
+
+class TestKCenterPermutationInvariance:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(4, 30),
+        st.integers(1, 8),
+        st.integers(0, 5),
+        st.integers(0, 2**31),
+    )
+    def test_selection_is_a_function_of_the_set(
+        self, pool_size, batch, labelled_count, seed
+    ):
+        # For a fixed seed (fixed scores/embeddings), shuffling the rows
+        # of every aligned array together cannot change the selected set:
+        # selection depends on the candidate *set*, not its order.
+        rng = np.random.default_rng(seed)
+        pool = rng.choice(10_000, size=pool_size, replace=False)
+        p1 = rng.uniform(0.01, 0.99, size=pool_size)
+        probabilities = np.column_stack([1.0 - p1, p1])
+        embeddings = rng.normal(size=(pool_size, 6))
+        anchors = rng.normal(size=(labelled_count, 6))
+        baseline = select_batch(
+            "uncertainty_diversity",
+            batch,
+            pool,
+            probabilities=probabilities,
+            embeddings=embeddings,
+            labelled_embeddings=anchors,
+        )
+        perm = rng.permutation(pool_size)
+        shuffled = select_batch(
+            "uncertainty_diversity",
+            batch,
+            pool[perm],
+            probabilities=probabilities[perm],
+            embeddings=embeddings[perm],
+            labelled_embeddings=anchors,
+        )
+        assert sorted(baseline.tolist()) == sorted(shuffled.tolist())

@@ -1,0 +1,231 @@
+"""Tests for active-learning batch selection (repro.active.selection)."""
+
+import numpy as np
+import pytest
+
+from repro.active.selection import (
+    SELECTION_STRATEGIES,
+    entropy_uncertainty,
+    k_center_greedy,
+    margin_uncertainty,
+    select_batch,
+    uncertainty_scores,
+    validate_strategy,
+)
+from repro.exceptions import ConfigError, TrainingError
+
+
+def softmax_rows(*p1):
+    """(N, 2) probability rows from hotspot probabilities."""
+    p1 = np.asarray(p1, dtype=np.float64)
+    return np.column_stack([1.0 - p1, p1])
+
+
+class TestUncertaintyScores:
+    def test_entropy_extremes(self):
+        scores = entropy_uncertainty(softmax_rows(0.5, 1.0, 0.0))
+        assert scores[0] == pytest.approx(np.log(2.0))
+        # Degenerate rows are clipped, not log(0)-NaN.
+        assert scores[1] == pytest.approx(0.0, abs=1e-9)
+        assert scores[2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_entropy_monotone_toward_boundary(self):
+        scores = entropy_uncertainty(softmax_rows(0.9, 0.7, 0.55, 0.5))
+        assert np.all(np.diff(scores) > 0)
+
+    def test_margin_extremes(self):
+        scores = margin_uncertainty(softmax_rows(0.5, 1.0, 0.0))
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == pytest.approx(0.0)
+        assert scores[2] == pytest.approx(0.0)
+
+    def test_margin_symmetric(self):
+        assert margin_uncertainty(softmax_rows(0.3)) == pytest.approx(
+            margin_uncertainty(softmax_rows(0.7))
+        )
+
+    def test_dispatch(self):
+        rows = softmax_rows(0.2, 0.6)
+        assert np.allclose(
+            uncertainty_scores(rows, "entropy"), entropy_uncertainty(rows)
+        )
+        assert np.allclose(
+            uncertainty_scores(rows, "margin"), margin_uncertainty(rows)
+        )
+        with pytest.raises(ConfigError):
+            uncertainty_scores(rows, "variance")
+
+    def test_shape_validation(self):
+        with pytest.raises(TrainingError):
+            entropy_uncertainty(np.ones(4))
+        with pytest.raises(TrainingError):
+            margin_uncertainty(np.ones((4, 3)))
+
+    def test_validate_strategy(self):
+        for strategy in SELECTION_STRATEGIES:
+            assert validate_strategy(strategy) == strategy
+        with pytest.raises(ConfigError):
+            validate_strategy("qbc")
+
+
+class TestKCenterGreedy:
+    def test_farthest_point_traversal(self):
+        # Three tight clusters on a line: the first two picks must come
+        # from opposite extremes, the third from the middle.
+        points = np.array(
+            [[0.0], [0.1], [10.0], [10.1], [5.0], [5.1]]
+        )
+        picks = k_center_greedy(points, 3)
+        regions = sorted(points[picks, 0] // 3)
+        assert regions == [0.0, 1.0, 3.0]
+
+    def test_anchor_repels_first_pick(self):
+        points = np.array([[0.0], [10.0]])
+        # Anchored near 0, the farthest candidate is 10 — without the
+        # anchor, priorities alone would pick position 0.
+        picks = k_center_greedy(
+            points, 1, anchors=np.array([[0.5]]), priorities=np.array([9.0, 1.0])
+        )
+        assert picks.tolist() == [1]
+        picks = k_center_greedy(points, 1, priorities=np.array([9.0, 1.0]))
+        assert picks.tolist() == [0]
+
+    def test_count_edge_cases(self):
+        points = np.random.default_rng(0).normal(size=(5, 3))
+        assert k_center_greedy(points, 0).size == 0
+        assert sorted(k_center_greedy(points, 99).tolist()) == [0, 1, 2, 3, 4]
+        with pytest.raises(TrainingError):
+            k_center_greedy(points, -1)
+
+    def test_no_duplicate_picks(self):
+        points = np.zeros((6, 2))  # all-identical: ties everywhere
+        picks = k_center_greedy(points, 4)
+        assert len(set(picks.tolist())) == 4
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            k_center_greedy(np.ones(3), 1)
+        points = np.ones((3, 2))
+        with pytest.raises(TrainingError):
+            k_center_greedy(points, 1, priorities=np.ones(2))
+        with pytest.raises(TrainingError):
+            k_center_greedy(points, 1, tie_keys=np.arange(5))
+        with pytest.raises(TrainingError):
+            k_center_greedy(points, 1, anchors=np.ones((2, 5)))
+
+
+class TestSelectBatch:
+    def setup_method(self):
+        rng = np.random.default_rng(42)
+        self.pool = np.arange(100, 130)
+        p1 = rng.uniform(0.05, 0.95, size=self.pool.size)
+        self.probabilities = softmax_rows(*p1)
+        self.embeddings = rng.normal(size=(self.pool.size, 8))
+
+    def test_random_is_seeded_and_within_pool(self):
+        a = select_batch(
+            "random", 5, self.pool, rng=np.random.default_rng(3)
+        )
+        b = select_batch(
+            "random", 5, self.pool, rng=np.random.default_rng(3)
+        )
+        assert a.tolist() == b.tolist()
+        assert len(set(a.tolist())) == 5
+        assert set(a.tolist()) <= set(self.pool.tolist())
+
+    def test_uncertainty_takes_top_scores(self):
+        chosen = select_batch(
+            "uncertainty", 4, self.pool, probabilities=self.probabilities
+        )
+        scores = entropy_uncertainty(self.probabilities)
+        expected = self.pool[np.argsort(-scores)[:4]]
+        assert sorted(chosen.tolist()) == sorted(expected.tolist())
+
+    def test_uncertainty_tie_breaks_by_global_index(self):
+        rows = softmax_rows(0.5, 0.5, 0.5)
+        chosen = select_batch(
+            "uncertainty", 2, [7, 3, 5], probabilities=rows
+        )
+        assert chosen.tolist() == [3, 5]
+
+    def test_diversity_selects_from_uncertain_candidates(self):
+        chosen = select_batch(
+            "uncertainty_diversity",
+            5,
+            self.pool,
+            probabilities=self.probabilities,
+            embeddings=self.embeddings,
+            candidate_factor=2,
+        )
+        assert len(set(chosen.tolist())) == 5
+        scores = entropy_uncertainty(self.probabilities)
+        candidates = self.pool[np.argsort(-scores)[:10]]
+        assert set(chosen.tolist()) <= set(candidates.tolist())
+
+    def test_diversity_permutation_invariant(self):
+        kwargs = dict(
+            probabilities=self.probabilities,
+            embeddings=self.embeddings,
+            labelled_embeddings=self.embeddings[:3] + 5.0,
+        )
+        baseline = select_batch(
+            "uncertainty_diversity", 6, self.pool, **kwargs
+        )
+        perm = np.random.default_rng(9).permutation(self.pool.size)
+        shuffled = select_batch(
+            "uncertainty_diversity",
+            6,
+            self.pool[perm],
+            probabilities=self.probabilities[perm],
+            embeddings=self.embeddings[perm],
+            labelled_embeddings=kwargs["labelled_embeddings"],
+        )
+        assert sorted(baseline.tolist()) == sorted(shuffled.tolist())
+
+    def test_batch_capped_at_pool(self):
+        chosen = select_batch(
+            "uncertainty",
+            50,
+            self.pool,
+            probabilities=self.probabilities,
+        )
+        assert sorted(chosen.tolist()) == sorted(self.pool.tolist())
+
+    def test_zero_batch_is_empty(self):
+        assert select_batch("random", 0, self.pool).size == 0
+        assert select_batch("random", 5, []).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            select_batch("qbc", 5, self.pool)
+        with pytest.raises(TrainingError):
+            select_batch("random", -1, self.pool)
+        with pytest.raises(ConfigError):
+            select_batch(
+                "uncertainty_diversity",
+                2,
+                self.pool,
+                probabilities=self.probabilities,
+                embeddings=self.embeddings,
+                candidate_factor=0,
+            )
+        with pytest.raises(TrainingError):
+            select_batch("random", 2, [1, 1, 2])
+        with pytest.raises(TrainingError):
+            select_batch("uncertainty", 2, self.pool)
+        with pytest.raises(TrainingError):
+            select_batch(
+                "uncertainty", 2, self.pool,
+                probabilities=self.probabilities[:-1],
+            )
+        with pytest.raises(TrainingError):
+            select_batch(
+                "uncertainty_diversity", 2, self.pool,
+                probabilities=self.probabilities,
+            )
+        with pytest.raises(TrainingError):
+            select_batch(
+                "uncertainty_diversity", 2, self.pool,
+                probabilities=self.probabilities,
+                embeddings=self.embeddings[:-1],
+            )

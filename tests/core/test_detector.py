@@ -209,3 +209,65 @@ class TestServingCheckpoint:
     def test_untrained_to_state_raises(self):
         with pytest.raises(TrainingError):
             HotspotDetector(tiny_config()).to_state()
+
+
+class TestFinetune:
+    @pytest.fixture(scope="class")
+    def extra_data(self, tiny_data):
+        generator = ClipGenerator(
+            GeneratorConfig(
+                seed=11, oracle=OracleConfig(optics=OpticsConfig(pixel_nm=8))
+            )
+        )
+        return HotspotDataset(generator.generate(8, 14), name="tiny/extra")
+
+    def fit_twin(self, tiny_data):
+        train, _ = tiny_data
+        detector = HotspotDetector(tiny_config(bias_rounds=2))
+        detector.fit(train)
+        return detector
+
+    def test_finetune_is_deterministic(self, tiny_data, extra_data):
+        # Two detectors in identical states fine-tuned on the same data
+        # land on bitwise-identical weights — the property the active
+        # loop's warm-start resume relies on.
+        a = self.fit_twin(tiny_data)
+        b = self.fit_twin(tiny_data)
+        a.finetune(extra_data)
+        b.finetune(extra_data)
+        for wa, wb in zip(a.network.get_weights(), b.network.get_weights()):
+            assert np.array_equal(wa, wb)
+
+    def test_finetune_moves_weights_but_not_scaler(self, tiny_data, extra_data):
+        detector = self.fit_twin(tiny_data)
+        before_weights = [w.copy() for w in detector.network.get_weights()]
+        before_mean = detector.scaler.mean.copy()
+        detector.finetune(extra_data)
+        assert any(
+            not np.array_equal(b, a)
+            for b, a in zip(before_weights, detector.network.get_weights())
+        )
+        # The channel scaler is frozen: inputs keep serving-time scaling.
+        assert np.array_equal(detector.scaler.mean, before_mean)
+
+    def test_finetune_untrained_raises(self, extra_data):
+        with pytest.raises(TrainingError):
+            HotspotDetector(tiny_config()).finetune(extra_data)
+
+    def test_finetune_single_class_raises(self, tiny_data):
+        from repro.geometry.clip import Clip
+        from repro.geometry.rect import Rect
+
+        detector = self.fit_twin(tiny_data)
+        clips = [
+            Clip(Rect(0, 0, 1200, 1200), (), 0, f"c{i}") for i in range(8)
+        ]
+        with pytest.raises(TrainingError):
+            detector.finetune(HotspotDataset(clips))
+
+    def test_finetune_unfitted_scaler_raises(self, tiny_data):
+        trained = self.fit_twin(tiny_data)
+        hollow = HotspotDetector(tiny_config(bias_rounds=2))
+        hollow.network = trained.network  # weights without a fitted scaler
+        with pytest.raises(TrainingError):
+            hollow.finetune(tiny_data[0])

@@ -8,6 +8,7 @@ from repro.core.roc import (
     OperatingPoint,
     area_under_curve,
     best_odst_point,
+    rank_auc,
     sweep_thresholds,
 )
 
@@ -56,6 +57,55 @@ class TestAUC:
     def test_empty_raises(self):
         with pytest.raises(ReproError):
             area_under_curve([])
+
+
+class TestRankAUC:
+    def test_perfect_and_reversed(self):
+        assert rank_auc(SEPARABLE_P, SEPARABLE_Y) == 1.0
+        assert rank_auc(SEPARABLE_P, 1 - SEPARABLE_Y) == 0.0
+
+    def test_accepts_1d_scores(self):
+        scores = np.array([0.9, 0.8, 0.85, 0.2, 0.1, 0.15])
+        assert rank_auc(scores, SEPARABLE_Y) == rank_auc(
+            proba(scores), SEPARABLE_Y
+        )
+
+    def test_ties_count_half(self):
+        # One hotspot/non-hotspot pair tied, the other correctly ordered:
+        # AUC = (1 + 0.5 + 1 + 1) / 4.
+        assert rank_auc(
+            np.array([0.5, 0.9, 0.5, 0.1]), np.array([1, 1, 0, 0])
+        ) == pytest.approx(0.875)
+
+    def test_exact_pair_probability(self):
+        # Brute-force Mann-Whitney on a random instance.
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(size=30)
+        labels = rng.integers(0, 2, 30)
+        wins = sum(
+            1.0 if sp > sn else (0.5 if sp == sn else 0.0)
+            for sp in scores[labels == 1]
+            for sn in scores[labels == 0]
+        )
+        pairs = (labels == 1).sum() * (labels == 0).sum()
+        assert rank_auc(scores, labels) == pytest.approx(wins / pairs)
+
+    def test_random_detector_is_half(self):
+        assert rank_auc(
+            np.full(40, 0.5), np.random.default_rng(1).integers(0, 2, 40)
+        ) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            rank_auc(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ReproError):
+            rank_auc(np.zeros((2, 2, 2)), np.zeros(2))
+        with pytest.raises(ReproError):
+            rank_auc(np.zeros(3), np.zeros(4))
+        with pytest.raises(ReproError):
+            rank_auc(np.array([0.1, 0.9]), np.array([1, 1]))
+        with pytest.raises(ReproError):
+            rank_auc(np.array([0.1, 0.9]), np.array([0, 0]))
 
 
 class TestBestODST:

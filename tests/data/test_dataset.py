@@ -112,6 +112,38 @@ class TestComposition:
         names_holdout = {c.name for c in holdout}
         assert not names_main & names_holdout
 
+    def test_without_is_subset_complement(self):
+        ds = HotspotDataset(make_clips(2, 3))
+        rest = ds.without([1, 3])
+        assert [c.name for c in rest] == ["h0", "n0", "n2"]
+        assert ds.subset([1, 3]).clips + rest.clips != []  # both views live
+        assert len(rest) + 2 == len(ds)
+
+    def test_without_preserves_order_and_name(self):
+        ds = HotspotDataset(make_clips(2, 2), name="pool")
+        rest = ds.without([0])
+        assert [c.name for c in rest] == ["h1", "n0", "n1"]
+        assert rest.name == "pool"
+        assert ds.without([0], name="rest").name == "rest"
+
+    def test_without_normalises_negative_indices(self):
+        ds = HotspotDataset(make_clips(2, 2))
+        assert [c.name for c in ds.without([-1, 0])] == ["h1", "n0"]
+        # -1 and the last positive index name the same clip.
+        assert [c.name for c in ds.without([-1, 3])] == ["h0", "h1", "n0"]
+
+    def test_without_empty_and_everything(self):
+        ds = HotspotDataset(make_clips(2, 2))
+        assert len(ds.without([])) == 4
+        assert len(ds.without(range(4))) == 0
+
+    def test_without_out_of_range_raises(self):
+        ds = HotspotDataset(make_clips(2, 2))
+        with pytest.raises(DatasetError):
+            ds.without([4])
+        with pytest.raises(DatasetError):
+            ds.without([-5])
+
     def test_merged_with(self):
         a = HotspotDataset(make_clips(1, 1), name="a")
         b = HotspotDataset(make_clips(2, 0), name="b")

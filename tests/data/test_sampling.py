@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import DatasetError
-from repro.data.sampling import class_counts, stratified_split, upsample_minority
+from repro.data.sampling import (
+    class_counts,
+    stratified_split,
+    stratified_split_indices,
+    upsample_minority,
+)
 from repro.geometry.clip import Clip
 from repro.geometry.rect import Rect
 
@@ -54,6 +59,49 @@ class TestStratifiedSplit:
     def test_unlabelled_rejected(self):
         with pytest.raises(DatasetError):
             stratified_split([Clip(WINDOW)], 0.25)
+
+
+class TestStratifiedSplitIndices:
+    def test_byte_compatible_with_clip_split(self):
+        # The index-level split must be the same draw as the historical
+        # clip-level API: element for element, side for side, any seed.
+        clips = labelled_clips(13, 27)
+        labels = [c.label for c in clips]
+        for seed in (0, 1, 42):
+            main_c, holdout_c = stratified_split(clips, 0.25, seed=seed)
+            main_i, holdout_i = stratified_split_indices(labels, 0.25, seed=seed)
+            assert [clips[i] for i in main_i] == main_c
+            assert [clips[i] for i in holdout_i] == holdout_c
+
+    def test_partition_of_index_set(self):
+        labels = [1] * 8 + [0] * 12
+        main, holdout = stratified_split_indices(labels, 0.25, seed=3)
+        assert sorted(main + holdout) == list(range(20))
+
+    def test_proportions(self):
+        main, holdout = stratified_split_indices(
+            [1] * 40 + [0] * 80, 0.25, seed=0
+        )
+        labels = [1] * 40 + [0] * 80
+        assert sum(labels[i] for i in holdout) == 10
+        assert len(holdout) == 30
+
+    def test_seed_stability(self):
+        labels = [1] * 10 + [0] * 10
+        assert stratified_split_indices(labels, 0.25, seed=5) == (
+            stratified_split_indices(labels, 0.25, seed=5)
+        )
+        a = stratified_split_indices(labels, 0.25, seed=1)
+        b = stratified_split_indices(labels, 0.25, seed=2)
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            stratified_split_indices([0, 1], 0.0)
+        with pytest.raises(DatasetError):
+            stratified_split_indices([0, 1], 1.0)
+        with pytest.raises(DatasetError):
+            stratified_split_indices([0, None, 1], 0.25)
 
 
 class TestUpsample:

@@ -90,6 +90,71 @@ class TestEncode:
             small_extractor().encode_image(np.zeros((61, 61)))
 
 
+class TestBatchEncode:
+    def make_clips(self):
+        rng = np.random.default_rng(8)
+        clips = []
+        for _ in range(5):
+            rects = tuple(
+                Rect(x, y, x + w, y + h)
+                for x, y, w, h in zip(
+                    rng.integers(0, 180, 3),
+                    rng.integers(0, 180, 3),
+                    rng.integers(8, 60, 3),
+                    rng.integers(8, 60, 3),
+                )
+            )
+            clips.append(Clip(WINDOW, rects))
+        return clips
+
+    @pytest.mark.parametrize("backend", ["scipy", "matmul"])
+    def test_encode_image_batch_matches_per_image(self, backend):
+        from repro.features.tensor import encode_block_grid, encode_image_batch
+
+        rng = np.random.default_rng(3)
+        images = rng.normal(size=(4, 20, 20))
+        batched = encode_image_batch(images, block=5, k=7, backend=backend)
+        assert batched.shape == (4, 4, 4, 7)
+        for i, image in enumerate(images):
+            single = encode_block_grid(image, block=5, k=7, backend=backend)
+            assert np.array_equal(batched[i], single)
+
+    def test_backends_agree(self):
+        from repro.features.tensor import encode_image_batch
+
+        images = np.random.default_rng(4).normal(size=(3, 15, 15))
+        a = encode_image_batch(images, block=5, k=9, backend="scipy")
+        b = encode_image_batch(images, block=5, k=9, backend="matmul")
+        assert np.allclose(a, b, atol=1e-5)
+
+    def test_extract_batch_rows_equal_extract(self):
+        ext = small_extractor()
+        clips = self.make_clips()
+        batched = ext.extract_batch(clips)
+        assert batched.shape == (len(clips),) + ext.output_shape
+        for i, clip in enumerate(clips):
+            assert np.array_equal(batched[i], ext.extract(clip))
+
+    def test_extract_batch_validation(self):
+        from repro.features.tensor import encode_image_batch
+
+        ext = small_extractor()
+        with pytest.raises(FeatureError):
+            ext.extract_batch([])
+        mixed = [
+            Clip(WINDOW, (Rect(10, 10, 30, 30),)),
+            Clip(Rect(0, 0, 480, 480), (Rect(10, 10, 30, 30),)),
+        ]
+        with pytest.raises(FeatureError):
+            ext.extract_batch(mixed)
+        with pytest.raises(FeatureError):
+            encode_image_batch(np.zeros((4, 4)), block=2, k=2)
+        with pytest.raises(FeatureError):
+            encode_image_batch(np.zeros((2, 5, 5)), block=2, k=2)
+        with pytest.raises(FeatureError):
+            encode_image_batch(np.zeros((2, 4, 4)), block=2, k=5)
+
+
 class TestDecode:
     def test_exact_roundtrip_with_full_k(self):
         ext = FeatureTensorExtractor(

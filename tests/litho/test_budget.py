@@ -1,0 +1,132 @@
+"""Tests for the budgeted labelling layer (litho.budget)."""
+
+import pytest
+
+from repro.exceptions import BudgetExhaustedError, LithoError
+from repro.geometry.clip import HOTSPOT, NON_HOTSPOT, Clip
+from repro.geometry.rect import Rect
+from repro.litho.budget import BudgetedOracle, LabelBudget, PrelabelledOracle
+from repro.litho.oracle import HotspotOracle
+from repro.litho.runtime import SimulationCostModel
+
+WINDOW = Rect(0, 0, 1200, 1200)
+
+
+def clip(*rects, label=None):
+    return Clip(WINDOW, tuple(rects), label=label)
+
+
+CLEAN = clip(Rect(500, 100, 620, 1100))        # prints comfortably
+HOT = clip(Rect(500, 100, 540, 1100))          # vanishing line
+
+
+class TestLabelBudget:
+    def test_charge_advances_account(self):
+        budget = LabelBudget(100.0)
+        assert budget.charge(3) == pytest.approx(30.0)
+        assert budget.spent_seconds == pytest.approx(30.0)
+        assert budget.labels_bought == 3
+        assert budget.remaining_seconds == pytest.approx(70.0)
+        assert budget.affordable_labels() == 7
+
+    def test_whole_request_rejected(self):
+        budget = LabelBudget(25.0)
+        with pytest.raises(BudgetExhaustedError) as info:
+            budget.charge(3)
+        # Rejection is all-or-nothing: nothing was debited.
+        assert budget.spent_seconds == 0.0
+        assert budget.labels_bought == 0
+        assert info.value.requested == 3
+        assert info.value.affordable == 2
+
+    def test_exhausted_error_is_a_litho_error(self):
+        with pytest.raises(LithoError):
+            LabelBudget(0.0).charge(1)
+
+    def test_free_cost_model_affords_unboundedly(self):
+        budget = LabelBudget(1.0, SimulationCostModel(seconds_per_clip=0.0))
+        assert budget.affordable_labels() >= 10**9
+        budget.charge(1000)
+        assert budget.spent_seconds == 0.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(LithoError):
+            LabelBudget(-1.0)
+        with pytest.raises(LithoError):
+            LabelBudget(10.0).charge(-1)
+
+    def test_state_round_trip(self):
+        budget = LabelBudget(100.0)
+        budget.charge(4)
+        twin = LabelBudget(100.0)
+        twin.load_state(budget.state())
+        assert twin.spent_seconds == budget.spent_seconds
+        assert twin.labels_bought == budget.labels_bought
+
+    def test_load_state_rejects_changed_terms(self):
+        state = LabelBudget(100.0).state()
+        with pytest.raises(LithoError):
+            LabelBudget(200.0).load_state(state)
+        with pytest.raises(LithoError):
+            LabelBudget(
+                100.0, SimulationCostModel(seconds_per_clip=5.0)
+            ).load_state(state)
+
+
+class TestPrelabelledOracle:
+    def test_replays_existing_labels_without_simulating(self):
+        oracle = PrelabelledOracle()
+        got = oracle.label_clips(
+            [clip(label=HOTSPOT), clip(label=NON_HOTSPOT)]
+        )
+        assert [c.label for c in got] == [HOTSPOT, NON_HOTSPOT]
+        assert oracle.replayed == 2
+        assert oracle.simulated == 0
+
+    def test_falls_back_to_simulator_for_unlabelled(self):
+        oracle = PrelabelledOracle(HotspotOracle())
+        got = oracle.label_clips([CLEAN, HOT])
+        assert [c.label for c in got] == [NON_HOTSPOT, HOTSPOT]
+        assert oracle.simulated == 2
+
+    def test_unlabelled_without_fallback_raises(self):
+        with pytest.raises(LithoError):
+            PrelabelledOracle().label_clip(CLEAN)
+
+
+class TestBudgetedOracle:
+    def test_charges_before_labelling(self):
+        budget = LabelBudget(20.0)
+        oracle = BudgetedOracle(PrelabelledOracle(), budget)
+        oracle.label_clips([clip(label=HOTSPOT), clip(label=HOTSPOT)])
+        assert budget.labels_bought == 2
+        assert budget.remaining_seconds == 0.0
+
+    def test_unaffordable_batch_rejected_whole(self):
+        budget = LabelBudget(20.0)
+        inner = PrelabelledOracle()
+        oracle = BudgetedOracle(inner, budget)
+        with pytest.raises(BudgetExhaustedError):
+            oracle.label_clips([clip(label=HOTSPOT)] * 3)
+        # The wrapped oracle never saw the request.
+        assert inner.replayed == 0
+        assert budget.labels_bought == 0
+
+    def test_single_clip_path(self):
+        budget = LabelBudget(10.0)
+        got = BudgetedOracle(PrelabelledOracle(), budget).label_clip(
+            clip(label=NON_HOTSPOT)
+        )
+        assert got.label == NON_HOTSPOT
+        assert budget.labels_bought == 1
+
+    def test_rejects_unlabellable_oracle(self):
+        with pytest.raises(LithoError):
+            BudgetedOracle(object(), LabelBudget(10.0))
+
+    def test_wraps_real_oracle(self):
+        budget = LabelBudget(50.0)
+        oracle = BudgetedOracle(HotspotOracle(), budget)
+        got = oracle.label_clips([CLEAN, HOT])
+        assert [c.label for c in got] == [NON_HOTSPOT, HOTSPOT]
+        assert budget.spent_seconds == pytest.approx(20.0)

@@ -1,5 +1,7 @@
 """Tests for the hotspot-labelling oracle."""
 
+import multiprocessing
+
 import pytest
 
 from repro.exceptions import LithoError
@@ -126,6 +128,26 @@ class TestCostModel:
         model = SimulationCostModel(seconds_per_clip=10.0)
         assert model.odst_seconds(100, 25.0) == pytest.approx(1025.0)
 
+    def test_odst_zero_detections_is_pure_evaluation(self):
+        # A detector that flags nothing pays only its own inference time:
+        # the simulation term vanishes exactly.
+        model = SimulationCostModel(seconds_per_clip=10.0)
+        assert model.odst_seconds(0, 25.0) == pytest.approx(25.0)
+        assert model.odst_seconds(0, 0.0) == 0.0
+
+    def test_odst_custom_seconds_per_clip(self):
+        # The per-clip price scales only the simulation term.
+        for price in (0.5, 3.0, 120.0):
+            model = SimulationCostModel(seconds_per_clip=price)
+            assert model.simulation_seconds(7) == pytest.approx(7 * price)
+            assert model.odst_seconds(7, 2.0) == pytest.approx(7 * price + 2.0)
+
+    def test_odst_free_cost_model(self):
+        # seconds_per_clip=0 is legal (used as an unmetered control arm):
+        # detections then cost nothing beyond evaluation.
+        model = SimulationCostModel(seconds_per_clip=0.0)
+        assert model.odst_seconds(1000, 4.0) == pytest.approx(4.0)
+
     def test_validation(self):
         with pytest.raises(LithoError):
             SimulationCostModel(seconds_per_clip=-1.0)
@@ -134,3 +156,38 @@ class TestCostModel:
             model.simulation_seconds(-1)
         with pytest.raises(LithoError):
             model.odst_seconds(1, -0.5)
+
+
+def _label_in_subprocess(clips, queue):
+    """Child target: label the clips with a freshly built oracle."""
+    oracle = HotspotOracle()
+    queue.put([c.label for c in oracle.label_clips(clips)])
+
+
+class TestCrossProcessDeterminism:
+    def test_labels_identical_across_processes(self):
+        # The active-learning economics assume a label is a fact, not a
+        # sample: a clip must get the same label from any process (e.g. a
+        # resumed loop re-labelling after a crash on another worker).
+        clips = [
+            clip(Rect(500, 100, 620, 1100)),
+            clip(Rect(500, 100, 540, 1100)),
+            clip(Rect(400, 100, 560, 1100), Rect(640, 100, 800, 1100)),
+            clip(Rect(400, 100, 560, 1100), Rect(680, 100, 840, 1100)),
+        ]
+        parent_labels = [c.label for c in HotspotOracle().label_clips(clips)]
+
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        workers = [
+            context.Process(target=_label_in_subprocess, args=(clips, queue))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        child_results = [queue.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        for labels in child_results:
+            assert labels == parent_labels

@@ -112,6 +112,35 @@ class TestTrainEvaluate:
         assert "windows scanned" in out
 
 
+class TestActive:
+    def test_active_model_round_trips_through_evaluate(self, tmp_path, capsys):
+        """`active --model` writes a self-describing checkpoint that
+        `evaluate` loads despite the non-bench detector config."""
+        pool = tmp_path / "pool.txt"
+        eval_data = tmp_path / "eval.txt"
+        model = tmp_path / "model.npz"
+        report = tmp_path / "record.json"
+        assert main(["generate", str(pool), "--hotspots", "8",
+                     "--non-hotspots", "14", "--seed", "3"]) == 0
+        assert main(["generate", str(eval_data), "--hotspots", "6",
+                     "--non-hotspots", "8", "--seed", "4"]) == 0
+        assert main(["active", str(pool), "--eval", str(eval_data),
+                     "--seed-size", "6", "--batch-size", "3",
+                     "--rounds", "1", "--iterations", "40",
+                     "--report", str(report), "--model", str(model)]) == 0
+        out = capsys.readouterr().out
+        assert "bought" in out and "final: ROC-AUC" in out
+        assert report.exists()
+
+        from repro.core.detector import HotspotDetector
+
+        clone = HotspotDetector.load_checkpoint(model)
+        assert clone.config.feature.coefficients == 16  # active default
+
+        assert main(["evaluate", str(model), str(eval_data)]) == 0
+        assert "Accu" in capsys.readouterr().out
+
+
 class TestServe:
     def test_train_publish_then_serve(self, tmp_path, capsys, monkeypatch):
         """One train feeds both halves: publish wiring and serve wiring."""
