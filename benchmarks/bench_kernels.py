@@ -16,6 +16,10 @@ temporary-chain optimizer updates):
   backend on 12 x 12-pixel blocks (the paper's Figure-1 geometry).
 - ``train_step``: Table-1 network end-to-end — float64 unpooled/unfused
   (seed-equivalent) vs float32 + fused conv + workspace pooling.
+- ``quant``: inference forward on the Table-1 network per precision —
+  float64 (untouched layer path) vs conventional pooled float32 vs the
+  compiled float16 / int8 plans — plus fused-vs-unfused dequant+bias+ReLU
+  epilogue numbers per plan precision and the int8 probability drift.
 
 Writes per-op results to ``BENCH_kernels.json`` and the train-epoch /
 feature-scan throughput trajectory to ``BENCH_train.json``; both
@@ -23,8 +27,9 @@ artifacts are re-read and schema-checked loudly so a malformed record
 fails the run instead of silently poisoning the perf history.
 
 Full mode asserts the acceptance thresholds (train step >= 2x, matmul
-DCT >= 3x); ``--tiny`` shrinks every size/repeat for a CI smoke run and
-skips the speedup asserts (schema checks still apply).
+DCT >= 3x, int8 forward >= 2x pooled float32, SGD in-place >= 0.95x);
+``--tiny`` shrinks every size/repeat for a CI smoke run and skips the
+speedup asserts (schema checks still apply).
 
 Run: ``PYTHONPATH=src python benchmarks/bench_kernels.py [--tiny]``
 """
@@ -71,6 +76,15 @@ _KERNELS_SCHEMA = {
     "dct": ("scipy_ms", "matmul_ms", "speedup"),
     "train_step": (
         "baseline_steps_per_s", "fast_steps_per_s", "speedup",
+    ),
+    "quant": (
+        "float64_ms", "float32_ms", "float16_ms", "int8_ms",
+        "speedup_int8_vs_float32", "speedup_int8_vs_float64",
+        "speedup_float16_vs_float32",
+        "float32_fused_ms", "float32_unfused_ms", "float32_fuse_speedup",
+        "float16_fused_ms", "float16_unfused_ms", "float16_fuse_speedup",
+        "int8_fused_ms", "int8_unfused_ms", "int8_fuse_speedup",
+        "int8_max_prob_delta",
     ),
 }
 
@@ -489,6 +503,71 @@ def bench_train_step(steps: int, warmup: int, batch: int) -> dict:
     }
 
 
+def bench_quant(repeats: int, batch: int) -> dict:
+    """Inference forward per precision on the Table-1 network.
+
+    The float32 number is the *conventional* pooled forward on a cast
+    twin (what a non-quantized deployment would run), so
+    ``speedup_int8_vs_float32`` is the honest serving win. The
+    fused-vs-unfused pairs time the compiled plan with the
+    dequant+bias+ReLU epilogue folded into the GEMM output pass vs the
+    same plan emitting a separate activation pass.
+    """
+    from repro.nn.loss import softmax
+    from repro.nn.quant import (
+        InferencePlan,
+        attach_quant_state,
+        calibrate_network,
+        quantize_network,
+    )
+
+    rng = np.random.default_rng(8)
+    network = build_dac17_network(seed=0)
+    x64 = rng.standard_normal((batch, 32, 12, 12))
+    x32 = x64.astype(np.float32)
+
+    chunk = max(1, min(16, batch))
+    calibration = calibrate_network(
+        network, (x32[i : i + chunk] for i in range(0, batch, chunk))
+    )
+    attach_quant_state(network, quantize_network(network, calibration=calibration))
+
+    t64 = best_of(lambda: network.infer(x64), repeats)
+    t32 = best_of(lambda: network.infer(x32, precision="float32"), repeats)
+    t16 = best_of(lambda: network.infer(x32, precision="float16"), repeats)
+    t8 = best_of(lambda: network.infer(x32, precision="int8"), repeats)
+
+    results = {
+        "float64_ms": t64 * 1e3,
+        "float32_ms": t32 * 1e3,
+        "float16_ms": t16 * 1e3,
+        "int8_ms": t8 * 1e3,
+        "speedup_int8_vs_float32": t32 / t8,
+        "speedup_int8_vs_float64": t64 / t8,
+        "speedup_float16_vs_float32": t32 / t16,
+        "batch_size": batch,
+    }
+
+    for precision in ("float32", "float16", "int8"):
+        fused = InferencePlan(network, precision, calibration=calibration)
+        unfused = InferencePlan(
+            network, precision, fuse_epilogue=False, calibration=calibration
+        )
+        t_fused = best_of(lambda: fused.run(x32), repeats)
+        t_unfused = best_of(lambda: unfused.run(x32), repeats)
+        results[f"{precision}_fused_ms"] = t_fused * 1e3
+        results[f"{precision}_unfused_ms"] = t_unfused * 1e3
+        results[f"{precision}_fuse_speedup"] = t_unfused / t_fused
+
+    probs64 = softmax(network.infer(x64))
+    probs8 = softmax(network.infer(x32, precision="int8").astype(np.float64))
+    delta = float(np.max(np.abs(probs8 - probs64)))
+    # The drift is never exactly zero for a real int8 path; the floor only
+    # keeps the schema's positive-number check meaningful.
+    results["int8_max_prob_delta"] = max(delta, 1e-12)
+    return results
+
+
 # ----------------------------------------------------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -513,6 +592,7 @@ def main(argv=None) -> int:
         "optimizer": bench_optimizers(repeats),
         "dct": bench_dct(repeats, encodes),
         "train_step": bench_train_step(steps, warmup, train_batch),
+        "quant": bench_quant(repeats, batch),
     }
     for section, entry in results.items():
         keys = [k for k in entry if "speedup" in k]
@@ -554,15 +634,26 @@ def main(argv=None) -> int:
     if not args.tiny:
         train_speedup = results["train_step"]["speedup"]
         dct_speedup = results["dct"]["speedup"]
+        int8_speedup = results["quant"]["speedup_int8_vs_float32"]
+        sgd_speedup = results["optimizer"]["sgd_speedup"]
         assert train_speedup >= 2.0, (
             f"train-step speedup {train_speedup:.2f}x below the 2x target"
         )
         assert dct_speedup >= 3.0, (
             f"matmul-DCT speedup {dct_speedup:.2f}x below the 3x target"
         )
+        assert int8_speedup >= 2.0, (
+            f"int8 forward speedup {int8_speedup:.2f}x below the 2x target"
+        )
+        assert sgd_speedup >= 0.95, (
+            f"in-place SGD at {sgd_speedup:.2f}x of the allocating replica "
+            f"(must stay >= 0.95x)"
+        )
         print(
             f"thresholds OK: train {train_speedup:.2f}x >= 2x, "
-            f"DCT {dct_speedup:.2f}x >= 3x"
+            f"DCT {dct_speedup:.2f}x >= 3x, "
+            f"int8 {int8_speedup:.2f}x >= 2x, "
+            f"SGD {sgd_speedup:.2f}x >= 0.95x"
         )
     return 0
 

@@ -26,6 +26,14 @@ physically available when there are cores to run the replicas on, so
 the ≥2.5x-at-4-replicas expectation is asserted only on machines with
 at least 4 CPUs; the measurements (and ``cpu_count``) are recorded
 honestly either way.
+
+The ``quant`` section serves the same checkpoint quantized: an int8
+fleet vs a float32 fleet at equal replica counts under batched-window
+requests (so forward compute, not IPC, dominates — single-clip requests
+would measure the queue, not the precision), plus the shared-memory
+payload sizes (int8 vs float64), the int8 segment attach time, and the
+int8-vs-float64 decision-parity deltas. The int8 fleet must clear 1.5x
+the float32 fleet's throughput.
 """
 
 import os
@@ -33,10 +41,12 @@ import threading
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.bench.report import read_report, write_report
 from repro.core.config import DetectorConfig
+from repro.core.parity import check_parity
 from repro.core.detector import HotspotDetector
 from repro.data.dataset import HotspotDataset
 from repro.data.generator import ClipGenerator, GeneratorConfig
@@ -53,6 +63,7 @@ from repro.serve import (
     InferenceEngine,
     ModelRegistry,
 )
+from repro.serve.shm import SharedModel
 
 #: Where the serving perf record lands (repo root, next to BENCH_fullchip).
 ARTIFACT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
@@ -92,6 +103,30 @@ _FLEET_SWEEP_KEYS = (
     "speedup_vs_single_process",
 )
 
+#: Quantized-serving comparison: batched-window requests so the replica
+#: forward pass dominates the request cost.
+QUANT_REPLICAS = 2
+QUANT_WINDOWS_PER_REQUEST = 64
+QUANT_CLIENT_THREADS = 4
+QUANT_REQUESTS_PER_THREAD = 10
+
+_QUANT_KEYS = (
+    "replicas",
+    "windows_per_request",
+    "requests",
+    "float32_rps",
+    "int8_rps",
+    "float32_windows_per_s",
+    "int8_windows_per_s",
+    "speedup_int8_vs_float32",
+    "segment_bytes_float64",
+    "segment_bytes_int8",
+    "payload_shrink",
+    "attach_seconds_int8",
+    "parity_flag_jaccard",
+    "parity_max_prob_delta",
+)
+
 
 def validate_serve_report(path: Path) -> dict:
     """Re-read BENCH_serve.json and fail loudly on schema drift."""
@@ -122,6 +157,15 @@ def validate_serve_report(path: Path) -> dict:
         assert entry["requests_per_second"] > 0
         assert entry["p95_latency_s"] > 0
         assert entry["speedup_vs_single_process"] > 0
+    quant = document["results"]["quant"]
+    for key in _QUANT_KEYS:
+        assert key in quant, f"{path}: quant section missing {key!r}"
+    assert quant["float32_rps"] > 0
+    assert quant["int8_rps"] > 0
+    assert quant["speedup_int8_vs_float32"] > 0
+    assert quant["segment_bytes_int8"] < quant["segment_bytes_float64"]
+    assert quant["payload_shrink"] > 1.0
+    assert 0.0 < quant["parity_flag_jaccard"] <= 1.0
     return document
 
 
@@ -315,6 +359,112 @@ def measure_tracing_overhead(detector, feature_batch) -> dict:
     }
 
 
+def drive_quant_fleet(registry_dir, window_batch, precision):
+    """Batched-window load against a fleet pinned to one precision."""
+    metrics = MetricsRegistry()
+    previous = set_registry(metrics)
+    try:
+        engine = FleetEngine(
+            ModelRegistry(registry_dir),
+            FleetConfig(
+                replicas=QUANT_REPLICAS,
+                max_queue=4096,
+                max_batch=QUANT_WINDOWS_PER_REQUEST,
+                max_wait_ms=0.0,
+                infer_precision=precision,
+            ),
+        )
+        try:
+            barrier = threading.Barrier(QUANT_CLIENT_THREADS + 1)
+            errors = []
+
+            def client(slot):
+                try:
+                    barrier.wait()
+                    for _ in range(QUANT_REQUESTS_PER_THREAD):
+                        engine.predict(window_batch, timeout=120)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(slot,))
+                for slot in range(QUANT_CLIENT_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+        finally:
+            engine.close()
+        assert not errors, errors
+        requests = QUANT_CLIENT_THREADS * QUANT_REQUESTS_PER_THREAD
+        return requests / max(elapsed, 1e-9)
+    finally:
+        set_registry(previous)
+
+
+def measure_quant_serving(detector, feature_batch, tmp_dir) -> dict:
+    """int8 fleet vs float32 fleet, shm payload sizes, and parity deltas.
+
+    The checkpoint is published once with both quantized parity reports;
+    each fleet then activates it at its own precision, so the comparison
+    serves the exact bytes a production rollout would.
+    """
+    registry_dir = Path(tmp_dir) / "bench-quant-registry"
+    registry = ModelRegistry(registry_dir)
+    registry.publish(
+        detector,
+        "bench-q1",
+        quantize=("float32", "int8"),
+        calibration=feature_batch,
+    )
+    repeat = -(-QUANT_WINDOWS_PER_REQUEST // feature_batch.shape[0])
+    window_batch = np.concatenate([feature_batch] * repeat)[
+        :QUANT_WINDOWS_PER_REQUEST
+    ]
+
+    f32_rps = drive_quant_fleet(registry_dir, window_batch, "float32")
+    int8_rps = drive_quant_fleet(registry_dir, window_batch, "int8")
+
+    state = registry.read_state("bench-q1")
+    seg64 = SharedModel.publish(state, "bench-q1")
+    seg8 = SharedModel.publish(state, "bench-q1", precision="int8")
+    bytes64, bytes8 = seg64.nbytes, seg8.nbytes
+    started = time.perf_counter()
+    attached = SharedModel.attach(seg8.name)
+    replica_detector = attached.detector()
+    attach_seconds = time.perf_counter() - started
+    del replica_detector
+    attached.close()
+    seg8.close()
+    seg8.unlink()
+    seg64.close()
+    seg64.unlink()
+
+    report = check_parity(detector, feature_batch, precision="int8")
+
+    windows = QUANT_WINDOWS_PER_REQUEST
+    return {
+        "replicas": QUANT_REPLICAS,
+        "windows_per_request": windows,
+        "requests": QUANT_CLIENT_THREADS * QUANT_REQUESTS_PER_THREAD,
+        "float32_rps": f32_rps,
+        "int8_rps": int8_rps,
+        "float32_windows_per_s": f32_rps * windows,
+        "int8_windows_per_s": int8_rps * windows,
+        "speedup_int8_vs_float32": int8_rps / max(f32_rps, 1e-9),
+        "segment_bytes_float64": bytes64,
+        "segment_bytes_int8": bytes8,
+        "payload_shrink": bytes64 / max(bytes8, 1),
+        "attach_seconds_int8": attach_seconds,
+        "parity_flag_jaccard": report.flag_jaccard,
+        "parity_max_prob_delta": max(report.max_prob_delta, 1e-12),
+    }
+
+
 def test_serve_throughput_vs_batch_window(
     once, trained_detector, feature_batch, tmp_path_factory
 ):
@@ -333,9 +483,14 @@ def test_serve_throughput_vs_batch_window(
             feature_batch,
             tmp_path_factory.mktemp("bench-fleet"),
         )
-        return configs, tracing, fleet
+        quant = measure_quant_serving(
+            trained_detector,
+            feature_batch,
+            tmp_path_factory.mktemp("bench-quant"),
+        )
+        return configs, tracing, fleet, quant
 
-    configs, tracing, fleet = once(sweep)
+    configs, tracing, fleet, quant = once(sweep)
 
     for entry in configs:
         print(
@@ -372,10 +527,26 @@ def test_serve_throughput_vs_batch_window(
         four = fleet["replicas_sweep"][-1]
         assert four["speedup_vs_single_process"] >= 2.5, four
 
+    print(
+        f"quant fleet ({quant['replicas']} replicas, "
+        f"{quant['windows_per_request']} windows/request): "
+        f"float32 {quant['float32_windows_per_s']:.0f} windows/s, "
+        f"int8 {quant['int8_windows_per_s']:.0f} windows/s "
+        f"({quant['speedup_int8_vs_float32']:.2f}x); "
+        f"segment {quant['segment_bytes_float64']} -> "
+        f"{quant['segment_bytes_int8']} bytes "
+        f"({quant['payload_shrink']:.2f}x smaller); "
+        f"parity jaccard {quant['parity_flag_jaccard']:.4f}, "
+        f"max prob delta {quant['parity_max_prob_delta']:.2e}"
+    )
+    # Batched-window requests are compute-dominated, so the int8 win is
+    # core-count independent — asserted unconditionally.
+    assert quant["speedup_int8_vs_float32"] >= 1.5, quant
+
     write_report(
         ARTIFACT_PATH,
         "serve_throughput_latency",
-        {"configs": configs, "tracing": tracing, "fleet": fleet},
+        {"configs": configs, "tracing": tracing, "fleet": fleet, "quant": quant},
         metadata={
             "client_threads": CLIENT_THREADS,
             "requests_per_thread": REQUESTS_PER_THREAD,

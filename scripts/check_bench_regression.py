@@ -17,8 +17,9 @@ tolerance band:
 ``--schema-only`` skips the numeric comparison and just validates that
 every artifact parses, carries the ``experiment``/``metadata``/
 ``results`` envelope, and (for ``BENCH_serve.json`` /
-``BENCH_active.json``) has the batching sweep and tracing-overhead
-sections / the label-budget curves. CI runs this mode: absolute
+``BENCH_kernels.json`` / ``BENCH_active.json``) has the batching sweep,
+tracing-overhead and quantized-serving sections / the quantized
+inference section / the label-budget curves. CI runs this mode: absolute
 numbers are machine-dependent, but a benchmark that silently stops
 writing a section is a regression on any machine.
 
@@ -73,6 +74,41 @@ SERVE_FLEET_SWEEP_KEYS = (
     "requests_per_second",
     "p95_latency_s",
     "speedup_vs_single_process",
+)
+#: Required keys in the quantized-serving comparison section.
+SERVE_QUANT_KEYS = (
+    "replicas",
+    "windows_per_request",
+    "float32_rps",
+    "int8_rps",
+    "speedup_int8_vs_float32",
+    "segment_bytes_float64",
+    "segment_bytes_int8",
+    "payload_shrink",
+    "attach_seconds_int8",
+    "parity_flag_jaccard",
+    "parity_max_prob_delta",
+)
+
+#: Required keys in the ``BENCH_kernels.json`` quantized-inference section.
+KERNELS_QUANT_KEYS = (
+    "float64_ms",
+    "float32_ms",
+    "float16_ms",
+    "int8_ms",
+    "speedup_int8_vs_float32",
+    "speedup_int8_vs_float64",
+    "speedup_float16_vs_float32",
+    "float32_fused_ms",
+    "float32_unfused_ms",
+    "float32_fuse_speedup",
+    "float16_fused_ms",
+    "float16_unfused_ms",
+    "float16_fuse_speedup",
+    "int8_fused_ms",
+    "int8_unfused_ms",
+    "int8_fuse_speedup",
+    "int8_max_prob_delta",
 )
 
 #: Required keys in ``BENCH_active.json``: top-level results, the
@@ -200,6 +236,21 @@ def check_schema(path: Path, document: dict) -> List[str]:
                         problems.append(
                             f"serve fleet sweep entries missing {key!r}"
                         )
+        quant = results.get("quant")
+        if not isinstance(quant, dict):
+            problems.append("serve results missing 'quant' section")
+        else:
+            for key in SERVE_QUANT_KEYS:
+                if key not in quant:
+                    problems.append(f"serve quant section missing {key!r}")
+    if path.name == "BENCH_kernels.json":
+        quant = document["results"].get("quant")
+        if not isinstance(quant, dict):
+            problems.append("kernels results missing 'quant' section")
+        else:
+            for key in KERNELS_QUANT_KEYS:
+                if key not in quant:
+                    problems.append(f"kernels quant section missing {key!r}")
     if path.name == "BENCH_active.json":
         results = document["results"]
         for key in ACTIVE_RESULT_KEYS:

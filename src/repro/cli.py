@@ -172,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards-per-worker", type=int, default=2,
         help="farm queue oversubscription factor",
     )
+    scan.add_argument(
+        "--infer-precision",
+        choices=("float64", "float32", "float16", "int8"),
+        default=None,
+        help="score windows at this precision instead of the model's "
+             "configured one (int8/float16 use the fused quantized plans)",
+    )
 
     scan_batch = sub.add_parser(
         "scan-batch",
@@ -259,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
              "checkpoint (config + weights + scaler; loadable by "
              "'evaluate', 'scan', and the serve registry)",
     )
+    active.add_argument(
+        "--infer-precision",
+        choices=("float64", "float32", "float16", "int8"),
+        default="float64",
+        help="inference precision baked into the detector config "
+             "(training always runs the float path)",
+    )
 
     serve = sub.add_parser("serve", help="run the HTTP inference service")
     serve.add_argument(
@@ -307,6 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "non-error responses)")
     serve.add_argument("--no-slo", action="store_true",
                        help="disable SLO burn-rate tracking")
+    serve.add_argument(
+        "--infer-precision",
+        choices=("float64", "float32", "float16", "int8"),
+        default=None,
+        help="serve every model at this precision; quantized choices "
+             "require the checkpoint to carry a passing parity report "
+             "(ModelRegistry.publish with quantize=...)",
+    )
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -512,6 +534,9 @@ def _cmd_scan(args) -> int:
     from repro.geometry.layoutio import read_chip
 
     detector = _load_model(args.model, dct_backend=args.feature_backend)
+    if args.infer_precision:
+        detector.set_infer_precision(args.infer_precision)
+        _say(f"scanning at infer precision {args.infer_precision}")
     if args.layout:
         name, layout = read_chip(args.layout)
         _say(f"scanning {name!r} from {args.layout}")
@@ -621,6 +646,7 @@ def _cmd_active(args) -> int:
             seed=args.seed,
         ),
         seed=args.seed,
+        infer_precision=args.infer_precision,
     )
     loop_config = ActiveLearningConfig(
         strategy=args.strategy,
@@ -714,11 +740,16 @@ def _cmd_serve(args) -> int:
             "--canary/--shadow/--tenant-rps require fleet mode (--replicas N)"
         )
 
-    registry = ModelRegistry(args.checkpoint_dir, name=args.model_name)
+    registry = ModelRegistry(
+        args.checkpoint_dir,
+        name=args.model_name,
+        infer_precision=args.infer_precision,
+    )
     loaded = registry.activate(args.model_version)
     _say(
         f"serving model {registry.name!r} version {loaded.version} "
-        f"from {args.checkpoint_dir}"
+        f"from {args.checkpoint_dir} at precision "
+        f"{loaded.detector.config.infer_precision}"
     )
     from repro.obs.slo import default_serve_objectives
 
@@ -775,6 +806,7 @@ def _make_fleet_engine(args, registry, initial_version, slo):
             max_queue=args.max_queue,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
+            infer_precision=args.infer_precision or "float64",
         ),
         router=router,
         slo=slo,

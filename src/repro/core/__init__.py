@@ -23,6 +23,12 @@ from repro.core.fullchip import (
 )
 from repro.core.metrics import DetectionMetrics, evaluate_predictions
 from repro.core.model import build_dac17_network
+from repro.core.parity import (
+    ParityConfig,
+    ParityReport,
+    check_parity,
+    enforce_parity,
+)
 from repro.core.roc import (
     OperatingPoint,
     area_under_curve,
@@ -51,4 +57,8 @@ __all__ = [
     "evaluate_predictions",
     "shifted_predictions",
     "calibrate_shift",
+    "ParityConfig",
+    "ParityReport",
+    "check_parity",
+    "enforce_parity",
 ]

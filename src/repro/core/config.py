@@ -59,6 +59,15 @@ class DetectorConfig:
         Fold each post-conv ReLU into the convolution layer (same math;
         fewer buffer passes). Off by default so checkpointed layer
         structure stays identical to historical runs.
+    infer_precision:
+        Inference-only precision policy (training is untouched):
+        ``"float64"`` (default) keeps the historical bitwise scoring
+        path; ``"float32"`` runs the conventional pooled float32
+        forward on a cast twin of the network; ``"float16"`` and
+        ``"int8"`` run the compiled low-precision plans of
+        :mod:`repro.nn.quant` (float32 accumulation throughout).
+        Checkpoints written before this field existed load unchanged —
+        the default is the pre-quantization behaviour.
     """
 
     feature: FeatureTensorConfig = field(default_factory=FeatureTensorConfig)
@@ -76,12 +85,23 @@ class DetectorConfig:
     seed: int = 0
     compute_dtype: str = "float64"
     fused_conv: bool = False
+    infer_precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.compute_dtype not in ("float32", "float64"):
             raise TrainingError(
                 f"compute_dtype must be 'float32' or 'float64', "
                 f"got {self.compute_dtype!r}"
+            )
+        if self.infer_precision not in (
+            "float64",
+            "float32",
+            "float16",
+            "int8",
+        ):
+            raise TrainingError(
+                f"infer_precision must be one of 'float64', 'float32', "
+                f"'float16', 'int8', got {self.infer_precision!r}"
             )
         if self.learning_rate <= 0:
             raise TrainingError("learning_rate must be positive")

@@ -257,6 +257,8 @@ class HotspotDetector:
             self._finetune_trainer_config(),
         )
         history = trainer.fit(x_train, targets, x_val, holdout.labels)
+        # Weights moved in place: compiled low-precision plans are stale.
+        network.invalidate_inference_plans()
         return history
 
     # ------------------------------------------------------------------
@@ -267,18 +269,35 @@ class HotspotDetector:
             raise TrainingError("detector is not trained; call fit() first")
         return self.network
 
-    def predict_proba(self, dataset: HotspotDataset) -> np.ndarray:
+    def _resolve_precision(self, precision: Optional[str]) -> str:
+        """Per-call override beats the config's ``infer_precision``."""
+        return precision if precision is not None else self.config.infer_precision
+
+    def predict_proba(
+        self, dataset: HotspotDataset, precision: Optional[str] = None
+    ) -> np.ndarray:
         """``(N, 2)`` softmax probabilities; column 1 is P(hotspot)."""
         network = self._require_trained()
-        return network.predict_proba(self._to_network_input(dataset))
+        resolved = self._resolve_precision(precision)
+        if resolved == "float64":
+            return network.predict_proba(self._to_network_input(dataset))
+        return network.predict_proba(
+            self._to_network_input(dataset), precision=resolved
+        )
 
-    def predict_proba_tensors(self, tensors: np.ndarray) -> np.ndarray:
+    def predict_proba_tensors(
+        self, tensors: np.ndarray, precision: Optional[str] = None
+    ) -> np.ndarray:
         """Probabilities straight from raw ``(N, n, n, k)`` feature tensors.
 
-        The tensor-level inference path used by the full-chip scanner:
-        tensors assembled elsewhere (e.g. sliced from a shared scan grid)
-        skip clip/dataset construction entirely. Standardisation uses the
-        fitted training statistics, exactly as :meth:`predict_proba`.
+        The tensor-level inference path used by the full-chip scanner
+        and the serving fleet: tensors assembled elsewhere (e.g. sliced
+        from a shared scan grid) skip clip/dataset construction
+        entirely. Standardisation uses the fitted training statistics,
+        exactly as :meth:`predict_proba`. ``precision`` overrides the
+        config's ``infer_precision`` for this call (the parity harness
+        scores the same tensors on both paths this way); the resolved
+        ``"float64"`` default keeps the historical bitwise path.
         """
         network = self._require_trained()
         tensors = np.asarray(tensors)
@@ -289,10 +308,69 @@ class HotspotDetector:
                 f"tensors, got {tensors.shape}"
             )
         scaled = self.scaler.transform(tensors.astype(np.float32))
+        resolved = self._resolve_precision(precision)
+        if resolved == "float64":
+            batch = np.ascontiguousarray(
+                scaled.transpose(0, 3, 1, 2), dtype=self._compute_dtype
+            )
+            return network.predict_proba(batch)
+        # Low-precision plans accumulate in float32; staging the batch
+        # any wider would just be cast away at ingest.
         batch = np.ascontiguousarray(
-            scaled.transpose(0, 3, 1, 2), dtype=self._compute_dtype
+            scaled.transpose(0, 3, 1, 2), dtype=np.float32
         )
-        return network.predict_proba(batch)
+        return network.predict_proba(batch, precision=resolved)
+
+    def set_infer_precision(self, precision: str) -> None:
+        """Re-point the serving precision (plans compile lazily)."""
+        from dataclasses import replace
+
+        self.config = replace(self.config, infer_precision=precision)
+
+    def invalidate_inference_plans(self) -> None:
+        """Drop compiled low-precision plans after in-place weight changes
+        (:meth:`finetune` calls this; ``set_weights`` paths self-invalidate)."""
+        if self.network is not None:
+            self.network.invalidate_inference_plans()
+
+    def calibrate_quant(
+        self,
+        tensors: np.ndarray,
+        observer: str = "max",
+        percentile: float = 99.9,
+        batch_size: int = 256,
+    ):
+        """Observe activation ranges on a representative tensor batch.
+
+        ``tensors`` is a raw ``(N, n, n, k)`` feature-tensor sample (the
+        same layout :meth:`predict_proba_tensors` takes); it is
+        standardised with the fitted scaler and run through the float
+        reference forward while per-layer observers record ranges. The
+        returned :class:`~repro.nn.quant.CalibrationResult` feeds
+        :func:`~repro.nn.quant.quantize_network` and the float16 plans'
+        overflow guard.
+        """
+        from repro.nn.quant import calibrate_network
+
+        network = self._require_trained()
+        tensors = np.asarray(tensors)
+        expected = self.extractor.output_shape
+        if tensors.ndim != 4 or tensors.shape[1:] != expected:
+            raise TrainingError(
+                f"expected (N, {', '.join(map(str, expected))}) feature "
+                f"tensors, got {tensors.shape}"
+            )
+        scaled = self.scaler.transform(tensors.astype(np.float32))
+        batch = np.ascontiguousarray(
+            scaled.transpose(0, 3, 1, 2), dtype=np.float32
+        )
+        batches = (
+            batch[start : start + batch_size]
+            for start in range(0, batch.shape[0], batch_size)
+        )
+        return calibrate_network(
+            network, batches, observer=observer, percentile=percentile
+        )
 
     def predict(self, dataset: HotspotDataset) -> np.ndarray:
         """Hard labels (1 = hotspot)."""
@@ -380,6 +458,14 @@ class HotspotDetector:
         detector.network = detector._build_network()
         detector.network.set_weights(weights)
         detector.scaler = ChannelScaler.from_state(mean, std)
+        quant_state = state.get("quant")
+        if quant_state:
+            # Quantized checkpoints carry their int8 payload; binding it
+            # here means an int8 plan compiled from this detector uses
+            # the stored bytes verbatim (no re-quantization drift).
+            from repro.nn.quant import attach_quant_state
+
+            attach_quant_state(detector.network, quant_state)
         return detector
 
     def save_checkpoint(self, path: PathLike) -> None:

@@ -30,6 +30,11 @@ class TrainingError(ReproError):
     """Training could not proceed (empty dataset, bad labels...)."""
 
 
+class QuantizationError(NetworkError):
+    """Quantized-inference failure (unsupported layer, bad payload, or a
+    precision the network cannot compile an inference plan for)."""
+
+
 class ConfigError(TrainingError):
     """Invalid run configuration caught before any work starts.
 
@@ -122,3 +127,18 @@ class EngineClosedError(ServeError):
 
 class ModelNotFoundError(ServeError):
     """Registry has no model under the requested name/version."""
+
+
+class ParityError(ServeError):
+    """Quantized model failed (or never ran) the accuracy-parity gate.
+
+    Raised when a caller tries to activate/serve a quantized precision
+    whose stored parity report is missing or failing, or by
+    :func:`repro.core.parity.check_parity` callers that require the gate
+    to pass. Carries the report dict (when one exists) as
+    :attr:`report`.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report

@@ -37,6 +37,18 @@ from repro.nn.network import Sequential
 from repro.nn.norm import BatchNorm2D
 from repro.nn.optim import SGD, Adam, ConstantRate, StepDecay
 from repro.nn.pool import MaxPool2D
+from repro.nn.quant import (
+    CalibrationResult,
+    CastShadow,
+    InferencePlan,
+    MaxObserver,
+    PercentileObserver,
+    QuantizedTensor,
+    attach_quant_state,
+    calibrate_network,
+    quantize_network,
+    quantize_per_channel,
+)
 from repro.nn.serialize import load_network_params, save_network_params
 from repro.nn.trainer import (
     Trainer,
@@ -77,4 +89,14 @@ __all__ = [
     "zeros_init",
     "save_network_params",
     "load_network_params",
+    "QuantizedTensor",
+    "quantize_per_channel",
+    "quantize_network",
+    "attach_quant_state",
+    "calibrate_network",
+    "CalibrationResult",
+    "MaxObserver",
+    "PercentileObserver",
+    "InferencePlan",
+    "CastShadow",
 ]

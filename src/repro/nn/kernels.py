@@ -186,3 +186,72 @@ def scratch_zeros(shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
     buffer = workspace.acquire(shape, dtype)
     buffer.fill(0)
     return buffer
+
+
+# ----------------------------------------------------------------------
+# Quantized-inference kernels
+# ----------------------------------------------------------------------
+# The compiled low-precision plans (:mod:`repro.nn.quant`) run every layer
+# through these two kernels over plan-owned preallocated buffers: one GEMM
+# with a fused dequant+bias(+ReLU, +fp16-overflow-clip) epilogue, and one
+# strided-slice max-pool. Both write exclusively into caller-provided
+# ``out`` buffers, so a steady-state quantized forward performs no
+# activation-sized allocations at all.
+
+
+def gemm_bias_act(
+    a: np.ndarray,
+    b: np.ndarray,
+    bias: np.ndarray,
+    out: np.ndarray,
+    relu: bool = False,
+    clip: Optional[float] = None,
+) -> np.ndarray:
+    """``out = act(a @ b + bias)`` with the epilogue fused in place.
+
+    ``bias`` must broadcast against ``out`` (conv uses an ``(F, 1)``
+    column against ``(F, N*P)`` products, dense a flat ``(out,)`` row
+    against ``(N, out)``). ``relu`` folds the rectification into the
+    same pass over the product buffer; ``clip`` (the float16 plans'
+    overflow guard) caps the activation at a calibrated maximum before
+    it is stored in half precision.
+    """
+    np.matmul(a, b, out=out)
+    np.add(out, bias, out=out)
+    if relu:
+        np.maximum(out, 0.0, out=out)
+    if clip is not None:
+        np.minimum(out, clip, out=out)
+    return out
+
+
+def pool_max_stride(
+    x: np.ndarray, pool: int, out: np.ndarray, tmp: Optional[np.ndarray]
+) -> np.ndarray:
+    """Non-overlapping ``pool x pool`` max over the last two axes of ``x``.
+
+    Value-for-value identical to the reshape reduction in
+    :class:`~repro.nn.pool.MaxPool2D` (max is value-picking, so the
+    association order cannot change the result), but built from strided
+    slices so NumPy reduces whole contiguous lanes instead of tiny
+    ``pool x pool`` tiles — an order of magnitude faster on the
+    12x12/6x6 maps of the Table-1 network. ``tmp`` must match ``out``
+    (used for the pairwise tree when ``pool == 2``).
+    """
+    views = [
+        x[..., dy::pool, dx::pool]
+        for dy in range(pool)
+        for dx in range(pool)
+    ]
+    if len(views) == 1:
+        np.copyto(out, views[0])
+        return out
+    if pool == 2 and tmp is not None:
+        np.maximum(views[0], views[1], out=out)
+        np.maximum(views[2], views[3], out=tmp)
+        np.maximum(out, tmp, out=out)
+        return out
+    np.maximum(views[0], views[1], out=out)
+    for view in views[2:]:
+        np.maximum(out, view, out=out)
+    return out

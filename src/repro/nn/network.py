@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -10,6 +11,11 @@ import numpy as np
 from repro.exceptions import NetworkError
 from repro.nn.layer import Layer, Parameter
 from repro.nn.loss import softmax
+
+#: Serialises quantized-plan compilation (a module-level lock rather
+#: than an instance attribute so networks stay picklable — the scan
+#: farm ships detectors to worker processes).
+_PLAN_LOCK = threading.Lock()
 
 
 class Sequential:
@@ -127,16 +133,36 @@ class Sequential:
             layer.free_cache()
 
     # ------------------------------------------------------------------
-    def infer(self, x: np.ndarray) -> np.ndarray:
+    def infer(
+        self, x: np.ndarray, precision: Optional[str] = None
+    ) -> np.ndarray:
         """Reentrant inference forward: no layer state is written.
 
-        Output is bitwise identical to ``forward(x, training=False)``,
-        but every layer routes through its pure :meth:`Layer.infer`, so
-        any number of threads can score the same network concurrently
-        (the serving engine relies on this). Per-layer profiling, when
-        enabled, still records timings — the metrics instruments are
-        thread-safe.
+        With ``precision`` ``None`` or ``"float64"`` (the default path,
+        bitwise-pinned), output is identical to
+        ``forward(x, training=False)``, but every layer routes through
+        its pure :meth:`Layer.infer`, so any number of threads can score
+        the same network concurrently (the serving engine relies on
+        this). Per-layer profiling, when enabled, still records timings
+        — the metrics instruments are thread-safe.
+
+        ``precision="float32"|"float16"|"int8"`` routes through the
+        low-precision execution objects of :mod:`repro.nn.quant`
+        instead: ``"float32"`` is the conventional pooled float32
+        forward on a cast twin of this network; ``"float16"`` and
+        ``"int8"`` run compiled fused plans (float32 accumulation;
+        float16 activation storage / dequantized per-channel int8
+        weights). These return float32 logits and are cached per
+        precision until :meth:`set_weights` or
+        :meth:`invalidate_inference_plans`.
         """
+        if precision is not None and precision != "float64":
+            if tuple(x.shape[1:]) != self.input_shape:
+                raise NetworkError(
+                    f"input per-sample shape {tuple(x.shape[1:])} does not "
+                    f"match network input {self.input_shape}"
+                )
+            return self._plan_for(precision).run(x)
         if tuple(x.shape[1:]) != self.input_shape:
             raise NetworkError(
                 f"input per-sample shape {tuple(x.shape[1:])} does not match "
@@ -157,7 +183,42 @@ class Sequential:
         return out
 
     # ------------------------------------------------------------------
-    def predict_proba(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    def _plan_for(self, precision: str):
+        """The cached low-precision execution object (compile on miss)."""
+        with _PLAN_LOCK:
+            plans = self.__dict__.setdefault("_plans", {})
+            plan = plans.get(precision)
+            if plan is None:
+                from repro.nn.quant import build_infer_plan
+
+                plan = build_infer_plan(self, precision)
+                plans[precision] = plan
+        return plan
+
+    def invalidate_inference_plans(self) -> None:
+        """Drop every compiled low-precision plan (weights changed)."""
+        self.__dict__.pop("_plans", None)
+
+    def __getstate__(self) -> dict:
+        # Plans hold thread-local buffer sets and (for shm-attached
+        # networks) process-local views — recompiled on first use after
+        # unpickling instead of travelling across processes.
+        state = self.__dict__.copy()
+        state.pop("_plans", None)
+        state.pop("_attached_quant", None)
+        state.pop("_attached_calibration", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
+    def predict_proba(
+        self,
+        x: np.ndarray,
+        batch_size: int = 256,
+        precision: Optional[str] = None,
+    ) -> np.ndarray:
         """Class probabilities, evaluated in inference mode and batches.
 
         Runs the reentrant :meth:`infer` path, so concurrent calls are
@@ -165,13 +226,20 @@ class Sequential:
         full-chip scan pushes thousands of windows through here). An
         empty batch legitimately occurs when the serving engine flushes
         a drained queue; it short-circuits to an empty ``(0, classes)``
-        result.
+        result. ``precision`` routes every chunk through the matching
+        low-precision path (see :meth:`infer`).
         """
         if x.shape[0] == 0:
             return np.zeros((0,) + self.output_shape, dtype=np.float64)
         chunks = []
         for start in range(0, x.shape[0], batch_size):
-            chunks.append(softmax(self.infer(x[start : start + batch_size])))
+            chunks.append(
+                softmax(
+                    self.infer(
+                        x[start : start + batch_size], precision=precision
+                    )
+                )
+            )
         return np.concatenate(chunks, axis=0)
 
     def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
@@ -232,3 +300,8 @@ class Sequential:
             # networks stay float32.
             param.value = np.asarray(value, dtype=param.value.dtype).copy()
             param.zero_grad()
+        # New weights invalidate every compiled low-precision plan and
+        # any attached int8 payload (it described the old weights).
+        self.invalidate_inference_plans()
+        self.__dict__.pop("_attached_quant", None)
+        self.__dict__.pop("_attached_calibration", None)

@@ -187,23 +187,27 @@ class SGD(Optimizer):
         self._velocity: Dict[int, np.ndarray] = {}
 
     def _apply(self, rate: float) -> None:
-        # In-place `out=` update: the same op sequence as the original
-        # temporary-allocating form (`v = momentum*v - rate*grad`;
-        # `p += v` / `p -= rate*grad`), so results are bitwise identical,
-        # but no per-step parameter-sized temporaries are created.
+        # Both branches keep the original op sequence (`v = momentum*v -
+        # rate*grad`; `p += v` / `p -= rate*grad`), so results are
+        # bitwise identical to the temporary-allocating form.
+        if self.momentum == 0.0:
+            # Plain SGD: the Table-1 parameters are small enough that a
+            # `grad * rate` temporary costs the same as a pooled scratch
+            # pass, and skipping the per-parameter scratch lookup is
+            # what restores the update to allocating-replica speed.
+            for p in self.parameters:
+                p.value -= p.grad * rate
+            return
         for p in self.parameters:
             scaled = self._scratch_like(p)
             np.multiply(p.grad, rate, out=scaled)
-            if self.momentum > 0.0:
-                v = self._velocity.get(id(p))
-                if v is None:
-                    v = np.zeros_like(p.value)
-                    self._velocity[id(p)] = v
-                np.multiply(v, self.momentum, out=v)
-                np.subtract(v, scaled, out=v)
-                np.add(p.value, v, out=p.value)
-            else:
-                np.subtract(p.value, scaled, out=p.value)
+            v = self._velocity.get(id(p))
+            if v is None:
+                v = np.zeros_like(p.value)
+                self._velocity[id(p)] = v
+            np.multiply(v, self.momentum, out=v)
+            np.subtract(v, scaled, out=v)
+            np.add(p.value, v, out=p.value)
 
     def _slot_state(self) -> Dict[str, Any]:
         return {"velocity": self._pack_slot(self._velocity)}

@@ -194,6 +194,11 @@ class InferenceEngine:
     def model_version(self) -> str:
         return self._resolve_model().version
 
+    @property
+    def infer_precision(self) -> str:
+        """The precision the active model scores requests at."""
+        return self._resolve_model().detector.config.infer_precision
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------

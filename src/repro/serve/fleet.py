@@ -98,10 +98,23 @@ class FleetConfig:
     ack_timeout_s: float = 120.0
     drain_timeout_s: float = 30.0
     metrics_push_interval_s: float = 2.0
+    #: Precision every published segment serves at. Quantized values
+    #: require each published version to carry a passing parity report
+    #: (enforced before the segment is created; see repro.core.parity).
+    infer_precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise ServeError(f"replicas must be >= 1, got {self.replicas}")
+        if self.infer_precision not in (
+            "float64",
+            "float32",
+            "float16",
+            "int8",
+        ):
+            raise ServeError(
+                f"bad infer_precision {self.infer_precision!r}"
+            )
         if self.max_queue < 1:
             raise ServeError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.max_batch < 1:
@@ -634,7 +647,18 @@ class FleetEngine:
             segment = self._segments.get(version)
         if segment is None:
             state = self.registry.read_state(version)
-            segment = SharedModel.publish(state, version)
+            precision = self.config.infer_precision
+            if precision != "float64":
+                # Same gate as registry activation: refuse to ship a
+                # quantized payload that never proved decision parity.
+                from repro.core.parity import enforce_parity
+
+                enforce_parity(
+                    (state.get("quant") or {}).get("parity"),
+                    precision,
+                    context=f"fleet model version {version!r}",
+                )
+            segment = SharedModel.publish(state, version, precision=precision)
             with self._cond:
                 self._segments[version] = segment
                 self._gc_backlog.discard(version)
@@ -793,6 +817,11 @@ class FleetEngine:
     @property
     def previous_version(self) -> Optional[str]:
         return self._previous
+
+    @property
+    def infer_precision(self) -> str:
+        """The precision every replica scores shm-attached models at."""
+        return self.config.infer_precision
 
     # ------------------------------------------------------------------
     # Submission

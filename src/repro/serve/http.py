@@ -248,6 +248,7 @@ class ServeHandler(BaseHTTPRequestHandler):
                 "status": "ok",
                 "model": self.server.registry.name if self.server.registry else "static",
                 "version": version,
+                "infer_precision": getattr(engine, "infer_precision", "float64"),
                 "queue_depth": engine.queue_depth,
             },
         )
@@ -372,14 +373,26 @@ class ServeHandler(BaseHTTPRequestHandler):
             activated = engine.activate(version)
             self._send_json(
                 200,
-                {"model": registry.name, "version": activated, "previous": previous},
+                {
+                    "model": registry.name,
+                    "version": activated,
+                    "previous": previous,
+                    "infer_precision": getattr(
+                        engine, "infer_precision", "float64"
+                    ),
+                },
             )
             return
         previous = registry.current.version if registry.has_current else None
         loaded = registry.activate(version)
         self._send_json(
             200,
-            {"model": registry.name, "version": loaded.version, "previous": previous},
+            {
+                "model": registry.name,
+                "version": loaded.version,
+                "previous": previous,
+                "infer_precision": loaded.detector.config.infer_precision,
+            },
         )
 
     def _handle_rollback(self, name: str) -> None:

@@ -33,7 +33,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Union
 
+import numpy as np
+
 from repro.core.detector import DETECTOR_CHECKPOINT_KIND, HotspotDetector
+from repro.core.parity import ParityConfig, check_parity, enforce_parity
 from repro.exceptions import (
     CheckpointCorruptError,
     CheckpointError,
@@ -89,11 +92,28 @@ class LoadedModel:
 class ModelRegistry:
     """Serves a named "current" model out of a checkpoint directory."""
 
-    def __init__(self, directory: PathLike, name: str = "default"):
+    def __init__(
+        self,
+        directory: PathLike,
+        name: str = "default",
+        infer_precision: Optional[str] = None,
+    ):
         if not name or "/" in name:
             raise ServeError(f"bad model name {name!r}")
+        if infer_precision is not None and infer_precision not in (
+            "float64",
+            "float32",
+            "float16",
+            "int8",
+        ):
+            raise ServeError(f"bad infer_precision {infer_precision!r}")
         self.directory = Path(directory)
         self.name = name
+        #: Serving-precision override: every model loaded through this
+        #: registry scores at this precision instead of its checkpoint
+        #: config's. Quantized precisions require a stored *passing*
+        #: parity report (see load_model).
+        self.infer_precision = infer_precision
         self.directory.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._current: Optional[LoadedModel] = None
@@ -172,6 +192,12 @@ class ModelRegistry:
         version: str,
         reference=None,
         profile: Optional[ReferenceProfile] = None,
+        quantize=None,
+        calibration: Optional[np.ndarray] = None,
+        calibration_labels: Optional[np.ndarray] = None,
+        observer: str = "max",
+        percentile: float = 99.9,
+        parity_config: Optional[ParityConfig] = None,
     ) -> Path:
         """Write ``detector`` as checkpoint ``version`` (atomic, verified).
 
@@ -182,6 +208,17 @@ class ModelRegistry:
         every later :meth:`activate` of this version can monitor live
         traffic against how the model behaved at publish time. Pass a
         pre-built ``profile`` instead to skip the reference predictions.
+
+        ``quantize`` (one precision or a sequence of ``"int8"`` /
+        ``"float16"`` / ``"float32"``) stores the quantized form of the
+        model *in the same checkpoint*: the per-channel int8 payload,
+        the activation-range calibration observed on ``calibration`` (a
+        representative ``(N, n, n, k)`` tensor batch — required), and
+        one parity report per requested precision comparing its
+        decisions against the float64 path (``calibration_labels``
+        additionally gates the exact ROC-AUC delta). A failing report is
+        stored, not raised — activation at that precision is what the
+        gate refuses.
         """
         path = self.path_for(version)
         if path.exists():
@@ -194,6 +231,48 @@ class ModelRegistry:
         state = detector.to_state()
         if profile is not None:
             state[DRIFT_PROFILE_KEY] = profile.to_dict()
+        quantized: tuple = ()
+        if quantize:
+            from repro.nn.quant import (
+                QUANT_PRECISIONS,
+                attach_quant_state,
+                quantize_network,
+            )
+
+            quantized = (
+                (quantize,) if isinstance(quantize, str) else tuple(quantize)
+            )
+            for precision in quantized:
+                if precision not in QUANT_PRECISIONS:
+                    raise ServeError(
+                        f"cannot quantize to {precision!r} "
+                        f"(choices: {QUANT_PRECISIONS})"
+                    )
+            if calibration is None:
+                raise ServeError(
+                    "quantized publish needs a representative calibration "
+                    "tensor batch (calibration=...)"
+                )
+            tensors = np.asarray(calibration)
+            calib = detector.calibrate_quant(
+                tensors, observer=observer, percentile=percentile
+            )
+            quant_state = quantize_network(detector.network, calibration=calib)
+            # Attach before scoring parity: the reports then describe the
+            # exact payload bytes this checkpoint stores.
+            attach_quant_state(detector.network, quant_state)
+            parity = {}
+            for precision in quantized:
+                report = check_parity(
+                    detector,
+                    tensors,
+                    labels=calibration_labels,
+                    precision=precision,
+                    config=parity_config,
+                )
+                parity[precision] = report.to_dict()
+            quant_state["parity"] = parity
+            state["quant"] = quant_state
         write_checkpoint(path, state)
         emit(
             "serve.publish",
@@ -202,6 +281,7 @@ class ModelRegistry:
             path=str(path),
             bytes=path.stat().st_size,
             drift_profile=profile is not None,
+            quantized=list(quantized),
         )
         return path
 
@@ -255,6 +335,21 @@ class ModelRegistry:
             )
         state = read_checkpoint(path)
         detector = HotspotDetector.from_state(state)
+        # Accuracy-parity gate: serving at a quantized precision (the
+        # registry override, or the checkpoint's own config) requires a
+        # stored *passing* parity report for exactly that precision.
+        effective = self.infer_precision or detector.config.infer_precision
+        if effective != "float64":
+            enforce_parity(
+                (state.get("quant") or {}).get("parity"),
+                effective,
+                context=f"model {self.name!r} version {version!r}",
+            )
+        if (
+            self.infer_precision is not None
+            and detector.config.infer_precision != self.infer_precision
+        ):
+            detector.set_infer_precision(self.infer_precision)
         profile = None
         payload = state.get(DRIFT_PROFILE_KEY)
         if payload is not None:

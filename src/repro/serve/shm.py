@@ -113,6 +113,11 @@ class SharedModel:
         return self._header["config"]
 
     @property
+    def precision(self) -> str:
+        """The payload precision (``"float64"`` for historical segments)."""
+        return self._header.get("precision", "float64")
+
+    @property
     def nbytes(self) -> int:
         return self._payload_offset + int(self._header["payload_nbytes"])
 
@@ -121,9 +126,25 @@ class SharedModel:
     # ------------------------------------------------------------------
     @classmethod
     def publish(
-        cls, state: dict, version: str, name: Optional[str] = None
+        cls,
+        state: dict,
+        version: str,
+        name: Optional[str] = None,
+        precision: str = "float64",
     ) -> "SharedModel":
-        """Write a detector state tree into a fresh segment (owner side)."""
+        """Write a detector state tree into a fresh segment (owner side).
+
+        ``precision="float64"`` (the default) produces the historical
+        segment byte-for-byte. A quantized precision publishes the
+        low-precision payload instead: ``"int8"`` ships the checkpoint's
+        per-channel int8 weights (``qweight``/``qscale`` roles, roughly
+        4x smaller than the float64 segment) and requires the state tree
+        to carry a quant subtree; ``"float16"``/``"float32"`` ship
+        float32 master weights (2x smaller). Quantized headers gain a
+        ``precision`` key, an ``infer_precision`` config override, and
+        the stored activation calibration, so replicas compile exactly
+        the plan the publish-time parity report described.
+        """
         if state.get("kind") != DETECTOR_CHECKPOINT_KIND:
             raise FleetError(
                 f"cannot publish kind {state.get('kind')!r} to shared memory"
@@ -131,28 +152,97 @@ class SharedModel:
         try:
             weights = list(state["weights"])
             scaler = state["scaler"]
-            arrays = [("weight", np.ascontiguousarray(w)) for w in weights]
-            arrays.append(
-                ("scaler_mean", np.ascontiguousarray(scaler["mean"]))
-            )
-            arrays.append(("scaler_std", np.ascontiguousarray(scaler["std"])))
             config = dict(state["config"])
         except (KeyError, TypeError) as exc:
             raise FleetError(f"state tree missing field: {exc}") from exc
 
+        calibration = None
+        if precision == "float64":
+            arrays = [("weight", np.ascontiguousarray(w), {}) for w in weights]
+        elif precision in ("float32", "float16", "int8"):
+            config["infer_precision"] = precision
+            quant = state.get("quant") or {}
+            calibration = quant.get("calibration")
+            arrays = []
+            if precision == "int8":
+                try:
+                    by_index = {
+                        int(e["index"]): e for e in quant.get("params", ())
+                    }
+                except (KeyError, TypeError) as exc:
+                    raise FleetError(
+                        f"malformed quant subtree: {exc}"
+                    ) from exc
+                if not by_index:
+                    raise FleetError(
+                        f"version {version!r} has no int8 payload; publish "
+                        "the checkpoint with quantize='int8' first"
+                    )
+                for i, w in enumerate(weights):
+                    entry = by_index.get(i)
+                    if entry is None:
+                        arrays.append(
+                            (
+                                "weight",
+                                np.ascontiguousarray(w, dtype=np.float32),
+                                {"param": i},
+                            )
+                        )
+                    else:
+                        arrays.append(
+                            (
+                                "qweight",
+                                np.ascontiguousarray(
+                                    entry["q"], dtype=np.int8
+                                ),
+                                {
+                                    "param": i,
+                                    "axis": int(entry["axis"]),
+                                    "name": str(entry.get("name", "")),
+                                },
+                            )
+                        )
+                        arrays.append(
+                            (
+                                "qscale",
+                                np.ascontiguousarray(
+                                    entry["scale"], dtype=np.float32
+                                ),
+                                {"param": i},
+                            )
+                        )
+            else:
+                arrays = [
+                    (
+                        "weight",
+                        np.ascontiguousarray(w, dtype=np.float32),
+                        {"param": i},
+                    )
+                    for i, w in enumerate(weights)
+                ]
+        else:
+            raise FleetError(f"bad shared-model precision {precision!r}")
+        arrays.append(
+            ("scaler_mean", np.ascontiguousarray(scaler["mean"]), {})
+        )
+        arrays.append(
+            ("scaler_std", np.ascontiguousarray(scaler["std"]), {})
+        )
+
         table: List[dict] = []
         offset = 0
-        for role, array in arrays:
+        for role, array, extra in arrays:
             offset = _aligned(offset)
-            table.append(
-                {
-                    "role": role,
-                    "dtype": array.dtype.str,
-                    "shape": list(array.shape),
-                    "offset": offset,
-                }
-            )
+            entry = {
+                "role": role,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+            entry.update(extra)
+            table.append(entry)
             offset += array.nbytes
+
         payload_nbytes = offset
 
         header = {
@@ -161,6 +251,10 @@ class SharedModel:
             "arrays": table,
             "payload_nbytes": payload_nbytes,
         }
+        if precision != "float64":
+            header["precision"] = precision
+            if calibration is not None:
+                header["calibration"] = calibration
         header_json = json.dumps(header, sort_keys=True).encode("utf-8")
         payload_offset = _aligned(_FIXED.size + len(header_json))
         total = max(1, payload_offset + payload_nbytes)
@@ -171,7 +265,7 @@ class SharedModel:
         _untrack(shm.name)
         try:
             buf = shm.buf
-            for entry, (_, array) in zip(table, arrays):
+            for entry, (_, array, _) in zip(table, arrays):
                 start = payload_offset + entry["offset"]
                 buf[start : start + array.nbytes] = array.tobytes()
             payload = bytes(buf[payload_offset : payload_offset + payload_nbytes])
@@ -265,29 +359,40 @@ class SharedModel:
         ``Sequential.set_weights`` copies, so the views are bound directly
         to ``Parameter.value``. Parameters are read-only: this detector is
         for inference only, never training.
+
+        Quantized segments bind float32 weight views directly too; int8
+        payloads additionally attach the shared ``qweight``/``qscale``
+        views to the network, so the replica's int8 plan uses the stored
+        bytes verbatim — never re-quantizing — and materialises one
+        process-local dequantized float32 value per conv/dense weight
+        (the GEMM operand a plan would copy out anyway).
         """
         detector = HotspotDetector(DetectorConfig.from_dict(self.config))
         detector.network = detector._build_network()
         params = detector.network.parameters()
-        weight_entries = [
-            e for e in self._header["arrays"] if e["role"] == "weight"
-        ]
-        if len(params) != len(weight_entries):
-            raise CheckpointCorruptError(
-                f"segment {self.name!r}: {len(weight_entries)} weight arrays "
-                f"for a network with {len(params)} parameters"
-            )
-        for param, entry in zip(params, weight_entries):
-            view = self._view(entry)
-            if tuple(view.shape) != tuple(param.value.shape):
+        if self.precision == "float64":
+            weight_entries = [
+                e for e in self._header["arrays"] if e["role"] == "weight"
+            ]
+            if len(params) != len(weight_entries):
                 raise CheckpointCorruptError(
-                    f"segment {self.name!r}: weight shape {view.shape} does "
-                    f"not match parameter {param.name!r} {param.value.shape}"
+                    f"segment {self.name!r}: {len(weight_entries)} weight "
+                    f"arrays for a network with {len(params)} parameters"
                 )
-            param.value = view
-            # Inference never touches grads; keep a minimal placeholder
-            # instead of a full-size private copy per replica.
-            param.grad = np.zeros((), dtype=view.dtype)
+            for param, entry in zip(params, weight_entries):
+                view = self._view(entry)
+                if tuple(view.shape) != tuple(param.value.shape):
+                    raise CheckpointCorruptError(
+                        f"segment {self.name!r}: weight shape {view.shape} "
+                        f"does not match parameter {param.name!r} "
+                        f"{param.value.shape}"
+                    )
+                param.value = view
+                # Inference never touches grads; keep a minimal placeholder
+                # instead of a full-size private copy per replica.
+                param.grad = np.zeros((), dtype=view.dtype)
+        else:
+            self._bind_quantized(detector, params)
         by_role = {e["role"]: e for e in self._header["arrays"]}
         try:
             mean = self._view(by_role["scaler_mean"])
@@ -298,6 +403,78 @@ class SharedModel:
             ) from exc
         detector.scaler = ChannelScaler.from_state(mean, std)
         return detector
+
+    def _bind_quantized(self, detector: HotspotDetector, params) -> None:
+        """Bind a quantized segment's arrays to the rebuilt network."""
+        from repro.nn.quant import (
+            QUANT_STATE_FORMAT,
+            QUANT_STATE_VERSION,
+            QuantizedTensor,
+            attach_quant_state,
+        )
+
+        plain: Dict[int, dict] = {}
+        qweight: Dict[int, dict] = {}
+        qscale: Dict[int, dict] = {}
+        for entry in self._header["arrays"]:
+            index = entry.get("param")
+            if index is None:
+                continue
+            {"weight": plain, "qweight": qweight, "qscale": qscale}.get(
+                entry["role"], {}
+            )[int(index)] = entry
+        quant_entries: List[dict] = []
+        for index, param in enumerate(params):
+            q_entry = qweight.get(index)
+            if q_entry is not None:
+                scale_entry = qscale.get(index)
+                if scale_entry is None:
+                    raise CheckpointCorruptError(
+                        f"segment {self.name!r}: qweight for parameter "
+                        f"{index} has no qscale"
+                    )
+                tensor = QuantizedTensor(
+                    self._view(q_entry),
+                    self._view(scale_entry),
+                    axis=int(q_entry["axis"]),
+                )
+                value = tensor.dequantize()
+                value.flags.writeable = False
+                quant_entries.append(
+                    {
+                        "index": index,
+                        "name": str(q_entry.get("name", param.name)),
+                        "axis": tensor.axis,
+                        "q": tensor.q,
+                        "scale": tensor.scale,
+                    }
+                )
+            else:
+                entry = plain.get(index)
+                if entry is None:
+                    raise CheckpointCorruptError(
+                        f"segment {self.name!r}: no array for parameter "
+                        f"{index} ({param.name!r})"
+                    )
+                value = self._view(entry)
+            if tuple(value.shape) != tuple(param.value.shape):
+                raise CheckpointCorruptError(
+                    f"segment {self.name!r}: weight shape {value.shape} "
+                    f"does not match parameter {param.name!r} "
+                    f"{param.value.shape}"
+                )
+            param.value = value
+            param.grad = np.zeros((), dtype=value.dtype)
+        if quant_entries:
+            state = {
+                "format": QUANT_STATE_FORMAT,
+                "version": QUANT_STATE_VERSION,
+                "params": quant_entries,
+            }
+            calibration = self._header.get("calibration")
+            if calibration is not None:
+                state["calibration"] = calibration
+            attach_quant_state(detector.network, state)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -61,6 +61,19 @@ def serve_results(rps=1000.0, p95=0.01):
                 }
             ],
         },
+        "quant": {
+            "replicas": 2,
+            "windows_per_request": 64,
+            "float32_rps": rps,
+            "int8_rps": 2 * rps,
+            "speedup_int8_vs_float32": 2.0,
+            "segment_bytes_float64": 732224,
+            "segment_bytes_int8": 97152,
+            "payload_shrink": 7.5,
+            "attach_seconds_int8": 0.01,
+            "parity_flag_jaccard": 1.0,
+            "parity_max_prob_delta": 1e-6,
+        },
     }
 
 
@@ -163,6 +176,27 @@ class TestCheckSchema:
         ]
         problems = checker.check_schema(Path("BENCH_serve.json"), doc)
         assert any("speedup_vs_single_process" in p for p in problems)
+
+    def test_serve_artifact_needs_quant_section(self):
+        doc = envelope(serve_results())
+        del doc["results"]["quant"]
+        problems = checker.check_schema(Path("BENCH_serve.json"), doc)
+        assert any("quant" in p for p in problems)
+
+    def test_serve_quant_keys_validated(self):
+        doc = envelope(serve_results())
+        del doc["results"]["quant"]["speedup_int8_vs_float32"]
+        problems = checker.check_schema(Path("BENCH_serve.json"), doc)
+        assert any("speedup_int8_vs_float32" in p for p in problems)
+
+    def test_kernels_artifact_needs_quant_section(self):
+        doc = {
+            "experiment": "kernels",
+            "metadata": {"host": "test"},
+            "results": {"conv": {"fast_ms": 1.0}},
+        }
+        problems = checker.check_schema(Path("BENCH_kernels.json"), doc)
+        assert any("quant" in p for p in problems)
 
     def test_non_serve_artifact_skips_serve_rules(self):
         doc = envelope({"scan_seconds": 1.0})

@@ -102,6 +102,26 @@ class TestSGD:
             p.zero_grad()
         assert np.allclose(p.value, target, atol=1e-4)
 
+    def test_plain_update_bitwise_matches_scratch_chain(self):
+        # The momentum-free fast path (`p -= grad * rate`) must stay
+        # bitwise-identical to the pooled-scratch op sequence it
+        # replaced: multiply into a buffer, then subtract in place.
+        rng = np.random.default_rng(7)
+        rate = 1.7e-3
+        params = [
+            Parameter(rng.standard_normal(shape))
+            for shape in ((25, 32), (32,), (4, 3, 5, 5))
+        ]
+        expected = []
+        for p in params:
+            p.grad = rng.standard_normal(p.value.shape)
+            scaled = np.empty_like(p.value)
+            np.multiply(p.grad, rate, out=scaled)
+            expected.append(p.value - scaled)
+        SGD(params, ConstantRate(rate)).step()
+        for p, want in zip(params, expected):
+            assert np.array_equal(p.value, want)
+
 
 class TestAdam:
     def test_quadratic_convergence(self):

@@ -255,7 +255,12 @@ class TestAcceptanceHotSwap:
             done.set()
 
             assert not errors
-            assert swapped == {"model": "default", "version": "v2", "previous": "v1"}
+            assert swapped == {
+            "model": "default",
+            "version": "v2",
+            "previous": "v1",
+            "infer_precision": "float64",
+        }
             assert client.health()["version"] == "v2"
 
             # Rollback restores v1 for subsequent traffic.
